@@ -1,0 +1,79 @@
+"""Shared infrastructure for the reproduction benches.
+
+Every bench regenerates one of the paper's tables or figures.  Runs are
+cached per-session so Table 2 and Figure 2 (which share configurations)
+pay for each simulation once.
+
+Environment knobs:
+
+* ``REPRO_BENCH_FAST=1``    — restrict to three benchmarks and smaller
+  instruction budgets (smoke mode).
+* ``REPRO_BENCH_WORKLOADS`` — comma-separated subset of benchmark names.
+
+Artifacts (the rendered tables) are written to ``benchmarks/out/``.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.harness import configs, run_workload
+from repro.workloads import WORKLOADS
+
+OUT_DIR = Path(__file__).parent / "out"
+
+FAST = os.environ.get("REPRO_BENCH_FAST", "") not in ("", "0")
+_subset = os.environ.get("REPRO_BENCH_WORKLOADS", "")
+if _subset:
+    BENCH_WORKLOADS = [name.strip() for name in _subset.split(",") if name.strip()]
+elif FAST:
+    BENCH_WORKLOADS = ["swim", "twolf", "gcc"]
+else:
+    BENCH_WORKLOADS = sorted(WORKLOADS)
+
+#: Instruction-budget multiplier (fast mode simulates shorter samples).
+BUDGET_FACTOR = 0.4 if FAST else 1.0
+
+
+class RunCache:
+    """Memoizes (workload, config-key) -> RunResult for the session."""
+
+    def __init__(self) -> None:
+        self._results = {}
+
+    def get(self, workload: str, config_key: str, params_factory):
+        key = (workload, config_key)
+        if key not in self._results:
+            spec = WORKLOADS[workload]
+            budget = max(2_000, int(spec.default_instructions * BUDGET_FACTOR))
+            self._results[key] = run_workload(
+                workload, params_factory(), config_label=config_key,
+                max_instructions=budget)
+        return self._results[key]
+
+    # -- the configurations the paper's evaluation uses ------------------
+    def ideal(self, workload: str, size: int):
+        return self.get(workload, f"ideal-{size}", lambda: configs.ideal(size))
+
+    def segmented(self, workload: str, size: int, chains, variant: str):
+        chain_key = "unl" if chains is None else str(chains)
+        return self.get(
+            workload, f"seg-{size}-{chain_key}-{variant}",
+            lambda: configs.segmented(size, chains, variant))
+
+    def prescheduled(self, workload: str, lines: int):
+        return self.get(workload, f"presched-{lines}",
+                        lambda: configs.prescheduled(lines))
+
+
+@pytest.fixture(scope="session")
+def runs():
+    return RunCache()
+
+
+def write_artifact(name: str, text: str) -> Path:
+    OUT_DIR.mkdir(exist_ok=True)
+    path = OUT_DIR / name
+    path.write_text(text + "\n")
+    return path

@@ -1,0 +1,153 @@
+"""Section 6.1 predictor claims.
+
+The paper quantifies its dispatch-stage predictors:
+
+* the hit/miss predictor achieves >98% accuracy on hit predictions while
+  covering >83% of all hits;
+* about 35% of instructions have two outstanding operands produced in
+  different chains (the LRP's target population);
+* the left/right predictor removes all multiple-chain instructions.
+
+This bench regenerates those numbers on our benchmark analogs.  Absolute
+percentages depend on the workloads; the assertions check the claims'
+*structure* (high hit-prediction accuracy, meaningful coverage, nonzero
+two-chain population, LRP removing two-chain heads).
+"""
+
+import pytest
+
+from repro.common.stats import ratio
+from repro.harness.reporting import format_table
+
+from benchmarks.conftest import BENCH_WORKLOADS, write_artifact
+
+IQ_SIZE = 512
+
+
+@pytest.fixture(scope="module")
+def predictor_runs(runs):
+    return {workload: {
+        "hmp": runs.segmented(workload, IQ_SIZE, None, "hmp"),
+        "base": runs.segmented(workload, IQ_SIZE, None, "base"),
+        "lrp": runs.segmented(workload, IQ_SIZE, None, "lrp"),
+    } for workload in BENCH_WORKLOADS}
+
+
+def _hmp_accuracy(result):
+    correct = result.stats.get("hmp.correct_hit_predictions", 0)
+    wrong = result.stats.get("hmp.wrong_hit_predictions", 0)
+    return ratio(correct, correct + wrong)
+
+
+def _hmp_coverage(result):
+    return ratio(result.stats.get("hmp.covered_hits", 0),
+                 result.stats.get("hmp.actual_hits", 0))
+
+
+def test_predictor_report(benchmark, predictor_runs):
+    def render():
+        rows = []
+        for workload in sorted(predictor_runs):
+            hmp = predictor_runs[workload]["hmp"]
+            base = predictor_runs[workload]["base"]
+            lrp = predictor_runs[workload]["lrp"]
+            dispatched = base.stats.get("iq.dispatched", 1)
+            two_chain = base.stats.get("iq.two_chain_instructions", 0)
+            lrp_total = (lrp.stats.get("lrp.correct", 0)
+                         + lrp.stats.get("lrp.wrong", 0))
+            rows.append([
+                workload,
+                f"{100 * _hmp_accuracy(hmp):.1f}%",
+                f"{100 * _hmp_coverage(hmp):.1f}%",
+                f"{100 * two_chain / dispatched:.1f}%",
+                f"{100 * ratio(lrp.stats.get('lrp.correct', 0), lrp_total):.1f}%",
+            ])
+        return format_table(
+            ["benchmark", "HMP hit-pred acc", "HMP hit coverage",
+             "two-chain insts", "LRP accuracy"],
+            rows, title="Section 6.1: predictor quality")
+
+    report = benchmark.pedantic(render, rounds=1, iterations=1)
+    write_artifact("claims_predictors.txt", report)
+    print("\n" + report)
+    assert "predictor quality" in report
+
+
+def test_hmp_hit_predictions_are_high_confidence(benchmark, predictor_runs):
+    def worst_accuracy():
+        worst = 1.0
+        for workload in predictor_runs:
+            result = predictor_runs[workload]["hmp"]
+            predictions = (result.stats.get("hmp.correct_hit_predictions", 0)
+                           + result.stats.get("hmp.wrong_hit_predictions", 0))
+            if predictions < 50:
+                continue        # too few hit predictions to judge
+            worst = min(worst, _hmp_accuracy(result))
+        return worst
+
+    value = benchmark.pedantic(worst_accuracy, rounds=1, iterations=1)
+    # Paper: "over 98% accuracy for hit predictions".  The 4-bit
+    # clear-on-miss counter is intentionally conservative.
+    assert value > 0.9
+
+
+def test_hmp_covers_hits_on_hitting_benchmarks(benchmark, predictor_runs):
+    def best_coverage():
+        return max(_hmp_coverage(predictor_runs[w]["hmp"])
+                   for w in predictor_runs)
+
+    value = benchmark.pedantic(best_coverage, rounds=1, iterations=1)
+    # Paper: >83% of all hits covered on average across SPEC.  Our analogs
+    # are short samples and several deliberately miss-dominated (delayed
+    # hits train as misses), so require only that the friendliest
+    # benchmark shows clearly-learned coverage.
+    assert value > 0.3
+
+
+def test_two_chain_population_exists(benchmark, predictor_runs):
+    def fraction():
+        fractions = []
+        for workload in predictor_runs:
+            base = predictor_runs[workload]["base"]
+            dispatched = base.stats.get("iq.dispatched", 1)
+            fractions.append(
+                base.stats.get("iq.two_chain_instructions", 0) / dispatched)
+        return max(fractions)
+
+    value = benchmark.pedantic(fraction, rounds=1, iterations=1)
+    # Paper: ~35% of instructions follow two chains in the base design.
+    assert value > 0.10
+
+
+def test_lrp_eliminates_multi_chain_heads(benchmark, predictor_runs):
+    def chain_heads():
+        pairs = []
+        for workload in predictor_runs:
+            base = predictor_runs[workload]["base"]
+            lrp = predictor_runs[workload]["lrp"]
+            pairs.append((base.stats.get("iq.chain_heads", 0),
+                          lrp.stats.get("iq.chain_heads", 0),
+                          base.stats.get("iq.two_chain_instructions", 0)))
+        return pairs
+
+    for base_heads, lrp_heads, two_chain in benchmark.pedantic(
+            chain_heads, rounds=1, iterations=1):
+        if two_chain > 100:
+            # With the LRP, two-chain instructions no longer become heads.
+            assert lrp_heads < base_heads
+
+
+def test_hmp_reduction_limited_by_miss_rate_on_swim(benchmark,
+                                                    predictor_runs):
+    if "swim" not in predictor_runs:
+        pytest.skip("swim not in bench set")
+
+    def coverage():
+        return _hmp_coverage(predictor_runs["swim"]["hmp"])
+
+    value = benchmark.pedantic(coverage, rounds=1, iterations=1)
+    # swim's loads nearly all miss, so there are few hits to cover and
+    # the HMP cannot save many chains (paper section 6.1).
+    hmp = predictor_runs["swim"]["hmp"]
+    base = predictor_runs["swim"]["base"]
+    assert hmp.chains_avg > 0.85 * base.chains_avg

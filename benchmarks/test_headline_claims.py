@@ -1,0 +1,125 @@
+"""Abstract / section-1 headline claims.
+
+* "our segmented instruction queue with 512 entries and 128 chains
+  improves performance by up to 69% over a 32-entry conventional
+  instruction queue for SpecINT 2000 benchmarks, and up to 398% for
+  SpecFP 2000 benchmarks";
+* "achieves from 55% to 98% of the performance of a monolithic 512-entry
+  queue";
+* "average performance is 85% of an ideal queue for a 256-element queue,
+  and 81% ... for a 512-element queue".
+
+We check the *shape*: large FP gains over the 32-entry baseline, smaller
+INT gains, and a segmented/ideal ratio distribution in the paper's band.
+"""
+
+import pytest
+
+from repro.harness.reporting import format_table
+from repro.workloads import FP_BENCHMARKS, INT_BENCHMARKS
+
+from benchmarks.conftest import BENCH_WORKLOADS, FAST, write_artifact
+
+SEG_SIZE = 512
+CHAINS = 128
+
+
+@pytest.fixture(scope="module")
+def headline(runs):
+    data = {}
+    for workload in BENCH_WORKLOADS:
+        conventional32 = runs.ideal(workload, 32)
+        ideal512 = runs.ideal(workload, SEG_SIZE)
+        seg = runs.segmented(workload, SEG_SIZE, CHAINS, "comb")
+        data[workload] = {
+            "gain_over_32": (seg.ipc / conventional32.ipc
+                             if conventional32.ipc else 0.0),
+            "fraction_of_ideal": (seg.ipc / ideal512.ipc
+                                  if ideal512.ipc else 0.0),
+            "seg_ipc": seg.ipc,
+            "ideal512_ipc": ideal512.ipc,
+            "conv32_ipc": conventional32.ipc,
+        }
+    return data
+
+
+def test_headline_report(benchmark, headline):
+    def render():
+        rows = []
+        for workload in sorted(headline):
+            entry = headline[workload]
+            group = "FP" if workload in FP_BENCHMARKS else "INT"
+            rows.append([
+                workload, group,
+                round(entry["conv32_ipc"], 3),
+                round(entry["ideal512_ipc"], 3),
+                round(entry["seg_ipc"], 3),
+                f"{100 * (entry['gain_over_32'] - 1):+.0f}%",
+                f"{100 * entry['fraction_of_ideal']:.0f}%",
+            ])
+        return format_table(
+            ["benchmark", "set", "conv-32 IPC", "ideal-512 IPC",
+             "seg-512/128 IPC", "gain over conv-32", "% of ideal-512"],
+            rows, title="Headline: segmented 512/128 vs 32-entry "
+                        "conventional and ideal 512")
+
+    report = benchmark.pedantic(render, rounds=1, iterations=1)
+    write_artifact("headline_claims.txt", report)
+    print("\n" + report)
+    assert "Headline" in report
+
+
+def test_fp_benchmarks_show_large_gains(benchmark, headline):
+    def best_fp_gain():
+        gains = [headline[w]["gain_over_32"] for w in headline
+                 if w in FP_BENCHMARKS]
+        return max(gains) if gains else 0.0
+
+    value = benchmark.pedantic(best_fp_gain, rounds=1, iterations=1)
+    # Paper: up to +398% (i.e. 4.98x).  Require at least a 2x gain.
+    assert value > 2.0
+
+
+def test_int_gains_are_smaller_than_fp(benchmark, headline):
+    def groups():
+        fp = [headline[w]["gain_over_32"] for w in headline
+              if w in FP_BENCHMARKS]
+        integer = [headline[w]["gain_over_32"] for w in headline
+                   if w in INT_BENCHMARKS]
+        return fp, integer
+
+    fp, integer = benchmark.pedantic(groups, rounds=1, iterations=1)
+    if not fp or not integer:
+        pytest.skip("need both FP and INT benchmarks")
+    assert max(fp) > max(integer)
+
+
+def test_fraction_of_ideal_in_paper_band(benchmark, headline):
+    def fractions():
+        return [headline[w]["fraction_of_ideal"] for w in headline]
+
+    values = benchmark.pedantic(fractions, rounds=1, iterations=1)
+    average = sum(values) / len(values)
+    # Paper: 55%-98% per benchmark, 81% average at 512 entries.  Allow a
+    # wider per-benchmark band for the synthetic analogs but require the
+    # average to be in the right region.
+    assert 0.55 <= average <= 1.02
+    assert max(values) <= 1.05
+
+
+@pytest.mark.skipif(FAST, reason="256-entry point skipped in fast mode")
+def test_average_at_256_at_least_at_512(benchmark, runs, headline):
+    def averages():
+        values256 = []
+        for workload in headline:
+            ideal = runs.ideal(workload, 256)
+            seg = runs.segmented(workload, 256, CHAINS, "comb")
+            values256.append(seg.ipc / ideal.ipc if ideal.ipc else 0.0)
+        values512 = [headline[w]["fraction_of_ideal"] for w in headline]
+        return (sum(values256) / len(values256),
+                sum(values512) / len(values512))
+
+    avg256, avg512 = benchmark.pedantic(averages, rounds=1, iterations=1)
+    # Paper: 85% at 256 entries vs 81% at 512 — the smaller queue tracks
+    # the ideal a little more closely.
+    assert avg256 >= avg512 - 0.05

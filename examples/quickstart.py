@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate one benchmark on three instruction-queue designs.
+
+Runs the `swim` analog (a streaming FP kernel whose loads nearly all miss)
+on a 32-entry conventional IQ, the paper's 512-entry segmented IQ with 128
+chains, and an ideal 512-entry IQ — the abstract's headline comparison.
+
+Usage::
+
+    python examples/quickstart.py [benchmark]
+"""
+
+import sys
+
+from repro import WORKLOADS, configs, run_workload
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "swim"
+    if benchmark not in WORKLOADS:
+        raise SystemExit(f"unknown benchmark {benchmark!r}; "
+                         f"choose from {sorted(WORKLOADS)}")
+
+    print(f"benchmark: {benchmark} — {WORKLOADS[benchmark].description}\n")
+
+    conventional = run_workload(benchmark, configs.ideal(32),
+                                config_label="conventional-32")
+    segmented = run_workload(
+        benchmark, configs.segmented(512, max_chains=128, variant="comb"),
+        config_label="segmented-512/128")
+    ideal = run_workload(benchmark, configs.ideal(512),
+                         config_label="ideal-512")
+
+    for result in (conventional, segmented, ideal):
+        print(f"  {result.config:<18} IPC = {result.ipc:5.3f}   "
+              f"({result.instructions} instructions, "
+              f"{result.cycles} cycles)")
+
+    gain = segmented.ipc / conventional.ipc if conventional.ipc else 0.0
+    fraction = segmented.ipc / ideal.ipc if ideal.ipc else 0.0
+    print(f"\nsegmented IQ vs 32-entry conventional: {100 * (gain - 1):+.0f}%")
+    print(f"segmented IQ as a fraction of ideal-512: {100 * fraction:.0f}%")
+    print(f"chain wires in use: avg {segmented.chains_avg:.1f}, "
+          f"peak {segmented.chains_peak:.0f}")
+
+
+if __name__ == "__main__":
+    main()

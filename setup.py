@@ -1,0 +1,4 @@
+"""Setup shim: allows 'setup.py develop' on offline machines without wheel."""
+from setuptools import setup
+
+setup()

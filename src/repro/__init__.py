@@ -1,0 +1,38 @@
+"""repro — a reproduction of "A Scalable Instruction Queue Design Using
+Dependence Chains" (Raasch, Binkert & Reinhardt, ISCA 2002).
+
+The package contains a cycle-level out-of-order processor simulator with
+four interchangeable instruction-queue designs — the paper's segmented
+dependence-chain IQ, an ideal monolithic IQ, the Michaud-Seznec
+prescheduler, and Palacharla dependence FIFOs — plus synthetic analogs of
+the paper's SPEC CPU2000 benchmark subset and a harness that regenerates
+every table and figure of the evaluation.
+
+Quickstart::
+
+    from repro import configs, run_workload
+
+    result = run_workload("swim", configs.segmented(512, max_chains=128))
+    print(result.ipc)
+"""
+
+from repro.common import (IQParams, ProcessorParams, StatGroup,
+                          ideal_iq_params, prescheduled_iq_params,
+                          segmented_iq_params)
+from repro.harness import RunResult, configs, run_workload
+from repro.isa import (F, DynInst, Instruction, Opcode, Program,
+                       ProgramBuilder, R, execute, run_functional)
+from repro.pipeline import Processor, SMTProcessor
+from repro.workloads import FP_BENCHMARKS, INT_BENCHMARKS, WORKLOADS
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DynInst", "F", "FP_BENCHMARKS", "INT_BENCHMARKS", "IQParams",
+    "Instruction", "Opcode", "Processor", "ProcessorParams", "Program",
+    "SMTProcessor",
+    "ProgramBuilder", "R", "RunResult", "StatGroup", "WORKLOADS",
+    "__version__", "configs", "execute", "ideal_iq_params",
+    "prescheduled_iq_params", "run_functional", "run_workload",
+    "segmented_iq_params",
+]

@@ -1,0 +1,237 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list``    — show the benchmark analogs and their characters
+* ``run``     — simulate one benchmark under one configuration
+* ``sweep``   — IPC-vs-IQ-size curves (Figure 3 style) for one benchmark
+* ``disasm``  — print a benchmark kernel's assembly listing
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.harness import ascii_series_plot, configs, run_workload
+from repro.workloads import WORKLOADS
+
+
+def _parse_chains(value: str):
+    return None if value in ("unlimited", "none") else int(value)
+
+
+def _params_from_args(args) -> "ProcessorParams":
+    if args.iq == "ideal":
+        return configs.ideal(args.size)
+    if args.iq == "segmented":
+        return configs.segmented(args.size, _parse_chains(args.chains),
+                                 args.variant,
+                                 segment_size=args.segment_size)
+    if args.iq == "prescheduled":
+        lines = max(1, (args.size - 32) // 12)
+        return configs.prescheduled(lines)
+    if args.iq == "fifo":
+        return configs.fifo(args.size, depth=args.segment_size)
+    raise SystemExit(f"unknown IQ kind {args.iq!r}")
+
+
+def cmd_list(_args) -> int:
+    width = max(len(name) for name in WORKLOADS)
+    for name in sorted(WORKLOADS):
+        spec = WORKLOADS[name]
+        group = "FP " if spec.is_fp else "INT"
+        print(f"{name:<{width}}  [{group}]  ~{spec.default_instructions:>6} "
+              f"insts  {spec.description}")
+    return 0
+
+
+def cmd_run(args) -> int:
+    params = _params_from_args(args)
+    result = run_workload(args.workload, params,
+                          config_label=args.iq,
+                          max_instructions=args.instructions)
+    print(result)
+    stats = result.stats
+    print(f"  branch accuracy : {100 * result.branch_accuracy:.1f}%")
+    loads = stats.get("lsq.loads", 0)
+    if loads:
+        delayed = stats.get("l1d.delayed_hits", 0)
+        misses = stats.get("l1d.misses", 0)
+        print(f"  loads           : {loads:.0f} "
+              f"({misses:.0f} misses, {delayed:.0f} delayed hits)")
+    if args.iq == "segmented":
+        print(f"  chains          : avg {result.chains_avg:.1f}, "
+              f"peak {result.chains_peak:.0f}")
+        print(f"  promotions      : {stats.get('iq.promotions', 0):.0f} "
+              f"(+{stats.get('iq.pushdowns', 0):.0f} pushdowns)")
+        print(f"  deadlock events : "
+              f"{stats.get('iq.deadlock_recoveries', 0):.0f}")
+    if args.stats:
+        for key in sorted(stats):
+            print(f"  {key:<40} {stats[key]:.3f}")
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    sizes = [int(s) for s in args.sizes.split(",")]
+    series = {}
+    for label, factory in [
+            ("ideal", configs.ideal),
+            ("segmented-128ch",
+             lambda size: configs.segmented(size, 128, "comb")),
+            ("segmented-64ch",
+             lambda size: configs.segmented(size, 64, "comb"))]:
+        series[label] = {}
+        for size in sizes:
+            result = run_workload(args.workload, factory(size),
+                                  max_instructions=args.instructions)
+            series[label][size] = result.ipc
+            print(f"  {label} @{size}: IPC={result.ipc:.3f}",
+                  file=sys.stderr)
+    print(ascii_series_plot(series,
+                            title=f"IPC vs IQ size — {args.workload}"))
+    return 0
+
+
+def cmd_disasm(args) -> int:
+    program = WORKLOADS[args.workload].build(1)
+    print(program.disassemble())
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.harness.trace import render_pipeline_trace, stage_latency_summary
+    from repro.isa import execute
+    from repro.pipeline import Processor
+
+    params = _params_from_args(args)
+    spec = WORKLOADS[args.workload]
+    program = spec.build(1)
+    budget = args.instructions or spec.default_instructions
+    stream = list(execute(program, max_instructions=budget))
+    processor = Processor(params, iter(stream))
+    processor.warm_code(program)
+    processor.run(max_cycles=5_000_000)
+    print(render_pipeline_trace(stream, start_seq=args.start,
+                                count=args.count))
+    print()
+    print(stage_latency_summary(stream))
+    return 0
+
+
+def cmd_reproduce(args) -> int:
+    from repro.harness.experiments import EXPERIMENTS, save_data
+
+    experiment = EXPERIMENTS[args.experiment]
+    workloads = (args.workloads.split(",") if args.workloads else None)
+    report, data = experiment.run(
+        workloads=workloads, budget_factor=args.budget,
+        progress=lambda label: print(f"  running {label}...",
+                                     file=sys.stderr))
+    print(report)
+    if args.json:
+        save_data(data, args.json)
+        print(f"\nraw data written to {args.json}", file=sys.stderr)
+    return 0
+
+
+def cmd_segments(args) -> int:
+    from repro.harness.trace import collect_segment_samples, segment_heatmap
+    from repro.isa import execute
+    from repro.pipeline import Processor
+
+    params = configs.segmented(args.size, _parse_chains(args.chains),
+                               args.variant)
+    spec = WORKLOADS[args.workload]
+    program = spec.build(1)
+    budget = args.instructions or spec.default_instructions
+    processor = Processor(params, execute(program, max_instructions=budget))
+    processor.warm_code(program)
+    samples = collect_segment_samples(processor, interval=args.interval)
+    print(f"segment occupancy over time — {args.workload} "
+          f"(IPC {processor.ipc:.2f})\n")
+    print(segment_heatmap(samples, params.iq.segment_size))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Segmented dependence-chain IQ reproduction "
+                    "(Raasch/Binkert/Reinhardt, ISCA 2002)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list benchmark analogs")
+
+    run_parser = sub.add_parser("run", help="simulate one benchmark")
+    run_parser.add_argument("workload", choices=sorted(WORKLOADS))
+    run_parser.add_argument("--iq", default="segmented",
+                            choices=["ideal", "segmented", "prescheduled",
+                                     "fifo"])
+    run_parser.add_argument("--size", type=int, default=512)
+    run_parser.add_argument("--segment-size", type=int, default=32)
+    run_parser.add_argument("--chains", default="128",
+                            help="chain wires, or 'unlimited'")
+    run_parser.add_argument("--variant", default="comb",
+                            choices=["base", "hmp", "lrp", "comb"])
+    run_parser.add_argument("--instructions", type=int, default=None)
+    run_parser.add_argument("--stats", action="store_true",
+                            help="dump every statistic")
+
+    sweep_parser = sub.add_parser("sweep", help="IQ size sweep")
+    sweep_parser.add_argument("workload", choices=sorted(WORKLOADS))
+    sweep_parser.add_argument("--sizes", default="32,64,128,256,512")
+    sweep_parser.add_argument("--instructions", type=int, default=None)
+
+    disasm_parser = sub.add_parser("disasm", help="print kernel assembly")
+    disasm_parser.add_argument("workload", choices=sorted(WORKLOADS))
+
+    trace_parser = sub.add_parser("trace",
+                                  help="per-instruction pipeline diagram")
+    trace_parser.add_argument("workload", choices=sorted(WORKLOADS))
+    trace_parser.add_argument("--iq", default="segmented",
+                              choices=["ideal", "segmented", "prescheduled",
+                                       "distance", "fifo"])
+    trace_parser.add_argument("--size", type=int, default=512)
+    trace_parser.add_argument("--segment-size", type=int, default=32)
+    trace_parser.add_argument("--chains", default="128")
+    trace_parser.add_argument("--variant", default="comb",
+                              choices=["base", "hmp", "lrp", "comb"])
+    trace_parser.add_argument("--instructions", type=int, default=2000)
+    trace_parser.add_argument("--start", type=int, default=200,
+                              help="first dynamic seq to display")
+    trace_parser.add_argument("--count", type=int, default=32)
+
+    segments_parser = sub.add_parser(
+        "segments", help="segment-occupancy heatmap (segmented IQ)")
+    segments_parser.add_argument("workload", choices=sorted(WORKLOADS))
+    segments_parser.add_argument("--size", type=int, default=512)
+    segments_parser.add_argument("--chains", default="128")
+    segments_parser.add_argument("--variant", default="comb",
+                                 choices=["base", "hmp", "lrp", "comb"])
+    segments_parser.add_argument("--interval", type=int, default=50)
+    segments_parser.add_argument("--instructions", type=int, default=None)
+
+    reproduce_parser = sub.add_parser(
+        "reproduce", help="regenerate a paper table/figure")
+    reproduce_parser.add_argument(
+        "experiment", choices=["table2", "figure2", "figure3", "headline"])
+    reproduce_parser.add_argument(
+        "--workloads", default="",
+        help="comma-separated benchmark subset (default: all eight)")
+    reproduce_parser.add_argument("--budget", type=float, default=1.0,
+                                  help="instruction-budget multiplier")
+    reproduce_parser.add_argument("--json", default="",
+                                  help="also write raw data to this file")
+
+    args = parser.parse_args(argv)
+    handler = {"list": cmd_list, "run": cmd_run, "sweep": cmd_sweep,
+               "disasm": cmd_disasm, "trace": cmd_trace,
+               "segments": cmd_segments, "reproduce": cmd_reproduce,
+               }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

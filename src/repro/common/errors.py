@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro simulator.
+
+All simulator-specific errors derive from :class:`ReproError` so callers can
+catch the whole family with a single handler.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent configuration was supplied."""
+
+
+class ProgramError(ReproError):
+    """A program is malformed (bad register, undefined label, ...)."""
+
+
+class ExecutionError(ReproError):
+    """The functional simulator hit an illegal runtime condition."""
+
+
+class SimulationError(ReproError):
+    """The timing model reached an internally inconsistent state."""
+
+
+class DeadlockError(SimulationError):
+    """The timing model made no forward progress for too many cycles.
+
+    The segmented IQ has a deadlock *recovery* mechanism (paper section 4.5);
+    this error indicates the global watchdog fired, i.e. recovery itself
+    failed or a different structure wedged, which is always a simulator bug.
+    """

@@ -1,0 +1,58 @@
+"""A discrete event queue keyed by simulation cycle.
+
+The memory hierarchy is event-driven (cache fills, bus transfers, memory
+returns) while the core is cycle-stepped.  The processor drains all events
+scheduled for the current cycle at the top of each tick.
+
+Events scheduled for the same cycle fire in insertion order, which keeps the
+simulation deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Tuple
+
+from repro.common.errors import SimulationError
+
+Event = Callable[[], None]
+
+
+class EventQueue:
+    """Min-heap of (cycle, sequence, callback) with stable ordering."""
+
+    def __init__(self) -> None:
+        self._heap: List[Tuple[int, int, Event]] = []
+        self._sequence = itertools.count()
+        self.now = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def schedule(self, delay: int, callback: Event) -> None:
+        """Schedule ``callback`` to run ``delay`` cycles from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event in the past (delay={delay})")
+        heapq.heappush(self._heap, (self.now + delay, next(self._sequence), callback))
+
+    def schedule_at(self, cycle: int, callback: Event) -> None:
+        """Schedule ``callback`` to run at absolute ``cycle``."""
+        if cycle < self.now:
+            raise SimulationError(
+                f"cannot schedule event at cycle {cycle} (now={self.now})")
+        heapq.heappush(self._heap, (cycle, next(self._sequence), callback))
+
+    def advance_to(self, cycle: int) -> None:
+        """Move time forward to ``cycle``, firing all due events in order."""
+        if cycle < self.now:
+            raise SimulationError(f"time cannot go backwards ({cycle} < {self.now})")
+        while self._heap and self._heap[0][0] <= cycle:
+            when, _seq, callback = heapq.heappop(self._heap)
+            self.now = when
+            callback()
+        self.now = cycle
+
+    def next_event_cycle(self) -> int:
+        """Cycle of the earliest pending event, or -1 if none."""
+        return self._heap[0][0] if self._heap else -1

@@ -1,0 +1,153 @@
+"""Canal & González's "distance" instruction queue (related work, §2).
+
+The second family of dependence-based IQs the paper discusses places the
+fully-associative buffer *before* the scheduling array:
+
+    "Instructions whose ready time cannot be accurately predicted (e.g.,
+    due to dependence on an outstanding load) are held in this buffer
+    until their ready time is known.  Instructions are thus guaranteed to
+    be ready when they reach the oldest row of the scheduling array."
+
+So, at dispatch:
+
+* if every operand's availability cycle is *known* (producers already
+  issued with deterministic latency, or values architecturally ready),
+  the instruction is placed in the scheduling-array row for that cycle;
+* otherwise it waits in the associative buffer; when the last unknown
+  producer's ready time becomes known (e.g. the load's data returns), the
+  instruction moves into the array at its now-exact distance.
+
+Issue happens from the oldest array row only.  Readiness there is
+guaranteed by construction; only structural conflicts can hold a row's
+instructions back (which stalls the array, as in the prescheduler).
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, List, Optional
+
+from repro.common.params import IQParams
+from repro.common.stats import StatGroup
+from repro.core.iq_base import IQEntry, InstructionQueue, Operand
+from repro.isa.instruction import DynInst
+
+#: entry.segment markers.
+IN_BUFFER = -3
+IN_ARRAY = -2
+
+
+class DistanceIQ(InstructionQueue):
+    """Wait buffer + time-indexed scheduling array, issue from row zero."""
+
+    def __init__(self, params: IQParams, issue_width: int,
+                 stats: StatGroup) -> None:
+        super().__init__(params.size)
+        params.validate()
+        self.params = params
+        self.issue_width = issue_width
+        self.buffer_capacity = params.presched_issue_buffer
+        self.line_width = params.presched_line_width
+        self.num_lines = max(
+            1, (params.size - self.buffer_capacity) // self.line_width)
+        self._rows: Deque[List[IQEntry]] = deque(
+            [] for _ in range(self.num_lines))
+        self._base_cycle = 0
+        self._buffer_count = 0
+        self._array_count = 0
+        self.now = 0
+
+        self.stat_dispatched = stats.counter("iq.dispatched")
+        self.stat_issued = stats.counter("iq.issued")
+        self.stat_buffered = stats.counter(
+            "distance.buffered", "dispatches held in the wait buffer")
+        self.stat_direct = stats.counter(
+            "distance.direct", "dispatches placed straight into the array")
+        self.stat_array_stalls = stats.counter("distance.array_stalls")
+        self.stat_occupancy = stats.distribution("iq.occupancy")
+
+    # ------------------------------------------------------------ space --
+    @property
+    def occupancy(self) -> int:
+        return self._buffer_count + self._array_count
+
+    def can_dispatch(self, inst: DynInst) -> bool:
+        # Whether the instruction needs the wait buffer depends on operand
+        # state we only see at dispatch, so gate conservatively on both
+        # structures having room.
+        return (self._buffer_count < self.buffer_capacity
+                and self._array_count < self.num_lines * self.line_width)
+
+    # --------------------------------------------------------- dispatch --
+    def dispatch(self, inst: DynInst, operands: List[Operand],
+                 now: int) -> IQEntry:
+        self.now = now
+        entry = IQEntry(inst, operands)
+        entry.queue_cycle = now
+        self.stat_dispatched.inc()
+        self.register_operand_wakeups(entry)
+        if entry.all_sources_known:
+            self.stat_direct.inc()
+            self._insert_into_array(entry, now)
+        else:
+            self.stat_buffered.inc()
+            entry.segment = IN_BUFFER
+            self._buffer_count += 1
+        return entry
+
+    def on_entry_ready_known(self, entry: IQEntry) -> None:
+        """The last unknown producer announced its latency: the entry's
+        exact distance is now known, so it moves buffer -> array."""
+        if entry.segment == IN_BUFFER:
+            self._buffer_count -= 1
+            self._insert_into_array(entry, self.now)
+
+    def _insert_into_array(self, entry: IQEntry, now: int) -> None:
+        target = max(entry.ready_cycle, now + 1)
+        index = min(max(0, target - self._base_cycle), self.num_lines - 1)
+        for row in range(index, self.num_lines):
+            if len(self._rows[row]) < self.line_width:
+                self._rows[row].append(entry)
+                entry.segment = IN_ARRAY
+                self._array_count += 1
+                return
+        # Every usable row is full: park in the newest row regardless
+        # (the row drains eventually; this mirrors the prescheduler's
+        # behaviour under overflow).
+        self._rows[-1].append(entry)
+        entry.segment = IN_ARRAY
+        self._array_count += 1
+
+    # ------------------------------------------------------------ cycle --
+    def cycle(self, now: int) -> None:
+        self.now = now
+        self.stat_occupancy.sample(self.occupancy)
+
+    # ------------------------------------------------------------ issue --
+    def select_issue(self, now: int, acquire_fu) -> List[IQEntry]:
+        self.now = now
+        head = self._rows[0]
+        issued: List[IQEntry] = []
+        leftovers: List[IQEntry] = []
+        while head and len(issued) < self.issue_width:
+            entry = head.pop(0)
+            # Guaranteed ready by construction; double-check the cycle in
+            # case of a same-cycle insertion race, then take a unit.
+            if entry.ready_cycle <= now and acquire_fu(entry.inst):
+                entry.issued = True
+                self._array_count -= 1
+                issued.append(entry)
+            else:
+                leftovers.append(entry)
+        if head or leftovers:
+            # Structural conflict (or a not-quite-ready straggler): the
+            # array stalls this cycle.
+            self.stat_array_stalls.inc()
+            head[0:0] = leftovers
+        else:
+            self._rows.popleft()
+            self._rows.append([])
+            self._base_cycle += 1
+        self.stat_issued.inc(len(issued))
+        return issued

@@ -1,0 +1,130 @@
+"""Palacharla, Jouppi & Smith's dependence-based FIFO instruction queue.
+
+The first dependence-based IQ design (related work, paper section 2).  The
+queue is a set of FIFOs; only the FIFO *heads* are considered for issue, so
+wakeup/select latency scales with the number of FIFOs rather than the
+number of entries.
+
+Dispatch steering (as described in the paper's section 2): try to place the
+instruction immediately behind a producer of one of its operands — legal
+only when that producer is currently the *tail* of its FIFO.  Otherwise the
+instruction goes at the head of an empty FIFO; if none is empty, dispatch
+stalls.  The steering creates artificial issue dependences (everything
+behind a stalled FIFO head waits), which is precisely the inflexibility the
+segmented IQ removes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.common.params import IQParams
+from repro.common.stats import StatGroup
+from repro.core.iq_base import IQEntry, InstructionQueue, Operand
+from repro.isa.instruction import DynInst
+
+
+class DependenceFIFOQueue(InstructionQueue):
+    """A bank of dependence-steered FIFOs issuing from their heads."""
+
+    def __init__(self, params: IQParams, issue_width: int,
+                 stats: StatGroup) -> None:
+        super().__init__(params.size)
+        params.validate()
+        self.issue_width = issue_width
+        self.fifo_depth = params.segment_size
+        self.num_fifos = max(1, params.size // self.fifo_depth)
+        self._fifos: List[Deque[IQEntry]] = [deque()
+                                             for _ in range(self.num_fifos)]
+        # Architected register -> index of the FIFO whose *tail* produces it.
+        self._tail_producer: Dict[int, int] = {}
+        self._occupancy = 0
+        self.now = 0
+
+        self.stat_dispatched = stats.counter("iq.dispatched")
+        self.stat_issued = stats.counter("iq.issued")
+        self.stat_steered_behind_producer = stats.counter(
+            "fifo.steered_behind_producer")
+        self.stat_new_fifo = stats.counter("fifo.placed_in_empty_fifo")
+        self.stat_no_fifo_stalls = stats.counter(
+            "fifo.dispatch_stalls", "dispatch stalled: no legal FIFO slot")
+        self.stat_occupancy = stats.distribution("iq.occupancy")
+
+    # ------------------------------------------------------------ space --
+    @property
+    def occupancy(self) -> int:
+        return self._occupancy
+
+    @staticmethod
+    def _reg_key(inst: DynInst, reg: int) -> int:
+        return inst.thread * 64 + reg
+
+    def _steer(self, inst: DynInst) -> Optional[int]:
+        """FIFO index for the instruction, or None (stall)."""
+        regs = inst.srcs[:1] if inst.is_mem else inst.srcs
+        for reg in regs:
+            if reg == 0:
+                continue
+            index = self._tail_producer.get(self._reg_key(inst, reg))
+            if index is None:
+                continue
+            fifo = self._fifos[index]
+            if fifo and len(fifo) < self.fifo_depth:
+                tail = fifo[-1]
+                if (tail.inst.dest == reg and tail.inst.thread == inst.thread
+                        and not tail.issued):
+                    return index
+        for index, fifo in enumerate(self._fifos):
+            if not fifo:
+                return index
+        return None
+
+    def can_dispatch(self, inst: DynInst) -> bool:
+        if self._steer(inst) is None:
+            self.stat_no_fifo_stalls.inc()
+            return False
+        return True
+
+    # --------------------------------------------------------- dispatch --
+    def dispatch(self, inst: DynInst, operands: List[Operand],
+                 now: int) -> IQEntry:
+        index = self._steer(inst)
+        entry = IQEntry(inst, operands)
+        entry.queue_cycle = now
+        fifo = self._fifos[index]
+        if fifo:
+            self.stat_steered_behind_producer.inc()
+        else:
+            self.stat_new_fifo.inc()
+        fifo.append(entry)
+        entry.segment = index
+        self._occupancy += 1
+        self.register_operand_wakeups(entry)
+        if inst.dest is not None and inst.dest != 0:
+            self._tail_producer[self._reg_key(inst, inst.dest)] = index
+        self.stat_dispatched.inc()
+        return entry
+
+    # ------------------------------------------------------------ issue --
+    def select_issue(self, now: int, acquire_fu) -> List[IQEntry]:
+        self.now = now
+        heads = [(fifo[0].seq, index) for index, fifo in enumerate(self._fifos)
+                 if fifo]
+        heads.sort()
+        issued: List[IQEntry] = []
+        for seq, index in heads:
+            if len(issued) >= self.issue_width:
+                break
+            entry = self._fifos[index][0]
+            if not entry.all_sources_known or entry.ready_cycle > now:
+                continue
+            if acquire_fu(entry.inst):
+                entry.issued = True
+                self._fifos[index].popleft()
+                self._occupancy -= 1
+                issued.append(entry)
+        self.stat_issued.inc(len(issued))
+        self.stat_occupancy.sample(self._occupancy)
+        return issued

@@ -1,0 +1,163 @@
+"""Common instruction-queue machinery shared by every IQ design.
+
+All queue designs — the ideal monolithic IQ, the paper's segmented IQ, the
+Michaud–Seznec prescheduler, and the Palacharla FIFOs — present the same
+interface to the processor: dispatch, per-cycle maintenance, and issue
+selection.  The differences are entirely in *which* buffered instructions
+the wakeup/select logic may consider each cycle.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.isa.instruction import DynInst
+
+
+@dataclass
+class Operand:
+    """One IQ-relevant source operand, resolved by the renamer.
+
+    ``producer`` is the in-flight producing instruction (None if the value
+    is architecturally available).  ``ready_cycle`` is the cycle the value
+    is known to become available, or None if not yet known (the producer
+    has not issued / the load has not returned).  ``penalty`` is the extra
+    forwarding delay this consumer sees (e.g. a cross-cluster bypass); it
+    is already folded into ``ready_cycle`` when that is known, and is
+    applied to late wakeups otherwise.
+    """
+
+    reg: int
+    producer: Optional[DynInst] = None
+    ready_cycle: Optional[int] = 0
+    penalty: int = 0
+
+
+class IQEntry:
+    """One instruction-queue slot.
+
+    The base fields implement conventional wakeup (operand readiness).  The
+    segmented IQ extends entries with chain state via ``chain_state``.
+    """
+
+    __slots__ = ("inst", "seq", "operands", "ready_cycle", "unknown_count",
+                 "issued", "chain_state", "segment", "queue_cycle")
+
+    def __init__(self, inst: DynInst, operands: List[Operand]) -> None:
+        self.inst = inst
+        self.seq = inst.seq
+        self.operands = operands
+        self.issued = False
+        self.chain_state = None      # used by the segmented IQ
+        self.segment = -1            # used by the segmented IQ
+        self.queue_cycle = -1
+        self.unknown_count = 0
+        ready = 0
+        for operand in operands:
+            if operand.ready_cycle is None:
+                self.unknown_count += 1
+            elif operand.ready_cycle > ready:
+                ready = operand.ready_cycle
+        # Cycle at which every operand is available; meaningless until
+        # unknown_count drops to zero.
+        self.ready_cycle = ready
+
+    def source_known(self, index: int, cycle: int) -> bool:
+        """Record that operand ``index`` becomes ready at ``cycle``
+        (plus any forwarding penalty the operand carries).
+
+        Returns True if the entry's full readiness is now known.
+        """
+        cycle += self.operands[index].penalty
+        self.operands[index].ready_cycle = cycle
+        if cycle > self.ready_cycle:
+            self.ready_cycle = cycle
+        self.unknown_count -= 1
+        return self.unknown_count == 0
+
+    @property
+    def all_sources_known(self) -> bool:
+        return self.unknown_count == 0
+
+    def __repr__(self) -> str:
+        return (f"IQEntry(#{self.seq} {self.inst.static} "
+                f"ready={self.ready_cycle if self.all_sources_known else '?'})")
+
+
+class InstructionQueue(abc.ABC):
+    """Interface every IQ design implements."""
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+        #: Number of instructions in execution (set by the processor each
+        #: cycle; used by the segmented IQ's deadlock detector).
+        self.in_flight = 0
+        #: Cycle of the most recent commit (set by the processor), used by
+        #: the deadlock detector's livelock backstop.
+        self.last_commit_cycle = 0
+        #: True when the last can_dispatch refusal was due to chain-wire
+        #: exhaustion rather than queue capacity.
+        self.blocked_on_chain = False
+
+    # -------------------------------------------------------- dispatch --
+    @abc.abstractmethod
+    def can_dispatch(self, inst: DynInst) -> bool:
+        """Is there room (and, for the segmented IQ, a chain wire if this
+        instruction needs one)?"""
+
+    @abc.abstractmethod
+    def dispatch(self, inst: DynInst, operands: List[Operand],
+                 now: int) -> IQEntry:
+        """Insert the instruction; wire up wakeup on unknown operands."""
+
+    # ----------------------------------------------------------- timing --
+    def cycle(self, now: int) -> None:
+        """Per-cycle internal maintenance (promotion, signal delivery)."""
+
+    @abc.abstractmethod
+    def select_issue(self, now: int, acquire_fu) -> List[IQEntry]:
+        """Choose up to issue-width ready instructions for this cycle.
+
+        ``acquire_fu(inst) -> bool`` atomically checks issue bandwidth and
+        function-unit availability and claims them on success.
+        """
+
+    # ------------------------------------------------------------ hooks --
+    def notify_load_miss(self, inst: DynInst, now: int) -> None:
+        """A load detected a cache miss (segmented IQ: suspend self-timing)."""
+
+    def notify_load_complete(self, inst: DynInst, now: int) -> None:
+        """A load's data returned (segmented IQ: resume self-timing)."""
+
+    def on_writeback(self, inst: DynInst, now: int) -> None:
+        """An instruction wrote back (segmented IQ: free its chain)."""
+
+    # ------------------------------------------------------------ state --
+    @property
+    @abc.abstractmethod
+    def occupancy(self) -> int:
+        """Number of instructions currently buffered."""
+
+    @property
+    def free_slots(self) -> int:
+        return self.size - self.occupancy
+
+    def register_operand_wakeups(self, entry: IQEntry) -> None:
+        """Subscribe the entry to producers whose latency is unknown."""
+        for index, operand in enumerate(entry.operands):
+            if operand.ready_cycle is None:
+                self._subscribe(entry, index, operand.producer)
+
+    def _subscribe(self, entry: IQEntry, index: int,
+                   producer: DynInst) -> None:
+        def wakeup(cycle: int, entry=entry, index=index) -> None:
+            if entry.source_known(index, cycle):
+                self.on_entry_ready_known(entry)
+
+        producer.waiters.append(wakeup)
+
+    def on_entry_ready_known(self, entry: IQEntry) -> None:
+        """Called when all of an entry's operand ready-times become known.
+        Designs override to move the entry into their ready structures."""

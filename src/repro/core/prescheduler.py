@@ -1,0 +1,197 @@
+"""Michaud & Seznec's prescheduling instruction queue (HPCA 2001).
+
+The comparison baseline of the paper's section 6.3.  Instructions are
+*prescheduled* at dispatch into a two-dimensional scheduling array whose
+rows correspond to predicted issue cycles; each cycle the oldest row drains
+into a small fully-associative issue buffer, and instructions issue from
+the issue buffer only, based on actual operand readiness.
+
+The quasi-static schedule is built from a predicted-availability table:
+every producer is assumed to deliver at its nominal latency (loads at the
+L1 hit latency).  Latency mispredictions (cache misses) are absorbed by the
+issue buffer — which is exactly the inflexibility the segmented IQ's
+dynamic chains are designed to avoid: a late instruction still occupies a
+precious issue-buffer slot.
+
+Configured as in the paper: a 32-entry issue buffer and 12 instructions per
+array line; the paper's four sizes use 8/24/56/120 lines.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.common.params import IQParams
+from repro.common.stats import StatGroup
+from repro.core.iq_base import IQEntry, InstructionQueue, Operand
+from repro.isa.instruction import DynInst
+
+#: Predicted load latency (EA calculation + L1 hit), as for the chains.
+PREDICTED_LOAD_LATENCY = 4
+
+#: entry.segment value marking "still in the scheduling array".
+IN_ARRAY = -2
+#: entry.segment value marking "in the issue buffer".
+IN_BUFFER = 0
+
+
+class PreschedulingIQ(InstructionQueue):
+    """Scheduling array + issue buffer, drained one line per cycle."""
+
+    def __init__(self, params: IQParams, issue_width: int,
+                 stats: StatGroup) -> None:
+        super().__init__(params.size)
+        params.validate()
+        self.params = params
+        self.issue_width = issue_width
+        self.buffer_capacity = params.presched_issue_buffer
+        self.line_width = params.presched_line_width
+        self.num_lines = (params.size - self.buffer_capacity) // self.line_width
+        # rows[0] is the oldest (next to drain); base_cycle is the predicted
+        # issue cycle rows[0] currently corresponds to.
+        self._rows: Deque[List[IQEntry]] = deque(
+            [] for _ in range(self.num_lines))
+        self._base_cycle = 0
+        self._buffer_count = 0
+        self._array_count = 0
+        # Predicted availability of each architected register.
+        self._predicted_ready: Dict[int, int] = {}
+        # Issue scheduling over the buffer (actual readiness).
+        self._pending: List = []
+        self._ready: List = []
+        self.now = 0
+
+        self.stat_dispatched = stats.counter("iq.dispatched")
+        self.stat_issued = stats.counter("iq.issued")
+        self.stat_array_stalls = stats.counter(
+            "presched.array_stalls", "cycles the array could not drain")
+        self.stat_overflow_placements = stats.counter(
+            "presched.overflow_placements",
+            "instructions placed later than their predicted line")
+        self.stat_occupancy = stats.distribution("iq.occupancy")
+        self.stat_buffer_occupancy = stats.distribution(
+            "presched.buffer_occupancy")
+
+    # ------------------------------------------------------------ space --
+    @property
+    def occupancy(self) -> int:
+        return self._buffer_count + self._array_count
+
+    def _target_row(self, inst: DynInst) -> Optional[int]:
+        """Row index for the instruction's predicted issue cycle, adjusted
+        forward past full rows; None if the array has no room."""
+        predicted = self._predicted_issue(inst)
+        index = max(0, predicted - self._base_cycle)
+        index = min(index, self.num_lines - 1)
+        for row in range(index, self.num_lines):
+            if len(self._rows[row]) < self.line_width:
+                return row
+        return None
+
+    def can_dispatch(self, inst: DynInst) -> bool:
+        return self._target_row(inst) is not None
+
+    # --------------------------------------------------------- planning --
+    @staticmethod
+    def _reg_key(inst: DynInst, reg: int) -> int:
+        return inst.thread * 64 + reg
+
+    def _predicted_issue(self, inst: DynInst) -> int:
+        regs = inst.srcs[:1] if inst.is_mem else inst.srcs
+        predicted = self.now + 1
+        for reg in regs:
+            if reg == 0:
+                continue
+            ready = self._predicted_ready.get(self._reg_key(inst, reg))
+            if ready is not None and ready > predicted:
+                predicted = ready
+        return predicted
+
+    def _own_latency(self, inst: DynInst) -> int:
+        if inst.is_load:
+            return PREDICTED_LOAD_LATENCY
+        return inst.static.info.latency
+
+    # --------------------------------------------------------- dispatch --
+    def dispatch(self, inst: DynInst, operands: List[Operand],
+                 now: int) -> IQEntry:
+        self.now = now
+        row = self._target_row(inst)
+        if row is None:
+            from repro.common.errors import SimulationError
+            raise SimulationError("dispatch into a full prescheduling array")
+        predicted = self._predicted_issue(inst)
+        natural = max(0, predicted - self._base_cycle)
+        if row > natural:
+            self.stat_overflow_placements.inc()
+        entry = IQEntry(inst, operands)
+        entry.segment = IN_ARRAY
+        entry.queue_cycle = now
+        self._rows[row].append(entry)
+        self._array_count += 1
+        self.register_operand_wakeups(entry)
+        if inst.dest is not None and inst.dest != 0:
+            self._predicted_ready[self._reg_key(inst, inst.dest)] = (
+                max(predicted, self._base_cycle + row)
+                + self._own_latency(inst))
+        self.stat_dispatched.inc()
+        return entry
+
+    # ----------------------------------------------------------- wakeup --
+    def on_entry_ready_known(self, entry: IQEntry) -> None:
+        if entry.segment == IN_BUFFER and not entry.issued:
+            heapq.heappush(self._pending,
+                           (entry.ready_cycle, entry.seq, entry))
+
+    # ------------------------------------------------------------ cycle --
+    def cycle(self, now: int) -> None:
+        """Drain the oldest line into the issue buffer."""
+        self.now = now
+        head = self._rows[0]
+        moved = 0
+        while head and self._buffer_count < self.buffer_capacity:
+            entry = head.pop(0)
+            self._enter_buffer(entry, now)
+            moved += 1
+        if head:
+            self.stat_array_stalls.inc()
+        else:
+            self._rows.popleft()
+            self._rows.append([])
+            self._base_cycle += 1
+        self.stat_occupancy.sample(self.occupancy)
+        self.stat_buffer_occupancy.sample(self._buffer_count)
+
+    def _enter_buffer(self, entry: IQEntry, now: int) -> None:
+        entry.segment = IN_BUFFER
+        self._array_count -= 1
+        self._buffer_count += 1
+        if entry.all_sources_known:
+            heapq.heappush(self._pending,
+                           (max(entry.ready_cycle, now + 1), entry.seq,
+                            entry))
+
+    # ------------------------------------------------------------ issue --
+    def select_issue(self, now: int, acquire_fu) -> List[IQEntry]:
+        self.now = now
+        while self._pending and self._pending[0][0] <= now:
+            _, seq, entry = heapq.heappop(self._pending)
+            if entry.segment == IN_BUFFER and not entry.issued:
+                heapq.heappush(self._ready, (seq, entry))
+
+        issued: List[IQEntry] = []
+        blocked: List = []
+        while self._ready and len(issued) < self.issue_width:
+            seq, entry = heapq.heappop(self._ready)
+            if acquire_fu(entry.inst):
+                entry.issued = True
+                self._buffer_count -= 1
+                issued.append(entry)
+            else:
+                blocked.append((seq, entry))
+        for item in blocked:
+            heapq.heappush(self._ready, item)
+        self.stat_issued.inc(len(issued))
+        return issued

@@ -1,0 +1,14 @@
+"""The paper's segmented dependence-chain instruction queue."""
+
+from repro.core.segmented.chains import Chain, ChainManager
+from repro.core.segmented.links import (NEVER, ChainLink, CountdownLink,
+                                        combined_delay, combined_eligible_at)
+from repro.core.segmented.queue import PREDICTED_LOAD_LATENCY, SegmentedIQ
+from repro.core.segmented.register_info import RegisterInfoTable, RITEntry
+from repro.core.segmented.segment import Segment, SegmentState
+
+__all__ = [
+    "Chain", "ChainLink", "ChainManager", "CountdownLink", "NEVER",
+    "PREDICTED_LOAD_LATENCY", "RITEntry", "RegisterInfoTable", "Segment",
+    "SegmentState", "SegmentedIQ", "combined_delay", "combined_eligible_at",
+]

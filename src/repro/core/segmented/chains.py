@@ -1,0 +1,202 @@
+"""Dependence chains and the chain-wire pool (paper sections 3.2-3.4).
+
+A *chain* is a subtree of the data dependence graph rooted at a head
+instruction (typically a load).  Members hold their delay values as a fixed
+latency ``dh`` behind the head; the head broadcasts status changes on its
+chain wire:
+
+* while the head is queued, a member's delay is ``2 * head_segment + dh``
+  (two cycles per segment the head must still descend);
+* once the head issues, the chain enters *self-timed* mode and member delays
+  count down one per cycle;
+* a variable-latency head (a load that misses) *suspends* self-timing when
+  the miss is detected and *resumes* it when the data returns.
+
+Modelling note: the hardware pipelines chain-wire assertions one segment per
+cycle; this model applies them with the algebra above (i.e. instantaneous
+wires).  The paper itself observes that dispatch-stage delay values "do not
+compensate for the latencies of pipelining the chain promotion wires", so
+the instantaneous-wire model matches the *intended* delay-value semantics.
+DESIGN.md records this simplification.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.common.errors import SimulationError
+from repro.common.stats import StatGroup
+from repro.isa.instruction import DynInst
+
+
+class Chain:
+    """One dependence chain: head status plus the member notification list."""
+
+    __slots__ = ("chain_id", "head", "head_segment", "head_latency",
+                 "issued_cycle", "suspended_since", "suspended_accum",
+                 "freed", "members", "cluster")
+
+    def __init__(self, chain_id: int, head: DynInst, head_segment: int,
+                 head_latency: int = 0) -> None:
+        self.chain_id = chain_id
+        self.head = head
+        self.head_segment = head_segment
+        #: Predicted latency of the head's value from its issue; members'
+        #: dh values are at least this.  Used for the resume catch-up.
+        self.head_latency = head_latency
+        self.issued_cycle: Optional[int] = None
+        self.suspended_since: Optional[int] = None
+        self.suspended_accum = 0
+        self.freed = False
+        # Execution cluster the chain is bound to (section-7 clustering:
+        # "chains seem to form a natural unit for assignment to
+        # function-unit clusters").  Inherited from the head.
+        self.cluster = head.cluster
+        # Callbacks invoked on every chain status change so member entries
+        # can reschedule their promotion eligibility.
+        self.members: List[Callable[[], None]] = []
+
+    # ------------------------------------------------------------ state --
+    @property
+    def issued(self) -> bool:
+        return self.issued_cycle is not None
+
+    @property
+    def suspended(self) -> bool:
+        return self.suspended_since is not None
+
+    def self_elapsed(self, now: int) -> int:
+        """Cycles of self-timed countdown accumulated since head issue."""
+        if self.issued_cycle is None:
+            return 0
+        elapsed = now - self.issued_cycle - self.suspended_accum
+        if self.suspended_since is not None:
+            elapsed -= now - self.suspended_since
+        return max(0, elapsed)
+
+    def member_delay(self, dh: int, now: int) -> int:
+        """Current delay value of a member ``dh`` behind the head."""
+        if self.issued_cycle is None:
+            return 2 * self.head_segment + dh
+        return max(0, dh - self.self_elapsed(now))
+
+    def delay_is_static(self) -> bool:
+        """True when member delays do not change with time (head queued or
+        chain suspended)."""
+        return self.issued_cycle is None or self.suspended_since is not None
+
+    # ----------------------------------------------------------- events --
+    def on_head_promoted(self, new_segment: int) -> None:
+        self.head_segment = new_segment
+        self._notify()
+
+    def on_head_issued(self, now: int) -> None:
+        if self.issued_cycle is None:
+            self.issued_cycle = now
+            self.head_segment = 0
+            self._notify()
+
+    def suspend(self, now: int) -> None:
+        """Head will not complete on schedule (cache miss detected)."""
+        if self.issued_cycle is None or self.suspended_since is not None:
+            return
+        self.suspended_since = now
+        self._notify()
+
+    def resume(self, now: int) -> None:
+        """Head completed; members resume counting down.
+
+        The head's completion certifies that its own latency has fully
+        elapsed, so members are credited up to ``head_latency`` cycles of
+        self-timing: a direct consumer (dh == head_latency) lands at delay
+        zero the moment the data returns, while deeper members keep the
+        remaining dependence-path latency.  This models the intended
+        semantics of the paper's final resume signal — without it, the
+        delay frozen at suspend time would lag every consumer's issue by
+        the unelapsed portion of the predicted load latency.
+        """
+        if self.suspended_since is None:
+            return
+        self.suspended_accum += now - self.suspended_since
+        self.suspended_since = None
+        shortfall = self.head_latency - self.self_elapsed(now)
+        if shortfall > 0:
+            self.suspended_accum -= shortfall
+        self._notify()
+
+    def _notify(self) -> None:
+        members, self.members = self.members, []
+        kept = []
+        for callback in members:
+            if callback():
+                kept.append(callback)
+        # Callbacks return True to stay subscribed.
+        self.members = kept + self.members
+
+    def subscribe(self, callback: Callable[[], bool]) -> None:
+        self.members.append(callback)
+
+    def __repr__(self) -> str:
+        state = ("suspended" if self.suspended
+                 else "self-timed" if self.issued else "queued")
+        return (f"Chain({self.chain_id} head=#{self.head.seq} "
+                f"seg={self.head_segment} {state})")
+
+
+class ChainManager:
+    """Allocates chain wires; tracks usage statistics for Table 2."""
+
+    def __init__(self, max_chains: Optional[int], stats: StatGroup) -> None:
+        self.max_chains = max_chains
+        self._active: dict = {}       # chain_id -> Chain
+        self._next_id = 0
+        self._free_ids: List[int] = []
+        self.stat_allocated = stats.counter("chains.allocated")
+        self.stat_alloc_failures = stats.counter(
+            "chains.alloc_failures", "chain-head dispatches stalled: no wire")
+        self.stat_in_use = stats.distribution(
+            "chains.in_use", "active chains, sampled each cycle")
+        self.peak_in_use = 0
+
+    @property
+    def active_count(self) -> int:
+        return len(self._active)
+
+    def has_free(self) -> bool:
+        return self.max_chains is None or len(self._active) < self.max_chains
+
+    def allocate(self, head: DynInst, head_segment: int,
+                 head_latency: int = 0) -> Optional[Chain]:
+        """Create a chain rooted at ``head``; None if no wire is free."""
+        if not self.has_free():
+            self.stat_alloc_failures.inc()
+            return None
+        if self._free_ids:
+            chain_id = self._free_ids.pop()
+        else:
+            chain_id = self._next_id
+            self._next_id += 1
+        chain = Chain(chain_id, head, head_segment, head_latency)
+        self._active[chain_id] = chain
+        self.stat_allocated.inc()
+        if len(self._active) > self.peak_in_use:
+            self.peak_in_use = len(self._active)
+        return chain
+
+    def free(self, chain: Chain) -> None:
+        """Return the chain's wire to the pool (at head writeback).
+
+        The Chain object stays alive for members still counting down; only
+        the wire (the ID) is recycled.
+        """
+        if chain.freed:
+            return
+        chain.freed = True
+        removed = self._active.pop(chain.chain_id, None)
+        if removed is None:
+            raise SimulationError(f"double free of chain {chain.chain_id}")
+        self._free_ids.append(chain.chain_id)
+
+    def sample(self) -> None:
+        """Record current usage (called once per cycle)."""
+        self.stat_in_use.sample(len(self._active))

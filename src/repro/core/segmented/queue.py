@@ -1,0 +1,588 @@
+"""The segmented dependence-chain instruction queue (the paper's design).
+
+The IQ is a pipeline of small segments.  Instructions dispatch into the top
+(bypassing leading empty segments, section 4.2), carry *delay values*
+maintained through dependence chains (sections 3.1-3.3), promote downward
+as their delay drops below each segment threshold, and issue out of segment
+0 — which schedules on *actual* operand readiness, exactly like a small
+conventional IQ.  Enhancements: pushdown (4.1), hit/miss and left/right
+predictors (4.3-4.4), and deadlock detection/recovery (4.5).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import SimulationError
+from repro.common.params import IQParams
+from repro.common.stats import StatGroup
+from repro.core.iq_base import IQEntry, InstructionQueue, Operand
+from repro.core.predictors import HitMissPredictor, LeftRightPredictor
+from repro.core.segmented.chains import Chain, ChainManager
+from repro.core.segmented.links import (ChainLink, CountdownLink,
+                                        combined_delay)
+from repro.core.segmented.register_info import RegisterInfoTable
+from repro.core.segmented.segment import Segment, SegmentState
+
+#: Predicted latency of a load from IQ issue: 1-cycle EA calculation plus
+#: the L1 data-cache hit latency (3 cycles in Table 1).
+PREDICTED_LOAD_LATENCY = 4
+
+
+class DispatchPlan:
+    """Chain assignment decided for one instruction at dispatch."""
+
+    __slots__ = ("links", "needs_chain", "lrp_choice", "lrp_consulted",
+                 "head_latency")
+
+    def __init__(self, links, needs_chain, lrp_choice, lrp_consulted,
+                 head_latency) -> None:
+        self.links = links
+        self.needs_chain = needs_chain
+        self.lrp_choice = lrp_choice
+        self.lrp_consulted = lrp_consulted
+        self.head_latency = head_latency
+
+
+class SegmentedIQ(InstructionQueue):
+    """Segmented IQ with chain-based promotion."""
+
+    def __init__(self, params: IQParams, issue_width: int,
+                 stats: StatGroup) -> None:
+        super().__init__(params.size)
+        params.validate()
+        self.params = params
+        self.issue_width = issue_width
+        self.stats = stats
+        step = params.threshold_step
+        self.num_segments = params.num_segments
+        # Segment j admits instructions with delay < step*(j+1); promotion
+        # out of segment k therefore requires delay < step*k.
+        self.segments = [Segment(j, params.segment_size, step * j)
+                         for j in range(self.num_segments)]
+        self.chains = ChainManager(params.max_chains, stats)
+        self.rit = RegisterInfoTable()
+        self.hmp = (HitMissPredictor(stats,
+                                     counter_bits=params.hmp_counter_bits,
+                                     confidence=params.hmp_confidence)
+                    if params.use_hit_miss_predictor else None)
+        self.lrp = (LeftRightPredictor(stats)
+                    if params.use_left_right_predictor else None)
+
+        self.now = 0
+        self.in_flight = 0          # set by the processor each cycle
+        self.blocked_on_chain = False
+        self._occupancy = 0
+        self._head_chains: Dict[int, Chain] = {}   # head seq -> chain
+        self._plan_cache: Dict[int, DispatchPlan] = {}
+        # Segment-0 issue scheduling on actual readiness.
+        self._pending0: List = []   # heap (ready_cycle, seq, entry)
+        self._ready0: List = []     # heap (seq, entry)
+        # Destination free-slot counts as of the end of the previous cycle.
+        self._free_prev = [params.segment_size] * self.num_segments
+        self._issued_this_cycle = False
+        self._promoted_this_cycle = False
+        self._last_issue_cycle = 0
+        # Dynamic resizing (section 7): dispatch is restricted to the
+        # bottom `active_segments`; gated segments drain naturally.
+        self.active_segments = self.num_segments
+        self._full_refusals = 0
+
+        self.stat_dispatched = stats.counter("iq.dispatched")
+        self.stat_issued = stats.counter("iq.issued")
+        self.stat_promotions = stats.counter("iq.promotions")
+        self.stat_pushdowns = stats.counter(
+            "iq.pushdowns", "promotions forced by the pushdown rule")
+        self.stat_bypass = stats.counter(
+            "iq.bypass_dispatches", "dispatches that bypassed empty segments")
+        self.stat_two_chain = stats.counter(
+            "iq.two_chain_instructions",
+            "instructions with two outstanding operands in different chains")
+        self.stat_chain_heads = stats.counter("iq.chain_heads")
+        self.stat_deadlocks = stats.counter("iq.deadlock_recoveries")
+        self.stat_recycles = stats.counter(
+            "iq.deadlock_recycles", "segment-0 entries recycled to the top")
+        self.stat_resize_grow = stats.counter("iq.resize_grow")
+        self.stat_resize_shrink = stats.counter("iq.resize_shrink")
+        self.stat_threshold_refits = stats.counter(
+            "iq.threshold_refits", "adaptive-threshold recomputations")
+        self.stat_powered = stats.counter(
+            "iq.powered_segment_cycles",
+            "sum over cycles of segments that are active or still draining")
+        self.stat_active_segments = stats.distribution("iq.active_segments")
+        self.stat_occupancy = stats.distribution("iq.occupancy")
+        self.stat_seg0_ready = stats.distribution(
+            "iq.seg0_ready", "issue-ready instructions in segment 0")
+
+    # ------------------------------------------------------------ space --
+    @property
+    def occupancy(self) -> int:
+        return self._occupancy
+
+    def _dispatch_target(self) -> Optional[Segment]:
+        """Pick the dispatch segment (with empty-segment bypass, 4.2).
+
+        Dispatch inserts into the highest non-empty segment (the bypass
+        wires skip the leading run of empty segments); if that segment is
+        full, the empty segment just above it is used.  Without bypass,
+        dispatch always targets the top segment.
+        """
+        active = self.segments[:self.active_segments]
+        top = active[-1]
+        if not self.params.enable_bypass:
+            if top.is_full:
+                self._full_refusals += 1
+                return None
+            return top
+        highest = None
+        for segment in reversed(active):
+            if not segment.is_empty:
+                highest = segment
+                break
+        if highest is None:
+            return active[0]
+        if not highest.is_full:
+            return highest
+        if highest.index + 1 < self.active_segments:
+            return self.segments[highest.index + 1]
+        self._full_refusals += 1
+        return None
+
+    # --------------------------------------------------------- planning --
+    def _plan(self, inst, now: int) -> DispatchPlan:
+        """Decide chain membership / creation for ``inst`` (cached so that
+        can_dispatch and dispatch agree and predictors are consulted once).
+        """
+        cached = self._plan_cache.get(inst.seq)
+        if cached is not None:
+            return cached
+
+        iq_regs = inst.srcs[:1] if inst.is_mem else inst.srcs
+        links = []
+        for reg in iq_regs:
+            if reg == 0:
+                continue
+            link = self.rit.link_for(self._reg_key(inst, reg), now)
+            if link is not None:
+                links.append(link)
+
+        lrp_choice = -1
+        lrp_consulted = False
+        two_distinct_chains = (
+            len(links) == 2
+            and isinstance(links[0], ChainLink)
+            and isinstance(links[1], ChainLink)
+            and links[0].chain is not links[1].chain)
+        if two_distinct_chains:
+            self.stat_two_chain.inc()
+
+        if self.lrp is not None and len(links) == 2:
+            lrp_choice = self.lrp.predict_later(inst.pc)
+            lrp_consulted = True
+            links = [links[lrp_choice]]
+
+        needs_chain = False
+        head_latency = 0
+        if inst.is_load:
+            predicted_hit = (self.hmp is not None
+                             and self.hmp.predict_hit(inst.pc, inst.seq))
+            if not predicted_hit:
+                needs_chain = True
+                head_latency = PREDICTED_LOAD_LATENCY
+        elif two_distinct_chains and self.lrp is None:
+            # Base design: two-chain instructions become chain heads (3.4).
+            needs_chain = True
+            head_latency = inst.static.info.latency
+
+        plan = DispatchPlan(links, needs_chain, lrp_choice, lrp_consulted,
+                            head_latency)
+        self._plan_cache[inst.seq] = plan
+        return plan
+
+    def preferred_cluster(self, inst, now: int):
+        """Cluster of the chain this instruction will follow, if any
+        (section-7 clustering: members execute beside their chain head)."""
+        plan = self._plan(inst, now)
+        chain_links = [link for link in plan.links
+                       if isinstance(link, ChainLink)]
+        if not chain_links:
+            return None
+        governing = max(chain_links, key=lambda l: l.dh)
+        return governing.chain.cluster
+
+    def can_dispatch(self, inst) -> bool:
+        self.blocked_on_chain = False
+        if self._dispatch_target() is None:
+            return False
+        plan = self._plan(inst, self.now)
+        if plan.needs_chain and not self.chains.has_free():
+            self.blocked_on_chain = True
+            self.chains.stat_alloc_failures.inc()
+            return False
+        return True
+
+    # --------------------------------------------------------- dispatch --
+    def dispatch(self, inst, operands: List[Operand], now: int) -> IQEntry:
+        plan = self._plan_cache.pop(inst.seq, None)
+        if plan is None:
+            plan = self._plan(inst, now)
+            del self._plan_cache[inst.seq]
+        target = self._dispatch_target()
+        if target is None:
+            raise SimulationError("dispatch into a full segmented IQ")
+        if target.index < self.num_segments - 1:
+            self.stat_bypass.inc()
+
+        chain = None
+        if plan.needs_chain:
+            chain = self.chains.allocate(inst, target.index,
+                                         plan.head_latency)
+            if chain is None:
+                raise SimulationError("dispatch without a free chain wire")
+            self._head_chains[inst.seq] = chain
+            self.stat_chain_heads.inc()
+
+        entry = IQEntry(inst, operands)
+        entry.queue_cycle = now
+        state = SegmentState(plan.links, chain)
+        state.lrp_choice = plan.lrp_choice
+        state.lrp_consulted = plan.lrp_consulted
+        entry.chain_state = state
+        self.register_operand_wakeups(entry)
+        self._subscribe_to_chains(entry)
+        target.insert(entry, now)
+        self._occupancy += 1
+        self.stat_dispatched.inc()
+        if target.index == 0 and entry.all_sources_known:
+            heapq.heappush(self._pending0,
+                           (max(entry.ready_cycle, now + 1), entry.seq, entry))
+        self._update_rit(inst, plan, chain, now)
+        return entry
+
+    def _subscribe_to_chains(self, entry: IQEntry) -> None:
+        for link in entry.chain_state.links:
+            if isinstance(link, ChainLink):
+                link.chain.subscribe(
+                    lambda entry=entry: self._on_chain_event(entry))
+
+    def _on_chain_event(self, entry: IQEntry) -> bool:
+        """A chain this entry follows changed state; reschedule eligibility.
+        Returns False once the entry has issued (unsubscribe)."""
+        if entry.issued:
+            return False
+        if entry.segment > 0:
+            self.segments[entry.segment].schedule(entry, self.now)
+        return True
+
+    @staticmethod
+    def _reg_key(inst, reg: int) -> int:
+        """RIT key for an architected register: per-thread namespaces so
+        SMT threads never alias each other's registers."""
+        return inst.thread * 64 + reg
+
+    def _update_rit(self, inst, plan: DispatchPlan, chain: Optional[Chain],
+                    now: int) -> None:
+        dest = inst.dest
+        if dest is None or dest == 0:
+            return
+        dest_key = self._reg_key(inst, dest)
+        own_latency = (PREDICTED_LOAD_LATENCY if inst.is_load
+                       else inst.static.info.latency)
+        if chain is not None:
+            self.rit.set_chained(dest_key, inst, chain, plan.head_latency)
+            return
+        chain_links = [link for link in plan.links
+                       if isinstance(link, ChainLink)]
+        if chain_links:
+            # Follow the (single) producing chain; the consumer's value
+            # trails the head by the operand's latency plus this op.
+            link = max(chain_links, key=lambda l: l.dh)
+            self.rit.set_chained(dest_key, inst, link.chain,
+                                 link.dh + own_latency)
+            return
+        ready = now + 1
+        for link in plan.links:
+            ready = max(ready, link.ready_at)
+        self.rit.set_countdown(dest_key, inst, ready + own_latency)
+
+    # ----------------------------------------------------------- wakeup --
+    def on_entry_ready_known(self, entry: IQEntry) -> None:
+        if entry.segment == 0 and not entry.issued:
+            heapq.heappush(self._pending0,
+                           (entry.ready_cycle, entry.seq, entry))
+
+    # ------------------------------------------------------------ issue --
+    def select_issue(self, now: int, acquire_fu) -> List[IQEntry]:
+        self.now = now
+        self._issued_this_cycle = False
+        while self._pending0 and self._pending0[0][0] <= now:
+            _, seq, entry = heapq.heappop(self._pending0)
+            if entry.segment == 0 and not entry.issued:
+                heapq.heappush(self._ready0, (seq, entry))
+        self.stat_seg0_ready.sample(len(self._ready0))
+
+        issued: List[IQEntry] = []
+        blocked: List = []
+        while self._ready0 and len(issued) < self.issue_width:
+            seq, entry = heapq.heappop(self._ready0)
+            if entry.segment != 0 or entry.issued:
+                continue           # recycled by deadlock recovery
+            if acquire_fu(entry.inst):
+                self._do_issue(entry, now)
+                issued.append(entry)
+            else:
+                blocked.append((seq, entry))
+        for item in blocked:
+            heapq.heappush(self._ready0, item)
+        if issued:
+            self._issued_this_cycle = True
+        self.stat_issued.inc(len(issued))
+        return issued
+
+    def _do_issue(self, entry: IQEntry, now: int) -> None:
+        entry.issued = True
+        self.segments[0].remove(entry)
+        self._occupancy -= 1
+        state = entry.chain_state
+        if state.own_chain is not None:
+            state.own_chain.on_head_issued(now)
+        if state.lrp_consulted and self.lrp is not None:
+            ops = entry.operands
+            if len(ops) == 2:
+                self.lrp.train(entry.inst.pc,
+                               ops[0].ready_cycle or 0,
+                               ops[1].ready_cycle or 0,
+                               state.lrp_choice)
+
+    # -------------------------------------------------------- promotion --
+    def cycle(self, now: int) -> None:
+        self.now = now
+        self._promoted_this_cycle = False
+        width = self.issue_width
+        for k in range(1, self.num_segments):
+            source = self.segments[k]
+            dest = self.segments[k - 1]
+            capacity = min(width, self._free_prev[k - 1], dest.free)
+            if capacity <= 0:
+                continue
+            eligible = source.pop_eligible(now)
+            promoted = eligible[:capacity]
+            leftovers = eligible[capacity:]
+            source.push_back(leftovers, now)
+            for entry in promoted:
+                self._promote(entry, source, dest, now)
+            # Pushdown (4.1): a nearly-full segment may push its oldest
+            # ineligible instructions into an amply-free segment below.
+            if (self.params.enable_pushdown
+                    and len(promoted) < capacity
+                    and source.free < width
+                    and self._free_prev[k - 1] > 1.5 * width):
+                room = capacity - len(promoted)
+                for entry in source.oldest_ineligible(now, min(room, width)):
+                    if dest.free <= 0:
+                        break
+                    self._promote(entry, source, dest, now, pushdown=True)
+
+        self._check_deadlock(now)
+        for index, segment in enumerate(self.segments):
+            self._free_prev[index] = segment.free
+        self.chains.sample()
+        self.stat_occupancy.sample(self._occupancy)
+        if self.params.dynamic_resize:
+            self._resize_controller(now)
+        if (self.params.adaptive_thresholds and now
+                and now % self.params.threshold_update_interval == 0):
+            self._refit_thresholds(now)
+
+    def _refit_thresholds(self, now: int) -> None:
+        """Adaptive thresholds (the section-4.1 alternative to pushdown):
+        refit each segment's admission threshold to the quantiles of the
+        current delay distribution, so occupancy spreads evenly however
+        skewed the delays are.  Segment 0 keeps the fixed threshold of 2
+        (the back-to-back issue requirement)."""
+        delays = sorted(
+            combined_delay(entry.chain_state.links, now)
+            for segment in self.segments
+            for entry in segment.occupants.values())
+        if len(delays) < self.num_segments:
+            return
+        step = self.params.threshold_step
+        # threshold(j) is the admission bound of segment j; segment k's
+        # promote gate (k -> k-1) is threshold(k-1).  Segment 0's bound
+        # stays at `step`.
+        previous = step
+        thresholds = [step]
+        for j in range(1, self.num_segments):
+            quantile = delays[min(len(delays) - 1,
+                                  (j * len(delays)) // self.num_segments)]
+            threshold = max(previous + 1, quantile + 1)
+            thresholds.append(threshold)
+            previous = threshold
+        for k in range(1, self.num_segments):
+            self.segments[k].promote_threshold = thresholds[k - 1]
+        self.stat_threshold_refits.inc()
+        # Eligibility caches depend on thresholds: recompute everything.
+        for segment in self.segments[1:]:
+            for entry in list(segment.occupants.values()):
+                segment.schedule(entry, now)
+
+    # ---------------------------------------------------------- resizing --
+    def _highest_powered(self) -> int:
+        """Index just past the last segment that must stay clocked: the
+        active region plus any gated segments still draining."""
+        powered = self.active_segments
+        for index in range(self.num_segments - 1, self.active_segments - 1,
+                           -1):
+            if not self.segments[index].is_empty:
+                powered = index + 1
+                break
+        return powered
+
+    def _resize_controller(self, now: int) -> None:
+        """Occupancy-driven power gating (paper section 7).
+
+        Grow when dispatch recently stalled on a full active region;
+        shrink when the active region runs well under the low watermark.
+        """
+        powered = self._highest_powered()
+        self.stat_powered.inc(powered)
+        self.stat_active_segments.sample(self.active_segments)
+        if now == 0 or now % self.params.resize_interval:
+            return
+        if self._full_refusals > 0:
+            if self.active_segments < self.num_segments:
+                self.active_segments += 1
+                self.stat_resize_grow.inc()
+        else:
+            capacity = self.active_segments * self.params.segment_size
+            low = self.params.resize_low_watermark * capacity
+            if (self._occupancy < low
+                    and self.active_segments > self.params.min_active_segments):
+                self.active_segments -= 1
+                self.stat_resize_shrink.inc()
+        self._full_refusals = 0
+
+    def _promote(self, entry: IQEntry, source: Segment, dest: Segment,
+                 now: int, pushdown: bool = False) -> None:
+        source.remove(entry)
+        dest.insert(entry, now)
+        self._promoted_this_cycle = True
+        self.stat_promotions.inc()
+        if pushdown:
+            self.stat_pushdowns.inc()
+        state = entry.chain_state
+        if state.own_chain is not None and not state.own_chain.issued:
+            state.own_chain.on_head_promoted(dest.index)
+        if dest.index == 0 and entry.all_sources_known:
+            heapq.heappush(self._pending0,
+                           (max(entry.ready_cycle, now + 1), entry.seq,
+                            entry))
+
+    # ---------------------------------------------------------- deadlock --
+    #: Cycles without any issue *or commit* before recovery fires even
+    #: while other activity (promotions, outstanding loads) continues.
+    #: Backstops livelocks the paper's strict condition cannot see.  Set
+    #: above the main-memory round trip so an ordinary miss stall (during
+    #: which commits pause for ~110 cycles) never triggers it.
+    NO_ISSUE_PATIENCE = 160
+
+    def _check_deadlock(self, now: int) -> None:
+        """Detect and break resource deadlock (paper section 4.5).
+
+        The paper's condition: the IQ is not empty, nothing issued or
+        promoted, and nothing is in execution.  We add a patience-based
+        backstop for livelock (e.g. pushdown churn with a wedged segment
+        0, which arises from left/right-predictor misassignment exactly
+        as section 4.5 describes).
+        """
+        if self._issued_this_cycle:
+            self._last_issue_cycle = now
+        if self._occupancy == 0:
+            self._last_issue_cycle = now
+            return
+        strict = (not self._issued_this_cycle
+                  and not self._promoted_this_cycle
+                  and self.in_flight == 0)
+        progress = max(self._last_issue_cycle, self.last_commit_cycle)
+        patience_expired = now - progress > self.NO_ISSUE_PATIENCE
+        if not strict and not patience_expired:
+            return
+        self._recover(now)
+
+    def _recover(self, now: int) -> None:
+        """One recovery cycle: every full segment evicts one instruction
+        simultaneously (a circular shift when everything is full), so each
+        segment is guaranteed a free entry next cycle."""
+        self.stat_deadlocks.inc()
+        moves = []       # (entry, destination segment)
+        seg0 = self.segments[0]
+        top = self.segments[self._highest_powered() - 1]
+        if seg0.is_full and top is not seg0:
+            # Segment 0 full of non-ready instructions: recycle the
+            # youngest back to the top (highest powered) segment.
+            youngest = max(seg0.occupants.values(), key=lambda e: e.seq)
+            moves.append((youngest, top))
+            self.stat_recycles.inc()
+        for k in range(1, self.num_segments):
+            source = self.segments[k]
+            if not source.is_full:
+                continue
+            eligible = source.pop_eligible(now)
+            if eligible:
+                victim = eligible[0]
+                source.push_back(eligible[1:], now)
+            else:
+                candidates = source.oldest_ineligible(now, 1)
+                if not candidates:
+                    candidates = sorted(source.occupants.values(),
+                                        key=lambda e: e.seq)[:1]
+                victim = candidates[0]
+            moves.append((victim, self.segments[k - 1]))
+        # Remove everything first, then insert: the simultaneous shift
+        # works even when every segment is full.
+        for entry, dest in moves:
+            self.segments[entry.segment].remove(entry)
+        for entry, dest in moves:
+            self._place_recovered(entry, dest, now)
+        if moves:
+            self._promoted_this_cycle = True
+            self._last_issue_cycle = now     # restart the patience clock
+
+    def _place_recovered(self, entry: IQEntry, dest: Segment,
+                         now: int) -> None:
+        dest.insert(entry, now)
+        state = entry.chain_state
+        if state.own_chain is not None and not state.own_chain.issued:
+            state.own_chain.on_head_promoted(dest.index)
+        if dest.index == 0 and entry.all_sources_known:
+            heapq.heappush(self._pending0,
+                           (max(entry.ready_cycle, now + 1), entry.seq,
+                            entry))
+
+    # ------------------------------------------------------------- hooks --
+    def notify_load_miss(self, inst, now: int) -> None:
+        chain = self._head_chains.get(inst.seq)
+        if chain is not None:
+            chain.suspend(now)
+
+    def notify_load_complete(self, inst, now: int) -> None:
+        if self.hmp is not None and inst.mem_level is not None:
+            self.hmp.train(inst.pc, inst.seq, inst.mem_level)
+        chain = self._head_chains.pop(inst.seq, None)
+        if chain is not None:
+            chain.resume(now)
+            self.chains.free(chain)
+
+    def on_writeback(self, inst, now: int) -> None:
+        chain = self._head_chains.pop(inst.seq, None)
+        if chain is not None:
+            self.chains.free(chain)
+
+    # ------------------------------------------------------------- debug --
+    def delay_of(self, entry: IQEntry) -> int:
+        """Current delay value of an entry (for tests and examples)."""
+        return combined_delay(entry.chain_state.links, self.now)
+
+    def segment_occupancies(self) -> List[int]:
+        return [segment.occupancy for segment in self.segments]

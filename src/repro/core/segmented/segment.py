@@ -1,0 +1,118 @@
+"""One segment of the segmented IQ: occupants plus promotion bookkeeping.
+
+Each segment keeps a lazily-invalidated min-heap of (eligible_at, seq)
+so the per-cycle promotion select touches only entries whose delay values
+could actually pass the destination threshold, rather than scanning every
+occupant every cycle.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List
+
+from repro.core.iq_base import IQEntry
+from repro.core.segmented.links import NEVER, combined_eligible_at
+
+
+class SegmentState:
+    """Per-entry segmented-IQ scheduling state (stored in entry.chain_state)."""
+
+    __slots__ = ("links", "own_chain", "eligible_at", "lrp_choice",
+                 "lrp_consulted", "pushdown")
+
+    def __init__(self, links, own_chain) -> None:
+        self.links = links
+        self.own_chain = own_chain
+        self.eligible_at = NEVER
+        self.lrp_choice = -1
+        self.lrp_consulted = False
+        self.pushdown = False      # forced eligible by the pushdown rule
+
+
+class Segment:
+    """A fixed-capacity slice of the IQ with its own select logic."""
+
+    __slots__ = ("index", "capacity", "promote_threshold", "occupants",
+                 "_heap")
+
+    def __init__(self, index: int, capacity: int,
+                 promote_threshold: int) -> None:
+        self.index = index
+        self.capacity = capacity
+        #: Delay must be strictly below this to promote *out of* this
+        #: segment (it is the threshold of the destination segment).
+        self.promote_threshold = promote_threshold
+        self.occupants: Dict[int, IQEntry] = {}
+        self._heap: List = []      # (eligible_at, seq, entry)
+
+    # ------------------------------------------------------------ space --
+    @property
+    def occupancy(self) -> int:
+        return len(self.occupants)
+
+    @property
+    def free(self) -> int:
+        return self.capacity - len(self.occupants)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.occupants
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.occupants) >= self.capacity
+
+    # ------------------------------------------------------- membership --
+    def insert(self, entry: IQEntry, now: int) -> None:
+        entry.segment = self.index
+        self.occupants[entry.seq] = entry
+        if self.index > 0:
+            self.schedule(entry, now)
+
+    def remove(self, entry: IQEntry) -> None:
+        del self.occupants[entry.seq]
+
+    # ------------------------------------------------------ eligibility --
+    def schedule(self, entry: IQEntry, now: int) -> None:
+        """(Re)compute when the entry can promote out of this segment."""
+        state = entry.chain_state
+        when = combined_eligible_at(state.links, self.promote_threshold, now)
+        state.eligible_at = when
+        if when < NEVER:
+            heapq.heappush(self._heap, (when, entry.seq, entry))
+
+    def pop_eligible(self, now: int) -> List[IQEntry]:
+        """All entries currently eligible to promote, oldest first."""
+        eligible = []
+        heap = self._heap
+        while heap and heap[0][0] <= now:
+            when, seq, entry = heapq.heappop(heap)
+            state = entry.chain_state
+            if (entry.issued or entry.segment != self.index
+                    or state.eligible_at != when):
+                continue       # stale heap record
+            # Invalidate so duplicate heap records are skipped; promotion
+            # or push_back will set a fresh value.
+            state.eligible_at = NEVER
+            eligible.append(entry)
+        eligible.sort(key=lambda e: e.seq)
+        return eligible
+
+    def push_back(self, entries, now: int) -> None:
+        """Return unpromoted-but-eligible entries to the heap."""
+        for entry in entries:
+            entry.chain_state.eligible_at = now
+            heapq.heappush(self._heap, (now, entry.seq, entry))
+
+    def oldest_ineligible(self, now: int, count: int) -> List[IQEntry]:
+        """Up to ``count`` oldest occupants that are not currently eligible
+        (candidates for the pushdown mechanism, paper section 4.1)."""
+        candidates = [entry for entry in self.occupants.values()
+                      if entry.chain_state.eligible_at > now]
+        candidates.sort(key=lambda e: e.seq)
+        return candidates[:count]
+
+    def __repr__(self) -> str:
+        return (f"Segment({self.index}, occ={self.occupancy}/"
+                f"{self.capacity})")

@@ -1,0 +1,8 @@
+"""Front-end models: branch prediction, BTB, fetch/decode pipeline."""
+
+from repro.frontend.branch_predictor import HybridBranchPredictor
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.fetch import INST_BYTES, FrontEnd
+
+__all__ = ["BranchTargetBuffer", "FrontEnd", "HybridBranchPredictor",
+           "INST_BYTES"]

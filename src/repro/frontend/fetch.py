@@ -1,0 +1,189 @@
+"""Front-end model: fetch, branch prediction, and the decode pipeline.
+
+The front end is trace-driven: it pulls the *correct-path* dynamic
+instruction stream from the functional simulator.  Branch mispredictions
+therefore cannot inject wrong-path work; instead fetch stalls at a
+mispredicted branch until the branch resolves, which charges the full
+misprediction penalty (resolution delay plus front-end refill) without
+modelling wrong-path cache pollution.  DESIGN.md records this substitution.
+
+Fetched instructions traverse a ``fetch_to_decode + decode_to_dispatch``-
+cycle pipeline (Table 1: 10 + 5 cycles; complex IQs add one more) before the
+dispatch stage may consume them.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Iterator, Optional
+
+from repro.common.events import EventQueue
+from repro.common.params import ProcessorParams
+from repro.common.stats import StatGroup
+from repro.frontend.branch_predictor import HybridBranchPredictor
+from repro.frontend.btb import BranchTargetBuffer
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+from repro.memory.cache import Cache
+from repro.memory.request import MemRequest
+
+#: Instruction size in bytes (for I-cache line geometry: 16 per 64-byte line).
+INST_BYTES = 4
+
+
+class FrontEnd:
+    """Fetches from the dynamic stream and feeds the dispatch stage."""
+
+    def __init__(self, params: ProcessorParams, stream: Iterator[DynInst],
+                 icache: Cache, events: EventQueue, stats: StatGroup) -> None:
+        self.params = params
+        self._stream = stream
+        self._icache = icache
+        self._events = events
+        self._peeked: Optional[DynInst] = None
+        self._stream_done = False
+
+        self.bpred = HybridBranchPredictor(params.branch, stats)
+        self.btb = BranchTargetBuffer(params.branch, stats)
+
+        #: (dispatch_ready_cycle, inst) in fetch order.
+        self._pipeline: Deque = deque()
+        self._buffer_cap = (params.dispatch_pipeline_depth + 4) * params.fetch_width
+
+        # Stall state.
+        self._waiting_branch: Optional[DynInst] = None
+        self._resume_cycle = 0
+        self._icache_stalled = False
+        #: Byte offset of this context's code in the shared I-cache space
+        #: (nonzero under SMT so threads' code lines do not alias).
+        self.code_base = 0
+
+        self.stat_fetched = stats.counter("fetch.instructions")
+        self.stat_fetch_cycles = stats.counter(
+            "fetch.active_cycles", "cycles with at least one fetch")
+        self.stat_branch_stall_cycles = stats.counter(
+            "fetch.branch_stall_cycles", "cycles stalled on a mispredict")
+        self.stat_icache_stall_cycles = stats.counter(
+            "fetch.icache_stall_cycles", "cycles stalled on an I-cache miss")
+        self.stat_buffer_full_cycles = stats.counter(
+            "fetch.buffer_full_cycles", "cycles the decode buffer was full")
+
+    # ------------------------------------------------------------ stream --
+    def _peek(self) -> Optional[DynInst]:
+        if self._peeked is None and not self._stream_done:
+            try:
+                self._peeked = next(self._stream)
+            except StopIteration:
+                self._stream_done = True
+        return self._peeked
+
+    def _take(self) -> DynInst:
+        inst = self._peeked
+        self._peeked = None
+        return inst
+
+    @property
+    def stream_done(self) -> bool:
+        self._peek()
+        return self._stream_done and self._peeked is None
+
+    @property
+    def drained(self) -> bool:
+        return self.stream_done and not self._pipeline
+
+    # ------------------------------------------------------------- fetch --
+    def cycle(self, now: int) -> None:
+        """Fetch up to ``fetch_width`` instructions this cycle."""
+        if self._icache_stalled:
+            self.stat_icache_stall_cycles.inc()
+            return
+        if self._waiting_branch is not None or now < self._resume_cycle:
+            self.stat_branch_stall_cycles.inc()
+            return
+        if len(self._pipeline) >= self._buffer_cap:
+            self.stat_buffer_full_cycles.inc()
+            return
+
+        fetched = 0
+        branches = 0
+        ready_at = now + self.params.dispatch_pipeline_depth
+        while fetched < self.params.fetch_width:
+            inst = self._peek()
+            if inst is None:
+                break
+            if not self._line_available(inst.pc):
+                break
+            if inst.is_control:
+                if branches >= self.params.max_branches_per_fetch:
+                    break
+                branches += 1
+            self._take()
+            inst.fetched_cycle = now
+            self._predict(inst)
+            self._pipeline.append((ready_at, inst))
+            fetched += 1
+            self.stat_fetched.inc()
+            if inst.mispredicted:
+                self._waiting_branch = inst
+                break
+            if inst.static.is_halt:
+                break
+        if fetched:
+            self.stat_fetch_cycles.inc()
+
+    def _line_available(self, pc: int) -> bool:
+        """Check the I-cache for the line holding ``pc``; start a fill and
+        stall fetch if it misses."""
+        addr = self.code_base + pc * INST_BYTES
+        if self._icache.touch(addr):
+            return True
+        self._icache_stalled = True
+        request = MemRequest(addr=addr, on_complete=self._icache_fill_done)
+        if not self._icache.access(request):
+            # No MSHR free: retry next cycle via a scheduled re-check.
+            self._icache_stalled = False
+            return False
+        return False
+
+    def _icache_fill_done(self, request: MemRequest) -> None:
+        self._icache_stalled = False
+
+    def _predict(self, inst: DynInst) -> None:
+        """Run branch prediction and BTB lookups; mark mispredictions."""
+        if inst.static.info.op_class is OpClass.JUMP:
+            # Unconditional: direction is known; the target must be in the
+            # BTB to redirect fetch this cycle.
+            inst.predicted_taken = True
+            if not self.btb.lookup(inst.pc):
+                inst.mispredicted = True
+            self.btb.insert(inst.pc)
+            return
+        if not inst.is_branch:
+            return
+        correct = self.bpred.update(inst.pc, inst.taken)
+        inst.predicted_taken = inst.taken if correct else not inst.taken
+        inst.mispredicted = not correct
+        if inst.taken:
+            if correct and not self.btb.lookup(inst.pc):
+                inst.mispredicted = True
+            self.btb.insert(inst.pc)
+
+    # ---------------------------------------------------------- dispatch --
+    def peek_dispatchable(self, now: int) -> Optional[DynInst]:
+        """The oldest instruction that has cleared the decode pipeline."""
+        if self._pipeline and self._pipeline[0][0] <= now:
+            return self._pipeline[0][1]
+        return None
+
+    def pop_dispatchable(self, now: int) -> Optional[DynInst]:
+        inst = self.peek_dispatchable(now)
+        if inst is not None:
+            self._pipeline.popleft()
+        return inst
+
+    # ------------------------------------------------------- resolutions --
+    def branch_resolved(self, inst: DynInst, cycle: int) -> None:
+        """The core resolved a mispredicted branch; fetch resumes next cycle."""
+        if inst is self._waiting_branch:
+            self._waiting_branch = None
+            self._resume_cycle = cycle + 1

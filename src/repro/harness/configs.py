@@ -1,0 +1,61 @@
+"""Named processor configurations used throughout the evaluation.
+
+These correspond to the configurations of the paper's figures:
+
+* ``ideal(size)``                 — monolithic single-cycle IQ (the top line)
+* ``segmented(size, chains, v)``  — segmented IQ; variant ``v`` is one of
+  ``base`` (no predictors), ``hmp``, ``lrp``, or ``comb`` (both), matching
+  the four bars per group in Figure 2
+* ``prescheduled(lines)``         — Michaud-Seznec prescheduler
+* ``fifo(size)``                  — Palacharla dependence FIFOs (extension)
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.common.params import (IQParams, ProcessorParams, ideal_iq_params,
+                                 prescheduled_iq_params, segmented_iq_params)
+
+#: Figure 2 variant names, in the paper's bar order.
+VARIANTS = ("base", "hmp", "lrp", "comb")
+
+
+def ideal(size: int) -> ProcessorParams:
+    return ProcessorParams().replace(iq=ideal_iq_params(size))
+
+
+def segmented(size: int, max_chains: Optional[int] = 128,
+              variant: str = "comb", *, segment_size: int = 32,
+              pushdown: bool = True, bypass: bool = True) -> ProcessorParams:
+    if variant not in VARIANTS:
+        raise ValueError(f"variant must be one of {VARIANTS}, got {variant!r}")
+    hmp = variant in ("hmp", "comb")
+    lrp = variant in ("lrp", "comb")
+    iq = segmented_iq_params(size, segment_size, max_chains,
+                             hmp=hmp, lrp=lrp, pushdown=pushdown,
+                             bypass=bypass)
+    return ProcessorParams().replace(iq=iq)
+
+
+def prescheduled(lines: int) -> ProcessorParams:
+    return ProcessorParams().replace(iq=prescheduled_iq_params(lines))
+
+
+def distance(lines: int, *, issue_buffer: int = 32,
+             line_width: int = 12) -> ProcessorParams:
+    """Canal-Gonzalez distance scheme with ``lines`` array lines."""
+    return ProcessorParams().replace(
+        iq=IQParams(kind="distance",
+                    size=issue_buffer + lines * line_width,
+                    presched_issue_buffer=issue_buffer,
+                    presched_line_width=line_width))
+
+
+def fifo(size: int, depth: int = 32) -> ProcessorParams:
+    return ProcessorParams().replace(
+        iq=IQParams(kind="fifo", size=size, segment_size=depth))
+
+
+def chain_label(max_chains: Optional[int]) -> str:
+    return "unlimited" if max_chains is None else f"{max_chains} chains"

@@ -1,0 +1,117 @@
+"""Event-weighted energy proxy for the instruction queue and core.
+
+The paper's section 7 raises the key power question for the segmented
+design: "Copying an instruction from segment to segment consumes more
+dynamic power than keeping the instruction in a single storage location
+between dispatch and issue; whether the performance benefit ... justifies
+this power consumption will depend on the detailed design."
+
+This model makes that trade-off quantifiable at the fidelity a cycle
+simulator supports: every microarchitectural event is charged a relative
+weight (normalized so a conventional-IQ dispatch+issue pair costs ~2
+units), and the per-cycle static charge scales with the structures that
+are powered — for the segmented IQ, the powered-segment count when
+dynamic resizing is on.  The absolute numbers are proxies, not joules;
+comparisons between configurations of the same machine are the intended
+use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+#: Relative dynamic-energy weights per event.  The segmented IQ's extra
+#: costs are the per-segment copies (promotions/pushdowns) and chain-wire
+#: broadcasts; the conventional IQ's is the full-width tag broadcast on
+#: every issue (which grows with queue size — modeled by the caller via
+#: `wakeup_width_factor`).
+DEFAULT_WEIGHTS: Dict[str, float] = {
+    "iq.dispatched": 1.0,       # write a queue entry
+    "iq.issued": 1.0,           # select + read out
+    "iq.promotions": 0.8,       # copy between segments (section 7's worry)
+    "iq.pushdowns": 0.8,
+    "chains.allocated": 0.3,    # chain-wire setup + RIT update
+    "lsq.loads": 0.7,
+    "lsq.stores": 0.7,
+    "l1d.accesses": 1.2,
+    "l2.accesses": 4.0,
+    "mem.accesses": 40.0,
+    "bpred.lookups": 0.1,
+    "committed": 0.3,
+}
+
+
+@dataclass
+class EnergyModel:
+    """Computes an energy-proxy breakdown from a stats dictionary."""
+
+    weights: Dict[str, float] = field(
+        default_factory=lambda: dict(DEFAULT_WEIGHTS))
+    #: Static/idle charge per powered IQ segment per cycle.
+    segment_static_per_cycle: float = 0.05
+    #: Extra per-issue wakeup cost per 32 searchable entries (the
+    #: conventional IQ broadcasts across the whole queue; the segmented
+    #: design searches one 32-entry segment).
+    wakeup_cost_per_32_entries: float = 0.2
+
+    def estimate(self, stats: Mapping[str, float], *,
+                 iq_kind: str = "segmented", iq_size: int = 512,
+                 segment_size: int = 32,
+                 num_segments: int = 16) -> Dict[str, float]:
+        """Return an energy breakdown (units are relative, see module doc).
+
+        ``stats`` is a flattened stats dict (``RunResult.stats`` or
+        ``StatGroup.as_dict()``).
+        """
+        breakdown: Dict[str, float] = {}
+        for event, weight in self.weights.items():
+            count = stats.get(event, 0.0)
+            if count:
+                breakdown[event] = count * weight
+
+        cycles = stats.get("cycles", 0.0)
+        issued = stats.get("iq.issued", 0.0)
+        if iq_kind == "segmented":
+            searchable = segment_size
+            powered_cycles = stats.get("iq.powered_segment_cycles", 0.0)
+            if not powered_cycles:
+                powered_cycles = num_segments * cycles
+        else:
+            searchable = iq_size
+            powered_cycles = max(1, iq_size // segment_size) * cycles
+        breakdown["wakeup_broadcast"] = (
+            issued * self.wakeup_cost_per_32_entries * searchable / 32.0)
+        breakdown["static_segments"] = (
+            powered_cycles * self.segment_static_per_cycle)
+        breakdown["total"] = sum(value for key, value in breakdown.items()
+                                 if key != "total")
+        return breakdown
+
+    def estimate_run(self, result, params) -> Dict[str, float]:
+        """Convenience overload taking a RunResult and ProcessorParams."""
+        iq = params.iq
+        return self.estimate(result.stats, iq_kind=iq.kind,
+                             iq_size=iq.size, segment_size=iq.segment_size,
+                             num_segments=iq.num_segments)
+
+
+def energy_per_instruction(breakdown: Mapping[str, float],
+                           instructions: int) -> float:
+    """Total proxy energy divided by committed instructions (EPI)."""
+    if not instructions:
+        return 0.0
+    return breakdown.get("total", 0.0) / instructions
+
+
+def format_breakdown(breakdown: Mapping[str, float]) -> str:
+    """Render the breakdown largest-first."""
+    total = breakdown.get("total", 0.0) or 1.0
+    lines = [f"{'component':<22} {'energy':>12} {'share':>7}"]
+    for key, value in sorted(breakdown.items(),
+                             key=lambda item: -item[1]):
+        if key == "total":
+            continue
+        lines.append(f"{key:<22} {value:>12.1f} {100 * value / total:>6.1f}%")
+    lines.append(f"{'total':<22} {breakdown.get('total', 0.0):>12.1f}")
+    return "\n".join(lines)

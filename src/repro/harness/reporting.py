@@ -1,0 +1,114 @@
+"""Text rendering of the paper's tables and figures from RunResults."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.harness.runner import RunResult
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence],
+                 title: str = "") -> str:
+    """Render an aligned fixed-width text table."""
+    rendered_rows = [[_cell(value) for value in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(header.ljust(widths[i])
+                           for i, header in enumerate(headers)))
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:.1f}"
+    return str(value)
+
+
+def relative_performance(result: RunResult, baseline: RunResult) -> float:
+    """IPC of ``result`` relative to ``baseline`` (Figure 2's y-axis)."""
+    return result.ipc / baseline.ipc if baseline.ipc else 0.0
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    filtered = [value for value in values if value > 0]
+    if not filtered:
+        return 0.0
+    product = 1.0
+    for value in filtered:
+        product *= value
+    return product ** (1.0 / len(filtered))
+
+
+def ascii_series_plot(series: Mapping[str, Mapping[int, float]],
+                      title: str = "", width: int = 50) -> str:
+    """A small text plot: one row per (label, x) with a proportional bar.
+
+    Used by the Figure 3 bench to show IPC-vs-IQ-size curves in terminals.
+    """
+    peak = max((value for points in series.values()
+                for value in points.values()), default=1.0) or 1.0
+    lines = [title] if title else []
+    for label in series:
+        points = series[label]
+        for x in sorted(points):
+            value = points[x]
+            bar = "#" * max(1, int(width * value / peak)) if value else ""
+            lines.append(f"{label:>22s} @{x:<5d} {value:6.3f} {bar}")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def table2_report(results: Dict[str, Dict[str, RunResult]]) -> str:
+    """Render Table 2: chain usage per benchmark per variant.
+
+    ``results[benchmark][variant]`` with variants base/hmp/lrp/comb.
+    """
+    headers = ["Benchmark",
+               "base avg", "base peak", "hmp avg", "hmp peak",
+               "lrp avg", "lrp peak", "comb avg", "comb peak"]
+    rows = []
+    sums = [0.0] * 8
+    benchmarks = sorted(results)
+    for benchmark in benchmarks:
+        row: List = [benchmark.upper()]
+        for index, variant in enumerate(("base", "hmp", "lrp", "comb")):
+            run = results[benchmark][variant]
+            row.extend([round(run.chains_avg, 1), round(run.chains_peak, 1)])
+            sums[2 * index] += run.chains_avg
+            sums[2 * index + 1] += run.chains_peak
+        rows.append(row)
+    count = len(benchmarks) or 1
+    rows.append(["Average"] + [round(total / count, 1) for total in sums])
+    return format_table(
+        headers, rows,
+        title="Table 2: chain usage, 512-entry segmented IQ, unlimited chains")
+
+
+def figure2_report(rel: Dict[str, Dict[str, Dict[str, float]]]) -> str:
+    """Render Figure 2 data: relative performance per benchmark.
+
+    ``rel[benchmark][chain_setting][variant]`` = IPC / ideal-512 IPC.
+    """
+    chain_settings = ("unlimited", "128 chains", "64 chains")
+    variants = ("base", "hmp", "lrp", "comb")
+    headers = ["Benchmark", "Chains"] + list(variants)
+    rows = []
+    for benchmark in sorted(rel):
+        for setting in chain_settings:
+            if setting not in rel[benchmark]:
+                continue
+            entry = rel[benchmark][setting]
+            rows.append([benchmark, setting]
+                        + [f"{100 * entry.get(v, 0):.0f}%" for v in variants])
+    return format_table(
+        headers, rows,
+        title="Figure 2: performance relative to ideal 512-entry IQ")

@@ -1,0 +1,82 @@
+"""Simulation runner: one (workload, configuration) -> one RunResult."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Union
+
+from repro.common.params import ProcessorParams
+from repro.isa.executor import execute
+from repro.pipeline.processor import Processor
+from repro.workloads.kernels import WORKLOADS, WorkloadSpec
+
+
+@dataclass
+class RunResult:
+    """Everything a bench needs from one simulation."""
+
+    workload: str
+    config: str
+    ipc: float
+    cycles: int
+    instructions: int
+    stats: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def chains_avg(self) -> float:
+        return self.stats.get("chains.in_use.mean", 0.0)
+
+    @property
+    def chains_peak(self) -> float:
+        return self.stats.get("chains.in_use.peak", 0.0)
+
+    @property
+    def branch_accuracy(self) -> float:
+        lookups = (self.stats.get("bpred.correct", 0)
+                   + self.stats.get("bpred.mispredicts", 0))
+        return self.stats.get("bpred.correct", 0) / lookups if lookups else 0.0
+
+    def __str__(self) -> str:
+        return (f"{self.workload}/{self.config}: IPC={self.ipc:.3f} "
+                f"({self.instructions} insts, {self.cycles} cycles)")
+
+
+def resolve_workload(workload: Union[str, WorkloadSpec]) -> WorkloadSpec:
+    if isinstance(workload, WorkloadSpec):
+        return workload
+    try:
+        return WORKLOADS[workload]
+    except KeyError:
+        known = ", ".join(sorted(WORKLOADS))
+        raise KeyError(f"unknown workload {workload!r}; known: {known}")
+
+
+def run_workload(workload: Union[str, WorkloadSpec],
+                 params: ProcessorParams, *,
+                 config_label: str = "",
+                 scale: int = 1,
+                 max_instructions: Optional[int] = None,
+                 max_cycles: int = 5_000_000,
+                 warm_code: bool = True) -> RunResult:
+    """Simulate one benchmark analog under one configuration.
+
+    Code is pre-warmed by default (the paper measures warm checkpoints);
+    data is pre-warmed into the L2 when the workload spec asks for it.
+    """
+    spec = resolve_workload(workload)
+    program = spec.build(scale)
+    budget = (max_instructions if max_instructions is not None
+              else spec.default_instructions * scale)
+    processor = Processor(params, execute(program, max_instructions=budget))
+    if warm_code:
+        processor.warm_code(program)
+    if spec.warm_data:
+        processor.warm_data(program)
+    processor.run(max_cycles=max_cycles)
+    return RunResult(
+        workload=spec.name,
+        config=config_label or params.iq.kind,
+        ipc=processor.ipc,
+        cycles=processor.cycle,
+        instructions=processor.committed,
+        stats=processor.stats.as_dict())

@@ -1,0 +1,114 @@
+"""Generic parameter-grid sweeps with tabular/CSV output.
+
+A :class:`Sweep` crosses workloads with named configurations, runs every
+cell once, and renders the grid — the shape behind Figure 3 and most of
+the ablations, packaged for users exploring their own design points::
+
+    from repro.harness import configs
+    from repro.harness.sweep import Sweep
+
+    sweep = Sweep(workloads=["swim", "twolf"])
+    for size in (32, 128, 512):
+        sweep.add_config(f"ideal-{size}", configs.ideal(size))
+        sweep.add_config(f"seg-{size}", configs.segmented(size, 128, "comb"))
+    grid = sweep.run()
+    print(grid.render())
+    grid.write_csv("sweep.csv")
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.common.params import ProcessorParams
+from repro.harness.reporting import format_table
+from repro.harness.runner import RunResult, run_workload
+from repro.workloads import WORKLOADS
+
+
+@dataclass
+class SweepGrid:
+    """Results of a sweep: results[workload][config_label]."""
+
+    workloads: List[str]
+    config_labels: List[str]
+    results: Dict[str, Dict[str, RunResult]]
+    metric: str = "ipc"
+
+    def value(self, workload: str, label: str) -> float:
+        result = self.results[workload][label]
+        if self.metric == "ipc":
+            return result.ipc
+        if self.metric == "cycles":
+            return float(result.cycles)
+        return result.stats.get(self.metric, 0.0)
+
+    def render(self, metric: Optional[str] = None) -> str:
+        metric = metric or self.metric
+        saved, self.metric = self.metric, metric
+        try:
+            rows = [[workload] + [round(self.value(workload, label), 3)
+                                  for label in self.config_labels]
+                    for workload in self.workloads]
+        finally:
+            self.metric = saved
+        return format_table(["benchmark"] + list(self.config_labels), rows,
+                            title=f"sweep: {metric}")
+
+    def write_csv(self, path: str, metric: Optional[str] = None) -> None:
+        metric = metric or self.metric
+        saved, self.metric = self.metric, metric
+        try:
+            with open(path, "w", newline="") as handle:
+                writer = csv.writer(handle)
+                writer.writerow(["benchmark"] + list(self.config_labels))
+                for workload in self.workloads:
+                    writer.writerow(
+                        [workload] + [self.value(workload, label)
+                                      for label in self.config_labels])
+        finally:
+            self.metric = saved
+
+    def best_config(self, workload: str) -> str:
+        return max(self.config_labels,
+                   key=lambda label: self.value(workload, label))
+
+
+class Sweep:
+    """Builds and executes a workload x configuration grid."""
+
+    def __init__(self, workloads: Sequence[str],
+                 max_instructions: Optional[int] = None,
+                 progress: Optional[Callable[[str], None]] = None) -> None:
+        unknown = set(workloads) - set(WORKLOADS)
+        if unknown:
+            raise KeyError(f"unknown workloads: {sorted(unknown)}")
+        self.workloads = list(workloads)
+        self.max_instructions = max_instructions
+        self.progress = progress
+        self._configs: List[tuple] = []
+
+    def add_config(self, label: str, params: ProcessorParams) -> "Sweep":
+        if any(existing == label for existing, _ in self._configs):
+            raise ValueError(f"duplicate config label {label!r}")
+        params.validate()
+        self._configs.append((label, params))
+        return self
+
+    def run(self, metric: str = "ipc") -> SweepGrid:
+        if not self._configs:
+            raise ValueError("no configurations added")
+        results: Dict[str, Dict[str, RunResult]] = {}
+        for workload in self.workloads:
+            results[workload] = {}
+            for label, params in self._configs:
+                if self.progress is not None:
+                    self.progress(f"{workload}/{label}")
+                results[workload][label] = run_workload(
+                    workload, params, config_label=label,
+                    max_instructions=self.max_instructions)
+        return SweepGrid(self.workloads,
+                         [label for label, _ in self._configs],
+                         results, metric)

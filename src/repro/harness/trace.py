@@ -1,0 +1,125 @@
+"""Text visualizations: per-instruction pipeline traces and segment heatmaps.
+
+``render_pipeline_trace`` draws a gem5-pipeview-style diagram from an
+annotated dynamic stream (the timing model stamps every DynInst with its
+fetch/dispatch/issue/complete/commit cycles):
+
+    #  123 fld f0, r3     |f....d    i..c  r|
+
+``segment_heatmap`` samples a segmented IQ's per-segment occupancy over
+time and renders it as an ASCII density map — the quickest way to *see*
+instructions staging down toward segment 0.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.isa.instruction import DynInst
+
+#: Stage markers: (attribute, symbol), in pipeline order.
+STAGES = (("fetched_cycle", "f"), ("dispatched_cycle", "d"),
+          ("issued_cycle", "i"), ("completed_cycle", "c"),
+          ("committed_cycle", "r"))
+
+DENSITY = " .:-=+*#%@"
+
+
+def render_pipeline_trace(stream: Sequence[DynInst], *,
+                          start_seq: int = 0, count: int = 32,
+                          width: int = 64) -> str:
+    """Render the pipeline timeline of ``count`` instructions.
+
+    The time axis is compressed to ``width`` columns spanning the window's
+    earliest fetch to its latest commit; each instruction's row marks the
+    cycle of every stage it reached.
+    """
+    window = [inst for inst in stream
+              if inst.seq >= start_seq and inst.fetched_cycle >= 0]
+    window = window[:count]
+    if not window:
+        return "(no instructions in window)"
+    first = min(inst.fetched_cycle for inst in window)
+    last = max(max(getattr(inst, attr) for attr, _ in STAGES)
+               for inst in window)
+    span = max(1, last - first)
+
+    def column(cycle: int) -> int:
+        return min(width - 1, (cycle - first) * (width - 1) // span)
+
+    lines = [f"pipeline trace: cycles {first}..{last} "
+             f"(f=fetch d=dispatch i=issue c=complete r=commit)"]
+    for inst in window:
+        row = [" "] * width
+        for attr, symbol in STAGES:
+            cycle = getattr(inst, attr)
+            if cycle >= 0:
+                col = column(cycle)
+                row[col] = symbol if row[col] == " " else "*"
+        text = f"{inst.static}"
+        lines.append(f"#{inst.seq:>6} {text:<24.24} |{''.join(row)}|")
+    return "\n".join(lines)
+
+
+def stage_latency_summary(stream: Sequence[DynInst]) -> str:
+    """Median/percentile latencies between adjacent pipeline stages."""
+    gaps = {"fetch->dispatch": [], "dispatch->issue": [],
+            "issue->complete": [], "complete->commit": []}
+    pairs = [("fetched_cycle", "dispatched_cycle", "fetch->dispatch"),
+             ("dispatched_cycle", "issued_cycle", "dispatch->issue"),
+             ("issued_cycle", "completed_cycle", "issue->complete"),
+             ("completed_cycle", "committed_cycle", "complete->commit")]
+    for inst in stream:
+        for early, late, name in pairs:
+            a, b = getattr(inst, early), getattr(inst, late)
+            if a >= 0 and b >= 0:
+                gaps[name].append(b - a)
+    lines = [f"{'stage gap':<18} {'p50':>6} {'p90':>6} {'max':>6} {'n':>7}"]
+    for name, values in gaps.items():
+        if not values:
+            continue
+        values.sort()
+        p50 = values[len(values) // 2]
+        p90 = values[int(len(values) * 0.9)]
+        lines.append(f"{name:<18} {p50:>6} {p90:>6} {values[-1]:>6} "
+                     f"{len(values):>7}")
+    return "\n".join(lines)
+
+
+def segment_heatmap(samples: Sequence[Sequence[int]], capacity: int, *,
+                    columns: int = 72) -> str:
+    """Render per-segment occupancy samples as an ASCII heatmap.
+
+    ``samples[t][k]`` is segment k's occupancy at sample t.  Rows are
+    segments (top segment first, segment 0 last, matching the paper's
+    vertical-pipeline drawing); darker characters mean fuller segments.
+    """
+    if not samples:
+        return "(no samples)"
+    num_segments = len(samples[0])
+    bucket = max(1, len(samples) // columns)
+    lines = []
+    for segment in reversed(range(num_segments)):
+        row = []
+        for start in range(0, len(samples), bucket):
+            chunk = samples[start:start + bucket]
+            mean = sum(sample[segment] for sample in chunk) / len(chunk)
+            level = min(len(DENSITY) - 1,
+                        int(mean * (len(DENSITY) - 1) / max(1, capacity)))
+            row.append(DENSITY[level])
+        label = "seg 0 (issue)" if segment == 0 else f"seg {segment}"
+        lines.append(f"{label:>13} |{''.join(row)}|")
+    lines.append(f"{'':>13}  time ->  (darker = fuller, "
+                 f"capacity {capacity}/segment)")
+    return "\n".join(lines)
+
+
+def collect_segment_samples(processor, *, interval: int = 50,
+                            max_cycles: int = 2_000_000) -> List[List[int]]:
+    """Run a segmented-IQ processor to completion, sampling occupancies."""
+    samples: List[List[int]] = []
+    while not processor.done and processor.cycle < max_cycles:
+        processor.step()
+        if processor.cycle % interval == 0:
+            samples.append(processor.iq.segment_occupancies())
+    return samples

@@ -1,0 +1,18 @@
+"""The repro RISC ISA: opcodes, programs, builder DSL, functional simulator."""
+
+from repro.isa.builder import ProgramBuilder
+from repro.isa.executor import MachineState, execute, run_functional
+from repro.isa.instruction import DynInst, Instruction
+from repro.isa.opcodes import (NUM_FP_REGS, NUM_INT_REGS, NUM_REGS,
+                               VARIABLE_LATENCY_OPCODES, WORD_BYTES, FUClass,
+                               OpClass, Opcode, OpInfo, op_info)
+from repro.isa.program import DataSegment, Program
+from repro.isa.registers import F, R, ZERO, is_fp_reg, reg_name
+
+__all__ = [
+    "DataSegment", "DynInst", "F", "FUClass", "Instruction", "MachineState",
+    "NUM_FP_REGS", "NUM_INT_REGS", "NUM_REGS", "OpClass", "Opcode", "OpInfo",
+    "Program", "ProgramBuilder", "R", "VARIABLE_LATENCY_OPCODES",
+    "WORD_BYTES", "ZERO", "execute", "is_fp_reg", "op_info", "reg_name",
+    "run_functional",
+]

@@ -1,0 +1,210 @@
+"""Functional (architectural) simulator.
+
+Executes a :class:`~repro.isa.program.Program` and yields the dynamic
+instruction stream (:class:`~repro.isa.instruction.DynInst`).  The timing
+model is trace-driven off this stream: register dependences, memory
+addresses, and branch outcomes are all architecturally exact.
+
+Arithmetic note: integer values are plain Python ints (no 64-bit wraparound)
+— kernels in this repository never rely on overflow.  Shifts mask their
+amount to 6 bits so a bad shift cannot explode memory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.common.errors import ExecutionError
+from repro.isa.instruction import DynInst, Instruction
+from repro.isa.opcodes import NUM_REGS, WORD_BYTES, Opcode
+from repro.isa.program import Program
+
+
+class MachineState:
+    """Architectural state: register file and flat data memory."""
+
+    def __init__(self, program: Program) -> None:
+        self.program = program
+        self.regs: List[float] = [0] * NUM_REGS
+        self.memory: List[float] = [0.0] * max(1, program.memory_words)
+        for word, value in program.initial_data.items():
+            if not 0 <= word < len(self.memory):
+                raise ExecutionError(
+                    f"initial data word {word} outside memory "
+                    f"({len(self.memory)} words)")
+            self.memory[word] = value
+        self.pc = 0
+        self.halted = False
+        self.instruction_count = 0
+
+    def read_reg(self, reg: int) -> float:
+        return self.regs[reg]
+
+    def write_reg(self, reg: Optional[int], value: float) -> None:
+        if reg is None or reg == 0:   # r0 is hardwired to zero
+            return
+        self.regs[reg] = value
+
+    def mem_word_index(self, byte_addr: int) -> int:
+        if byte_addr % WORD_BYTES:
+            raise ExecutionError(f"unaligned access at byte {byte_addr}")
+        index = byte_addr // WORD_BYTES
+        if not 0 <= index < len(self.memory):
+            raise ExecutionError(
+                f"access at byte {byte_addr} outside memory "
+                f"({len(self.memory)} words)")
+        return index
+
+    def load(self, byte_addr: int) -> float:
+        return self.memory[self.mem_word_index(byte_addr)]
+
+    def store(self, byte_addr: int, value: float) -> None:
+        self.memory[self.mem_word_index(byte_addr)] = value
+
+
+def _branch_taken(opcode: Opcode, a: float, b: float) -> bool:
+    if opcode is Opcode.BEQ:
+        return a == b
+    if opcode is Opcode.BNE:
+        return a != b
+    if opcode is Opcode.BLT:
+        return a < b
+    if opcode is Opcode.BGE:
+        return a >= b
+    if opcode is Opcode.BLE:
+        return a <= b
+    if opcode is Opcode.BGT:
+        return a > b
+    raise ExecutionError(f"not a branch opcode: {opcode}")
+
+
+def _step(state: MachineState, inst: Instruction) -> DynInst:
+    """Execute one instruction, mutate state, and return its DynInst."""
+    opcode = inst.opcode
+    regs = state.regs
+    dyn = DynInst(seq=state.instruction_count, pc=state.pc, static=inst)
+    next_pc = state.pc + 1
+
+    if opcode in _INT_BINOPS:
+        a, b = regs[inst.srcs[0]], regs[inst.srcs[1]]
+        state.write_reg(inst.dest, _INT_BINOPS[opcode](int(a), int(b)))
+    elif opcode in _INT_IMMOPS:
+        a = regs[inst.srcs[0]]
+        state.write_reg(inst.dest, _INT_IMMOPS[opcode](int(a), inst.imm))
+    elif opcode in _FP_BINOPS:
+        a, b = regs[inst.srcs[0]], regs[inst.srcs[1]]
+        state.write_reg(inst.dest, _FP_BINOPS[opcode](float(a), float(b)))
+    elif opcode is Opcode.FNEG:
+        state.write_reg(inst.dest, -float(regs[inst.srcs[0]]))
+    elif opcode is Opcode.FSQRT:
+        value = float(regs[inst.srcs[0]])
+        if value < 0:
+            raise ExecutionError(f"fsqrt of negative value {value} at pc {state.pc}")
+        state.write_reg(inst.dest, value ** 0.5)
+    elif opcode is Opcode.CVTIF:
+        state.write_reg(inst.dest, float(regs[inst.srcs[0]]))
+    elif opcode is Opcode.CVTFI:
+        state.write_reg(inst.dest, int(regs[inst.srcs[0]]))
+    elif opcode is Opcode.FCMPLT:
+        a, b = regs[inst.srcs[0]], regs[inst.srcs[1]]
+        state.write_reg(inst.dest, 1 if float(a) < float(b) else 0)
+    elif opcode in (Opcode.LD, Opcode.FLD):
+        addr = int(regs[inst.srcs[0]]) + inst.imm
+        dyn.mem_addr = addr
+        state.write_reg(inst.dest, state.load(addr))
+    elif opcode in (Opcode.ST, Opcode.FST):
+        addr = int(regs[inst.srcs[0]]) + inst.imm
+        dyn.mem_addr = addr
+        state.store(addr, regs[inst.srcs[1]])
+    elif inst.is_branch:
+        taken = _branch_taken(opcode, regs[inst.srcs[0]], regs[inst.srcs[1]])
+        dyn.taken = taken
+        if taken:
+            next_pc = inst.target          # validated by Program.validate
+    elif opcode is Opcode.JMP:
+        dyn.taken = True
+        next_pc = inst.target
+    elif opcode is Opcode.HALT:
+        state.halted = True
+    elif opcode is Opcode.NOP:
+        pass
+    else:
+        raise ExecutionError(f"unimplemented opcode {opcode}")
+
+    state.pc = next_pc
+    state.instruction_count += 1
+    dyn.next_pc = next_pc
+    return dyn
+
+
+_INT_BINOPS = {
+    Opcode.ADD: lambda a, b: a + b,
+    Opcode.SUB: lambda a, b: a - b,
+    Opcode.AND: lambda a, b: a & b,
+    Opcode.OR: lambda a, b: a | b,
+    Opcode.XOR: lambda a, b: a ^ b,
+    Opcode.SLL: lambda a, b: a << (b & 63),
+    Opcode.SRL: lambda a, b: a >> (b & 63),
+    Opcode.SLT: lambda a, b: 1 if a < b else 0,
+    Opcode.MUL: lambda a, b: a * b,
+    Opcode.DIV: lambda a, b: _int_div(a, b),
+}
+
+_INT_IMMOPS = {
+    Opcode.ADDI: lambda a, imm: a + imm,
+    Opcode.ANDI: lambda a, imm: a & imm,
+    Opcode.ORI: lambda a, imm: a | imm,
+    Opcode.SLLI: lambda a, imm: a << (imm & 63),
+    Opcode.SRLI: lambda a, imm: a >> (imm & 63),
+    Opcode.SLTI: lambda a, imm: 1 if a < imm else 0,
+    Opcode.LUI: lambda a, imm: imm << 16,
+}
+
+_FP_BINOPS = {
+    Opcode.FADD: lambda a, b: a + b,
+    Opcode.FSUB: lambda a, b: a - b,
+    Opcode.FMUL: lambda a, b: a * b,
+    Opcode.FDIV: lambda a, b: _fp_div(a, b),
+}
+
+
+def _int_div(a: int, b: int) -> int:
+    if b == 0:
+        raise ExecutionError("integer division by zero")
+    quotient = abs(a) // abs(b)
+    return -quotient if (a < 0) != (b < 0) else quotient
+
+
+def _fp_div(a: float, b: float) -> float:
+    if b == 0:
+        raise ExecutionError("fp division by zero")
+    return a / b
+
+
+def execute(program: Program,
+            max_instructions: Optional[int] = None) -> Iterator[DynInst]:
+    """Yield the dynamic instruction stream of ``program``.
+
+    Stops at the halt instruction (which is yielded) or after
+    ``max_instructions`` dynamic instructions, whichever comes first.
+    """
+    state = MachineState(program)
+    code = program.instructions
+    limit = max_instructions if max_instructions is not None else float("inf")
+    while not state.halted and state.instruction_count < limit:
+        if not 0 <= state.pc < len(code):
+            raise ExecutionError(f"pc {state.pc} fell off the program")
+        yield _step(state, code[state.pc])
+
+
+def run_functional(program: Program,
+                   max_instructions: Optional[int] = None) -> MachineState:
+    """Execute to completion and return the final architectural state."""
+    state = MachineState(program)
+    code = program.instructions
+    limit = max_instructions if max_instructions is not None else float("inf")
+    while not state.halted and state.instruction_count < limit:
+        if not 0 <= state.pc < len(code):
+            raise ExecutionError(f"pc {state.pc} fell off the program")
+        _step(state, code[state.pc])
+    return state

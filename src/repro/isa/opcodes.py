@@ -1,0 +1,171 @@
+"""Opcode definitions for the repro RISC ISA.
+
+The ISA is a small Alpha-flavoured load/store architecture: 32 integer and 32
+floating-point registers, 8-byte memory words, compare-and-branch
+conditionals.  Each opcode carries its function-unit class and execution
+latency; the latencies follow Table 1 of the paper:
+
+* integer: mul 3, div 20, all others 1
+* FP: add/sub 2, mul 4, div 12, sqrt 24
+* all operations fully pipelined except divide and sqrt
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+
+class FUClass(enum.Enum):
+    """Function unit classes (paper Table 1: 8 units of each)."""
+
+    INT_ALU = "int_alu"
+    INT_MUL = "int_mul"
+    FP_ADD = "fp_add"
+    FP_MUL = "fp_mul"
+    MEM_PORT = "mem_port"
+    NONE = "none"            # control ops that consume no FU
+
+
+class OpClass(enum.Enum):
+    """Broad behavioural categories used by the timing model."""
+
+    INT_ARITH = enum.auto()
+    FP_ARITH = enum.auto()
+    LOAD = enum.auto()
+    STORE = enum.auto()
+    BRANCH = enum.auto()
+    JUMP = enum.auto()
+    HALT = enum.auto()
+    NOP = enum.auto()
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static properties of one opcode."""
+
+    name: str
+    op_class: OpClass
+    fu_class: FUClass
+    latency: int
+    pipelined: bool = True
+
+
+class Opcode(enum.Enum):
+    """Every instruction the ISA supports."""
+
+    # Integer arithmetic (latency 1).
+    ADD = "add"
+    SUB = "sub"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SLL = "sll"
+    SRL = "srl"
+    SLT = "slt"
+    ADDI = "addi"
+    ANDI = "andi"
+    ORI = "ori"
+    SLLI = "slli"
+    SRLI = "srli"
+    SLTI = "slti"
+    LUI = "lui"
+    # Integer multiply / divide.
+    MUL = "mul"
+    DIV = "div"
+    # Floating point.
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FSQRT = "fsqrt"
+    FNEG = "fneg"
+    CVTIF = "cvtif"      # int -> fp
+    CVTFI = "cvtfi"      # fp -> int (truncate)
+    FCMPLT = "fcmplt"    # fp compare, int result
+    # Memory (address = base register + immediate).
+    LD = "ld"            # integer load
+    ST = "st"            # integer store
+    FLD = "fld"          # fp load
+    FST = "fst"          # fp store
+    # Control.
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BGE = "bge"
+    BLE = "ble"
+    BGT = "bgt"
+    JMP = "jmp"
+    HALT = "halt"
+    NOP = "nop"
+
+
+def _info(name: str, op_class: OpClass, fu: FUClass, latency: int,
+          pipelined: bool = True) -> OpInfo:
+    return OpInfo(name, op_class, fu, latency, pipelined)
+
+
+OP_TABLE: Dict[Opcode, OpInfo] = {
+    Opcode.ADD: _info("add", OpClass.INT_ARITH, FUClass.INT_ALU, 1),
+    Opcode.SUB: _info("sub", OpClass.INT_ARITH, FUClass.INT_ALU, 1),
+    Opcode.AND: _info("and", OpClass.INT_ARITH, FUClass.INT_ALU, 1),
+    Opcode.OR: _info("or", OpClass.INT_ARITH, FUClass.INT_ALU, 1),
+    Opcode.XOR: _info("xor", OpClass.INT_ARITH, FUClass.INT_ALU, 1),
+    Opcode.SLL: _info("sll", OpClass.INT_ARITH, FUClass.INT_ALU, 1),
+    Opcode.SRL: _info("srl", OpClass.INT_ARITH, FUClass.INT_ALU, 1),
+    Opcode.SLT: _info("slt", OpClass.INT_ARITH, FUClass.INT_ALU, 1),
+    Opcode.ADDI: _info("addi", OpClass.INT_ARITH, FUClass.INT_ALU, 1),
+    Opcode.ANDI: _info("andi", OpClass.INT_ARITH, FUClass.INT_ALU, 1),
+    Opcode.ORI: _info("ori", OpClass.INT_ARITH, FUClass.INT_ALU, 1),
+    Opcode.SLLI: _info("slli", OpClass.INT_ARITH, FUClass.INT_ALU, 1),
+    Opcode.SRLI: _info("srli", OpClass.INT_ARITH, FUClass.INT_ALU, 1),
+    Opcode.SLTI: _info("slti", OpClass.INT_ARITH, FUClass.INT_ALU, 1),
+    Opcode.LUI: _info("lui", OpClass.INT_ARITH, FUClass.INT_ALU, 1),
+    Opcode.MUL: _info("mul", OpClass.INT_ARITH, FUClass.INT_MUL, 3),
+    Opcode.DIV: _info("div", OpClass.INT_ARITH, FUClass.INT_MUL, 20,
+                      pipelined=False),
+    Opcode.FADD: _info("fadd", OpClass.FP_ARITH, FUClass.FP_ADD, 2),
+    Opcode.FSUB: _info("fsub", OpClass.FP_ARITH, FUClass.FP_ADD, 2),
+    Opcode.FMUL: _info("fmul", OpClass.FP_ARITH, FUClass.FP_MUL, 4),
+    Opcode.FDIV: _info("fdiv", OpClass.FP_ARITH, FUClass.FP_MUL, 12,
+                       pipelined=False),
+    Opcode.FSQRT: _info("fsqrt", OpClass.FP_ARITH, FUClass.FP_MUL, 24,
+                        pipelined=False),
+    Opcode.FNEG: _info("fneg", OpClass.FP_ARITH, FUClass.FP_ADD, 2),
+    Opcode.CVTIF: _info("cvtif", OpClass.FP_ARITH, FUClass.FP_ADD, 2),
+    Opcode.CVTFI: _info("cvtfi", OpClass.FP_ARITH, FUClass.FP_ADD, 2),
+    Opcode.FCMPLT: _info("fcmplt", OpClass.FP_ARITH, FUClass.FP_ADD, 2),
+    Opcode.LD: _info("ld", OpClass.LOAD, FUClass.MEM_PORT, 1),
+    Opcode.ST: _info("st", OpClass.STORE, FUClass.MEM_PORT, 1),
+    Opcode.FLD: _info("fld", OpClass.LOAD, FUClass.MEM_PORT, 1),
+    Opcode.FST: _info("fst", OpClass.STORE, FUClass.MEM_PORT, 1),
+    Opcode.BEQ: _info("beq", OpClass.BRANCH, FUClass.INT_ALU, 1),
+    Opcode.BNE: _info("bne", OpClass.BRANCH, FUClass.INT_ALU, 1),
+    Opcode.BLT: _info("blt", OpClass.BRANCH, FUClass.INT_ALU, 1),
+    Opcode.BGE: _info("bge", OpClass.BRANCH, FUClass.INT_ALU, 1),
+    Opcode.BLE: _info("ble", OpClass.BRANCH, FUClass.INT_ALU, 1),
+    Opcode.BGT: _info("bgt", OpClass.BRANCH, FUClass.INT_ALU, 1),
+    Opcode.JMP: _info("jmp", OpClass.JUMP, FUClass.INT_ALU, 1),
+    Opcode.HALT: _info("halt", OpClass.HALT, FUClass.NONE, 1),
+    Opcode.NOP: _info("nop", OpClass.NOP, FUClass.NONE, 1),
+}
+
+
+def op_info(opcode: Opcode) -> OpInfo:
+    """Look up the static properties of ``opcode``."""
+    return OP_TABLE[opcode]
+
+
+#: Opcodes whose result latency cannot be known at dispatch time.  In this
+#: reproduction (as in the paper's base design) these are the loads: a load's
+#: latency depends on where in the memory hierarchy it hits.
+VARIABLE_LATENCY_OPCODES = frozenset({Opcode.LD, Opcode.FLD})
+
+#: Number of architected registers in each file.
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+#: Registers live in one flat space: ints are 0..31, floats are 32..63.
+NUM_REGS = NUM_INT_REGS + NUM_FP_REGS
+#: Word size in bytes (all memory accesses are one aligned word).
+WORD_BYTES = 8

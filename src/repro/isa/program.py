@@ -1,0 +1,87 @@
+"""Program container: instructions plus a data-segment description."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+from repro.common.errors import ProgramError
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import WORD_BYTES
+
+
+@dataclass
+class DataSegment:
+    """A named block of words in the flat data memory."""
+
+    name: str
+    base: int          # byte address
+    words: int
+
+    @property
+    def bytes(self) -> int:
+        return self.words * WORD_BYTES
+
+    def addr(self, index: int) -> int:
+        """Byte address of element ``index``."""
+        if not 0 <= index < self.words:
+            raise ProgramError(
+                f"index {index} out of range for segment {self.name!r} "
+                f"({self.words} words)")
+        return self.base + index * WORD_BYTES
+
+
+@dataclass
+class Program:
+    """A complete program: code, labels, and data layout.
+
+    ``memory_words`` is the total size of the data memory the program needs;
+    ``initial_data`` maps word index -> initial value for any words that must
+    be non-zero before execution starts.
+    """
+
+    instructions: List[Instruction]
+    labels: Dict[str, int] = field(default_factory=dict)
+    segments: Dict[str, DataSegment] = field(default_factory=dict)
+    memory_words: int = 0
+    initial_data: Dict[int, float] = field(default_factory=dict)
+    name: str = "program"
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, pc: int) -> Instruction:
+        return self.instructions[pc]
+
+    def segment(self, name: str) -> DataSegment:
+        try:
+            return self.segments[name]
+        except KeyError:
+            raise ProgramError(f"no data segment named {name!r}") from None
+
+    def validate(self) -> None:
+        """Check structural invariants: targets in range, halt present."""
+        if not self.instructions:
+            raise ProgramError("empty program")
+        for pc, inst in enumerate(self.instructions):
+            if inst.target is not None and not (
+                    0 <= inst.target < len(self.instructions)):
+                raise ProgramError(
+                    f"instruction {pc} ({inst}) targets out-of-range "
+                    f"index {inst.target}")
+            if inst.is_control and inst.target is None:
+                raise ProgramError(f"instruction {pc} ({inst}) has no target")
+        if not any(inst.is_halt for inst in self.instructions):
+            raise ProgramError("program has no halt instruction")
+
+    def disassemble(self) -> str:
+        """Human-readable listing with label annotations."""
+        by_index: Dict[int, List[str]] = {}
+        for label, index in self.labels.items():
+            by_index.setdefault(index, []).append(label)
+        lines = []
+        for pc, inst in enumerate(self.instructions):
+            for label in sorted(by_index.get(pc, ())):
+                lines.append(f"{label}:")
+            lines.append(f"  {pc:4d}: {inst}")
+        return "\n".join(lines)

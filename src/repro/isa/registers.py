@@ -1,0 +1,43 @@
+"""Register name helpers.
+
+Registers live in one flat architected space so the renamer and the IQ can
+treat them uniformly: integer registers occupy indices 0..31 (``R(i)``) and
+floating-point registers occupy 32..63 (``F(i)``).  ``R(0)`` is hardwired to
+zero, like the Alpha's r31 / MIPS's r0.
+"""
+
+from __future__ import annotations
+
+from repro.common.errors import ProgramError
+from repro.isa.opcodes import NUM_FP_REGS, NUM_INT_REGS
+
+#: The always-zero integer register.
+ZERO = 0
+
+
+def R(index: int) -> int:
+    """Architected index of integer register ``index``."""
+    if not 0 <= index < NUM_INT_REGS:
+        raise ProgramError(f"integer register index {index} out of range")
+    return index
+
+
+def F(index: int) -> int:
+    """Architected index of floating-point register ``index``."""
+    if not 0 <= index < NUM_FP_REGS:
+        raise ProgramError(f"fp register index {index} out of range")
+    return NUM_INT_REGS + index
+
+
+def is_fp_reg(reg: int) -> bool:
+    """True if ``reg`` names a floating-point register."""
+    return reg >= NUM_INT_REGS
+
+
+def reg_name(reg: int) -> str:
+    """Pretty-print an architected register index."""
+    if reg < 0 or reg >= NUM_INT_REGS + NUM_FP_REGS:
+        raise ProgramError(f"register index {reg} out of range")
+    if is_fp_reg(reg):
+        return f"f{reg - NUM_INT_REGS}"
+    return f"r{reg}"

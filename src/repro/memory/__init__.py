@@ -1,0 +1,12 @@
+"""Event-driven memory hierarchy: caches, MSHRs, links, main memory."""
+
+from repro.memory.cache import Cache, MainMemory
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.memory.link import BandwidthLink
+from repro.memory.request import (LEVEL_DELAYED, LEVEL_FORWARD, LEVEL_L1,
+                                  LEVEL_L2, LEVEL_MEM, MemRequest)
+
+__all__ = [
+    "BandwidthLink", "Cache", "LEVEL_DELAYED", "LEVEL_FORWARD", "LEVEL_L1",
+    "LEVEL_L2", "LEVEL_MEM", "MainMemory", "MemRequest", "MemoryHierarchy",
+]

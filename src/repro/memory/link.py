@@ -1,0 +1,46 @@
+"""Bandwidth-limited link between memory-hierarchy levels.
+
+The paper's Table 1 gives 64 bytes/cycle between L1 and L2 and 8 bytes/cycle
+to main memory.  A line transfer occupies the link for
+``ceil(line_bytes / bytes_per_cycle)`` cycles; transfers serialize.
+"""
+
+from __future__ import annotations
+
+from repro.common.events import EventQueue
+from repro.common.stats import StatGroup
+
+
+class BandwidthLink:
+    """Models occupancy of a transfer link; returns per-transfer delay."""
+
+    def __init__(self, name: str, bytes_per_cycle: int,
+                 events: EventQueue, stats: StatGroup) -> None:
+        self.name = name
+        self.bytes_per_cycle = max(1, bytes_per_cycle)
+        self._events = events
+        self._next_free = 0
+        self._transfers = stats.counter(f"{name}.transfers",
+                                        "line transfers over this link")
+        self._busy_cycles = stats.counter(f"{name}.busy_cycles",
+                                          "cycles the link was occupied")
+        self._queue_cycles = stats.counter(f"{name}.queue_cycles",
+                                           "cycles requests waited for the link")
+
+    def transfer_cycles(self, size_bytes: int) -> int:
+        return -(-size_bytes // self.bytes_per_cycle)
+
+    def request(self, size_bytes: int) -> int:
+        """Reserve the link for a transfer; return total delay from now.
+
+        The delay includes both queuing behind earlier transfers and the
+        transfer time itself.
+        """
+        now = self._events.now
+        start = max(now, self._next_free)
+        duration = self.transfer_cycles(size_bytes)
+        self._next_free = start + duration
+        self._transfers.inc()
+        self._busy_cycles.inc(duration)
+        self._queue_cycles.inc(start - now)
+        return self._next_free - now

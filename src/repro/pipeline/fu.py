@@ -1,0 +1,97 @@
+"""Function-unit pool.
+
+Table 1 gives 8 units of each class.  All units are fully pipelined (accept
+one operation per cycle) except integer divide, FP divide, and FP sqrt,
+which occupy their unit for the full latency.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List
+
+from repro.common.stats import StatGroup
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import FUClass, op_info
+
+
+class FUPool:
+    """Tracks when each function unit can next accept an operation.
+
+    With ``clusters > 1`` (the paper's section-7 horizontal clustering),
+    each class's units are split evenly across clusters and an instruction
+    may only use its own cluster's units.
+    """
+
+    def __init__(self, fu_counts: Dict[str, int], stats: StatGroup,
+                 clusters: int = 1) -> None:
+        self.clusters = max(1, clusters)
+        # Per (class, cluster): heap of next-free cycles, one per unit.
+        self._units: Dict[tuple, List[int]] = {}
+        self._classes = []
+        for fu_class in FUClass:
+            if fu_class is FUClass.NONE:
+                continue
+            self._classes.append(fu_class)
+            count = fu_counts.get(fu_class.value, 0)
+            per_cluster = count // self.clusters
+            for cluster in range(self.clusters):
+                self._units[(fu_class, cluster)] = [0] * per_cluster
+        self._stat_issued = {
+            fu_class: stats.counter(f"fu.{fu_class.value}.ops")
+            for fu_class in self._classes}
+        self._stat_structural = stats.counter(
+            "fu.structural_stalls", "issue attempts blocked by busy units")
+
+    @staticmethod
+    def issue_class(inst: DynInst) -> FUClass:
+        """FU class consumed at IQ issue time.
+
+        Memory operations issue their *effective-address calculation*, an
+        ordinary integer add (paper section 5); the cache port (MEM_PORT) is
+        consumed later by the LSQ when the access goes to the data cache.
+        """
+        if inst.is_mem:
+            return FUClass.INT_ALU
+        return inst.static.info.fu_class
+
+    def can_accept(self, fu_class: FUClass, now: int,
+                   cluster: int = 0) -> bool:
+        units = self._units.get((fu_class, cluster))
+        return bool(units) and units[0] <= now
+
+    def accept(self, fu_class: FUClass, now: int, occupancy: int = 1,
+               cluster: int = 0) -> bool:
+        """Claim a ``fu_class`` unit in ``cluster`` for ``occupancy`` cycles."""
+        units = self._units.get((fu_class, cluster))
+        if not units or units[0] > now:
+            self._stat_structural.inc()
+            return False
+        heapq.heapreplace(units, now + occupancy)
+        self._stat_issued[fu_class].inc()
+        return True
+
+    def try_issue(self, inst: DynInst, now: int) -> bool:
+        """Claim the unit an IQ issue of ``inst`` needs.
+
+        Non-pipelined operations occupy their unit for the full latency;
+        pipelined ones free it next cycle.  HALT/NOP consume nothing.
+        """
+        info = inst.static.info
+        if info.fu_class is FUClass.NONE:
+            return True
+        fu_class = self.issue_class(inst)
+        if inst.is_mem:
+            occupancy = 1                      # EA calc is a pipelined add
+        else:
+            occupancy = 1 if info.pipelined else info.latency
+        return self.accept(fu_class, now, occupancy, inst.cluster)
+
+    def try_cache_port(self, now: int) -> bool:
+        """Claim a data-cache read/write port for one cycle (LSQ side).
+
+        The cache is shared: any cluster's port will do."""
+        for cluster in range(self.clusters):
+            if self.accept(FUClass.MEM_PORT, now, 1, cluster):
+                return True
+        return False

@@ -1,0 +1,324 @@
+"""Top-level cycle-accurate out-of-order processor model.
+
+Per-cycle stage order (see DESIGN.md section 7): drain memory events,
+commit, LSQ memory issue, IQ issue, IQ internal maintenance (promotion for
+the segmented design), dispatch, fetch.  Completions are event-scheduled at
+issue time, so wakeups become visible at the top of the completion cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional
+
+from repro.common.errors import ConfigurationError, DeadlockError
+from repro.common.events import EventQueue
+from repro.common.params import ProcessorParams
+from repro.common.stats import StatGroup
+from repro.core.iq_base import InstructionQueue, Operand
+from repro.frontend.fetch import FrontEnd
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import FUClass, OpClass
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.fu import FUPool
+from repro.pipeline.lsq import LoadStoreQueue
+from repro.pipeline.rob import ReorderBuffer
+
+
+def build_iq(params: ProcessorParams, stats: StatGroup) -> InstructionQueue:
+    """Instantiate the IQ design selected by ``params.iq.kind``."""
+    # Imports are per-branch to avoid circular imports at package load time.
+    iq_params = params.iq
+    iq_params.validate()
+    if iq_params.kind == "ideal":
+        from repro.core.conventional import ConventionalIQ
+        return ConventionalIQ(iq_params.size, params.issue_width, stats)
+    if iq_params.kind == "segmented":
+        from repro.core.segmented import SegmentedIQ
+        return SegmentedIQ(iq_params, params.issue_width, stats)
+    if iq_params.kind == "prescheduled":
+        from repro.core.prescheduler import PreschedulingIQ
+        return PreschedulingIQ(iq_params, params.issue_width, stats)
+    if iq_params.kind == "distance":
+        from repro.core.distance import DistanceIQ
+        return DistanceIQ(iq_params, params.issue_width, stats)
+    if iq_params.kind == "fifo":
+        from repro.core.fifo_iq import DependenceFIFOQueue
+        return DependenceFIFOQueue(iq_params, params.issue_width, stats)
+    raise ConfigurationError(f"unknown IQ kind {iq_params.kind!r}")
+
+
+class Processor:
+    """Dynamically scheduled superscalar core running a dynamic stream."""
+
+    def __init__(self, params: ProcessorParams, stream: Iterator[DynInst],
+                 stats: Optional[StatGroup] = None) -> None:
+        params.validate()
+        self.params = params
+        self.stats = stats if stats is not None else StatGroup()
+        self.events = EventQueue()
+        self.memory = MemoryHierarchy(params.memory, self.events, self.stats)
+        self.frontend = FrontEnd(params, stream, self.memory.l1i,
+                                 self.events, self.stats)
+        self.fu_pool = FUPool(params.fu_counts, self.stats, params.clusters)
+        self.iq = build_iq(params, self.stats)
+        self._cluster_load = [0] * params.clusters
+        self.rob = ReorderBuffer(params.rob_size, self.stats)
+        self.lsq = LoadStoreQueue(params.effective_lsq_size, self.memory,
+                                  self.events, self.stats,
+                                  iq=self.iq, fu_pool=self.fu_pool,
+                                  policy=params.mem_dep_policy)
+        # Give the segmented IQ access to the memory hierarchy for hit/miss
+        # predictor training (it checks L1 residence at dispatch).
+        if hasattr(self.iq, "attach_memory"):
+            self.iq.attach_memory(self.memory)
+
+        self._last_writer: Dict[int, DynInst] = {}
+        self.cycle = 0
+        self.committed = 0
+        self._halt_committed = False
+        self._last_commit_cycle = 0
+
+        self.stat_cycles = self.stats.counter("cycles")
+        self.stat_committed = self.stats.counter("committed")
+        self.stat_dispatch_stall_iq = self.stats.counter(
+            "dispatch.stall_iq", "dispatch stalls: IQ full")
+        self.stat_dispatch_stall_chain = self.stats.counter(
+            "dispatch.stall_chain", "dispatch stalls: no free chain wire")
+        self.stat_dispatch_stall_rob = self.stats.counter(
+            "dispatch.stall_rob", "dispatch stalls: ROB full")
+        self.stat_dispatch_stall_lsq = self.stats.counter(
+            "dispatch.stall_lsq", "dispatch stalls: LSQ full")
+        self.stat_dispatched = self.stats.counter("dispatched")
+        self.stat_cross_cluster = self.stats.counter(
+            "clusters.cross_forwards",
+            "operands forwarded across clusters (pay the bypass penalty)")
+
+    # ------------------------------------------------------------ warmup --
+    def warm_code(self, program) -> None:
+        """Pre-install the program's code footprint in L1I and L2.
+
+        The paper simulates 100 M-instruction samples taken 20 B
+        instructions into execution, i.e. with warm instruction caches; our
+        samples are short, so benchmarks warm the code explicitly to avoid
+        charging every run a cold straight-line I-miss sequence.
+        """
+        from repro.frontend.fetch import INST_BYTES
+        line = self.params.memory.l1i.line_bytes
+        for byte_addr in range(0, len(program) * INST_BYTES, line):
+            self.memory.l1i.warm_line(byte_addr)
+            self.memory.l2.warm_line(byte_addr)
+
+    def warm_data(self, program) -> None:
+        """Pre-install the program's data segments in L2 (not L1D).
+
+        Useful for modelling steady-state behaviour of kernels whose
+        working set is L2-resident.
+        """
+        line = self.params.memory.l2.line_bytes
+        for segment in program.segments.values():
+            for byte_addr in range(segment.base, segment.base + segment.bytes,
+                                   line):
+                self.memory.l2.warm_line(byte_addr)
+
+    # --------------------------------------------------------------- run --
+    @property
+    def done(self) -> bool:
+        return (self._halt_committed
+                or (self.frontend.drained and len(self.rob) == 0))
+
+    def run(self, max_cycles: Optional[int] = None) -> StatGroup:
+        """Simulate until the program halts (or ``max_cycles`` elapse)."""
+        limit = max_cycles if max_cycles is not None else 1 << 62
+        while not self.done and self.cycle < limit:
+            self.step()
+        self.stat_committed.value = self.committed
+        return self.stats
+
+    def step(self) -> None:
+        """Advance one cycle."""
+        now = self.cycle
+        self.events.advance_to(now)
+        self._commit(now)
+        self.lsq.cycle(now)
+        self._issue(now)
+        # Pending events imply instructions in execution (completions,
+        # cache fills); the segmented IQ's deadlock detector (paper 4.5)
+        # must not fire while any are outstanding.
+        self.iq.in_flight = len(self.events)
+        self.iq.last_commit_cycle = self._last_commit_cycle
+        self.iq.cycle(now)
+        self._dispatch(now)
+        self.frontend.cycle(now)
+        self.rob.stat_occupancy.sample(len(self.rob))
+        self.cycle += 1
+        self.stat_cycles.inc()
+        if now - self._last_commit_cycle > self.params.watchdog_cycles:
+            raise DeadlockError(
+                f"no commit for {self.params.watchdog_cycles} cycles at "
+                f"cycle {now}: rob={len(self.rob)} iq={self.iq.occupancy} "
+                f"head={self.rob.head()!r}")
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycle if self.cycle else 0.0
+
+    # ------------------------------------------------------------ commit --
+    def _commit(self, now: int) -> None:
+        committed = 0
+        while committed < self.params.commit_width:
+            inst = self.rob.head()
+            if inst is None:
+                break
+            if inst.completed_cycle < 0 or inst.completed_cycle > now:
+                break
+            self.rob.commit_head()
+            inst.committed_cycle = now
+            if inst.is_mem:
+                self.lsq.commit(inst, now)
+            if inst.static.is_halt:
+                self._halt_committed = True
+            committed += 1
+            self.committed += 1
+            self._last_commit_cycle = now
+
+    # ------------------------------------------------------------- issue --
+    def _issue(self, now: int) -> None:
+        def acquire_fu(inst: DynInst) -> bool:
+            return self.fu_pool.try_issue(inst, now)
+
+        for entry in self.iq.select_issue(now, acquire_fu):
+            self._start_execution(entry.inst, now)
+
+    def _start_execution(self, inst: DynInst, now: int) -> None:
+        inst.issued_cycle = now
+        if self.params.clusters > 1:
+            self._cluster_load[inst.cluster] -= 1
+        if inst.is_mem:
+            # The IQ issued the effective-address calculation (1-cycle add);
+            # the LSQ takes over once the address is available.
+            ea_cycle = now + 1
+            self.events.schedule_at(
+                ea_cycle, lambda: self.lsq.address_ready(inst, ea_cycle))
+            return
+        latency = inst.static.info.latency
+        done = now + latency
+        inst.set_value_ready(done)
+        self.events.schedule_at(done, lambda: self._complete(inst, done))
+
+    def _complete(self, inst: DynInst, cycle: int) -> None:
+        inst.completed_cycle = cycle
+        self.iq.on_writeback(inst, cycle)
+        if inst.mispredicted and inst.is_branch:
+            self.frontend.branch_resolved(inst, cycle)
+
+    # ---------------------------------------------------------- dispatch --
+    def _dispatch(self, now: int) -> None:
+        if now < self.lsq.violation_flush_until:
+            return      # squash penalty after a memory-order violation
+        for _ in range(self.params.dispatch_width):
+            inst = self.frontend.peek_dispatchable(now)
+            if inst is None:
+                return
+            if not self._try_dispatch(inst, now):
+                return
+            self.frontend.pop_dispatchable(now)
+            self.stat_dispatched.inc()
+
+    def _try_dispatch(self, inst: DynInst, now: int) -> bool:
+        if not self.rob.has_space():
+            self.rob.stat_full_stalls.inc()
+            self.stat_dispatch_stall_rob.inc()
+            return False
+        op_class = inst.static.info.op_class
+
+        if op_class in (OpClass.HALT, OpClass.NOP, OpClass.JUMP):
+            # No register work: completes at dispatch.  A mispredicted jump
+            # (BTB miss) was already charged by stalling fetch until the
+            # decode stage could compute the target; release fetch now.
+            self.rob.dispatch(inst)
+            inst.dispatched_cycle = now
+            inst.completed_cycle = now
+            if inst.mispredicted and op_class is OpClass.JUMP:
+                self.frontend.branch_resolved(inst, now)
+            return True
+
+        if inst.is_mem and not self.lsq.has_space():
+            self.stat_dispatch_stall_lsq.inc()
+            return False
+        if not self.iq.can_dispatch(inst):
+            if getattr(self.iq, "blocked_on_chain", False):
+                self.stat_dispatch_stall_chain.inc()
+            else:
+                self.stat_dispatch_stall_iq.inc()
+            return False
+
+        if self.params.clusters > 1:
+            inst.cluster = self._steer_cluster(inst, now)
+            self._cluster_load[inst.cluster] += 1
+        operands = self._rename(inst, now)
+        self.rob.dispatch(inst)
+        inst.dispatched_cycle = now
+        if inst.is_mem:
+            data_ready, data_producer = self._store_data_operand(inst)
+            self.lsq.dispatch(inst, data_ready, data_producer)
+        self.iq.dispatch(inst, operands, now)
+        if inst.dest is not None and inst.dest != 0:
+            self._last_writer[inst.dest] = inst
+        return True
+
+    def _steer_cluster(self, inst: DynInst, now: int) -> int:
+        """Pick an execution cluster (section-7 horizontal clustering)."""
+        steering = self.params.cluster_steering
+        if steering == "chain" and hasattr(self.iq, "preferred_cluster"):
+            preferred = self.iq.preferred_cluster(inst, now)
+            if preferred is not None:
+                return preferred
+        if steering in ("chain", "dependence"):
+            for reg in (inst.srcs[:1] if inst.is_mem else inst.srcs):
+                producer = self._last_writer.get(reg)
+                if producer is not None and producer.value_ready_cycle is None:
+                    return producer.cluster
+        return min(range(self.params.clusters),
+                   key=lambda c: self._cluster_load[c])
+
+    def _rename(self, inst: DynInst, now: int) -> List[Operand]:
+        """Resolve IQ-relevant source operands to producers/ready-times.
+
+        For memory ops only the address register goes through the IQ; the
+        store-data register is tracked by the LSQ.
+        """
+        if inst.is_mem:
+            regs = inst.srcs[:1]
+        else:
+            regs = inst.srcs
+        operands = []
+        for reg in regs:
+            operands.append(self._operand_for(reg, consumer=inst))
+        return operands
+
+    def _operand_for(self, reg: int,
+                     consumer: Optional[DynInst] = None) -> Operand:
+        if reg == 0:
+            return Operand(reg=reg, ready_cycle=0)
+        producer = self._last_writer.get(reg)
+        if producer is None:
+            return Operand(reg=reg, ready_cycle=0)
+        penalty = 0
+        if (consumer is not None and self.params.clusters > 1
+                and producer.cluster != consumer.cluster
+                and producer.completed_cycle < 0):
+            penalty = self.params.cluster_bypass_penalty
+            self.stat_cross_cluster.inc()
+        ready = producer.value_ready_cycle
+        if ready is not None:
+            ready += penalty
+            penalty = 0     # already folded in; no late wakeup will come
+        return Operand(reg=reg, producer=producer, ready_cycle=ready,
+                       penalty=penalty)
+
+    def _store_data_operand(self, inst: DynInst):
+        if not inst.is_store:
+            return None, None
+        data_reg = inst.srcs[1]
+        operand = self._operand_for(data_reg)
+        return operand.ready_cycle, operand.producer

@@ -1,0 +1,40 @@
+"""Reorder buffer: in-order commit window (3x the IQ size, paper section 5)."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.common.stats import StatGroup
+from repro.isa.instruction import DynInst
+
+
+class ReorderBuffer:
+    """In-order retirement of completed instructions."""
+
+    def __init__(self, size: int, stats: StatGroup) -> None:
+        self.size = size
+        self._entries: Deque[DynInst] = deque()
+        self.stat_occupancy = stats.distribution("rob.occupancy")
+        self.stat_full_stalls = stats.counter(
+            "rob.full_stalls", "dispatch attempts blocked by a full ROB")
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def has_space(self) -> bool:
+        return len(self._entries) < self.size
+
+    def dispatch(self, inst: DynInst) -> None:
+        inst.rob_index = len(self._entries)
+        self._entries.append(inst)
+
+    def head(self) -> Optional[DynInst]:
+        return self._entries[0] if self._entries else None
+
+    def commit_head(self) -> DynInst:
+        return self._entries.popleft()
+
+    def __len__(self) -> int:
+        return len(self._entries)

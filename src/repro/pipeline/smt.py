@@ -1,0 +1,305 @@
+"""Simultaneous multithreading processor (the paper's section-7 study).
+
+"By scheduling across multiple threads, an SMT processor may obtain even
+larger benefits out of increased IQ sizes.  Unlike other prescheduling
+schemes, the dynamic inter-chain scheduling of our segmented IQ should
+allow chains from independent threads to exploit thread-level parallelism
+effectively."
+
+Sharing model (one common SMT design point):
+
+* shared: instruction queue (and its chains), function units, LSQ, caches;
+* per-thread: front end (fetch state, branch predictor, BTB), rename map,
+  reorder buffer (an equal slice of the ROB capacity);
+* fetch: ICOUNT-style — each cycle the thread with the fewest in-flight
+  instructions fetches at full width;
+* dispatch/commit: shared bandwidth, least-loaded-first / round-robin.
+
+Threads run independent programs in disjoint address spaces: each thread's
+data addresses are offset by 256 MB and code addresses by 16 MB, so cache
+interference is real but no false architectural sharing occurs, and the
+LSQ's same-address disambiguation never crosses threads.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.common.errors import ConfigurationError, DeadlockError
+from repro.common.events import EventQueue
+from repro.common.params import ProcessorParams
+from repro.common.stats import StatGroup
+from repro.core.iq_base import Operand
+from repro.frontend.fetch import FrontEnd
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import NUM_REGS, OpClass
+from repro.memory.hierarchy import MemoryHierarchy
+from repro.pipeline.fu import FUPool
+from repro.pipeline.lsq import LoadStoreQueue
+from repro.pipeline.processor import build_iq
+from repro.pipeline.rob import ReorderBuffer
+
+#: Per-thread address-space offsets.
+DATA_SPACE_BYTES = 256 * 1024 * 1024
+CODE_SPACE_BYTES = 16 * 1024 * 1024
+
+
+def _thread_stream(stream: Iterator[DynInst], thread: int,
+                   data_offset: int) -> Iterator[DynInst]:
+    """Tag a dynamic stream with its hardware thread and shift its data
+    addresses into the thread's private region."""
+    for inst in stream:
+        inst.thread = thread
+        if inst.mem_addr is not None:
+            inst.mem_addr += data_offset
+        yield inst
+
+
+class SMTProcessor:
+    """N hardware threads sharing one out-of-order back end."""
+
+    def __init__(self, params: ProcessorParams,
+                 streams: Sequence[Iterator[DynInst]],
+                 stats: Optional[StatGroup] = None) -> None:
+        params.validate()
+        if not streams:
+            raise ConfigurationError("SMTProcessor needs at least one stream")
+        if params.clusters > 1:
+            raise ConfigurationError(
+                "SMTProcessor does not support clustering yet")
+        self.params = params
+        self.num_threads = len(streams)
+        self.stats = stats if stats is not None else StatGroup()
+        self.events = EventQueue()
+        self.memory = MemoryHierarchy(params.memory, self.events, self.stats)
+        self.fu_pool = FUPool(params.fu_counts, self.stats)
+        self.iq = build_iq(params, self.stats)
+        self.lsq = LoadStoreQueue(params.effective_lsq_size, self.memory,
+                                  self.events, self.stats,
+                                  iq=self.iq, fu_pool=self.fu_pool,
+                                  policy=params.mem_dep_policy)
+
+        self.frontends: List[FrontEnd] = []
+        self.robs: List[ReorderBuffer] = []
+        self._renamers: List[Dict[int, DynInst]] = []
+        rob_slice = max(8, params.rob_size // self.num_threads)
+        for thread, stream in enumerate(streams):
+            wrapped = _thread_stream(stream, thread,
+                                     thread * DATA_SPACE_BYTES)
+            frontend = FrontEnd(params, wrapped, self.memory.l1i,
+                                self.events, self.stats)
+            frontend.code_base = thread * CODE_SPACE_BYTES
+            self.frontends.append(frontend)
+            self.robs.append(ReorderBuffer(rob_slice, self.stats))
+            self._renamers.append({})
+
+        self.cycle = 0
+        self.committed = 0
+        self.committed_per_thread = [0] * self.num_threads
+        self._halted = [False] * self.num_threads
+        self._global_seq = 0
+        self._last_commit_cycle = 0
+        self._commit_rotor = 0
+        self.stat_cycles = self.stats.counter("cycles")
+        self.stat_committed = self.stats.counter("committed")
+        self._thread_committed = [
+            self.stats.counter(f"thread{t}.committed")
+            for t in range(self.num_threads)]
+
+    # --------------------------------------------------------------- run --
+    def _thread_done(self, thread: int) -> bool:
+        return (self._halted[thread]
+                or (self.frontends[thread].drained
+                    and len(self.robs[thread]) == 0))
+
+    @property
+    def done(self) -> bool:
+        return all(self._thread_done(t) for t in range(self.num_threads))
+
+    @property
+    def ipc(self) -> float:
+        return self.committed / self.cycle if self.cycle else 0.0
+
+    def thread_ipc(self, thread: int) -> float:
+        return (self.committed_per_thread[thread] / self.cycle
+                if self.cycle else 0.0)
+
+    def warm_code(self, programs: Sequence) -> None:
+        """Pre-install every thread's code footprint (see Processor)."""
+        from repro.frontend.fetch import INST_BYTES
+        line = self.params.memory.l1i.line_bytes
+        for thread, program in enumerate(programs):
+            base = thread * CODE_SPACE_BYTES
+            for byte_addr in range(base,
+                                   base + len(program) * INST_BYTES, line):
+                self.memory.l1i.warm_line(byte_addr)
+                self.memory.l2.warm_line(byte_addr)
+
+    def warm_data(self, programs: Sequence, threads: Optional[Sequence[int]] = None) -> None:
+        """Pre-install chosen threads' data segments in the L2."""
+        line = self.params.memory.l2.line_bytes
+        for thread, program in enumerate(programs):
+            if threads is not None and thread not in threads:
+                continue
+            base = thread * DATA_SPACE_BYTES
+            for segment in program.segments.values():
+                start = base + segment.base
+                for byte_addr in range(start, start + segment.bytes, line):
+                    self.memory.l2.warm_line(byte_addr)
+
+    def run(self, max_cycles: Optional[int] = None) -> StatGroup:
+        limit = max_cycles if max_cycles is not None else 1 << 62
+        while not self.done and self.cycle < limit:
+            self.step()
+        self.stat_committed.value = self.committed
+        return self.stats
+
+    def step(self) -> None:
+        now = self.cycle
+        self.events.advance_to(now)
+        self._commit(now)
+        self.lsq.cycle(now)
+        self._issue(now)
+        self.iq.in_flight = len(self.events)
+        self.iq.last_commit_cycle = self._last_commit_cycle
+        self.iq.cycle(now)
+        self._dispatch(now)
+        self._fetch(now)
+        self.cycle += 1
+        self.stat_cycles.inc()
+        if now - self._last_commit_cycle > self.params.watchdog_cycles:
+            raise DeadlockError(
+                f"SMT: no commit for {self.params.watchdog_cycles} cycles "
+                f"at cycle {now}")
+
+    # ------------------------------------------------------------- fetch --
+    def _fetch(self, now: int) -> None:
+        """ICOUNT: the least-loaded unfinished thread fetches this cycle."""
+        candidates = [t for t in range(self.num_threads)
+                      if not self._thread_done(t)]
+        if not candidates:
+            return
+        candidates.sort(key=lambda t: (len(self.robs[t]), t))
+        self.frontends[candidates[0]].cycle(now)
+
+    # ------------------------------------------------------------ commit --
+    def _commit(self, now: int) -> None:
+        budget = self.params.commit_width
+        for offset in range(self.num_threads):
+            if budget <= 0:
+                break
+            thread = (self._commit_rotor + offset) % self.num_threads
+            rob = self.robs[thread]
+            while budget > 0:
+                inst = rob.head()
+                if (inst is None or inst.completed_cycle < 0
+                        or inst.completed_cycle > now):
+                    break
+                rob.commit_head()
+                inst.committed_cycle = now
+                if inst.is_mem:
+                    self.lsq.commit(inst, now)
+                if inst.static.is_halt:
+                    self._halted[thread] = True
+                budget -= 1
+                self.committed += 1
+                self.committed_per_thread[thread] += 1
+                self._thread_committed[thread].inc()
+                self._last_commit_cycle = now
+        self._commit_rotor = (self._commit_rotor + 1) % self.num_threads
+
+    # ------------------------------------------------------------- issue --
+    def _issue(self, now: int) -> None:
+        def acquire_fu(inst: DynInst) -> bool:
+            return self.fu_pool.try_issue(inst, now)
+
+        for entry in self.iq.select_issue(now, acquire_fu):
+            self._start_execution(entry.inst, now)
+
+    def _start_execution(self, inst: DynInst, now: int) -> None:
+        inst.issued_cycle = now
+        if inst.is_mem:
+            ea_cycle = now + 1
+            self.events.schedule_at(
+                ea_cycle, lambda: self.lsq.address_ready(inst, ea_cycle))
+            return
+        latency = inst.static.info.latency
+        done = now + latency
+        inst.set_value_ready(done)
+        self.events.schedule_at(done, lambda: self._complete(inst, done))
+
+    def _complete(self, inst: DynInst, cycle: int) -> None:
+        inst.completed_cycle = cycle
+        self.iq.on_writeback(inst, cycle)
+        if inst.mispredicted and inst.is_branch:
+            self.frontends[inst.thread].branch_resolved(inst, cycle)
+
+    # ---------------------------------------------------------- dispatch --
+    def _dispatch(self, now: int) -> None:
+        """Shared dispatch bandwidth, least-loaded thread first."""
+        if now < self.lsq.violation_flush_until:
+            return      # squash penalty after a memory-order violation
+        budget = self.params.dispatch_width
+        order = sorted(range(self.num_threads),
+                       key=lambda t: (len(self.robs[t]), t))
+        for thread in order:
+            while budget > 0:
+                inst = self.frontends[thread].peek_dispatchable(now)
+                if inst is None or not self._try_dispatch(thread, inst, now):
+                    break
+                self.frontends[thread].pop_dispatchable(now)
+                budget -= 1
+
+    def _try_dispatch(self, thread: int, inst: DynInst, now: int) -> bool:
+        rob = self.robs[thread]
+        if not rob.has_space():
+            return False
+        op_class = inst.static.info.op_class
+        # Re-sequence into a global age order: the shared queues (IQ, LSQ)
+        # break ties by seq, and per-thread program order is preserved
+        # because dispatch follows fetch order within a thread.
+        inst.seq = self._global_seq
+        self._global_seq += 1
+
+        if op_class in (OpClass.HALT, OpClass.NOP, OpClass.JUMP):
+            rob.dispatch(inst)
+            inst.dispatched_cycle = now
+            inst.completed_cycle = now
+            if inst.mispredicted and op_class is OpClass.JUMP:
+                self.frontends[thread].branch_resolved(inst, now)
+            return True
+
+        if inst.is_mem and not self.lsq.has_space():
+            return False
+        if not self.iq.can_dispatch(inst):
+            return False
+
+        operands = self._rename(thread, inst)
+        rob.dispatch(inst)
+        inst.dispatched_cycle = now
+        if inst.is_mem:
+            data_ready, data_producer = self._store_data_operand(thread, inst)
+            self.lsq.dispatch(inst, data_ready, data_producer)
+        self.iq.dispatch(inst, operands, now)
+        if inst.dest is not None and inst.dest != 0:
+            self._renamers[thread][inst.dest] = inst
+        return True
+
+    def _rename(self, thread: int, inst: DynInst) -> List[Operand]:
+        regs = inst.srcs[:1] if inst.is_mem else inst.srcs
+        return [self._operand_for(thread, reg) for reg in regs]
+
+    def _operand_for(self, thread: int, reg: int) -> Operand:
+        if reg == 0:
+            return Operand(reg=reg, ready_cycle=0)
+        producer = self._renamers[thread].get(reg)
+        if producer is None:
+            return Operand(reg=reg, ready_cycle=0)
+        return Operand(reg=reg, producer=producer,
+                       ready_cycle=producer.value_ready_cycle)
+
+    def _store_data_operand(self, thread: int, inst: DynInst):
+        if not inst.is_store:
+            return None, None
+        operand = self._operand_for(thread, inst.srcs[1])
+        return operand.ready_cycle, operand.producer

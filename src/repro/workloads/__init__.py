@@ -1,0 +1,15 @@
+"""Benchmark analogs of the paper's SPEC CPU2000 subset."""
+
+from repro.workloads.kernels import (FP_BENCHMARKS, INT_BENCHMARKS, WORKLOADS,
+                                     WorkloadSpec, build_ammp, build_applu,
+                                     build_equake, build_gcc, build_mgrid,
+                                     build_swim, build_twolf, build_vortex)
+from repro.workloads.synthetic import (ACCESS_PATTERNS, SyntheticProfile,
+                                       build_synthetic)
+
+__all__ = [
+    "ACCESS_PATTERNS", "FP_BENCHMARKS", "INT_BENCHMARKS", "SyntheticProfile",
+    "WORKLOADS", "WorkloadSpec", "build_synthetic",
+    "build_ammp", "build_applu", "build_equake", "build_gcc", "build_mgrid",
+    "build_swim", "build_twolf", "build_vortex",
+]

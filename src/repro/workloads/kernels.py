@@ -1,0 +1,441 @@
+"""Synthetic analogs of the paper's SPEC CPU2000 benchmark subset.
+
+SPEC binaries are proprietary and the paper's 100 M-instruction samples are
+far beyond a Python simulator, so each benchmark is replaced by a kernel
+whose *shape* — memory footprint and stride, miss behaviour, dependence
+structure, branchiness — mimics the paper's characterization of that
+benchmark (sections 5-6).  See DESIGN.md section 5 for the mapping table.
+
+Every kernel is deterministic: pseudo-random access patterns are
+precomputed at build time with a multiplicative hash.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.isa import F, ProgramBuilder, R
+from repro.isa.program import Program
+
+#: Knuth's multiplicative hash constant, used for light scrambling of
+#: table contents (not access patterns).
+_HASH = 2654435761
+
+
+def _scrambled(count: int, modulo: int, salt: int = 0) -> list:
+    """Deterministic, well-mixed pseudo-random ints in [0, modulo).
+
+    Seeded PRNG rather than a multiplicative hash: hash sequences over
+    consecutive indices have stride-periodic low bits, which a local
+    branch-history predictor learns — defeating the point of "random"
+    branch and access patterns.
+    """
+    rng = random.Random(0xC0FFEE + salt)
+    return [rng.randrange(modulo) for _ in range(count)]
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One benchmark analog: how to build it and how to run it."""
+
+    name: str
+    build: Callable[[int], Program]
+    #: Dynamic-instruction budget at scale=1 (roughly).
+    default_instructions: int
+    #: True for the floating-point subset (ammp/applu/equake/mgrid/swim).
+    is_fp: bool
+    #: Pre-install the data segments in the L2 before measuring.
+    warm_data: bool
+    description: str
+
+
+# --------------------------------------------------------------------- swim
+def build_swim(scale: int = 1) -> Program:
+    """Streaming 1-D shallow-water-style sweep.
+
+    Paper: >90 % of swim's loads miss in L1, but only ~20 % reach the L2 —
+    the rest are delayed hits on in-flight lines.  A stride-1 sweep over
+    cold arrays gives exactly that profile: one true miss plus seven
+    delayed hits per 64-byte line.
+    """
+    n = 3600 * scale                # elements, visited with stride 2
+    b = ProgramBuilder("swim")
+    u = b.alloc("u", n, init=[1.0 + (i % 7) * 0.25 for i in range(n)])
+    v = b.alloc("v", n, init=[2.0 - (i % 5) * 0.125 for i in range(n)])
+    i, limit, addr = R(1), R(2), R(3)
+    b.li(R(4), 1)
+    b.cvtif(F(10), R(4))            # c1 = 1.0
+    b.li(R(5), 2)
+    b.cvtif(F(11), R(5))            # c2 = 2.0
+    b.li(limit, n)
+    b.li(i, 0)
+    b.label("loop")
+    b.slli(addr, i, 3)
+    b.fld(F(0), addr, base=u)
+    b.fld(F(1), addr, base=v)
+    # Two shallow consumer chains per point plus independent flux work:
+    # the line-touch density is balanced so that bandwidth saturation
+    # needs only a few hundred instructions in flight, as for real swim.
+    b.fadd(F(3), F(0), F(1))        # u + v
+    b.fmul(F(4), F(3), F(10))       # u'
+    b.fst(F(4), addr, base=u)
+    b.fmul(F(5), F(1), F(11))       # 2v
+    b.fadd(F(6), F(5), F(0))
+    b.fmul(F(12), F(10), F(11))     # independent flux chains
+    b.fadd(F(13), F(12), F(10))
+    b.fmul(F(14), F(13), F(11))
+    b.fsub(F(15), F(11), F(10))
+    b.fmul(F(16), F(15), F(15))
+    b.fadd(F(17), F(16), F(12))
+    b.addi(i, i, 2)
+    b.blt(i, limit, "loop")
+    b.halt()
+    return b.build()
+
+
+# -------------------------------------------------------------------- mgrid
+def build_mgrid(scale: int = 1) -> Program:
+    """Dense 1-D multigrid-style relaxation with deep per-point FP work.
+
+    Paper: mgrid has low miss rates, very effective chain scheduling, and
+    segment 0 dense with ready instructions.  Deep independent FP
+    expression trees per point with a modest streaming footprint give the
+    same texture.
+    """
+    n = 1400 * scale
+    b = ProgramBuilder("mgrid")
+    u = b.alloc("u", n + 2, init=[1.0 + (i % 9) * 0.0625
+                                  for i in range(n + 2)])
+    r = b.alloc("r", n + 2, init=[0.0] * (n + 2))
+    i, limit, addr = R(1), R(2), R(3)
+    b.li(R(4), 4)
+    b.cvtif(F(10), R(4))            # 4.0
+    b.li(R(5), 2)
+    b.cvtif(F(11), R(5))            # 2.0
+    b.li(limit, n)
+    b.li(i, 1)
+    b.label("loop")
+    b.slli(addr, i, 3)
+    b.fld(F(0), addr, -8, base=u)   # u[i-1]
+    b.fld(F(1), addr, 0, base=u)    # u[i]
+    b.fld(F(2), addr, 8, base=u)    # u[i+1]
+    b.fadd(F(3), F(0), F(2))
+    b.fmul(F(4), F(1), F(11))
+    b.fsub(F(5), F(3), F(4))        # laplacian
+    b.fmul(F(6), F(5), F(10))
+    b.fadd(F(7), F(6), F(1))
+    b.fmul(F(8), F(7), F(11))
+    b.fadd(F(9), F(8), F(3))
+    b.fmul(F(12), F(9), F(10))
+    b.fadd(F(13), F(12), F(5))
+    b.fst(F(13), addr, 0, base=r)
+    b.addi(i, i, 1)
+    b.blt(i, limit, "loop")
+    b.halt()
+    return b.build()
+
+
+# -------------------------------------------------------------------- applu
+def build_applu(scale: int = 1) -> Program:
+    """Blocked SSOR-style solve: loop-carried recurrences over a cold
+    streamed footprint.
+
+    Paper: applu is L2-miss limited with long dependence chains; larger
+    windows overlap the memory accesses feeding several concurrent
+    recurrences.
+    """
+    n = 1100 * scale
+    b = ProgramBuilder("applu")
+    a = b.alloc("a", n, init=[0.001 * (1 + (i % 11)) for i in range(n)])
+    c = b.alloc("c", n, init=[0.5 + (i % 3) * 0.125 for i in range(n)])
+    out = b.alloc("out", n, init=[0.0] * n)
+    i, limit, addr = R(1), R(2), R(3)
+    b.li(R(4), 1)
+    b.cvtif(F(20), R(4))
+    # Four independent recurrence accumulators.
+    for reg in (F(0), F(1), F(2), F(3)):
+        b.cvtif(reg, R(4))
+    b.li(limit, n)
+    b.li(i, 0)
+    b.label("loop")
+    b.slli(addr, i, 3)
+    b.fld(F(4), addr, base=a)
+    b.fld(F(5), addr, base=c)
+    # The multiplies are off the critical path; each recurrence carries
+    # only a 2-cycle fadd per iteration, so a large window can overlap
+    # the streamed loads feeding many iterations.
+    b.fmul(F(6), F(4), F(5))
+    b.fadd(F(0), F(0), F(6))        # recurrence 0
+    b.fmul(F(7), F(4), F(20))
+    b.fadd(F(1), F(1), F(7))        # recurrence 1
+    b.fmul(F(8), F(5), F(20))
+    b.fadd(F(2), F(2), F(8))        # recurrence 2
+    b.fadd(F(9), F(6), F(7))
+    b.fadd(F(3), F(3), F(9))        # recurrence 3
+    # Independent block-solve work per point (off the critical path).
+    b.fmul(F(10), F(6), F(8))
+    b.fadd(F(11), F(10), F(9))
+    b.fmul(F(12), F(11), F(4))
+    b.fsub(F(13), F(12), F(7))
+    b.fmul(F(14), F(13), F(5))
+    b.fadd(F(15), F(14), F(10))
+    b.fmul(F(16), F(15), F(20))
+    b.fadd(F(17), F(16), F(12))
+    b.fst(F(17), addr, base=out)
+    b.addi(i, i, 1)
+    b.blt(i, limit, "loop")
+    b.halt()
+    return b.build()
+
+
+# ------------------------------------------------------------------- equake
+def build_equake(scale: int = 1) -> Program:
+    """Sparse matrix-vector product with indirection.
+
+    Paper: equake's performance is limited by L2 misses on irregular
+    accesses; a big window overlaps many of them.  Here: stride-1 index
+    and value streams (cold) feed dependent scattered loads into a vector.
+    """
+    nnz = 1800 * scale
+    vec_words = 8192            # 64 KB vector: L1-straddling, L2-resident
+    b = ProgramBuilder("equake")
+    col = b.alloc("col", nnz,
+                  init=[float(x * 8) for x in _scrambled(nnz, vec_words)])
+    val = b.alloc("val", nnz, init=[0.25 + (i % 13) * 0.0625
+                                    for i in range(nnz)])
+    vec = b.alloc("vec", vec_words, init=[1.0] * vec_words)
+    acc = b.alloc("acc", 8, init=[0.0] * 8)
+    i, limit, addr, idx = R(1), R(2), R(3), R(4)
+    b.li(limit, nnz)
+    b.li(i, 0)
+    b.cvtif(F(0), R(0))             # sum = 0
+    b.label("loop")
+    b.slli(addr, i, 3)
+    b.ld(idx, addr, base=col)       # column byte offset
+    b.fld(F(1), addr, base=val)
+    b.fld(F(2), idx, base=vec)      # dependent, scattered load
+    b.fmul(F(3), F(1), F(2))
+    b.fadd(F(0), F(0), F(3))
+    b.addi(i, i, 1)
+    b.blt(i, limit, "loop")
+    b.fst(F(0), R(0), base=acc)
+    b.halt()
+    return b.build()
+
+
+# --------------------------------------------------------------------- ammp
+def build_ammp(scale: int = 1) -> Program:
+    """Neighbor-list force computation with divides.
+
+    Paper: ammp has high chain usage and queue occupancy but a fairly low
+    miss rate.  Scattered gathers over an L2-resident particle array with
+    an FP divide per interaction reproduce that: long-latency FP chains
+    keep the queue full without being memory-bound.
+    """
+    pairs = 900 * scale
+    particles = 131072          # 1 MB position array, accessed cold
+    force_words = 8192          # 64 KB force array (warmed)
+    b = ProgramBuilder("ammp")
+    pa = b.alloc("pa", pairs,
+                 init=[float(x * 8) for x in _scrambled(pairs, particles)])
+    pb = b.alloc("pb", pairs,
+                 init=[float(x * 8) for x in _scrambled(pairs, particles, 1)])
+    pos = b.alloc("pos", particles,
+                  init=[1.0 + (i % 17) * 0.25 for i in range(particles)])
+    force = b.alloc("force", force_words, init=[0.0] * force_words)
+    i, limit, addr, ia, ib, fi = R(1), R(2), R(3), R(4), R(5), R(12)
+    b.li(R(6), 1)
+    b.cvtif(F(10), R(6))            # 1.0
+    b.li(R(7), 4)
+    b.cvtif(F(11), R(7))            # epsilon = 4.0
+    b.li(limit, pairs)
+    b.li(i, 0)
+    b.label("loop")
+    b.slli(addr, i, 3)
+    b.ld(ia, addr, base=pa)
+    b.ld(ib, addr, base=pb)
+    b.fld(F(0), ia, base=pos)       # scattered cold loads: main memory
+    b.fld(F(1), ib, base=pos)
+    # Lennard-Jones-style interaction: deep FP tree per pair.
+    b.fsub(F(2), F(0), F(1))        # dx
+    b.fmul(F(3), F(2), F(2))        # r2
+    b.fadd(F(4), F(3), F(10))       # r2 + 1
+    b.fmul(F(5), F(4), F(4))        # r4
+    b.fmul(F(6), F(5), F(4))        # r6
+    b.fmul(F(7), F(6), F(6))        # r12
+    b.fdiv(F(8), F(11), F(6))       # eps / r6
+    b.fdiv(F(9), F(10), F(7))       # 1 / r12
+    b.fsub(F(13), F(9), F(8))       # LJ term
+    b.fmul(F(14), F(13), F(2))      # fx = term * dx
+    b.fmul(F(15), F(14), F(11))
+    b.fadd(F(16), F(15), F(13))
+    b.andi(fi, ia, force_words * 8 - 1)
+    b.fld(F(17), fi, base=force)
+    b.fadd(F(18), F(17), F(16))
+    b.fst(F(18), fi, base=force)
+    b.addi(i, i, 1)
+    b.blt(i, limit, "loop")
+    b.halt()
+    return b.build()
+
+
+# ------------------------------------------------------------------- vortex
+def build_vortex(scale: int = 1) -> Program:
+    """Hash-table object lookups: integer, mostly-hitting, low occupancy.
+
+    Paper: vortex actively uses only a small fraction of the queue
+    (<=136/512 entries) and benefits mostly from the bypass mechanism.
+    """
+    lookups = 1300 * scale
+    table_words = 32768         # 256 KB: L2-resident object store
+    b = ProgramBuilder("vortex")
+    keys = b.alloc("keys", lookups,
+                   init=[float(k) for k in _scrambled(lookups, 1 << 20)])
+    # Each entry holds a byte-offset "pointer" to another entry, so
+    # lookups chase one link, object-database style.
+    table = b.alloc("table", table_words,
+                    init=[float((((i + 3) * _HASH) >> 6) % table_words * 8)
+                          for i in range(table_words)])
+    hits = b.alloc("hits", 8, init=[0.0] * 8)
+    i, limit, addr = R(1), R(2), R(3)
+    key, h, bucket, obj, count = R(4), R(5), R(6), R(10), R(7)
+    b.li(limit, lookups)
+    b.li(i, 0)
+    b.li(count, 0)
+    b.li(R(8), _HASH % 65536)
+    b.label("loop")
+    b.slli(addr, i, 3)
+    b.ld(key, addr, base=keys)
+    # h = (key * HASH) masked into the table
+    b.mul(h, key, R(8))
+    b.srli(h, h, 5)
+    b.andi(h, h, table_words - 1)
+    b.slli(h, h, 3)
+    b.ld(bucket, h, base=table)     # bucket head (scattered, L2 hit)
+    b.ld(obj, bucket, base=table)   # chase one link (dependent load)
+    b.slti(R(9), obj, 1)
+    b.bne(R(9), R(0), "miss")       # object offsets are >= 1: predictable
+    b.add(count, count, key)
+    b.label("miss")
+    b.addi(i, i, 1)
+    b.blt(i, limit, "loop")
+    b.st(count, R(0), base=hits)
+    b.halt()
+    return b.build()
+
+
+# -------------------------------------------------------------------- twolf
+def build_twolf(scale: int = 1) -> Program:
+    """Placement cost evaluation: branchy integer code, small working set.
+
+    Paper: twolf uses few queue entries, benefits modestly from larger
+    IQs, and loses a little at very large sizes to the deeper pipeline.
+    """
+    moves = 1200 * scale
+    cells = 1024                # 8 KB
+    b = ProgramBuilder("twolf")
+    xs = b.alloc("xs", cells,
+                 init=[float(x) for x in _scrambled(cells, 512)])
+    ys = b.alloc("ys", cells,
+                 init=[float(x) for x in _scrambled(cells, 512, 3)])
+    picks = b.alloc("picks", moves,
+                    init=[float(x * 8) for x in _scrambled(moves, cells)])
+    cost_seg = b.alloc("cost", 8, init=[0.0] * 8)
+    i, limit, addr, pick = R(1), R(2), R(3), R(4)
+    x, y, dx, dy, cost, best = R(5), R(6), R(7), R(8), R(9), R(10)
+    b.li(limit, moves)
+    b.li(i, 0)
+    b.li(best, 400)
+    b.li(cost, 0)
+    b.label("loop")
+    b.slli(addr, i, 3)
+    b.ld(pick, addr, base=picks)
+    b.ld(x, pick, base=xs)
+    b.ld(y, pick, base=ys)
+    b.sub(dx, x, y)
+    b.mul(dy, dx, dx)
+    b.slt(R(11), dy, best)
+    b.beq(R(11), R(0), "reject")    # data-dependent: moderately hard
+    b.add(cost, cost, dx)
+    b.jmp("next")
+    b.label("reject")
+    b.addi(cost, cost, 1)
+    b.label("next")
+    b.addi(i, i, 1)
+    b.blt(i, limit, "loop")
+    b.st(cost, R(0), base=cost_seg)
+    b.halt()
+    return b.build()
+
+
+# ---------------------------------------------------------------------- gcc
+def build_gcc(scale: int = 1) -> Program:
+    """Interpreter-style dispatch: hard branches, low ILP.
+
+    Paper: gcc does not benefit from a larger IQ — misspeculation and low
+    ILP dominate, and deeper pipelines hurt.  Hash-scrambled two-way
+    dispatch on loaded opcodes defeats the branch predictor often enough
+    to reproduce that profile.
+    """
+    ops = 1100 * scale
+    b = ProgramBuilder("gcc")
+    # Opcode mix: ~25% "odd" cases, arriving in no learnable order — the
+    # dispatch branches mispredict at a gcc-like per-instruction rate.
+    case_mix = (0, 0, 2, 2, 0, 1, 2, 3)
+    code = b.alloc("code", ops,
+                   init=[float(case_mix[x])
+                         for x in _scrambled(ops, len(case_mix), 7)])
+    out = b.alloc("out", 8, init=[0.0] * 8)
+    i, limit, addr, op, acc = R(1), R(2), R(3), R(4), R(5)
+    b.li(limit, ops)
+    b.li(i, 0)
+    b.li(acc, 0)
+    b.label("loop")
+    b.slli(addr, i, 3)
+    b.ld(op, addr, base=code)
+    b.andi(R(6), op, 1)
+    b.beq(R(6), R(0), "even")       # ~50/50 scrambled: hard to predict
+    b.andi(R(7), op, 2)
+    b.beq(R(7), R(0), "one")
+    b.sub(acc, acc, op)             # case 3
+    b.jmp("next")
+    b.label("one")
+    b.add(acc, acc, op)             # case 1
+    b.jmp("next")
+    b.label("even")
+    b.addi(acc, acc, 2)             # cases 0 and 2
+    b.label("next")
+    b.addi(i, i, 1)
+    b.blt(i, limit, "loop")
+    b.st(acc, R(0), base=out)
+    b.halt()
+    return b.build()
+
+
+#: The benchmark registry, in the paper's (alphabetical) order.
+WORKLOADS: Dict[str, WorkloadSpec] = {
+    "ammp": WorkloadSpec("ammp", build_ammp, 21_000, True, False,
+                         "neighbor-list forces: chains + divides"),
+    "applu": WorkloadSpec("applu", build_applu, 25_000, True, False,
+                          "recurrences over cold streamed arrays"),
+    "equake": WorkloadSpec("equake", build_equake, 15_000, True, False,
+                           "sparse matvec with indirection"),
+    "gcc": WorkloadSpec("gcc", build_gcc, 11_000, False, True,
+                        "interpreter dispatch: hard branches, low ILP"),
+    "mgrid": WorkloadSpec("mgrid", build_mgrid, 22_000, True, True,
+                          "dense relaxation: deep FP trees, few misses"),
+    "swim": WorkloadSpec("swim", build_swim, 27_000, True, False,
+                         "cold stride-1 streams: delayed-hit dominated"),
+    "twolf": WorkloadSpec("twolf", build_twolf, 14_000, False, True,
+                          "branchy placement cost, small working set"),
+    "vortex": WorkloadSpec("vortex", build_vortex, 19_000, False, True,
+                           "hash-table lookups: int, mostly hits"),
+}
+
+#: Paper's benchmark grouping.
+FP_BENCHMARKS = tuple(sorted(name for name, spec in WORKLOADS.items()
+                             if spec.is_fp))
+INT_BENCHMARKS = tuple(sorted(name for name, spec in WORKLOADS.items()
+                              if not spec.is_fp))

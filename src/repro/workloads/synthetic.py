@@ -1,0 +1,171 @@
+"""Parametric synthetic kernel generator.
+
+The eight named analogs in :mod:`repro.workloads.kernels` match the
+paper's benchmarks; this module lets a user synthesize *arbitrary* points
+in the workload space — memory intensity, access pattern, dependence
+depth, branch predictability — to probe how an IQ design responds.
+
+Example::
+
+    from repro.workloads.synthetic import SyntheticProfile, build_synthetic
+
+    profile = SyntheticProfile(name="hot-loop", iterations=2000,
+                               loads_per_iteration=1, fp_chain_depth=6,
+                               access_pattern="scatter",
+                               footprint_words=1 << 15)
+    program = build_synthetic(profile)
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.isa import F, ProgramBuilder, R
+from repro.isa.program import Program
+
+ACCESS_PATTERNS = ("stream", "scatter", "chase")
+
+
+@dataclass(frozen=True)
+class SyntheticProfile:
+    """Knobs describing one synthetic kernel."""
+
+    name: str = "synthetic"
+    iterations: int = 1000
+    #: Memory behaviour.
+    loads_per_iteration: int = 2
+    stores_per_iteration: int = 1
+    footprint_words: int = 8192          # 64 KB
+    access_pattern: str = "stream"       # stream | scatter | chase
+    #: Compute behaviour: a serial FP chain of this depth per iteration...
+    fp_chain_depth: int = 4
+    #: ...plus this many independent FP ops.
+    fp_parallel_ops: int = 4
+    int_ops: int = 2
+    #: Branchiness: fraction of iterations taking a data-dependent branch
+    #: with unpredictable direction (0.0 = perfectly predictable loop).
+    hard_branch_bias: float = 0.0
+    seed: int = 1
+
+    def validate(self) -> None:
+        if self.iterations <= 0:
+            raise ConfigurationError("iterations must be positive")
+        if self.access_pattern not in ACCESS_PATTERNS:
+            raise ConfigurationError(
+                f"access_pattern must be one of {ACCESS_PATTERNS}")
+        if self.footprint_words < 64:
+            raise ConfigurationError("footprint must be at least 64 words")
+        if self.footprint_words & (self.footprint_words - 1):
+            raise ConfigurationError("footprint must be a power of two")
+        if not 0.0 <= self.hard_branch_bias <= 1.0:
+            raise ConfigurationError("hard_branch_bias must be in [0, 1]")
+        if self.loads_per_iteration < 0 or self.stores_per_iteration < 0:
+            raise ConfigurationError("memory op counts must be >= 0")
+        if self.stores_per_iteration > 0 and self.loads_per_iteration == 0:
+            raise ConfigurationError(
+                "stores need at least one load-derived value")
+
+
+def build_synthetic(profile: SyntheticProfile) -> Program:
+    """Generate a deterministic kernel matching ``profile``."""
+    profile.validate()
+    rng = random.Random(profile.seed)
+    b = ProgramBuilder(profile.name)
+    words = profile.footprint_words
+    data = b.alloc("data", words,
+                   init=[1.0 + (i % 13) * 0.125 for i in range(words)])
+    # Stores go to their own region so they can never corrupt the
+    # pointer cycle used by the "chase" pattern.
+    out = b.alloc("out", 256)
+
+    needs_indices = profile.access_pattern == "scatter"
+    indices = None
+    if needs_indices:
+        indices = b.alloc("idx", profile.iterations * max(
+            1, profile.loads_per_iteration),
+            init=[float(rng.randrange(words) * 8)
+                  for _ in range(profile.iterations
+                                 * max(1, profile.loads_per_iteration))])
+    if profile.access_pattern == "chase":
+        # A scrambled cycle of "pointers" through the footprint.
+        order = list(range(1, words))
+        rng.shuffle(order)
+        order.append(0)
+        previous = 0
+        for node in order:
+            b.set_word(data, previous, node * 8)
+            previous = node
+    hard = None
+    if profile.hard_branch_bias > 0:
+        hard = b.alloc("hard", profile.iterations,
+                       init=[float(int(rng.random()
+                                       < profile.hard_branch_bias
+                                       and rng.random() < 0.5))
+                             for _ in range(profile.iterations)])
+
+    i, limit, addr, ptr = R(1), R(2), R(3), R(4)
+    b.li(R(5), 3)
+    b.cvtif(F(30), R(5))
+    b.li(limit, profile.iterations)
+    b.li(i, 0)
+    b.li(ptr, 0)
+    b.label("loop")
+
+    loaded = []
+    for load_index in range(profile.loads_per_iteration):
+        reg = F(load_index % 8)
+        if profile.access_pattern == "stream":
+            b.addi(addr, i, load_index * (words // 4))
+            b.andi(addr, addr, words - 1)
+            b.slli(addr, addr, 3)
+            b.fld(reg, addr, base=data)
+        elif profile.access_pattern == "scatter":
+            # Each load walks its own slice of the index array.
+            b.addi(addr, i, load_index * profile.iterations)
+            b.slli(addr, addr, 3)
+            b.ld(R(6), addr, base=indices)
+            b.fld(reg, R(6), base=data)
+        else:                        # chase
+            b.ld(ptr, ptr, base=data)
+            b.cvtif(reg, ptr)
+        loaded.append(reg)
+
+    # Serial FP chain seeded by the first load (if any).
+    chain_reg = F(10)
+    seed = loaded[0] if loaded else F(30)
+    b.fadd(chain_reg, seed, F(30))
+    for depth in range(profile.fp_chain_depth - 1):
+        if depth % 2:
+            b.fadd(chain_reg, chain_reg, F(30))
+        else:
+            b.fmul(chain_reg, chain_reg, F(30))
+
+    # Independent FP work.
+    for op_index in range(profile.fp_parallel_ops):
+        reg = F(16 + op_index % 8)
+        if op_index % 2:
+            b.fadd(reg, F(30), F(30))
+        else:
+            b.fmul(reg, F(30), F(30))
+
+    for op_index in range(profile.int_ops):
+        b.add(R(7 + op_index % 4), i, limit)
+
+    for store_index in range(profile.stores_per_iteration):
+        b.andi(addr, i, 255)
+        b.slli(addr, addr, 3)
+        b.fst(chain_reg, addr, base=out)
+
+    if hard is not None:
+        b.slli(addr, i, 3)
+        b.ld(R(11), addr, base=hard)
+        b.beq(R(11), R(0), "skip_hard")
+        b.addi(R(12), R(12), 1)
+        b.label("skip_hard")
+
+    b.addi(i, i, 1)
+    b.blt(i, limit, "loop")
+    b.halt()
+    return b.build()

@@ -1,0 +1,40 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.common import (ConfigurationError, DeadlockError, ExecutionError,
+                          ProgramError, ReproError, SimulationError)
+
+
+class TestHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ConfigurationError, DeadlockError, ExecutionError,
+                    ProgramError, SimulationError):
+            assert issubclass(exc, ReproError)
+
+    def test_deadlock_is_a_simulation_error(self):
+        assert issubclass(DeadlockError, SimulationError)
+
+    def test_single_handler_catches_everything(self):
+        for exc in (ConfigurationError, DeadlockError, ExecutionError,
+                    ProgramError, SimulationError):
+            with pytest.raises(ReproError):
+                raise exc("boom")
+
+    def test_repro_error_is_an_exception(self):
+        assert issubclass(ReproError, Exception)
+
+    def test_configuration_errors_surface_from_params(self):
+        from repro.common import IQParams
+        with pytest.raises(ConfigurationError):
+            IQParams(kind="segmented", size=100, segment_size=32).validate()
+
+    def test_execution_errors_surface_from_executor(self):
+        from repro.isa import ProgramBuilder, R, run_functional
+        b = ProgramBuilder("bad")
+        b.alloc("a", 2)
+        b.li(R(1), 3)
+        b.ld(R(2), R(1))
+        b.halt()
+        with pytest.raises(ExecutionError):
+            run_functional(b.build())

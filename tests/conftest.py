@@ -1,0 +1,67 @@
+"""Shared fixtures and program helpers for the test suite."""
+
+import pytest
+
+from repro.common import ProcessorParams, StatGroup, ideal_iq_params
+from repro.isa import F, ProgramBuilder, R, execute
+from repro.pipeline import Processor
+
+
+def daxpy_program(n=64, stride=1, name="daxpy"):
+    """y[i] = 3*x[i] + y[i] over n/stride elements."""
+    b = ProgramBuilder(name)
+    x = b.alloc("x", n, init=[1.0] * n)
+    y = b.alloc("y", n, init=[2.0] * n)
+    i, limit, addr = R(1), R(2), R(3)
+    b.li(R(4), 3)
+    b.cvtif(F(4), R(4))
+    b.li(limit, n)
+    b.li(i, 0)
+    b.label("loop")
+    b.slli(addr, i, 3)
+    b.fld(F(0), addr, base=x)
+    b.fld(F(1), addr, base=y)
+    b.fmul(F(2), F(0), F(4))
+    b.fadd(F(3), F(2), F(1))
+    b.fst(F(3), addr, base=y)
+    b.addi(i, i, stride)
+    b.blt(i, limit, "loop")
+    b.halt()
+    return b.build()
+
+
+def dependent_chain_program(length=100):
+    """A serial integer dependence chain (no ILP at all)."""
+    b = ProgramBuilder("chain")
+    b.li(R(1), 0)
+    for _ in range(length):
+        b.addi(R(1), R(1), 1)
+    b.halt()
+    return b.build()
+
+
+def independent_ops_program(count=100):
+    """Fully parallel integer ops (ILP = issue width)."""
+    b = ProgramBuilder("parallel")
+    regs = [R(i) for i in range(1, 25)]
+    for i in range(count):
+        reg = regs[i % len(regs)]
+        b.li(reg, i)
+    b.halt()
+    return b.build()
+
+
+def run_program(program, params=None, max_cycles=1_000_000,
+                max_instructions=None):
+    """Run a program through the timing model; returns the processor."""
+    if params is None:
+        params = ProcessorParams().replace(iq=ideal_iq_params(64))
+    stream = execute(program, max_instructions=max_instructions)
+    processor = Processor(params, stream)
+    processor.run(max_cycles=max_cycles)
+    return processor
+
+
+@pytest.fixture
+def ideal_params():
+    return ProcessorParams().replace(iq=ideal_iq_params(64))

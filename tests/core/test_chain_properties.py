@@ -1,0 +1,190 @@
+"""Property-based tests for the chain delay algebra and segment heaps.
+
+These are the core data structures of the paper's design; hypothesis
+drives them through arbitrary event sequences and checks the invariants
+the promotion logic relies on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common import StatGroup
+from repro.core.iq_base import IQEntry, Operand
+from repro.core.segmented.chains import Chain, ChainManager
+from repro.core.segmented.links import NEVER, ChainLink, CountdownLink
+from repro.core.segmented.segment import Segment, SegmentState
+from repro.isa import Instruction, Opcode
+from repro.isa.instruction import DynInst
+
+
+def make_inst(seq=0):
+    return DynInst(seq=seq, pc=seq, static=Instruction(
+        opcode=Opcode.LD, dest=1, srcs=(2,)))
+
+
+#: A chain "event script": each element advances time and may fire events.
+chain_event = st.sampled_from(["promote", "issue", "suspend", "resume",
+                               "tick"])
+
+
+def replay(events, head_segment=8, head_latency=4):
+    """Apply an event script; returns the chain and the final time."""
+    chain = Chain(0, make_inst(), head_segment, head_latency)
+    now = 0
+    for event in events:
+        now += 1
+        if event == "promote" and not chain.issued and chain.head_segment > 0:
+            chain.on_head_promoted(chain.head_segment - 1)
+        elif event == "issue" and chain.head_segment == 0:
+            chain.on_head_issued(now)
+        elif event == "suspend":
+            chain.suspend(now)
+        elif event == "resume":
+            chain.resume(now)
+    return chain, now
+
+
+class TestChainAlgebraProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(chain_event, max_size=40),
+           st.integers(min_value=0, max_value=30))
+    def test_member_delay_never_negative(self, events, dh):
+        chain, now = replay(events)
+        for t in range(now, now + 5):
+            assert chain.member_delay(dh, t) >= 0
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(chain_event, max_size=40),
+           st.integers(min_value=0, max_value=30))
+    def test_member_delay_monotone_nonincreasing_in_time(self, events, dh):
+        # With no further chain events, delays can only fall (self-timed)
+        # or stay constant (queued/suspended) as time advances.
+        chain, now = replay(events)
+        previous = chain.member_delay(dh, now)
+        for t in range(now + 1, now + 10):
+            current = chain.member_delay(dh, t)
+            assert current <= previous
+            previous = current
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(chain_event, max_size=40),
+           st.integers(min_value=0, max_value=20),
+           st.integers(min_value=0, max_value=20))
+    def test_deeper_members_never_ahead(self, events, dh, extra):
+        # A member further down the dependence chain (larger dh) can never
+        # have a smaller delay than a shallower one.
+        chain, now = replay(events)
+        assert (chain.member_delay(dh + extra, now)
+                >= chain.member_delay(dh, now))
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(chain_event, max_size=40))
+    def test_self_elapsed_never_exceeds_wallclock(self, events):
+        chain, now = replay(events)
+        # The resume catch-up may credit up to head_latency cycles.
+        assert chain.self_elapsed(now) <= now + chain.head_latency
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(chain_event, max_size=40),
+           st.integers(min_value=2, max_value=16))
+    def test_queued_delay_matches_two_per_segment(self, events, dh):
+        chain, now = replay(events)
+        if not chain.issued:
+            assert chain.member_delay(dh, now) == 2 * chain.head_segment + dh
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(chain_event, min_size=5, max_size=40))
+    def test_resume_catch_up_zeroes_direct_members(self, events):
+        # After the head completes (resume), a direct consumer
+        # (dh == head_latency) must stand at delay 0.
+        chain, now = replay(events + ["suspend", "resume"])
+        if chain.issued and not chain.suspended:
+            assert chain.member_delay(chain.head_latency, now) == 0
+
+
+class TestChainManagerProperties:
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.sampled_from(["alloc", "free"]), max_size=60),
+           st.integers(min_value=1, max_value=8))
+    def test_usage_never_exceeds_limit(self, script, limit):
+        manager = ChainManager(limit, StatGroup())
+        live = []
+        for index, action in enumerate(script):
+            if action == "alloc":
+                chain = manager.allocate(make_inst(index), 0)
+                if chain is not None:
+                    live.append(chain)
+            elif live:
+                manager.free(live.pop())
+            assert manager.active_count <= limit
+            assert manager.peak_in_use <= limit
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(min_value=1, max_value=6))
+    def test_ids_unique_among_live_chains(self, limit):
+        manager = ChainManager(limit, StatGroup())
+        live = [manager.allocate(make_inst(i), 0) for i in range(limit)]
+        ids = [chain.chain_id for chain in live]
+        assert len(set(ids)) == len(ids)
+        manager.free(live[0])
+        replacement = manager.allocate(make_inst(99), 0)
+        assert replacement.chain_id not in {c.chain_id for c in live[1:]}
+
+
+class TestSegmentHeapProperties:
+    def make_entry(self, seq, ready_at):
+        inst = make_inst(seq)
+        entry = IQEntry(inst, [Operand(reg=2, ready_cycle=0)])
+        entry.chain_state = SegmentState([CountdownLink(ready_at)], None)
+        return entry
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=50),
+                              st.integers(min_value=0, max_value=40)),
+                    min_size=1, max_size=32, unique_by=lambda t: t[0]))
+    def test_pop_eligible_returns_exactly_the_due_entries(self, specs):
+        segment = Segment(index=2, capacity=64, promote_threshold=4)
+        entries = {}
+        for seq, ready_at in specs:
+            entry = self.make_entry(seq, ready_at)
+            segment.insert(entry, now=0)
+            entries[seq] = (entry, ready_at)
+        probe = 20
+        eligible = segment.pop_eligible(probe)
+        eligible_seqs = {entry.seq for entry in eligible}
+        for seq, (entry, ready_at) in entries.items():
+            # Eligible iff delay(probe) < threshold, i.e. countdown has
+            # fallen below 4 by the probe cycle.
+            due = max(0, ready_at - probe) < 4
+            assert (seq in eligible_seqs) == due
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=60), min_size=1,
+                    max_size=20, unique=True))
+    def test_pop_eligible_is_oldest_first(self, seqs):
+        segment = Segment(index=1, capacity=32, promote_threshold=100)
+        for seq in seqs:
+            segment.insert(self.make_entry(seq, 0), now=0)
+        eligible = segment.pop_eligible(5)
+        assert [entry.seq for entry in eligible] == sorted(seqs)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=60), min_size=2,
+                    max_size=20, unique=True))
+    def test_push_back_then_pop_returns_everything(self, seqs):
+        segment = Segment(index=1, capacity=32, promote_threshold=100)
+        for seq in seqs:
+            segment.insert(self.make_entry(seq, 0), now=0)
+        eligible = segment.pop_eligible(5)
+        segment.push_back(eligible, now=5)
+        again = segment.pop_eligible(5)
+        assert {entry.seq for entry in again} == set(seqs)
+
+    def test_duplicate_heap_records_do_not_duplicate_promotion(self):
+        segment = Segment(index=1, capacity=32, promote_threshold=100)
+        entry = self.make_entry(0, 0)
+        segment.insert(entry, now=0)
+        segment.schedule(entry, now=0)     # duplicate heap push
+        segment.schedule(entry, now=0)
+        eligible = segment.pop_eligible(1)
+        assert eligible.count(entry) == 1

@@ -1,0 +1,147 @@
+"""Tests for dependence chains and the chain-wire pool."""
+
+import pytest
+
+from repro.common import SimulationError, StatGroup
+from repro.core.segmented.chains import Chain, ChainManager
+from repro.isa import Instruction, Opcode
+from repro.isa.instruction import DynInst
+
+
+def make_inst(seq=0):
+    return DynInst(seq=seq, pc=0,
+                   static=Instruction(opcode=Opcode.LD, dest=1, srcs=(2,)))
+
+
+class TestChainDelayAlgebra:
+    def test_queued_head_delay_is_two_per_segment(self):
+        chain = Chain(0, make_inst(), head_segment=3)
+        # Paper 3.3: delay = 2*S_H + D_H.
+        assert chain.member_delay(dh=4, now=100) == 2 * 3 + 4
+
+    def test_promotion_reduces_delay_by_two(self):
+        chain = Chain(0, make_inst(), head_segment=3)
+        before = chain.member_delay(4, 100)
+        chain.on_head_promoted(2)
+        assert chain.member_delay(4, 100) == before - 2
+
+    def test_issue_starts_self_timing(self):
+        chain = Chain(0, make_inst(), head_segment=0)
+        chain.on_head_issued(now=10)
+        assert chain.member_delay(6, 10) == 6
+        assert chain.member_delay(6, 13) == 3
+        assert chain.member_delay(6, 30) == 0     # clamped at zero
+
+    def test_suspend_freezes_delay(self):
+        chain = Chain(0, make_inst(), head_segment=0)
+        chain.on_head_issued(now=0)
+        chain.suspend(now=4)
+        assert chain.member_delay(10, 4) == 6
+        assert chain.member_delay(10, 50) == 6    # frozen
+
+    def test_resume_continues_countdown(self):
+        chain = Chain(0, make_inst(), head_segment=0)
+        chain.on_head_issued(now=0)
+        chain.suspend(now=4)
+        chain.resume(now=104)
+        # 4 cycles elapsed pre-suspend; countdown resumes at 104.
+        assert chain.member_delay(10, 104) == 6
+        assert chain.member_delay(10, 107) == 3
+        assert chain.member_delay(10, 110) == 0
+
+    def test_multiple_suspend_resume_rounds(self):
+        chain = Chain(0, make_inst(), head_segment=0)
+        chain.on_head_issued(now=0)
+        chain.suspend(now=2)
+        chain.resume(now=10)
+        chain.suspend(now=12)
+        chain.resume(now=20)
+        # Elapsed self-time: 2 + 2 = 4.
+        assert chain.member_delay(10, 20) == 6
+
+    def test_suspend_before_issue_is_ignored(self):
+        chain = Chain(0, make_inst(), head_segment=2)
+        chain.suspend(now=5)
+        assert not chain.suspended
+        assert chain.member_delay(4, 5) == 8
+
+    def test_delay_static_classification(self):
+        chain = Chain(0, make_inst(), head_segment=2)
+        assert chain.delay_is_static()
+        chain.on_head_issued(now=0)
+        assert not chain.delay_is_static()
+        chain.suspend(now=1)
+        assert chain.delay_is_static()
+        chain.resume(now=2)
+        assert not chain.delay_is_static()
+
+
+class TestChainNotifications:
+    def test_subscribers_called_on_every_event(self):
+        chain = Chain(0, make_inst(), head_segment=2)
+        calls = []
+        chain.subscribe(lambda: calls.append(1) or True)
+        chain.on_head_promoted(1)
+        chain.on_head_issued(0)
+        chain.suspend(1)
+        chain.resume(2)
+        assert len(calls) == 4
+
+    def test_subscriber_returning_false_unsubscribes(self):
+        chain = Chain(0, make_inst(), head_segment=2)
+        calls = []
+        chain.subscribe(lambda: calls.append(1) and False)
+        chain.on_head_promoted(1)
+        chain.on_head_promoted(0)
+        assert len(calls) == 1
+
+
+class TestChainManager:
+    def test_allocate_until_limit(self):
+        manager = ChainManager(2, StatGroup())
+        assert manager.allocate(make_inst(0), 1) is not None
+        assert manager.allocate(make_inst(1), 1) is not None
+        assert manager.allocate(make_inst(2), 1) is None
+
+    def test_unlimited_chains(self):
+        manager = ChainManager(None, StatGroup())
+        chains = [manager.allocate(make_inst(i), 0) for i in range(500)]
+        assert all(chain is not None for chain in chains)
+
+    def test_free_recycles_wire(self):
+        manager = ChainManager(1, StatGroup())
+        first = manager.allocate(make_inst(0), 0)
+        assert manager.allocate(make_inst(1), 0) is None
+        manager.free(first)
+        assert manager.allocate(make_inst(2), 0) is not None
+
+    def test_double_free_is_idempotent(self):
+        manager = ChainManager(4, StatGroup())
+        chain = manager.allocate(make_inst(0), 0)
+        manager.free(chain)
+        manager.free(chain)          # second free is a no-op
+        assert manager.active_count == 0
+
+    def test_peak_tracking(self):
+        manager = ChainManager(None, StatGroup())
+        chains = [manager.allocate(make_inst(i), 0) for i in range(5)]
+        for chain in chains[:3]:
+            manager.free(chain)
+        manager.allocate(make_inst(9), 0)
+        assert manager.peak_in_use == 5
+        assert manager.active_count == 3
+
+    def test_freed_chain_object_still_computes_delays(self):
+        # Members keep counting down after the wire is recycled.
+        manager = ChainManager(1, StatGroup())
+        chain = manager.allocate(make_inst(0), 0)
+        chain.on_head_issued(now=0)
+        manager.free(chain)
+        assert chain.member_delay(8, 5) == 3
+
+    def test_alloc_failure_counts(self):
+        stats = StatGroup()
+        manager = ChainManager(1, stats)
+        manager.allocate(make_inst(0), 0)
+        manager.allocate(make_inst(1), 0)
+        assert stats.get("chains.alloc_failures") == 1

@@ -1,0 +1,121 @@
+"""Reproduces the paper's Figure 1 worked example.
+
+The example code sequence (with ADD latency 1 and MUL latency 2, available
+operands marked *):
+
+    i0: add *,* -> r1    latency 1   delay 0
+    i1: mul *,* -> r2    latency 2   delay 0
+    i2: add r2,* -> r4   latency 1   delay 2
+    i3: mul r4,* -> r6   latency 2   delay 3
+    i4: mul r6,* -> r8   latency 2   delay 5
+    i5: add r1,* -> r3   latency 1   delay 1
+    i6: add r3,* -> r5   latency 1   delay 2
+    i7: add r5,* -> r7   latency 1   delay 3
+    i8: add r6,r7 -> r9  latency 1   delay 5
+
+Two chains: i0 heads {i5, i6, i7}; i1 heads {i2, i3, i4, i8} (the
+left/right predictor assigns i8 to the r6 chain, as drawn in Figure 1(b)).
+This test drives the dispatch-stage algebra — chain creation, register
+information table updates, and delay computation — exactly as the paper's
+example does, and checks every delay value and the expected segment
+placement for a three-segment queue with thresholds 2/4/6.
+"""
+
+from repro.common import StatGroup
+from repro.core.segmented.chains import ChainManager
+from repro.core.segmented.links import combined_delay
+from repro.core.segmented.register_info import RegisterInfoTable
+from repro.isa import Instruction, Opcode
+from repro.isa.instruction import DynInst
+
+
+def dispatch_example(now=0):
+    """Run the example through the RIT/chain algebra; returns delays."""
+    stats = StatGroup()
+    chains = ChainManager(None, stats)
+    rit = RegisterInfoTable()
+    program = [
+        # (name, dest, srcs, latency, is_head)
+        ("i0", 1, (), 1, True),
+        ("i1", 2, (), 2, True),
+        ("i2", 4, (2,), 1, False),
+        ("i3", 6, (4,), 2, False),
+        ("i4", 8, (6,), 2, False),
+        ("i5", 3, (1,), 1, False),
+        ("i6", 5, (3,), 1, False),
+        ("i7", 7, (5,), 1, False),
+        ("i8", 9, (6, 7), 1, False),
+    ]
+    delays = {}
+    chain_of = {}
+    for seq, (name, dest, srcs, latency, is_head) in enumerate(program):
+        inst = DynInst(seq=seq, pc=seq, static=Instruction(
+            opcode=Opcode.ADD, dest=dest, srcs=srcs))
+        links = [link for link in (rit.link_for(reg, now) for reg in srcs)
+                 if link is not None]
+        if name == "i8":
+            # Figure 1(b): the left/right predictor picks the r6 operand —
+            # the one with the larger latency behind its head (dh 5 via r6
+            # vs dh 4 via r7).
+            links = [max(links, key=lambda l: l.dh)]
+        delays[name] = combined_delay(links, now)
+        if is_head:
+            chain = chains.allocate(inst, head_segment=0)
+            rit.set_chained(dest, inst, chain, latency)
+            chain_of[name] = chain
+        else:
+            governing = max(links, key=lambda l: l.dh)
+            rit.set_chained(dest, inst, governing.chain, governing.dh + latency)
+            chain_of[name] = governing.chain
+    return delays, chain_of
+
+
+class TestFigure1DelayValues:
+    def test_all_delay_values_match_the_paper(self):
+        delays, _ = dispatch_example()
+        assert delays == {
+            "i0": 0, "i1": 0, "i2": 2, "i3": 3, "i4": 5,
+            "i5": 1, "i6": 2, "i7": 3, "i8": 5,
+        }
+
+    def test_chain_assignment_matches_figure_1b(self):
+        delays, chain_of = dispatch_example()
+        chain_a = chain_of["i0"]
+        chain_b = chain_of["i1"]
+        assert chain_a is not chain_b
+        assert chain_of["i5"] is chain_a
+        assert chain_of["i6"] is chain_a
+        assert chain_of["i7"] is chain_a
+        for name in ("i2", "i3", "i4", "i8"):
+            assert chain_of[name] is chain_b
+
+    def test_segment_placement_for_three_segment_queue(self):
+        """Figure 1(b): thresholds 2/4/6 place i0,i1,i5 in segment 0;
+        i2,i6,i3,i7 in segment 1; i4,i8 in segment 2."""
+        delays, _ = dispatch_example()
+
+        def segment_for(delay):
+            if delay < 2:
+                return 0
+            if delay < 4:
+                return 1
+            return 2
+
+        placement = {name: segment_for(delay)
+                     for name, delay in delays.items()}
+        assert placement == {
+            "i0": 0, "i1": 0, "i5": 0,
+            "i2": 1, "i6": 1, "i3": 1, "i7": 1,
+            "i4": 2, "i8": 2,
+        }
+
+    def test_self_timing_after_i0_issues(self):
+        """Paper 3.2: if i0 issues, i5/i6/i7 self-time and descend while
+        i1's chain members stay in place."""
+        delays, chain_of = dispatch_example()
+        chain_a = chain_of["i0"]
+        chain_a.on_head_issued(now=0)
+        # After 3 cycles, i7 (dh=3) reaches delay 0; chain B unchanged.
+        assert chain_a.member_delay(3, 3) == 0
+        chain_b = chain_of["i1"]
+        assert chain_b.member_delay(5, 3) == 5

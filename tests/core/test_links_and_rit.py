@@ -1,0 +1,155 @@
+"""Tests for delay links and the register information table."""
+
+from repro.core.segmented.chains import Chain
+from repro.core.segmented.links import (NEVER, ChainLink, CountdownLink,
+                                        combined_delay, combined_eligible_at)
+from repro.core.segmented.register_info import RegisterInfoTable
+from repro.isa import Instruction, Opcode
+from repro.isa.instruction import DynInst
+
+
+def make_inst(seq=0, opcode=Opcode.ADD):
+    return DynInst(seq=seq, pc=seq,
+                   static=Instruction(opcode=opcode, dest=1, srcs=(2, 3)))
+
+
+class TestCountdownLink:
+    def test_delay_counts_down(self):
+        link = CountdownLink(ready_at=10)
+        assert link.delay(0) == 10
+        assert link.delay(7) == 3
+        assert link.delay(15) == 0
+
+    def test_eligible_at(self):
+        link = CountdownLink(ready_at=10)
+        # delay < 2 when delay <= 1, i.e. at cycle 9.
+        assert link.eligible_at(threshold=2, now=0) == 9
+        assert link.eligible_at(threshold=2, now=9) == 9
+        assert link.eligible_at(threshold=2, now=12) == 12
+
+
+class TestChainLinkEligibility:
+    def test_queued_chain_is_static(self):
+        chain = Chain(0, make_inst(), head_segment=4)
+        link = ChainLink(chain, dh=2)
+        assert link.delay(0) == 10
+        assert link.eligible_at(threshold=2, now=0) == NEVER
+
+    def test_queued_chain_below_threshold_is_eligible_now(self):
+        chain = Chain(0, make_inst(), head_segment=0)
+        link = ChainLink(chain, dh=1)
+        assert link.eligible_at(threshold=2, now=5) == 5
+
+    def test_self_timed_chain_predicts_future_eligibility(self):
+        chain = Chain(0, make_inst(), head_segment=0)
+        chain.on_head_issued(now=0)
+        link = ChainLink(chain, dh=10)
+        # delay(3) = 7; < 4 at delay 3, i.e. 4 cycles later.
+        assert link.eligible_at(threshold=4, now=3) == 7
+
+    def test_suspended_chain_is_static(self):
+        chain = Chain(0, make_inst(), head_segment=0)
+        chain.on_head_issued(now=0)
+        chain.suspend(now=1)
+        link = ChainLink(chain, dh=10)
+        assert link.eligible_at(threshold=4, now=5) == NEVER
+
+
+class TestCombined:
+    def test_combined_delay_is_max(self):
+        links = [CountdownLink(10), CountdownLink(4)]
+        assert combined_delay(links, now=0) == 10
+
+    def test_combined_empty_is_zero(self):
+        assert combined_delay([], now=0) == 0
+
+    def test_combined_eligible_at_is_max(self):
+        links = [CountdownLink(10), CountdownLink(4)]
+        assert combined_eligible_at(links, threshold=2, now=0) == 9
+
+    def test_combined_never_dominates(self):
+        chain = Chain(0, make_inst(), head_segment=5)
+        links = [CountdownLink(4), ChainLink(chain, dh=3)]
+        assert combined_eligible_at(links, threshold=2, now=0) == NEVER
+
+
+class TestRegisterInfoTable:
+    def test_unknown_register_is_unconstrained(self):
+        rit = RegisterInfoTable()
+        assert rit.link_for(5, now=0) is None
+
+    def test_r0_is_always_available(self):
+        rit = RegisterInfoTable()
+        producer = make_inst()
+        chain = Chain(0, producer, 0)
+        rit.set_chained(0, producer, chain, 4)
+        assert rit.link_for(0, now=0) is None
+
+    def test_chained_register_yields_chain_link(self):
+        rit = RegisterInfoTable()
+        producer = make_inst()
+        chain = Chain(0, producer, head_segment=2)
+        rit.set_chained(5, producer, chain, dh=4)
+        link = rit.link_for(5, now=0)
+        assert isinstance(link, ChainLink)
+        assert link.dh == 4
+        assert link.chain is chain
+
+    def test_issued_producer_yields_exact_countdown(self):
+        rit = RegisterInfoTable()
+        producer = make_inst()
+        chain = Chain(0, producer, head_segment=2)
+        rit.set_chained(5, producer, chain, dh=4)
+        producer.set_value_ready(20)
+        link = rit.link_for(5, now=10)
+        assert isinstance(link, CountdownLink)
+        assert link.ready_at == 20
+
+    def test_completed_producer_is_unconstrained(self):
+        rit = RegisterInfoTable()
+        producer = make_inst()
+        rit.set_countdown(5, producer, expected_ready=10)
+        producer.set_value_ready(8)
+        assert rit.link_for(5, now=9) is None
+
+    def test_countdown_register(self):
+        rit = RegisterInfoTable()
+        producer = make_inst()
+        rit.set_countdown(5, producer, expected_ready=30)
+        link = rit.link_for(5, now=10)
+        assert isinstance(link, CountdownLink)
+        assert link.ready_at == 30
+
+    def test_expired_countdown_is_unconstrained(self):
+        rit = RegisterInfoTable()
+        producer = make_inst()
+        rit.set_countdown(5, producer, expected_ready=30)
+        assert rit.link_for(5, now=30) is None
+
+    def test_freed_chain_falls_back_to_countdown(self):
+        rit = RegisterInfoTable()
+        producer = make_inst()
+        chain = Chain(0, producer, head_segment=0)
+        chain.on_head_issued(now=0)
+        chain.freed = True
+        rit.set_chained(5, producer, chain, dh=8)
+        link = rit.link_for(5, now=3)
+        assert isinstance(link, CountdownLink)
+        assert link.ready_at == 3 + 5      # dh 8 minus 3 elapsed
+
+    def test_overwrite_takes_latest_producer(self):
+        rit = RegisterInfoTable()
+        first, second = make_inst(0), make_inst(1)
+        rit.set_countdown(5, first, expected_ready=100)
+        rit.set_countdown(5, second, expected_ready=50)
+        link = rit.link_for(5, now=0)
+        assert link.ready_at == 50
+
+    def test_chain_of_reports_live_chain_only(self):
+        rit = RegisterInfoTable()
+        producer = make_inst()
+        chain = Chain(0, producer, head_segment=1)
+        rit.set_chained(5, producer, chain, dh=4)
+        assert rit.chain_of(5) is chain
+        producer.set_value_ready(5)
+        assert rit.chain_of(5) is None

@@ -1,0 +1,165 @@
+"""Unit tests for the fetch/decode front end."""
+
+import pytest
+
+from repro.common import EventQueue, MemoryParams, ProcessorParams, StatGroup
+from repro.isa import Instruction, Opcode, ProgramBuilder, R, execute
+from repro.memory import MemoryHierarchy
+from repro.frontend import FrontEnd
+
+
+def straight_line_program(length=40):
+    b = ProgramBuilder("line")
+    for i in range(length):
+        b.li(R(1 + i % 8), i)
+    b.halt()
+    return b.build()
+
+
+def make_frontend(program, params=None, warm=True,
+                  max_instructions=None):
+    params = params or ProcessorParams()
+    events = EventQueue()
+    stats = StatGroup()
+    memory = MemoryHierarchy(params.memory, events, stats)
+    if warm:
+        from repro.frontend.fetch import INST_BYTES
+        for addr in range(0, len(program) * INST_BYTES, 64):
+            memory.l1i.warm_line(addr)
+    stream = execute(program, max_instructions=max_instructions)
+    frontend = FrontEnd(params, stream, memory.l1i, events, stats)
+    return frontend, events, stats
+
+
+def drain(frontend, events, cycles, start=0):
+    taken = []
+    for cycle in range(start, start + cycles):
+        events.advance_to(cycle)
+        frontend.cycle(cycle)
+        while True:
+            inst = frontend.pop_dispatchable(cycle)
+            if inst is None:
+                break
+            taken.append(inst)
+    return taken
+
+
+class TestFetchBandwidth:
+    def test_fetch_width_per_cycle(self):
+        program = straight_line_program(40)
+        frontend, events, stats = make_frontend(program)
+        frontend.cycle(0)
+        assert stats.get("fetch.instructions") == 8
+
+    def test_instructions_clear_pipeline_after_depth(self):
+        program = straight_line_program(10)
+        params = ProcessorParams()
+        frontend, events, _ = make_frontend(program, params)
+        frontend.cycle(0)
+        depth = params.dispatch_pipeline_depth
+        assert frontend.peek_dispatchable(depth - 1) is None
+        assert frontend.peek_dispatchable(depth) is not None
+
+    def test_pipeline_preserves_program_order(self):
+        program = straight_line_program(30)
+        frontend, events, _ = make_frontend(program)
+        taken = drain(frontend, events, 40)
+        assert [inst.seq for inst in taken] == sorted(
+            inst.seq for inst in taken)
+
+    def test_buffer_cap_throttles_fetch(self):
+        # Never popping dispatchable instructions must eventually stall
+        # fetch rather than buffer unboundedly.
+        program = straight_line_program(400)
+        frontend, events, stats = make_frontend(program)
+        for cycle in range(200):
+            events.advance_to(cycle)
+            frontend.cycle(cycle)
+        assert stats.get("fetch.buffer_full_cycles") > 0
+        assert len(frontend._pipeline) <= frontend._buffer_cap
+
+    def test_drained_after_halt_consumed(self):
+        program = straight_line_program(5)
+        frontend, events, _ = make_frontend(program)
+        drain(frontend, events, 40)
+        assert frontend.stream_done
+        assert frontend.drained
+
+
+class TestBranchHandling:
+    def branchy_program(self):
+        b = ProgramBuilder("branchy")
+        flags = b.alloc("flags", 64,
+                        init=[float(i % 2) for i in range(64)])
+        i, limit, addr, flag = R(1), R(2), R(3), R(4)
+        b.li(limit, 64)
+        b.li(i, 0)
+        b.label("loop")
+        b.slli(addr, i, 3)
+        b.ld(flag, addr, base=flags)
+        b.beq(flag, R(0), "skip")
+        b.addi(R(5), R(5), 1)
+        b.label("skip")
+        b.addi(i, i, 1)
+        b.blt(i, limit, "loop")
+        b.halt()
+        return b.build()
+
+    def test_mispredict_stalls_fetch_until_resolved(self):
+        program = self.branchy_program()
+        frontend, events, stats = make_frontend(program)
+        mispredicted = None
+        for cycle in range(100):
+            events.advance_to(cycle)
+            frontend.cycle(cycle)
+            while True:
+                inst = frontend.pop_dispatchable(cycle)
+                if inst is None:
+                    break
+                if inst.mispredicted and mispredicted is None:
+                    mispredicted = inst
+            if mispredicted:
+                break
+        assert mispredicted is not None
+        fetched_before = stats.get("fetch.instructions")
+        now = events.now
+        for cycle in range(now + 1, now + 10):
+            events.advance_to(cycle)
+            frontend.cycle(cycle)
+        assert stats.get("fetch.instructions") == fetched_before
+        # Resolving the branch resumes fetch on the next cycle.
+        frontend.branch_resolved(mispredicted, now + 10)
+        events.advance_to(now + 11)
+        frontend.cycle(now + 11)
+        assert stats.get("fetch.instructions") > fetched_before
+
+    def test_max_branches_per_fetch_group(self):
+        b = ProgramBuilder("dense-branches")
+        b.li(R(1), 1)
+        b.label("next0")
+        for index in range(6):
+            b.bne(R(0), R(0), f"next{index}")   # never taken
+            b.label(f"next{index + 1}")
+        b.halt()
+        program = b.build()
+        frontend, events, stats = make_frontend(program)
+        frontend.cycle(0)
+        # One setup li + at most 3 branches in the first fetch group.
+        assert stats.get("fetch.instructions") <= 1 + 3
+
+
+class TestIcacheStalls:
+    def test_cold_code_stalls_fetch(self):
+        program = straight_line_program(40)
+        frontend, events, stats = make_frontend(program, warm=False)
+        for cycle in range(30):
+            events.advance_to(cycle)
+            frontend.cycle(cycle)
+        assert stats.get("fetch.icache_stall_cycles") > 0
+
+    def test_cold_code_eventually_fetches(self):
+        program = straight_line_program(20)
+        frontend, events, _ = make_frontend(program, warm=False)
+        taken = drain(frontend, events, 600)
+        assert frontend.drained
+        assert len(taken) == 21      # 20 li + halt

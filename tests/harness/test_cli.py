@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("swim", "gcc", "vortex"):
+            assert name in out
+
+    def test_run_segmented(self, capsys):
+        assert main(["run", "twolf", "--size", "128",
+                     "--instructions", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC" in out
+        assert "chains" in out
+
+    def test_run_ideal_with_stats(self, capsys):
+        assert main(["run", "gcc", "--iq", "ideal", "--size", "64",
+                     "--instructions", "2000", "--stats"]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out
+
+    def test_run_unlimited_chains(self, capsys):
+        assert main(["run", "twolf", "--chains", "unlimited",
+                     "--instructions", "1500"]) == 0
+        assert "IPC" in capsys.readouterr().out
+
+    def test_run_fifo_and_prescheduled(self, capsys):
+        for iq in ("fifo", "prescheduled"):
+            assert main(["run", "twolf", "--iq", iq, "--size", "128",
+                         "--instructions", "1500"]) == 0
+
+    def test_disasm(self, capsys):
+        assert main(["disasm", "swim"]) == 0
+        out = capsys.readouterr().out
+        assert "loop:" in out
+        assert "fld" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep", "twolf", "--sizes", "32,64",
+                     "--instructions", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "IPC vs IQ size" in out
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "doom"])
+
+    def test_trace(self, capsys):
+        assert main(["trace", "twolf", "--instructions", "800",
+                     "--start", "50", "--count", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "pipeline trace" in out
+        assert "dispatch->issue" in out
+
+    def test_segments(self, capsys):
+        assert main(["segments", "twolf", "--size", "128",
+                     "--instructions", "1500", "--interval", "25"]) == 0
+        out = capsys.readouterr().out
+        assert "seg 0 (issue)" in out
+
+    def test_reproduce_headline_subset(self, capsys):
+        assert main(["reproduce", "headline", "--workloads", "twolf",
+                     "--budget", "0.2"]) == 0
+        out = capsys.readouterr().out
+        assert "Headline" in out
+        assert "twolf" in out
+
+    def test_reproduce_writes_json(self, capsys, tmp_path):
+        path = tmp_path / "data.json"
+        assert main(["reproduce", "table2", "--workloads", "twolf",
+                     "--budget", "0.2", "--json", str(path)]) == 0
+        assert path.exists()
+        assert "twolf" in path.read_text()

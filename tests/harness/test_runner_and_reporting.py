@@ -1,0 +1,128 @@
+"""Tests for the experiment harness: configs, runner, reporting."""
+
+import pytest
+
+from repro.harness import (RunResult, ascii_series_plot, configs,
+                           figure2_report, format_table, geometric_mean,
+                           relative_performance, resolve_workload,
+                           run_workload, table2_report)
+from repro.workloads import WORKLOADS
+
+
+class TestConfigs:
+    def test_ideal(self):
+        params = configs.ideal(256)
+        assert params.iq.kind == "ideal"
+        assert params.iq.size == 256
+
+    def test_segmented_variants(self):
+        base = configs.segmented(512, 64, "base")
+        assert not base.iq.use_hit_miss_predictor
+        assert not base.iq.use_left_right_predictor
+        hmp = configs.segmented(512, 64, "hmp")
+        assert hmp.iq.use_hit_miss_predictor
+        assert not hmp.iq.use_left_right_predictor
+        comb = configs.segmented(512, 64, "comb")
+        assert comb.iq.use_hit_miss_predictor
+        assert comb.iq.use_left_right_predictor
+        assert comb.iq.max_chains == 64
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(ValueError):
+            configs.segmented(512, 64, "extra")
+
+    def test_prescheduled(self):
+        params = configs.prescheduled(24)
+        assert params.iq.kind == "prescheduled"
+        assert params.iq.size == 32 + 24 * 12
+
+    def test_chain_label(self):
+        assert configs.chain_label(None) == "unlimited"
+        assert configs.chain_label(64) == "64 chains"
+
+
+class TestRunner:
+    def test_resolve_by_name(self):
+        assert resolve_workload("swim").name == "swim"
+
+    def test_resolve_unknown_raises_with_choices(self):
+        with pytest.raises(KeyError, match="swim"):
+            resolve_workload("nope")
+
+    def test_resolve_spec_passthrough(self):
+        spec = WORKLOADS["gcc"]
+        assert resolve_workload(spec) is spec
+
+    def test_run_produces_result(self):
+        result = run_workload("twolf", configs.ideal(32),
+                              config_label="test", max_instructions=3000)
+        assert isinstance(result, RunResult)
+        assert result.workload == "twolf"
+        assert result.config == "test"
+        assert result.instructions > 0
+        assert result.cycles > 0
+        assert 0 < result.ipc <= 8
+        assert "cycles" in result.stats
+
+    def test_branch_accuracy_between_zero_and_one(self):
+        result = run_workload("gcc", configs.ideal(32),
+                              max_instructions=3000)
+        assert 0.0 <= result.branch_accuracy <= 1.0
+
+    def test_chain_stats_for_segmented(self):
+        result = run_workload("twolf", configs.segmented(128, 32, "comb"),
+                              max_instructions=3000)
+        assert result.chains_peak >= result.chains_avg >= 0
+
+    def test_str_is_informative(self):
+        result = run_workload("twolf", configs.ideal(32),
+                              max_instructions=2000)
+        text = str(result)
+        assert "twolf" in text
+        assert "IPC" in text
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        table = format_table(["a", "bbb"], [[1, 2.5], [10, 3.25]], "T")
+        lines = table.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bbb" in lines[1]
+        assert len({len(line) for line in lines[2:]}) <= 2
+
+    def test_relative_performance(self):
+        fast = RunResult("w", "a", ipc=2.0, cycles=10, instructions=20)
+        slow = RunResult("w", "b", ipc=1.0, cycles=20, instructions=20)
+        assert relative_performance(fast, slow) == 2.0
+        zero = RunResult("w", "c", ipc=0.0, cycles=0, instructions=0)
+        assert relative_performance(fast, zero) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0.0, 2.0]) == pytest.approx(2.0)
+
+    def test_ascii_series_plot(self):
+        plot = ascii_series_plot({"x": {32: 1.0, 64: 2.0}}, title="P")
+        assert "P" in plot
+        assert "@32" in plot and "@64" in plot
+        assert "#" in plot
+
+    def test_table2_report_shape(self):
+        def result(avg, peak):
+            return RunResult("b", "c", 1.0, 10, 10, stats={
+                "chains.in_use.mean": avg, "chains.in_use.peak": peak})
+
+        results = {"swim": {v: result(10 + i, 20 + i)
+                            for i, v in enumerate(("base", "hmp", "lrp",
+                                                   "comb"))}}
+        report = table2_report(results)
+        assert "SWIM" in report
+        assert "Average" in report
+
+    def test_figure2_report_shape(self):
+        rel = {"swim": {"unlimited": {"base": 0.9, "hmp": 0.92,
+                                      "lrp": 0.91, "comb": 0.93}}}
+        report = figure2_report(rel)
+        assert "swim" in report
+        assert "90%" in report

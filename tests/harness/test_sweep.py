@@ -1,0 +1,74 @@
+"""Tests for the parameter-sweep API."""
+
+import csv
+
+import pytest
+
+from repro.harness import configs
+from repro.harness.sweep import Sweep, SweepGrid
+
+
+@pytest.fixture(scope="module")
+def small_grid():
+    sweep = Sweep(workloads=["twolf"], max_instructions=2500)
+    sweep.add_config("ideal-32", configs.ideal(32))
+    sweep.add_config("seg-128", configs.segmented(128, 32, "comb"))
+    return sweep.run()
+
+
+class TestSweep:
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            Sweep(workloads=["skynet"])
+
+    def test_duplicate_label_rejected(self):
+        sweep = Sweep(workloads=["twolf"])
+        sweep.add_config("a", configs.ideal(32))
+        with pytest.raises(ValueError, match="duplicate"):
+            sweep.add_config("a", configs.ideal(64))
+
+    def test_empty_sweep_rejected(self):
+        with pytest.raises(ValueError, match="no configurations"):
+            Sweep(workloads=["twolf"]).run()
+
+    def test_invalid_config_rejected_at_add(self):
+        from repro.common import ConfigurationError, IQParams, ProcessorParams
+        bad = ProcessorParams().replace(iq=IQParams(kind="warp"))
+        with pytest.raises(ConfigurationError):
+            Sweep(workloads=["twolf"]).add_config("bad", bad)
+
+    def test_grid_shape(self, small_grid):
+        assert small_grid.workloads == ["twolf"]
+        assert small_grid.config_labels == ["ideal-32", "seg-128"]
+        assert small_grid.value("twolf", "ideal-32") > 0
+
+    def test_render_contains_cells(self, small_grid):
+        text = small_grid.render()
+        assert "twolf" in text
+        assert "seg-128" in text
+        assert "sweep: ipc" in text
+
+    def test_metric_switch(self, small_grid):
+        cycles_text = small_grid.render(metric="cycles")
+        assert "sweep: cycles" in cycles_text
+        stat_value = small_grid.value("twolf", "seg-128")
+        small_grid.metric = "iq.dispatched"
+        assert small_grid.value("twolf", "seg-128") > 0
+        small_grid.metric = "ipc"
+        assert small_grid.value("twolf", "seg-128") == stat_value
+
+    def test_csv_round_trip(self, small_grid, tmp_path):
+        path = tmp_path / "grid.csv"
+        small_grid.write_csv(str(path))
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["benchmark", "ideal-32", "seg-128"]
+        assert rows[1][0] == "twolf"
+        assert float(rows[1][1]) > 0
+
+    def test_best_config(self, small_grid):
+        best = small_grid.best_config("twolf")
+        assert best in ("ideal-32", "seg-128")
+        assert small_grid.value("twolf", best) == max(
+            small_grid.value("twolf", label)
+            for label in small_grid.config_labels)

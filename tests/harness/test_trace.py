@@ -1,0 +1,87 @@
+"""Tests for the pipeline-trace and heatmap visualizations."""
+
+import pytest
+
+from repro.harness import configs
+from repro.harness.trace import (collect_segment_samples,
+                                 render_pipeline_trace, segment_heatmap,
+                                 stage_latency_summary)
+from repro.isa import execute
+from repro.pipeline import Processor
+
+from tests.conftest import daxpy_program
+
+
+@pytest.fixture(scope="module")
+def annotated_stream():
+    program = daxpy_program(n=64)
+    stream = list(execute(program))
+    processor = Processor(configs.segmented(128, 32, "comb"), iter(stream))
+    processor.warm_code(program)
+    processor.run(max_cycles=500_000)
+    return stream
+
+
+class TestPipelineTrace:
+    def test_contains_stage_markers(self, annotated_stream):
+        text = render_pipeline_trace(annotated_stream, count=16)
+        assert "f" in text and "r" in text
+        assert "pipeline trace" in text
+
+    def test_one_row_per_instruction(self, annotated_stream):
+        text = render_pipeline_trace(annotated_stream, start_seq=10,
+                                     count=8)
+        rows = [line for line in text.splitlines() if line.startswith("#")]
+        assert len(rows) == 8
+        assert rows[0].startswith("#    10")
+
+    def test_empty_window(self):
+        assert "no instructions" in render_pipeline_trace([], count=4)
+
+    def test_rows_fit_width(self, annotated_stream):
+        text = render_pipeline_trace(annotated_stream, count=8, width=40)
+        for line in text.splitlines()[1:]:
+            bar = line.split("|")[1]
+            assert len(bar) == 40
+
+
+class TestLatencySummary:
+    def test_reports_all_gaps(self, annotated_stream):
+        text = stage_latency_summary(annotated_stream)
+        for name in ("fetch->dispatch", "dispatch->issue",
+                     "issue->complete", "complete->commit"):
+            assert name in text
+
+    def test_percentiles_ordered(self, annotated_stream):
+        text = stage_latency_summary(annotated_stream)
+        for line in text.splitlines()[1:]:
+            parts = line.split()
+            p50, p90, peak = int(parts[1]), int(parts[2]), int(parts[3])
+            assert p50 <= p90 <= peak
+
+
+class TestSegmentHeatmap:
+    def test_heatmap_rows_match_segments(self):
+        samples = [[1, 2, 3, 4] for _ in range(10)]
+        text = segment_heatmap(samples, capacity=4)
+        assert "seg 0 (issue)" in text
+        assert "seg 3" in text
+
+    def test_density_scales_with_occupancy(self):
+        empty = segment_heatmap([[0, 0]] * 5, capacity=32)
+        full = segment_heatmap([[32, 32]] * 5, capacity=32)
+        assert "@" not in empty
+        assert "@" in full
+
+    def test_empty_samples(self):
+        assert "no samples" in segment_heatmap([], capacity=32)
+
+    def test_collect_samples_runs_processor(self):
+        program = daxpy_program(n=256)
+        processor = Processor(configs.segmented(128, 32, "comb"),
+                              execute(program))
+        processor.warm_code(program)
+        samples = collect_segment_samples(processor, interval=20)
+        assert processor.done
+        assert samples
+        assert all(len(sample) == 4 for sample in samples)

@@ -1,0 +1,141 @@
+"""Cross-design integration properties.
+
+Whatever the IQ design, the machine must be *architecturally equivalent*:
+every design commits exactly the dynamic instruction stream, never beats
+the dataflow limit, and never exceeds structural bounds.  Hypothesis
+generates random little loop kernels to stress odd dependence shapes.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.common import IQParams, ProcessorParams
+from repro.harness import configs
+from repro.isa import F, ProgramBuilder, R, execute
+from repro.pipeline import Processor
+
+ALL_CONFIGS = [
+    ("ideal", lambda: configs.ideal(64)),
+    ("segmented", lambda: configs.segmented(128, 32, "comb")),
+    ("segmented-base", lambda: configs.segmented(128, None, "base")),
+    ("prescheduled", lambda: configs.prescheduled(8)),
+    ("fifo", lambda: configs.fifo(64, depth=8)),
+]
+
+# One random "op" per element: (kind, operand seeds).
+op_strategy = st.tuples(
+    st.sampled_from(["add", "mul", "fadd", "fmul", "load", "store", "div"]),
+    st.integers(min_value=0, max_value=7),
+    st.integers(min_value=0, max_value=7))
+
+
+def build_random_kernel(ops, iterations):
+    """A counted loop whose body is the generated op soup."""
+    b = ProgramBuilder("random")
+    data = b.alloc("data", 64, init=[float(i + 1) for i in range(64)])
+    i, limit, addr = R(1), R(2), R(3)
+    b.li(limit, iterations)
+    b.li(i, 0)
+    b.li(R(4), 3)
+    b.cvtif(F(6), R(4))
+    b.label("loop")
+    b.andi(addr, i, 63)
+    b.slli(addr, addr, 3)
+    int_regs = [R(5), R(6), R(7), R(8)]
+    fp_regs = [F(0), F(1), F(2), F(3)]
+    for kind, a, c in ops:
+        ra = int_regs[a % 4]
+        rb = int_regs[c % 4]
+        fa = fp_regs[a % 4]
+        fb = fp_regs[c % 4]
+        if kind == "add":
+            b.add(ra, rb, addr)
+        elif kind == "mul":
+            b.mul(ra, rb, addr)
+        elif kind == "div":
+            b.addi(R(9), rb, 1000)     # keep the divisor nonzero
+            b.div(ra, addr, R(9))
+        elif kind == "fadd":
+            b.fadd(fa, fb, F(6))
+        elif kind == "fmul":
+            b.fmul(fa, fb, F(6))
+        elif kind == "load":
+            b.fld(fa, addr, base=data)
+        elif kind == "store":
+            b.fst(fa, addr, base=data)
+    b.addi(i, i, 1)
+    b.blt(i, limit, "loop")
+    b.halt()
+    return b.build()
+
+
+def run_design(program, params_factory, stream=None):
+    processor = Processor(params_factory(), execute(program))
+    processor.warm_code(program)
+    processor.run(max_cycles=400_000)
+    return processor
+
+
+class TestArchitecturalEquivalence:
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=st.lists(op_strategy, min_size=1, max_size=8),
+           iterations=st.integers(min_value=1, max_value=20))
+    def test_all_designs_commit_everything(self, ops, iterations):
+        program = build_random_kernel(ops, iterations)
+        expected = sum(1 for _ in execute(program))
+        for name, factory in ALL_CONFIGS:
+            processor = run_design(program, factory)
+            assert processor.done, name
+            assert processor.committed == expected, name
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=st.lists(op_strategy, min_size=2, max_size=6),
+           iterations=st.integers(min_value=5, max_value=25))
+    def test_no_design_beats_the_dataflow_bound(self, ops, iterations):
+        # The dataflow bound here: IPC can never exceed issue width.
+        program = build_random_kernel(ops, iterations)
+        for name, factory in ALL_CONFIGS:
+            processor = run_design(program, factory)
+            assert processor.ipc <= processor.params.issue_width, name
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(ops=st.lists(op_strategy, min_size=1, max_size=6),
+           iterations=st.integers(min_value=5, max_value=30))
+    def test_ideal_is_never_slower_than_restricted_designs(self, ops,
+                                                           iterations):
+        # Same-size single-cycle ideal is an upper bound on the segmented
+        # design (modulo the one extra dispatch stage, hence the slack).
+        program = build_random_kernel(ops, iterations)
+        ideal = run_design(program, lambda: configs.ideal(128))
+        seg = run_design(program, lambda: configs.segmented(128, None,
+                                                            "comb"))
+        assert seg.cycle >= ideal.cycle - 2
+
+    def test_commit_order_is_program_order(self):
+        program = build_random_kernel(
+            [("load", 0, 1), ("fmul", 1, 2), ("store", 1, 0)], 30)
+        stream = list(execute(program))
+        processor = Processor(configs.segmented(128, 32, "comb"),
+                              iter(stream))
+        processor.warm_code(program)
+        processor.run(max_cycles=400_000)
+        commits = [(inst.committed_cycle, inst.seq) for inst in stream
+                   if inst.committed_cycle >= 0]
+        assert commits == sorted(commits)
+
+    def test_issue_never_precedes_dispatch(self):
+        program = build_random_kernel(
+            [("fadd", 0, 1), ("load", 2, 0), ("div", 1, 1)], 25)
+        stream = list(execute(program))
+        processor = Processor(configs.segmented(128, 32, "comb"),
+                              iter(stream))
+        processor.warm_code(program)
+        processor.run(max_cycles=400_000)
+        for inst in stream:
+            if inst.issued_cycle >= 0:
+                assert inst.issued_cycle > inst.dispatched_cycle >= 0
+                assert inst.completed_cycle >= inst.issued_cycle

@@ -1,0 +1,60 @@
+"""Fast end-to-end smoke of the reproduction pipeline.
+
+The benchmarks regenerate the paper's artifacts at full budgets; this
+mirror keeps a miniature version inside the unit suite so `pytest tests/`
+alone exercises the whole stack — workload build, functional execution,
+every IQ design, the harness, and the experiment API — in under a minute.
+"""
+
+import pytest
+
+from repro.harness import configs, run_workload
+from repro.harness.experiments import EXPERIMENTS
+
+
+@pytest.fixture(scope="module")
+def mini():
+    """A miniature swim comparison across the three headline designs."""
+    budget = 4000
+    return {
+        "conv32": run_workload("swim", configs.ideal(32),
+                               max_instructions=budget),
+        "ideal512": run_workload("swim", configs.ideal(512),
+                                 max_instructions=budget),
+        "seg512": run_workload("swim",
+                               configs.segmented(512, 128, "comb"),
+                               max_instructions=budget),
+        "presched": run_workload("swim", configs.prescheduled(24),
+                                 max_instructions=budget),
+    }
+
+
+class TestHeadlineShape:
+    def test_everything_commits(self, mini):
+        counts = {result.instructions for result in mini.values()}
+        assert len(counts) == 1          # same dynamic stream everywhere
+
+    def test_ordering_ideal_seg_conv(self, mini):
+        assert mini["ideal512"].ipc >= mini["seg512"].ipc
+        assert mini["seg512"].ipc > mini["conv32"].ipc
+
+    def test_segmented_beats_prescheduler(self, mini):
+        assert mini["seg512"].ipc > mini["presched"].ipc
+
+    def test_segmented_in_sane_band(self, mini):
+        fraction = mini["seg512"].ipc / mini["ideal512"].ipc
+        assert 0.35 < fraction <= 1.0
+
+    def test_chain_stats_populated(self, mini):
+        assert mini["seg512"].chains_peak > 0
+        assert mini["seg512"].chains_avg > 0
+
+
+class TestExperimentAPI:
+    def test_figure3_mini(self):
+        report, data = EXPERIMENTS["figure3"].run(workloads=["twolf"],
+                                                  budget_factor=0.15)
+        assert "twolf" in report
+        ideal = data["twolf"]["ideal"]
+        assert set(ideal) == {32, 64, 128, 256, 512}
+        assert all(value > 0 for value in ideal.values())

@@ -1,0 +1,128 @@
+"""Tests for instruction representations and opcode metadata."""
+
+import pytest
+
+from repro.isa import (F, Instruction, Opcode, R, op_info,
+                       VARIABLE_LATENCY_OPCODES)
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OP_TABLE, FUClass, OpClass
+from repro.isa.registers import is_fp_reg, reg_name
+
+
+class TestOpcodeTable:
+    def test_every_opcode_has_info(self):
+        for opcode in Opcode:
+            info = op_info(opcode)
+            assert info.latency >= 1
+            assert info.name == opcode.value
+
+    def test_paper_latencies(self):
+        # Table 1: integer mul 3, div 20; FP add/sub 2, mul 4, div 12,
+        # sqrt 24; everything else 1.
+        assert op_info(Opcode.MUL).latency == 3
+        assert op_info(Opcode.DIV).latency == 20
+        assert op_info(Opcode.FADD).latency == 2
+        assert op_info(Opcode.FSUB).latency == 2
+        assert op_info(Opcode.FMUL).latency == 4
+        assert op_info(Opcode.FDIV).latency == 12
+        assert op_info(Opcode.FSQRT).latency == 24
+        assert op_info(Opcode.ADD).latency == 1
+
+    def test_only_div_and_sqrt_unpipelined(self):
+        unpipelined = {opcode for opcode in Opcode
+                       if not op_info(opcode).pipelined}
+        assert unpipelined == {Opcode.DIV, Opcode.FDIV, Opcode.FSQRT}
+
+    def test_variable_latency_is_the_loads(self):
+        assert VARIABLE_LATENCY_OPCODES == {Opcode.LD, Opcode.FLD}
+
+    def test_fu_class_assignments(self):
+        assert op_info(Opcode.MUL).fu_class is FUClass.INT_MUL
+        assert op_info(Opcode.FSQRT).fu_class is FUClass.FP_MUL
+        assert op_info(Opcode.HALT).fu_class is FUClass.NONE
+
+
+class TestInstructionPredicates:
+    def test_load(self):
+        inst = Instruction(opcode=Opcode.FLD, dest=F(0), srcs=(R(1),))
+        assert inst.is_load and inst.is_mem
+        assert not inst.is_store and not inst.is_branch
+
+    def test_store(self):
+        inst = Instruction(opcode=Opcode.ST, srcs=(R(1), R(2)))
+        assert inst.is_store and inst.is_mem
+        assert not inst.is_load
+
+    def test_branch_and_jump_are_control(self):
+        branch = Instruction(opcode=Opcode.BNE, srcs=(R(1), R(0)), target=0)
+        jump = Instruction(opcode=Opcode.JMP, target=0)
+        assert branch.is_branch and branch.is_control
+        assert not jump.is_branch and jump.is_control
+
+    def test_halt(self):
+        assert Instruction(opcode=Opcode.HALT).is_halt
+
+    def test_str_renders_operands(self):
+        inst = Instruction(opcode=Opcode.FADD, dest=F(1), srcs=(F(2), F(3)))
+        text = str(inst)
+        assert "fadd" in text and "f1" in text and "f3" in text
+
+    def test_str_renders_target(self):
+        inst = Instruction(opcode=Opcode.JMP, target=7)
+        assert "@7" in str(inst)
+
+
+class TestRegisterHelpers:
+    def test_flat_register_space(self):
+        assert R(0) == 0
+        assert F(0) == 32
+        assert not is_fp_reg(R(31))
+        assert is_fp_reg(F(0))
+
+    def test_reg_names(self):
+        assert reg_name(R(5)) == "r5"
+        assert reg_name(F(5)) == "f5"
+
+    def test_out_of_range_rejected(self):
+        from repro.common import ProgramError
+        with pytest.raises(ProgramError):
+            R(32)
+        with pytest.raises(ProgramError):
+            F(32)
+        with pytest.raises(ProgramError):
+            reg_name(64)
+
+
+class TestDynInst:
+    def make(self):
+        return DynInst(seq=7, pc=3, static=Instruction(
+            opcode=Opcode.ADD, dest=R(1), srcs=(R(2), R(3))))
+
+    def test_initial_timing_unset(self):
+        dyn = self.make()
+        for attr in ("fetched_cycle", "dispatched_cycle", "issued_cycle",
+                     "completed_cycle", "committed_cycle"):
+            assert getattr(dyn, attr) == -1
+        assert dyn.value_ready_cycle is None
+
+    def test_set_value_ready_notifies_waiters(self):
+        dyn = self.make()
+        seen = []
+        dyn.waiters.append(seen.append)
+        dyn.waiters.append(seen.append)
+        dyn.set_value_ready(12)
+        assert seen == [12, 12]
+        assert dyn.value_ready_cycle == 12
+        assert dyn.waiters == []
+
+    def test_late_subscribers_read_value_directly(self):
+        dyn = self.make()
+        dyn.set_value_ready(5)
+        # After readiness is known, consumers read the field; appending a
+        # waiter afterwards would never fire, which is why the renamer
+        # checks value_ready_cycle first.
+        assert dyn.value_ready_cycle == 5
+
+    def test_repr_mentions_seq_and_opcode(self):
+        text = repr(self.make())
+        assert "#7" in text and "add" in text

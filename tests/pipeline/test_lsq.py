@@ -1,0 +1,181 @@
+"""Unit tests for the load/store queue."""
+
+import pytest
+
+from repro.common import EventQueue, MemoryParams, StatGroup
+from repro.isa import Instruction, Opcode
+from repro.isa.instruction import DynInst
+from repro.memory import MemoryHierarchy
+from repro.pipeline.lsq import FORWARD_LATENCY, LoadStoreQueue
+
+
+def make_lsq(size=32):
+    events = EventQueue()
+    stats = StatGroup()
+    memory = MemoryHierarchy(MemoryParams(), events, stats)
+    lsq = LoadStoreQueue(size, memory, events, stats)
+    return lsq, events, stats, memory
+
+
+def load_inst(seq, addr_reg=1):
+    return DynInst(seq=seq, pc=seq, static=Instruction(
+        opcode=Opcode.LD, dest=5, srcs=(addr_reg,)))
+
+
+def store_inst(seq, addr_reg=1, data_reg=2):
+    return DynInst(seq=seq, pc=seq, static=Instruction(
+        opcode=Opcode.ST, dest=None, srcs=(addr_reg, data_reg)))
+
+
+def step(lsq, events, cycles, start=0):
+    for cycle in range(start, start + cycles):
+        events.advance_to(cycle)
+        lsq.cycle(cycle)
+    return start + cycles
+
+
+class TestLoadIssue:
+    def test_load_with_no_stores_issues_to_cache(self):
+        lsq, events, stats, _ = make_lsq()
+        load = load_inst(0)
+        load.mem_addr = 64
+        lsq.dispatch(load, None, None)
+        lsq.address_ready(load, cycle=1)
+        step(lsq, events, 300)
+        assert load.completed_cycle > 0
+        assert load.value_ready_cycle == load.completed_cycle
+
+    def test_load_waits_for_unknown_store_address(self):
+        lsq, events, stats, _ = make_lsq()
+        store = store_inst(0)
+        lsq.dispatch(store, 0, None)
+        load = load_inst(1)
+        load.mem_addr = 64
+        lsq.dispatch(load, None, None)
+        lsq.address_ready(load, cycle=1)
+        step(lsq, events, 20)
+        # Conservative disambiguation: earlier store address unknown.
+        assert load.completed_cycle < 0
+        store.mem_addr = 128
+        lsq.address_ready(store, cycle=21)
+        step(lsq, events, 300, start=21)
+        assert load.completed_cycle > 0
+
+    def test_store_frontier_advances_in_order(self):
+        lsq, events, _, _ = make_lsq()
+        first, second = store_inst(0), store_inst(1)
+        lsq.dispatch(first, 0, None)
+        lsq.dispatch(second, 0, None)
+        assert lsq.store_frontier == 0
+        second.mem_addr = 128
+        lsq.address_ready(second, cycle=1)
+        assert lsq.store_frontier == 0      # first still unknown
+        first.mem_addr = 64
+        lsq.address_ready(first, cycle=2)
+        assert lsq.store_frontier > 1
+
+
+class TestForwarding:
+    def test_load_forwards_from_completed_store(self):
+        lsq, events, stats, _ = make_lsq()
+        store = store_inst(0)
+        store.mem_addr = 64
+        lsq.dispatch(store, 0, None)       # data ready at dispatch
+        lsq.address_ready(store, cycle=1)
+        load = load_inst(1)
+        load.mem_addr = 64
+        lsq.dispatch(load, None, None)
+        lsq.address_ready(load, cycle=2)
+        step(lsq, events, 30)
+        assert stats.get("lsq.forwards") == 1
+        assert load.mem_level == "forward"
+        assert load.completed_cycle - load.issued_cycle <= FORWARD_LATENCY + 4
+
+    def test_load_waits_for_store_data(self):
+        lsq, events, stats, _ = make_lsq()
+        producer = DynInst(seq=0, pc=0, static=Instruction(
+            opcode=Opcode.ADD, dest=2, srcs=(1, 1)))
+        store = store_inst(1)
+        store.mem_addr = 64
+        lsq.dispatch(store, None, producer)   # data not ready yet
+        lsq.address_ready(store, cycle=1)
+        load = load_inst(2)
+        load.mem_addr = 64
+        lsq.dispatch(load, None, None)
+        lsq.address_ready(load, cycle=2)
+        step(lsq, events, 20)
+        assert load.completed_cycle < 0       # blocked on store data
+        assert stats.get("lsq.conflict_waits") == 1
+        producer.set_value_ready(25)
+        step(lsq, events, 40, start=20)
+        assert load.completed_cycle > 0
+        assert load.mem_level == "forward"
+
+    def test_different_addresses_do_not_forward(self):
+        lsq, events, stats, _ = make_lsq()
+        store = store_inst(0)
+        store.mem_addr = 64
+        lsq.dispatch(store, 0, None)
+        lsq.address_ready(store, cycle=1)
+        load = load_inst(1)
+        load.mem_addr = 128
+        lsq.dispatch(load, None, None)
+        lsq.address_ready(load, cycle=2)
+        step(lsq, events, 300)
+        assert stats.get("lsq.forwards") == 0
+        assert load.completed_cycle > 0
+
+    def test_youngest_earlier_store_wins(self):
+        lsq, events, stats, _ = make_lsq()
+        old = store_inst(0)
+        old.mem_addr = 64
+        lsq.dispatch(old, 0, None)
+        lsq.address_ready(old, cycle=1)
+        new = store_inst(1)
+        new.mem_addr = 64
+        lsq.dispatch(new, 0, None)
+        lsq.address_ready(new, cycle=2)
+        load = load_inst(2)
+        load.mem_addr = 64
+        lsq.dispatch(load, None, None)
+        entry = lsq._entries[2]
+        lsq.address_ready(load, cycle=3)
+        blocker = lsq._conflicting_store(entry)
+        assert blocker.seq == 1
+
+
+class TestStoreCompletion:
+    def test_store_completes_at_max_of_addr_and_data(self):
+        lsq, events, _, _ = make_lsq()
+        producer = DynInst(seq=0, pc=0, static=Instruction(
+            opcode=Opcode.ADD, dest=2, srcs=(1, 1)))
+        store = store_inst(1)
+        store.mem_addr = 64
+        lsq.dispatch(store, None, producer)
+        lsq.address_ready(store, cycle=5)
+        step(lsq, events, 10)
+        assert store.completed_cycle < 0
+        producer.set_value_ready(12)
+        step(lsq, events, 10, start=10)
+        assert store.completed_cycle == 12
+
+    def test_commit_removes_and_writes_cache(self):
+        lsq, events, stats, memory = make_lsq()
+        store = store_inst(0)
+        store.mem_addr = 64
+        lsq.dispatch(store, 0, None)
+        lsq.address_ready(store, cycle=1)
+        step(lsq, events, 5)
+        lsq.commit(store, now=5)
+        assert lsq.occupancy == 0
+        step(lsq, events, 300, start=5)
+        assert memory.l1d.contains(64)       # write-allocated
+
+
+class TestCapacity:
+    def test_has_space_tracks_occupancy(self):
+        lsq, events, _, _ = make_lsq(size=2)
+        lsq.dispatch(load_inst(0), None, None)
+        assert lsq.has_space()
+        lsq.dispatch(load_inst(1), None, None)
+        assert not lsq.has_space()

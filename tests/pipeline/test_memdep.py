@@ -1,0 +1,182 @@
+"""Tests for memory dependence policies (conservative / oracle / store sets)."""
+
+import pytest
+
+from repro.common import ConfigurationError, ProcessorParams, StatGroup
+from repro.harness import configs
+from repro.isa import F, ProgramBuilder, R, execute
+from repro.pipeline import Processor
+from repro.pipeline.memdep import StoreSetPredictor
+
+
+def run_policy(program, policy, iq_size=128, max_cycles=1_000_000):
+    params = configs.ideal(iq_size).replace(mem_dep_policy=policy)
+    processor = Processor(params, execute(program))
+    processor.warm_code(program)
+    processor.run(max_cycles=max_cycles)
+    return processor
+
+
+def aliasing_kernel(n=400):
+    """Every iteration stores then loads the same slot: true dependences
+    the predictor must learn."""
+    b = ProgramBuilder("alias")
+    slot = b.alloc("slot", 8)
+    data = b.alloc("data", 512, init=[float(i) for i in range(512)])
+    i, limit, addr = R(1), R(2), R(3)
+    b.li(limit, n)
+    b.li(i, 0)
+    b.label("loop")
+    b.andi(addr, i, 511)
+    b.slli(addr, addr, 3)
+    b.ld(R(4), addr, base=data)
+    b.st(R(4), R(0), base=slot)      # store to the fixed slot
+    b.ld(R(5), R(0), base=slot)      # immediately load it back
+    b.add(R(6), R(5), R(4))
+    b.addi(i, i, 1)
+    b.blt(i, limit, "loop")
+    b.halt()
+    return b.build()
+
+
+def late_store_address_kernel(n=300):
+    """The store's address comes from a 20-cycle divide, so the following
+    load (same address, immediately computable) issues past it — a true
+    memory-order violation unless the predictor holds it back."""
+    b = ProgramBuilder("late-store")
+    slot = b.alloc("slot", 16)
+    data = b.alloc("data", 256, init=[float(i + 1) for i in range(256)])
+    i, limit, addr = R(1), R(2), R(3)
+    b.li(R(8), 64)
+    b.li(R(9), 8)
+    b.li(limit, n)
+    b.li(i, 0)
+    b.label("loop")
+    b.andi(addr, i, 255)
+    b.slli(addr, addr, 3)
+    b.ld(R(4), addr, base=data)
+    b.div(R(7), R(8), R(9))          # 8, after 20 cycles
+    b.slli(R(10), R(7), 3)           # byte offset 64
+    b.st(R(4), R(10), base=slot)     # slot[8], address known late
+    b.ld(R(5), R(0), 64, base=slot)  # slot[8], address known at once
+    b.add(R(6), R(5), R(4))
+    b.addi(i, i, 1)
+    b.blt(i, limit, "loop")
+    b.halt()
+    return b.build()
+
+
+def independent_kernel(n=400):
+    """Stores and loads never alias: conservative ordering is pure loss."""
+    b = ProgramBuilder("indep")
+    src = b.alloc("src", 1024, init=[1.0] * 1024)
+    dst = b.alloc("dst", 1024)
+    i, limit, addr = R(1), R(2), R(3)
+    b.li(limit, n)
+    b.li(i, 0)
+    b.label("loop")
+    b.andi(addr, i, 1023)
+    b.slli(addr, addr, 3)
+    b.fld(F(0), addr, base=src)
+    b.fmul(F(1), F(0), F(0))
+    b.fst(F(1), addr, base=dst)
+    b.addi(i, i, 1)
+    b.blt(i, limit, "loop")
+    b.halt()
+    return b.build()
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy", ["conservative", "oracle",
+                                        "store_sets"])
+    def test_all_policies_commit_everything(self, policy):
+        program = aliasing_kernel(100)
+        expected = sum(1 for _ in execute(program))
+        processor = run_policy(program, policy)
+        assert processor.done
+        assert processor.committed == expected
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            configs.ideal(64).replace(mem_dep_policy="psychic").validate()
+
+    def test_oracle_never_slower_than_conservative(self):
+        program = independent_kernel()
+        conservative = run_policy(program, "conservative")
+        oracle = run_policy(program, "oracle")
+        assert oracle.cycle <= conservative.cycle
+
+    def test_aliasing_code_forwards_under_every_policy(self):
+        for policy in ("conservative", "oracle", "store_sets"):
+            processor = run_policy(aliasing_kernel(200), policy)
+            assert processor.stats.get("lsq.forwards") > 100, policy
+
+    def test_store_sets_learns_the_aliasing_pair(self):
+        processor = run_policy(late_store_address_kernel(300), "store_sets")
+        stats = processor.stats
+        # Early iterations violate; the predictor learns and then holds
+        # the load back instead.
+        assert stats.get("memdep.violations") >= 1
+        assert stats.get("memdep.predicted_waits") > 10
+        # Violations must be rare once trained.
+        assert (stats.get("memdep.violations")
+                < 0.05 * stats.get("lsq.loads"))
+
+    def test_violation_charges_flush_penalty(self):
+        processor = run_policy(late_store_address_kernel(50), "store_sets")
+        assert processor.stats.get("memdep.violations") > 0
+        assert processor.lsq.violation_flush_until > 0
+
+    def test_conservative_never_violates(self):
+        processor = run_policy(late_store_address_kernel(100),
+                               "conservative")
+        assert "memdep.violations" not in processor.stats
+
+    def test_store_sets_beats_conservative_on_independent_code(self):
+        program = independent_kernel()
+        conservative = run_policy(program, "conservative")
+        store_sets = run_policy(program, "store_sets")
+        assert store_sets.cycle <= conservative.cycle * 1.02
+
+
+class TestStoreSetPredictorUnit:
+    def test_unknown_load_predicts_nothing(self):
+        predictor = StoreSetPredictor(StatGroup())
+        assert predictor.predicted_store(load_pc=4) is None
+
+    def test_violation_creates_common_set(self):
+        predictor = StoreSetPredictor(StatGroup())
+        store_entry = object()
+        predictor.record_violation(load_pc=4, store_pc=8)
+        predictor.store_fetched(store_pc=8, entry=store_entry)
+        assert predictor.predicted_store(load_pc=4) is store_entry
+
+    def test_store_left_clears_lfst(self):
+        predictor = StoreSetPredictor(StatGroup())
+        store_entry = object()
+        predictor.record_violation(load_pc=4, store_pc=8)
+        predictor.store_fetched(store_pc=8, entry=store_entry)
+        predictor.store_left(store_pc=8, entry=store_entry)
+        assert predictor.predicted_store(load_pc=4) is None
+
+    def test_newer_store_replaces_older_in_lfst(self):
+        predictor = StoreSetPredictor(StatGroup())
+        old, new = object(), object()
+        predictor.record_violation(load_pc=4, store_pc=8)
+        predictor.store_fetched(store_pc=8, entry=old)
+        predictor.store_fetched(store_pc=8, entry=new)
+        assert predictor.predicted_store(load_pc=4) is new
+        # Clearing the old entry must not clear the new one.
+        predictor.store_left(store_pc=8, entry=old)
+        assert predictor.predicted_store(load_pc=4) is new
+
+    def test_merge_rule_unifies_sets(self):
+        predictor = StoreSetPredictor(StatGroup())
+        predictor.record_violation(load_pc=1, store_pc=2)
+        predictor.record_violation(load_pc=3, store_pc=4)
+        predictor.record_violation(load_pc=1, store_pc=4)   # merge
+        # The merge rule reassigns the two involved instructions to the
+        # smaller-numbered set.
+        assert predictor._ssit[predictor._index(1)] == \
+            predictor._ssit[predictor._index(4)]
+        assert predictor.stat_merges.value == 1

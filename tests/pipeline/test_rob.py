@@ -1,0 +1,44 @@
+"""Unit tests for the reorder buffer."""
+
+from repro.common import StatGroup
+from repro.isa import Instruction, Opcode
+from repro.isa.instruction import DynInst
+from repro.pipeline import ReorderBuffer
+
+
+def inst(seq):
+    return DynInst(seq=seq, pc=seq, static=Instruction(
+        opcode=Opcode.ADD, dest=1, srcs=(2, 3)))
+
+
+class TestReorderBuffer:
+    def test_fifo_order(self):
+        rob = ReorderBuffer(4, StatGroup())
+        first, second = inst(0), inst(1)
+        rob.dispatch(first)
+        rob.dispatch(second)
+        assert rob.head() is first
+        assert rob.commit_head() is first
+        assert rob.head() is second
+
+    def test_capacity(self):
+        rob = ReorderBuffer(2, StatGroup())
+        rob.dispatch(inst(0))
+        assert rob.has_space()
+        rob.dispatch(inst(1))
+        assert not rob.has_space()
+        rob.commit_head()
+        assert rob.has_space()
+
+    def test_empty_head_is_none(self):
+        rob = ReorderBuffer(2, StatGroup())
+        assert rob.head() is None
+        assert len(rob) == 0
+
+    def test_len_tracks_occupancy(self):
+        rob = ReorderBuffer(8, StatGroup())
+        for index in range(5):
+            rob.dispatch(inst(index))
+        assert len(rob) == 5
+        rob.commit_head()
+        assert len(rob) == 4

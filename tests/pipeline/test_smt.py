@@ -1,0 +1,108 @@
+"""Tests for the SMT processor (the paper's section-7 study)."""
+
+import pytest
+
+from repro.common import ConfigurationError
+from repro.harness import configs
+from repro.isa import execute
+from repro.pipeline import Processor, SMTProcessor
+from repro.workloads import WORKLOADS
+
+from tests.conftest import daxpy_program, dependent_chain_program
+
+
+def run_smt(programs, params=None, budget=6000, max_cycles=2_000_000):
+    params = params or configs.segmented(256, 64, "comb")
+    streams = [execute(p, max_instructions=budget) for p in programs]
+    processor = SMTProcessor(params, streams)
+    processor.warm_code(programs)
+    processor.run(max_cycles=max_cycles)
+    return processor
+
+
+class TestBasics:
+    def test_needs_at_least_one_stream(self):
+        with pytest.raises(ConfigurationError):
+            SMTProcessor(configs.ideal(64), [])
+
+    def test_single_thread_commits_everything(self):
+        program = daxpy_program(n=128)
+        expected = sum(1 for _ in execute(program))
+        processor = run_smt([program], budget=None)
+        assert processor.done
+        assert processor.committed == expected
+
+    def test_two_threads_commit_everything(self):
+        programs = [daxpy_program(n=64), dependent_chain_program(200)]
+        expected = sum(sum(1 for _ in execute(p)) for p in programs)
+        processor = run_smt(programs, budget=None)
+        assert processor.done
+        assert processor.committed == expected
+        assert all(count > 0 for count in processor.committed_per_thread)
+
+    def test_per_thread_ipc_sums_to_total(self):
+        programs = [daxpy_program(n=64), daxpy_program(n=64)]
+        processor = run_smt(programs, budget=None)
+        total = sum(processor.thread_ipc(t) for t in range(2))
+        assert total == pytest.approx(processor.ipc)
+
+    def test_four_threads(self):
+        programs = [daxpy_program(n=32) for _ in range(4)]
+        processor = run_smt(programs, budget=None)
+        assert processor.done
+        assert processor.num_threads == 4
+
+
+class TestIsolation:
+    def test_threads_do_not_share_architectural_state(self):
+        # Two copies of the same program must behave identically even
+        # though they use the same register numbers and addresses.
+        programs = [daxpy_program(n=64), daxpy_program(n=64)]
+        processor = run_smt(programs, budget=None)
+        assert processor.done
+        assert (processor.committed_per_thread[0]
+                == processor.committed_per_thread[1])
+
+    def test_data_addresses_are_disjoint(self):
+        from repro.pipeline.smt import DATA_SPACE_BYTES, _thread_stream
+        program = daxpy_program(n=16)
+        tagged = list(_thread_stream(execute(program), thread=1,
+                                     data_offset=DATA_SPACE_BYTES))
+        for inst in tagged:
+            assert inst.thread == 1
+            if inst.mem_addr is not None:
+                assert inst.mem_addr >= DATA_SPACE_BYTES
+
+    def test_lsq_never_forwards_across_threads(self):
+        # Same program twice: same thread-local addresses.  With the
+        # per-thread address offset, cross-thread forwarding would show
+        # up as nondeterministic forward counts vs running one copy.
+        program = daxpy_program(n=64)
+        single = run_smt([program], budget=None)
+        double = run_smt([daxpy_program(n=64), daxpy_program(n=64)],
+                         budget=None)
+        assert (double.stats.get("lsq.forwards")
+                == 2 * single.stats.get("lsq.forwards"))
+
+
+class TestThroughput:
+    def test_smt_beats_serial_execution(self):
+        # Co-scheduling a memory-bound and a compute-bound analog should
+        # finish faster than running them back to back.
+        programs = [WORKLOADS["swim"].build(1), WORKLOADS["twolf"].build(1)]
+        params = configs.segmented(512, 128, "comb")
+        singles = [run_smt([p], params, budget=6000) for p in programs]
+        serial_cycles = sum(p.cycle for p in singles)
+        smt = run_smt(programs, params, budget=6000)
+        assert smt.cycle < serial_cycles
+
+    def test_segmented_smt_tracks_ideal_smt(self):
+        # Section 7's hypothesis: chains from independent threads coexist;
+        # the segmented IQ's SMT throughput should be a healthy fraction
+        # of the ideal IQ's.
+        programs = [WORKLOADS["swim"].build(1), WORKLOADS["twolf"].build(1)]
+        seg = run_smt(programs, configs.segmented(512, 128, "comb"),
+                      budget=6000)
+        programs = [WORKLOADS["swim"].build(1), WORKLOADS["twolf"].build(1)]
+        ideal = run_smt(programs, configs.ideal(512), budget=6000)
+        assert seg.ipc > 0.55 * ideal.ipc
