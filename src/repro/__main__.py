@@ -6,6 +6,7 @@ Commands:
 * ``run``     — simulate one benchmark under one configuration
 * ``sweep``   — IPC-vs-IQ-size curves (Figure 3 style) for one benchmark
 * ``disasm``  — print a benchmark kernel's assembly listing
+* ``validate`` — differential-oracle fuzzing campaign (docs/validation.md)
 """
 
 from __future__ import annotations
@@ -48,6 +49,8 @@ def cmd_list(_args) -> int:
 
 def cmd_run(args) -> int:
     params = _params_from_args(args)
+    if args.check_invariants:
+        params = params.replace(check_invariants=True)
     result = run_workload(args.workload, params,
                           config_label=args.iq,
                           max_instructions=args.instructions)
@@ -136,6 +139,36 @@ def cmd_reproduce(args) -> int:
     return 0
 
 
+def cmd_validate(args) -> int:
+    from repro.validation import FuzzProfile, run_campaign, validation_models
+
+    from repro.common.errors import ConfigurationError
+
+    profile = FuzzProfile(
+        length=args.length, loop_iterations=args.iterations,
+        chain_bias=args.chain_bias, miss_bias=args.miss_bias)
+    try:
+        profile.validate()
+    except ConfigurationError as exc:
+        raise SystemExit(f"bad fuzz profile: {exc}")
+    models = validation_models()
+    if args.models:
+        wanted = args.models.split(",")
+        unknown = [name for name in wanted if name not in models]
+        if unknown:
+            raise SystemExit(f"unknown model(s) {','.join(unknown)}; "
+                             f"known: {','.join(models)}")
+        models = {name: models[name] for name in wanted}
+    report = run_campaign(
+        seed=args.seed, num_programs=args.programs, profile=profile,
+        models=models, check_invariants=not args.no_invariants,
+        shrink=not args.no_shrink,
+        progress=(lambda line: print(f"  {line}", file=sys.stderr))
+        if args.verbose else None)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def cmd_segments(args) -> int:
     from repro.harness.trace import collect_segment_samples, segment_heatmap
     from repro.isa import execute
@@ -178,6 +211,8 @@ def main(argv=None) -> int:
     run_parser.add_argument("--instructions", type=int, default=None)
     run_parser.add_argument("--stats", action="store_true",
                             help="dump every statistic")
+    run_parser.add_argument("--check-invariants", action="store_true",
+                            help="run per-cycle pipeline invariant checks")
 
     sweep_parser = sub.add_parser("sweep", help="IQ size sweep")
     sweep_parser.add_argument("workload", choices=sorted(WORKLOADS))
@@ -225,10 +260,36 @@ def main(argv=None) -> int:
     reproduce_parser.add_argument("--json", default="",
                                   help="also write raw data to this file")
 
+    validate_parser = sub.add_parser(
+        "validate",
+        help="differential-oracle fuzzing across every IQ model")
+    validate_parser.add_argument("--seed", type=int, default=0)
+    validate_parser.add_argument("--programs", type=int, default=50,
+                                 help="number of random programs to fuzz")
+    validate_parser.add_argument("--models", default="",
+                                 help="comma-separated model subset "
+                                      "(default: all five)")
+    validate_parser.add_argument("--length", type=int, default=40,
+                                 help="loop-body units per program")
+    validate_parser.add_argument("--iterations", type=int, default=3,
+                                 help="outer-loop iterations per program")
+    validate_parser.add_argument("--chain-bias", type=float, default=0.5,
+                                 help="dependence-chain depth bias [0,1]")
+    validate_parser.add_argument("--miss-bias", type=float, default=0.25,
+                                 help="fraction of memory ops aimed at the "
+                                      "L1-missing region")
+    validate_parser.add_argument("--no-invariants", action="store_true",
+                                 help="skip per-cycle invariant checks")
+    validate_parser.add_argument("--no-shrink", action="store_true",
+                                 help="report failures without shrinking")
+    validate_parser.add_argument("--verbose", action="store_true",
+                                 help="print each check as it runs")
+
     args = parser.parse_args(argv)
     handler = {"list": cmd_list, "run": cmd_run, "sweep": cmd_sweep,
                "disasm": cmd_disasm, "trace": cmd_trace,
                "segments": cmd_segments, "reproduce": cmd_reproduce,
+               "validate": cmd_validate,
                }[args.command]
     return handler(args)
 

@@ -1,8 +1,8 @@
 """Shared infrastructure: parameters, statistics, events, errors."""
 
 from repro.common.errors import (ConfigurationError, DeadlockError,
-                                 ExecutionError, ProgramError, ReproError,
-                                 SimulationError)
+                                 ExecutionError, InvariantViolation,
+                                 ProgramError, ReproError, SimulationError)
 from repro.common.events import EventQueue
 from repro.common.params import (BranchPredictorParams, CacheParams, IQParams,
                                  MemoryParams, ProcessorParams,
@@ -13,7 +13,8 @@ from repro.common.stats import Counter, Distribution, StatGroup, ratio
 __all__ = [
     "BranchPredictorParams", "CacheParams", "ConfigurationError", "Counter",
     "DeadlockError", "Distribution", "EventQueue", "ExecutionError",
-    "IQParams", "MemoryParams", "ProcessorParams", "ProgramError",
+    "IQParams", "InvariantViolation", "MemoryParams", "ProcessorParams",
+    "ProgramError",
     "ReproError", "SimulationError", "StatGroup", "ideal_iq_params",
     "prescheduled_iq_params", "ratio", "segmented_iq_params",
 ]

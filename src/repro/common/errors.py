@@ -27,6 +27,15 @@ class SimulationError(ReproError):
     """The timing model reached an internally inconsistent state."""
 
 
+class InvariantViolation(SimulationError):
+    """A pipeline invariant check failed (see repro.validation.invariants).
+
+    Raised only when invariant checking is enabled
+    (``ProcessorParams.check_invariants``); always indicates a timing-model
+    bug, never a property of the simulated program.
+    """
+
+
 class DeadlockError(SimulationError):
     """The timing model made no forward progress for too many cycles.
 

@@ -215,6 +215,9 @@ class ProcessorParams:
     branch: BranchPredictorParams = field(default_factory=BranchPredictorParams)
     # Simulation safety net: abort if no instruction commits for this long.
     watchdog_cycles: int = 50_000
+    # Run the per-cycle pipeline invariant checks (repro.validation); off by
+    # default so benchmark timings pay nothing for them.
+    check_invariants: bool = False
 
     @property
     def rob_size(self) -> int:

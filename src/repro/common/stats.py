@@ -34,7 +34,7 @@ class Counter:
 class Distribution:
     """Tracks count, sum, min, max of observed samples (O(1) memory)."""
 
-    __slots__ = ("name", "desc", "count", "total", "minimum", "maximum")
+    __slots__ = ("name", "desc", "count", "total", "_minimum", "_maximum")
 
     def __init__(self, name: str, desc: str = "") -> None:
         self.name = name
@@ -44,16 +44,26 @@ class Distribution:
     def reset(self) -> None:
         self.count = 0
         self.total = 0.0
-        self.minimum = float("inf")
-        self.maximum = float("-inf")
+        self._minimum = float("inf")
+        self._maximum = float("-inf")
 
     def sample(self, value: float) -> None:
         self.count += 1
         self.total += value
-        if value < self.minimum:
-            self.minimum = value
-        if value > self.maximum:
-            self.maximum = value
+        if value < self._minimum:
+            self._minimum = value
+        if value > self._maximum:
+            self._maximum = value
+
+    @property
+    def minimum(self) -> float:
+        """Smallest observed sample; 0 when nothing was sampled."""
+        return self._minimum if self.count else 0
+
+    @property
+    def maximum(self) -> float:
+        """Largest observed sample; 0 when nothing was sampled."""
+        return self._maximum if self.count else 0
 
     @property
     def mean(self) -> float:
@@ -136,8 +146,8 @@ class StatGroup:
             lines.append(f"{name:<40} {value}")
         for dist in self.distributions():
             lines.append(f"{dist.name:<40} mean={dist.mean:.4f} "
-                         f"min={dist.minimum if dist.count else 0:.0f} "
-                         f"max={dist.peak:.0f} n={dist.count}")
+                         f"min={dist.minimum:.0f} "
+                         f"max={dist.maximum:.0f} n={dist.count}")
         return "\n".join(lines)
 
 

@@ -125,6 +125,27 @@ class InstructionQueue(abc.ABC):
         """
 
     # ------------------------------------------------------------ hooks --
+    def check(self, now: int) -> None:
+        """Validate internal invariants; raise InvariantViolation on a bug.
+
+        Called once per cycle by the invariant checker when
+        ``ProcessorParams.check_invariants`` is set; designs override to add
+        structure-specific checks.  The default validates only the generic
+        occupancy bound.
+        """
+        from repro.common.errors import InvariantViolation
+        if not 0 <= self.occupancy <= self.size:
+            raise InvariantViolation(
+                f"IQ occupancy {self.occupancy} outside [0, {self.size}] "
+                f"at cycle {now}")
+
+    def iter_entries(self):
+        """Iterate the currently buffered (un-issued) entries, if the
+        design tracks them individually.  Designs that can enumerate their
+        live entries override this; the invariant checker uses it for the
+        ROB/IQ membership agreement check."""
+        return iter(())
+
     def notify_load_miss(self, inst: DynInst, now: int) -> None:
         """A load detected a cache miss (segmented IQ: suspend self-timing)."""
 

@@ -200,3 +200,31 @@ class ChainManager:
     def sample(self) -> None:
         """Record current usage (called once per cycle)."""
         self.stat_in_use.sample(len(self._active))
+
+    def check(self, now: int, num_segments: Optional[int] = None) -> None:
+        """Invariants: the wire pool is bounded and every active chain is
+        internally consistent (head position in range, suspension
+        accounting non-negative)."""
+        from repro.common.errors import InvariantViolation
+        if self.max_chains is not None and len(self._active) > self.max_chains:
+            raise InvariantViolation(
+                f"{len(self._active)} chains active > {self.max_chains} "
+                f"wires at cycle {now}")
+        for chain in self._active.values():
+            if chain.freed:
+                raise InvariantViolation(
+                    f"freed chain {chain.chain_id} still in the active pool")
+            if chain.head_segment < 0 or (
+                    num_segments is not None
+                    and chain.head_segment >= num_segments):
+                raise InvariantViolation(
+                    f"chain {chain.chain_id} head segment "
+                    f"{chain.head_segment} out of range at cycle {now}")
+            if chain.issued and chain.head_segment != 0:
+                raise InvariantViolation(
+                    f"issued chain {chain.chain_id} reports head segment "
+                    f"{chain.head_segment} (must be 0) at cycle {now}")
+            if chain.issued_cycle is None and chain.suspended:
+                raise InvariantViolation(
+                    f"chain {chain.chain_id} suspended before its head "
+                    f"issued at cycle {now}")

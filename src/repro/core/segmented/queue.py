@@ -579,6 +579,60 @@ class SegmentedIQ(InstructionQueue):
         if chain is not None:
             self.chains.free(chain)
 
+    # -------------------------------------------------------- invariants --
+    def iter_entries(self):
+        """All buffered (un-issued) entries, segment by segment."""
+        for segment in self.segments:
+            yield from segment.occupants.values()
+
+    def check(self, now: int) -> None:
+        """Segmented-IQ invariants (see docs/validation.md):
+
+        * per-segment capacity and membership consistency;
+        * the occupancy counter equals the sum of segment occupancies;
+        * admission thresholds grow monotonically with segment index;
+        * chain-wire pool bounded, every active chain consistent;
+        * a queued chain head's broadcast segment agrees with the segment
+          its entry actually occupies (the delay algebra
+          ``2 * head_segment + dh`` reads the broadcast value, so a
+          missed promotion notification corrupts every member's delay);
+        * no entry follows a chain that was freed before its head issued.
+        """
+        from repro.common.errors import InvariantViolation
+        super().check(now)
+        total = 0
+        for segment in self.segments:
+            segment.check(now)
+            total += segment.occupancy
+        if total != self._occupancy:
+            raise InvariantViolation(
+                f"IQ occupancy counter {self._occupancy} != "
+                f"{total} buffered entries at cycle {now}")
+        previous = -1
+        for segment in self.segments[1:]:
+            if segment.promote_threshold < previous:
+                raise InvariantViolation(
+                    f"segment {segment.index} promote threshold "
+                    f"{segment.promote_threshold} below segment "
+                    f"{segment.index - 1}'s {previous}")
+            previous = segment.promote_threshold
+        self.chains.check(now, self.num_segments)
+        for entry in self.iter_entries():
+            own = entry.chain_state.own_chain
+            if own is not None and not own.issued \
+                    and own.head_segment != entry.segment:
+                raise InvariantViolation(
+                    f"chain {own.chain_id} broadcasts head segment "
+                    f"{own.head_segment} but head #{entry.seq} occupies "
+                    f"segment {entry.segment} at cycle {now}")
+            for link in entry.chain_state.links:
+                if (isinstance(link, ChainLink) and link.chain.freed
+                        and not link.chain.issued):
+                    raise InvariantViolation(
+                        f"entry #{entry.seq} follows chain "
+                        f"{link.chain.chain_id}, freed before its head "
+                        f"issued, at cycle {now}")
+
     # ------------------------------------------------------------- debug --
     def delay_of(self, entry: IQEntry) -> int:
         """Current delay value of an entry (for tests and examples)."""

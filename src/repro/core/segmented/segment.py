@@ -105,6 +105,27 @@ class Segment:
             entry.chain_state.eligible_at = now
             heapq.heappush(self._heap, (now, entry.seq, entry))
 
+    def check(self, now: int) -> None:
+        """Invariants: capacity respected and membership self-consistent."""
+        from repro.common.errors import InvariantViolation
+        if len(self.occupants) > self.capacity:
+            raise InvariantViolation(
+                f"segment {self.index} holds {len(self.occupants)} > "
+                f"capacity {self.capacity} at cycle {now}")
+        for seq, entry in self.occupants.items():
+            if entry.seq != seq:
+                raise InvariantViolation(
+                    f"segment {self.index} keys entry #{entry.seq} "
+                    f"under seq {seq}")
+            if entry.segment != self.index:
+                raise InvariantViolation(
+                    f"entry #{entry.seq} thinks it is in segment "
+                    f"{entry.segment} but occupies segment {self.index}")
+            if entry.issued:
+                raise InvariantViolation(
+                    f"issued entry #{entry.seq} still occupies "
+                    f"segment {self.index} at cycle {now}")
+
     def oldest_ineligible(self, now: int, count: int) -> List[IQEntry]:
         """Up to ``count`` oldest occupants that are not currently eligible
         (candidates for the pushdown mechanism, paper section 4.1)."""

@@ -181,6 +181,16 @@ def _fp_div(a: float, b: float) -> float:
     return a / b
 
 
+def step_instruction(state: MachineState, inst: Instruction) -> DynInst:
+    """Execute one instruction against ``state`` (public single-step API).
+
+    Used by the validation oracle to replay a retired-instruction stream
+    against fresh architectural state; semantics are identical to
+    :func:`execute`, one instruction at a time.
+    """
+    return _step(state, inst)
+
+
 def execute(program: Program,
             max_instructions: Optional[int] = None) -> Iterator[DynInst]:
     """Yield the dynamic instruction stream of ``program``.

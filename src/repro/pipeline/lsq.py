@@ -20,7 +20,7 @@ import heapq
 from collections import deque
 from typing import Deque, Dict, List, Optional
 
-from repro.common.errors import SimulationError
+from repro.common.errors import InvariantViolation, SimulationError
 from repro.common.events import EventQueue
 from repro.common.stats import StatGroup
 from repro.isa.instruction import DynInst
@@ -354,6 +354,30 @@ class LoadStoreQueue:
             self._issued_loads_by_word.setdefault(
                 self._timing_key(load), []).append(load)
         return True
+
+    # -------------------------------------------------------- invariants --
+    def check(self, now: int) -> None:
+        """Invariants: bounded occupancy, program-ordered queue, and
+        agreement between the seq index and the age-ordered deque."""
+        if len(self._order) > self.size:
+            raise InvariantViolation(
+                f"LSQ holds {len(self._order)} > size {self.size} "
+                f"at cycle {now}")
+        if len(self._order) != len(self._entries):
+            raise InvariantViolation(
+                f"LSQ index/order disagreement at cycle {now}: "
+                f"{len(self._entries)} indexed vs {len(self._order)} ordered")
+        previous = -1
+        for entry in self._order:
+            if entry.seq <= previous:
+                raise InvariantViolation(
+                    f"LSQ out of program order at cycle {now}: "
+                    f"#{entry.seq} follows #{previous}")
+            if self._entries.get(entry.seq) is not entry:
+                raise InvariantViolation(
+                    f"LSQ entry #{entry.seq} missing from the seq index "
+                    f"at cycle {now}")
+            previous = entry.seq
 
     # ------------------------------------------------------------ commit --
     def commit(self, inst: DynInst, now: int) -> None:

@@ -8,7 +8,7 @@ issue time, so wakeups become visible at the top of the completion cycle.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.common.errors import ConfigurationError, DeadlockError
 from repro.common.events import EventQueue
@@ -77,6 +77,16 @@ class Processor:
         self.committed = 0
         self._halt_committed = False
         self._last_commit_cycle = 0
+
+        #: Called with (inst, cycle) the moment each instruction commits;
+        #: the validation oracle uses this to record the retired stream.
+        self.commit_listeners: List[Callable[[DynInst, int], None]] = []
+        self.invariant_checker = None
+        if params.check_invariants:
+            # Imported here so benchmark runs never touch the validation
+            # package.
+            from repro.validation.invariants import InvariantChecker
+            self.invariant_checker = InvariantChecker(self)
 
         self.stat_cycles = self.stats.counter("cycles")
         self.stat_committed = self.stats.counter("committed")
@@ -150,6 +160,8 @@ class Processor:
         self._dispatch(now)
         self.frontend.cycle(now)
         self.rob.stat_occupancy.sample(len(self.rob))
+        if self.invariant_checker is not None:
+            self.invariant_checker.check(now)
         self.cycle += 1
         self.stat_cycles.inc()
         if now - self._last_commit_cycle > self.params.watchdog_cycles:
@@ -180,6 +192,8 @@ class Processor:
             committed += 1
             self.committed += 1
             self._last_commit_cycle = now
+            for listener in self.commit_listeners:
+                listener(inst, now)
 
     # ------------------------------------------------------------- issue --
     def _issue(self, now: int) -> None:
@@ -187,6 +201,8 @@ class Processor:
             return self.fu_pool.try_issue(inst, now)
 
         for entry in self.iq.select_issue(now, acquire_fu):
+            if self.invariant_checker is not None:
+                self.invariant_checker.check_issue(entry, now)
             self._start_execution(entry.inst, now)
 
     def _start_execution(self, inst: DynInst, now: int) -> None:

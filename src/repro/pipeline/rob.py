@@ -3,8 +3,9 @@
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Optional
+from typing import Deque, Iterator, Optional
 
+from repro.common.errors import InvariantViolation
 from repro.common.stats import StatGroup
 from repro.isa.instruction import DynInst
 
@@ -35,6 +36,29 @@ class ReorderBuffer:
 
     def commit_head(self) -> DynInst:
         return self._entries.popleft()
+
+    def members(self) -> Iterator[DynInst]:
+        """Iterate the buffered instructions, oldest first."""
+        return iter(self._entries)
+
+    def check(self, now: int) -> None:
+        """Invariants: bounded occupancy, strict program order, and no
+        already-committed instruction still buffered."""
+        if len(self._entries) > self.size:
+            raise InvariantViolation(
+                f"ROB holds {len(self._entries)} > size {self.size} "
+                f"at cycle {now}")
+        previous = -1
+        for inst in self._entries:
+            if inst.seq <= previous:
+                raise InvariantViolation(
+                    f"ROB out of program order at cycle {now}: "
+                    f"#{inst.seq} follows #{previous}")
+            if inst.committed_cycle >= 0:
+                raise InvariantViolation(
+                    f"ROB still holds committed instruction #{inst.seq} "
+                    f"at cycle {now}")
+            previous = inst.seq
 
     def __len__(self) -> int:
         return len(self._entries)

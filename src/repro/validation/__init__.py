@@ -1,0 +1,42 @@
+"""Differential-oracle validation subsystem (see docs/validation.md).
+
+Three layers:
+
+* :mod:`repro.validation.oracle` — diff any program's pipeline run
+  against the in-order architectural model;
+* :mod:`repro.validation.generator` + :mod:`repro.validation.shrink` —
+  seeded random programs and minimal-reproducer reduction;
+* :mod:`repro.validation.invariants` — per-cycle pipeline invariant
+  checks, enabled by ``ProcessorParams.check_invariants``.
+
+:mod:`repro.validation.campaign` ties them together behind
+``python -m repro validate``.
+"""
+
+from repro.validation.campaign import (CampaignReport, Reproducer,
+                                       run_campaign, validation_models)
+from repro.validation.generator import (FuzzProfile, build_fuzz_program,
+                                        fuzz_corpus)
+from repro.validation.invariants import InvariantChecker
+from repro.validation.oracle import (Divergence, OracleResult,
+                                     differential_check, golden_reference,
+                                     run_pipeline)
+from repro.validation.shrink import active_length, shrink_program
+
+__all__ = [
+    "CampaignReport",
+    "Divergence",
+    "FuzzProfile",
+    "InvariantChecker",
+    "OracleResult",
+    "Reproducer",
+    "active_length",
+    "build_fuzz_program",
+    "differential_check",
+    "fuzz_corpus",
+    "golden_reference",
+    "run_campaign",
+    "run_pipeline",
+    "shrink_program",
+    "validation_models",
+]

@@ -1,0 +1,147 @@
+"""Fuzzing campaign: N seeded programs x all IQ models, with shrinking.
+
+This is the entry point behind ``python -m repro validate``.  Model
+configurations are deliberately *small* (few segments, few chain wires,
+shallow FIFOs) — small structures hit their edge cases (full queues,
+wire exhaustion, deadlock recovery) after tens of instructions instead
+of millions, which is where scheduling bugs live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.common.params import ProcessorParams
+from repro.harness import configs
+from repro.isa.program import Program
+from repro.validation.generator import FuzzProfile, build_fuzz_program
+from repro.validation.oracle import OracleResult, differential_check
+from repro.validation.shrink import active_length, shrink_program
+
+
+def validation_models() -> Dict[str, ProcessorParams]:
+    """The five IQ designs, sized small enough to stress edge cases."""
+    return {
+        "ideal": configs.ideal(64),
+        "segmented": configs.segmented(64, 16, "comb", segment_size=16),
+        "prescheduled": configs.prescheduled(4),
+        "distance": configs.distance(4),
+        "fifo": configs.fifo(64, depth=8),
+    }
+
+
+@dataclass
+class Reproducer:
+    """A shrunk failing program plus how it failed."""
+
+    model: str
+    seed: int
+    result: OracleResult
+    program: Program
+    shrunk: Optional[Program] = None
+
+    @property
+    def minimal(self) -> Program:
+        return self.shrunk if self.shrunk is not None else self.program
+
+    def describe(self) -> str:
+        lines = [str(self.result),
+                 f"  seed: {self.seed}"]
+        if self.shrunk is not None:
+            lines.append(
+                f"  shrunk to {active_length(self.shrunk)} active "
+                f"instructions (from {len(self.program)}):")
+        else:
+            lines.append(f"  reproducer ({len(self.program)} instructions):")
+        # Elide the shrinker's nop/halt filler and labels; what remains
+        # is the handful of instructions that still reproduce the failure.
+        shown = [line for line in self.minimal.disassemble().splitlines()
+                 if not line.endswith(":")
+                 and ": nop" not in line and ": halt" not in line]
+        if shown:
+            lines += [f"    {line}" for line in shown]
+        else:
+            lines.append("    (only filler remains: the failure is "
+                         "positional, not data-dependent)")
+        return "\n".join(lines)
+
+
+@dataclass
+class CampaignReport:
+    """Aggregate outcome of one fuzzing campaign."""
+
+    seed: int
+    programs: int
+    models: List[str]
+    results: List[OracleResult] = field(default_factory=list)
+    reproducers: List[Reproducer] = field(default_factory=list)
+
+    @property
+    def checks(self) -> int:
+        return len(self.results)
+
+    @property
+    def failures(self) -> int:
+        return sum(1 for r in self.results if not r.ok)
+
+    @property
+    def ok(self) -> bool:
+        return self.failures == 0
+
+    def summary(self) -> str:
+        lines = [f"validation campaign: seed={self.seed} "
+                 f"programs={self.programs} models={','.join(self.models)}",
+                 f"  {self.checks} differential checks, "
+                 f"{self.failures} divergent"]
+        for reproducer in self.reproducers:
+            lines.append(reproducer.describe())
+        if self.ok:
+            lines.append("  all models agree with the architectural oracle")
+        return "\n".join(lines)
+
+
+def run_campaign(
+        seed: int = 0,
+        num_programs: int = 50,
+        *,
+        profile: Optional[FuzzProfile] = None,
+        models: Optional[Dict[str, ProcessorParams]] = None,
+        check_invariants: bool = True,
+        shrink: bool = True,
+        progress: Optional[Callable[[str], None]] = None,
+) -> CampaignReport:
+    """Fuzz ``num_programs`` seeded programs through every model.
+
+    Each failure is recorded as a :class:`Reproducer`; with ``shrink``
+    the failing program is also reduced to a minimal variant that still
+    fails the same model.
+    """
+    base = (profile if profile is not None else FuzzProfile()).with_seed(seed)
+    if models is None:
+        models = validation_models()
+    if check_invariants:
+        models = {name: params.replace(check_invariants=True)
+                  for name, params in models.items()}
+    report = CampaignReport(seed=seed, programs=num_programs,
+                            models=list(models))
+    for index in range(num_programs):
+        program_seed = seed + index
+        program = build_fuzz_program(base.with_seed(program_seed))
+        for name, params in models.items():
+            result = differential_check(program, params, model=name)
+            report.results.append(result)
+            if progress is not None:
+                progress(f"[{index + 1}/{num_programs}] {result}")
+            if result.ok:
+                continue
+            reproducer = Reproducer(model=name, seed=program_seed,
+                                    result=result, program=program)
+            if shrink:
+                def fails(candidate: Program) -> bool:
+                    return not differential_check(
+                        candidate, params, model=name).ok
+                reproducer.shrunk = shrink_program(program, fails,
+                                                   max_attempts=400)
+            report.reproducers.append(reproducer)
+    return report

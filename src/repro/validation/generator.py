@@ -1,0 +1,219 @@
+"""Seeded random program generation for differential validation.
+
+Programs are built so that they *always terminate* and never trap: every
+in-body branch jumps strictly forward, the only backward branch is the
+counted outer loop, memory operands are masked into an allocated segment
+before use, and the opcode pool excludes ops with data-dependent traps
+(divide, sqrt, fp-to-int of a possibly-infinite value).  Integer and
+floating-point data live in disjoint memory regions so an integer op can
+never consume an FP-produced infinity (``int(inf)`` would trap) and an FP
+op can never consume an arbitrarily large chained integer
+(``float(2**4000)`` would trap).  Within those guardrails the generator
+produces tunable mixes of ALU/FP/load/store/branch work:
+
+* ``chain_bias`` steers sources toward the most recently written register,
+  producing long serial dependence chains (deep chains are what exercise
+  the segmented IQ's delay algebra);
+* ``miss_bias`` steers memory operands toward a cold region larger than
+  the L1 data cache, producing load misses (misses are what exercise
+  chain suspension and the hit/miss predictor).
+
+Every program is a pure function of its :class:`FuzzProfile`, so a seed
+integer fully identifies a reproducer.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import List
+
+from repro.common.errors import ConfigurationError
+from repro.isa import F, ProgramBuilder, R
+from repro.isa.program import Program
+
+#: Integer registers the fuzzer computes in (r13-r15 are reserved for
+#: address scratch, the loop counter, and the loop limit).
+INT_POOL = [R(i) for i in range(1, 13)]
+FP_POOL = [F(i) for i in range(8)]
+ADDR_REG = R(13)
+LOOP_COUNTER = R(14)
+LOOP_LIMIT = R(15)
+
+
+@dataclass(frozen=True)
+class FuzzProfile:
+    """Knobs for one random program (deterministic given ``seed``)."""
+
+    seed: int = 0
+    #: Number of random units in the loop body (a unit is 1-3 instructions).
+    length: int = 40
+    #: Iterations of the counted outer loop wrapping the body.
+    loop_iterations: int = 3
+    #: Probability a source operand is the most recently written register.
+    chain_bias: float = 0.5
+    #: Unit-type mix (remaining probability mass is integer ALU work).
+    load_frac: float = 0.20
+    store_frac: float = 0.10
+    branch_frac: float = 0.10
+    fp_frac: float = 0.20
+    #: Fraction of memory units aimed at the cold (L1-missing) region.
+    miss_bias: float = 0.25
+    #: Hot regions: small, stay cache-resident.  Cold regions: larger than
+    #: the 64 KB L1 so scattered walks miss.  Must be powers of two (the
+    #: address-mask trick depends on it).
+    hot_words: int = 256
+    cold_words: int = 1 << 14
+
+    def validate(self) -> None:
+        if self.length < 1:
+            raise ConfigurationError("length must be >= 1")
+        if self.loop_iterations < 1:
+            raise ConfigurationError("loop_iterations must be >= 1")
+        for name in ("chain_bias", "load_frac", "store_frac",
+                     "branch_frac", "fp_frac", "miss_bias"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ConfigurationError(f"{name} must be in [0, 1]")
+        if (self.load_frac + self.store_frac + self.branch_frac
+                + self.fp_frac) > 1.0:
+            raise ConfigurationError("unit-type fractions sum past 1.0")
+        for name in ("hot_words", "cold_words"):
+            value = getattr(self, name)
+            if value < 64 or value & (value - 1):
+                raise ConfigurationError(
+                    f"{name} must be a power of two >= 64")
+
+    def with_seed(self, seed: int) -> "FuzzProfile":
+        return replace(self, seed=seed)
+
+
+def build_fuzz_program(profile: FuzzProfile) -> Program:
+    """Generate the deterministic random program described by ``profile``."""
+    profile.validate()
+    rng = random.Random(profile.seed)
+    b = ProgramBuilder(f"fuzz-{profile.seed}")
+    # Disjoint int/fp data (see module docstring for why).
+    int_hot = b.alloc("int_hot", profile.hot_words,
+                      init=[float(rng.randrange(1, 512))
+                            for _ in range(profile.hot_words)])
+    int_cold = b.alloc("int_cold", profile.cold_words)
+    fp_hot = b.alloc("fp_hot", profile.hot_words,
+                     init=[rng.randrange(1, 512) * 0.5
+                           for _ in range(profile.hot_words)])
+    fp_cold = b.alloc("fp_cold", profile.cold_words)
+
+    last_int = INT_POOL[0]
+    last_fp = FP_POOL[0]
+
+    def int_src() -> int:
+        if rng.random() < profile.chain_bias:
+            return last_int
+        return rng.choice(INT_POOL)
+
+    def fp_src() -> int:
+        if rng.random() < profile.chain_bias:
+            return last_fp
+        return rng.choice(FP_POOL)
+
+    # Preamble: seed every pool register with a small random value.
+    for reg in INT_POOL:
+        b.li(reg, rng.randrange(1, 1024))
+    for index, reg in enumerate(FP_POOL):
+        b.cvtif(reg, INT_POOL[index % len(INT_POOL)])
+    b.li(LOOP_COUNTER, 0)
+    b.li(LOOP_LIMIT, profile.loop_iterations)
+    b.label("loop")
+
+    def emit_addr(cold_region: bool) -> None:
+        """Mask a pool register into a word index, scale to a byte offset."""
+        words = profile.cold_words if cold_region else profile.hot_words
+        b.andi(ADDR_REG, int_src(), words - 1)
+        b.slli(ADDR_REG, ADDR_REG, 3)
+
+    int_alu = ("add", "sub", "and_", "or_", "xor", "slt", "mul",
+               "addi", "andi", "ori", "slti", "slli", "srli")
+    fp_alu = ("fadd", "fsub", "fmul", "fneg", "fcmplt", "cvtif")
+    branches = ("beq", "bne", "blt", "bge")
+
+    for unit in range(profile.length):
+        b.label(f"U{unit}")
+        roll = rng.random()
+        use_fp = rng.random() < profile.fp_frac
+        cold_region = rng.random() < profile.miss_bias
+        if roll < profile.load_frac:
+            emit_addr(cold_region)
+            if use_fp:
+                dest = rng.choice(FP_POOL)
+                b.fld(dest, ADDR_REG,
+                      base=fp_cold if cold_region else fp_hot)
+                last_fp = dest
+            else:
+                dest = rng.choice(INT_POOL)
+                b.ld(dest, ADDR_REG,
+                     base=int_cold if cold_region else int_hot)
+                last_int = dest
+        elif roll < profile.load_frac + profile.store_frac:
+            emit_addr(cold_region)
+            if use_fp:
+                b.fst(fp_src(), ADDR_REG,
+                      base=fp_cold if cold_region else fp_hot)
+            else:
+                b.st(int_src(), ADDR_REG,
+                     base=int_cold if cold_region else int_hot)
+        elif roll < (profile.load_frac + profile.store_frac
+                     + profile.branch_frac):
+            # Forward-only: a data-dependent skip over part of the body.
+            target = rng.randrange(unit + 1, profile.length + 1)
+            label = "tail" if target == profile.length else f"U{target}"
+            getattr(b, rng.choice(branches))(int_src(), int_src(), label)
+        elif roll < (profile.load_frac + profile.store_frac
+                     + profile.branch_frac + profile.fp_frac):
+            op = rng.choice(fp_alu)
+            if op == "cvtif":
+                # Mask first: a chained integer can exceed float range.
+                masked = rng.choice(INT_POOL)
+                b.andi(masked, int_src(), 0xFFFF)
+                last_int = masked
+                dest = rng.choice(FP_POOL)
+                b.cvtif(dest, masked)
+                last_fp = dest
+            elif op == "fneg":
+                dest = rng.choice(FP_POOL)
+                b.fneg(dest, fp_src())
+                last_fp = dest
+            elif op == "fcmplt":
+                dest = rng.choice(INT_POOL)
+                b.fcmplt(dest, fp_src(), fp_src())
+                last_int = dest
+            else:
+                dest = rng.choice(FP_POOL)
+                getattr(b, op)(dest, fp_src(), fp_src())
+                last_fp = dest
+        else:
+            op = rng.choice(int_alu)
+            dest = rng.choice(INT_POOL)
+            if op in ("slli", "srli"):
+                getattr(b, op)(dest, int_src(), rng.randrange(0, 4))
+            elif op.endswith("i"):
+                getattr(b, op)(dest, int_src(), rng.randrange(-64, 64))
+            else:
+                getattr(b, op)(dest, int_src(), int_src())
+            if op in ("mul", "sll", "slli"):
+                # Bound chained products/shifts so loop iterations cannot
+                # grow values without limit (python ints never overflow,
+                # but huge values slow runs to a crawl).
+                b.andi(dest, dest, 0xFFFF)
+            last_int = dest
+
+    b.label("tail")
+    b.addi(LOOP_COUNTER, LOOP_COUNTER, 1)
+    b.blt(LOOP_COUNTER, LOOP_LIMIT, "loop")
+    b.halt()
+    return b.build()
+
+
+def fuzz_corpus(base: FuzzProfile, count: int) -> List[Program]:
+    """``count`` programs seeded ``base.seed``, ``base.seed + 1``, ..."""
+    return [build_fuzz_program(base.with_seed(base.seed + i))
+            for i in range(count)]

@@ -1,0 +1,248 @@
+"""Differential oracle: timing pipeline vs. in-order architectural model.
+
+The timing model is trace-driven — the functional executor produces the
+dynamic instruction stream and the pipeline only *schedules* it — so a
+correct pipeline must retire exactly the golden stream, in order, once
+each.  Any reorder, drop, or duplication (a broken scoreboard, a lost IQ
+entry, a double commit) shows up as the first divergent retirement.  On
+top of the stream diff the oracle replays the retired stream through a
+fresh :class:`~repro.isa.executor.MachineState` and compares the final
+register file and memory image against the golden run, which translates a
+stream bug into its architectural consequence ("r5 ended up 3, expected
+7") and guards the replay machinery itself.
+
+Comparisons are NaN-safe: fuzzed FP chains routinely overflow to ``inf``
+and collapse to ``nan``, and ``nan != nan`` would otherwise report a
+false divergence.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.common.errors import (DeadlockError, InvariantViolation,
+                                 SimulationError)
+from repro.common.params import ProcessorParams
+from repro.isa.executor import MachineState, execute, step_instruction
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import NUM_REGS
+from repro.isa.program import Program
+from repro.pipeline.processor import Processor
+
+#: Cycle budget for one validation pipeline run.  Fuzz programs are a few
+#: hundred dynamic instructions; a correct pipeline is orders of magnitude
+#: under this.
+DEFAULT_MAX_CYCLES = 2_000_000
+
+
+@dataclass
+class Divergence:
+    """One observed disagreement between the pipeline and the oracle."""
+
+    #: "stream" | "count" | "register" | "memory" | "invariant" | "error"
+    kind: str
+    detail: str
+    #: Stream index, register number, or memory word — depends on ``kind``.
+    position: Optional[int] = None
+
+    def __str__(self) -> str:
+        where = "" if self.position is None else f" @ {self.position}"
+        return f"[{self.kind}{where}] {self.detail}"
+
+
+@dataclass
+class OracleResult:
+    """Outcome of one differential check of one program on one model."""
+
+    model: str
+    program: str
+    instructions: int = 0
+    cycles: int = 0
+    divergences: List[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+    def __str__(self) -> str:
+        if self.ok:
+            return (f"{self.program}/{self.model}: OK "
+                    f"({self.instructions} insts, {self.cycles} cycles)")
+        lines = [f"{self.program}/{self.model}: "
+                 f"{len(self.divergences)} divergence(s)"]
+        lines += [f"  {d}" for d in self.divergences]
+        return "\n".join(lines)
+
+
+def values_equal(a: float, b: float) -> bool:
+    """Architectural-value equality with NaN == NaN."""
+    if isinstance(a, float) and isinstance(b, float):
+        if math.isnan(a) and math.isnan(b):
+            return True
+    return a == b
+
+
+def golden_reference(
+        program: Program,
+        max_instructions: Optional[int] = None,
+) -> Tuple[MachineState, List[DynInst]]:
+    """Run the in-order architectural model to completion.
+
+    Returns the final machine state and the full dynamic stream — the
+    ground truth the pipeline is diffed against.
+    """
+    state = MachineState(program)
+    code = program.instructions
+    limit = max_instructions if max_instructions is not None else float("inf")
+    stream: List[DynInst] = []
+    while not state.halted and state.instruction_count < limit:
+        if not 0 <= state.pc < len(code):
+            raise SimulationError(f"pc {state.pc} fell off the program")
+        stream.append(step_instruction(state, code[state.pc]))
+    return state, stream
+
+
+#: Builds the processor under test; overridable so test fixtures can
+#: inject deliberately-broken pipeline components.
+ProcessorFactory = Callable[[Program, ProcessorParams], Processor]
+
+
+def run_pipeline(
+        program: Program,
+        params: ProcessorParams,
+        max_cycles: int = DEFAULT_MAX_CYCLES,
+        max_instructions: Optional[int] = None,
+        processor_factory: Optional[ProcessorFactory] = None,
+) -> Tuple[List[DynInst], Processor]:
+    """Run ``program`` through the timing pipeline, recording retirements."""
+    if processor_factory is not None:
+        processor = processor_factory(program, params)
+    else:
+        processor = Processor(
+            params, execute(program, max_instructions=max_instructions))
+    processor.warm_code(program)
+    retired: List[DynInst] = []
+    processor.commit_listeners.append(
+        lambda inst, cycle: retired.append(inst))
+    processor.run(max_cycles=max_cycles)
+    if not processor.done:
+        raise DeadlockError(
+            f"pipeline did not finish within {max_cycles} cycles "
+            f"({processor.committed} committed)")
+    return retired, processor
+
+
+def _diff_streams(golden: List[DynInst],
+                  retired: List[DynInst]) -> List[Divergence]:
+    divergences: List[Divergence] = []
+    for index, (want, got) in enumerate(zip(golden, retired)):
+        if want.seq != got.seq or want.pc != got.pc:
+            divergences.append(Divergence(
+                "stream", position=index,
+                detail=(f"retirement {index}: expected #{want.seq} "
+                        f"pc={want.pc} ({want.static}), got #{got.seq} "
+                        f"pc={got.pc} ({got.static})")))
+            break
+    if len(golden) != len(retired):
+        divergences.append(Divergence(
+            "count",
+            detail=(f"retired {len(retired)} instructions, oracle "
+                    f"executed {len(golden)}")))
+    return divergences
+
+
+def _replay_retired(program: Program,
+                    retired: List[DynInst]) -> Tuple[Optional[MachineState],
+                                                     List[Divergence]]:
+    """Re-execute the retired stream in order on fresh state."""
+    state = MachineState(program)
+    for index, dyn in enumerate(retired):
+        if state.halted:
+            return None, [Divergence(
+                "stream", position=index,
+                detail=(f"pipeline retired #{dyn.seq} after the halt "
+                        f"was committed"))]
+        if state.pc != dyn.pc:
+            return None, [Divergence(
+                "stream", position=index,
+                detail=(f"replay expected pc={state.pc} at retirement "
+                        f"{index}, pipeline retired pc={dyn.pc} "
+                        f"(#{dyn.seq})"))]
+        try:
+            step_instruction(state, dyn.static)
+        except SimulationError as exc:
+            return None, [Divergence(
+                "error", position=index,
+                detail=f"replay trapped at #{dyn.seq}: {exc}")]
+    return state, []
+
+
+def _diff_state(golden: MachineState,
+                replayed: MachineState) -> List[Divergence]:
+    divergences: List[Divergence] = []
+    for reg in range(NUM_REGS):
+        if not values_equal(golden.regs[reg], replayed.regs[reg]):
+            divergences.append(Divergence(
+                "register", position=reg,
+                detail=(f"reg {reg}: pipeline {replayed.regs[reg]!r}, "
+                        f"oracle {golden.regs[reg]!r}")))
+            if len(divergences) >= 4:
+                break
+    bad_words = [word for word in range(len(golden.memory))
+                 if not values_equal(golden.memory[word],
+                                     replayed.memory[word])]
+    if bad_words:
+        first = bad_words[0]
+        divergences.append(Divergence(
+            "memory", position=first,
+            detail=(f"{len(bad_words)} memory word(s) differ; first at "
+                    f"word {first}: pipeline {replayed.memory[first]!r}, "
+                    f"oracle {golden.memory[first]!r}")))
+    return divergences
+
+
+def differential_check(
+        program: Program,
+        params: ProcessorParams,
+        *,
+        model: str = "",
+        max_cycles: int = DEFAULT_MAX_CYCLES,
+        max_instructions: Optional[int] = None,
+        processor_factory: Optional[ProcessorFactory] = None,
+) -> OracleResult:
+    """Diff one program's pipeline run against the architectural oracle.
+
+    Never raises for a pipeline bug: deadlocks, invariant violations, and
+    stream/state mismatches all come back as :class:`Divergence` records
+    so a fuzzing campaign can keep going and shrink the failure.
+    """
+    result = OracleResult(model=model or params.iq.kind,
+                          program=program.name)
+    golden_state, golden_stream = golden_reference(program, max_instructions)
+    result.instructions = len(golden_stream)
+    try:
+        retired, processor = run_pipeline(
+            program, params, max_cycles=max_cycles,
+            max_instructions=max_instructions,
+            processor_factory=processor_factory)
+    except InvariantViolation as exc:
+        result.divergences.append(Divergence("invariant", detail=str(exc)))
+        return result
+    except SimulationError as exc:
+        result.divergences.append(Divergence(
+            "error", detail=f"{type(exc).__name__}: {exc}"))
+        return result
+    result.cycles = processor.cycle
+
+    result.divergences.extend(_diff_streams(golden_stream, retired))
+    replayed, replay_divergences = _replay_retired(program, retired)
+    result.divergences.extend(
+        d for d in replay_divergences
+        # The positional diff already reported this stream position.
+        if not any(existing.kind == "stream" for existing in
+                   result.divergences))
+    if replayed is not None:
+        result.divergences.extend(_diff_state(golden_state, replayed))
+    return result

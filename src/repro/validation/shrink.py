@@ -1,0 +1,112 @@
+"""Failure shrinking: reduce a divergent fuzz program to a minimal one.
+
+Classic delta debugging needs care here because instruction indices *are*
+branch targets: deleting instructions would re-aim every branch.  Both
+reduction passes therefore preserve program length and replace
+instructions in place:
+
+1. **halt-fill truncation** — binary-search the shortest prefix that
+   still fails, filling the tail with ``HALT`` (any branch into the tail
+   halts immediately, which is always structurally valid);
+2. **nop-out ddmin** — repeatedly try replacing chunks of the surviving
+   prefix with ``NOP`` at finer and finer granularity, keeping each
+   replacement that still fails.
+
+The result is a program whose *active* instruction count (non-NOP,
+pre-halt) is typically a handful of instructions, small enough to eyeball
+against the pipeline trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace as dc_replace
+from typing import Callable, List
+
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Opcode
+from repro.isa.program import Program
+
+_HALT = Instruction(opcode=Opcode.HALT)
+_NOP = Instruction(opcode=Opcode.NOP)
+
+
+def _with_instructions(program: Program,
+                       instructions: List[Instruction]) -> Program:
+    candidate = dc_replace(program, instructions=instructions,
+                           name=f"{program.name}-shrunk")
+    candidate.validate()
+    return candidate
+
+
+def _halt_filled(program: Program, keep: int) -> Program:
+    """Keep the first ``keep`` instructions, halt-fill the rest."""
+    body = list(program.instructions[:keep])
+    body += [_HALT] * (len(program.instructions) - keep)
+    return _with_instructions(program, body)
+
+
+def active_length(program: Program) -> int:
+    """Instructions that still do work: non-NOP before the first tail halt."""
+    instructions = program.instructions
+    end = len(instructions)
+    while end > 0 and instructions[end - 1].opcode in (Opcode.HALT,
+                                                       Opcode.NOP):
+        end -= 1
+    return sum(1 for inst in instructions[:end]
+               if inst.opcode is not Opcode.NOP) + 1    # + the live halt
+
+
+def shrink_program(program: Program,
+                   fails: Callable[[Program], bool],
+                   max_attempts: int = 2000) -> Program:
+    """Shrink ``program`` while ``fails`` keeps returning True for it.
+
+    ``fails`` must be True for ``program`` itself (the caller observed the
+    failure); the returned program is the smallest variant found that
+    still fails.  ``max_attempts`` bounds total predicate invocations so
+    a flaky predicate cannot loop forever.
+    """
+    attempts = 0
+
+    def still_fails(candidate: Program) -> bool:
+        nonlocal attempts
+        attempts += 1
+        return fails(candidate)
+
+    # Pass 1: binary search the shortest failing halt-filled prefix.
+    lo, hi = 0, len(program.instructions)     # fails(hi) known, lo unknown
+    best = program
+    while lo < hi and attempts < max_attempts:
+        mid = (lo + hi) // 2
+        candidate = _halt_filled(program, mid)
+        if still_fails(candidate):
+            best, hi = candidate, mid
+        else:
+            lo = mid + 1
+
+    # Pass 2: ddmin-style NOP-out over the surviving prefix.
+    body = list(best.instructions)
+    prefix = hi
+    chunk = max(1, prefix // 2)
+    while chunk >= 1 and attempts < max_attempts:
+        reduced = False
+        start = 0
+        while start < prefix and attempts < max_attempts:
+            window = range(start, min(start + chunk, prefix))
+            saved = [body[i] for i in window]
+            if all(inst.opcode is Opcode.NOP for inst in saved):
+                start += chunk
+                continue
+            for i in window:
+                body[i] = _NOP
+            candidate = _with_instructions(program, list(body))
+            if still_fails(candidate):
+                best = candidate
+                reduced = True
+            else:
+                for offset, i in enumerate(window):
+                    body[i] = saved[offset]
+            start += chunk
+        if not reduced:
+            chunk //= 2
+    return best

@@ -29,6 +29,16 @@ class TestDistribution:
         assert dist.mean == 0.0
         assert dist.peak == 0.0
         assert dist.count == 0
+        # Never-sampled distributions report 0, not +/-inf, so report()
+        # and downstream arithmetic stay finite.
+        assert dist.minimum == 0
+        assert dist.maximum == 0
+
+    def test_empty_distribution_reports_finite_values(self):
+        group = StatGroup()
+        group.distribution("never.sampled")
+        report = group.report()
+        assert "inf" not in report
 
     def test_mean_min_max(self):
         dist = Distribution("d")

@@ -1,0 +1,49 @@
+"""Deliberately-broken pipeline components for negative testing.
+
+The differential oracle is only trustworthy if it *fails* when the
+pipeline is wrong.  These fixtures plant known scoreboard bugs and the
+tests assert the oracle catches them.
+"""
+
+from __future__ import annotations
+
+from repro.common.stats import StatGroup
+from repro.isa.executor import execute
+from repro.isa.instruction import DynInst
+from repro.pipeline.processor import Processor
+from repro.pipeline.rob import ReorderBuffer
+
+
+class BrokenROB(ReorderBuffer):
+    """A ROB that swaps the two youngest entries on every K-th dispatch.
+
+    The swapped pair later commits out of program order — exactly the
+    class of scoreboard bug (mis-linked retirement list, bad age
+    compare) the retired-stream differ exists to catch.
+    """
+
+    def __init__(self, size: int, stats: StatGroup,
+                 swap_every: int = 5) -> None:
+        super().__init__(size, stats)
+        self.swap_every = swap_every
+        self._dispatches = 0
+
+    def dispatch(self, inst: DynInst) -> None:
+        super().dispatch(inst)
+        self._dispatches += 1
+        if self._dispatches % self.swap_every == 0 and len(self._entries) > 1:
+            self._entries[-1], self._entries[-2] = (
+                self._entries[-2], self._entries[-1])
+
+
+def broken_rob_factory(swap_every: int = 5):
+    """A ``processor_factory`` for the oracle with a sabotaged ROB."""
+
+    def factory(program, params) -> Processor:
+        processor = Processor(params, execute(program))
+        # Fresh StatGroup: the real ROB already registered its stat names.
+        processor.rob = BrokenROB(params.rob_size, StatGroup(),
+                                  swap_every=swap_every)
+        return processor
+
+    return factory
