@@ -9,6 +9,11 @@ Environment knobs:
 * ``REPRO_BENCH_FAST=1``    — restrict to three benchmarks and smaller
   instruction budgets (smoke mode).
 * ``REPRO_BENCH_WORKLOADS`` — comma-separated subset of benchmark names.
+* ``REPRO_BENCH_JOBS``      — process-pool size for cold simulations.
+* ``REPRO_BENCH_CACHE=0``   — disable the on-disk result cache (results
+  otherwise persist across sessions under ``$REPRO_CACHE_DIR``, keyed by
+  parameters and source version, so re-running a bench suite after an
+  unrelated edit costs one disk read per cell).
 
 Artifacts (the rendered tables) are written to ``benchmarks/out/``.
 """
@@ -18,7 +23,10 @@ from pathlib import Path
 
 import pytest
 
-from repro.harness import configs, run_workload
+from repro.harness import configs
+from repro.harness.cache import ResultCache
+from repro.harness.parallel import (ParallelExecutor, RunSpec,
+                                    raise_on_errors)
 from repro.workloads import WORKLOADS
 
 OUT_DIR = Path(__file__).parent / "out"
@@ -37,19 +45,36 @@ BUDGET_FACTOR = 0.4 if FAST else 1.0
 
 
 class RunCache:
-    """Memoizes (workload, config-key) -> RunResult for the session."""
+    """Memoizes (workload, config-key) -> RunResult for the session.
+
+    Backed by the shared executor stack: cold cells run through a
+    :class:`ParallelExecutor` (``REPRO_BENCH_JOBS`` workers) and land in
+    the on-disk :class:`ResultCache`, so Table 2 and Figure 2 — which
+    share configurations — pay for each simulation once per source
+    version, not once per session.
+    """
 
     def __init__(self) -> None:
         self._results = {}
+        jobs = int(os.environ.get("REPRO_BENCH_JOBS", "1") or "1")
+        disk = ResultCache(
+            enabled=os.environ.get("REPRO_BENCH_CACHE", "1") not in
+            ("0", "no"))
+        self._executor = ParallelExecutor(jobs, cache=disk)
 
     def get(self, workload: str, config_key: str, params_factory):
         key = (workload, config_key)
         if key not in self._results:
-            spec = WORKLOADS[workload]
-            budget = max(2_000, int(spec.default_instructions * BUDGET_FACTOR))
-            self._results[key] = run_workload(
-                workload, params_factory(), config_label=config_key,
-                max_instructions=budget)
+            workload_spec = WORKLOADS[workload]
+            budget = max(
+                2_000,
+                int(workload_spec.default_instructions * BUDGET_FACTOR))
+            spec = RunSpec(workload, params_factory(),
+                           config_label=config_key,
+                           max_instructions=budget)
+            cells = self._executor.run_specs([spec])
+            raise_on_errors(cells, "bench")
+            self._results[key] = cells[0]
         return self._results[key]
 
     # -- the configurations the paper's evaluation uses ------------------

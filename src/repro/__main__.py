@@ -7,6 +7,12 @@ Commands:
 * ``sweep``   — IPC-vs-IQ-size curves (Figure 3 style) for one benchmark
 * ``disasm``  — print a benchmark kernel's assembly listing
 * ``validate`` — differential-oracle fuzzing campaign (docs/validation.md)
+* ``bench``   — simulator throughput + sweep scaling (docs/performance.md)
+
+Grid-shaped commands (``sweep``, ``reproduce``, ``validate``) accept
+``--jobs N`` to fan independent simulations over a process pool, and
+``sweep``/``reproduce`` consult an on-disk result cache unless
+``--no-cache`` is given.
 """
 
 from __future__ import annotations
@@ -76,22 +82,37 @@ def cmd_run(args) -> int:
     return 0
 
 
+def _make_cache(args):
+    """On-disk result cache unless ``--no-cache`` was given."""
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.harness.cache import ResultCache
+    return ResultCache()
+
+
 def cmd_sweep(args) -> int:
+    from repro.harness.parallel import (ParallelExecutor, RunSpec,
+                                        raise_on_errors)
+
     sizes = [int(s) for s in args.sizes.split(",")]
-    series = {}
-    for label, factory in [
-            ("ideal", configs.ideal),
-            ("segmented-128ch",
-             lambda size: configs.segmented(size, 128, "comb")),
-            ("segmented-64ch",
-             lambda size: configs.segmented(size, 64, "comb"))]:
-        series[label] = {}
-        for size in sizes:
-            result = run_workload(args.workload, factory(size),
-                                  max_instructions=args.instructions)
-            series[label][size] = result.ipc
-            print(f"  {label} @{size}: IPC={result.ipc:.3f}",
-                  file=sys.stderr)
+    factories = [
+        ("ideal", configs.ideal),
+        ("segmented-128ch",
+         lambda size: configs.segmented(size, 128, "comb")),
+        ("segmented-64ch",
+         lambda size: configs.segmented(size, 64, "comb"))]
+    specs = [RunSpec(args.workload, factory(size),
+                     config_label=f"{label}@{size}",
+                     max_instructions=args.instructions)
+             for label, factory in factories for size in sizes]
+    executor = ParallelExecutor(args.jobs, cache=_make_cache(args))
+    cells = executor.run_specs(specs)
+    raise_on_errors(cells, "sweep")
+    series = {label: {} for label, _ in factories}
+    for spec, result in zip(specs, cells):
+        label, size = spec.config_label.rsplit("@", 1)
+        series[label][int(size)] = result.ipc
+        print(f"  {label} @{size}: IPC={result.ipc:.3f}", file=sys.stderr)
     print(ascii_series_plot(series,
                             title=f"IPC vs IQ size — {args.workload}"))
     return 0
@@ -130,6 +151,7 @@ def cmd_reproduce(args) -> int:
     workloads = (args.workloads.split(",") if args.workloads else None)
     report, data = experiment.run(
         workloads=workloads, budget_factor=args.budget,
+        jobs=args.jobs, cache=_make_cache(args),
         progress=lambda label: print(f"  running {label}...",
                                      file=sys.stderr))
     print(report)
@@ -162,11 +184,25 @@ def cmd_validate(args) -> int:
     report = run_campaign(
         seed=args.seed, num_programs=args.programs, profile=profile,
         models=models, check_invariants=not args.no_invariants,
-        shrink=not args.no_shrink,
+        shrink=not args.no_shrink, jobs=args.jobs,
         progress=(lambda line: print(f"  {line}", file=sys.stderr))
         if args.verbose else None)
     print(report.summary())
     return 0 if report.ok else 1
+
+
+def cmd_bench(args) -> int:
+    from repro.harness.bench import render_summary, run_bench
+
+    path, data = run_bench(
+        jobs=args.jobs, quick=args.quick,
+        workloads=args.workloads.split(",") if args.workloads else None,
+        max_instructions=args.instructions,
+        out_dir=args.out, compare=args.compare or None,
+        progress=lambda line: print(f"  {line}...", file=sys.stderr))
+    print(render_summary(data))
+    print(f"\nartifact written to {path}", file=sys.stderr)
+    return 0
 
 
 def cmd_segments(args) -> int:
@@ -218,6 +254,10 @@ def main(argv=None) -> int:
     sweep_parser.add_argument("workload", choices=sorted(WORKLOADS))
     sweep_parser.add_argument("--sizes", default="32,64,128,256,512")
     sweep_parser.add_argument("--instructions", type=int, default=None)
+    sweep_parser.add_argument("--jobs", type=int, default=1,
+                              help="parallel simulation workers")
+    sweep_parser.add_argument("--no-cache", action="store_true",
+                              help="skip the on-disk result cache")
 
     disasm_parser = sub.add_parser("disasm", help="print kernel assembly")
     disasm_parser.add_argument("workload", choices=sorted(WORKLOADS))
@@ -259,6 +299,26 @@ def main(argv=None) -> int:
                                   help="instruction-budget multiplier")
     reproduce_parser.add_argument("--json", default="",
                                   help="also write raw data to this file")
+    reproduce_parser.add_argument("--jobs", type=int, default=1,
+                                  help="parallel simulation workers")
+    reproduce_parser.add_argument("--no-cache", action="store_true",
+                                  help="skip the on-disk result cache")
+
+    bench_parser = sub.add_parser(
+        "bench", help="measure simulator throughput and sweep scaling")
+    bench_parser.add_argument("--quick", action="store_true",
+                              help="small grid / budgets (CI smoke mode)")
+    bench_parser.add_argument("--jobs", type=int, default=None,
+                              help="pool size for the sweep phase "
+                                   "(default: all cores)")
+    bench_parser.add_argument("--workloads", default="",
+                              help="comma-separated workload subset")
+    bench_parser.add_argument("--instructions", type=int, default=None,
+                              help="per-run instruction budget")
+    bench_parser.add_argument("--out", default=".",
+                              help="directory for BENCH_<date>.json")
+    bench_parser.add_argument("--compare", default="",
+                              help="older BENCH_*.json to diff against")
 
     validate_parser = sub.add_parser(
         "validate",
@@ -284,12 +344,14 @@ def main(argv=None) -> int:
                                  help="report failures without shrinking")
     validate_parser.add_argument("--verbose", action="store_true",
                                  help="print each check as it runs")
+    validate_parser.add_argument("--jobs", type=int, default=1,
+                                 help="parallel campaign workers")
 
     args = parser.parse_args(argv)
     handler = {"list": cmd_list, "run": cmd_run, "sweep": cmd_sweep,
                "disasm": cmd_disasm, "trace": cmd_trace,
                "segments": cmd_segments, "reproduce": cmd_reproduce,
-               "validate": cmd_validate,
+               "validate": cmd_validate, "bench": cmd_bench,
                }[args.command]
     return handler(args)
 

@@ -16,7 +16,7 @@ from typing import List, Optional
 from repro.isa.instruction import DynInst
 
 
-@dataclass
+@dataclass(slots=True)
 class Operand:
     """One IQ-relevant source operand, resolved by the renamer.
 

@@ -88,6 +88,9 @@ class SegmentedIQ(InstructionQueue):
         # bottom `active_segments`; gated segments drain naturally.
         self.active_segments = self.num_segments
         self._full_refusals = 0
+        # (occupancy, segment) decided by the last successful can_dispatch,
+        # so the dispatch that follows skips a second target search.
+        self._target_cache: Optional[Tuple[int, Segment]] = None
 
         self.stat_dispatched = stats.counter("iq.dispatched")
         self.stat_issued = stats.counter("iq.issued")
@@ -128,24 +131,26 @@ class SegmentedIQ(InstructionQueue):
         full, the empty segment just above it is used.  Without bypass,
         dispatch always targets the top segment.
         """
-        active = self.segments[:self.active_segments]
-        top = active[-1]
+        segments = self.segments
+        active_count = self.active_segments
         if not self.params.enable_bypass:
+            top = segments[active_count - 1]
             if top.is_full:
                 self._full_refusals += 1
                 return None
             return top
         highest = None
-        for segment in reversed(active):
-            if not segment.is_empty:
+        for index in range(active_count - 1, -1, -1):
+            segment = segments[index]
+            if segment.occupants:
                 highest = segment
                 break
         if highest is None:
-            return active[0]
-        if not highest.is_full:
+            return segments[0]
+        if len(highest.occupants) < highest.capacity:
             return highest
-        if highest.index + 1 < self.active_segments:
-            return self.segments[highest.index + 1]
+        if highest.index + 1 < active_count:
+            return segments[highest.index + 1]
         self._full_refusals += 1
         return None
 
@@ -213,13 +218,16 @@ class SegmentedIQ(InstructionQueue):
 
     def can_dispatch(self, inst) -> bool:
         self.blocked_on_chain = False
-        if self._dispatch_target() is None:
+        self._target_cache = None
+        target = self._dispatch_target()
+        if target is None:
             return False
         plan = self._plan(inst, self.now)
         if plan.needs_chain and not self.chains.has_free():
             self.blocked_on_chain = True
             self.chains.stat_alloc_failures.inc()
             return False
+        self._target_cache = (self._occupancy, target)
         return True
 
     # --------------------------------------------------------- dispatch --
@@ -228,7 +236,14 @@ class SegmentedIQ(InstructionQueue):
         if plan is None:
             plan = self._plan(inst, now)
             del self._plan_cache[inst.seq]
-        target = self._dispatch_target()
+        # Reuse the target can_dispatch just computed; occupancy is the
+        # cheap staleness guard (inserts and removals both change it).
+        cached, self._target_cache = self._target_cache, None
+        if (cached is not None and cached[0] == self._occupancy
+                and len(cached[1].occupants) < cached[1].capacity):
+            target = cached[1]
+        else:
+            target = self._dispatch_target()
         if target is None:
             raise SimulationError("dispatch into a full segmented IQ")
         if target.index < self.num_segments - 1:
@@ -360,33 +375,40 @@ class SegmentedIQ(InstructionQueue):
         self.now = now
         self._promoted_this_cycle = False
         width = self.issue_width
+        segments = self.segments
+        free_prev = self._free_prev
+        enable_pushdown = self.params.enable_pushdown
+        pushdown_floor = 1.5 * width
         for k in range(1, self.num_segments):
-            source = self.segments[k]
-            dest = self.segments[k - 1]
-            capacity = min(width, self._free_prev[k - 1], dest.free)
+            source = segments[k]
+            if not source.occupants:
+                continue        # empty source: nothing to promote or push
+            dest = segments[k - 1]
+            dest_free = dest.capacity - len(dest.occupants)
+            capacity = min(width, free_prev[k - 1], dest_free)
             if capacity <= 0:
                 continue
             eligible = source.pop_eligible(now)
             promoted = eligible[:capacity]
-            leftovers = eligible[capacity:]
-            source.push_back(leftovers, now)
+            if len(eligible) > capacity:
+                source.push_back(eligible[capacity:], now)
             for entry in promoted:
                 self._promote(entry, source, dest, now)
             # Pushdown (4.1): a nearly-full segment may push its oldest
             # ineligible instructions into an amply-free segment below.
-            if (self.params.enable_pushdown
+            if (enable_pushdown
                     and len(promoted) < capacity
-                    and source.free < width
-                    and self._free_prev[k - 1] > 1.5 * width):
+                    and source.capacity - len(source.occupants) < width
+                    and free_prev[k - 1] > pushdown_floor):
                 room = capacity - len(promoted)
                 for entry in source.oldest_ineligible(now, min(room, width)):
-                    if dest.free <= 0:
+                    if dest.capacity - len(dest.occupants) <= 0:
                         break
                     self._promote(entry, source, dest, now, pushdown=True)
 
         self._check_deadlock(now)
-        for index, segment in enumerate(self.segments):
-            self._free_prev[index] = segment.free
+        for index, segment in enumerate(segments):
+            free_prev[index] = segment.capacity - len(segment.occupants)
         self.chains.sample()
         self.stat_occupancy.sample(self._occupancy)
         if self.params.dynamic_resize:

@@ -84,19 +84,24 @@ class Segment:
 
     def pop_eligible(self, now: int) -> List[IQEntry]:
         """All entries currently eligible to promote, oldest first."""
-        eligible = []
         heap = self._heap
+        if not heap or heap[0][0] > now:
+            return []          # fast path: nothing matures this cycle
+        eligible = []
+        index = self.index
+        heappop = heapq.heappop
         while heap and heap[0][0] <= now:
-            when, seq, entry = heapq.heappop(heap)
+            when, seq, entry = heappop(heap)
             state = entry.chain_state
-            if (entry.issued or entry.segment != self.index
+            if (entry.issued or entry.segment != index
                     or state.eligible_at != when):
                 continue       # stale heap record
             # Invalidate so duplicate heap records are skipped; promotion
             # or push_back will set a fresh value.
             state.eligible_at = NEVER
             eligible.append(entry)
-        eligible.sort(key=lambda e: e.seq)
+        if len(eligible) > 1:
+            eligible.sort(key=lambda e: e.seq)
         return eligible
 
     def push_back(self, entries, now: int) -> None:

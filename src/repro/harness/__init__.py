@@ -1,8 +1,10 @@
 """Experiment harness: configurations, the runner, and report rendering."""
 
 from repro.harness import configs
+from repro.harness.cache import ResultCache
 from repro.harness.energy import (EnergyModel, energy_per_instruction,
                                   format_breakdown)
+from repro.harness.parallel import CellError, ParallelExecutor, RunSpec
 from repro.harness.experiments import EXPERIMENTS, Experiment
 from repro.harness.trace import (render_pipeline_trace, segment_heatmap,
                                  stage_latency_summary)
@@ -13,7 +15,8 @@ from repro.harness.runner import RunResult, resolve_workload, run_workload
 from repro.harness.sweep import Sweep, SweepGrid
 
 __all__ = [
-    "EXPERIMENTS", "EnergyModel", "Experiment", "RunResult",
+    "CellError", "EXPERIMENTS", "EnergyModel", "Experiment",
+    "ParallelExecutor", "ResultCache", "RunResult", "RunSpec",
     "ascii_series_plot", "configs", "energy_per_instruction",
     "figure2_report", "format_breakdown", "render_pipeline_trace",
     "segment_heatmap", "stage_latency_summary",

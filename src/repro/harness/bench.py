@@ -1,0 +1,239 @@
+"""Simulator-throughput benchmark behind ``python -m repro bench``.
+
+Two measurements, one JSON artifact:
+
+* **Serial throughput** — wall-clock a single simulation per (workload,
+  configuration) pair and report kilo-cycles/sec and kilo-insts/sec, the
+  simulator's native speed metric.  This is the number the hot-path
+  optimisations move.
+* **Sweep scaling** — wall-clock one workload x configuration grid three
+  ways: serially with a cold cache, fanned out over ``jobs`` workers with
+  a cold cache (the process-pool speedup), and again against the
+  now-warm cache (the cache speedup).
+
+The artifact is written as ``BENCH_<date>.json`` (repo root by
+convention) so the performance trajectory is tracked PR over PR;
+``--compare`` diffs against an older artifact and reports per-config
+speedups.
+"""
+
+from __future__ import annotations
+
+import datetime
+import json
+import math
+import os
+import platform
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.harness import configs
+from repro.harness.cache import ResultCache
+from repro.harness.runner import run_workload
+from repro.harness.sweep import Sweep
+
+SCHEMA_VERSION = 1
+
+#: Serial-throughput configurations: the paper's headline design points.
+SERIAL_CONFIGS: List[Tuple[str, object]] = [
+    ("seg-512-128ch", lambda: configs.segmented(512, 128, "comb")),
+    ("seg-128-64ch", lambda: configs.segmented(128, 64, "comb")),
+    ("ideal-128", lambda: configs.ideal(128)),
+    ("presched-24", lambda: configs.prescheduled(24)),
+]
+
+#: Sweep grid: 4 workloads x 6 configurations (Fig. 2/3 shaped).
+SWEEP_WORKLOADS = ["swim", "twolf", "gcc", "mgrid"]
+SWEEP_CONFIGS: List[Tuple[str, object]] = [
+    ("ideal-64", lambda: configs.ideal(64)),
+    ("ideal-256", lambda: configs.ideal(256)),
+    ("seg-128", lambda: configs.segmented(128, 64, "comb")),
+    ("seg-256", lambda: configs.segmented(256, 128, "comb")),
+    ("seg-512", lambda: configs.segmented(512, 128, "comb")),
+    ("fifo-64", lambda: configs.fifo(64)),
+]
+
+QUICK_SERIAL = SERIAL_CONFIGS[:2]
+QUICK_SWEEP_WORKLOADS = SWEEP_WORKLOADS[:2]
+QUICK_SWEEP_CONFIGS = SWEEP_CONFIGS[:3]
+
+
+def _geomean(values: Sequence[float]) -> float:
+    positives = [v for v in values if v > 0]
+    if not positives:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in positives) / len(positives))
+
+
+def measure_serial(workloads: Sequence[str], serial_configs,
+                   max_instructions: int,
+                   progress=None) -> Dict[str, Dict[str, float]]:
+    """Time one serial simulation per (workload, config) pair."""
+    out: Dict[str, Dict[str, float]] = {}
+    for workload in workloads:
+        for label, factory in serial_configs:
+            if progress is not None:
+                progress(f"serial {workload}/{label}")
+            start = time.perf_counter()
+            result = run_workload(workload, factory(), config_label=label,
+                                  max_instructions=max_instructions)
+            seconds = time.perf_counter() - start
+            out[f"{workload}/{label}"] = {
+                "cycles": result.cycles,
+                "instructions": result.instructions,
+                "seconds": round(seconds, 4),
+                "kcycles_per_sec": round(result.cycles / seconds / 1e3, 2),
+                "kinsts_per_sec": round(
+                    result.instructions / seconds / 1e3, 2),
+            }
+    return out
+
+
+def _build_sweep(workloads, sweep_configs, max_instructions) -> Sweep:
+    sweep = Sweep(workloads=list(workloads),
+                  max_instructions=max_instructions)
+    for label, factory in sweep_configs:
+        sweep.add_config(label, factory())
+    return sweep
+
+
+def measure_sweep(workloads, sweep_configs, max_instructions: int,
+                  jobs: int, progress=None) -> Dict[str, object]:
+    """Wall-clock the grid cold-serial, cold-parallel, and cache-warm."""
+    cells = len(workloads) * len(sweep_configs)
+
+    if progress is not None:
+        progress(f"sweep: {cells} cells serial (cold)")
+    start = time.perf_counter()
+    _build_sweep(workloads, sweep_configs, max_instructions).run()
+    serial_seconds = time.perf_counter() - start
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
+        cache = ResultCache(tmp)
+        if progress is not None:
+            progress(f"sweep: {cells} cells jobs={jobs} (cold)")
+        start = time.perf_counter()
+        _build_sweep(workloads, sweep_configs, max_instructions).run(
+            jobs=jobs, cache=cache)
+        parallel_seconds = time.perf_counter() - start
+
+        if progress is not None:
+            progress(f"sweep: {cells} cells cached re-run")
+        start = time.perf_counter()
+        _build_sweep(workloads, sweep_configs, max_instructions).run(
+            jobs=1, cache=cache)
+        cached_seconds = time.perf_counter() - start
+        cache_hits = cache.hits
+
+    return {
+        "workloads": list(workloads),
+        "configs": [label for label, _ in sweep_configs],
+        "cells": cells,
+        "max_instructions": max_instructions,
+        "jobs": jobs,
+        "serial_seconds": round(serial_seconds, 3),
+        "parallel_seconds": round(parallel_seconds, 3),
+        "parallel_speedup": round(serial_seconds / parallel_seconds, 3)
+        if parallel_seconds else 0.0,
+        "cached_seconds": round(cached_seconds, 3),
+        "cached_fraction_of_cold": round(
+            cached_seconds / serial_seconds, 4) if serial_seconds else 0.0,
+        "cache_hits": cache_hits,
+    }
+
+
+def compare_with(previous_path: str,
+                 serial: Dict[str, Dict[str, float]]) -> Dict[str, float]:
+    """Per-config throughput speedup vs an older BENCH_*.json artifact."""
+    with open(previous_path) as handle:
+        previous = json.load(handle)
+    speedups: Dict[str, float] = {}
+    for key, row in serial.items():
+        old = previous.get("serial", {}).get(key)
+        if old and old.get("kcycles_per_sec"):
+            speedups[key] = round(
+                row["kcycles_per_sec"] / old["kcycles_per_sec"], 3)
+    return speedups
+
+
+def run_bench(*, jobs: Optional[int] = None, quick: bool = False,
+              workloads: Optional[Sequence[str]] = None,
+              max_instructions: Optional[int] = None,
+              out_dir: str = ".",
+              compare: Optional[str] = None,
+              progress=None) -> Tuple[Path, dict]:
+    """Run the full benchmark and write ``BENCH_<date>.json``.
+
+    Returns (artifact path, data).  ``quick`` shrinks the grid and the
+    instruction budgets for CI smoke runs; ``workloads`` /
+    ``max_instructions`` override the defaults for targeted runs.
+    """
+    from repro.harness.parallel import default_jobs
+    jobs = default_jobs() if jobs is None else max(1, jobs)
+    serial_configs = QUICK_SERIAL if quick else SERIAL_CONFIGS
+    sweep_configs = QUICK_SWEEP_CONFIGS if quick else SWEEP_CONFIGS
+    sweep_workloads = list(workloads) if workloads else (
+        QUICK_SWEEP_WORKLOADS if quick else SWEEP_WORKLOADS)
+    serial_workloads = sweep_workloads[:2] if quick else sweep_workloads
+    budget = max_instructions if max_instructions is not None else (
+        4_000 if quick else 20_000)
+
+    serial = measure_serial(serial_workloads, serial_configs, budget,
+                            progress=progress)
+    sweep = measure_sweep(sweep_workloads, sweep_configs, budget, jobs,
+                          progress=progress)
+
+    data = {
+        "schema": SCHEMA_VERSION,
+        "date": datetime.datetime.now().isoformat(timespec="seconds"),
+        "quick": quick,
+        "machine": {
+            "python": platform.python_version(),
+            "implementation": platform.python_implementation(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+        },
+        "serial": serial,
+        "serial_geomean": {
+            "kcycles_per_sec": round(_geomean(
+                [row["kcycles_per_sec"] for row in serial.values()]), 2),
+            "kinsts_per_sec": round(_geomean(
+                [row["kinsts_per_sec"] for row in serial.values()]), 2),
+        },
+        "sweep": sweep,
+    }
+    if compare:
+        data["compare"] = {"previous": compare,
+                           "kcycles_speedup": compare_with(compare, serial)}
+
+    stamp = datetime.date.today().strftime("%Y%m%d")
+    path = Path(out_dir) / f"BENCH_{stamp}.json"
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    return path, data
+
+
+def render_summary(data: dict) -> str:
+    """Terse human-readable digest of one bench run."""
+    sweep = data["sweep"]
+    lines = [
+        f"bench {data['date']}  (python {data['machine']['python']}, "
+        f"{data['machine']['cpu_count']} cpu)",
+        f"  serial throughput (geomean): "
+        f"{data['serial_geomean']['kcycles_per_sec']} kcycles/s, "
+        f"{data['serial_geomean']['kinsts_per_sec']} kinsts/s",
+        f"  sweep {sweep['cells']} cells: "
+        f"serial {sweep['serial_seconds']}s, "
+        f"jobs={sweep['jobs']} {sweep['parallel_seconds']}s "
+        f"({sweep['parallel_speedup']}x), "
+        f"cached {sweep['cached_seconds']}s "
+        f"({100 * sweep['cached_fraction_of_cold']:.1f}% of cold)",
+    ]
+    if "compare" in data:
+        speedups = data["compare"]["kcycles_speedup"]
+        if speedups:
+            mean = _geomean(list(speedups.values()))
+            lines.append(f"  vs {data['compare']['previous']}: "
+                         f"{mean:.2f}x kcycles/s (geomean)")
+    return "\n".join(lines)

@@ -1,0 +1,175 @@
+"""On-disk simulation-result cache keyed by content hashes.
+
+A simulation is a pure function of its inputs: the workload (deterministic
+by construction), the :class:`~repro.common.params.ProcessorParams`, the
+instruction budget, and the simulator source itself.  The cache therefore
+keys each :class:`~repro.harness.runner.RunResult` by a SHA-256 over
+
+* the canonicalized parameter dataclasses (every field, recursively, in
+  sorted-key JSON form — so two structurally equal configs share an entry
+  however they were constructed),
+* the workload name, scale, instruction and cycle budgets, warmup flags,
+* a *source-version token*: a hash over the ``repro`` package sources, so
+  any change to the simulator invalidates every cached result.
+
+Entries live as individual JSON files under ``$REPRO_CACHE_DIR`` (default
+``~/.cache/repro``).  A corrupt or unreadable entry is discarded and the
+cell is recomputed; the cache never makes a run fail.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Optional
+
+from repro.common.params import ProcessorParams
+from repro.harness.runner import RunResult
+
+#: Bump when the cached-entry layout changes; part of every key.
+SCHEMA_VERSION = 1
+
+_source_token_cache: Optional[str] = None
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro``."""
+    env = os.environ.get("REPRO_CACHE_DIR", "")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro"
+
+
+def source_version_token() -> str:
+    """Hash of every ``.py`` file in the installed ``repro`` package.
+
+    Computed once per process.  Any edit to the simulator source changes
+    the token, so stale results can never be served after a code change.
+    """
+    global _source_token_cache
+    if _source_token_cache is None:
+        import repro
+        digest = hashlib.sha256()
+        root = Path(repro.__file__).parent
+        for path in sorted(root.rglob("*.py")):
+            digest.update(str(path.relative_to(root)).encode())
+            digest.update(path.read_bytes())
+        _source_token_cache = digest.hexdigest()[:16]
+    return _source_token_cache
+
+
+def canonical_params(params: ProcessorParams) -> str:
+    """Stable textual form of a parameter tree (sorted-key JSON)."""
+    return json.dumps(dataclasses.asdict(params), sort_keys=True,
+                      default=str, separators=(",", ":"))
+
+
+def run_key(workload: str, params: ProcessorParams, *,
+            max_instructions: Optional[int] = None,
+            scale: int = 1,
+            max_cycles: int = 5_000_000,
+            warm_code: bool = True,
+            token: Optional[str] = None) -> str:
+    """Content-hash key for one simulation cell."""
+    payload = json.dumps({
+        "schema": SCHEMA_VERSION,
+        "token": token if token is not None else source_version_token(),
+        "workload": workload,
+        "scale": scale,
+        "max_instructions": max_instructions,
+        "max_cycles": max_cycles,
+        "warm_code": warm_code,
+        "params": dataclasses.asdict(params),
+    }, sort_keys=True, default=str, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class ResultCache:
+    """Persistent (workload, params) -> RunResult store.
+
+    ``token`` overrides the source-version token (tests use this to prove
+    invalidation); ``enabled=False`` turns every operation into a no-op so
+    callers can thread one object through unconditionally.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None, *,
+                 enabled: bool = True,
+                 token: Optional[str] = None) -> None:
+        self.directory = Path(directory) if directory is not None \
+            else default_cache_dir()
+        self.enabled = enabled
+        self.token = token
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0     # corrupt entries discarded
+
+    # ------------------------------------------------------------- keys --
+    def key_for(self, workload: str, params: ProcessorParams,
+                **run_kwargs) -> str:
+        return run_key(workload, params, token=self.token, **run_kwargs)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    # ------------------------------------------------------------ lookup --
+    def get(self, key: str) -> Optional[RunResult]:
+        """The cached result for ``key``, or None on miss/corruption."""
+        if not self.enabled:
+            return None
+        path = self._path(key)
+        try:
+            raw = json.loads(path.read_text())
+            if raw["schema"] != SCHEMA_VERSION:
+                raise ValueError(f"schema {raw['schema']}")
+            result = RunResult(
+                workload=raw["workload"], config=raw["config"],
+                ipc=raw["ipc"], cycles=raw["cycles"],
+                instructions=raw["instructions"], stats=raw["stats"])
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            # Corrupt entry: drop it and treat as a miss.
+            self.evictions += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: RunResult) -> None:
+        """Store a result (atomic write so readers never see a torn file)."""
+        if not self.enabled:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "schema": SCHEMA_VERSION,
+            "workload": result.workload,
+            "config": result.config,
+            "ipc": result.ipc,
+            "cycles": result.cycles,
+            "instructions": result.instructions,
+            "stats": result.stats,
+        }
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True)
+            os.replace(tmp, self._path(key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return (f"ResultCache({self.directory}, {state}, "
+                f"hits={self.hits}, misses={self.misses})")

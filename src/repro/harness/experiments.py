@@ -20,7 +20,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro.harness import configs
 from repro.harness.reporting import (ascii_series_plot, figure2_report,
                                      format_table, table2_report)
-from repro.harness.runner import RunResult, run_workload
+from repro.harness.runner import RunResult
 from repro.workloads import WORKLOADS
 
 VARIANTS = ("base", "hmp", "lrp", "comb")
@@ -31,32 +31,89 @@ PRESCHED_LINES = (8, 24, 56, 120)
 
 
 class ExperimentRunner:
-    """Caches simulation runs across one experiment invocation."""
+    """Caches simulation runs across one experiment invocation.
+
+    With ``jobs`` > 1 the experiment's whole grid is discovered up front
+    (see :meth:`prefetch`) and fanned out over a process pool; ``cache``
+    threads an on-disk :class:`~repro.harness.cache.ResultCache` through
+    every cell so repeated invocations skip simulation entirely.
+    """
 
     def __init__(self, workloads: Sequence[str],
                  budget_factor: float = 1.0,
-                 progress: Optional[Callable[[str], None]] = None) -> None:
+                 progress: Optional[Callable[[str], None]] = None, *,
+                 jobs: int = 1, cache=None) -> None:
         unknown = set(workloads) - set(WORKLOADS)
         if unknown:
             raise KeyError(f"unknown workloads: {sorted(unknown)}")
         self.workloads = list(workloads)
         self.budget_factor = budget_factor
         self.progress = progress
+        self.jobs = jobs
+        self.cache = cache
         self._cache: Dict[Tuple[str, str], RunResult] = {}
+        self._recording: Optional[List[Tuple[str, str, Callable]]] = None
+
+    def _budget(self, workload: str) -> int:
+        spec = WORKLOADS[workload]
+        return max(2_000, int(spec.default_instructions * self.budget_factor))
 
     def run(self, workload: str, config_key: str,
             params_factory) -> RunResult:
         key = (workload, config_key)
-        if key not in self._cache:
-            if self.progress is not None:
-                self.progress(f"{workload}/{config_key}")
-            spec = WORKLOADS[workload]
-            budget = max(2_000,
-                         int(spec.default_instructions * self.budget_factor))
-            self._cache[key] = run_workload(
-                workload, params_factory(), config_label=config_key,
-                max_instructions=budget)
-        return self._cache[key]
+        if key in self._cache:
+            return self._cache[key]
+        if self._recording is not None:
+            # Planning pass: record the cell, hand back a placeholder.
+            self._recording.append((workload, config_key, params_factory))
+            return RunResult(workload=workload, config=config_key,
+                             ipc=0.0, cycles=0, instructions=0)
+        if self.progress is not None:
+            self.progress(f"{workload}/{config_key}")
+        from repro.harness.parallel import (ParallelExecutor, RunSpec,
+                                            raise_on_errors)
+        spec = RunSpec(workload, params_factory(), config_label=config_key,
+                       max_instructions=self._budget(workload))
+        cells = ParallelExecutor(1, cache=self.cache).run_specs([spec])
+        raise_on_errors(cells, "experiment")
+        self._cache[key] = cells[0]
+        return cells[0]
+
+    def prefetch(self, build: Callable[["ExperimentRunner"], object]) -> None:
+        """Discover the grid ``build`` will request, then run it in bulk.
+
+        The builder runs once against placeholder results purely to record
+        which cells it asks for (builders only combine results
+        arithmetically, with zero-guarded divisions, so placeholders are
+        safe); the recorded cells then run through one parallel,
+        cache-aware fan-out.  If the dry run raises, fall back silently to
+        the ordinary lazy-serial path.
+        """
+        self._recording = []
+        try:
+            build(self)
+        except Exception:
+            self._recording = None
+            return
+        plan, self._recording = self._recording, None
+        seen = set()
+        unique = []
+        for workload, config_key, factory in plan:
+            if (workload, config_key) not in seen:
+                seen.add((workload, config_key))
+                unique.append((workload, config_key, factory))
+        from repro.harness.parallel import (ParallelExecutor, RunSpec,
+                                            raise_on_errors)
+        specs = [RunSpec(workload, factory(), config_label=config_key,
+                         max_instructions=self._budget(workload))
+                 for workload, config_key, factory in unique]
+        if self.progress is not None:
+            for spec in specs:
+                self.progress(f"{spec.workload}/{spec.config_label}")
+        cells = ParallelExecutor(self.jobs, cache=self.cache).run_specs(specs)
+        raise_on_errors(cells, "experiment")
+        for (workload, config_key, _), cell in zip(unique, cells):
+            self._cache[(workload, config_key)] = cell
 
     def ideal(self, workload: str, size: int) -> RunResult:
         return self.run(workload, f"ideal-{size}",
@@ -83,11 +140,19 @@ class Experiment:
 
     def run(self, workloads: Optional[Sequence[str]] = None,
             budget_factor: float = 1.0,
-            progress: Optional[Callable[[str], None]] = None
-            ) -> Tuple[str, dict]:
-        """Returns (rendered report, raw data dict)."""
+            progress: Optional[Callable[[str], None]] = None, *,
+            jobs: int = 1, cache=None) -> Tuple[str, dict]:
+        """Returns (rendered report, raw data dict).
+
+        ``jobs`` > 1 runs the experiment's grid on a process pool;
+        ``cache`` reuses results across invocations (see
+        :mod:`repro.harness.cache`).
+        """
         runner = ExperimentRunner(workloads or sorted(WORKLOADS),
-                                  budget_factor, progress)
+                                  budget_factor, progress,
+                                  jobs=jobs, cache=cache)
+        if jobs > 1:
+            runner.prefetch(self.build)
         return self.build(runner)
 
 

@@ -1,0 +1,215 @@
+"""Process-pool execution of independent simulation cells.
+
+Every figure in the reproduction is a grid of *independent* simulations
+(workload x configuration), so the run stack fans grids out over a
+process pool.  Design constraints, in order:
+
+* **Determinism** — results come back in spec order regardless of worker
+  completion order, and a worker computes exactly what the serial path
+  would (workers share no state; every cell rebuilds its program from the
+  workload registry).
+* **Spawn safety** — the worker entry points are module-level functions
+  with picklable payloads, so the pool works under the ``spawn`` start
+  method (macOS/Windows default) as well as ``fork``.
+* **Graceful degradation** — ``jobs=1``, a payload that fails to pickle,
+  or a pool that cannot start all fall back to in-process serial
+  execution; a worker that raises (or dies) surfaces as a per-cell
+  :class:`CellError`, never a hung sweep.
+
+The executor also threads every cell through an optional
+:class:`~repro.harness.cache.ResultCache`, so only cold cells reach the
+pool and repeated sweeps cost one disk read per cell.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence, Tuple, Union
+
+from repro.common.params import ProcessorParams
+from repro.harness.cache import ResultCache
+from repro.harness.runner import RunResult, run_workload
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation cell: everything a worker needs to reproduce it."""
+
+    workload: str
+    params: ProcessorParams
+    config_label: str = ""
+    seed: int = 0                     # reserved for seeded workloads
+    max_instructions: Optional[int] = None
+    scale: int = 1
+    max_cycles: int = 5_000_000
+    warm_code: bool = True
+
+    def cache_kwargs(self) -> dict:
+        return {"max_instructions": self.max_instructions,
+                "scale": self.scale, "max_cycles": self.max_cycles,
+                "warm_code": self.warm_code}
+
+
+@dataclass
+class CellError:
+    """A cell whose worker raised; carries enough context to report it."""
+
+    label: str
+    error: str
+    details: str = field(default="", repr=False)
+
+    def __str__(self) -> str:
+        return f"{self.label}: {self.error}"
+
+
+CellResult = Union[RunResult, CellError]
+
+
+def default_jobs() -> int:
+    """Worker count when the caller does not specify one."""
+    env = os.environ.get("REPRO_JOBS", "")
+    if env:
+        return max(1, int(env))
+    return os.cpu_count() or 1
+
+
+# ------------------------------------------------------- worker functions --
+def _execute_spec(spec: RunSpec) -> RunResult:
+    return run_workload(spec.workload, spec.params,
+                        config_label=spec.config_label,
+                        scale=spec.scale,
+                        max_instructions=spec.max_instructions,
+                        max_cycles=spec.max_cycles,
+                        warm_code=spec.warm_code)
+
+
+def _guarded_call(payload: Tuple[Callable, object, str]):
+    """Run one task, converting any exception into a CellError record."""
+    func, item, label = payload
+    try:
+        return func(item)
+    except Exception as exc:            # noqa: BLE001 — surfaced per-cell
+        return CellError(label=label,
+                         error=f"{type(exc).__name__}: {exc}",
+                         details=traceback.format_exc())
+
+
+class ParallelExecutor:
+    """Fans independent tasks out over a process pool.
+
+    ``jobs`` is the worker count (``None`` = ``REPRO_JOBS`` or the CPU
+    count; ``1`` = serial, in-process).  ``cache`` is an optional
+    :class:`ResultCache` consulted before and populated after every
+    :meth:`run_specs` cell.  ``start_method`` picks the multiprocessing
+    start method (``None`` = platform default).
+    """
+
+    def __init__(self, jobs: Optional[int] = None, *,
+                 cache: Optional[ResultCache] = None,
+                 start_method: Optional[str] = None) -> None:
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.cache = cache
+        self.start_method = start_method
+        #: True when the last map degraded to serial (pickling/pool
+        #: failure); exposed so tests and the bench can report it.
+        self.fell_back_to_serial = False
+
+    # ------------------------------------------------------------- map --
+    def map(self, func: Callable, items: Sequence,
+            labels: Optional[Sequence[str]] = None) -> List:
+        """Apply ``func`` to every item, preserving input order.
+
+        ``func`` must be a module-level (picklable) callable.  Each output
+        is either the task's return value or a :class:`CellError`.
+        """
+        self.fell_back_to_serial = False
+        if labels is None:
+            labels = [f"task[{index}]" for index in range(len(items))]
+        payloads = [(func, item, label)
+                    for item, label in zip(items, labels)]
+        if self.jobs <= 1 or len(payloads) <= 1:
+            return [_guarded_call(payload) for payload in payloads]
+        try:
+            pickle.dumps(payloads)
+        except Exception:
+            self.fell_back_to_serial = True
+            return [_guarded_call(payload) for payload in payloads]
+        workers = min(self.jobs, len(payloads))
+        context = (multiprocessing.get_context(self.start_method)
+                   if self.start_method else None)
+        results: List = [None] * len(payloads)
+        try:
+            with ProcessPoolExecutor(max_workers=workers,
+                                     mp_context=context) as pool:
+                futures = [pool.submit(_guarded_call, payload)
+                           for payload in payloads]
+                for index, future in enumerate(futures):
+                    try:
+                        results[index] = future.result()
+                    except BrokenProcessPool:
+                        results[index] = CellError(
+                            label=labels[index],
+                            error="worker process died "
+                                  "(BrokenProcessPool)")
+                    except Exception as exc:   # noqa: BLE001
+                        results[index] = CellError(
+                            label=labels[index],
+                            error=f"{type(exc).__name__}: {exc}")
+        except (OSError, BrokenProcessPool):
+            # Pool could not start at all (fd limits, sandboxing):
+            # degrade to serial rather than fail the sweep.
+            self.fell_back_to_serial = True
+            return [_guarded_call(payload) for payload in payloads]
+        return results
+
+    # ------------------------------------------------------------ specs --
+    def run_specs(self, specs: Sequence[RunSpec]) -> List[CellResult]:
+        """Run simulation cells, cache-aware, in deterministic order."""
+        results: List[Optional[CellResult]] = [None] * len(specs)
+        cold: List[Tuple[int, RunSpec, Optional[str]]] = []
+        for index, spec in enumerate(specs):
+            key = None
+            if self.cache is not None:
+                key = self.cache.key_for(spec.workload, spec.params,
+                                         **spec.cache_kwargs())
+                hit = self.cache.get(key)
+                if hit is not None:
+                    # Same simulation under a different display label still
+                    # hits; restore the label the caller asked for.
+                    if hit.config != spec.config_label and spec.config_label:
+                        hit = RunResult(
+                            workload=hit.workload, config=spec.config_label,
+                            ipc=hit.ipc, cycles=hit.cycles,
+                            instructions=hit.instructions, stats=hit.stats)
+                    results[index] = hit
+                    continue
+            cold.append((index, spec, key))
+        if cold:
+            outputs = self.map(_execute_spec,
+                               [spec for _, spec, _ in cold],
+                               labels=[f"{spec.workload}/{spec.config_label}"
+                                       for _, spec, _ in cold])
+            for (index, _spec, key), output in zip(cold, outputs):
+                results[index] = output
+                if (self.cache is not None and key is not None
+                        and isinstance(output, RunResult)):
+                    self.cache.put(key, output)
+        return results     # type: ignore[return-value]
+
+
+def raise_on_errors(results: Sequence[CellResult], what: str) -> None:
+    """Raise a RuntimeError summarizing any failed cells."""
+    errors = [r for r in results if isinstance(r, CellError)]
+    if not errors:
+        return
+    summary = "; ".join(str(e) for e in errors[:3])
+    if len(errors) > 3:
+        summary += f"; ... ({len(errors) - 3} more)"
+    raise RuntimeError(f"{len(errors)} of {len(results)} {what} cells "
+                       f"failed: {summary}")

@@ -24,7 +24,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.common.params import ProcessorParams
 from repro.harness.reporting import format_table
-from repro.harness.runner import RunResult, run_workload
+from repro.harness.runner import RunResult
 from repro.workloads import WORKLOADS
 
 
@@ -43,7 +43,13 @@ class SweepGrid:
             return result.ipc
         if self.metric == "cycles":
             return float(result.cycles)
-        return result.stats.get(self.metric, 0.0)
+        try:
+            return result.stats[self.metric]
+        except KeyError:
+            available = ["ipc", "cycles"] + sorted(result.stats)
+            raise KeyError(
+                f"unknown metric {self.metric!r}; available metrics: "
+                f"{', '.join(available)}") from None
 
     def render(self, metric: Optional[str] = None) -> str:
         metric = metric or self.metric
@@ -97,18 +103,34 @@ class Sweep:
         self._configs.append((label, params))
         return self
 
-    def run(self, metric: str = "ipc") -> SweepGrid:
+    def run(self, metric: str = "ipc", *, jobs: int = 1,
+            cache=None) -> SweepGrid:
+        """Run every (workload, config) cell and collect the grid.
+
+        ``jobs`` > 1 fans the cells out over a process pool (cells are
+        independent; results are deterministic and ordered either way).
+        ``cache`` is an optional
+        :class:`~repro.harness.cache.ResultCache`; cached cells skip
+        simulation entirely.
+        """
         if not self._configs:
             raise ValueError("no configurations added")
-        results: Dict[str, Dict[str, RunResult]] = {}
-        for workload in self.workloads:
-            results[workload] = {}
-            for label, params in self._configs:
-                if self.progress is not None:
-                    self.progress(f"{workload}/{label}")
-                results[workload][label] = run_workload(
-                    workload, params, config_label=label,
-                    max_instructions=self.max_instructions)
+        from repro.harness.parallel import (ParallelExecutor, RunSpec,
+                                            raise_on_errors)
+        specs = [RunSpec(workload, params, config_label=label,
+                         max_instructions=self.max_instructions)
+                 for workload in self.workloads
+                 for label, params in self._configs]
+        if self.progress is not None:
+            for spec in specs:
+                self.progress(f"{spec.workload}/{spec.config_label}")
+        executor = ParallelExecutor(jobs, cache=cache)
+        cells = executor.run_specs(specs)
+        raise_on_errors(cells, "sweep")
+        results: Dict[str, Dict[str, RunResult]] = {
+            workload: {} for workload in self.workloads}
+        for spec, cell in zip(specs, cells):
+            results[spec.workload][spec.config_label] = cell
         return SweepGrid(self.workloads,
                          [label for label, _ in self._configs],
                          results, metric)

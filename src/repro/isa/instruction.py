@@ -16,7 +16,7 @@ from repro.isa.opcodes import OpClass, Opcode, OpInfo, op_info
 from repro.isa.registers import reg_name
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Instruction:
     """One static instruction.
 
@@ -56,6 +56,17 @@ class Instruction:
                            op_class in (OpClass.BRANCH, OpClass.JUMP))
         object.__setattr__(self, "is_halt", op_class is OpClass.HALT)
 
+    # frozen + slots breaks default pickling on Python 3.10 (the generated
+    # __setstate__ path calls setattr, which a frozen class rejects); spell
+    # the state protocol out so programs can cross process-pool boundaries.
+    def __getstate__(self):
+        return {name: getattr(self, name)
+                for name in self.__dataclass_fields__}
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
     def __str__(self) -> str:
         parts = [self.opcode.value]
         operands = []
@@ -71,7 +82,7 @@ class Instruction:
         return " ".join(parts)
 
 
-@dataclass
+@dataclass(slots=True)
 class DynInst:
     """One dynamic instruction as produced by the functional simulator.
 

@@ -54,6 +54,12 @@ class Processor:
                  stats: Optional[StatGroup] = None) -> None:
         params.validate()
         self.params = params
+        # Hot-loop copies of per-cycle limits: attribute chains through
+        # `params` show up in profiles at millions of cycles.
+        self._commit_width = params.commit_width
+        self._dispatch_width = params.dispatch_width
+        self._watchdog = params.watchdog_cycles
+        self._clustered = params.clusters > 1
         self.stats = stats if stats is not None else StatGroup()
         self.events = EventQueue()
         self.memory = MemoryHierarchy(params.memory, self.events, self.stats)
@@ -154,17 +160,18 @@ class Processor:
         # Pending events imply instructions in execution (completions,
         # cache fills); the segmented IQ's deadlock detector (paper 4.5)
         # must not fire while any are outstanding.
-        self.iq.in_flight = len(self.events)
-        self.iq.last_commit_cycle = self._last_commit_cycle
-        self.iq.cycle(now)
+        iq = self.iq
+        iq.in_flight = len(self.events)
+        iq.last_commit_cycle = self._last_commit_cycle
+        iq.cycle(now)
         self._dispatch(now)
         self.frontend.cycle(now)
         self.rob.stat_occupancy.sample(len(self.rob))
         if self.invariant_checker is not None:
             self.invariant_checker.check(now)
-        self.cycle += 1
+        self.cycle = now + 1
         self.stat_cycles.inc()
-        if now - self._last_commit_cycle > self.params.watchdog_cycles:
+        if now - self._last_commit_cycle > self._watchdog:
             raise DeadlockError(
                 f"no commit for {self.params.watchdog_cycles} cycles at "
                 f"cycle {now}: rob={len(self.rob)} iq={self.iq.occupancy} "
@@ -176,24 +183,29 @@ class Processor:
 
     # ------------------------------------------------------------ commit --
     def _commit(self, now: int) -> None:
+        rob = self.rob
+        lsq = self.lsq
+        listeners = self.commit_listeners
         committed = 0
-        while committed < self.params.commit_width:
-            inst = self.rob.head()
+        while committed < self._commit_width:
+            inst = rob.head()
             if inst is None:
                 break
-            if inst.completed_cycle < 0 or inst.completed_cycle > now:
+            completed = inst.completed_cycle
+            if completed < 0 or completed > now:
                 break
-            self.rob.commit_head()
+            rob.commit_head()
             inst.committed_cycle = now
             if inst.is_mem:
-                self.lsq.commit(inst, now)
+                lsq.commit(inst, now)
             if inst.static.is_halt:
                 self._halt_committed = True
             committed += 1
-            self.committed += 1
-            self._last_commit_cycle = now
-            for listener in self.commit_listeners:
+            for listener in listeners:
                 listener(inst, now)
+        if committed:
+            self.committed += committed
+            self._last_commit_cycle = now
 
     # ------------------------------------------------------------- issue --
     def _issue(self, now: int) -> None:
@@ -207,7 +219,7 @@ class Processor:
 
     def _start_execution(self, inst: DynInst, now: int) -> None:
         inst.issued_cycle = now
-        if self.params.clusters > 1:
+        if self._clustered:
             self._cluster_load[inst.cluster] -= 1
         if inst.is_mem:
             # The IQ issued the effective-address calculation (1-cycle add);
@@ -231,7 +243,7 @@ class Processor:
     def _dispatch(self, now: int) -> None:
         if now < self.lsq.violation_flush_until:
             return      # squash penalty after a memory-order violation
-        for _ in range(self.params.dispatch_width):
+        for _ in range(self._dispatch_width):
             inst = self.frontend.peek_dispatchable(now)
             if inst is None:
                 return
@@ -268,7 +280,7 @@ class Processor:
                 self.stat_dispatch_stall_iq.inc()
             return False
 
-        if self.params.clusters > 1:
+        if self._clustered:
             inst.cluster = self._steer_cluster(inst, now)
             self._cluster_load[inst.cluster] += 1
         operands = self._rename(inst, now)
@@ -320,7 +332,7 @@ class Processor:
         if producer is None:
             return Operand(reg=reg, ready_cycle=0)
         penalty = 0
-        if (consumer is not None and self.params.clusters > 1
+        if (consumer is not None and self._clustered
                 and producer.cluster != consumer.cluster
                 and producer.completed_cycle < 0):
             penalty = self.params.cluster_bypass_penalty

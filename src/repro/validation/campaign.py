@@ -10,13 +10,14 @@ of millions, which is where scheduling bugs live.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.params import ProcessorParams
 from repro.harness import configs
 from repro.isa.program import Program
 from repro.validation.generator import FuzzProfile, build_fuzz_program
-from repro.validation.oracle import OracleResult, differential_check
+from repro.validation.oracle import (Divergence, OracleResult,
+                                     differential_check)
 from repro.validation.shrink import active_length, shrink_program
 
 
@@ -101,6 +102,27 @@ class CampaignReport:
         return "\n".join(lines)
 
 
+def _campaign_cell(payload) -> Tuple[OracleResult, Optional[Reproducer]]:
+    """One (program, model) differential check, shrink included.
+
+    Module-level so the parallel executor can ship it to spawned
+    workers; the program is rebuilt from its seed inside the worker,
+    guaranteeing the cell computes exactly what the serial path would.
+    """
+    program_seed, profile, name, params, shrink = payload
+    program = build_fuzz_program(profile.with_seed(program_seed))
+    result = differential_check(program, params, model=name)
+    if result.ok:
+        return result, None
+    reproducer = Reproducer(model=name, seed=program_seed,
+                            result=result, program=program)
+    if shrink:
+        def fails(candidate: Program) -> bool:
+            return not differential_check(candidate, params, model=name).ok
+        reproducer.shrunk = shrink_program(program, fails, max_attempts=400)
+    return result, reproducer
+
+
 def run_campaign(
         seed: int = 0,
         num_programs: int = 50,
@@ -109,13 +131,18 @@ def run_campaign(
         models: Optional[Dict[str, ProcessorParams]] = None,
         check_invariants: bool = True,
         shrink: bool = True,
+        jobs: int = 1,
         progress: Optional[Callable[[str], None]] = None,
 ) -> CampaignReport:
     """Fuzz ``num_programs`` seeded programs through every model.
 
     Each failure is recorded as a :class:`Reproducer`; with ``shrink``
     the failing program is also reduced to a minimal variant that still
-    fails the same model.
+    fails the same model.  ``jobs`` > 1 fans the (program, model) cells
+    out over a process pool; results and reproducers come back in the
+    same deterministic order as a serial campaign, and a crashed worker
+    is reported as an ``error`` divergence on its cell rather than
+    aborting the campaign.
     """
     base = (profile if profile is not None else FuzzProfile()).with_seed(seed)
     if models is None:
@@ -125,23 +152,30 @@ def run_campaign(
                   for name, params in models.items()}
     report = CampaignReport(seed=seed, programs=num_programs,
                             models=list(models))
+    payloads = []
+    labels = []
     for index in range(num_programs):
         program_seed = seed + index
-        program = build_fuzz_program(base.with_seed(program_seed))
         for name, params in models.items():
-            result = differential_check(program, params, model=name)
-            report.results.append(result)
-            if progress is not None:
-                progress(f"[{index + 1}/{num_programs}] {result}")
-            if result.ok:
-                continue
-            reproducer = Reproducer(model=name, seed=program_seed,
-                                    result=result, program=program)
-            if shrink:
-                def fails(candidate: Program) -> bool:
-                    return not differential_check(
-                        candidate, params, model=name).ok
-                reproducer.shrunk = shrink_program(program, fails,
-                                                   max_attempts=400)
+            payloads.append((program_seed, base, name, params, shrink))
+            labels.append(f"[{index + 1}/{num_programs}] "
+                          f"seed={program_seed}/{name}")
+    from repro.harness.parallel import CellError, ParallelExecutor
+    executor = ParallelExecutor(jobs)
+    cells = executor.map(_campaign_cell, payloads, labels=labels)
+    for payload, label, cell in zip(payloads, labels, cells):
+        program_seed, _, name, _, _ = payload
+        if isinstance(cell, CellError):
+            result: OracleResult = OracleResult(
+                model=name, program=f"fuzz-{program_seed}",
+                divergences=[Divergence(
+                    "error", detail=f"campaign worker failed: {cell.error}")])
+            reproducer = None
+        else:
+            result, reproducer = cell
+        report.results.append(result)
+        if progress is not None:
+            progress(f"{label.split(' ', 1)[0]} {result}")
+        if reproducer is not None:
             report.reproducers.append(reproducer)
     return report

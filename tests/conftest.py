@@ -3,6 +3,16 @@
 import pytest
 
 from repro.common import ProcessorParams, StatGroup, ideal_iq_params
+
+
+@pytest.fixture(autouse=True)
+def _isolated_result_cache(tmp_path, monkeypatch):
+    """Point the on-disk result cache at a per-test directory.
+
+    The CLI caches simulation results by default; tests must never read
+    from (or pollute) the invoking user's real ``~/.cache/repro``.
+    """
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "repro-cache"))
 from repro.isa import F, ProgramBuilder, R, execute
 from repro.pipeline import Processor
 

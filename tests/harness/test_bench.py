@@ -1,0 +1,44 @@
+"""Tests for the throughput benchmark (``python -m repro bench``)."""
+
+import json
+
+from repro.harness.bench import (compare_with, render_summary, run_bench)
+
+
+def _tiny_bench(tmp_path, **kwargs):
+    return run_bench(quick=True, jobs=2, workloads=["twolf"],
+                     max_instructions=400, out_dir=str(tmp_path), **kwargs)
+
+
+class TestBench:
+    def test_artifact_schema(self, tmp_path):
+        path, data = _tiny_bench(tmp_path)
+        assert path.exists()
+        assert path.name.startswith("BENCH_")
+        on_disk = json.loads(path.read_text())
+        for key in ("schema", "date", "machine", "serial",
+                    "serial_geomean", "sweep"):
+            assert key in on_disk
+        assert on_disk["machine"]["cpu_count"] >= 1
+        for row in on_disk["serial"].values():
+            assert row["kcycles_per_sec"] > 0
+            assert row["seconds"] > 0
+        sweep = on_disk["sweep"]
+        assert sweep["cells"] == len(sweep["workloads"]) * \
+            len(sweep["configs"])
+        assert sweep["serial_seconds"] > 0
+        assert sweep["cache_hits"] == sweep["cells"]
+        assert 0 < sweep["cached_fraction_of_cold"]
+
+    def test_render_summary(self, tmp_path):
+        _, data = _tiny_bench(tmp_path)
+        text = render_summary(data)
+        assert "serial throughput" in text
+        assert "cached" in text
+
+    def test_compare_reports_speedups(self, tmp_path):
+        path, data = _tiny_bench(tmp_path)
+        speedups = compare_with(str(path), data["serial"])
+        assert set(speedups) == set(data["serial"])
+        for value in speedups.values():
+            assert value == 1.0     # compared against itself

@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -77,3 +79,44 @@ class TestCLI:
                      "--budget", "0.2", "--json", str(path)]) == 0
         assert path.exists()
         assert "twolf" in path.read_text()
+
+    def test_sweep_jobs_populates_cache(self, capsys, monkeypatch,
+                                        tmp_path):
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        args = ["sweep", "twolf", "--sizes", "32,64",
+                "--instructions", "1500"]
+        assert main(args + ["--jobs", "2"]) == 0
+        assert "IPC vs IQ size" in capsys.readouterr().out
+        cached = sorted(cache_dir.glob("*.json"))
+        assert len(cached) == 6        # 2 sizes x 3 config families
+        # A warm re-run serves every cell from disk, byte-identically.
+        assert main(args) == 0
+        assert "IPC vs IQ size" in capsys.readouterr().out
+        assert sorted(cache_dir.glob("*.json")) == cached
+
+    def test_sweep_no_cache_bypasses_disk(self, capsys, monkeypatch,
+                                          tmp_path):
+        cache_dir = tmp_path / "cache"
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(cache_dir))
+        assert main(["sweep", "twolf", "--sizes", "32",
+                     "--instructions", "1200", "--no-cache"]) == 0
+        assert not list(cache_dir.glob("*.json"))
+
+    def test_bench_quick(self, capsys, tmp_path):
+        assert main(["bench", "--quick", "--jobs", "2",
+                     "--workloads", "twolf", "--instructions", "400",
+                     "--out", str(tmp_path)]) == 0
+        artifacts = list(tmp_path.glob("BENCH_*.json"))
+        assert len(artifacts) == 1
+        data = json.loads(artifacts[0].read_text())
+        assert data["schema"] == 1
+        assert data["sweep"]["cache_hits"] == data["sweep"]["cells"]
+        out = capsys.readouterr().out
+        assert "serial throughput" in out
+
+    def test_validate_jobs(self, capsys):
+        assert main(["validate", "--programs", "1", "--jobs", "2",
+                     "--no-shrink"]) == 0
+        out = capsys.readouterr().out
+        assert "validation campaign" in out

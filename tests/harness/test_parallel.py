@@ -1,0 +1,137 @@
+"""Tests for the process-pool executor: determinism, fallback, errors."""
+
+import dataclasses
+
+import pytest
+
+from repro.harness import configs
+from repro.harness.cache import ResultCache
+from repro.harness.experiments import EXPERIMENTS
+from repro.harness.parallel import (CellError, ParallelExecutor, RunSpec,
+                                    default_jobs, raise_on_errors)
+from repro.harness.runner import RunResult
+from repro.harness.sweep import Sweep
+
+
+def _square(x):
+    return x * x
+
+
+def _boom(x):
+    raise ValueError(f"boom {x}")
+
+
+def _tiny_sweep() -> Sweep:
+    sweep = Sweep(workloads=["twolf", "swim"], max_instructions=1500)
+    sweep.add_config("ideal-32", configs.ideal(32))
+    sweep.add_config("seg-64",
+                     configs.segmented(64, 16, "comb", segment_size=16))
+    return sweep
+
+
+class TestMap:
+    def test_serial_preserves_order(self):
+        executor = ParallelExecutor(1)
+        assert executor.map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert not executor.fell_back_to_serial
+
+    def test_parallel_preserves_order(self):
+        executor = ParallelExecutor(4)
+        assert executor.map(_square, list(range(8))) == \
+            [x * x for x in range(8)]
+
+    def test_worker_exception_surfaces_per_cell(self):
+        executor = ParallelExecutor(2)
+        out = executor.map(_boom, [1, 2], labels=["a", "b"])
+        assert all(isinstance(cell, CellError) for cell in out)
+        assert "boom 1" in out[0].error
+        assert out[0].label == "a"
+        assert "ValueError" in out[0].error
+
+    def test_mixed_success_and_failure_keeps_positions(self):
+        executor = ParallelExecutor(2)
+
+        def check(out):
+            assert out[0] == 1 and out[2] == 9
+            assert isinstance(out[1], CellError)
+
+        check(executor.map(_flaky, [1, 0, 3]))
+
+    def test_unpicklable_payload_falls_back_to_serial(self):
+        executor = ParallelExecutor(4)
+        out = executor.map(lambda x: x + 1, [1, 2, 3])
+        assert out == [2, 3, 4]
+        assert executor.fell_back_to_serial
+
+    def test_default_jobs_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "3")
+        assert default_jobs() == 3
+        monkeypatch.setenv("REPRO_JOBS", "0")
+        assert default_jobs() == 1
+
+    def test_raise_on_errors_summarizes(self):
+        cells = [1, CellError("a/b", "ValueError: nope"), 3]
+        with pytest.raises(RuntimeError, match="1 of 3 sweep cells"):
+            raise_on_errors(cells, "sweep")
+        raise_on_errors([1, 2, 3], "sweep")    # no error: no raise
+
+
+def _flaky(x):
+    if x == 0:
+        raise RuntimeError("zero cell")
+    return x * x
+
+
+class TestDeterminism:
+    """Satellite: same seed, serial vs jobs=4, bit-identical results."""
+
+    def test_sweep_parallel_matches_serial_exactly(self):
+        serial = _tiny_sweep().run()
+        parallel = _tiny_sweep().run(jobs=4)
+        for workload in serial.workloads:
+            for label in serial.config_labels:
+                a = serial.results[workload][label]
+                b = parallel.results[workload][label]
+                assert dataclasses.asdict(a) == dataclasses.asdict(b), \
+                    f"{workload}/{label} diverged between serial and jobs=4"
+
+    def test_spawn_start_method_matches_serial(self):
+        spec = RunSpec("twolf", configs.ideal(32), config_label="ideal-32",
+                       max_instructions=800)
+        serial = ParallelExecutor(1).run_specs([spec, spec])
+        spawned = ParallelExecutor(2, start_method="spawn").run_specs(
+            [spec, spec])
+        raise_on_errors(spawned, "spawn")
+        assert dataclasses.asdict(serial[0]) == dataclasses.asdict(spawned[0])
+
+    def test_experiment_parallel_matches_serial(self):
+        experiment = EXPERIMENTS["headline"]
+        report_serial, data_serial = experiment.run(
+            workloads=["twolf"], budget_factor=0.01)
+        report_parallel, data_parallel = experiment.run(
+            workloads=["twolf"], budget_factor=0.01, jobs=2)
+        assert report_serial == report_parallel
+        assert data_serial == data_parallel
+
+
+class TestRunSpecsCaching:
+    def test_second_run_hits_cache(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = RunSpec("twolf", configs.ideal(32), config_label="ideal-32",
+                       max_instructions=800)
+        first = ParallelExecutor(1, cache=cache).run_specs([spec])
+        assert cache.hits == 0 and cache.misses == 1
+        second = ParallelExecutor(1, cache=cache).run_specs([spec])
+        assert cache.hits == 1
+        assert dataclasses.asdict(first[0]) == dataclasses.asdict(second[0])
+
+    def test_hit_restores_requested_label(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        spec = RunSpec("twolf", configs.ideal(32), config_label="ideal-32",
+                       max_instructions=800)
+        ParallelExecutor(1, cache=cache).run_specs([spec])
+        renamed = dataclasses.replace(spec, config_label="other-name")
+        cells = ParallelExecutor(1, cache=cache).run_specs([renamed])
+        assert cache.hits == 1
+        assert isinstance(cells[0], RunResult)
+        assert cells[0].config == "other-name"

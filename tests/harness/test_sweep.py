@@ -57,6 +57,17 @@ class TestSweep:
         small_grid.metric = "ipc"
         assert small_grid.value("twolf", "seg-128") == stat_value
 
+    def test_unknown_metric_raises(self, small_grid):
+        saved = small_grid.metric
+        small_grid.metric = "iq.warp_factor"
+        try:
+            with pytest.raises(KeyError, match="available metrics"):
+                small_grid.value("twolf", "ideal-32")
+            with pytest.raises(KeyError, match="iq.dispatched"):
+                small_grid.value("twolf", "ideal-32")
+        finally:
+            small_grid.metric = saved
+
     def test_csv_round_trip(self, small_grid, tmp_path):
         path = tmp_path / "grid.csv"
         small_grid.write_csv(str(path))

@@ -1,0 +1,29 @@
+"""Parallel fuzzing campaigns must match serial ones exactly."""
+
+from repro.harness import configs
+from repro.validation.campaign import run_campaign
+
+
+def _models():
+    return {
+        "ideal": configs.ideal(64),
+        "segmented": configs.segmented(64, 16, "comb", segment_size=16),
+    }
+
+
+class TestCampaignParallel:
+    def test_jobs_matches_serial(self):
+        serial = run_campaign(seed=7, num_programs=2, models=_models(),
+                              shrink=False)
+        parallel = run_campaign(seed=7, num_programs=2, models=_models(),
+                                shrink=False, jobs=2)
+        assert serial.summary() == parallel.summary()
+        assert [str(r) for r in serial.results] == \
+            [str(r) for r in parallel.results]
+        assert serial.checks == parallel.checks == 4
+
+    def test_progress_callback_fires_per_cell(self):
+        seen = []
+        run_campaign(seed=3, num_programs=1, models=_models(),
+                     shrink=False, jobs=2, progress=seen.append)
+        assert len(seen) == 2
