@@ -4,6 +4,7 @@ Commands:
 
 * ``list``    — show the benchmark analogs and their characters
 * ``run``     — simulate one benchmark under one configuration
+* ``sample``  — checkpoint-based interval sampling (docs/sampling.md)
 * ``sweep``   — IPC-vs-IQ-size curves (Figure 3 style) for one benchmark
 * ``disasm``  — print a benchmark kernel's assembly listing
 * ``validate`` — differential-oracle fuzzing campaign (docs/validation.md)
@@ -53,13 +54,22 @@ def cmd_list(_args) -> int:
     return 0
 
 
+def _heartbeat(tick) -> None:
+    """Progress line for long runs (``--progress N``)."""
+    print(f"  [{tick.elapsed_seconds:6.1f}s] cycle {tick.cycle:>9,}  "
+          f"committed {tick.committed:>9,}  "
+          f"{tick.kcycles_per_sec:6.1f} kcycles/s", file=sys.stderr)
+
+
 def cmd_run(args) -> int:
     params = _params_from_args(args)
     if args.check_invariants:
         params = params.replace(check_invariants=True)
     result = run_workload(args.workload, params,
                           config_label=args.iq,
-                          max_instructions=args.instructions)
+                          max_instructions=args.instructions,
+                          progress=_heartbeat if args.progress else None,
+                          progress_interval=args.progress or 5.0)
     print(result)
     stats = result.stats
     print(f"  branch accuracy : {100 * result.branch_accuracy:.1f}%")
@@ -79,6 +89,66 @@ def cmd_run(args) -> int:
     if args.stats:
         for key in sorted(stats):
             print(f"  {key:<40} {stats[key]:.3f}")
+    return 0
+
+
+def cmd_sample(args) -> int:
+    import json
+    import time
+
+    from repro.sampling import (CheckpointStore, SamplingConfig,
+                                sample_workload)
+
+    params = _params_from_args(args)
+    sampling = SamplingConfig(num_windows=args.windows,
+                              warmup_instructions=args.warmup,
+                              measure_instructions=args.measure,
+                              seed=args.seed)
+    store = None if args.no_cache else CheckpointStore()
+    started = time.perf_counter()
+    report = sample_workload(
+        args.workload, params, sampling, config_label=args.iq,
+        scale=args.scale, max_instructions=args.instructions,
+        jobs=args.jobs, store=store,
+        progress=lambda line: print(f"  {line}...", file=sys.stderr))
+    sampled_seconds = time.perf_counter() - started
+    print(f"{report.workload} [{report.config}]  "
+          f"sampled IPC {report.ipc_estimate:.3f}  "
+          f"({report.confidence:.0%} CI "
+          f"[{report.ipc_ci_low:.3f}, {report.ipc_ci_high:.3f}], "
+          f"{report.estimator} estimator)")
+    print(f"  windows  : {len(report.windows)} x "
+          f"{sampling.measure_instructions} insts measured "
+          f"(+{sampling.warmup_instructions} warmup each), "
+          f"{report.dropped_windows} dropped")
+    print(f"  detail   : {report.detailed_instructions:,} of "
+          f"{report.total_instructions:,} insts "
+          f"({100 * report.detail_fraction:.1f}%), "
+          f"{report.detailed_cycles:,} detailed cycles, "
+          f"{sampled_seconds:.1f}s wall")
+    data = report.to_dict()
+    data["sampled_seconds"] = round(sampled_seconds, 3)
+    if args.compare_full:
+        started = time.perf_counter()
+        full = run_workload(args.workload, params, config_label=args.iq,
+                            scale=args.scale,
+                            max_instructions=args.instructions)
+        full_seconds = time.perf_counter() - started
+        error = ((report.ipc_estimate - full.ipc) / full.ipc
+                 if full.ipc else 0.0)
+        ratio = (full.cycles / report.detailed_cycles
+                 if report.detailed_cycles else 0.0)
+        print(f"  full     : IPC {full.ipc:.3f} in {full_seconds:.1f}s — "
+              f"sampled error {100 * error:+.2f}%, "
+              f"{ratio:.1f}x fewer detailed cycles")
+        data["compare_full"] = {
+            "full_ipc": full.ipc, "full_cycles": full.cycles,
+            "full_seconds": round(full_seconds, 3),
+            "ipc_error": error, "detail_cycle_ratio": ratio}
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(data, handle, indent=2, sort_keys=True)
+        print(f"\nraw data written to {args.json}", file=sys.stderr)
     return 0
 
 
@@ -249,6 +319,43 @@ def main(argv=None) -> int:
                             help="dump every statistic")
     run_parser.add_argument("--check-invariants", action="store_true",
                             help="run per-cycle pipeline invariant checks")
+    run_parser.add_argument("--progress", type=float, default=0.0,
+                            metavar="SECONDS",
+                            help="print a heartbeat (cycles, kcycles/s) "
+                                 "every N seconds")
+
+    sample_parser = sub.add_parser(
+        "sample", help="sampled simulation: checkpoints + interval windows")
+    sample_parser.add_argument("workload", choices=sorted(WORKLOADS))
+    sample_parser.add_argument("--iq", default="segmented",
+                               choices=["ideal", "segmented", "prescheduled",
+                                        "fifo"])
+    sample_parser.add_argument("--size", type=int, default=512)
+    sample_parser.add_argument("--segment-size", type=int, default=32)
+    sample_parser.add_argument("--chains", default="128",
+                               help="chain wires, or 'unlimited'")
+    sample_parser.add_argument("--variant", default="comb",
+                               choices=["base", "hmp", "lrp", "comb"])
+    sample_parser.add_argument("--windows", type=int, default=10,
+                               help="number of measurement windows")
+    sample_parser.add_argument("--warmup", type=int, default=500,
+                               help="detailed warmup insts per window")
+    sample_parser.add_argument("--measure", type=int, default=500,
+                               help="measured insts per window")
+    sample_parser.add_argument("--scale", type=int, default=8,
+                               help="workload scale factor (longer stream)")
+    sample_parser.add_argument("--seed", type=int, default=0,
+                               help="window-placement jitter seed")
+    sample_parser.add_argument("--instructions", type=int, default=None,
+                               help="instruction budget override")
+    sample_parser.add_argument("--jobs", type=int, default=1,
+                               help="parallel window workers")
+    sample_parser.add_argument("--compare-full", action="store_true",
+                               help="also run full detail; report the error")
+    sample_parser.add_argument("--json", default="",
+                               help="also write raw data to this file")
+    sample_parser.add_argument("--no-cache", action="store_true",
+                               help="skip the on-disk checkpoint store")
 
     sweep_parser = sub.add_parser("sweep", help="IQ size sweep")
     sweep_parser.add_argument("workload", choices=sorted(WORKLOADS))
@@ -348,8 +455,8 @@ def main(argv=None) -> int:
                                  help="parallel campaign workers")
 
     args = parser.parse_args(argv)
-    handler = {"list": cmd_list, "run": cmd_run, "sweep": cmd_sweep,
-               "disasm": cmd_disasm, "trace": cmd_trace,
+    handler = {"list": cmd_list, "run": cmd_run, "sample": cmd_sample,
+               "sweep": cmd_sweep, "disasm": cmd_disasm, "trace": cmd_trace,
                "segments": cmd_segments, "reproduce": cmd_reproduce,
                "validate": cmd_validate, "bench": cmd_bench,
                }[args.command]

@@ -1,20 +1,25 @@
 """Simulator-throughput benchmark behind ``python -m repro bench``.
 
-Two measurements, one JSON artifact:
+Three measurements, one JSON artifact:
 
 * **Serial throughput** — wall-clock a single simulation per (workload,
   configuration) pair and report kilo-cycles/sec and kilo-insts/sec, the
   simulator's native speed metric.  This is the number the hot-path
-  optimisations move.
+  optimisations move.  Each row also carries the run's energy-proxy
+  breakdown (:mod:`repro.harness.energy`) so the power trade-off the
+  paper's section 7 raises is tracked alongside speed.
 * **Sweep scaling** — wall-clock one workload x configuration grid three
   ways: serially with a cold cache, fanned out over ``jobs`` workers with
   a cold cache (the process-pool speedup), and again against the
   now-warm cache (the cache speedup).
+* **Sampling speedup** — wall-clock one sampled run
+  (:mod:`repro.sampling`) against the equivalent full-detail run and
+  report the wall-clock and detailed-cycle ratios.
 
 The artifact is written as ``BENCH_<date>.json`` (repo root by
 convention) so the performance trajectory is tracked PR over PR;
 ``--compare`` diffs against an older artifact and reports per-config
-speedups.
+throughput and energy-per-instruction changes.
 """
 
 from __future__ import annotations
@@ -31,10 +36,11 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.harness import configs
 from repro.harness.cache import ResultCache
+from repro.harness.energy import EnergyModel, energy_per_instruction
 from repro.harness.runner import run_workload
 from repro.harness.sweep import Sweep
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: Serial-throughput configurations: the paper's headline design points.
 SERIAL_CONFIGS: List[Tuple[str, object]] = [
@@ -70,16 +76,23 @@ def _geomean(values: Sequence[float]) -> float:
 def measure_serial(workloads: Sequence[str], serial_configs,
                    max_instructions: int,
                    progress=None) -> Dict[str, Dict[str, float]]:
-    """Time one serial simulation per (workload, config) pair."""
+    """Time one serial simulation per (workload, config) pair.
+
+    Each row carries throughput numbers plus the energy-proxy breakdown
+    of the run (relative units; see :mod:`repro.harness.energy`).
+    """
+    model = EnergyModel()
     out: Dict[str, Dict[str, float]] = {}
     for workload in workloads:
         for label, factory in serial_configs:
             if progress is not None:
                 progress(f"serial {workload}/{label}")
+            params = factory()
             start = time.perf_counter()
-            result = run_workload(workload, factory(), config_label=label,
+            result = run_workload(workload, params, config_label=label,
                                   max_instructions=max_instructions)
             seconds = time.perf_counter() - start
+            breakdown = model.estimate_run(result, params)
             out[f"{workload}/{label}"] = {
                 "cycles": result.cycles,
                 "instructions": result.instructions,
@@ -87,6 +100,11 @@ def measure_serial(workloads: Sequence[str], serial_configs,
                 "kcycles_per_sec": round(result.cycles / seconds / 1e3, 2),
                 "kinsts_per_sec": round(
                     result.instructions / seconds / 1e3, 2),
+                "energy": {key: round(value, 1)
+                           for key, value in breakdown.items()},
+                "energy_per_instruction": round(
+                    energy_per_instruction(breakdown, result.instructions),
+                    4),
             }
     return out
 
@@ -144,18 +162,65 @@ def measure_sweep(workloads, sweep_configs, max_instructions: int,
     }
 
 
+def measure_sampling(workload: str = "twolf", *,
+                     quick: bool = False,
+                     progress=None) -> Dict[str, object]:
+    """Wall-clock one sampled run against its full-detail equivalent."""
+    from repro.sampling import SamplingConfig, sample_workload
+
+    params = configs.segmented(128, 64, "comb")
+    scale = 2 if quick else 4
+    sampling = (SamplingConfig(num_windows=6, warmup_instructions=200,
+                               measure_instructions=300) if quick else
+                SamplingConfig(num_windows=8, warmup_instructions=500,
+                               measure_instructions=500))
+    if progress is not None:
+        progress(f"sampled {workload} (scale {scale})")
+    start = time.perf_counter()
+    report = sample_workload(workload, params, sampling, scale=scale)
+    sampled_seconds = time.perf_counter() - start
+
+    if progress is not None:
+        progress(f"full-detail {workload} (scale {scale})")
+    start = time.perf_counter()
+    full = run_workload(workload, params, scale=scale)
+    full_seconds = time.perf_counter() - start
+    return {
+        "workload": workload,
+        "scale": scale,
+        "num_windows": sampling.num_windows,
+        "sampled_seconds": round(sampled_seconds, 3),
+        "full_seconds": round(full_seconds, 3),
+        "wall_speedup": round(full_seconds / sampled_seconds, 3)
+        if sampled_seconds else 0.0,
+        "sampled_ipc": round(report.ipc_estimate, 4),
+        "full_ipc": round(full.ipc, 4),
+        "detailed_cycles": report.detailed_cycles,
+        "full_cycles": full.cycles,
+        "detail_cycle_ratio": round(full.cycles / report.detailed_cycles, 2)
+        if report.detailed_cycles else 0.0,
+    }
+
+
 def compare_with(previous_path: str,
-                 serial: Dict[str, Dict[str, float]]) -> Dict[str, float]:
-    """Per-config throughput speedup vs an older BENCH_*.json artifact."""
+                 serial: Dict[str, Dict[str, float]]) -> Dict[str, Dict]:
+    """Per-config throughput and EPI changes vs an older BENCH_*.json."""
     with open(previous_path) as handle:
         previous = json.load(handle)
     speedups: Dict[str, float] = {}
+    epi_ratios: Dict[str, float] = {}
     for key, row in serial.items():
         old = previous.get("serial", {}).get(key)
-        if old and old.get("kcycles_per_sec"):
+        if not old:
+            continue
+        if old.get("kcycles_per_sec"):
             speedups[key] = round(
                 row["kcycles_per_sec"] / old["kcycles_per_sec"], 3)
-    return speedups
+        if old.get("energy_per_instruction"):
+            epi_ratios[key] = round(
+                row["energy_per_instruction"]
+                / old["energy_per_instruction"], 4)
+    return {"kcycles_speedup": speedups, "epi_ratio": epi_ratios}
 
 
 def run_bench(*, jobs: Optional[int] = None, quick: bool = False,
@@ -184,6 +249,7 @@ def run_bench(*, jobs: Optional[int] = None, quick: bool = False,
                             progress=progress)
     sweep = measure_sweep(sweep_workloads, sweep_configs, budget, jobs,
                           progress=progress)
+    sampling = measure_sampling(quick=quick, progress=progress)
 
     data = {
         "schema": SCHEMA_VERSION,
@@ -203,10 +269,11 @@ def run_bench(*, jobs: Optional[int] = None, quick: bool = False,
                 [row["kinsts_per_sec"] for row in serial.values()]), 2),
         },
         "sweep": sweep,
+        "sampling": sampling,
     }
     if compare:
-        data["compare"] = {"previous": compare,
-                           "kcycles_speedup": compare_with(compare, serial)}
+        diff = compare_with(compare, serial)
+        data["compare"] = {"previous": compare, **diff}
 
     stamp = datetime.date.today().strftime("%Y%m%d")
     path = Path(out_dir) / f"BENCH_{stamp}.json"
@@ -230,10 +297,23 @@ def render_summary(data: dict) -> str:
         f"cached {sweep['cached_seconds']}s "
         f"({100 * sweep['cached_fraction_of_cold']:.1f}% of cold)",
     ]
+    sampling = data.get("sampling")
+    if sampling:
+        lines.append(
+            f"  sampling {sampling['workload']}: "
+            f"{sampling['sampled_seconds']}s vs full "
+            f"{sampling['full_seconds']}s "
+            f"({sampling['wall_speedup']}x wall, "
+            f"{sampling['detail_cycle_ratio']}x fewer detailed cycles)")
     if "compare" in data:
         speedups = data["compare"]["kcycles_speedup"]
         if speedups:
             mean = _geomean(list(speedups.values()))
             lines.append(f"  vs {data['compare']['previous']}: "
                          f"{mean:.2f}x kcycles/s (geomean)")
+        epi = data["compare"].get("epi_ratio", {})
+        if epi:
+            mean = _geomean(list(epi.values()))
+            lines.append(f"  energy/instruction vs previous: "
+                         f"{mean:.3f}x (geomean)")
     return "\n".join(lines)

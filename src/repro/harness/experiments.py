@@ -42,7 +42,8 @@ class ExperimentRunner:
     def __init__(self, workloads: Sequence[str],
                  budget_factor: float = 1.0,
                  progress: Optional[Callable[[str], None]] = None, *,
-                 jobs: int = 1, cache=None) -> None:
+                 jobs: int = 1, cache=None,
+                 sampling=None, sampling_scale: int = 1) -> None:
         unknown = set(workloads) - set(WORKLOADS)
         if unknown:
             raise KeyError(f"unknown workloads: {sorted(unknown)}")
@@ -51,12 +52,26 @@ class ExperimentRunner:
         self.progress = progress
         self.jobs = jobs
         self.cache = cache
+        #: Optional SamplingConfig: estimate every cell by interval
+        #: sampling (at ``sampling_scale``x the workload size) instead of
+        #: simulating it in full detail.
+        self.sampling = sampling
+        self.sampling_scale = sampling_scale
         self._cache: Dict[Tuple[str, str], RunResult] = {}
         self._recording: Optional[List[Tuple[str, str, Callable]]] = None
 
     def _budget(self, workload: str) -> int:
         spec = WORKLOADS[workload]
-        return max(2_000, int(spec.default_instructions * self.budget_factor))
+        scale = self.sampling_scale if self.sampling is not None else 1
+        return max(2_000, int(spec.default_instructions
+                              * self.budget_factor * scale))
+
+    def _sampled_spec(self, workload: str, config_key: str, params):
+        from repro.sampling.sampler import SampledRunSpec
+        return SampledRunSpec(workload, params, config_label=config_key,
+                              sampling=self.sampling,
+                              scale=self.sampling_scale,
+                              max_instructions=self._budget(workload))
 
     def run(self, workload: str, config_key: str,
             params_factory) -> RunResult:
@@ -72,9 +87,16 @@ class ExperimentRunner:
             self.progress(f"{workload}/{config_key}")
         from repro.harness.parallel import (ParallelExecutor, RunSpec,
                                             raise_on_errors)
-        spec = RunSpec(workload, params_factory(), config_label=config_key,
-                       max_instructions=self._budget(workload))
-        cells = ParallelExecutor(1, cache=self.cache).run_specs([spec])
+        if self.sampling is not None:
+            from repro.sampling.sampler import run_sampled_cell
+            spec = self._sampled_spec(workload, config_key, params_factory())
+            cells = ParallelExecutor(1).map(
+                run_sampled_cell, [spec], labels=[f"{workload}/{config_key}"])
+        else:
+            spec = RunSpec(workload, params_factory(),
+                           config_label=config_key,
+                           max_instructions=self._budget(workload))
+            cells = ParallelExecutor(1, cache=self.cache).run_specs([spec])
         raise_on_errors(cells, "experiment")
         self._cache[key] = cells[0]
         return cells[0]
@@ -104,13 +126,22 @@ class ExperimentRunner:
                 unique.append((workload, config_key, factory))
         from repro.harness.parallel import (ParallelExecutor, RunSpec,
                                             raise_on_errors)
-        specs = [RunSpec(workload, factory(), config_label=config_key,
-                         max_instructions=self._budget(workload))
-                 for workload, config_key, factory in unique]
         if self.progress is not None:
-            for spec in specs:
-                self.progress(f"{spec.workload}/{spec.config_label}")
-        cells = ParallelExecutor(self.jobs, cache=self.cache).run_specs(specs)
+            for workload, config_key, _ in unique:
+                self.progress(f"{workload}/{config_key}")
+        if self.sampling is not None:
+            from repro.sampling.sampler import run_sampled_cell
+            sampled = [self._sampled_spec(workload, config_key, factory())
+                       for workload, config_key, factory in unique]
+            cells = ParallelExecutor(self.jobs).map(
+                run_sampled_cell, sampled,
+                labels=[f"{s.workload}/{s.config_label}" for s in sampled])
+        else:
+            specs = [RunSpec(workload, factory(), config_label=config_key,
+                             max_instructions=self._budget(workload))
+                     for workload, config_key, factory in unique]
+            cells = ParallelExecutor(self.jobs,
+                                     cache=self.cache).run_specs(specs)
         raise_on_errors(cells, "experiment")
         for (workload, config_key, _), cell in zip(unique, cells):
             self._cache[(workload, config_key)] = cell
@@ -141,17 +172,23 @@ class Experiment:
     def run(self, workloads: Optional[Sequence[str]] = None,
             budget_factor: float = 1.0,
             progress: Optional[Callable[[str], None]] = None, *,
-            jobs: int = 1, cache=None) -> Tuple[str, dict]:
+            jobs: int = 1, cache=None,
+            sampling=None, sampling_scale: int = 1) -> Tuple[str, dict]:
         """Returns (rendered report, raw data dict).
 
         ``jobs`` > 1 runs the experiment's grid on a process pool;
         ``cache`` reuses results across invocations (see
-        :mod:`repro.harness.cache`).
+        :mod:`repro.harness.cache`).  ``sampling`` estimates every cell
+        by interval sampling instead of full-detail simulation (see
+        :mod:`repro.sampling`) — faster, with a small statistical error
+        the sampled stats quantify.
         """
         runner = ExperimentRunner(workloads or sorted(WORKLOADS),
                                   budget_factor, progress,
-                                  jobs=jobs, cache=cache)
-        if jobs > 1:
+                                  jobs=jobs, cache=cache,
+                                  sampling=sampling,
+                                  sampling_scale=sampling_scale)
+        if jobs > 1 or sampling is not None:
             runner.prefetch(self.build)
         return self.build(runner)
 

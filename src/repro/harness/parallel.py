@@ -112,10 +112,15 @@ class ParallelExecutor:
 
     def __init__(self, jobs: Optional[int] = None, *,
                  cache: Optional[ResultCache] = None,
-                 start_method: Optional[str] = None) -> None:
+                 start_method: Optional[str] = None,
+                 progress: Optional[Callable[[int, int], None]] = None
+                 ) -> None:
         self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
         self.cache = cache
         self.start_method = start_method
+        #: Optional ``progress(done, total)`` heartbeat, invoked as each
+        #: cell's result lands (serial and pooled paths alike).
+        self.progress = progress
         #: True when the last map degraded to serial (pickling/pool
         #: failure); exposed so tests and the bench can report it.
         self.fell_back_to_serial = False
@@ -133,13 +138,22 @@ class ParallelExecutor:
             labels = [f"task[{index}]" for index in range(len(items))]
         payloads = [(func, item, label)
                     for item, label in zip(items, labels)]
+
+        def serial() -> List:
+            results = []
+            for payload in payloads:
+                results.append(_guarded_call(payload))
+                if self.progress is not None:
+                    self.progress(len(results), len(payloads))
+            return results
+
         if self.jobs <= 1 or len(payloads) <= 1:
-            return [_guarded_call(payload) for payload in payloads]
+            return serial()
         try:
             pickle.dumps(payloads)
         except Exception:
             self.fell_back_to_serial = True
-            return [_guarded_call(payload) for payload in payloads]
+            return serial()
         workers = min(self.jobs, len(payloads))
         context = (multiprocessing.get_context(self.start_method)
                    if self.start_method else None)
@@ -161,11 +175,13 @@ class ParallelExecutor:
                         results[index] = CellError(
                             label=labels[index],
                             error=f"{type(exc).__name__}: {exc}")
+                    if self.progress is not None:
+                        self.progress(index + 1, len(payloads))
         except (OSError, BrokenProcessPool):
             # Pool could not start at all (fd limits, sandboxing):
             # degrade to serial rather than fail the sweep.
             self.fell_back_to_serial = True
-            return [_guarded_call(payload) for payload in payloads]
+            return serial()
         return results
 
     # ------------------------------------------------------------ specs --

@@ -57,11 +57,16 @@ def run_workload(workload: Union[str, WorkloadSpec],
                  scale: int = 1,
                  max_instructions: Optional[int] = None,
                  max_cycles: int = 5_000_000,
-                 warm_code: bool = True) -> RunResult:
+                 warm_code: bool = True,
+                 progress=None,
+                 progress_interval: float = 5.0) -> RunResult:
     """Simulate one benchmark analog under one configuration.
 
     Code is pre-warmed by default (the paper measures warm checkpoints);
     data is pre-warmed into the L2 when the workload spec asks for it.
+    ``progress`` is an optional heartbeat callback receiving
+    :class:`~repro.pipeline.processor.ProgressTick` records roughly every
+    ``progress_interval`` seconds.
     """
     spec = resolve_workload(workload)
     program = spec.build(scale)
@@ -72,7 +77,8 @@ def run_workload(workload: Union[str, WorkloadSpec],
         processor.warm_code(program)
     if spec.warm_data:
         processor.warm_data(program)
-    processor.run(max_cycles=max_cycles)
+    processor.run(max_cycles=max_cycles, progress=progress,
+                  progress_interval=progress_interval)
     return RunResult(
         workload=spec.name,
         config=config_label or params.iq.kind,

@@ -104,7 +104,7 @@ class Sweep:
         return self
 
     def run(self, metric: str = "ipc", *, jobs: int = 1,
-            cache=None) -> SweepGrid:
+            cache=None, sampling=None, sampling_scale: int = 1) -> SweepGrid:
         """Run every (workload, config) cell and collect the grid.
 
         ``jobs`` > 1 fans the cells out over a process pool (cells are
@@ -112,21 +112,52 @@ class Sweep:
         ``cache`` is an optional
         :class:`~repro.harness.cache.ResultCache`; cached cells skip
         simulation entirely.
+
+        ``sampling`` is an optional
+        :class:`~repro.sampling.SamplingConfig`: when given, every cell
+        runs as a sampled simulation (checkpoint + interval windows)
+        instead of full detail, and the grid's IPC values are sampled
+        estimates carrying ``sampling.*`` stats (CI bounds, detail
+        fraction).  ``sampling_scale`` scales the workloads up so the
+        stream is long enough to sample; the on-disk ``cache`` is not
+        consulted for sampled cells (estimates are not exchangeable with
+        full-detail results).
         """
         if not self._configs:
             raise ValueError("no configurations added")
-        from repro.harness.parallel import (ParallelExecutor, RunSpec,
-                                            raise_on_errors)
-        specs = [RunSpec(workload, params, config_label=label,
-                         max_instructions=self.max_instructions)
-                 for workload in self.workloads
-                 for label, params in self._configs]
-        if self.progress is not None:
-            for spec in specs:
-                self.progress(f"{spec.workload}/{spec.config_label}")
-        executor = ParallelExecutor(jobs, cache=cache)
-        cells = executor.run_specs(specs)
-        raise_on_errors(cells, "sweep")
+        from repro.harness.parallel import ParallelExecutor, raise_on_errors
+        if sampling is not None:
+            from repro.sampling.sampler import (SampledRunSpec,
+                                                run_sampled_cell)
+            sampled_specs = [
+                SampledRunSpec(workload, params, config_label=label,
+                               sampling=sampling, scale=sampling_scale,
+                               max_instructions=self.max_instructions)
+                for workload in self.workloads
+                for label, params in self._configs]
+            if self.progress is not None:
+                for spec in sampled_specs:
+                    self.progress(
+                        f"{spec.workload}/{spec.config_label} (sampled)")
+            executor = ParallelExecutor(jobs)
+            cells = executor.map(
+                run_sampled_cell, sampled_specs,
+                labels=[f"{s.workload}/{s.config_label}"
+                        for s in sampled_specs])
+            raise_on_errors(cells, "sampled sweep")
+            specs = sampled_specs
+        else:
+            from repro.harness.parallel import RunSpec
+            specs = [RunSpec(workload, params, config_label=label,
+                             max_instructions=self.max_instructions)
+                     for workload in self.workloads
+                     for label, params in self._configs]
+            if self.progress is not None:
+                for spec in specs:
+                    self.progress(f"{spec.workload}/{spec.config_label}")
+            executor = ParallelExecutor(jobs, cache=cache)
+            cells = executor.run_specs(specs)
+            raise_on_errors(cells, "sweep")
         results: Dict[str, Dict[str, RunResult]] = {
             workload: {} for workload in self.workloads}
         for spec, cell in zip(specs, cells):

@@ -8,25 +8,45 @@ addresses, and branch outcomes are all architecturally exact.
 Arithmetic note: integer values are plain Python ints (no 64-bit wraparound)
 — kernels in this repository never rely on overflow.  Shifts mask their
 amount to 6 bits so a bad shift cannot explode memory.
+
+Numeric representation: registers and memory words hold plain Python
+numbers, and the *type* of every cell is deterministic — integer opcodes
+always write ``int`` (operands are coerced with ``int()``), floating-point
+opcodes always write ``float``, and uninitialized cells are the integer
+``0`` in both the register file and memory.  ``Program.initial_data``
+values are stored exactly as the workload builder provided them.  This
+type-stability is load-bearing for the sampling subsystem: architectural
+checkpoints serialize state as canonical JSON, and a byte-stable encoding
+requires int-ness/float-ness of every cell to be reproducible
+(``0`` and ``0.0`` compare equal but serialize differently).
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, Union
 
 from repro.common.errors import ExecutionError
 from repro.isa.instruction import DynInst, Instruction
 from repro.isa.opcodes import NUM_REGS, WORD_BYTES, Opcode
 from repro.isa.program import Program
 
+#: One architectural word: ``int`` from integer ops, ``float`` from FP ops.
+Value = Union[int, float]
+
 
 class MachineState:
-    """Architectural state: register file and flat data memory."""
+    """Architectural state: register file, flat data memory, and the
+    execution cursor (pc / halt flag / dynamic-instruction index).
+
+    The cursor lives here so a state can be snapshotted mid-stream and
+    execution resumed from the snapshot (see :meth:`snapshot`,
+    :meth:`restore`, and :func:`execute_from`).
+    """
 
     def __init__(self, program: Program) -> None:
         self.program = program
-        self.regs: List[float] = [0] * NUM_REGS
-        self.memory: List[float] = [0.0] * max(1, program.memory_words)
+        self.regs: List[Value] = [0] * NUM_REGS
+        self.memory: List[Value] = [0] * max(1, program.memory_words)
         for word, value in program.initial_data.items():
             if not 0 <= word < len(self.memory):
                 raise ExecutionError(
@@ -37,10 +57,10 @@ class MachineState:
         self.halted = False
         self.instruction_count = 0
 
-    def read_reg(self, reg: int) -> float:
+    def read_reg(self, reg: int) -> Value:
         return self.regs[reg]
 
-    def write_reg(self, reg: Optional[int], value: float) -> None:
+    def write_reg(self, reg: Optional[int], value: Value) -> None:
         if reg is None or reg == 0:   # r0 is hardwired to zero
             return
         self.regs[reg] = value
@@ -55,11 +75,42 @@ class MachineState:
                 f"({len(self.memory)} words)")
         return index
 
-    def load(self, byte_addr: int) -> float:
+    def load(self, byte_addr: int) -> Value:
         return self.memory[self.mem_word_index(byte_addr)]
 
-    def store(self, byte_addr: int, value: float) -> None:
+    def store(self, byte_addr: int, value: Value) -> None:
         self.memory[self.mem_word_index(byte_addr)] = value
+
+    # ------------------------------------------------- snapshot / restore --
+    def snapshot(self) -> Dict[str, object]:
+        """Plain-data capture of the architectural state.
+
+        The result is JSON-serializable and, thanks to the type-stable
+        numeric representation (module docstring), two snapshots of the
+        same execution point always encode to identical bytes.
+        """
+        return {
+            "pc": self.pc,
+            "halted": self.halted,
+            "instruction_count": self.instruction_count,
+            "regs": list(self.regs),
+            "memory": list(self.memory),
+        }
+
+    @classmethod
+    def restore(cls, program: Program, snap: Dict[str, object]) -> "MachineState":
+        """Rebuild a state captured by :meth:`snapshot` against ``program``."""
+        state = cls.__new__(cls)
+        state.program = program
+        state.regs = list(snap["regs"])
+        state.memory = list(snap["memory"])
+        if len(state.regs) != NUM_REGS:
+            raise ExecutionError(
+                f"snapshot has {len(state.regs)} registers, need {NUM_REGS}")
+        state.pc = snap["pc"]
+        state.halted = snap["halted"]
+        state.instruction_count = snap["instruction_count"]
+        return state
 
 
 def _branch_taken(opcode: Opcode, a: float, b: float) -> bool:
@@ -191,15 +242,18 @@ def step_instruction(state: MachineState, inst: Instruction) -> DynInst:
     return _step(state, inst)
 
 
-def execute(program: Program,
-            max_instructions: Optional[int] = None) -> Iterator[DynInst]:
-    """Yield the dynamic instruction stream of ``program``.
+def execute_from(state: MachineState,
+                 max_instructions: Optional[int] = None) -> Iterator[DynInst]:
+    """Yield the dynamic stream of ``state``'s program, continuing from
+    wherever ``state`` currently stands.
 
-    Stops at the halt instruction (which is yielded) or after
-    ``max_instructions`` dynamic instructions, whichever comes first.
+    ``max_instructions`` is an *absolute* dynamic-instruction index (the
+    same axis as ``state.instruction_count``), so resuming a snapshot taken
+    at index K with ``max_instructions=N`` yields exactly the instructions
+    an uninterrupted ``execute(program, max_instructions=N)`` would have
+    yielded from index K on.  ``state`` is mutated in place.
     """
-    state = MachineState(program)
-    code = program.instructions
+    code = state.program.instructions
     limit = max_instructions if max_instructions is not None else float("inf")
     while not state.halted and state.instruction_count < limit:
         if not 0 <= state.pc < len(code):
@@ -207,14 +261,20 @@ def execute(program: Program,
         yield _step(state, code[state.pc])
 
 
+def execute(program: Program,
+            max_instructions: Optional[int] = None) -> Iterator[DynInst]:
+    """Yield the dynamic instruction stream of ``program``.
+
+    Stops at the halt instruction (which is yielded) or after
+    ``max_instructions`` dynamic instructions, whichever comes first.
+    """
+    return execute_from(MachineState(program), max_instructions)
+
+
 def run_functional(program: Program,
                    max_instructions: Optional[int] = None) -> MachineState:
     """Execute to completion and return the final architectural state."""
     state = MachineState(program)
-    code = program.instructions
-    limit = max_instructions if max_instructions is not None else float("inf")
-    while not state.halted and state.instruction_count < limit:
-        if not 0 <= state.pc < len(code):
-            raise ExecutionError(f"pc {state.pc} fell off the program")
-        _step(state, code[state.pc])
+    for _ in execute_from(state, max_instructions):
+        pass
     return state

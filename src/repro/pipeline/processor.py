@@ -8,6 +8,8 @@ issue time, so wakeups become visible at the top of the completion cycle.
 
 from __future__ import annotations
 
+import time
+from dataclasses import dataclass
 from typing import Callable, Dict, Iterator, List, Optional
 
 from repro.common.errors import ConfigurationError, DeadlockError
@@ -45,6 +47,21 @@ def build_iq(params: ProcessorParams, stats: StatGroup) -> InstructionQueue:
         from repro.core.fifo_iq import DependenceFIFOQueue
         return DependenceFIFOQueue(iq_params, params.issue_width, stats)
     raise ConfigurationError(f"unknown IQ kind {iq_params.kind!r}")
+
+
+@dataclass(frozen=True)
+class ProgressTick:
+    """One heartbeat from a long :meth:`Processor.run`."""
+
+    cycle: int
+    committed: int
+    elapsed_seconds: float
+    kcycles_per_sec: float
+
+
+#: Cycles between wall-clock checks on the progress path (keeps the
+#: heartbeat overhead out of the per-cycle hot loop).
+_PROGRESS_STRIDE = 4096
 
 
 class Processor:
@@ -136,17 +153,68 @@ class Processor:
                                    line):
                 self.memory.l2.warm_line(byte_addr)
 
+    def load_warm_state(self, warm: Dict[str, dict]) -> None:
+        """Install microarchitectural state from an architectural checkpoint.
+
+        ``warm`` is the checkpoint's warm-state dict (see
+        :mod:`repro.sampling.checkpoint`): branch predictor + BTB tables
+        under ``"frontend"``, per-level cache tags under ``"caches"``.
+        Must be called before the first :meth:`step`.
+        """
+        if self.cycle:
+            raise ConfigurationError(
+                "warm state must be installed before simulation starts")
+        if "frontend" in warm:
+            self.frontend.load_warm_state(warm["frontend"])
+        if "caches" in warm:
+            self.memory.load_tag_state(warm["caches"])
+
     # --------------------------------------------------------------- run --
     @property
     def done(self) -> bool:
         return (self._halt_committed
                 or (self.frontend.drained and len(self.rob) == 0))
 
-    def run(self, max_cycles: Optional[int] = None) -> StatGroup:
-        """Simulate until the program halts (or ``max_cycles`` elapse)."""
+    def run(self, max_cycles: Optional[int] = None, *,
+            max_committed: Optional[int] = None,
+            progress: Optional[Callable[[ProgressTick], None]] = None,
+            progress_interval: float = 5.0) -> StatGroup:
+        """Simulate until the program halts (or a budget is exhausted).
+
+        ``max_cycles`` bounds simulated cycles; ``max_committed`` stops the
+        simulation at the end of the first cycle in which the cumulative
+        commit count reaches it (the sampling subsystem uses this to end
+        warmup and measurement phases on instruction boundaries).  Both
+        budgets are cumulative across repeated ``run`` calls, so a run can
+        be resumed by calling ``run`` again with a larger budget.
+
+        ``progress``, if given, is called with a :class:`ProgressTick`
+        roughly every ``progress_interval`` wall-clock seconds — the
+        heartbeat behind the CLI's ``--progress N``.
+        """
         limit = max_cycles if max_cycles is not None else 1 << 62
-        while not self.done and self.cycle < limit:
-            self.step()
+        commit_limit = max_committed if max_committed is not None else 1 << 62
+        if progress is None:
+            while (not self.done and self.cycle < limit
+                   and self.committed < commit_limit):
+                self.step()
+        else:
+            start = last = time.monotonic()
+            last_cycle = self.cycle
+            next_check = self.cycle + _PROGRESS_STRIDE
+            while (not self.done and self.cycle < limit
+                   and self.committed < commit_limit):
+                self.step()
+                if self.cycle >= next_check:
+                    next_check = self.cycle + _PROGRESS_STRIDE
+                    now = time.monotonic()
+                    if now - last >= progress_interval:
+                        rate = (self.cycle - last_cycle) / (now - last) / 1e3
+                        progress(ProgressTick(
+                            cycle=self.cycle, committed=self.committed,
+                            elapsed_seconds=now - start,
+                            kcycles_per_sec=rate))
+                        last, last_cycle = now, self.cycle
         self.stat_committed.value = self.committed
         return self.stats
 

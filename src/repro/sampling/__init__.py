@@ -1,0 +1,20 @@
+"""Sampled simulation: checkpoints, functional fast-forward, interval
+sampling with confidence intervals.  See docs/sampling.md."""
+
+from repro.sampling.checkpoint import (Checkpoint, CheckpointStore,
+                                       checkpoint_key)
+from repro.sampling.sampler import (FunctionalProfile, SampleReport,
+                                    SamplingConfig, WindowResult,
+                                    WindowSpec, build_checkpoints,
+                                    compare_with_full, plan_windows,
+                                    run_window, sample_workload,
+                                    stitch_windows)
+from repro.sampling.warming import BranchWarmer, TagArray, WarmingHierarchy
+
+__all__ = [
+    "BranchWarmer", "Checkpoint", "CheckpointStore", "FunctionalProfile",
+    "SampleReport", "SamplingConfig", "TagArray", "WarmingHierarchy",
+    "WindowResult", "WindowSpec", "build_checkpoints", "checkpoint_key",
+    "compare_with_full", "plan_windows", "run_window", "sample_workload",
+    "stitch_windows",
+]

@@ -1,0 +1,180 @@
+"""Architectural checkpoints: compact, content-addressed, on-disk.
+
+A :class:`Checkpoint` captures everything a detailed measurement window
+needs to start from realistic state:
+
+* the **architectural** state (registers, memory, pc, dynamic-instruction
+  index) via :meth:`repro.isa.executor.MachineState.snapshot`, and
+* the **warm microarchitectural** state produced by functional warming —
+  branch predictor + BTB tables and per-level cache tags — in exactly the
+  plain-data shapes ``FrontEnd.load_warm_state`` and
+  ``MemoryHierarchy.load_tag_state`` accept.
+
+Checkpoints serialize to canonical JSON (sorted keys, no whitespace), so
+the same execution point always produces byte-identical artifacts — the
+property the save→restore→resume tests pin down.  The on-disk
+:class:`CheckpointStore` follows :mod:`repro.harness.cache`'s
+content-hash scheme: entries are keyed by a SHA-256 over the workload
+identity, the warm-state-relevant parameters, the window plan, and the
+simulator source-version token, so any code change invalidates every
+stored checkpoint.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.common.params import ProcessorParams
+from repro.harness.cache import default_cache_dir, source_version_token
+
+#: Bump when the checkpoint layout changes; part of every key.
+CHECKPOINT_SCHEMA = 2
+
+
+@dataclass
+class Checkpoint:
+    """One resumable execution point (plain data, pickle/JSON-safe)."""
+
+    #: Dynamic-instruction index the checkpoint was taken at (the next
+    #: instruction to execute has this sequence number).
+    instruction_index: int
+    #: ``MachineState.snapshot()`` payload.
+    arch: Dict[str, object]
+    #: Warm microarchitectural state: ``{"frontend": {...}, "caches": {...}}``.
+    warm: Dict[str, dict]
+
+    def to_dict(self) -> dict:
+        return {"instruction_index": self.instruction_index,
+                "arch": self.arch, "warm": self.warm}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Checkpoint":
+        return cls(instruction_index=raw["instruction_index"],
+                   arch=raw["arch"], warm=raw["warm"])
+
+    def to_json(self) -> str:
+        """Canonical (byte-stable) JSON encoding."""
+        return json.dumps(self.to_dict(), sort_keys=True,
+                          separators=(",", ":"))
+
+    @classmethod
+    def from_json(cls, text: str) -> "Checkpoint":
+        return cls.from_dict(json.loads(text))
+
+
+def checkpoint_key(workload: str, params: ProcessorParams, *,
+                   scale: int = 1,
+                   max_instructions: Optional[int] = None,
+                   window_plan: Optional[List[int]] = None,
+                   warm_code: bool = True,
+                   token: Optional[str] = None) -> str:
+    """Content-hash key for one workload's checkpoint set.
+
+    The full parameter tree is hashed (not just the warm-state-relevant
+    subset): hashing more than necessary can only cause spurious misses,
+    never a stale hit.
+    """
+    payload = json.dumps({
+        "schema": CHECKPOINT_SCHEMA,
+        "token": token if token is not None else source_version_token(),
+        "workload": workload,
+        "scale": scale,
+        "max_instructions": max_instructions,
+        "window_plan": window_plan,
+        "warm_code": warm_code,
+        "params": dataclasses.asdict(params),
+    }, sort_keys=True, default=str, separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+class CheckpointStore:
+    """Persistent checkpoint-set store under the repro cache directory.
+
+    One entry holds the whole checkpoint list for a (workload, params,
+    window-plan) triple — checkpoints for one sampled run are always
+    created and consumed together.  Corrupt entries are discarded and
+    recomputed; the store never makes a run fail.
+    """
+
+    def __init__(self, directory: Optional[os.PathLike] = None, *,
+                 enabled: bool = True,
+                 token: Optional[str] = None) -> None:
+        self.directory = (Path(directory) if directory is not None
+                          else default_cache_dir() / "checkpoints")
+        self.enabled = enabled
+        self.token = token
+        self.hits = 0
+        self.misses = 0
+
+    def key_for(self, workload: str, params: ProcessorParams,
+                **kwargs) -> str:
+        return checkpoint_key(workload, params, token=self.token, **kwargs)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"ckpt-{key}.json"
+
+    def get(self, key: str):
+        """``(checkpoints, profile_dict_or_None)``, or None on miss.
+
+        Corrupt or old-schema entries are discarded and count as misses.
+        """
+        if not self.enabled:
+            return None
+        path = self._path(key)
+        try:
+            raw = json.loads(path.read_text())
+            if raw["schema"] != CHECKPOINT_SCHEMA:
+                raise ValueError(f"schema {raw['schema']}")
+            checkpoints = [Checkpoint.from_dict(entry)
+                           for entry in raw["checkpoints"]]
+            profile = raw.get("profile")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, ValueError, KeyError, TypeError):
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return checkpoints, profile
+
+    def put(self, key: str, checkpoints: List[Checkpoint],
+            profile: Optional[dict] = None) -> None:
+        """Store a checkpoint list (atomic write, like ResultCache).
+
+        ``profile`` is the sampled run's functional profile
+        (:meth:`repro.sampling.sampler.FunctionalProfile.to_dict`) — it
+        is produced by the same pass, so it is cached alongside.
+        """
+        if not self.enabled:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": CHECKPOINT_SCHEMA,
+                   "checkpoints": [c.to_dict() for c in checkpoints],
+                   "profile": profile}
+        fd, tmp = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, sort_keys=True,
+                          separators=(",", ":"))
+            os.replace(tmp, self._path(key))
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    def __repr__(self) -> str:
+        state = "on" if self.enabled else "off"
+        return (f"CheckpointStore({self.directory}, {state}, "
+                f"hits={self.hits}, misses={self.misses})")

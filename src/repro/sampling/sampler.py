@@ -1,0 +1,741 @@
+"""SMARTS-style systematic interval sampling over the detailed simulator.
+
+A sampled run replaces one long cycle-accurate simulation with N short
+detailed *windows* spread periodically over the dynamic instruction
+stream:
+
+1. one functional pass counts the stream and drops an architectural
+   checkpoint (plus functionally-warmed caches / branch predictor — see
+   :mod:`repro.sampling.warming`) at the start of each window;
+2. each window restores its checkpoint, runs ``warmup`` instructions of
+   detailed simulation to fill the pipeline, then measures ``measure``
+   instructions with window-scoped statistics;
+3. the per-window measurements are stitched into a whole-run IPC
+   estimate with a standard error and confidence interval, per the
+   SMARTS methodology (Wunderlich et al.): systematic sampling of a long
+   quasi-periodic stream behaves like random sampling, so the CLT
+   applies.  On top of the plain ratio estimate, the warming pass's
+   functional event counts (mispredicts, cache misses) act as control
+   variates: a regression of window cycles on those counts predicts the
+   whole run's cycles from the stream totals, removing most of the
+   window-to-window CPI variance (see :func:`stitch_windows`).
+
+Windows are independent :class:`WindowSpec` cells and fan out over the
+existing :class:`~repro.harness.parallel.ParallelExecutor` — one long
+workload parallelizes *within* itself, which full-detail runs never
+could.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import statistics
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from repro.common.errors import ConfigurationError
+from repro.common.params import ProcessorParams
+from repro.common.stats import StatGroup
+from repro.harness.parallel import ParallelExecutor, raise_on_errors
+from repro.harness.runner import RunResult, resolve_workload, run_workload
+from repro.isa.executor import MachineState, execute_from, run_functional
+from repro.pipeline.processor import Processor
+from repro.sampling.checkpoint import Checkpoint, CheckpointStore
+from repro.sampling.warming import BranchWarmer, WarmingHierarchy
+from repro.workloads.kernels import WorkloadSpec
+
+#: Two-sided normal critical values for the supported confidence levels.
+_Z_VALUES = {0.90: 1.645, 0.95: 1.960, 0.99: 2.576}
+
+
+@dataclass(frozen=True)
+class SamplingConfig:
+    """Knobs for one sampled run (see docs/sampling.md for guidance)."""
+
+    #: Number of periodic measurement windows.
+    num_windows: int = 10
+    #: Detailed instructions simulated before measurement starts in each
+    #: window (fills the pipeline; caches/predictors are already warm).
+    warmup_instructions: int = 200
+    #: Instructions measured per window.
+    measure_instructions: int = 500
+    #: Per-window cycle budget (safety net, not normally reached).
+    max_window_cycles: int = 2_000_000
+    #: Confidence level for the reported interval.
+    confidence: float = 0.95
+    #: Seed for the per-window placement jitter (see :func:`plan_windows`).
+    seed: int = 0
+
+    def validate(self) -> None:
+        if self.num_windows < 1:
+            raise ConfigurationError("num_windows must be >= 1")
+        if self.warmup_instructions < 0:
+            raise ConfigurationError("warmup_instructions must be >= 0")
+        if self.measure_instructions < 1:
+            raise ConfigurationError("measure_instructions must be >= 1")
+        if self.confidence not in _Z_VALUES:
+            raise ConfigurationError(
+                f"confidence must be one of {sorted(_Z_VALUES)}")
+
+    @property
+    def window_span(self) -> int:
+        return self.warmup_instructions + self.measure_instructions
+
+
+def plan_windows(total_instructions: int, config: SamplingConfig) -> List[int]:
+    """Window-start instruction indices: systematic random sampling.
+
+    One window per stride, placed at a deterministic pseudo-random offset
+    *within* its stride.  Plain periodic placement aliases badly against
+    loopy programs — if the stride is near a multiple of a kernel's outer
+    loop period, every window lands in the same phase and the estimate is
+    biased with a confidence interval that never covers the truth.  The
+    jitter (seeded, so plans are reproducible and cacheable) breaks that
+    correlation while keeping one window per region of the stream.
+
+    Raises :class:`ConfigurationError` when the stream is too short for
+    the requested plan — sampling a stream you could simulate in full is
+    a configuration mistake, not something to paper over.
+    """
+    config.validate()
+    if total_instructions < 1:
+        raise ConfigurationError("empty dynamic stream")
+    stride = total_instructions // config.num_windows
+    span = config.window_span
+    if stride < span:
+        raise ConfigurationError(
+            f"stream of {total_instructions} instructions cannot fit "
+            f"{config.num_windows} non-overlapping windows of "
+            f"{span} instructions (stride {stride}); "
+            f"reduce --windows/--warmup/--measure or run full detail")
+    rng = random.Random(config.seed)
+    return [index * stride + rng.randrange(stride - span + 1)
+            for index in range(config.num_windows)]
+
+
+# ---------------------------------------------------------- checkpointing --
+#: Feature names recorded by the functional profile, in column order.
+FEATURE_NAMES = ("instructions", "mispredicts", "l1d_misses", "l2_misses",
+                 "l1i_misses")
+
+
+@dataclass
+class FunctionalProfile:
+    """Per-window and whole-run functional event counts.
+
+    Collected for free during the warming pass (which walks every dynamic
+    instruction anyway).  ``windows[i]`` counts events inside window
+    *i*'s measured range; ``totals`` counts them over the entire stream.
+    These are the covariates for the regression estimator in
+    :func:`stitch_windows`.
+    """
+
+    windows: List[Dict[str, int]] = field(default_factory=list)
+    totals: Dict[str, int] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {"windows": self.windows, "totals": self.totals}
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FunctionalProfile":
+        return cls(windows=list(raw["windows"]), totals=dict(raw["totals"]))
+
+
+class _FeatureCounter:
+    """Tracks cumulative functional events; yields deltas over ranges."""
+
+    def __init__(self, warming: WarmingHierarchy,
+                 branches: BranchWarmer) -> None:
+        self._warming = warming
+        self._branches = branches
+        self._mark: Dict[str, int] = {}
+
+    def _cumulative(self, instructions: int) -> Dict[str, int]:
+        return {"instructions": instructions,
+                "mispredicts": self._branches.mispredicts,
+                "l1d_misses": self._warming.l1d_misses,
+                "l2_misses": self._warming.l2_misses,
+                "l1i_misses": self._warming.l1i_misses}
+
+    def mark(self, instructions: int) -> None:
+        self._mark = self._cumulative(instructions)
+
+    def delta(self, instructions: int) -> Dict[str, int]:
+        now = self._cumulative(instructions)
+        return {name: now[name] - self._mark.get(name, 0)
+                for name in FEATURE_NAMES}
+
+
+def build_checkpoints(program, params: ProcessorParams,
+                      starts: Sequence[int], *,
+                      total_instructions: Optional[int] = None,
+                      feature_ranges: Optional[Sequence[tuple]] = None,
+                      warm_code: bool = True,
+                      warm_data: bool = False):
+    """One functional pass: warm caches/predictors, checkpoint at ``starts``.
+
+    Each checkpoint captures the architectural state *before* the
+    instruction at its start index executes, plus warm state reflecting
+    every instruction before it.  ``warm_code``/``warm_data`` mirror the
+    detailed runner's pre-warming so window state matches what a full
+    detailed run would have seen.
+
+    ``feature_ranges`` is an optional sorted list of non-overlapping
+    ``(begin, end)`` instruction ranges (the measured parts of the
+    windows); when given, the pass also records functional event counts
+    per range and over the whole stream, and the walk continues to the
+    end of the stream even after the last checkpoint.
+
+    Returns ``(checkpoints, profile)``; ``profile`` is None when no
+    ``feature_ranges`` were requested.
+    """
+    warming = WarmingHierarchy(params.memory)
+    if warm_code:
+        warming.warm_code(program)
+    if warm_data:
+        warming.warm_data(program)
+    branches = BranchWarmer(params)
+    state = MachineState(program)
+    targets = deque(sorted(set(starts)))
+    checkpoints: List[Checkpoint] = []
+    counter = _FeatureCounter(warming, branches)
+    ranges = deque(sorted(feature_ranges)) if feature_ranges else deque()
+    profile = FunctionalProfile() if feature_ranges else None
+    in_range = False
+
+    def snapshot_due() -> None:
+        while targets and state.instruction_count == targets[0]:
+            targets.popleft()
+            checkpoints.append(Checkpoint(
+                instruction_index=state.instruction_count,
+                arch=state.snapshot(),
+                warm={"frontend": branches.state(),
+                      "caches": warming.state()}))
+
+    def ranges_due() -> None:
+        nonlocal in_range
+        index = state.instruction_count
+        if in_range and index >= ranges[0][1]:
+            profile.windows.append(counter.delta(index))
+            ranges.popleft()
+            in_range = False
+        if not in_range and ranges and index >= ranges[0][0]:
+            counter.mark(index)
+            in_range = True
+
+    snapshot_due()
+    if ranges:
+        ranges_due()
+    for dyn in execute_from(state, max_instructions=total_instructions):
+        warming.inst_fetch(dyn.pc)
+        static = dyn.static
+        if static.is_mem:
+            warming.data_access(dyn.mem_addr, static.is_store)
+        branches.observe(dyn)
+        if targets:
+            snapshot_due()
+        if ranges:
+            ranges_due()
+        elif not targets and profile is None:
+            break
+    if targets:
+        raise ConfigurationError(
+            f"stream ended at instruction {state.instruction_count} before "
+            f"checkpoint target(s) {list(targets)}")
+    if profile is not None:
+        if in_range:                      # stream ended inside a range
+            profile.windows.append(counter.delta(state.instruction_count))
+            ranges.popleft()
+        counter._mark = {}
+        profile.totals = counter.delta(state.instruction_count)
+    return checkpoints, profile
+
+
+# ------------------------------------------------------------- one window --
+@dataclass(frozen=True)
+class WindowSpec:
+    """One detailed measurement window: picklable worker payload."""
+
+    workload: str
+    params: ProcessorParams
+    checkpoint: dict                  # Checkpoint.to_dict()
+    warmup: int
+    measure: int
+    index: int
+    scale: int = 1
+    #: Absolute cap on the dynamic stream (the sampled run's instruction
+    #: budget), so the last window cannot run past the full run's end.
+    stream_limit: Optional[int] = None
+    max_cycles: int = 2_000_000
+
+
+@dataclass
+class WindowResult:
+    """What one detailed window measured."""
+
+    index: int
+    start_instruction: int
+    warmup_committed: int
+    warmup_cycles: int
+    measured_instructions: int
+    measured_cycles: int
+    #: Window-scoped stats snapshot (see StatGroup.snapshot).
+    stats: Dict[str, Dict] = field(default_factory=dict, repr=False)
+
+    @property
+    def cpi(self) -> float:
+        return (self.measured_cycles / self.measured_instructions
+                if self.measured_instructions else 0.0)
+
+    @property
+    def ipc(self) -> float:
+        return (self.measured_instructions / self.measured_cycles
+                if self.measured_cycles else 0.0)
+
+    @property
+    def detailed_cycles(self) -> int:
+        return self.warmup_cycles + self.measured_cycles
+
+    @property
+    def detailed_instructions(self) -> int:
+        return self.warmup_committed + self.measured_instructions
+
+
+def run_window(spec: WindowSpec) -> WindowResult:
+    """Restore the checkpoint, simulate warmup + measurement in detail."""
+    workload = resolve_workload(spec.workload)
+    program = workload.build(spec.scale)
+    checkpoint = Checkpoint.from_dict(spec.checkpoint)
+    state = MachineState.restore(program, checkpoint.arch)
+    start = checkpoint.instruction_index
+    window_end = start + spec.warmup + spec.measure
+    if spec.stream_limit is not None:
+        window_end = min(window_end, spec.stream_limit)
+    stream = execute_from(state, max_instructions=window_end)
+
+    processor = Processor(spec.params, stream)
+    processor.load_warm_state(checkpoint.warm)
+
+    # Warmup: fill the pipeline in detail, then scope the stats to the
+    # measurement phase.  Committed counts below are window-relative.
+    warmup_target = min(spec.warmup, max(0, window_end - start))
+    processor.run(max_cycles=spec.max_cycles, max_committed=warmup_target)
+    warmup_committed = processor.committed
+    warmup_cycles = processor.cycle
+    processor.stats.reset()
+
+    processor.run(max_cycles=spec.max_cycles,
+                  max_committed=warmup_committed + spec.measure)
+    measured = processor.committed - warmup_committed
+    measured_cycles = processor.cycle - warmup_cycles
+    snap = processor.stats.snapshot()
+    # run() writes the cumulative commit count into the counter; re-scope
+    # it (and cycles, which reset() already scoped) to the window.
+    snap["counters"]["committed"] = measured
+    return WindowResult(
+        index=spec.index,
+        start_instruction=start,
+        warmup_committed=warmup_committed,
+        warmup_cycles=warmup_cycles,
+        measured_instructions=measured,
+        measured_cycles=measured_cycles,
+        stats=snap)
+
+
+# --------------------------------------------------------------- stitching --
+#: Features used as regressors (subset of FEATURE_NAMES): per-window
+#: instruction count (the per-instruction base cost), branch mispredicts,
+#: and L1D/L2 miss counts — the events that dominate CPI variation.
+_REGRESSORS = ("instructions", "mispredicts", "l1d_misses", "l2_misses")
+#: Ridge regularization strength (applied after column scaling).
+_RIDGE_LAMBDA = 1e-3
+#: The regression estimate is clamped to within this relative distance of
+#: the plain ratio estimate — insurance against a degenerate fit.
+_REGRESSION_GUARD = 0.25
+
+
+def _solve_linear(matrix: List[List[float]],
+                  rhs: List[float]) -> Optional[List[float]]:
+    """Gaussian elimination with partial pivoting; None when singular."""
+    size = len(rhs)
+    rows = [row[:] + [value] for row, value in zip(matrix, rhs)]
+    for col in range(size):
+        pivot = max(range(col, size), key=lambda r: abs(rows[r][col]))
+        if abs(rows[pivot][col]) < 1e-12:
+            return None
+        rows[col], rows[pivot] = rows[pivot], rows[col]
+        for row in range(col + 1, size):
+            factor = rows[row][col] / rows[col][col]
+            for k in range(col, size + 1):
+                rows[row][k] -= factor * rows[col][k]
+    solution = [0.0] * size
+    for col in range(size - 1, -1, -1):
+        residual = rows[col][size] - sum(
+            rows[col][k] * solution[k] for k in range(col + 1, size))
+        solution[col] = residual / rows[col][col]
+    return solution
+
+
+def _fit_cycles(features: List[Dict[str, int]],
+                cycles: List[int],
+                totals: Dict[str, int]):
+    """Ridge-regularized fit of window cycles on functional features.
+
+    Returns ``(predicted_total_cycles, residual_std)`` or None when the
+    system is under-determined.  The model is linear through the origin
+    (the per-window instruction count serves as the intercept): window
+    cycles ~ beta . (instructions, mispredicts, l1d_misses, l2_misses).
+    Fitting on *functional* counts and predicting from *functional*
+    totals makes any functional-vs-detailed bias cancel to first order.
+    """
+    n, k = len(cycles), len(_REGRESSORS)
+    if n < k + 2:
+        return None
+    design = [[float(row[name]) for name in _REGRESSORS]
+              for row in features]
+    scale = [max(1e-9, sum(row[j] for row in design) / n)
+             for j in range(k)]
+    scaled = [[row[j] / scale[j] for j in range(k)] for row in design]
+    gram = [[sum(a[i] * a[j] for a in scaled)
+             + (_RIDGE_LAMBDA * n if i == j else 0.0)
+             for j in range(k)] for i in range(k)]
+    moment = [sum(a[i] * y for a, y in zip(scaled, cycles))
+              for i in range(k)]
+    beta = _solve_linear(gram, moment)
+    if beta is None:
+        return None
+    predicted_total = sum(beta[j] * totals[_REGRESSORS[j]] / scale[j]
+                          for j in range(k))
+    residuals = [y - sum(beta[j] * a[j] for j in range(k))
+                 for a, y in zip(scaled, cycles)]
+    residual_std = math.sqrt(sum(r * r for r in residuals) / max(1, n - k))
+    return predicted_total, residual_std
+
+
+@dataclass
+class SampleReport:
+    """A sampled run's whole-run estimate plus its evidence."""
+
+    workload: str
+    config: str
+    sampling: SamplingConfig
+    total_instructions: int
+    windows: List[WindowResult]
+    dropped_windows: int
+    ipc_estimate: float
+    cpi_mean: float
+    cpi_stderr: float
+    ipc_ci_low: float
+    ipc_ci_high: float
+    confidence: float
+    detailed_instructions: int
+    detailed_cycles: int
+    #: Which estimator produced ``ipc_estimate``: "regression" when the
+    #: functional-profile control variates were usable, "ratio" otherwise.
+    estimator: str = "ratio"
+    #: Merged measurement-window stats (StatGroup.as_dict form).
+    stats: Dict[str, float] = field(default_factory=dict, repr=False)
+
+    @property
+    def detail_fraction(self) -> float:
+        return (self.detailed_instructions / self.total_instructions
+                if self.total_instructions else 0.0)
+
+    @property
+    def estimated_cycles(self) -> int:
+        return (int(round(self.total_instructions / self.ipc_estimate))
+                if self.ipc_estimate else 0)
+
+    def to_run_result(self) -> RunResult:
+        """Adapter so sweeps/experiments can consume sampled runs."""
+        stats = dict(self.stats)
+        stats.update({
+            "sampling.windows": len(self.windows),
+            "sampling.dropped_windows": self.dropped_windows,
+            "sampling.detail_fraction": self.detail_fraction,
+            "sampling.detailed_cycles": self.detailed_cycles,
+            "sampling.cpi_stderr": self.cpi_stderr,
+            "sampling.ipc_ci_low": self.ipc_ci_low,
+            "sampling.ipc_ci_high": self.ipc_ci_high,
+            "sampling.regression": 1.0 if self.estimator == "regression"
+                                   else 0.0,
+        })
+        return RunResult(workload=self.workload, config=self.config,
+                         ipc=self.ipc_estimate,
+                         cycles=self.estimated_cycles,
+                         instructions=self.total_instructions,
+                         stats=stats)
+
+    def to_dict(self) -> dict:
+        """JSON-artifact form (the CLI's ``--json`` and the CI smoke job)."""
+        return {
+            "workload": self.workload,
+            "config": self.config,
+            "num_windows": len(self.windows),
+            "dropped_windows": self.dropped_windows,
+            "warmup_instructions": self.sampling.warmup_instructions,
+            "measure_instructions": self.sampling.measure_instructions,
+            "total_instructions": self.total_instructions,
+            "detailed_instructions": self.detailed_instructions,
+            "detailed_cycles": self.detailed_cycles,
+            "detail_fraction": round(self.detail_fraction, 6),
+            "ipc_estimate": self.ipc_estimate,
+            "estimator": self.estimator,
+            "cpi_mean": self.cpi_mean,
+            "cpi_stderr": self.cpi_stderr,
+            "confidence": self.confidence,
+            "ipc_ci_low": self.ipc_ci_low,
+            "ipc_ci_high": self.ipc_ci_high,
+            "windows": [{
+                "index": w.index,
+                "start_instruction": w.start_instruction,
+                "measured_instructions": w.measured_instructions,
+                "measured_cycles": w.measured_cycles,
+                "ipc": round(w.ipc, 6),
+            } for w in self.windows],
+        }
+
+    def summary(self) -> str:
+        pct = 100 * self.detail_fraction
+        return (f"{self.workload}/{self.config}: "
+                f"IPC={self.ipc_estimate:.3f} "
+                f"[{self.ipc_ci_low:.3f}, {self.ipc_ci_high:.3f}] "
+                f"@{100 * self.confidence:.0f}% "
+                f"({len(self.windows)} windows, {pct:.1f}% detailed)")
+
+
+def stitch_windows(windows: Sequence[WindowResult],
+                   sampling: SamplingConfig, *,
+                   workload: str, config: str,
+                   total_instructions: int,
+                   profile: Optional[FunctionalProfile] = None
+                   ) -> SampleReport:
+    """Combine window measurements into the whole-run estimate.
+
+    Two estimators, best-available wins:
+
+    * **ratio** (always computed): instruction-weighted
+      ``sum(measured) / sum(measured_cycles)``, the plain SMARTS
+      estimate.  Its error is set by the raw window-to-window CPI
+      variance, which for branchy integer codes is large even at
+      thousand-instruction granularity.
+    * **regression** (when a :class:`FunctionalProfile` is available):
+      fit window cycles on functional event counts (mispredicts, cache
+      misses — the things that *cause* CPI variation), then predict the
+      whole run's cycles from the profile's stream totals.  Only the
+      *residual* variance survives, typically cutting the error by
+      several fold at the same detail budget.  A degenerate fit falls
+      back to (or is clamped near) the ratio estimate.
+
+    The confidence interval always describes the estimator actually
+    used.
+    """
+    valid = [w for w in windows if w.measured_instructions > 0]
+    dropped = len(windows) - len(valid)
+    if not valid:
+        raise ConfigurationError("no window measured any instructions")
+    measured = sum(w.measured_instructions for w in valid)
+    measured_cycles = sum(w.measured_cycles for w in valid)
+    # Instruction-weighted ratio estimate: robust to a short tail window.
+    ipc_estimate = measured / measured_cycles if measured_cycles else 0.0
+    cpis = [w.cpi for w in valid]
+    cpi_mean = statistics.fmean(cpis)
+    cpi_stderr = (statistics.stdev(cpis) / math.sqrt(len(cpis))
+                  if len(cpis) > 1 else 0.0)
+    z = _Z_VALUES[sampling.confidence]
+    cpi_low = cpi_mean - z * cpi_stderr
+    cpi_high = cpi_mean + z * cpi_stderr
+    ipc_ci_low = 1.0 / cpi_high if cpi_high > 0 else 0.0
+    ipc_ci_high = 1.0 / cpi_low if cpi_low > 0 else math.inf
+    estimator = "ratio"
+
+    fit = None
+    if profile is not None and profile.totals and ipc_estimate:
+        rows = [profile.windows[w.index] for w in valid
+                if w.index < len(profile.windows)]
+        if len(rows) == len(valid):
+            fit = _fit_cycles(rows, [w.measured_cycles for w in valid],
+                              profile.totals)
+    if fit is not None:
+        predicted_cycles, residual_std = fit
+        ratio_cycles = measured_cycles / measured * total_instructions
+        low_guard = ratio_cycles * (1.0 - _REGRESSION_GUARD)
+        high_guard = ratio_cycles * (1.0 + _REGRESSION_GUARD)
+        predicted_cycles = min(max(predicted_cycles, low_guard), high_guard)
+        n = len(valid)
+        mean_measured = measured / n
+        blocks = total_instructions / mean_measured
+        fpc = math.sqrt(max(0.0, 1.0 - n / blocks))
+        cycles_stderr = blocks * residual_std / math.sqrt(n) * fpc
+        ipc_estimate = total_instructions / predicted_cycles
+        high_cycles = predicted_cycles + z * cycles_stderr
+        low_cycles = predicted_cycles - z * cycles_stderr
+        ipc_ci_low = (total_instructions / high_cycles
+                      if high_cycles > 0 else 0.0)
+        ipc_ci_high = (total_instructions / low_cycles
+                       if low_cycles > 0 else math.inf)
+        estimator = "regression"
+
+    merged = StatGroup("sampled")
+    for window in valid:
+        merged.merge_snapshot(window.stats)
+    return SampleReport(
+        workload=workload, config=config, sampling=sampling,
+        total_instructions=total_instructions,
+        windows=list(windows), dropped_windows=dropped,
+        ipc_estimate=ipc_estimate,
+        cpi_mean=cpi_mean, cpi_stderr=cpi_stderr,
+        ipc_ci_low=ipc_ci_low, ipc_ci_high=ipc_ci_high,
+        confidence=sampling.confidence,
+        detailed_instructions=sum(w.detailed_instructions for w in valid),
+        detailed_cycles=sum(w.detailed_cycles for w in valid),
+        estimator=estimator,
+        stats=merged.as_dict())
+
+
+# ---------------------------------------------------------------- top level --
+def sample_workload(workload: Union[str, WorkloadSpec],
+                    params: ProcessorParams,
+                    sampling: Optional[SamplingConfig] = None, *,
+                    config_label: str = "",
+                    scale: int = 1,
+                    max_instructions: Optional[int] = None,
+                    warm_code: bool = True,
+                    jobs: int = 1,
+                    store: Optional[CheckpointStore] = None,
+                    progress: Optional[Callable[[str], None]] = None
+                    ) -> SampleReport:
+    """Estimate a workload's IPC under ``params`` by interval sampling.
+
+    ``jobs`` fans the detailed windows out over a process pool — the
+    within-run parallelism full-detail simulation cannot have.  ``store``
+    is an optional :class:`CheckpointStore`; on a hit the functional
+    warming pass is skipped entirely.
+    """
+    sampling = sampling if sampling is not None else SamplingConfig()
+    sampling.validate()
+    spec = resolve_workload(workload)
+    program = spec.build(scale)
+    budget = (max_instructions if max_instructions is not None
+              else spec.default_instructions * scale)
+
+    if progress is not None:
+        progress(f"functional pass ({spec.name})")
+    total = run_functional(program, max_instructions=budget).instruction_count
+    starts = plan_windows(total, sampling)
+    ranges = [(start + sampling.warmup_instructions,
+               min(start + sampling.window_span, total))
+              for start in starts]
+
+    checkpoints = profile = None
+    key = None
+    if store is not None:
+        key = store.key_for(spec.name, params, scale=scale,
+                            max_instructions=budget, window_plan=starts,
+                            warm_code=warm_code)
+        cached = store.get(key)
+        if cached is not None:
+            checkpoints, raw_profile = cached
+            profile = (FunctionalProfile.from_dict(raw_profile)
+                       if raw_profile else None)
+    if checkpoints is None:
+        if progress is not None:
+            progress(f"warming pass ({len(starts)} checkpoints)")
+        checkpoints, profile = build_checkpoints(
+            program, params, starts, total_instructions=total,
+            feature_ranges=ranges,
+            warm_code=warm_code, warm_data=spec.warm_data)
+        if store is not None and key is not None:
+            store.put(key, checkpoints,
+                      profile.to_dict() if profile is not None else None)
+
+    label = config_label or params.iq.kind
+    window_specs = [
+        WindowSpec(workload=spec.name, params=params,
+                   checkpoint=checkpoint.to_dict(),
+                   warmup=sampling.warmup_instructions,
+                   measure=sampling.measure_instructions,
+                   index=index, scale=scale, stream_limit=total,
+                   max_cycles=sampling.max_window_cycles)
+        for index, checkpoint in enumerate(checkpoints)]
+    if progress is not None:
+        progress(f"{len(window_specs)} detailed windows (jobs={jobs})")
+    executor = ParallelExecutor(jobs)
+    outputs = executor.map(run_window, window_specs,
+                           labels=[f"{spec.name}/{label}#w{w.index}"
+                                   for w in window_specs])
+    raise_on_errors(outputs, "sampling window")
+    return stitch_windows(outputs, sampling, workload=spec.name,
+                          config=label, total_instructions=total,
+                          profile=profile)
+
+
+@dataclass(frozen=True)
+class SampledRunSpec:
+    """One sampled simulation cell: picklable payload for grid fan-out."""
+
+    workload: str
+    params: ProcessorParams
+    config_label: str = ""
+    sampling: Optional[SamplingConfig] = None
+    scale: int = 1
+    max_instructions: Optional[int] = None
+
+
+def run_sampled_cell(spec: SampledRunSpec) -> RunResult:
+    """Module-level worker: sampled run -> RunResult (for sweeps/grids).
+
+    Window fan-out stays serial inside the worker (``jobs=1``) — the
+    grid is already parallel at the cell level.
+    """
+    report = sample_workload(spec.workload, spec.params, spec.sampling,
+                             config_label=spec.config_label,
+                             scale=spec.scale,
+                             max_instructions=spec.max_instructions,
+                             jobs=1)
+    return report.to_run_result()
+
+
+def compare_with_full(workload: Union[str, WorkloadSpec],
+                      params: ProcessorParams,
+                      sampling: Optional[SamplingConfig] = None, *,
+                      config_label: str = "",
+                      scale: int = 1,
+                      max_instructions: Optional[int] = None,
+                      jobs: int = 1,
+                      store: Optional[CheckpointStore] = None,
+                      progress: Optional[Callable[[str], None]] = None
+                      ) -> Dict[str, float]:
+    """Run sampled and full-detail side by side; report the error.
+
+    The validation hook behind ``repro sample --compare-full`` and the
+    accuracy tests: ``ipc_error`` is the signed relative error of the
+    sampled estimate, ``detail_cycle_ratio`` is how many times fewer
+    detailed cycles the sampled run executed.
+    """
+    report = sample_workload(workload, params, sampling,
+                             config_label=config_label, scale=scale,
+                             max_instructions=max_instructions, jobs=jobs,
+                             store=store, progress=progress)
+    if progress is not None:
+        progress("full-detail reference run")
+    full = run_workload(workload, params, config_label=config_label,
+                        scale=scale, max_instructions=max_instructions)
+    error = ((report.ipc_estimate - full.ipc) / full.ipc
+             if full.ipc else 0.0)
+    return {
+        "workload": report.workload,
+        "config": report.config,
+        "sampled_ipc": report.ipc_estimate,
+        "full_ipc": full.ipc,
+        "ipc_error": error,
+        "ipc_ci_low": report.ipc_ci_low,
+        "ipc_ci_high": report.ipc_ci_high,
+        "full_cycles": full.cycles,
+        "detailed_cycles": report.detailed_cycles,
+        "detail_cycle_ratio": (full.cycles / report.detailed_cycles
+                               if report.detailed_cycles else 0.0),
+        "detail_fraction": report.detail_fraction,
+    }

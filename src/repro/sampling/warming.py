@@ -1,0 +1,178 @@
+"""Functional warming models for the sampling subsystem.
+
+Between detailed measurement windows the program advances at functional
+speed, but long-lived microarchitectural state — cache tags and branch
+predictor tables — must keep learning, or every window would start cold
+and under-report IPC (the classic sampling pitfall SMARTS names "cold
+state").  This module warms that state *functionally*: no timing, no
+MSHRs, no bandwidth, just the reference-stream updates.
+
+Two fidelity notes:
+
+* **Caches** are warmed by a tag/LRU-only model (:class:`TagArray`) whose
+  geometry, replacement, and dirty handling mirror
+  :class:`repro.memory.cache.Cache` exactly; its :meth:`TagArray.state`
+  output loads directly into a detailed cache via ``load_tag_state``.
+  Timing-dependent contents (lines brought in by overlapping misses in a
+  different order) can differ slightly from a detailed run — that residual
+  is part of the sampling error the confidence interval reports.
+* **Branch predictors** are warmed with the *real*
+  :class:`~repro.frontend.branch_predictor.HybridBranchPredictor` and
+  :class:`~repro.frontend.btb.BranchTargetBuffer` classes, replaying the
+  exact update sequence ``FrontEnd._predict`` performs (the front end is
+  trace-driven off the correct path, so its predictor state is a pure
+  function of the instruction stream — functional warming is *exact* for
+  it).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.common.params import MemoryParams, ProcessorParams
+from repro.common.stats import StatGroup
+from repro.frontend.branch_predictor import HybridBranchPredictor
+from repro.frontend.btb import BranchTargetBuffer
+from repro.frontend.fetch import INST_BYTES
+from repro.isa.instruction import DynInst
+from repro.isa.opcodes import OpClass
+
+
+class TagArray:
+    """Tag/LRU/dirty-only cache model for functional warming.
+
+    Mirrors the residency behaviour of :class:`repro.memory.cache.Cache`:
+    same set indexing, MRU-first LRU order, allocate-on-miss with the miss
+    access's write-ness as the initial dirty bit, LRU eviction.
+    """
+
+    def __init__(self, params) -> None:
+        self.params = params
+        self._num_sets = params.num_sets
+        self._assoc = params.assoc
+        self._line_shift = params.line_bytes.bit_length() - 1
+        # Per set: [line_addr, dirty] entries, most-recently-used first.
+        self._sets: List[List[List]] = [[] for _ in range(self._num_sets)]
+
+    def line_addr(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def access(self, addr: int, is_write: bool = False) -> bool:
+        """Touch ``addr``; returns True on a hit, allocating on a miss."""
+        line = self.line_addr(addr)
+        cache_set = self._sets[line % self._num_sets]
+        for position, entry in enumerate(cache_set):
+            if entry[0] == line:
+                if position:
+                    cache_set.pop(position)
+                    cache_set.insert(0, entry)
+                if is_write:
+                    entry[1] = True
+                return True
+        if len(cache_set) >= self._assoc:
+            cache_set.pop()
+        cache_set.insert(0, [line, is_write])
+        return False
+
+    def warm_line(self, addr: int, dirty: bool = False) -> None:
+        """Pre-install a line without counting it as a reference
+        (mirrors :meth:`repro.memory.cache.Cache.warm_line`)."""
+        line = self.line_addr(addr)
+        cache_set = self._sets[line % self._num_sets]
+        if any(entry[0] == line for entry in cache_set):
+            return
+        if len(cache_set) >= self._assoc:
+            cache_set.pop()
+        cache_set.insert(0, [line, dirty])
+
+    def state(self) -> List[List[List]]:
+        """Plain-data tag state, loadable via ``Cache.load_tag_state``."""
+        return [[list(entry) for entry in cache_set]
+                for cache_set in self._sets]
+
+
+class WarmingHierarchy:
+    """Functional L1I/L1D/L2 tag hierarchy driven by the dynamic stream.
+
+    Cumulative miss counters (``l1i_misses``/``l1d_misses``/``l2_misses``)
+    double as sampling *features*: the warming pass sees every instruction,
+    so per-region functional miss counts are free covariates for the
+    regression estimator in :mod:`repro.sampling.sampler`.
+    """
+
+    def __init__(self, params: MemoryParams) -> None:
+        self.l1i = TagArray(params.l1i)
+        self.l1d = TagArray(params.l1d)
+        self.l2 = TagArray(params.l2)
+        self.l1i_misses = 0
+        self.l1d_misses = 0
+        self.l2_misses = 0
+
+    def warm_code(self, program) -> None:
+        """Mirror :meth:`repro.pipeline.processor.Processor.warm_code`."""
+        line = self.l1i.params.line_bytes
+        for byte_addr in range(0, len(program) * INST_BYTES, line):
+            self.l1i.warm_line(byte_addr)
+            self.l2.warm_line(byte_addr)
+
+    def warm_data(self, program) -> None:
+        """Mirror :meth:`repro.pipeline.processor.Processor.warm_data`."""
+        line = self.l2.params.line_bytes
+        for segment in program.segments.values():
+            for byte_addr in range(segment.base, segment.base + segment.bytes,
+                                   line):
+                self.l2.warm_line(byte_addr)
+
+    def inst_fetch(self, pc: int) -> None:
+        if not self.l1i.access(pc * INST_BYTES):
+            self.l1i_misses += 1
+            if not self.l2.access(pc * INST_BYTES):
+                self.l2_misses += 1
+
+    def data_access(self, addr: int, is_write: bool) -> None:
+        # Writebacks of dirty victims do not allocate in the L2 (matching
+        # the detailed model), so only the demand miss goes down a level.
+        if not self.l1d.access(addr, is_write):
+            self.l1d_misses += 1
+            if not self.l2.access(addr, is_write):
+                self.l2_misses += 1
+
+    def state(self) -> dict:
+        return {"l1i": self.l1i.state(), "l1d": self.l1d.state(),
+                "l2": self.l2.state()}
+
+
+class BranchWarmer:
+    """Replays ``FrontEnd._predict``'s exact predictor/BTB update sequence.
+
+    The BTB's LRU order depends on *lookup* order too, so lookups are
+    reproduced even though their results are discarded.
+    """
+
+    def __init__(self, params: ProcessorParams) -> None:
+        self._scratch = StatGroup("warming")
+        self.bpred = HybridBranchPredictor(params.branch, self._scratch)
+        self.btb = BranchTargetBuffer(params.branch, self._scratch)
+        self.branches = 0
+        self.mispredicts = 0
+
+    def observe(self, dyn: DynInst) -> None:
+        static = dyn.static
+        if static.info.op_class is OpClass.JUMP:
+            self.btb.lookup(dyn.pc)
+            self.btb.insert(dyn.pc)
+            return
+        if not static.is_branch:
+            return
+        self.branches += 1
+        correct = self.bpred.update(dyn.pc, dyn.taken)
+        if not correct:
+            self.mispredicts += 1
+        if dyn.taken:
+            if correct:
+                self.btb.lookup(dyn.pc)
+            self.btb.insert(dyn.pc)
+
+    def state(self) -> dict:
+        return {"bpred": self.bpred.state_dict(),
+                "btb": self.btb.state_dict()}

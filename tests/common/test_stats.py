@@ -107,6 +107,47 @@ class TestStatGroup:
         assert "100" in text
 
 
+class TestSnapshotMerge:
+    """Window-scoped stat stitching for the sampling subsystem."""
+
+    def _window(self, commits, occ_samples):
+        group = StatGroup("window")
+        group.counter("commits").inc(commits)
+        for value in occ_samples:
+            group.distribution("iq.occ").sample(value)
+        return group
+
+    def test_snapshot_is_plain_data(self):
+        snap = self._window(5, [1, 3]).snapshot()
+        assert snap["counters"] == {"commits": 5}
+        assert snap["distributions"]["iq.occ"] == [2, 4, 1, 3]
+
+    def test_merge_equals_concatenation(self):
+        """Merging N window snapshots == stats of the concatenated stream."""
+        windows = [(3, [1, 5]), (7, [2]), (4, [9, 0, 3])]
+        merged = StatGroup("merged")
+        for commits, samples in windows:
+            merged.merge_snapshot(self._window(commits, samples).snapshot())
+        direct = self._window(sum(c for c, _ in windows),
+                              [v for _, samples in windows for v in samples])
+        assert merged.as_dict() == direct.as_dict()
+
+    def test_merge_into_empty_preserves_extrema(self):
+        group = StatGroup()
+        group.merge_snapshot(self._window(1, [4, 8]).snapshot())
+        dist = dict((name, d) for name, d in
+                    ((d.name, d) for d in group.distributions()))["iq.occ"]
+        assert dist.minimum == 4
+        assert dist.maximum == 8
+
+    def test_empty_distribution_round_trips(self):
+        group = StatGroup()
+        group.distribution("never.sampled")
+        clone = StatGroup()
+        clone.merge_snapshot(group.snapshot())
+        assert clone.as_dict() == group.as_dict()
+
+
 class TestRatio:
     def test_normal(self):
         assert ratio(1, 2) == 0.5

@@ -17,28 +17,43 @@ class TestBench:
         assert path.name.startswith("BENCH_")
         on_disk = json.loads(path.read_text())
         for key in ("schema", "date", "machine", "serial",
-                    "serial_geomean", "sweep"):
+                    "serial_geomean", "sweep", "sampling"):
             assert key in on_disk
+        assert on_disk["schema"] == 2
         assert on_disk["machine"]["cpu_count"] >= 1
         for row in on_disk["serial"].values():
             assert row["kcycles_per_sec"] > 0
             assert row["seconds"] > 0
+            assert row["energy_per_instruction"] > 0
+            assert isinstance(row["energy"], dict) and row["energy"]
+            assert all(value >= 0 for value in row["energy"].values())
         sweep = on_disk["sweep"]
         assert sweep["cells"] == len(sweep["workloads"]) * \
             len(sweep["configs"])
         assert sweep["serial_seconds"] > 0
         assert sweep["cache_hits"] == sweep["cells"]
         assert 0 < sweep["cached_fraction_of_cold"]
+        sampling = on_disk["sampling"]
+        assert sampling["sampled_seconds"] > 0
+        assert sampling["full_seconds"] > 0
+        assert sampling["detail_cycle_ratio"] > 1
+        assert sampling["sampled_ipc"] > 0
+        assert sampling["full_ipc"] > 0
 
     def test_render_summary(self, tmp_path):
         _, data = _tiny_bench(tmp_path)
         text = render_summary(data)
         assert "serial throughput" in text
         assert "cached" in text
+        assert "sampling" in text
 
-    def test_compare_reports_speedups(self, tmp_path):
+    def test_compare_reports_speedups_and_epi(self, tmp_path):
         path, data = _tiny_bench(tmp_path)
-        speedups = compare_with(str(path), data["serial"])
-        assert set(speedups) == set(data["serial"])
-        for value in speedups.values():
+        diff = compare_with(str(path), data["serial"])
+        assert set(diff) == {"kcycles_speedup", "epi_ratio"}
+        assert set(diff["kcycles_speedup"]) == set(data["serial"])
+        assert set(diff["epi_ratio"]) == set(data["serial"])
+        for value in diff["kcycles_speedup"].values():
             assert value == 1.0     # compared against itself
+        for value in diff["epi_ratio"].values():
+            assert value == 1.0

@@ -69,6 +69,22 @@ class TestMap:
         monkeypatch.setenv("REPRO_JOBS", "0")
         assert default_jobs() == 1
 
+    def test_serial_progress_callback(self):
+        seen = []
+        executor = ParallelExecutor(1,
+                                    progress=lambda done, total:
+                                    seen.append((done, total)))
+        executor.map(_square, [1, 2, 3])
+        assert seen == [(1, 3), (2, 3), (3, 3)]
+
+    def test_pooled_progress_callback(self):
+        seen = []
+        executor = ParallelExecutor(2,
+                                    progress=lambda done, total:
+                                    seen.append((done, total)))
+        executor.map(_square, [1, 2, 3, 4])
+        assert sorted(seen) == [(1, 4), (2, 4), (3, 4), (4, 4)]
+
     def test_raise_on_errors_summarizes(self):
         cells = [1, CellError("a/b", "ValueError: nope"), 3]
         with pytest.raises(RuntimeError, match="1 of 3 sweep cells"):

@@ -83,3 +83,38 @@ class TestSweep:
         assert small_grid.value("twolf", best) == max(
             small_grid.value("twolf", label)
             for label in small_grid.config_labels)
+
+
+class TestSampledSweep:
+    def _sweep(self):
+        sweep = Sweep(workloads=["twolf"])
+        sweep.add_config("ideal-64", configs.ideal(64))
+        sweep.add_config("seg-128",
+                         configs.segmented(128, 32, "comb"))
+        return sweep
+
+    def test_sampled_cells_carry_ci_stats(self):
+        from repro.sampling import SamplingConfig
+        sampling = SamplingConfig(num_windows=4, warmup_instructions=200,
+                                  measure_instructions=300)
+        grid = self._sweep().run(sampling=sampling, sampling_scale=2)
+        for label in ("ideal-64", "seg-128"):
+            result = grid.results["twolf"][label]
+            assert result.ipc > 0
+            assert result.stats["sampling.windows"] == 4
+            assert result.stats["sampling.ipc_ci_low"] <= result.ipc \
+                <= result.stats["sampling.ipc_ci_high"]
+            assert 0 < result.stats["sampling.detail_fraction"] < 1
+
+    def test_sampled_sweep_deterministic_across_jobs(self):
+        import dataclasses
+
+        from repro.sampling import SamplingConfig
+        sampling = SamplingConfig(num_windows=4, warmup_instructions=200,
+                                  measure_instructions=300)
+        serial = self._sweep().run(sampling=sampling, sampling_scale=2)
+        fanned = self._sweep().run(sampling=sampling, sampling_scale=2,
+                                   jobs=2)
+        for label in serial.config_labels:
+            assert dataclasses.asdict(serial.results["twolf"][label]) == \
+                dataclasses.asdict(fanned.results["twolf"][label])

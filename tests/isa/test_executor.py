@@ -1,11 +1,14 @@
 """Tests for the functional simulator."""
 
+import json
+
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.common.errors import ExecutionError
 from repro.isa import F, ProgramBuilder, R, execute, run_functional
+from repro.isa.executor import MachineState, execute_from
 
 
 def build_and_run(build_fn, **kwargs):
@@ -51,6 +54,29 @@ class TestIntegerOps:
         assert state.regs[R(5)] == 0b0110
         assert state.regs[R(6)] == 0b110000
         assert state.regs[R(7)] == 0b11
+
+    def test_shift_amounts_masked_to_6_bits(self):
+        """Shift amounts wrap mod 64 (register and immediate forms), so a
+        huge shift count cannot blow up memory."""
+        def body(b):
+            b.li(R(1), 1)
+            b.li(R(2), 64)                 # 64 & 63 == 0
+            b.li(R(3), 66)                 # 66 & 63 == 2
+            b.sll(R(4), R(1), R(2))
+            b.sll(R(5), R(1), R(3))
+            b.slli(R(6), R(1), 64)
+            b.slli(R(7), R(1), 67)         # 67 & 63 == 3
+            b.li(R(8), 32)
+            b.srl(R(9), R(8), R(2))        # shift by 0
+            b.srli(R(10), R(8), 65)        # shift by 1
+            b.halt()
+        state = build_and_run(body)
+        assert state.regs[R(4)] == 1
+        assert state.regs[R(5)] == 4
+        assert state.regs[R(6)] == 1
+        assert state.regs[R(7)] == 8
+        assert state.regs[R(9)] == 32
+        assert state.regs[R(10)] == 16
 
     def test_slt_and_slti(self):
         def body(b):
@@ -215,6 +241,99 @@ class TestControlFlow:
         state = run_functional(b.build(), max_instructions=101)
         assert state.instruction_count == 101
         assert not state.halted
+
+
+class TestTypeStability:
+    """Regression tests for the type-stable numeric representation
+    (executor module docstring): int-ness/float-ness of every register
+    and memory cell is deterministic, which byte-stable checkpoint
+    serialization depends on."""
+
+    def test_r0_write_suppressed_even_for_float_results(self):
+        def body(b):
+            b.li(R(1), 3)
+            b.cvtif(F(0), R(1))
+            b.fadd(R(0), F(0), F(0))     # writes to r0: suppressed
+            b.addi(R(0), R(1), 9)
+            b.halt()
+        state = build_and_run(body)
+        assert state.regs[0] == 0
+        assert type(state.regs[0]) is int
+
+    def test_int_ops_write_int_fp_ops_write_float(self):
+        def body(b):
+            seg = b.alloc("a", 4, init=[2.5])
+            b.li(R(1), 7)
+            b.addi(R(2), R(1), 1)
+            b.cvtif(F(0), R(1))
+            b.cvtfi(R(3), F(0))
+            b.fld(F(1), R(0), 0, base=seg)
+            b.fst(F(1), R(0), 8, base=seg)
+            b.halt()
+        state = build_and_run(body)
+        assert type(state.regs[R(2)]) is int
+        assert type(state.regs[F(0)]) is float
+        assert type(state.regs[R(3)]) is int
+        word = seg_word = None
+        for word_index, value in enumerate(state.memory):
+            if value == 2.5:
+                seg_word = word_index
+                break
+        assert seg_word is not None
+        assert type(state.memory[seg_word]) is float
+        assert type(state.memory[seg_word + 1]) is float  # the fst copy
+
+    def test_snapshot_is_byte_stable_across_runs(self):
+        def run_once():
+            b = ProgramBuilder("t")
+            seg = b.alloc("a", 4, init=[1.5, 2])
+            b.li(R(1), 5)
+            b.cvtif(F(0), R(1))
+            b.fst(F(0), R(0), 16, base=seg)
+            b.halt()
+            return run_functional(b.build()).snapshot()
+        first, second = run_once(), run_once()
+        assert json.dumps(first, sort_keys=True) == \
+            json.dumps(second, sort_keys=True)
+
+
+class TestSnapshotResume:
+    """The executor contract the sampling subsystem builds on: snapshot
+    mid-stream, restore, and the resumed stream is indistinguishable from
+    never having stopped."""
+
+    def _loop_program(self):
+        b = ProgramBuilder("t")
+        seg = b.alloc("a", 8)
+        b.li(R(1), 0)
+        b.li(R(2), 40)
+        b.label("loop")
+        b.andi(R(3), R(1), 7)
+        b.slli(R(4), R(3), 3)
+        b.st(R(1), R(4), base=seg)
+        b.addi(R(1), R(1), 1)
+        b.blt(R(1), R(2), "loop")
+        b.halt()
+        return b.build()
+
+    def test_resumed_stream_matches_uninterrupted(self):
+        program = self._loop_program()
+        full = [(d.seq, d.pc, d.next_pc, d.taken, d.mem_addr)
+                for d in execute(program)]
+        state = MachineState(program)
+        head = [(d.seq, d.pc, d.next_pc, d.taken, d.mem_addr)
+                for d in execute_from(state, max_instructions=100)]
+        resumed = MachineState.restore(program, state.snapshot())
+        tail = [(d.seq, d.pc, d.next_pc, d.taken, d.mem_addr)
+                for d in execute_from(resumed)]
+        assert head + tail == full
+
+    def test_restore_rejects_wrong_register_count(self):
+        program = self._loop_program()
+        snap = MachineState(program).snapshot()
+        snap["regs"] = snap["regs"][:-1]
+        with pytest.raises(ExecutionError, match="registers"):
+            MachineState.restore(program, snap)
 
 
 class TestDynamicStream:

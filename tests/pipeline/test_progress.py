@@ -1,0 +1,51 @@
+"""Tests for the Processor.run progress heartbeat (--progress N)."""
+
+from repro.harness import configs
+from repro.isa import execute
+from repro.pipeline import Processor
+from repro.pipeline.processor import ProgressTick
+from repro.workloads import WORKLOADS
+
+
+def _processor():
+    program = WORKLOADS["twolf"].build(1)
+    params = configs.segmented(64, 16, "comb", segment_size=16)
+    processor = Processor(params, execute(program, max_instructions=13_000))
+    processor.warm_code(program)
+    return processor
+
+
+class TestProgressHeartbeat:
+    def test_callback_receives_monotonic_ticks(self):
+        ticks = []
+        processor = _processor()
+        processor.run(max_cycles=5_000_000, progress=ticks.append,
+                      progress_interval=0.0)
+        assert ticks, "run crossed the stride but no tick fired"
+        for tick in ticks:
+            assert isinstance(tick, ProgressTick)
+            assert 0 < tick.cycle <= processor.cycle
+            assert 0 <= tick.committed <= processor.committed
+            assert tick.elapsed_seconds >= 0.0
+            assert tick.kcycles_per_sec >= 0.0
+        cycles = [tick.cycle for tick in ticks]
+        assert cycles == sorted(cycles)
+
+    def test_no_callback_is_the_default_and_result_identical(self):
+        """The progress path must not perturb simulation results."""
+        silent = _processor()
+        silent.run(max_cycles=5_000_000)
+        noisy = _processor()
+        noisy.run(max_cycles=5_000_000, progress=lambda tick: None,
+                  progress_interval=0.0)
+        assert noisy.cycle == silent.cycle
+        assert noisy.committed == silent.committed
+        assert noisy.stats.as_dict() == silent.stats.as_dict()
+
+    def test_interval_throttles_ticks(self):
+        """A huge interval means the wall-clock check never fires."""
+        ticks = []
+        processor = _processor()
+        processor.run(max_cycles=5_000_000, progress=ticks.append,
+                      progress_interval=3600.0)
+        assert ticks == []

@@ -1,0 +1,107 @@
+"""Tests for architectural checkpoints and the on-disk store."""
+
+import json
+
+from repro.harness import configs
+from repro.sampling import (Checkpoint, CheckpointStore, build_checkpoints,
+                            checkpoint_key)
+from repro.workloads import WORKLOADS
+
+
+def _params():
+    return configs.segmented(64, 16, "comb", segment_size=16)
+
+
+def _build(starts=(100, 400), program=None):
+    program = program or WORKLOADS["twolf"].build(1)
+    checkpoints, _ = build_checkpoints(program, _params(), starts)
+    return checkpoints
+
+
+class TestCheckpoint:
+    def test_json_round_trip(self):
+        checkpoint = _build()[0]
+        clone = Checkpoint.from_json(checkpoint.to_json())
+        assert clone.to_dict() == checkpoint.to_dict()
+
+    def test_byte_stable_encoding(self):
+        """Two warming passes over the same stream encode identically —
+        the property content-hash storage relies on."""
+        first, second = _build(), _build()
+        assert [c.to_json() for c in first] == [c.to_json() for c in second]
+
+    def test_checkpoint_captures_start_index(self):
+        checkpoints = _build(starts=(100, 400))
+        assert [c.instruction_index for c in checkpoints] == [100, 400]
+        for checkpoint in checkpoints:
+            assert checkpoint.arch["instruction_count"] == \
+                checkpoint.instruction_index
+            assert set(checkpoint.warm) == {"frontend", "caches"}
+
+    def test_json_is_canonical(self):
+        text = _build()[0].to_json()
+        assert text == json.dumps(json.loads(text), sort_keys=True,
+                                  separators=(",", ":"))
+
+
+class TestCheckpointKey:
+    def test_stable_for_identical_inputs(self):
+        a = checkpoint_key("twolf", _params(), scale=2, window_plan=[1, 2],
+                           token="t")
+        b = checkpoint_key("twolf", _params(), scale=2, window_plan=[1, 2],
+                           token="t")
+        assert a == b
+
+    def test_sensitive_to_every_input(self):
+        base = dict(scale=2, window_plan=[1, 2], token="t")
+        reference = checkpoint_key("twolf", _params(), **base)
+        assert checkpoint_key("swim", _params(), **base) != reference
+        assert checkpoint_key("twolf", configs.ideal(64), **base) != reference
+        assert checkpoint_key("twolf", _params(), scale=3,
+                              window_plan=[1, 2], token="t") != reference
+        assert checkpoint_key("twolf", _params(), scale=2,
+                              window_plan=[1, 3], token="t") != reference
+        assert checkpoint_key("twolf", _params(), scale=2,
+                              window_plan=[1, 2], token="u") != reference
+
+
+class TestCheckpointStore:
+    def test_put_get_round_trip(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        checkpoints = _build()
+        profile = {"windows": [{"instructions": 10}], "totals": {}}
+        store.put("k1", checkpoints, profile)
+        cached = store.get("k1")
+        assert cached is not None
+        restored, cached_profile = cached
+        assert [c.to_dict() for c in restored] == \
+            [c.to_dict() for c in checkpoints]
+        assert cached_profile == profile
+        assert store.hits == 1 and store.misses == 0
+
+    def test_miss_on_unknown_key(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        assert store.get("nope") is None
+        assert store.misses == 1
+
+    def test_corrupt_entry_discarded(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.put("k1", _build())
+        path = store._path("k1")
+        path.write_text("{ not json")
+        assert store.get("k1") is None
+        assert not path.exists()
+
+    def test_old_schema_discarded(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store._path("k1").parent.mkdir(parents=True, exist_ok=True)
+        store._path("k1").write_text(
+            json.dumps({"schema": 1, "checkpoints": []}))
+        assert store.get("k1") is None
+        assert not store._path("k1").exists()
+
+    def test_disabled_store_is_inert(self, tmp_path):
+        store = CheckpointStore(tmp_path, enabled=False)
+        store.put("k1", _build())
+        assert store.get("k1") is None
+        assert list(tmp_path.iterdir()) == []

@@ -1,0 +1,105 @@
+"""Save -> restore -> resume must be bit-identical to an uninterrupted run.
+
+Three layers of the acceptance criterion:
+
+* **architectural**: a functional execution snapshotted at instruction K
+  and resumed produces exactly the stream tail and final state of an
+  uninterrupted execution;
+* **detailed**: the same window simulated twice from one checkpoint
+  produces bit-identical stats (the sampler's determinism);
+* **on-disk**: a sampled run whose checkpoints round-trip through the
+  JSON store reports bit-identically to one that never touched disk.
+"""
+
+import dataclasses
+import json
+
+from repro.harness import configs
+from repro.isa import execute, run_functional
+from repro.isa.executor import MachineState, execute_from
+from repro.sampling import CheckpointStore, SamplingConfig, sample_workload
+from repro.sampling.sampler import WindowSpec, build_checkpoints, run_window
+from repro.workloads import WORKLOADS
+
+
+def _params():
+    return configs.segmented(64, 16, "comb", segment_size=16)
+
+
+def _dyn_fields(dyn):
+    return (dyn.seq, dyn.pc, dyn.next_pc, dyn.taken, dyn.mem_addr,
+            dyn.static.opcode)
+
+
+class TestFunctionalResume:
+    BUDGET = 3_000
+    SPLIT = 1_234
+
+    def test_resumed_stream_matches_uninterrupted_tail(self):
+        program = WORKLOADS["twolf"].build(1)
+        uninterrupted = [_dyn_fields(d) for d in
+                         execute(program, max_instructions=self.BUDGET)]
+
+        state = MachineState(program)
+        head = [_dyn_fields(d) for d in
+                execute_from(state, max_instructions=self.SPLIT)]
+        snap = state.snapshot()
+        resumed = MachineState.restore(program, snap)
+        tail = [_dyn_fields(d) for d in
+                execute_from(resumed, max_instructions=self.BUDGET)]
+        assert head + tail == uninterrupted
+
+    def test_final_state_bit_identical(self):
+        program = WORKLOADS["twolf"].build(1)
+        full = run_functional(program, max_instructions=self.BUDGET)
+
+        state = MachineState(program)
+        for _ in execute_from(state, max_instructions=self.SPLIT):
+            pass
+        snap_text = json.dumps(state.snapshot(), sort_keys=True)
+        resumed = MachineState.restore(program,
+                                       json.loads(snap_text))
+        for _ in execute_from(resumed, max_instructions=self.BUDGET):
+            pass
+        # Byte-level equality of the canonical encodings: values AND
+        # numeric types match (0 vs 0.0 would differ here).
+        assert json.dumps(resumed.snapshot(), sort_keys=True) == \
+            json.dumps(full.snapshot(), sort_keys=True)
+
+
+class TestDetailedWindowDeterminism:
+    def test_same_checkpoint_same_stats(self):
+        program = WORKLOADS["twolf"].build(1)
+        checkpoints, _ = build_checkpoints(program, _params(), [2_000])
+        spec = WindowSpec(workload="twolf", params=_params(),
+                          checkpoint=checkpoints[0].to_dict(),
+                          warmup=200, measure=400, index=0,
+                          stream_limit=13_000)
+        first = run_window(spec)
+        second = run_window(spec)
+        assert dataclasses.asdict(first) == dataclasses.asdict(second)
+        # Commit is up to 8-wide, so warmup can overshoot its target by a
+        # few instructions, which come out of the fixed-length stream.
+        assert 390 <= first.measured_instructions <= 408
+        assert first.start_instruction == 2_000
+
+
+class TestOnDiskRoundTrip:
+    def test_store_round_trip_bit_identical(self, tmp_path):
+        """Uninterrupted (no store), save (cold store), and restore (warm
+        store) all produce the same report, stats included."""
+        sampling = SamplingConfig(num_windows=4, warmup_instructions=200,
+                                  measure_instructions=300)
+        params = _params()
+        uninterrupted = sample_workload("twolf", params, sampling, scale=2)
+        store = CheckpointStore(tmp_path)
+        saved = sample_workload("twolf", params, sampling, scale=2,
+                                store=store)
+        restored = sample_workload("twolf", params, sampling, scale=2,
+                                   store=store)
+        assert store.hits == 1 and store.misses == 1
+        for report in (saved, restored):
+            assert report.to_dict() == uninterrupted.to_dict()
+            assert report.stats == uninterrupted.stats
+            for ours, theirs in zip(report.windows, uninterrupted.windows):
+                assert dataclasses.asdict(ours) == dataclasses.asdict(theirs)

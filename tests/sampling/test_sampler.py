@@ -1,0 +1,255 @@
+"""Unit tests for window planning, estimators, and report stitching."""
+
+import dataclasses
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.harness import configs
+from repro.sampling import (CheckpointStore, FunctionalProfile,
+                            SamplingConfig, WindowResult, build_checkpoints,
+                            plan_windows, sample_workload, stitch_windows)
+from repro.sampling.sampler import _fit_cycles
+from repro.workloads import WORKLOADS
+
+
+def _params():
+    return configs.segmented(64, 16, "comb", segment_size=16)
+
+
+class TestPlanWindows:
+    def test_deterministic_and_in_bounds(self):
+        config = SamplingConfig(num_windows=8, warmup_instructions=100,
+                                measure_instructions=200, seed=3)
+        starts = plan_windows(50_000, config)
+        assert starts == plan_windows(50_000, config)
+        assert len(starts) == 8
+        stride = 50_000 // 8
+        for index, start in enumerate(starts):
+            assert index * stride <= start
+            assert start + config.window_span <= (index + 1) * stride
+
+    def test_windows_never_overlap(self):
+        config = SamplingConfig(num_windows=16, warmup_instructions=50,
+                                measure_instructions=100, seed=7)
+        starts = plan_windows(10_000, config)
+        for earlier, later in zip(starts, starts[1:]):
+            assert later >= earlier + config.window_span
+
+    def test_seed_moves_the_placement(self):
+        a = plan_windows(50_000, SamplingConfig(num_windows=8, seed=0))
+        b = plan_windows(50_000, SamplingConfig(num_windows=8, seed=1))
+        assert a != b
+
+    def test_stream_too_short_raises(self):
+        config = SamplingConfig(num_windows=10, warmup_instructions=100,
+                                measure_instructions=200)
+        with pytest.raises(ConfigurationError, match="cannot fit"):
+            plan_windows(2_000, config)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SamplingConfig(num_windows=0).validate()
+        with pytest.raises(ConfigurationError):
+            SamplingConfig(measure_instructions=0).validate()
+        with pytest.raises(ConfigurationError):
+            SamplingConfig(confidence=0.5).validate()
+
+
+class TestFitCycles:
+    def test_recovers_linear_model(self):
+        # cycles = 2*insts + 30*mispredicts + 100*l1d + 400*l2, exactly.
+        rows = []
+        cycles = []
+        for i in range(8):
+            row = {"instructions": 1000, "mispredicts": 10 + 3 * i,
+                   "l1d_misses": 20 + (i % 4) * 7, "l2_misses": i}
+            rows.append(row)
+            cycles.append(2 * row["instructions"] + 30 * row["mispredicts"]
+                          + 100 * row["l1d_misses"] + 400 * row["l2_misses"])
+        totals = {"instructions": 50_000, "mispredicts": 700,
+                  "l1d_misses": 1_200, "l2_misses": 150}
+        fit = _fit_cycles(rows, cycles, totals)
+        assert fit is not None
+        predicted, residual_std = fit
+        truth = (2 * 50_000 + 30 * 700 + 100 * 1_200 + 400 * 150)
+        # Ridge shrinkage costs a few percent; the plain ratio estimate
+        # (mean window CPI x total instructions) is ~10% off here.
+        ratio = sum(cycles) / (8 * 1000) * 50_000
+        assert predicted == pytest.approx(truth, rel=0.05)
+        assert abs(predicted - truth) < abs(ratio - truth)
+        assert residual_std < 0.05 * (sum(cycles) / len(cycles))
+
+    def test_underdetermined_returns_none(self):
+        rows = [{"instructions": 100, "mispredicts": 1,
+                 "l1d_misses": 2, "l2_misses": 0}] * 4
+        assert _fit_cycles(rows, [200] * 4, rows[0]) is None
+
+
+def _window(index, insts, cycles, start=0):
+    return WindowResult(index=index, start_instruction=start,
+                        warmup_committed=50, warmup_cycles=60,
+                        measured_instructions=insts, measured_cycles=cycles)
+
+
+class TestStitchWindows:
+    def test_ratio_estimate_constant_cpi(self):
+        config = SamplingConfig(num_windows=4, measure_instructions=100)
+        windows = [_window(i, 100, 200) for i in range(4)]
+        report = stitch_windows(windows, config, workload="w", config="c",
+                                total_instructions=10_000)
+        assert report.estimator == "ratio"
+        assert report.ipc_estimate == pytest.approx(0.5)
+        assert report.cpi_stderr == pytest.approx(0.0)
+        assert report.ipc_ci_low == pytest.approx(0.5)
+        assert report.ipc_ci_high == pytest.approx(0.5)
+        assert report.detailed_cycles == 4 * 260
+
+    def test_zero_instruction_windows_dropped(self):
+        config = SamplingConfig(num_windows=3, measure_instructions=100)
+        windows = [_window(0, 100, 150), _window(1, 0, 0),
+                   _window(2, 100, 250)]
+        report = stitch_windows(windows, config, workload="w", config="c",
+                                total_instructions=5_000)
+        assert report.dropped_windows == 1
+        assert report.ipc_estimate == pytest.approx(200 / 400)
+
+    def test_all_windows_empty_raises(self):
+        config = SamplingConfig(num_windows=2)
+        with pytest.raises(ConfigurationError, match="no window"):
+            stitch_windows([_window(0, 0, 0)], config, workload="w",
+                           config="c", total_instructions=100)
+
+    def test_regression_estimator_used_with_profile(self):
+        config = SamplingConfig(num_windows=8, measure_instructions=100)
+        windows = []
+        profile = FunctionalProfile()
+        for i in range(8):
+            mispredicts = 3 * (i % 5)
+            cycles = 2 * 100 + 20 * mispredicts
+            windows.append(_window(i, 100, cycles))
+            profile.windows.append(
+                {"instructions": 100, "mispredicts": mispredicts,
+                 "l1d_misses": 0, "l2_misses": 0, "l1i_misses": 0})
+        profile.totals = {"instructions": 4_000, "mispredicts": 4 * 12,
+                          "l1d_misses": 0, "l2_misses": 0, "l1i_misses": 0}
+        report = stitch_windows(windows, config, workload="w", config="c",
+                                total_instructions=4_000, profile=profile)
+        assert report.estimator == "regression"
+        truth_cycles = 2 * 4_000 + 20 * 48
+        assert report.ipc_estimate == pytest.approx(4_000 / truth_cycles,
+                                                    rel=0.02)
+        assert report.ipc_ci_low <= report.ipc_estimate <= report.ipc_ci_high
+
+    def test_degenerate_profile_falls_back_to_ratio(self):
+        config = SamplingConfig(num_windows=3, measure_instructions=100)
+        windows = [_window(i, 100, 200) for i in range(3)]   # n < k + 2
+        profile = FunctionalProfile(
+            windows=[{"instructions": 100, "mispredicts": 0, "l1d_misses": 0,
+                      "l2_misses": 0, "l1i_misses": 0}] * 3,
+            totals={"instructions": 1_000, "mispredicts": 0,
+                    "l1d_misses": 0, "l2_misses": 0, "l1i_misses": 0})
+        report = stitch_windows(windows, config, workload="w", config="c",
+                                total_instructions=1_000, profile=profile)
+        assert report.estimator == "ratio"
+
+    def test_wild_regression_clamped_near_ratio(self):
+        """A fit extrapolating far from the ratio estimate is clamped to
+        the +/-25% guard band instead of being trusted."""
+        config = SamplingConfig(num_windows=8, measure_instructions=100)
+        windows = [_window(i, 100, 200 + i % 3) for i in range(8)]
+        profile = FunctionalProfile(
+            windows=[{"instructions": 100, "mispredicts": 1 + (i % 3),
+                      "l1d_misses": 0, "l2_misses": 0, "l1i_misses": 0}
+                     for i in range(8)],
+            # Totals wildly inconsistent with the windows: the raw
+            # prediction would be several times the ratio estimate.
+            totals={"instructions": 4_000, "mispredicts": 100_000,
+                    "l1d_misses": 0, "l2_misses": 0, "l1i_misses": 0})
+        report = stitch_windows(windows, config, workload="w", config="c",
+                                total_instructions=4_000, profile=profile)
+        ratio_cycles = 4_000 * (sum(200 + i % 3 for i in range(8)) / 800)
+        assert report.estimator == "regression"
+        assert (4_000 / report.ipc_estimate) <= ratio_cycles * 1.2501
+
+    def test_run_result_adapter_carries_sampling_stats(self):
+        config = SamplingConfig(num_windows=4, measure_instructions=100)
+        report = stitch_windows([_window(i, 100, 200) for i in range(4)],
+                                config, workload="w", config="c",
+                                total_instructions=10_000)
+        result = report.to_run_result()
+        assert result.ipc == report.ipc_estimate
+        assert result.instructions == 10_000
+        for key in ("sampling.windows", "sampling.detail_fraction",
+                    "sampling.ipc_ci_low", "sampling.ipc_ci_high",
+                    "sampling.cpi_stderr", "sampling.regression"):
+            assert key in result.stats
+
+    def test_to_dict_has_ci_fields(self):
+        config = SamplingConfig(num_windows=4, measure_instructions=100)
+        report = stitch_windows([_window(i, 100, 200) for i in range(4)],
+                                config, workload="w", config="c",
+                                total_instructions=10_000)
+        data = report.to_dict()
+        for key in ("ipc_estimate", "ipc_ci_low", "ipc_ci_high",
+                    "confidence", "cpi_stderr", "estimator", "windows"):
+            assert key in data
+
+
+class TestFunctionalProfile:
+    def test_build_checkpoints_profiles_requested_ranges(self):
+        program = WORKLOADS["twolf"].build(1)
+        ranges = [(200, 400), (1_000, 1_200)]
+        checkpoints, profile = build_checkpoints(
+            program, _params(), [100, 900], total_instructions=2_000,
+            feature_ranges=ranges)
+        assert len(checkpoints) == 2
+        assert profile is not None
+        assert len(profile.windows) == 2
+        for row in profile.windows:
+            assert row["instructions"] == 200
+        assert profile.totals["instructions"] == 2_000
+        # Totals dominate any window slice.
+        for name in ("mispredicts", "l1d_misses", "l2_misses"):
+            assert profile.totals[name] >= max(row[name]
+                                               for row in profile.windows)
+
+    def test_round_trip(self):
+        profile = FunctionalProfile(windows=[{"instructions": 5}],
+                                    totals={"instructions": 50})
+        clone = FunctionalProfile.from_dict(profile.to_dict())
+        assert clone.windows == profile.windows
+        assert clone.totals == profile.totals
+
+
+class TestSampleWorkload:
+    def test_report_shape_and_determinism(self):
+        sampling = SamplingConfig(num_windows=4, warmup_instructions=200,
+                                  measure_instructions=300)
+        a = sample_workload("twolf", _params(), sampling, scale=2)
+        b = sample_workload("twolf", _params(), sampling, scale=2)
+        assert a.to_dict() == b.to_dict()
+        assert len(a.windows) == 4
+        assert a.estimator == "ratio" or a.estimator == "regression"
+        assert 0 < a.detail_fraction < 0.5
+        assert a.ipc_ci_low <= a.ipc_estimate <= a.ipc_ci_high
+
+    def test_parallel_windows_match_serial(self):
+        sampling = SamplingConfig(num_windows=4, warmup_instructions=200,
+                                  measure_instructions=300)
+        serial = sample_workload("gcc", _params(), sampling, scale=2)
+        fanned = sample_workload("gcc", _params(), sampling, scale=2, jobs=2)
+        assert serial.to_dict() == fanned.to_dict()
+        assert serial.stats == fanned.stats
+
+    def test_checkpoint_store_hit_skips_warming(self, tmp_path):
+        sampling = SamplingConfig(num_windows=4, warmup_instructions=200,
+                                  measure_instructions=300)
+        store = CheckpointStore(tmp_path)
+        first = sample_workload("twolf", _params(), sampling, scale=2,
+                                store=store)
+        assert store.hits == 0 and store.misses == 1
+        second = sample_workload("twolf", _params(), sampling, scale=2,
+                                 store=store)
+        assert store.hits == 1
+        assert first.to_dict() == second.to_dict()

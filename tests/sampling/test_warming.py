@@ -1,0 +1,94 @@
+"""Tests for functional warming: tag arrays, hierarchy, branch warmer."""
+
+from repro.common.params import ProcessorParams
+from repro.harness import configs
+from repro.isa import ProgramBuilder, R, execute
+from repro.pipeline import Processor
+from repro.sampling import BranchWarmer, TagArray, WarmingHierarchy
+
+
+def _l1d_params():
+    return ProcessorParams().memory.l1d
+
+
+def _loop_stream(iterations=50):
+    b = ProgramBuilder("loop")
+    b.li(R(1), 0)
+    b.li(R(2), iterations)
+    b.label("loop")
+    b.addi(R(1), R(1), 1)
+    b.blt(R(1), R(2), "loop")
+    b.halt()
+    return list(execute(b.build()))
+
+
+class TestTagArray:
+    def test_miss_then_hit(self):
+        tags = TagArray(_l1d_params())
+        assert tags.access(0) is False
+        assert tags.access(0) is True
+        assert tags.access(8) is True      # same line
+
+    def test_lru_eviction(self):
+        params = _l1d_params()
+        tags = TagArray(params)
+        way_stride = params.num_sets * params.line_bytes
+        addrs = [way * way_stride for way in range(params.assoc + 1)]
+        for addr in addrs:                   # same set, distinct lines
+            assert tags.access(addr) is False
+        # The set overflowed by one: the oldest line was evicted ...
+        assert tags.access(addrs[0]) is False
+        # ... but the most recently used survivors are still resident.
+        assert tags.access(addrs[-1]) is True
+
+    def test_warm_line_preinstalls(self):
+        tags = TagArray(_l1d_params())
+        tags.warm_line(64)
+        assert tags.access(64) is True
+
+
+class TestWarmingHierarchy:
+    def test_miss_counters_accumulate(self):
+        warming = WarmingHierarchy(ProcessorParams().memory)
+        warming.data_access(0, False)
+        assert warming.l1d_misses == 1
+        assert warming.l2_misses == 1
+        warming.data_access(0, False)          # now resident everywhere
+        assert warming.l1d_misses == 1
+        assert warming.l2_misses == 1
+        warming.inst_fetch(4096)
+        assert warming.l1i_misses == 1
+
+    def test_warm_state_loads_into_detailed_hierarchy(self):
+        """Warming-produced tag state installs into the detailed caches and
+        reproduces residency exactly (the checkpoint restore path)."""
+        params = configs.segmented(64, 16, "comb", segment_size=16)
+        warming = WarmingHierarchy(params.memory)
+        for addr in (0, 64, 128, 4096, 64):
+            warming.data_access(addr, addr == 128)
+        for pc in range(40):
+            warming.inst_fetch(pc)
+        processor = Processor(params, iter([]))
+        processor.load_warm_state({"caches": warming.state()})
+        assert processor.memory.tag_state() == warming.state()
+
+
+class TestBranchWarmer:
+    def test_counts_branches_and_learns(self):
+        warmer = BranchWarmer(configs.segmented(64, 16, "comb",
+                                                segment_size=16))
+        for dyn in _loop_stream():
+            warmer.observe(dyn)
+        assert warmer.branches == 50
+        # A tight counted loop is nearly always predictable: after training,
+        # mispredicts are a small fraction of branches.
+        assert 0 < warmer.mispredicts < warmer.branches // 2
+
+    def test_state_loads_into_frontend(self):
+        params = configs.segmented(64, 16, "comb", segment_size=16)
+        warmer = BranchWarmer(params)
+        for dyn in _loop_stream():
+            warmer.observe(dyn)
+        processor = Processor(params, iter([]))
+        processor.load_warm_state({"frontend": warmer.state()})
+        assert processor.frontend.warm_state() == warmer.state()
