@@ -12,7 +12,8 @@ studies because sections 4.1-4.5 argue for each enhancement:
 import pytest
 
 from repro.common import ProcessorParams
-from repro.harness import configs, run_workload
+from repro import api
+from repro.harness import configs
 from repro.harness.reporting import format_table
 from repro.workloads import WORKLOADS
 
@@ -24,7 +25,7 @@ ABLATION_WORKLOADS = [w for w in ("swim", "applu", "twolf")
 
 def run_seg(workload, **seg_kwargs):
     params = configs.segmented(512, 128, "comb", **seg_kwargs)
-    return run_workload(workload, params,
+    return api.run(params, workload,
                         config_label=str(sorted(seg_kwargs.items())))
 
 
@@ -111,7 +112,7 @@ def test_pushdown_vs_adaptive_thresholds(benchmark):
             for label, pushdown, adaptive in (
                     ("neither", False, False), ("pushdown", True, False),
                     ("adaptive", False, True), ("both", True, True)):
-                result = run_workload(workload, config(pushdown, adaptive),
+                result = api.run(config(pushdown, adaptive), workload,
                                       config_label=f"util-{label}")
                 ipcs[label] = result.ipc
             rows.append([workload] + [round(ipcs[k], 3) for k in
@@ -153,7 +154,7 @@ def test_memory_disambiguation_policies(benchmark):
             for policy in ("conservative", "store_sets", "oracle"):
                 params = configs.segmented(512, 128, "comb").replace(
                     mem_dep_policy=policy)
-                result = run_workload(workload, params,
+                result = api.run(params, workload,
                                       config_label=f"memdep-{policy}")
                 ipcs.append(round(result.ipc, 3))
             rows.append([workload] + ipcs)

@@ -13,7 +13,8 @@ import dataclasses
 import pytest
 
 from repro.common import ProcessorParams, segmented_iq_params
-from repro.harness import configs, run_workload
+from repro import api
+from repro.harness import configs
 from repro.harness.energy import EnergyModel, energy_per_instruction
 from repro.harness.reporting import format_table
 from repro.isa import execute
@@ -83,14 +84,13 @@ def test_clustering_study(benchmark):
         rows = []
         for workload in workloads:
             budget = _budget(workload)
-            base = run_workload(workload,
-                                configs.segmented(512, 128, "comb"),
+            base = api.run(configs.segmented(512, 128, "comb"), workload,
                                 max_instructions=budget)
             row = [workload, round(base.ipc, 3)]
             for steering in ("balance", "chain"):
                 params = configs.segmented(512, 128, "comb").replace(
                     clusters=2, cluster_steering=steering)
-                result = run_workload(workload, params,
+                result = api.run(params, workload,
                                       max_instructions=budget)
                 row.extend([round(result.ipc, 3),
                             int(result.stats.get(
@@ -123,11 +123,9 @@ def test_resize_energy_study(benchmark):
             fixed_iq = segmented_iq_params(512, max_chains=128)
             gated_iq = dataclasses.replace(fixed_iq, dynamic_resize=True,
                                            resize_interval=100)
-            fixed = run_workload(workload,
-                                 ProcessorParams().replace(iq=fixed_iq),
+            fixed = api.run(ProcessorParams().replace(iq=fixed_iq), workload,
                                  max_instructions=budget)
-            gated = run_workload(workload,
-                                 ProcessorParams().replace(iq=gated_iq),
+            gated = api.run(ProcessorParams().replace(iq=gated_iq), workload,
                                  max_instructions=budget)
             fixed_epi = energy_per_instruction(
                 model.estimate(fixed.stats), fixed.instructions)

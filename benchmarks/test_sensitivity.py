@@ -11,7 +11,8 @@ import dataclasses
 import pytest
 
 from repro.common import MemoryParams
-from repro.harness import configs, run_workload
+from repro import api
+from repro.harness import configs
 from repro.harness.reporting import format_table
 
 from benchmarks.conftest import BENCH_WORKLOADS, write_artifact
@@ -31,14 +32,14 @@ def test_memory_latency_sweep(benchmark):
         rows = []
         ratios = []
         for latency in LATENCIES:
-            ideal = run_workload(
-                WORKLOAD, with_memory_latency(configs.ideal(512), latency),
+            ideal = api.run(
+                with_memory_latency(configs.ideal(512), latency), WORKLOAD,
                 config_label=f"ideal-mem{latency}",
                 max_instructions=10_000)
-            seg = run_workload(
-                WORKLOAD,
+            seg = api.run(
                 with_memory_latency(configs.segmented(512, 128, "comb"),
                                     latency),
+                WORKLOAD,
                 config_label=f"seg-mem{latency}",
                 max_instructions=10_000)
             ratio = seg.ipc / ideal.ipc if ideal.ipc else 0.0
@@ -67,12 +68,12 @@ def test_window_benefit_grows_with_latency(benchmark):
     def gains():
         out = []
         for latency in (50, 200):
-            small = run_workload(
-                WORKLOAD, with_memory_latency(configs.ideal(32), latency),
+            small = api.run(
+                with_memory_latency(configs.ideal(32), latency), WORKLOAD,
                 config_label=f"ideal32-mem{latency}",
                 max_instructions=10_000)
-            large = run_workload(
-                WORKLOAD, with_memory_latency(configs.ideal(512), latency),
+            large = api.run(
+                with_memory_latency(configs.ideal(512), latency), WORKLOAD,
                 config_label=f"ideal512-mem{latency}",
                 max_instructions=10_000)
             out.append(large.ipc / small.ipc if small.ipc else 0.0)
@@ -88,11 +89,10 @@ def test_segment_size_grid(benchmark):
     def render():
         rows = []
         for segment_size in (16, 32, 64):
-            result = run_workload(
-                WORKLOAD,
+            result = api.run(
                 configs.segmented(512, 128, "comb",
                                   segment_size=segment_size),
-                config_label=f"seg{segment_size}",
+                WORKLOAD, config_label=f"seg{segment_size}",
                 max_instructions=10_000)
             rows.append([segment_size, 512 // segment_size,
                          round(result.ipc, 3)])

@@ -12,7 +12,7 @@ balancing (spreads dependence chains across clusters, paying the penalty
 constantly) versus chain steering (each chain executes beside its head).
 """
 
-from repro import WORKLOADS, configs, run_workload
+from repro import WORKLOADS, api, configs
 
 
 def main() -> None:
@@ -20,15 +20,15 @@ def main() -> None:
     print(f"{'benchmark':<10} {'config':<22} {'IPC':>6} "
           f"{'cross-cluster fwds':>19}")
     for benchmark in ("mgrid", "swim", "applu"):
-        base = run_workload(benchmark, configs.segmented(512, 128, "comb"),
-                            max_instructions=budget)
+        base = api.run(configs.segmented(512, 128, "comb"), benchmark,
+                       max_instructions=budget)
         print(f"{benchmark:<10} {'unclustered':<22} {base.ipc:>6.3f} "
               f"{'—':>19}")
         for steering in ("balance", "chain"):
             params = configs.segmented(512, 128, "comb").replace(
                 clusters=2, cluster_steering=steering)
-            result = run_workload(benchmark, params,
-                                  max_instructions=budget)
+            result = api.run(params, benchmark,
+                             max_instructions=budget)
             crossings = result.stats.get("clusters.cross_forwards", 0)
             print(f"{'':<10} {'2 clusters, ' + steering:<22} "
                   f"{result.ipc:>6.3f} {crossings:>19.0f}")

@@ -15,7 +15,7 @@ Usage::
 
 import sys
 
-from repro import WORKLOADS, configs, run_workload
+from repro import WORKLOADS, api, configs
 from repro.harness.reporting import ascii_series_plot
 
 
@@ -35,16 +35,15 @@ def main() -> None:
     series = {"ideal": {}, "segmented-128ch": {}}
     mlp_rows = []
     for size in sizes:
-        ideal = run_workload(benchmark, configs.ideal(size))
-        seg = run_workload(benchmark,
-                           configs.segmented(size, 128, "comb"))
+        ideal = api.run(configs.ideal(size), benchmark)
+        seg = api.run(configs.segmented(size, 128, "comb"), benchmark)
         series["ideal"][size] = ideal.ipc
         series["segmented-128ch"][size] = seg.ipc
         mlp_rows.append((size, mlp(ideal), mlp(seg)))
 
     presched = {}
     for lines in (8, 24, 56, 120):
-        result = run_workload(benchmark, configs.prescheduled(lines))
+        result = api.run(configs.prescheduled(lines), benchmark)
         presched[32 + 12 * lines] = result.ipc
     series["prescheduled"] = presched
 

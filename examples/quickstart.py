@@ -12,7 +12,7 @@ Usage::
 
 import sys
 
-from repro import WORKLOADS, configs, run_workload
+from repro import WORKLOADS, api, configs
 
 
 def main() -> None:
@@ -23,13 +23,13 @@ def main() -> None:
 
     print(f"benchmark: {benchmark} — {WORKLOADS[benchmark].description}\n")
 
-    conventional = run_workload(benchmark, configs.ideal(32),
-                                config_label="conventional-32")
-    segmented = run_workload(
-        benchmark, configs.segmented(512, max_chains=128, variant="comb"),
+    conventional = api.run(configs.ideal(32), benchmark,
+                           config_label="conventional-32")
+    segmented = api.run(
+        configs.segmented(512, max_chains=128, variant="comb"), benchmark,
         config_label="segmented-512/128")
-    ideal = run_workload(benchmark, configs.ideal(512),
-                         config_label="ideal-512")
+    ideal = api.run(configs.ideal(512), benchmark,
+                    config_label="ideal-512")
 
     for result in (conventional, segmented, ideal):
         print(f"  {result.config:<18} IPC = {result.ipc:5.3f}   "

@@ -10,16 +10,22 @@ every table and figure of the evaluation.
 
 Quickstart::
 
-    from repro import configs, run_workload
+    from repro import api, configs
 
-    result = run_workload("swim", configs.segmented(512, max_chains=128))
+    result = api.run(configs.segmented(512, max_chains=128), "swim")
     print(result.ipc)
+
+:func:`repro.api.run` is the single run entry point; it also threads
+observability (``trace=``, ``metrics=`` — see :mod:`repro.obs`),
+sampled simulation (``sampling=``), and result caching (``cache=``).
+The older ``run_workload`` survives one release as a deprecated shim.
 """
 
 from repro.common import (IQParams, ProcessorParams, StatGroup,
                           ideal_iq_params, prescheduled_iq_params,
                           segmented_iq_params)
 from repro.harness import RunResult, configs, run_workload
+from repro import api, obs
 from repro.isa import (F, DynInst, Instruction, Opcode, Program,
                        ProgramBuilder, R, execute, run_functional)
 from repro.pipeline import Processor, SMTProcessor
@@ -32,7 +38,7 @@ __all__ = [
     "Instruction", "Opcode", "Processor", "ProcessorParams", "Program",
     "SMTProcessor",
     "ProgramBuilder", "R", "RunResult", "StatGroup", "WORKLOADS",
-    "__version__", "configs", "execute", "ideal_iq_params",
+    "__version__", "api", "configs", "execute", "ideal_iq_params", "obs",
     "prescheduled_iq_params", "run_functional", "run_workload",
     "segmented_iq_params",
 ]

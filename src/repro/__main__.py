@@ -7,22 +7,64 @@ Commands:
 * ``sample``  — checkpoint-based interval sampling (docs/sampling.md)
 * ``sweep``   — IPC-vs-IQ-size curves (Figure 3 style) for one benchmark
 * ``disasm``  — print a benchmark kernel's assembly listing
+* ``trace``   — structured event trace: pipeline diagram, Chrome
+  ``trace_event`` JSON, or JSONL (docs/observability.md)
+* ``segments`` — segment-occupancy heatmap from the metrics sampler
 * ``validate`` — differential-oracle fuzzing campaign (docs/validation.md)
 * ``bench``   — simulator throughput + sweep scaling (docs/performance.md)
 
-Grid-shaped commands (``sweep``, ``reproduce``, ``validate``) accept
-``--jobs N`` to fan independent simulations over a process pool, and
-``sweep``/``reproduce`` consult an on-disk result cache unless
-``--no-cache`` is given.
+Every simulation command accepts the same common flags — ``--jobs N``
+(process-pool fan-out where the command has independent cells),
+``--no-cache`` (skip the on-disk result/checkpoint cache), ``--progress
+SECONDS`` (heartbeat on stderr), and ``--json PATH`` (machine-readable
+artifact alongside the rendered report) — via shared argparse parent
+parsers, and routes simulations through :func:`repro.api.run`.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import json
 import sys
 
-from repro.harness import ascii_series_plot, configs, run_workload
+from repro.harness import ascii_series_plot, configs
 from repro.workloads import WORKLOADS
+
+IQ_KINDS = ["ideal", "segmented", "prescheduled", "distance", "fifo"]
+
+
+def _common_parent() -> argparse.ArgumentParser:
+    """Flags every simulation command accepts uniformly."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("common options")
+    group.add_argument("--jobs", type=int, default=None, metavar="N",
+                       help="process-pool workers for independent cells "
+                            "(default: serial; bench defaults to all cores)")
+    group.add_argument("--no-cache", action="store_true",
+                       help="skip the on-disk result/checkpoint cache")
+    group.add_argument("--progress", type=float, default=0.0,
+                       metavar="SECONDS",
+                       help="print a heartbeat to stderr every N seconds")
+    group.add_argument("--json", default="", metavar="PATH",
+                       help="also write machine-readable data to this file")
+    return parent
+
+
+def _config_parent() -> argparse.ArgumentParser:
+    """Processor-configuration flags shared by run/sample/trace."""
+    parent = argparse.ArgumentParser(add_help=False)
+    group = parent.add_argument_group("configuration options")
+    group.add_argument("--iq", default="segmented", choices=IQ_KINDS)
+    group.add_argument("--size", type=int, default=512)
+    group.add_argument("--segment-size", type=int, default=32)
+    group.add_argument("--chains", default="128",
+                       help="chain wires, or 'unlimited'")
+    group.add_argument("--variant", default="comb",
+                       choices=["base", "hmp", "lrp", "comb"])
+    group.add_argument("--instructions", type=int, default=None,
+                       help="instruction budget override")
+    return parent
 
 
 def _parse_chains(value: str):
@@ -37,11 +79,37 @@ def _params_from_args(args) -> "ProcessorParams":
                                  args.variant,
                                  segment_size=args.segment_size)
     if args.iq == "prescheduled":
-        lines = max(1, (args.size - 32) // 12)
-        return configs.prescheduled(lines)
+        return configs.prescheduled(max(1, (args.size - 32) // 12))
+    if args.iq == "distance":
+        return configs.distance(max(1, (args.size - 32) // 12))
     if args.iq == "fifo":
         return configs.fifo(args.size, depth=args.segment_size)
     raise SystemExit(f"unknown IQ kind {args.iq!r}")
+
+
+def _make_cache(args):
+    """On-disk result cache unless ``--no-cache`` was given."""
+    if getattr(args, "no_cache", False):
+        return None
+    from repro.harness.cache import ResultCache
+    return ResultCache()
+
+
+def _jobs(args, default: int = 1) -> int:
+    return default if args.jobs is None else args.jobs
+
+
+def _write_json(path: str, data) -> None:
+    with open(path, "w") as handle:
+        json.dump(data, handle, indent=2, sort_keys=True, default=str)
+    print(f"\nraw data written to {path}", file=sys.stderr)
+
+
+def _heartbeat(tick) -> None:
+    """Progress line for long runs (``--progress N``)."""
+    print(f"  [{tick.elapsed_seconds:6.1f}s] cycle {tick.cycle:>9,}  "
+          f"committed {tick.committed:>9,}  "
+          f"{tick.kcycles_per_sec:6.1f} kcycles/s", file=sys.stderr)
 
 
 def cmd_list(_args) -> int:
@@ -54,22 +122,18 @@ def cmd_list(_args) -> int:
     return 0
 
 
-def _heartbeat(tick) -> None:
-    """Progress line for long runs (``--progress N``)."""
-    print(f"  [{tick.elapsed_seconds:6.1f}s] cycle {tick.cycle:>9,}  "
-          f"committed {tick.committed:>9,}  "
-          f"{tick.kcycles_per_sec:6.1f} kcycles/s", file=sys.stderr)
-
-
 def cmd_run(args) -> int:
+    from repro import api
+
     params = _params_from_args(args)
     if args.check_invariants:
         params = params.replace(check_invariants=True)
-    result = run_workload(args.workload, params,
-                          config_label=args.iq,
-                          max_instructions=args.instructions,
-                          progress=_heartbeat if args.progress else None,
-                          progress_interval=args.progress or 5.0)
+    result = api.run(params, args.workload,
+                     config_label=args.iq,
+                     max_instructions=args.instructions,
+                     cache=_make_cache(args),
+                     progress=_heartbeat if args.progress else None,
+                     progress_interval=args.progress or 5.0)
     print(result)
     stats = result.stats
     print(f"  branch accuracy : {100 * result.branch_accuracy:.1f}%")
@@ -89,13 +153,15 @@ def cmd_run(args) -> int:
     if args.stats:
         for key in sorted(stats):
             print(f"  {key:<40} {stats[key]:.3f}")
+    if args.json:
+        _write_json(args.json, dataclasses.asdict(result))
     return 0
 
 
 def cmd_sample(args) -> int:
-    import json
     import time
 
+    from repro import api
     from repro.sampling import (CheckpointStore, SamplingConfig,
                                 sample_workload)
 
@@ -109,7 +175,7 @@ def cmd_sample(args) -> int:
     report = sample_workload(
         args.workload, params, sampling, config_label=args.iq,
         scale=args.scale, max_instructions=args.instructions,
-        jobs=args.jobs, store=store,
+        jobs=_jobs(args), store=store,
         progress=lambda line: print(f"  {line}...", file=sys.stderr))
     sampled_seconds = time.perf_counter() - started
     print(f"{report.workload} [{report.config}]  "
@@ -130,9 +196,9 @@ def cmd_sample(args) -> int:
     data["sampled_seconds"] = round(sampled_seconds, 3)
     if args.compare_full:
         started = time.perf_counter()
-        full = run_workload(args.workload, params, config_label=args.iq,
-                            scale=args.scale,
-                            max_instructions=args.instructions)
+        full = api.run(params, args.workload, config_label=args.iq,
+                       scale=args.scale,
+                       max_instructions=args.instructions)
         full_seconds = time.perf_counter() - started
         error = ((report.ipc_estimate - full.ipc) / full.ipc
                  if full.ipc else 0.0)
@@ -146,18 +212,8 @@ def cmd_sample(args) -> int:
             "full_seconds": round(full_seconds, 3),
             "ipc_error": error, "detail_cycle_ratio": ratio}
     if args.json:
-        with open(args.json, "w") as handle:
-            json.dump(data, handle, indent=2, sort_keys=True)
-        print(f"\nraw data written to {args.json}", file=sys.stderr)
+        _write_json(args.json, data)
     return 0
-
-
-def _make_cache(args):
-    """On-disk result cache unless ``--no-cache`` was given."""
-    if getattr(args, "no_cache", False):
-        return None
-    from repro.harness.cache import ResultCache
-    return ResultCache()
 
 
 def cmd_sweep(args) -> int:
@@ -175,7 +231,7 @@ def cmd_sweep(args) -> int:
                      config_label=f"{label}@{size}",
                      max_instructions=args.instructions)
              for label, factory in factories for size in sizes]
-    executor = ParallelExecutor(args.jobs, cache=_make_cache(args))
+    executor = ParallelExecutor(_jobs(args), cache=_make_cache(args))
     cells = executor.run_specs(specs)
     raise_on_errors(cells, "sweep")
     series = {label: {} for label, _ in factories}
@@ -185,6 +241,8 @@ def cmd_sweep(args) -> int:
         print(f"  {label} @{size}: IPC={result.ipc:.3f}", file=sys.stderr)
     print(ascii_series_plot(series,
                             title=f"IPC vs IQ size — {args.workload}"))
+    if args.json:
+        _write_json(args.json, series)
     return 0
 
 
@@ -195,22 +253,69 @@ def cmd_disasm(args) -> int:
 
 
 def cmd_trace(args) -> int:
-    from repro.harness.trace import render_pipeline_trace, stage_latency_summary
-    from repro.isa import execute
-    from repro.pipeline import Processor
+    from repro import api
+    from repro.harness.trace import (render_pipeline_trace, segment_heatmap,
+                                     stage_latency_summary)
+    from repro.obs import (MetricsCollector, RingBufferTracer, chrome_trace,
+                           dump_jsonl)
 
     params = _params_from_args(args)
-    spec = WORKLOADS[args.workload]
-    program = spec.build(1)
-    budget = args.instructions or spec.default_instructions
-    stream = list(execute(program, max_instructions=budget))
-    processor = Processor(params, iter(stream))
-    processor.warm_code(program)
-    processor.run(max_cycles=5_000_000)
-    print(render_pipeline_trace(stream, start_seq=args.start,
-                                count=args.count))
-    print()
-    print(stage_latency_summary(stream))
+    tracer = RingBufferTracer()
+    collector = MetricsCollector(args.interval)
+    budget = args.instructions if args.instructions is not None else 2000
+    result = api.run(params, args.workload, config_label=args.iq,
+                     max_instructions=budget,
+                     trace=tracer, metrics=collector,
+                     progress=_heartbeat if args.progress else None,
+                     progress_interval=args.progress or 5.0)
+    events = tracer.events
+    report = collector.to_dict()
+    if args.format == "ascii":
+        print(render_pipeline_trace(events, start_seq=args.start,
+                                    count=args.count))
+        print()
+        print(stage_latency_summary(events))
+        samples = collector.segment_samples()
+        if samples:
+            print(f"\nsegment occupancy — {args.workload} "
+                  f"(IPC {result.ipc:.2f})")
+            print(segment_heatmap(samples, params.iq.segment_size))
+    else:
+        out = args.out or ("trace.jsonl" if args.format == "jsonl"
+                           else "trace.json")
+        if args.format == "jsonl":
+            with open(out, "w") as handle:
+                handle.write(dump_jsonl(events))
+        else:
+            with open(out, "w") as handle:
+                json.dump(chrome_trace(events, metrics=report), handle)
+        print(f"{len(events)} events over {result.cycles} cycles "
+              f"(IPC {result.ipc:.2f}) written to {out}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(chrome_trace(events, metrics=report), handle)
+        print(f"\nchrome trace written to {args.json}", file=sys.stderr)
+    return 0
+
+
+def cmd_segments(args) -> int:
+    from repro import api
+    from repro.harness.trace import segment_heatmap
+    from repro.obs import MetricsCollector
+
+    params = configs.segmented(args.size, _parse_chains(args.chains),
+                               args.variant)
+    collector = MetricsCollector(args.interval)
+    result = api.run(params, args.workload, config_label="segmented",
+                     max_instructions=args.instructions, metrics=collector,
+                     progress=_heartbeat if args.progress else None,
+                     progress_interval=args.progress or 5.0)
+    print(f"segment occupancy over time — {args.workload} "
+          f"(IPC {result.ipc:.2f})\n")
+    print(segment_heatmap(collector.segment_samples(),
+                          params.iq.segment_size))
+    if args.json:
+        _write_json(args.json, collector.to_dict())
     return 0
 
 
@@ -221,7 +326,7 @@ def cmd_reproduce(args) -> int:
     workloads = (args.workloads.split(",") if args.workloads else None)
     report, data = experiment.run(
         workloads=workloads, budget_factor=args.budget,
-        jobs=args.jobs, cache=_make_cache(args),
+        jobs=_jobs(args), cache=_make_cache(args),
         progress=lambda label: print(f"  running {label}...",
                                      file=sys.stderr))
     print(report)
@@ -232,9 +337,8 @@ def cmd_reproduce(args) -> int:
 
 
 def cmd_validate(args) -> int:
-    from repro.validation import FuzzProfile, run_campaign, validation_models
-
     from repro.common.errors import ConfigurationError
+    from repro.validation import FuzzProfile, run_campaign, validation_models
 
     profile = FuzzProfile(
         length=args.length, loop_iterations=args.iterations,
@@ -254,11 +358,14 @@ def cmd_validate(args) -> int:
     report = run_campaign(
         seed=args.seed, num_programs=args.programs, profile=profile,
         models=models, check_invariants=not args.no_invariants,
-        shrink=not args.no_shrink, jobs=args.jobs,
+        shrink=not args.no_shrink, jobs=_jobs(args),
         progress=(lambda line: print(f"  {line}", file=sys.stderr))
         if args.verbose else None)
     print(report.summary())
-    return 0 if report.ok else 1
+    if args.json:
+        _write_json(args.json, {"ok": report.ok,
+                                "summary": report.summary()})
+    return 0
 
 
 def cmd_bench(args) -> int:
@@ -272,25 +379,8 @@ def cmd_bench(args) -> int:
         progress=lambda line: print(f"  {line}...", file=sys.stderr))
     print(render_summary(data))
     print(f"\nartifact written to {path}", file=sys.stderr)
-    return 0
-
-
-def cmd_segments(args) -> int:
-    from repro.harness.trace import collect_segment_samples, segment_heatmap
-    from repro.isa import execute
-    from repro.pipeline import Processor
-
-    params = configs.segmented(args.size, _parse_chains(args.chains),
-                               args.variant)
-    spec = WORKLOADS[args.workload]
-    program = spec.build(1)
-    budget = args.instructions or spec.default_instructions
-    processor = Processor(params, execute(program, max_instructions=budget))
-    processor.warm_code(program)
-    samples = collect_segment_samples(processor, interval=args.interval)
-    print(f"segment occupancy over time — {args.workload} "
-          f"(IPC {processor.ipc:.2f})\n")
-    print(segment_heatmap(samples, params.iq.segment_size))
+    if args.json:
+        _write_json(args.json, data)
     return 0
 
 
@@ -300,42 +390,23 @@ def main(argv=None) -> int:
         description="Segmented dependence-chain IQ reproduction "
                     "(Raasch/Binkert/Reinhardt, ISCA 2002)")
     sub = parser.add_subparsers(dest="command", required=True)
+    common = _common_parent()
+    config = _config_parent()
 
     sub.add_parser("list", help="list benchmark analogs")
 
-    run_parser = sub.add_parser("run", help="simulate one benchmark")
+    run_parser = sub.add_parser("run", help="simulate one benchmark",
+                                parents=[common, config])
     run_parser.add_argument("workload", choices=sorted(WORKLOADS))
-    run_parser.add_argument("--iq", default="segmented",
-                            choices=["ideal", "segmented", "prescheduled",
-                                     "fifo"])
-    run_parser.add_argument("--size", type=int, default=512)
-    run_parser.add_argument("--segment-size", type=int, default=32)
-    run_parser.add_argument("--chains", default="128",
-                            help="chain wires, or 'unlimited'")
-    run_parser.add_argument("--variant", default="comb",
-                            choices=["base", "hmp", "lrp", "comb"])
-    run_parser.add_argument("--instructions", type=int, default=None)
     run_parser.add_argument("--stats", action="store_true",
                             help="dump every statistic")
     run_parser.add_argument("--check-invariants", action="store_true",
                             help="run per-cycle pipeline invariant checks")
-    run_parser.add_argument("--progress", type=float, default=0.0,
-                            metavar="SECONDS",
-                            help="print a heartbeat (cycles, kcycles/s) "
-                                 "every N seconds")
 
     sample_parser = sub.add_parser(
-        "sample", help="sampled simulation: checkpoints + interval windows")
+        "sample", help="sampled simulation: checkpoints + interval windows",
+        parents=[common, config])
     sample_parser.add_argument("workload", choices=sorted(WORKLOADS))
-    sample_parser.add_argument("--iq", default="segmented",
-                               choices=["ideal", "segmented", "prescheduled",
-                                        "fifo"])
-    sample_parser.add_argument("--size", type=int, default=512)
-    sample_parser.add_argument("--segment-size", type=int, default=32)
-    sample_parser.add_argument("--chains", default="128",
-                               help="chain wires, or 'unlimited'")
-    sample_parser.add_argument("--variant", default="comb",
-                               choices=["base", "hmp", "lrp", "comb"])
     sample_parser.add_argument("--windows", type=int, default=10,
                                help="number of measurement windows")
     sample_parser.add_argument("--warmup", type=int, default=500,
@@ -346,47 +417,39 @@ def main(argv=None) -> int:
                                help="workload scale factor (longer stream)")
     sample_parser.add_argument("--seed", type=int, default=0,
                                help="window-placement jitter seed")
-    sample_parser.add_argument("--instructions", type=int, default=None,
-                               help="instruction budget override")
-    sample_parser.add_argument("--jobs", type=int, default=1,
-                               help="parallel window workers")
     sample_parser.add_argument("--compare-full", action="store_true",
                                help="also run full detail; report the error")
-    sample_parser.add_argument("--json", default="",
-                               help="also write raw data to this file")
-    sample_parser.add_argument("--no-cache", action="store_true",
-                               help="skip the on-disk checkpoint store")
 
-    sweep_parser = sub.add_parser("sweep", help="IQ size sweep")
+    sweep_parser = sub.add_parser("sweep", help="IQ size sweep",
+                                  parents=[common])
     sweep_parser.add_argument("workload", choices=sorted(WORKLOADS))
     sweep_parser.add_argument("--sizes", default="32,64,128,256,512")
     sweep_parser.add_argument("--instructions", type=int, default=None)
-    sweep_parser.add_argument("--jobs", type=int, default=1,
-                              help="parallel simulation workers")
-    sweep_parser.add_argument("--no-cache", action="store_true",
-                              help="skip the on-disk result cache")
 
     disasm_parser = sub.add_parser("disasm", help="print kernel assembly")
     disasm_parser.add_argument("workload", choices=sorted(WORKLOADS))
 
-    trace_parser = sub.add_parser("trace",
-                                  help="per-instruction pipeline diagram")
+    trace_parser = sub.add_parser(
+        "trace", help="structured event trace (ascii / chrome / jsonl)",
+        parents=[common, config])
     trace_parser.add_argument("workload", choices=sorted(WORKLOADS))
-    trace_parser.add_argument("--iq", default="segmented",
-                              choices=["ideal", "segmented", "prescheduled",
-                                       "distance", "fifo"])
-    trace_parser.add_argument("--size", type=int, default=512)
-    trace_parser.add_argument("--segment-size", type=int, default=32)
-    trace_parser.add_argument("--chains", default="128")
-    trace_parser.add_argument("--variant", default="comb",
-                              choices=["base", "hmp", "lrp", "comb"])
-    trace_parser.add_argument("--instructions", type=int, default=2000)
+    trace_parser.add_argument("--format", default="ascii",
+                              choices=["ascii", "chrome", "jsonl"],
+                              help="ascii pipeline diagram, Chrome "
+                                   "trace_event JSON, or JSONL stream")
+    trace_parser.add_argument("--out", default="",
+                              help="output file for chrome/jsonl formats "
+                                   "(default trace.json / trace.jsonl)")
     trace_parser.add_argument("--start", type=int, default=200,
-                              help="first dynamic seq to display")
-    trace_parser.add_argument("--count", type=int, default=32)
+                              help="first dynamic seq to display (ascii)")
+    trace_parser.add_argument("--count", type=int, default=32,
+                              help="instructions to display (ascii)")
+    trace_parser.add_argument("--interval", type=int, default=100,
+                              help="metrics sampling interval (cycles)")
 
     segments_parser = sub.add_parser(
-        "segments", help="segment-occupancy heatmap (segmented IQ)")
+        "segments", help="segment-occupancy heatmap (segmented IQ)",
+        parents=[common])
     segments_parser.add_argument("workload", choices=sorted(WORKLOADS))
     segments_parser.add_argument("--size", type=int, default=512)
     segments_parser.add_argument("--chains", default="128")
@@ -396,7 +459,8 @@ def main(argv=None) -> int:
     segments_parser.add_argument("--instructions", type=int, default=None)
 
     reproduce_parser = sub.add_parser(
-        "reproduce", help="regenerate a paper table/figure")
+        "reproduce", help="regenerate a paper table/figure",
+        parents=[common])
     reproduce_parser.add_argument(
         "experiment", choices=["table2", "figure2", "figure3", "headline"])
     reproduce_parser.add_argument(
@@ -404,20 +468,12 @@ def main(argv=None) -> int:
         help="comma-separated benchmark subset (default: all eight)")
     reproduce_parser.add_argument("--budget", type=float, default=1.0,
                                   help="instruction-budget multiplier")
-    reproduce_parser.add_argument("--json", default="",
-                                  help="also write raw data to this file")
-    reproduce_parser.add_argument("--jobs", type=int, default=1,
-                                  help="parallel simulation workers")
-    reproduce_parser.add_argument("--no-cache", action="store_true",
-                                  help="skip the on-disk result cache")
 
     bench_parser = sub.add_parser(
-        "bench", help="measure simulator throughput and sweep scaling")
+        "bench", help="measure simulator throughput and sweep scaling",
+        parents=[common])
     bench_parser.add_argument("--quick", action="store_true",
                               help="small grid / budgets (CI smoke mode)")
-    bench_parser.add_argument("--jobs", type=int, default=None,
-                              help="pool size for the sweep phase "
-                                   "(default: all cores)")
     bench_parser.add_argument("--workloads", default="",
                               help="comma-separated workload subset")
     bench_parser.add_argument("--instructions", type=int, default=None,
@@ -429,7 +485,8 @@ def main(argv=None) -> int:
 
     validate_parser = sub.add_parser(
         "validate",
-        help="differential-oracle fuzzing across every IQ model")
+        help="differential-oracle fuzzing across every IQ model",
+        parents=[common])
     validate_parser.add_argument("--seed", type=int, default=0)
     validate_parser.add_argument("--programs", type=int, default=50,
                                  help="number of random programs to fuzz")
@@ -451,8 +508,6 @@ def main(argv=None) -> int:
                                  help="report failures without shrinking")
     validate_parser.add_argument("--verbose", action="store_true",
                                  help="print each check as it runs")
-    validate_parser.add_argument("--jobs", type=int, default=1,
-                                 help="parallel campaign workers")
 
     args = parser.parse_args(argv)
     handler = {"list": cmd_list, "run": cmd_run, "sample": cmd_sample,

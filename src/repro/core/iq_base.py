@@ -100,6 +100,14 @@ class InstructionQueue(abc.ABC):
         #: True when the last can_dispatch refusal was due to chain-wire
         #: exhaustion rather than queue capacity.
         self.blocked_on_chain = False
+        #: Observability sink (see :mod:`repro.obs`); ``None`` disables
+        #: tracing and every emission site guards on it.
+        self.tracer = None
+
+    def attach_tracer(self, tracer) -> None:
+        """Install an event sink; designs with sub-components override to
+        propagate it (the segmented IQ hands it to its chain manager)."""
+        self.tracer = tracer
 
     # -------------------------------------------------------- dispatch --
     @abc.abstractmethod

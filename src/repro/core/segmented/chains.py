@@ -27,6 +27,7 @@ from typing import Callable, List, Optional
 from repro.common.errors import SimulationError
 from repro.common.stats import StatGroup
 from repro.isa.instruction import DynInst
+from repro.obs.events import TraceEvent
 
 
 class Chain:
@@ -157,6 +158,8 @@ class ChainManager:
         self.stat_in_use = stats.distribution(
             "chains.in_use", "active chains, sampled each cycle")
         self.peak_in_use = 0
+        #: Observability sink (installed via SegmentedIQ.attach_tracer).
+        self.tracer = None
 
     @property
     def active_count(self) -> int:
@@ -166,7 +169,7 @@ class ChainManager:
         return self.max_chains is None or len(self._active) < self.max_chains
 
     def allocate(self, head: DynInst, head_segment: int,
-                 head_latency: int = 0) -> Optional[Chain]:
+                 head_latency: int = 0, now: int = 0) -> Optional[Chain]:
         """Create a chain rooted at ``head``; None if no wire is free."""
         if not self.has_free():
             self.stat_alloc_failures.inc()
@@ -181,9 +184,14 @@ class ChainManager:
         self.stat_allocated.inc()
         if len(self._active) > self.peak_in_use:
             self.peak_in_use = len(self._active)
+        if self.tracer is not None:
+            self.tracer.emit(TraceEvent(
+                cycle=now, kind="chain_create", seq=head.seq, pc=head.pc,
+                op=head.static.opcode.value, seg=head_segment,
+                chain=chain_id))
         return chain
 
-    def free(self, chain: Chain) -> None:
+    def free(self, chain: Chain, now: int = 0) -> None:
         """Return the chain's wire to the pool (at head writeback).
 
         The Chain object stays alive for members still counting down; only
@@ -196,6 +204,10 @@ class ChainManager:
         if removed is None:
             raise SimulationError(f"double free of chain {chain.chain_id}")
         self._free_ids.append(chain.chain_id)
+        if self.tracer is not None:
+            self.tracer.emit(TraceEvent(
+                cycle=now, kind="chain_wire", seq=chain.head.seq,
+                pc=chain.head.pc, chain=chain.chain_id, info="free"))
 
     def sample(self) -> None:
         """Record current usage (called once per cycle)."""

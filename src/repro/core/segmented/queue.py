@@ -19,6 +19,7 @@ from repro.common.params import IQParams
 from repro.common.stats import StatGroup
 from repro.core.iq_base import IQEntry, InstructionQueue, Operand
 from repro.core.predictors import HitMissPredictor, LeftRightPredictor
+from repro.obs.events import TraceEvent
 from repro.core.segmented.chains import Chain, ChainManager
 from repro.core.segmented.links import (ChainLink, CountdownLink,
                                         combined_delay)
@@ -119,6 +120,10 @@ class SegmentedIQ(InstructionQueue):
             "iq.seg0_ready", "issue-ready instructions in segment 0")
 
     # ------------------------------------------------------------ space --
+    def attach_tracer(self, tracer) -> None:
+        super().attach_tracer(tracer)
+        self.chains.tracer = tracer
+
     @property
     def occupancy(self) -> int:
         return self._occupancy
@@ -252,7 +257,7 @@ class SegmentedIQ(InstructionQueue):
         chain = None
         if plan.needs_chain:
             chain = self.chains.allocate(inst, target.index,
-                                         plan.head_latency)
+                                         plan.head_latency, now=now)
             if chain is None:
                 raise SimulationError("dispatch without a free chain wire")
             self._head_chains[inst.seq] = chain
@@ -493,6 +498,11 @@ class SegmentedIQ(InstructionQueue):
         self.stat_promotions.inc()
         if pushdown:
             self.stat_pushdowns.inc()
+        if self.tracer is not None:
+            self.tracer.emit(TraceEvent(
+                cycle=now, kind="promote", seq=entry.seq, pc=entry.inst.pc,
+                op=entry.inst.static.opcode.value, seg=source.index,
+                dst=dest.index, info="pushdown" if pushdown else ""))
         state = entry.chain_state
         if state.own_chain is not None and not state.own_chain.issued:
             state.own_chain.on_head_promoted(dest.index)
@@ -561,6 +571,10 @@ class SegmentedIQ(InstructionQueue):
                                         key=lambda e: e.seq)[:1]
                 victim = candidates[0]
             moves.append((victim, self.segments[k - 1]))
+        if self.tracer is not None:
+            self.tracer.emit(TraceEvent(
+                cycle=now, kind="deadlock_recovery",
+                info=f"moves={len(moves)}"))
         # Remove everything first, then insert: the simultaneous shift
         # works even when every segment is full.
         for entry, dest in moves:
@@ -574,6 +588,11 @@ class SegmentedIQ(InstructionQueue):
     def _place_recovered(self, entry: IQEntry, dest: Segment,
                          now: int) -> None:
         dest.insert(entry, now)
+        if self.tracer is not None:
+            self.tracer.emit(TraceEvent(
+                cycle=now, kind="promote", seq=entry.seq, pc=entry.inst.pc,
+                op=entry.inst.static.opcode.value, dst=dest.index,
+                info="recovery"))
         state = entry.chain_state
         if state.own_chain is not None and not state.own_chain.issued:
             state.own_chain.on_head_promoted(dest.index)
@@ -587,6 +606,10 @@ class SegmentedIQ(InstructionQueue):
         chain = self._head_chains.get(inst.seq)
         if chain is not None:
             chain.suspend(now)
+            if self.tracer is not None:
+                self.tracer.emit(TraceEvent(
+                    cycle=now, kind="chain_wire", seq=inst.seq, pc=inst.pc,
+                    chain=chain.chain_id, info="suspend"))
 
     def notify_load_complete(self, inst, now: int) -> None:
         if self.hmp is not None and inst.mem_level is not None:
@@ -594,12 +617,16 @@ class SegmentedIQ(InstructionQueue):
         chain = self._head_chains.pop(inst.seq, None)
         if chain is not None:
             chain.resume(now)
-            self.chains.free(chain)
+            if self.tracer is not None:
+                self.tracer.emit(TraceEvent(
+                    cycle=now, kind="chain_wire", seq=inst.seq, pc=inst.pc,
+                    chain=chain.chain_id, info="resume"))
+            self.chains.free(chain, now=now)
 
     def on_writeback(self, inst, now: int) -> None:
         chain = self._head_chains.pop(inst.seq, None)
         if chain is not None:
-            self.chains.free(chain)
+            self.chains.free(chain, now=now)
 
     # -------------------------------------------------------- invariants --
     def iter_entries(self):

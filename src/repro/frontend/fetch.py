@@ -26,6 +26,7 @@ from repro.isa.instruction import DynInst
 from repro.isa.opcodes import OpClass
 from repro.memory.cache import Cache
 from repro.memory.request import MemRequest
+from repro.obs.events import TraceEvent
 
 #: Instruction size in bytes (for I-cache line geometry: 16 per 64-byte line).
 INST_BYTES = 4
@@ -57,6 +58,9 @@ class FrontEnd:
         #: Byte offset of this context's code in the shared I-cache space
         #: (nonzero under SMT so threads' code lines do not alias).
         self.code_base = 0
+        #: Observability sink (see :mod:`repro.obs`); installed by the
+        #: processor, ``None`` disables tracing.
+        self.tracer = None
 
         self.stat_fetched = stats.counter("fetch.instructions")
         self.stat_fetch_cycles = stats.counter(
@@ -106,6 +110,7 @@ class FrontEnd:
 
         fetched = 0
         branches = 0
+        tracer = self.tracer
         ready_at = now + self.params.dispatch_pipeline_depth
         while fetched < self.params.fetch_width:
             inst = self._peek()
@@ -119,6 +124,10 @@ class FrontEnd:
                 branches += 1
             self._take()
             inst.fetched_cycle = now
+            if tracer is not None:
+                tracer.emit(TraceEvent(cycle=now, kind="fetch",
+                                       seq=inst.seq, pc=inst.pc,
+                                       op=inst.static.opcode.value))
             self._predict(inst)
             self._pipeline.append((ready_at, inst))
             fetched += 1

@@ -1,6 +1,6 @@
 """Simulator-throughput benchmark behind ``python -m repro bench``.
 
-Three measurements, one JSON artifact:
+Four measurements, one JSON artifact:
 
 * **Serial throughput** — wall-clock a single simulation per (workload,
   configuration) pair and report kilo-cycles/sec and kilo-insts/sec, the
@@ -15,6 +15,9 @@ Three measurements, one JSON artifact:
 * **Sampling speedup** — wall-clock one sampled run
   (:mod:`repro.sampling`) against the equivalent full-detail run and
   report the wall-clock and detailed-cycle ratios.
+* **Metrics + tracing overhead** — one instrumented run embedding the
+  :mod:`repro.obs` windowed time-series means (pipeline balance PR over
+  PR), plus the cost of tracing the same run into a counting sink.
 
 The artifact is written as ``BENCH_<date>.json`` (repo root by
 convention) so the performance trajectory is tracked PR over PR;
@@ -34,13 +37,13 @@ import time
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro import api
 from repro.harness import configs
 from repro.harness.cache import ResultCache
 from repro.harness.energy import EnergyModel, energy_per_instruction
-from repro.harness.runner import run_workload
 from repro.harness.sweep import Sweep
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: Serial-throughput configurations: the paper's headline design points.
 SERIAL_CONFIGS: List[Tuple[str, object]] = [
@@ -89,8 +92,8 @@ def measure_serial(workloads: Sequence[str], serial_configs,
                 progress(f"serial {workload}/{label}")
             params = factory()
             start = time.perf_counter()
-            result = run_workload(workload, params, config_label=label,
-                                  max_instructions=max_instructions)
+            result = api.run(params, workload, config_label=label,
+                             max_instructions=max_instructions)
             seconds = time.perf_counter() - start
             breakdown = model.estimate_run(result, params)
             out[f"{workload}/{label}"] = {
@@ -183,7 +186,7 @@ def measure_sampling(workload: str = "twolf", *,
     if progress is not None:
         progress(f"full-detail {workload} (scale {scale})")
     start = time.perf_counter()
-    full = run_workload(workload, params, scale=scale)
+    full = api.run(params, workload, scale=scale)
     full_seconds = time.perf_counter() - start
     return {
         "workload": workload,
@@ -199,6 +202,49 @@ def measure_sampling(workload: str = "twolf", *,
         "full_cycles": full.cycles,
         "detail_cycle_ratio": round(full.cycles / report.detailed_cycles, 2)
         if report.detailed_cycles else 0.0,
+    }
+
+
+def measure_metrics(workload: str, max_instructions: int,
+                    progress=None) -> Dict[str, object]:
+    """One instrumented run: windowed time series from :mod:`repro.obs`.
+
+    The bench embeds the summarized series (mean windowed IPC,
+    issue-slot utilization, occupancies, active chains) so pipeline
+    balance is tracked PR over PR alongside raw throughput, plus the
+    tracing overhead of the same run with a counting sink attached.
+    """
+    from repro.obs import MetricsConfig, Tracer, summarize
+
+    class _CountingSink(Tracer):
+        def _record(self, event) -> None:
+            pass
+
+    params = configs.segmented(128, 64, "comb")
+    if progress is not None:
+        progress(f"metrics {workload} (instrumented run)")
+    result = api.run(params, workload, max_instructions=max_instructions,
+                     metrics=MetricsConfig(interval=100))
+    start = time.perf_counter()
+    api.run(params, workload, max_instructions=max_instructions)
+    plain_seconds = time.perf_counter() - start
+    sink = _CountingSink()
+    start = time.perf_counter()
+    api.run(params, workload, max_instructions=max_instructions,
+            trace=sink)
+    traced_seconds = time.perf_counter() - start
+    report = result.metrics or {}
+    return {
+        "workload": workload,
+        "config": "seg-128-64ch",
+        "interval": report.get("interval"),
+        "samples": report.get("samples"),
+        "series_means": summarize(report),
+        "events_emitted": sink.emitted,
+        "plain_seconds": round(plain_seconds, 3),
+        "traced_seconds": round(traced_seconds, 3),
+        "tracing_overhead": round(traced_seconds / plain_seconds - 1.0, 4)
+        if plain_seconds else 0.0,
     }
 
 
@@ -250,6 +296,8 @@ def run_bench(*, jobs: Optional[int] = None, quick: bool = False,
     sweep = measure_sweep(sweep_workloads, sweep_configs, budget, jobs,
                           progress=progress)
     sampling = measure_sampling(quick=quick, progress=progress)
+    metrics = measure_metrics(serial_workloads[0], budget,
+                              progress=progress)
 
     data = {
         "schema": SCHEMA_VERSION,
@@ -270,6 +318,7 @@ def run_bench(*, jobs: Optional[int] = None, quick: bool = False,
         },
         "sweep": sweep,
         "sampling": sampling,
+        "metrics": metrics,
     }
     if compare:
         diff = compare_with(compare, serial)
@@ -305,6 +354,15 @@ def render_summary(data: dict) -> str:
             f"{sampling['full_seconds']}s "
             f"({sampling['wall_speedup']}x wall, "
             f"{sampling['detail_cycle_ratio']}x fewer detailed cycles)")
+    metrics = data.get("metrics")
+    if metrics:
+        means = metrics.get("series_means", {})
+        lines.append(
+            f"  metrics {metrics['workload']}: "
+            f"ipc {means.get('ipc', 0.0)}, "
+            f"issue util {means.get('issue.utilization', 0.0)}, "
+            f"tracing overhead {100 * metrics['tracing_overhead']:+.1f}% "
+            f"({metrics['events_emitted']} events)")
     if "compare" in data:
         speedups = data["compare"]["kcycles_speedup"]
         if speedups:

@@ -43,7 +43,8 @@ class ExperimentRunner:
                  budget_factor: float = 1.0,
                  progress: Optional[Callable[[str], None]] = None, *,
                  jobs: int = 1, cache=None,
-                 sampling=None, sampling_scale: int = 1) -> None:
+                 sampling=None, sampling_scale: int = 1,
+                 metrics=None) -> None:
         unknown = set(workloads) - set(WORKLOADS)
         if unknown:
             raise KeyError(f"unknown workloads: {sorted(unknown)}")
@@ -57,6 +58,10 @@ class ExperimentRunner:
         #: simulating it in full detail.
         self.sampling = sampling
         self.sampling_scale = sampling_scale
+        #: Optional :class:`repro.obs.MetricsConfig` (or interval int)
+        #: applied to every full-detail cell; every RunResult then
+        #: carries its windowed time series (and skips the cache).
+        self.metrics = metrics
         self._cache: Dict[Tuple[str, str], RunResult] = {}
         self._recording: Optional[List[Tuple[str, str, Callable]]] = None
 
@@ -95,7 +100,8 @@ class ExperimentRunner:
         else:
             spec = RunSpec(workload, params_factory(),
                            config_label=config_key,
-                           max_instructions=self._budget(workload))
+                           max_instructions=self._budget(workload),
+                           metrics=self.metrics)
             cells = ParallelExecutor(1, cache=self.cache).run_specs([spec])
         raise_on_errors(cells, "experiment")
         self._cache[key] = cells[0]
@@ -138,7 +144,8 @@ class ExperimentRunner:
                 labels=[f"{s.workload}/{s.config_label}" for s in sampled])
         else:
             specs = [RunSpec(workload, factory(), config_label=config_key,
-                             max_instructions=self._budget(workload))
+                             max_instructions=self._budget(workload),
+                             metrics=self.metrics)
                      for workload, config_key, factory in unique]
             cells = ParallelExecutor(self.jobs,
                                      cache=self.cache).run_specs(specs)
@@ -173,7 +180,8 @@ class Experiment:
             budget_factor: float = 1.0,
             progress: Optional[Callable[[str], None]] = None, *,
             jobs: int = 1, cache=None,
-            sampling=None, sampling_scale: int = 1) -> Tuple[str, dict]:
+            sampling=None, sampling_scale: int = 1,
+            metrics=None) -> Tuple[str, dict]:
         """Returns (rendered report, raw data dict).
 
         ``jobs`` > 1 runs the experiment's grid on a process pool;
@@ -181,13 +189,15 @@ class Experiment:
         :mod:`repro.harness.cache`).  ``sampling`` estimates every cell
         by interval sampling instead of full-detail simulation (see
         :mod:`repro.sampling`) — faster, with a small statistical error
-        the sampled stats quantify.
+        the sampled stats quantify.  ``metrics`` attaches a
+        :class:`~repro.obs.MetricsConfig` to every full-detail cell.
         """
         runner = ExperimentRunner(workloads or sorted(WORKLOADS),
                                   budget_factor, progress,
                                   jobs=jobs, cache=cache,
                                   sampling=sampling,
-                                  sampling_scale=sampling_scale)
+                                  sampling_scale=sampling_scale,
+                                  metrics=metrics)
         if jobs > 1 or sampling is not None:
             runner.prefetch(self.build)
         return self.build(runner)

@@ -34,7 +34,7 @@ from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.common.params import ProcessorParams
 from repro.harness.cache import ResultCache
-from repro.harness.runner import RunResult, run_workload
+from repro.harness.runner import RunResult
 
 
 @dataclass(frozen=True)
@@ -49,6 +49,10 @@ class RunSpec:
     scale: int = 1
     max_cycles: int = 5_000_000
     warm_code: bool = True
+    #: Optional :class:`repro.obs.MetricsConfig` (or interval int); a
+    #: metered cell always simulates — the cache is never consulted,
+    #: because the time series is part of the result.
+    metrics: Optional[object] = None
 
     def cache_kwargs(self) -> dict:
         return {"max_instructions": self.max_instructions,
@@ -81,12 +85,16 @@ def default_jobs() -> int:
 
 # ------------------------------------------------------- worker functions --
 def _execute_spec(spec: RunSpec) -> RunResult:
-    return run_workload(spec.workload, spec.params,
-                        config_label=spec.config_label,
-                        scale=spec.scale,
-                        max_instructions=spec.max_instructions,
-                        max_cycles=spec.max_cycles,
-                        warm_code=spec.warm_code)
+    # Imported lazily: this runs inside spawn-started workers, where the
+    # cheapest import footprint wins.
+    from repro import api
+    return api.run(spec.params, spec.workload,
+                   config_label=spec.config_label,
+                   scale=spec.scale,
+                   max_instructions=spec.max_instructions,
+                   max_cycles=spec.max_cycles,
+                   warm_code=spec.warm_code,
+                   metrics=spec.metrics)
 
 
 def _guarded_call(payload: Tuple[Callable, object, str]):
@@ -191,7 +199,7 @@ class ParallelExecutor:
         cold: List[Tuple[int, RunSpec, Optional[str]]] = []
         for index, spec in enumerate(specs):
             key = None
-            if self.cache is not None:
+            if self.cache is not None and spec.metrics is None:
                 key = self.cache.key_for(spec.workload, spec.params,
                                          **spec.cache_kwargs())
                 hit = self.cache.get(key)

@@ -1,13 +1,18 @@
-"""Simulation runner: one (workload, configuration) -> one RunResult."""
+"""Simulation runner: one (workload, configuration) -> one RunResult.
+
+.. deprecated::
+    :func:`run_workload` is superseded by :func:`repro.api.run`, the
+    single entry point that also threads tracing, metrics, sampling,
+    and result caching.  The shim here survives one release.
+"""
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
 from repro.common.params import ProcessorParams
-from repro.isa.executor import execute
-from repro.pipeline.processor import Processor
 from repro.workloads.kernels import WORKLOADS, WorkloadSpec
 
 
@@ -21,6 +26,9 @@ class RunResult:
     cycles: int
     instructions: int
     stats: Dict[str, float] = field(default_factory=dict)
+    #: Windowed time-series report from :class:`repro.obs.MetricsCollector`
+    #: (``None`` unless the run was started with ``metrics=``).
+    metrics: Optional[Dict] = None
 
     @property
     def chains_avg(self) -> float:
@@ -62,27 +70,18 @@ def run_workload(workload: Union[str, WorkloadSpec],
                  progress_interval: float = 5.0) -> RunResult:
     """Simulate one benchmark analog under one configuration.
 
-    Code is pre-warmed by default (the paper measures warm checkpoints);
-    data is pre-warmed into the L2 when the workload spec asks for it.
-    ``progress`` is an optional heartbeat callback receiving
-    :class:`~repro.pipeline.processor.ProgressTick` records roughly every
-    ``progress_interval`` seconds.
+    .. deprecated::
+        Use :func:`repro.api.run` — same semantics (``api.run(params,
+        workload, ...)``, note the argument order), plus ``trace=``,
+        ``metrics=``, ``sampling=``, and ``cache=``.
     """
-    spec = resolve_workload(workload)
-    program = spec.build(scale)
-    budget = (max_instructions if max_instructions is not None
-              else spec.default_instructions * scale)
-    processor = Processor(params, execute(program, max_instructions=budget))
-    if warm_code:
-        processor.warm_code(program)
-    if spec.warm_data:
-        processor.warm_data(program)
-    processor.run(max_cycles=max_cycles, progress=progress,
-                  progress_interval=progress_interval)
-    return RunResult(
-        workload=spec.name,
-        config=config_label or params.iq.kind,
-        ipc=processor.ipc,
-        cycles=processor.cycle,
-        instructions=processor.committed,
-        stats=processor.stats.as_dict())
+    warnings.warn(
+        "run_workload is deprecated; use repro.api.run(params, workload, "
+        "...) instead (it adds trace/metrics/sampling/cache support)",
+        DeprecationWarning, stacklevel=2)
+    from repro import api
+    return api.run(params, workload,
+                   config_label=config_label, scale=scale,
+                   max_instructions=max_instructions, max_cycles=max_cycles,
+                   warm_code=warm_code, progress=progress,
+                   progress_interval=progress_interval)

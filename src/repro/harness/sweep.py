@@ -104,7 +104,8 @@ class Sweep:
         return self
 
     def run(self, metric: str = "ipc", *, jobs: int = 1,
-            cache=None, sampling=None, sampling_scale: int = 1) -> SweepGrid:
+            cache=None, sampling=None, sampling_scale: int = 1,
+            metrics=None) -> SweepGrid:
         """Run every (workload, config) cell and collect the grid.
 
         ``jobs`` > 1 fans the cells out over a process pool (cells are
@@ -122,9 +123,19 @@ class Sweep:
         stream is long enough to sample; the on-disk ``cache`` is not
         consulted for sampled cells (estimates are not exchangeable with
         full-detail results).
+
+        ``metrics`` is an optional :class:`~repro.obs.MetricsConfig` (or
+        interval int) applied to every full-detail cell: each
+        ``RunResult.metrics`` then carries the windowed time series.
+        Metered cells always simulate (the cache is not consulted).
         """
         if not self._configs:
             raise ValueError("no configurations added")
+        if metrics is not None and sampling is not None:
+            from repro.common.errors import ConfigurationError
+            raise ConfigurationError(
+                "metrics= requires full-detail cells; drop sampling= or "
+                "collect metrics from a separate full run")
         from repro.harness.parallel import ParallelExecutor, raise_on_errors
         if sampling is not None:
             from repro.sampling.sampler import (SampledRunSpec,
@@ -149,7 +160,8 @@ class Sweep:
         else:
             from repro.harness.parallel import RunSpec
             specs = [RunSpec(workload, params, config_label=label,
-                             max_instructions=self.max_instructions)
+                             max_instructions=self.max_instructions,
+                             metrics=metrics)
                      for workload in self.workloads
                      for label, params in self._configs]
             if self.progress is not None:

@@ -1,47 +1,67 @@
 """Text visualizations: per-instruction pipeline traces and segment heatmaps.
 
-``render_pipeline_trace`` draws a gem5-pipeview-style diagram from an
-annotated dynamic stream (the timing model stamps every DynInst with its
-fetch/dispatch/issue/complete/commit cycles):
+Both renderers consume :mod:`repro.obs` artifacts — the event stream a
+:class:`~repro.obs.RingBufferTracer` (or ``load_jsonl``) holds, and the
+per-segment occupancy series a :class:`~repro.obs.MetricsCollector`
+samples.  ``render_pipeline_trace`` draws a gem5-pipeview-style diagram:
 
-    #  123 fld f0, r3     |f....d    i..c  r|
+    #  123 add              |f....d    i..c  r|
 
-``segment_heatmap`` samples a segmented IQ's per-segment occupancy over
-time and renders it as an ASCII density map — the quickest way to *see*
-instructions staging down toward segment 0.
+``segment_heatmap`` renders the occupancy series as an ASCII density map
+— the quickest way to *see* instructions staging down toward segment 0.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
-from repro.isa.instruction import DynInst
+from repro.obs.events import STAGE_KINDS, TraceEvent
 
-#: Stage markers: (attribute, symbol), in pipeline order.
-STAGES = (("fetched_cycle", "f"), ("dispatched_cycle", "d"),
-          ("issued_cycle", "i"), ("completed_cycle", "c"),
-          ("committed_cycle", "r"))
+#: Stage markers: event kind -> row symbol, in pipeline order.
+STAGE_SYMBOLS = {"fetch": "f", "dispatch": "d", "issue": "i",
+                 "writeback": "c", "commit": "r"}
 
 DENSITY = " .:-=+*#%@"
 
 
-def render_pipeline_trace(stream: Sequence[DynInst], *,
+def _stage_table(events: Sequence[TraceEvent]) -> Dict[int, dict]:
+    """Fold stage events into per-instruction rows: seq -> {kind: cycle,
+    "op": mnemonic}.  Later events win (there is at most one of each
+    stage kind per seq on the correct path)."""
+    table: Dict[int, dict] = {}
+    for event in events:
+        if event.kind not in STAGE_SYMBOLS or event.seq < 0:
+            continue
+        row = table.setdefault(event.seq, {})
+        row[event.kind] = event.cycle
+        if event.op:
+            row["op"] = event.op
+    return table
+
+
+def render_pipeline_trace(events: Sequence[TraceEvent], *,
                           start_seq: int = 0, count: int = 32,
                           width: int = 64) -> str:
     """Render the pipeline timeline of ``count`` instructions.
 
-    The time axis is compressed to ``width`` columns spanning the window's
-    earliest fetch to its latest commit; each instruction's row marks the
-    cycle of every stage it reached.
+    ``events`` is any iterable of :class:`~repro.obs.TraceEvent`
+    (arbitrary order; the window is selected in sequence-number order).
+    The time axis is compressed to ``width`` columns spanning the
+    window's earliest to its latest stage event; each instruction's row
+    marks the cycle of every stage it reached.
     """
-    window = [inst for inst in stream
-              if inst.seq >= start_seq and inst.fetched_cycle >= 0]
-    window = window[:count]
-    if not window:
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+    table = _stage_table(events)
+    # Window selection happens on the seq-ordered stream: sort first,
+    # then filter and slice, so the window is always the `count` oldest
+    # instructions at or after `start_seq` regardless of event order.
+    seqs = sorted(seq for seq in table if seq >= start_seq)[:count]
+    if not seqs:
         return "(no instructions in window)"
-    first = min(inst.fetched_cycle for inst in window)
-    last = max(max(getattr(inst, attr) for attr, _ in STAGES)
-               for inst in window)
+    cycles = [cycle for seq in seqs
+              for kind, cycle in table[seq].items() if kind != "op"]
+    first, last = min(cycles), max(cycles)
     span = max(1, last - first)
 
     def column(cycle: int) -> int:
@@ -49,31 +69,30 @@ def render_pipeline_trace(stream: Sequence[DynInst], *,
 
     lines = [f"pipeline trace: cycles {first}..{last} "
              f"(f=fetch d=dispatch i=issue c=complete r=commit)"]
-    for inst in window:
+    for seq in seqs:
         row = [" "] * width
-        for attr, symbol in STAGES:
-            cycle = getattr(inst, attr)
-            if cycle >= 0:
+        for kind in STAGE_KINDS:
+            cycle = table[seq].get(kind)
+            if cycle is not None:
                 col = column(cycle)
-                row[col] = symbol if row[col] == " " else "*"
-        text = f"{inst.static}"
-        lines.append(f"#{inst.seq:>6} {text:<24.24} |{''.join(row)}|")
+                row[col] = (STAGE_SYMBOLS[kind] if row[col] == " "
+                            else "*")
+        text = table[seq].get("op", "?")
+        lines.append(f"#{seq:>6} {text:<24.24} |{''.join(row)}|")
     return "\n".join(lines)
 
 
-def stage_latency_summary(stream: Sequence[DynInst]) -> str:
+def stage_latency_summary(events: Sequence[TraceEvent]) -> str:
     """Median/percentile latencies between adjacent pipeline stages."""
-    gaps = {"fetch->dispatch": [], "dispatch->issue": [],
-            "issue->complete": [], "complete->commit": []}
-    pairs = [("fetched_cycle", "dispatched_cycle", "fetch->dispatch"),
-             ("dispatched_cycle", "issued_cycle", "dispatch->issue"),
-             ("issued_cycle", "completed_cycle", "issue->complete"),
-             ("completed_cycle", "committed_cycle", "complete->commit")]
-    for inst in stream:
+    pairs = [("fetch", "dispatch", "fetch->dispatch"),
+             ("dispatch", "issue", "dispatch->issue"),
+             ("issue", "writeback", "issue->complete"),
+             ("writeback", "commit", "complete->commit")]
+    gaps: Dict[str, List[int]] = {name: [] for _, _, name in pairs}
+    for row in _stage_table(events).values():
         for early, late, name in pairs:
-            a, b = getattr(inst, early), getattr(inst, late)
-            if a >= 0 and b >= 0:
-                gaps[name].append(b - a)
+            if early in row and late in row:
+                gaps[name].append(row[late] - row[early])
     lines = [f"{'stage gap':<18} {'p50':>6} {'p90':>6} {'max':>6} {'n':>7}"]
     for name, values in gaps.items():
         if not values:
@@ -90,9 +109,11 @@ def segment_heatmap(samples: Sequence[Sequence[int]], capacity: int, *,
                     columns: int = 72) -> str:
     """Render per-segment occupancy samples as an ASCII heatmap.
 
-    ``samples[t][k]`` is segment k's occupancy at sample t.  Rows are
-    segments (top segment first, segment 0 last, matching the paper's
-    vertical-pipeline drawing); darker characters mean fuller segments.
+    ``samples[t][k]`` is segment k's occupancy at sample t — exactly the
+    shape :meth:`repro.obs.MetricsCollector.segment_samples` returns.
+    Rows are segments (top segment first, segment 0 last, matching the
+    paper's vertical-pipeline drawing); darker characters mean fuller
+    segments.
     """
     if not samples:
         return "(no samples)"
@@ -112,14 +133,3 @@ def segment_heatmap(samples: Sequence[Sequence[int]], capacity: int, *,
     lines.append(f"{'':>13}  time ->  (darker = fuller, "
                  f"capacity {capacity}/segment)")
     return "\n".join(lines)
-
-
-def collect_segment_samples(processor, *, interval: int = 50,
-                            max_cycles: int = 2_000_000) -> List[List[int]]:
-    """Run a segmented-IQ processor to completion, sampling occupancies."""
-    samples: List[List[int]] = []
-    while not processor.done and processor.cycle < max_cycles:
-        processor.step()
-        if processor.cycle % interval == 0:
-            samples.append(processor.iq.segment_occupancies())
-    return samples

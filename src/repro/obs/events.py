@@ -1,0 +1,82 @@
+"""Typed trace-event records (the observability subsystem's wire format).
+
+Every instrumented component emits :class:`TraceEvent` records through a
+:class:`~repro.obs.tracer.Tracer`.  One flat record type keeps emission
+cheap (a single NamedTuple construction behind an ``if tracer is not
+None`` guard) and makes every sink trivial; unused fields keep their
+defaults and serialize as ``-1`` / ``""`` so JSONL lines are fixed-shape
+and byte-stable.
+
+Event kinds and their field usage (see docs/observability.md for the
+full schema table):
+
+=================  =========================================================
+kind               meaning / extra fields
+=================  =========================================================
+fetch              instruction fetched (``seq``, ``pc``, ``op``)
+dispatch           entered ROB/IQ/LSQ (``seg`` = dispatch segment;
+                   ``dst`` = dest register; ``chain`` when one was made)
+promote            segmented IQ moved an entry (``seg`` -> ``dst``;
+                   ``info`` = "", "pushdown" or "recovery")
+chain_create       chain wire allocated (``chain``, ``seq`` = head,
+                   ``seg`` = head segment)
+chain_wire         chain broadcast (``info`` = "suspend" / "resume" /
+                   "free"; ``chain``, ``seq`` = head)
+issue              left the IQ for execution (``seq``, ``pc``, ``op``)
+writeback          value produced / completion (``seq``; ``info`` =
+                   memory level for loads)
+commit             retired in order (``seq``, ``pc``, ``op``)
+squash             pipeline disruption (``info`` = "branch_mispredict"
+                   or "mem_order")
+deadlock_recovery  segmented-IQ recovery shift fired (``info`` = moves)
+=================  =========================================================
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, NamedTuple
+
+#: Every kind a TraceEvent may carry, in rough pipeline order.
+EVENT_KINDS = (
+    "fetch", "dispatch", "promote", "chain_create", "chain_wire",
+    "issue", "writeback", "commit", "squash", "deadlock_recovery",
+)
+
+#: Kinds that mark a per-instruction pipeline stage (in stage order);
+#: the ASCII pipeline diagram is built from exactly these.
+STAGE_KINDS = ("fetch", "dispatch", "issue", "writeback", "commit")
+
+
+class TraceEvent(NamedTuple):
+    """One observability event.  Immutable, flat, cheap to construct."""
+
+    cycle: int
+    kind: str
+    seq: int = -1        # dynamic sequence number, -1 when not tied to one
+    pc: int = -1         # static instruction index
+    op: str = ""         # opcode mnemonic
+    seg: int = -1        # segment involved (source segment for promote)
+    dst: int = -1        # destination segment (promote / recovery) or
+                         # destination register (dispatch / writeback)
+    chain: int = -1      # chain-wire id
+    info: str = ""       # kind-specific detail
+
+    def to_dict(self) -> Dict[str, object]:
+        """Plain-dict form (every field, fixed shape)."""
+        return self._asdict()
+
+    def to_json(self) -> str:
+        """One canonical JSON line: sorted keys, no whitespace.
+
+        The golden-trace test depends on this exact rendering being
+        byte-stable across runs and Python versions.
+        """
+        return json.dumps(self._asdict(), sort_keys=True,
+                          separators=(",", ":"))
+
+
+def event_from_dict(data: Dict[str, object]) -> TraceEvent:
+    """Inverse of :meth:`TraceEvent.to_dict` (tolerates missing fields)."""
+    return TraceEvent(**{key: data[key]
+                         for key in TraceEvent._fields if key in data})

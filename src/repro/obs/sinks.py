@@ -1,0 +1,185 @@
+"""File-backed trace sinks: JSONL and Chrome ``trace_event`` format.
+
+* :class:`JSONLSink` streams one canonical JSON object per line — the
+  grep/jq-friendly archival format, and the byte-stable one the golden
+  tests pin down.
+* :class:`ChromeTraceSink` buffers the run and writes a Chrome
+  ``trace_event`` JSON object on close — load the file in
+  ``chrome://tracing`` or https://ui.perfetto.dev to scrub through the
+  pipeline visually.
+
+:func:`chrome_trace` is the pure conversion (events -> trace dict) so
+callers holding an in-memory event list (e.g. the CLI's ring buffer) can
+produce the same artifact without a second simulation.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.obs.events import EVENT_KINDS, TraceEvent
+from repro.obs.tracer import Tracer
+
+#: Process ids in the Chrome trace: one row group per family.
+_PID_PIPELINE = 0      # instant events, one thread lane per kind
+_PID_INSTRUCTIONS = 1  # dispatch->commit slices, seq-rotated lanes
+_PID_METRICS = 2       # counter tracks from the metrics layer
+
+#: Number of slice lanes instructions rotate over (keeps overlapping
+#: lifetimes on separate rows so Perfetto renders them legibly).
+_INSTRUCTION_LANES = 8
+
+
+class JSONLSink(Tracer):
+    """One canonical JSON object per line; byte-stable across runs."""
+
+    def __init__(self, target: Union[str, io.TextIOBase],
+                 kinds: Optional[Iterable[str]] = None) -> None:
+        super().__init__(kinds)
+        if isinstance(target, str):
+            self.path: Optional[str] = target
+            self._file = open(target, "w")
+            self._owns_file = True
+        else:
+            self.path = None
+            self._file = target
+            self._owns_file = False
+
+    def _record(self, event: TraceEvent) -> None:
+        self._file.write(event.to_json())
+        self._file.write("\n")
+
+    def close(self) -> None:
+        if not self.closed:
+            if self._owns_file:
+                self._file.close()
+            else:
+                self._file.flush()
+        super().close()
+
+
+def dump_jsonl(events: Sequence[TraceEvent]) -> str:
+    """Render an event list as the canonical JSONL text."""
+    return "".join(event.to_json() + "\n" for event in events)
+
+
+def load_jsonl(text: str) -> List[TraceEvent]:
+    """Parse canonical JSONL text back into events."""
+    from repro.obs.events import event_from_dict
+    return [event_from_dict(json.loads(line))
+            for line in text.splitlines() if line.strip()]
+
+
+# ------------------------------------------------------------- chrome --
+def _meta(pid: int, name: str, tid: int = 0,
+          thread_name: Optional[str] = None) -> List[dict]:
+    records = [{"name": "process_name", "ph": "M", "pid": pid, "tid": 0,
+                "args": {"name": name}}]
+    if thread_name is not None:
+        records.append({"name": "thread_name", "ph": "M", "pid": pid,
+                        "tid": tid, "args": {"name": thread_name}})
+    return records
+
+
+def chrome_trace(events: Sequence[TraceEvent],
+                 metrics: Optional[Dict] = None) -> Dict:
+    """Convert events (and optional metrics series) to Chrome trace JSON.
+
+    One simulated cycle maps to one microsecond of trace time.  The
+    output dict serializes to a file both ``chrome://tracing`` and
+    Perfetto load:
+
+    * pid 0 — instant events, one named thread lane per event kind;
+    * pid 1 — ``X`` duration slices for each instruction's
+      dispatch->commit lifetime, rotated over a few lanes;
+    * pid 2 — ``C`` counter tracks built from a
+      :class:`~repro.obs.metrics.MetricsCollector` report.
+    """
+    kind_lane = {kind: index for index, kind in enumerate(EVENT_KINDS)}
+    trace: List[dict] = []
+    trace += _meta(_PID_PIPELINE, "pipeline events")
+    for kind, lane in kind_lane.items():
+        trace += _meta(_PID_PIPELINE, "pipeline events", lane,
+                       thread_name=kind)[1:]
+    trace += _meta(_PID_INSTRUCTIONS, "instructions")
+
+    dispatched: Dict[int, TraceEvent] = {}
+    for event in events:
+        args = {"seq": event.seq, "pc": event.pc}
+        if event.seg >= 0:
+            args["seg"] = event.seg
+        if event.dst >= 0:
+            args["dst"] = event.dst
+        if event.chain >= 0:
+            args["chain"] = event.chain
+        if event.info:
+            args["info"] = event.info
+        trace.append({
+            "name": event.op or event.kind,
+            "cat": event.kind,
+            "ph": "i",
+            "s": "t",
+            "ts": event.cycle,
+            "pid": _PID_PIPELINE,
+            "tid": kind_lane.get(event.kind, len(EVENT_KINDS)),
+            "args": args,
+        })
+        if event.kind == "dispatch":
+            dispatched[event.seq] = event
+        elif event.kind == "commit":
+            start = dispatched.pop(event.seq, None)
+            if start is not None:
+                trace.append({
+                    "name": f"#{event.seq} {event.op or start.op}",
+                    "cat": "instruction",
+                    "ph": "X",
+                    "ts": start.cycle,
+                    "dur": max(1, event.cycle - start.cycle),
+                    "pid": _PID_INSTRUCTIONS,
+                    "tid": event.seq % _INSTRUCTION_LANES,
+                    "args": {"seq": event.seq, "pc": event.pc},
+                })
+
+    if metrics:
+        trace += _meta(_PID_METRICS, "metrics")
+        cycles = metrics.get("cycles", [])
+        for name, values in sorted(metrics.get("series", {}).items()):
+            if values and isinstance(values[0], (list, tuple)):
+                continue        # vector series (per-segment) — not a counter
+            for cycle, value in zip(cycles, values):
+                trace.append({"name": name, "ph": "C", "ts": cycle,
+                              "pid": _PID_METRICS, "tid": 0,
+                              "args": {"value": value}})
+
+    return {"traceEvents": trace, "displayTimeUnit": "ms",
+            "otherData": {"clock": "1 cycle = 1 us",
+                          "source": "repro.obs"}}
+
+
+class ChromeTraceSink(Tracer):
+    """Buffers the run; writes Chrome ``trace_event`` JSON on close."""
+
+    def __init__(self, path: str,
+                 kinds: Optional[Iterable[str]] = None) -> None:
+        super().__init__(kinds)
+        self.path = path
+        self._events: List[TraceEvent] = []
+        #: Optional metrics report folded into counter tracks at close
+        #: (set by ``repro.api.run`` when both trace and metrics are on).
+        self.metrics: Optional[Dict] = None
+
+    def _record(self, event: TraceEvent) -> None:
+        self._events.append(event)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._events)
+
+    def close(self) -> None:
+        if not self.closed:
+            with open(self.path, "w") as handle:
+                json.dump(chrome_trace(self._events, self.metrics), handle)
+                handle.write("\n")
+        super().close()

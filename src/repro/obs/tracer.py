@@ -1,0 +1,83 @@
+"""Tracer protocol: where instrumented components send their events.
+
+A *tracer* is anything with an ``emit(event)`` method.  Components hold a
+``tracer`` attribute that defaults to ``None`` and guard every emission
+with ``if tracer is not None`` — with tracing off the entire subsystem
+costs one attribute load per potential event and allocates nothing.
+
+:class:`Tracer` is the concrete base used by every built-in sink: it
+implements optional kind filtering, an emission counter, and context
+management (``close`` flushes file-backed sinks).  Third-party sinks can
+subclass it or duck-type the protocol.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Optional
+
+from repro.obs.events import EVENT_KINDS, TraceEvent
+
+
+class Tracer:
+    """Base sink: kind filtering + bookkeeping; subclasses store/forward.
+
+    ``kinds`` restricts the sink to a subset of
+    :data:`~repro.obs.events.EVENT_KINDS` (``None`` = everything).
+    """
+
+    def __init__(self, kinds: Optional[Iterable[str]] = None) -> None:
+        if kinds is not None:
+            kinds = frozenset(kinds)
+            unknown = kinds - frozenset(EVENT_KINDS)
+            if unknown:
+                raise ValueError(f"unknown event kinds: {sorted(unknown)}")
+        self.kinds = kinds
+        self.emitted = 0
+        self.closed = False
+
+    # ------------------------------------------------------------- emit --
+    def emit(self, event: TraceEvent) -> None:
+        if self.kinds is not None and event.kind not in self.kinds:
+            return
+        self.emitted += 1
+        self._record(event)
+
+    def _record(self, event: TraceEvent) -> None:
+        raise NotImplementedError
+
+    # ------------------------------------------------------- lifecycle --
+    def close(self) -> None:
+        """Flush and release resources; idempotent."""
+        self.closed = True
+
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+class RingBufferTracer(Tracer):
+    """Keeps the last ``capacity`` events in memory (``None`` = unbounded).
+
+    The cheapest sink and the one the CLI uses to post-process a run:
+    collect everything, then render diagrams / write files from
+    :attr:`events`.
+    """
+
+    def __init__(self, capacity: Optional[int] = None,
+                 kinds: Optional[Iterable[str]] = None) -> None:
+        super().__init__(kinds)
+        self._buffer: deque = deque(maxlen=capacity)
+        self.capacity = capacity
+
+    def _record(self, event: TraceEvent) -> None:
+        self._buffer.append(event)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        return list(self._buffer)
+
+    def __len__(self) -> int:
+        return len(self._buffer)

@@ -27,6 +27,7 @@ from repro.isa.instruction import DynInst
 from repro.isa.opcodes import FUClass, WORD_BYTES
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.memory.request import LEVEL_FORWARD, MemRequest
+from repro.obs.events import TraceEvent
 
 #: Latency of a store-to-load forward, matched to the L1D hit latency.
 FORWARD_LATENCY = 3
@@ -95,6 +96,9 @@ class LoadStoreQueue:
         self._frontier_blocked: List = []     # heap of (seq, entry)
         # Dispatch stalls until this cycle after a mis-speculation.
         self.violation_flush_until = 0
+        #: Observability sink (see :mod:`repro.obs`); installed by the
+        #: processor, ``None`` disables tracing.
+        self.tracer = None
         if policy == "store_sets":
             from repro.pipeline.memdep import StoreSetPredictor
             self.memdep = StoreSetPredictor(stats)
@@ -218,6 +222,11 @@ class LoadStoreQueue:
             if youngest_earlier is store:
                 self.memdep.record_violation(load.inst.pc, store.inst.pc)
                 violated = True
+                if self.tracer is not None:
+                    self.tracer.emit(TraceEvent(
+                        cycle=cycle, kind="squash", seq=load.seq,
+                        pc=load.inst.pc, op=load.inst.static.opcode.value,
+                        info="mem_order"))
         if violated:
             self.violation_flush_until = max(
                 self.violation_flush_until,

@@ -21,6 +21,7 @@ from repro.frontend.fetch import FrontEnd
 from repro.isa.instruction import DynInst
 from repro.isa.opcodes import FUClass, OpClass
 from repro.memory.hierarchy import MemoryHierarchy
+from repro.obs.events import TraceEvent
 from repro.pipeline.fu import FUPool
 from repro.pipeline.lsq import LoadStoreQueue
 from repro.pipeline.rob import ReorderBuffer
@@ -68,7 +69,8 @@ class Processor:
     """Dynamically scheduled superscalar core running a dynamic stream."""
 
     def __init__(self, params: ProcessorParams, stream: Iterator[DynInst],
-                 stats: Optional[StatGroup] = None) -> None:
+                 stats: Optional[StatGroup] = None, *,
+                 tracer=None, metrics=None) -> None:
         params.validate()
         self.params = params
         # Hot-loop copies of per-cycle limits: attribute chains through
@@ -94,6 +96,18 @@ class Processor:
         # predictor training (it checks L1 residence at dispatch).
         if hasattr(self.iq, "attach_memory"):
             self.iq.attach_memory(self.memory)
+
+        # Observability (repro.obs): every component holds the same tracer
+        # and guards each emission with `if tracer is not None`, so a
+        # disabled tracer costs one attribute load per potential event.
+        self.tracer = tracer
+        self.frontend.tracer = tracer
+        self.lsq.tracer = tracer
+        self.iq.attach_tracer(tracer)
+        if metrics is not None and not hasattr(metrics, "sample"):
+            from repro.obs.metrics import MetricsCollector
+            metrics = MetricsCollector(metrics)
+        self.metrics = metrics
 
         self._last_writer: Dict[int, DynInst] = {}
         self.cycle = 0
@@ -235,6 +249,9 @@ class Processor:
         self._dispatch(now)
         self.frontend.cycle(now)
         self.rob.stat_occupancy.sample(len(self.rob))
+        metrics = self.metrics
+        if metrics is not None and now >= metrics.next_cycle:
+            metrics.sample(self, now)
         if self.invariant_checker is not None:
             self.invariant_checker.check(now)
         self.cycle = now + 1
@@ -254,6 +271,7 @@ class Processor:
         rob = self.rob
         lsq = self.lsq
         listeners = self.commit_listeners
+        tracer = self.tracer
         committed = 0
         while committed < self._commit_width:
             inst = rob.head()
@@ -269,6 +287,10 @@ class Processor:
             if inst.static.is_halt:
                 self._halt_committed = True
             committed += 1
+            if tracer is not None:
+                tracer.emit(TraceEvent(cycle=now, kind="commit",
+                                       seq=inst.seq, pc=inst.pc,
+                                       op=inst.static.opcode.value))
             for listener in listeners:
                 listener(inst, now)
         if committed:
@@ -287,6 +309,11 @@ class Processor:
 
     def _start_execution(self, inst: DynInst, now: int) -> None:
         inst.issued_cycle = now
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(TraceEvent(cycle=now, kind="issue", seq=inst.seq,
+                                   pc=inst.pc,
+                                   op=inst.static.opcode.value))
         if self._clustered:
             self._cluster_load[inst.cluster] -= 1
         if inst.is_mem:
@@ -303,8 +330,20 @@ class Processor:
 
     def _complete(self, inst: DynInst, cycle: int) -> None:
         inst.completed_cycle = cycle
+        tracer = self.tracer
+        if tracer is not None:
+            tracer.emit(TraceEvent(cycle=cycle, kind="writeback",
+                                   seq=inst.seq, pc=inst.pc,
+                                   op=inst.static.opcode.value,
+                                   dst=inst.dest if inst.dest is not None
+                                   else -1))
         self.iq.on_writeback(inst, cycle)
         if inst.mispredicted and inst.is_branch:
+            if tracer is not None:
+                tracer.emit(TraceEvent(cycle=cycle, kind="squash",
+                                       seq=inst.seq, pc=inst.pc,
+                                       op=inst.static.opcode.value,
+                                       info="branch_mispredict"))
             self.frontend.branch_resolved(inst, cycle)
 
     # ---------------------------------------------------------- dispatch --
@@ -334,6 +373,10 @@ class Processor:
             self.rob.dispatch(inst)
             inst.dispatched_cycle = now
             inst.completed_cycle = now
+            if self.tracer is not None:
+                self.tracer.emit(TraceEvent(
+                    cycle=now, kind="dispatch", seq=inst.seq, pc=inst.pc,
+                    op=inst.static.opcode.value, info="bypass_iq"))
             if inst.mispredicted and op_class is OpClass.JUMP:
                 self.frontend.branch_resolved(inst, now)
             return True
@@ -357,7 +400,14 @@ class Processor:
         if inst.is_mem:
             data_ready, data_producer = self._store_data_operand(inst)
             self.lsq.dispatch(inst, data_ready, data_producer)
-        self.iq.dispatch(inst, operands, now)
+        entry = self.iq.dispatch(inst, operands, now)
+        if self.tracer is not None:
+            own_chain = getattr(entry.chain_state, "own_chain", None)
+            self.tracer.emit(TraceEvent(
+                cycle=now, kind="dispatch", seq=inst.seq, pc=inst.pc,
+                op=inst.static.opcode.value, seg=entry.segment,
+                dst=inst.dest if inst.dest is not None else -1,
+                chain=own_chain.chain_id if own_chain is not None else -1))
         if inst.dest is not None and inst.dest != 0:
             self._last_writer[inst.dest] = inst
         return True

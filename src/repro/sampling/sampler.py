@@ -39,7 +39,7 @@ from repro.common.errors import ConfigurationError
 from repro.common.params import ProcessorParams
 from repro.common.stats import StatGroup
 from repro.harness.parallel import ParallelExecutor, raise_on_errors
-from repro.harness.runner import RunResult, resolve_workload, run_workload
+from repro.harness.runner import RunResult, resolve_workload
 from repro.isa.executor import MachineState, execute_from, run_functional
 from repro.pipeline.processor import Processor
 from repro.sampling.checkpoint import Checkpoint, CheckpointStore
@@ -721,8 +721,9 @@ def compare_with_full(workload: Union[str, WorkloadSpec],
                              store=store, progress=progress)
     if progress is not None:
         progress("full-detail reference run")
-    full = run_workload(workload, params, config_label=config_label,
-                        scale=scale, max_instructions=max_instructions)
+    from repro import api
+    full = api.run(params, workload, config_label=config_label,
+                   scale=scale, max_instructions=max_instructions)
     error = ((report.ipc_estimate - full.ipc) / full.ipc
              if full.ipc else 0.0)
     return {

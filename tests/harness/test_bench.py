@@ -17,9 +17,9 @@ class TestBench:
         assert path.name.startswith("BENCH_")
         on_disk = json.loads(path.read_text())
         for key in ("schema", "date", "machine", "serial",
-                    "serial_geomean", "sweep", "sampling"):
+                    "serial_geomean", "sweep", "sampling", "metrics"):
             assert key in on_disk
-        assert on_disk["schema"] == 2
+        assert on_disk["schema"] == 3
         assert on_disk["machine"]["cpu_count"] >= 1
         for row in on_disk["serial"].values():
             assert row["kcycles_per_sec"] > 0
@@ -39,6 +39,12 @@ class TestBench:
         assert sampling["detail_cycle_ratio"] > 1
         assert sampling["sampled_ipc"] > 0
         assert sampling["full_ipc"] > 0
+        metrics = on_disk["metrics"]
+        assert metrics["samples"] > 0
+        assert metrics["events_emitted"] > 0
+        assert "ipc" in metrics["series_means"]
+        assert metrics["plain_seconds"] > 0
+        assert metrics["traced_seconds"] > 0
 
     def test_render_summary(self, tmp_path):
         _, data = _tiny_bench(tmp_path)

@@ -60,6 +60,48 @@ class TestCLI:
         assert "pipeline trace" in out
         assert "dispatch->issue" in out
 
+    def test_trace_chrome_format(self, capsys, tmp_path):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "twolf", "--instructions", "800",
+                     "--format", "chrome", "--out", str(out)]) == 0
+        data = json.loads(out.read_text())
+        events = data["traceEvents"]
+        assert events
+        cats = {event.get("cat") for event in events}
+        assert {"chain_create", "chain_wire", "promote"} <= cats
+        phases = {event.get("ph") for event in events}
+        assert {"i", "X", "C", "M"} <= phases
+
+    def test_trace_jsonl_format(self, capsys, tmp_path):
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "twolf", "--instructions", "600",
+                     "--format", "jsonl", "--out", str(out)]) == 0
+        lines = out.read_text().splitlines()
+        assert lines
+        assert all(json.loads(line)["kind"] for line in lines[:20])
+
+    def test_trace_json_flag_writes_chrome(self, capsys, tmp_path):
+        out = tmp_path / "chrome.json"
+        assert main(["trace", "twolf", "--instructions", "600",
+                     "--count", "4", "--json", str(out)]) == 0
+        assert "pipeline trace" in capsys.readouterr().out
+        assert json.loads(out.read_text())["traceEvents"]
+
+    def test_common_flags_accepted_uniformly(self, capsys, tmp_path):
+        """--jobs/--no-cache/--progress/--json parse on run/bench/sample/
+        validate/trace alike (shared parent parsers)."""
+        out = tmp_path / "run.json"
+        assert main(["run", "twolf", "--instructions", "800",
+                     "--jobs", "1", "--no-cache", "--progress", "0",
+                     "--json", str(out)]) == 0
+        data = json.loads(out.read_text())
+        assert data["workload"] == "twolf"
+        assert data["ipc"] > 0
+        assert main(["validate", "--programs", "1", "--no-shrink",
+                     "--jobs", "1", "--no-cache", "--progress", "0",
+                     "--json", str(tmp_path / "validate.json")]) == 0
+        assert json.loads((tmp_path / "validate.json").read_text())["ok"]
+
     def test_segments(self, capsys):
         assert main(["segments", "twolf", "--size", "128",
                      "--instructions", "1500", "--interval", "25"]) == 0
@@ -110,7 +152,7 @@ class TestCLI:
         artifacts = list(tmp_path.glob("BENCH_*.json"))
         assert len(artifacts) == 1
         data = json.loads(artifacts[0].read_text())
-        assert data["schema"] == 2
+        assert data["schema"] == 3
         assert data["sweep"]["cache_hits"] == data["sweep"]["cells"]
         assert data["sampling"]["detail_cycle_ratio"] > 1
         out = capsys.readouterr().out

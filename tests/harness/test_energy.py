@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.harness import configs, run_workload
+from repro import api
+from repro.harness import configs
 from repro.harness.energy import (DEFAULT_WEIGHTS, EnergyModel,
                                   energy_per_instruction, format_breakdown)
 
@@ -11,8 +12,8 @@ from repro.harness.energy import (DEFAULT_WEIGHTS, EnergyModel,
 def runs():
     seg_params = configs.segmented(512, 128, "comb")
     ideal_params = configs.ideal(512)
-    seg = run_workload("twolf", seg_params, max_instructions=6000)
-    ideal = run_workload("twolf", ideal_params, max_instructions=6000)
+    seg = api.run(seg_params, "twolf", max_instructions=6000)
+    ideal = api.run(ideal_params, "twolf", max_instructions=6000)
     return seg, seg_params, ideal, ideal_params
 
 
@@ -73,9 +74,9 @@ class TestEnergyModel:
         gated_iq = dataclasses.replace(base_iq, dynamic_resize=True,
                                        resize_interval=100)
         model = EnergyModel()
-        fixed = run_workload("gcc", ProcessorParams().replace(iq=base_iq),
+        fixed = api.run(ProcessorParams().replace(iq=base_iq), "gcc",
                              max_instructions=6000)
-        gated = run_workload("gcc", ProcessorParams().replace(iq=gated_iq),
+        gated = api.run(ProcessorParams().replace(iq=gated_iq), "gcc",
                              max_instructions=6000)
         fixed_b = model.estimate(fixed.stats)
         gated_b = model.estimate(gated.stats)

@@ -2,10 +2,11 @@
 
 import pytest
 
+from repro import api
 from repro.harness import (RunResult, ascii_series_plot, configs,
                            figure2_report, format_table, geometric_mean,
                            relative_performance, resolve_workload,
-                           run_workload, table2_report)
+                           table2_report)
 from repro.workloads import WORKLOADS
 
 
@@ -54,8 +55,8 @@ class TestRunner:
         assert resolve_workload(spec) is spec
 
     def test_run_produces_result(self):
-        result = run_workload("twolf", configs.ideal(32),
-                              config_label="test", max_instructions=3000)
+        result = api.run(configs.ideal(32), "twolf",
+                         config_label="test", max_instructions=3000)
         assert isinstance(result, RunResult)
         assert result.workload == "twolf"
         assert result.config == "test"
@@ -65,18 +66,18 @@ class TestRunner:
         assert "cycles" in result.stats
 
     def test_branch_accuracy_between_zero_and_one(self):
-        result = run_workload("gcc", configs.ideal(32),
-                              max_instructions=3000)
+        result = api.run(configs.ideal(32), "gcc",
+                         max_instructions=3000)
         assert 0.0 <= result.branch_accuracy <= 1.0
 
     def test_chain_stats_for_segmented(self):
-        result = run_workload("twolf", configs.segmented(128, 32, "comb"),
-                              max_instructions=3000)
+        result = api.run(configs.segmented(128, 32, "comb"), "twolf",
+                         max_instructions=3000)
         assert result.chains_peak >= result.chains_avg >= 0
 
     def test_str_is_informative(self):
-        result = run_workload("twolf", configs.ideal(32),
-                              max_instructions=2000)
+        result = api.run(configs.ideal(32), "twolf",
+                         max_instructions=2000)
         text = str(result)
         assert "twolf" in text
         assert "IPC" in text

@@ -1,59 +1,83 @@
 """Tests for the pipeline-trace and heatmap visualizations."""
 
+import random
+
 import pytest
 
 from repro.harness import configs
-from repro.harness.trace import (collect_segment_samples,
-                                 render_pipeline_trace, segment_heatmap,
+from repro.harness.trace import (render_pipeline_trace, segment_heatmap,
                                  stage_latency_summary)
 from repro.isa import execute
+from repro.obs import MetricsCollector, RingBufferTracer
 from repro.pipeline import Processor
 
 from tests.conftest import daxpy_program
 
 
 @pytest.fixture(scope="module")
-def annotated_stream():
+def traced_run():
     program = daxpy_program(n=64)
-    stream = list(execute(program))
-    processor = Processor(configs.segmented(128, 32, "comb"), iter(stream))
+    tracer = RingBufferTracer()
+    collector = MetricsCollector(20)
+    processor = Processor(configs.segmented(128, 32, "comb"),
+                          execute(program), tracer=tracer,
+                          metrics=collector)
     processor.warm_code(program)
     processor.run(max_cycles=500_000)
-    return stream
+    assert processor.done
+    return tracer.events, collector
+
+
+@pytest.fixture(scope="module")
+def events(traced_run):
+    return traced_run[0]
 
 
 class TestPipelineTrace:
-    def test_contains_stage_markers(self, annotated_stream):
-        text = render_pipeline_trace(annotated_stream, count=16)
+    def test_contains_stage_markers(self, events):
+        text = render_pipeline_trace(events, count=16)
         assert "f" in text and "r" in text
         assert "pipeline trace" in text
 
-    def test_one_row_per_instruction(self, annotated_stream):
-        text = render_pipeline_trace(annotated_stream, start_seq=10,
-                                     count=8)
+    def test_one_row_per_instruction(self, events):
+        text = render_pipeline_trace(events, start_seq=10, count=8)
         rows = [line for line in text.splitlines() if line.startswith("#")]
         assert len(rows) == 8
         assert rows[0].startswith("#    10")
 
+    def test_window_is_seq_ordered_regardless_of_event_order(self, events):
+        """The slice must select the `count` oldest seqs at or after
+        start_seq even when the event stream arrives shuffled."""
+        shuffled = list(events)
+        random.Random(7).shuffle(shuffled)
+        assert (render_pipeline_trace(shuffled, start_seq=10, count=8)
+                == render_pipeline_trace(events, start_seq=10, count=8))
+
+    def test_nonpositive_count_rejected(self, events):
+        with pytest.raises(ValueError, match="count must be positive"):
+            render_pipeline_trace(events, count=0)
+        with pytest.raises(ValueError, match="count must be positive"):
+            render_pipeline_trace(events, count=-3)
+
     def test_empty_window(self):
         assert "no instructions" in render_pipeline_trace([], count=4)
 
-    def test_rows_fit_width(self, annotated_stream):
-        text = render_pipeline_trace(annotated_stream, count=8, width=40)
+    def test_rows_fit_width(self, events):
+        text = render_pipeline_trace(events, count=8, width=40)
         for line in text.splitlines()[1:]:
             bar = line.split("|")[1]
             assert len(bar) == 40
 
 
 class TestLatencySummary:
-    def test_reports_all_gaps(self, annotated_stream):
-        text = stage_latency_summary(annotated_stream)
+    def test_reports_all_gaps(self, events):
+        text = stage_latency_summary(events)
         for name in ("fetch->dispatch", "dispatch->issue",
                      "issue->complete", "complete->commit"):
             assert name in text
 
-    def test_percentiles_ordered(self, annotated_stream):
-        text = stage_latency_summary(annotated_stream)
+    def test_percentiles_ordered(self, events):
+        text = stage_latency_summary(events)
         for line in text.splitlines()[1:]:
             parts = line.split()
             p50, p90, peak = int(parts[1]), int(parts[2]), int(parts[3])
@@ -76,12 +100,9 @@ class TestSegmentHeatmap:
     def test_empty_samples(self):
         assert "no samples" in segment_heatmap([], capacity=32)
 
-    def test_collect_samples_runs_processor(self):
-        program = daxpy_program(n=256)
-        processor = Processor(configs.segmented(128, 32, "comb"),
-                              execute(program))
-        processor.warm_code(program)
-        samples = collect_segment_samples(processor, interval=20)
-        assert processor.done
+    def test_metrics_samples_feed_heatmap(self, traced_run):
+        _, collector = traced_run
+        samples = collector.segment_samples()
         assert samples
         assert all(len(sample) == 4 for sample in samples)
+        assert "seg 0 (issue)" in segment_heatmap(samples, capacity=32)

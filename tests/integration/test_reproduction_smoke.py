@@ -8,7 +8,8 @@ every IQ design, the harness, and the experiment API — in under a minute.
 
 import pytest
 
-from repro.harness import configs, run_workload
+from repro import api
+from repro.harness import configs
 from repro.harness.experiments import EXPERIMENTS
 
 
@@ -17,14 +18,13 @@ def mini():
     """A miniature swim comparison across the three headline designs."""
     budget = 4000
     return {
-        "conv32": run_workload("swim", configs.ideal(32),
+        "conv32": api.run(configs.ideal(32), "swim",
                                max_instructions=budget),
-        "ideal512": run_workload("swim", configs.ideal(512),
+        "ideal512": api.run(configs.ideal(512), "swim",
                                  max_instructions=budget),
-        "seg512": run_workload("swim",
-                               configs.segmented(512, 128, "comb"),
+        "seg512": api.run(configs.segmented(512, 128, "comb"), "swim",
                                max_instructions=budget),
-        "presched": run_workload("swim", configs.prescheduled(24),
+        "presched": api.run(configs.prescheduled(24), "swim",
                                  max_instructions=budget),
     }
 

@@ -1,0 +1,48 @@
+"""Tests for the typed trace-event records."""
+
+import json
+
+import pytest
+
+from repro.obs import (EVENT_KINDS, STAGE_KINDS, TraceEvent,
+                       event_from_dict)
+
+
+class TestEventKinds:
+    def test_all_kinds_present(self):
+        assert set(EVENT_KINDS) == {
+            "fetch", "dispatch", "promote", "chain_create", "chain_wire",
+            "issue", "writeback", "commit", "squash", "deadlock_recovery"}
+
+    def test_stage_kinds_subset(self):
+        assert set(STAGE_KINDS) <= set(EVENT_KINDS)
+        assert list(STAGE_KINDS) == ["fetch", "dispatch", "issue",
+                                     "writeback", "commit"]
+
+
+class TestTraceEvent:
+    def test_defaults(self):
+        event = TraceEvent(cycle=7, kind="fetch")
+        assert event.seq == -1 and event.pc == -1 and event.op == ""
+        assert event.seg == -1 and event.dst == -1 and event.chain == -1
+        assert event.info == ""
+
+    def test_to_json_is_canonical(self):
+        """Sorted keys, compact separators — the byte-stable JSONL form."""
+        event = TraceEvent(cycle=3, kind="dispatch", seq=12, pc=4,
+                           op="add", seg=2, dst=5, chain=1, info="x")
+        text = event.to_json()
+        assert text == json.dumps(json.loads(text), sort_keys=True,
+                                  separators=(",", ":"))
+        keys = list(json.loads(text))
+        assert keys == sorted(keys)
+
+    def test_round_trip(self):
+        event = TraceEvent(cycle=9, kind="promote", seq=4, seg=1,
+                           info="pushdown")
+        assert event_from_dict(json.loads(event.to_json())) == event
+
+    def test_round_trip_all_kinds(self):
+        for index, kind in enumerate(EVENT_KINDS):
+            event = TraceEvent(cycle=index, kind=kind, seq=index)
+            assert event_from_dict(event.to_dict()) == event

@@ -1,0 +1,130 @@
+"""End-to-end instrumentation tests: golden trace, event invariants,
+and the zero-overhead-when-off guarantee."""
+
+import io
+import time
+from pathlib import Path
+
+from repro import api
+from repro.harness import configs
+from repro.isa import execute
+from repro.obs import JSONLSink, RingBufferTracer
+from repro.pipeline import Processor
+
+from tests.conftest import daxpy_program
+
+GOLDEN = Path(__file__).with_name("golden_trace.jsonl")
+
+
+def _golden_trace_text() -> str:
+    """The exact run the golden file pins down: tiny daxpy, small
+    segmented IQ, JSONL sink.  Regenerate the file with
+    ``python -c "from tests.obs.test_instrumentation import \
+_golden_trace_text; print(_golden_trace_text(), end='')" > \
+tests/obs/golden_trace.jsonl`` after an intentional simulator change."""
+    program = daxpy_program(n=4)
+    buffer = io.StringIO()
+    sink = JSONLSink(buffer)
+    processor = Processor(
+        configs.segmented(64, 8, "comb", segment_size=16),
+        execute(program), tracer=sink)
+    processor.warm_code(program)
+    processor.run(max_cycles=100_000)
+    assert processor.done
+    sink.close()
+    return buffer.getvalue()
+
+
+class TestGoldenTrace:
+    def test_jsonl_is_byte_stable(self):
+        """The serialized event stream of a fixed run must not drift:
+        any diff here is either a simulator behavior change (update the
+        golden file deliberately) or a serialization regression."""
+        assert _golden_trace_text() == GOLDEN.read_text()
+
+    def test_golden_repeats_within_process(self):
+        assert _golden_trace_text() == _golden_trace_text()
+
+
+class TestEventInvariants:
+    def _events(self):
+        tracer = RingBufferTracer()
+        api.run(configs.segmented(128, 32, "comb"), "twolf",
+                max_instructions=2000, trace=tracer)
+        return tracer.events
+
+    def test_stage_order_per_instruction(self):
+        """Every issue must be preceded by a dispatch of the same seq,
+        every commit by a dispatch, in cycle order."""
+        events = self._events()
+        assert events
+        dispatched = {}
+        issued = set()
+        for event in events:
+            if event.kind == "dispatch":
+                dispatched[event.seq] = event.cycle
+            elif event.kind == "issue":
+                assert event.seq in dispatched, \
+                    f"issue of seq {event.seq} without dispatch"
+                assert event.cycle >= dispatched[event.seq]
+                issued.add(event.seq)
+            elif event.kind == "commit":
+                assert event.seq in dispatched
+                assert event.cycle >= dispatched[event.seq]
+        assert issued     # the run actually issued through the IQ
+
+    def test_commits_are_in_program_order(self):
+        commits = [e.seq for e in self._events() if e.kind == "commit"]
+        assert commits == sorted(commits)
+
+    def test_cycles_never_decrease(self):
+        events = self._events()
+        assert all(a.cycle <= b.cycle
+                   for a, b in zip(events, events[1:]))
+
+
+class TestZeroOverheadWhenOff:
+    def _build(self, tracer=None):
+        program = daxpy_program(n=256)
+        processor = Processor(configs.segmented(128, 32, "comb"),
+                              execute(program), tracer=tracer)
+        processor.warm_code(program)
+        return processor
+
+    def test_tracing_off_emits_nothing_and_matches_traced_results(self):
+        plain = self._build()
+        plain.run(max_cycles=500_000)
+        assert plain.tracer is None
+        assert plain.frontend.tracer is None
+        assert plain.iq.tracer is None
+        assert plain.lsq.tracer is None
+        tracer = RingBufferTracer()
+        traced = self._build(tracer)
+        traced.run(max_cycles=500_000)
+        # Instrumentation observes; it must never perturb the simulation.
+        assert (traced.cycle, traced.committed) == (plain.cycle,
+                                                    plain.committed)
+        assert len(tracer) > 0
+
+    def test_tracing_off_is_not_slower_than_tracing_on(self):
+        """The tracing-off path must not pay the emission cost.  Traced
+        runs construct ~10 events/cycle; the off path is a handful of
+        ``is not None`` checks, so off must be measurably <= on."""
+        def timed(tracer):
+            best = float("inf")
+            for _ in range(3):
+                processor = self._build(
+                    tracer() if tracer is not None else None)
+                started = time.perf_counter()
+                processor.run(max_cycles=500_000)
+                best = min(best, time.perf_counter() - started)
+            return best
+
+        for _attempt in range(3):
+            off = timed(None)
+            on = timed(RingBufferTracer)
+            if off <= on * 1.02:
+                return
+        raise AssertionError(
+            f"tracing-off ({off:.4f}s) slower than tracing-on "
+            f"({on:.4f}s) + 2% across retries")

@@ -1,0 +1,84 @@
+"""Tests for the periodic metrics sampler."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.harness import configs
+from repro.isa import execute
+from repro.obs import MetricsCollector, MetricsConfig, summarize
+from repro.pipeline import Processor
+
+from tests.conftest import daxpy_program
+
+
+def _metered_run(params, interval=25, n=64):
+    program = daxpy_program(n=n)
+    collector = MetricsCollector(interval)
+    processor = Processor(params, execute(program), metrics=collector)
+    processor.warm_code(program)
+    processor.run(max_cycles=500_000)
+    assert processor.done
+    return processor, collector
+
+
+class TestConfig:
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ConfigurationError):
+            MetricsConfig(interval=0).validate()
+
+    def test_collector_normalizes_int(self):
+        assert MetricsCollector(40).interval == 40
+
+    def test_collector_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            MetricsCollector(MetricsConfig(interval=-5))
+
+
+class TestCollector:
+    def test_samples_on_schedule(self):
+        _, collector = _metered_run(configs.segmented(128, 32, "comb"))
+        assert collector.samples > 2
+        cycles = collector.cycles
+        assert all(b - a >= collector.interval
+                   for a, b in zip(cycles, cycles[1:]))
+
+    def test_segmented_run_has_all_series(self):
+        _, collector = _metered_run(configs.segmented(128, 32, "comb"))
+        for name in ("ipc", "issue.utilization", "iq.occupancy",
+                     "rob.occupancy", "lsq.occupancy", "chains.active",
+                     "iq.segments"):
+            assert name in collector.series, name
+        for sample in collector.segment_samples():
+            assert len(sample) == 4     # 128 entries / 32 per segment
+
+    def test_ideal_run_has_no_segment_series(self):
+        _, collector = _metered_run(configs.ideal(64))
+        assert "iq.segments" not in collector.series
+        assert "ipc" in collector.series
+
+    def test_windowed_ipc_matches_final_ipc(self):
+        processor, collector = _metered_run(
+            configs.segmented(128, 32, "comb"), interval=10, n=256)
+        series = collector.series["ipc"]
+        mean = sum(series) / len(series)
+        assert mean == pytest.approx(processor.ipc, rel=0.25)
+
+    def test_to_dict_shape(self):
+        _, collector = _metered_run(configs.segmented(128, 32, "comb"))
+        report = collector.to_dict()
+        assert report["interval"] == 25
+        assert report["samples"] == len(report["cycles"])
+        for values in report["series"].values():
+            assert len(values) == report["samples"]
+
+
+class TestSummarize:
+    def test_means_scalars_only(self):
+        report = {"series": {"ipc": [1.0, 3.0],
+                             "iq.segments": [[1, 2], [3, 4]]}}
+        means = summarize(report)
+        assert means == {"ipc": 2.0}
+
+    def test_empty_report(self):
+        assert summarize(None) == {}
+        assert summarize({}) == {}

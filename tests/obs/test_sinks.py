@@ -1,0 +1,90 @@
+"""Tests for the JSONL and Chrome trace_event sinks."""
+
+import io
+import json
+
+from repro.obs import (ChromeTraceSink, JSONLSink, TraceEvent, chrome_trace,
+                       dump_jsonl, load_jsonl)
+
+EVENTS = [
+    TraceEvent(cycle=0, kind="fetch", seq=0, pc=0, op="li"),
+    TraceEvent(cycle=1, kind="dispatch", seq=0, pc=0, op="li", seg=3,
+               dst=1, chain=0),
+    TraceEvent(cycle=2, kind="chain_create", seq=1, pc=1, op="add",
+               seg=3, chain=1),
+    TraceEvent(cycle=4, kind="promote", seq=0, seg=3, dst=2,
+               info="pushdown"),
+    TraceEvent(cycle=5, kind="issue", seq=0, pc=0, op="li"),
+    TraceEvent(cycle=6, kind="writeback", seq=0, pc=0, op="li", dst=1),
+    TraceEvent(cycle=7, kind="commit", seq=0, pc=0, op="li"),
+]
+
+
+class TestJSONL:
+    def test_round_trip(self):
+        assert load_jsonl(dump_jsonl(EVENTS)) == EVENTS
+
+    def test_sink_streams_canonical_lines(self):
+        buffer = io.StringIO()
+        sink = JSONLSink(buffer)
+        for event in EVENTS:
+            sink.emit(event)
+        sink.close()
+        assert buffer.getvalue() == dump_jsonl(EVENTS)
+
+    def test_sink_owns_file_from_path(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with JSONLSink(str(path)) as sink:
+            for event in EVENTS:
+                sink.emit(event)
+        assert load_jsonl(path.read_text()) == EVENTS
+
+    def test_kind_filter(self):
+        buffer = io.StringIO()
+        sink = JSONLSink(buffer, kinds=["commit"])
+        for event in EVENTS:
+            sink.emit(event)
+        lines = buffer.getvalue().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["kind"] == "commit"
+
+
+class TestChromeTrace:
+    def test_structure(self):
+        data = chrome_trace(EVENTS)
+        assert set(data) == {"traceEvents", "displayTimeUnit", "otherData"}
+        assert json.dumps(data)     # JSON-serializable
+
+    def test_instant_events_one_per_input(self):
+        data = chrome_trace(EVENTS)
+        instants = [e for e in data["traceEvents"] if e["ph"] == "i"]
+        assert len(instants) == len(EVENTS)
+        assert {e["cat"] for e in instants} == {e.kind for e in EVENTS}
+
+    def test_dispatch_commit_pairs_become_slices(self):
+        data = chrome_trace(EVENTS)
+        slices = [e for e in data["traceEvents"] if e["ph"] == "X"]
+        assert len(slices) == 1
+        (piece,) = slices
+        assert piece["ts"] == 1 and piece["dur"] == 6
+        assert piece["args"]["seq"] == 0
+
+    def test_metrics_become_counters(self):
+        metrics = {"cycles": [100, 200],
+                   "series": {"ipc": [1.5, 2.0],
+                              "iq.segments": [[1, 2], [3, 4]]}}
+        data = chrome_trace(EVENTS, metrics=metrics)
+        counters = [e for e in data["traceEvents"] if e["ph"] == "C"]
+        assert [c["args"]["value"] for c in counters] == [1.5, 2.0]
+        assert all(c["name"] == "ipc" for c in counters)  # vectors skipped
+
+    def test_sink_writes_file_on_close(self, tmp_path):
+        path = tmp_path / "trace.json"
+        sink = ChromeTraceSink(str(path))
+        for event in EVENTS:
+            sink.emit(event)
+        sink.metrics = {"cycles": [5], "series": {"ipc": [1.0]}}
+        sink.close()
+        data = json.loads(path.read_text())
+        phases = {e["ph"] for e in data["traceEvents"]}
+        assert {"i", "X", "C", "M"} <= phases

@@ -1,0 +1,56 @@
+"""Tests for the tracer protocol and the ring-buffer sink."""
+
+import pytest
+
+from repro.obs import RingBufferTracer, TraceEvent
+from repro.obs.tracer import Tracer
+
+
+def _event(cycle, kind="fetch", seq=0):
+    return TraceEvent(cycle=cycle, kind=kind, seq=seq)
+
+
+class TestTracerBase:
+    def test_unknown_kind_filter_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kinds"):
+            RingBufferTracer(kinds=["fetch", "teleport"])
+
+    def test_kind_filter_drops_other_kinds(self):
+        tracer = RingBufferTracer(kinds=["commit"])
+        tracer.emit(_event(1, "fetch"))
+        tracer.emit(_event(2, "commit"))
+        assert tracer.emitted == 1
+        assert [e.kind for e in tracer.events] == ["commit"]
+
+    def test_emitted_counts_recorded_events(self):
+        tracer = RingBufferTracer()
+        for cycle in range(5):
+            tracer.emit(_event(cycle))
+        assert tracer.emitted == 5
+
+    def test_context_manager_closes(self):
+        with RingBufferTracer() as tracer:
+            tracer.emit(_event(0))
+        assert tracer.closed
+        tracer.close()          # idempotent
+        assert tracer.closed
+
+    def test_base_record_is_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Tracer().emit(_event(0))
+
+
+class TestRingBuffer:
+    def test_unbounded_by_default(self):
+        tracer = RingBufferTracer()
+        for cycle in range(1000):
+            tracer.emit(_event(cycle))
+        assert len(tracer) == 1000
+
+    def test_capacity_keeps_newest(self):
+        tracer = RingBufferTracer(capacity=3)
+        for cycle in range(10):
+            tracer.emit(_event(cycle))
+        assert len(tracer) == 3
+        assert [e.cycle for e in tracer.events] == [7, 8, 9]
+        assert tracer.emitted == 10     # emitted counts all, buffer trims

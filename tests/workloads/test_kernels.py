@@ -8,7 +8,8 @@ for it (that character is what makes it an analog of its SPEC namesake).
 import pytest
 
 from repro.common import ProcessorParams, ideal_iq_params
-from repro.harness import configs, run_workload
+from repro import api
+from repro.harness import configs
 from repro.isa import execute, run_functional
 from repro.workloads import (FP_BENCHMARKS, INT_BENCHMARKS, WORKLOADS,
                              build_equake, build_gcc, build_swim,
@@ -62,7 +63,7 @@ class TestWorkloadCharacter:
     """Check the memory/branch profile that makes each analog valid."""
 
     def run(self, name, **kwargs):
-        return run_workload(name, configs.ideal(128), **kwargs)
+        return api.run(configs.ideal(128), name, **kwargs)
 
     def test_swim_is_delayed_hit_dominated(self):
         result = self.run("swim")
@@ -113,7 +114,7 @@ class TestPaperShapeProperties:
     """The headline behaviours the analogs must reproduce."""
 
     def ipc(self, name, size):
-        return run_workload(name, configs.ideal(size)).ipc
+        return api.run(configs.ideal(size), name).ipc
 
     def test_fp_benchmarks_gain_from_large_windows(self):
         for name in ("swim", "applu"):
