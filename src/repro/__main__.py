@@ -64,6 +64,10 @@ def _config_parent() -> argparse.ArgumentParser:
                        choices=["base", "hmp", "lrp", "comb"])
     group.add_argument("--instructions", type=int, default=None,
                        help="instruction budget override")
+    group.add_argument("--no-skip", action="store_true",
+                       help="disable event-driven cycle skipping (results "
+                            "are bit-identical either way; this forces the "
+                            "plain one-step-per-cycle loop)")
     return parent
 
 
@@ -73,18 +77,22 @@ def _parse_chains(value: str):
 
 def _params_from_args(args) -> "ProcessorParams":
     if args.iq == "ideal":
-        return configs.ideal(args.size)
-    if args.iq == "segmented":
-        return configs.segmented(args.size, _parse_chains(args.chains),
-                                 args.variant,
-                                 segment_size=args.segment_size)
-    if args.iq == "prescheduled":
-        return configs.prescheduled(max(1, (args.size - 32) // 12))
-    if args.iq == "distance":
-        return configs.distance(max(1, (args.size - 32) // 12))
-    if args.iq == "fifo":
-        return configs.fifo(args.size, depth=args.segment_size)
-    raise SystemExit(f"unknown IQ kind {args.iq!r}")
+        params = configs.ideal(args.size)
+    elif args.iq == "segmented":
+        params = configs.segmented(args.size, _parse_chains(args.chains),
+                                   args.variant,
+                                   segment_size=args.segment_size)
+    elif args.iq == "prescheduled":
+        params = configs.prescheduled(max(1, (args.size - 32) // 12))
+    elif args.iq == "distance":
+        params = configs.distance(max(1, (args.size - 32) // 12))
+    elif args.iq == "fifo":
+        params = configs.fifo(args.size, depth=args.segment_size)
+    else:
+        raise SystemExit(f"unknown IQ kind {args.iq!r}")
+    if getattr(args, "no_skip", False):
+        params = params.replace(event_driven=False)
+    return params
 
 
 def _make_cache(args):
@@ -369,8 +377,17 @@ def cmd_validate(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    from repro.harness.bench import render_summary, run_bench
+    from repro.harness.bench import (profile_serial_cell, render_summary,
+                                     run_bench)
 
+    if args.profile:
+        budget = (args.instructions if args.instructions is not None
+                  else 20_000)
+        workload = (args.workloads.split(",")[0] if args.workloads
+                    else "gcc")
+        print(profile_serial_cell(workload=workload,
+                                  max_instructions=budget))
+        return 0
     path, data = run_bench(
         jobs=args.jobs, quick=args.quick,
         workloads=args.workloads.split(",") if args.workloads else None,
@@ -482,6 +499,9 @@ def main(argv=None) -> int:
                               help="directory for BENCH_<date>.json")
     bench_parser.add_argument("--compare", default="",
                               help="older BENCH_*.json to diff against")
+    bench_parser.add_argument("--profile", action="store_true",
+                              help="cProfile one serial cell (top-20 "
+                                   "cumulative) instead of the full bench")
 
     validate_parser = sub.add_parser(
         "validate",

@@ -218,6 +218,11 @@ class ProcessorParams:
     # Run the per-cycle pipeline invariant checks (repro.validation); off by
     # default so benchmark timings pay nothing for them.
     check_invariants: bool = False
+    # Event-driven cycle skipping: Processor.run fast-forwards the clock
+    # across provably quiescent stretches (docs/performance.md).  Results
+    # are bit-identical either way; set False (CLI: --no-skip) to force
+    # the plain one-step-per-cycle loop for debugging.
+    event_driven: bool = True
 
     @property
     def rob_size(self) -> int:

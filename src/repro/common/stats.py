@@ -55,6 +55,24 @@ class Distribution:
         if value > self._maximum:
             self._maximum = value
 
+    def sample_n(self, value: float, repeats: int) -> None:
+        """Record ``value`` as ``repeats`` identical samples.
+
+        Bit-identical to calling :meth:`sample` that many times for the
+        integer-valued samples the simulator records (``value * repeats``
+        is exact, and min/max only need one update).  The event-driven
+        skip path uses this to replay the per-cycle samples of a
+        quiescent stretch in O(1).
+        """
+        if repeats <= 0:
+            return
+        self.count += repeats
+        self.total += value * repeats
+        if value < self._minimum:
+            self._minimum = value
+        if value > self._maximum:
+            self._maximum = value
+
     @property
     def minimum(self) -> float:
         """Smallest observed sample; 0 when nothing was sampled."""

@@ -17,6 +17,7 @@ from typing import List
 
 from repro.common.stats import StatGroup
 from repro.core.iq_base import IQEntry, InstructionQueue, Operand
+from repro.core.segmented.links import NEVER
 from repro.isa.instruction import DynInst
 
 
@@ -63,6 +64,21 @@ class ConventionalIQ(InstructionQueue):
 
     def on_entry_ready_known(self, entry: IQEntry) -> None:
         heapq.heappush(self._pending, (entry.ready_cycle, entry.seq, entry))
+
+    # ------------------------------------------------------ event-driven --
+    def next_event_cycle(self, now: int) -> int:
+        if self._ready:
+            return now
+        if self._pending:
+            return self._pending[0][0]
+        return NEVER
+
+    def skip_cycles(self, now: int, count: int) -> None:
+        self.stat_occupancy.sample_n(self._occupancy, count)
+        self.stat_ready.sample_n(0, count)
+
+    def blocked_dispatch_wake(self, now: int) -> int:
+        return NEVER    # occupancy only drops on issue, which is an event
 
     # ------------------------------------------------------------ issue --
     def select_issue(self, now: int, acquire_fu) -> List[IQEntry]:

@@ -31,6 +31,7 @@ from typing import Deque, List, Optional
 from repro.common.params import IQParams
 from repro.common.stats import StatGroup
 from repro.core.iq_base import IQEntry, InstructionQueue, Operand
+from repro.core.segmented.links import NEVER
 from repro.isa.instruction import DynInst
 
 #: entry.segment markers.
@@ -123,6 +124,30 @@ class DistanceIQ(InstructionQueue):
     def cycle(self, now: int) -> None:
         self.now = now
         self.stat_occupancy.sample(self.occupancy)
+
+    # ------------------------------------------------------ event-driven --
+    def next_event_cycle(self, now: int) -> int:
+        if self._rows[0]:
+            return now      # issue attempt (or structural stall) this cycle
+        if self._array_count:
+            # Empty head rows rotate away one per cycle.
+            for distance in range(1, self.num_lines):
+                if self._rows[distance]:
+                    return now + distance
+        return NEVER        # buffered entries wake through producer events
+
+    def skip_cycles(self, now: int, count: int) -> None:
+        self.now = now + count - 1
+        # Only empty head rows were skipped, so the per-cycle rotation in
+        # select_issue collapses to one deque rotation.
+        self._rows.rotate(-count)
+        self._base_cycle += count
+        self.stat_occupancy.sample_n(self.occupancy, count)
+
+    def blocked_dispatch_wake(self, now: int) -> int:
+        # Admission needs buffer room (freed by producer events) or array
+        # room (freed by issue); neither changes in a quiescent cycle.
+        return NEVER
 
     # ------------------------------------------------------------ issue --
     def select_issue(self, now: int, acquire_fu) -> List[IQEntry]:

@@ -23,6 +23,7 @@ from typing import Deque, Dict, List, Optional
 from repro.common.params import IQParams
 from repro.common.stats import StatGroup
 from repro.core.iq_base import IQEntry, InstructionQueue, Operand
+from repro.core.segmented.links import NEVER
 from repro.isa.instruction import DynInst
 
 
@@ -106,6 +107,34 @@ class DependenceFIFOQueue(InstructionQueue):
             self._tail_producer[self._reg_key(inst, inst.dest)] = index
         self.stat_dispatched.inc()
         return entry
+
+    # ------------------------------------------------------ event-driven --
+    def next_event_cycle(self, now: int) -> int:
+        wake = NEVER
+        for fifo in self._fifos:
+            if not fifo:
+                continue
+            head = fifo[0]
+            if not head.all_sources_known:
+                continue        # wakes through its producer's event
+            when = head.ready_cycle
+            if when <= now:
+                return now
+            if when < wake:
+                wake = when
+        return wake
+
+    def skip_cycles(self, now: int, count: int) -> None:
+        self.now = now + count - 1
+        self.stat_occupancy.sample_n(self._occupancy, count)
+
+    def skip_blocked_dispatch(self, count: int) -> None:
+        self.stat_no_fifo_stalls.inc(count)
+
+    def blocked_dispatch_wake(self, now: int) -> int:
+        # A legal slot appears only when a FIFO drains (issue) or its tail
+        # issues — both events.
+        return NEVER
 
     # ------------------------------------------------------------ issue --
     def select_issue(self, now: int, acquire_fu) -> List[IQEntry]:

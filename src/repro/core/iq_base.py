@@ -132,6 +132,44 @@ class InstructionQueue(abc.ABC):
         function-unit availability and claims them on success.
         """
 
+    # ----------------------------------------------- event-driven hooks --
+    # The processor's skip-ahead loop (docs/performance.md) asks every
+    # component when it next needs a cycle.  The defaults are maximally
+    # conservative — "I may act right now" — so an IQ design that does not
+    # implement the protocol simply disables skipping without changing
+    # behavior.
+
+    def next_event_cycle(self, now: int) -> int:
+        """Earliest cycle at which this queue may act or mutate state.
+
+        A return value ``<= now`` means the current cycle is active and
+        must be simulated normally; a later value promises that every
+        cycle before it is a pure no-op for this component (no issue, no
+        promotion, no stat change beyond what :meth:`skip_cycles`
+        replays).  Designs that cannot prove quiescence keep this
+        default.
+        """
+        return now
+
+    def skip_cycles(self, now: int, count: int) -> None:
+        """Replay the per-cycle bookkeeping of ``count`` quiescent cycles
+        starting at ``now`` (stat samples, clock advancement) in O(1).
+        Only called when :meth:`next_event_cycle` returned a cycle past
+        the whole stretch."""
+
+    def skip_blocked_dispatch(self, count: int) -> None:
+        """Replay the per-cycle side effects of ``count`` additional
+        refused ``can_dispatch`` probes during a dispatch-blocked
+        quiescent stretch (the probe itself covered the first cycle)."""
+
+    def blocked_dispatch_wake(self, now: int) -> int:
+        """Earliest cycle at which a just-refused ``can_dispatch`` could
+        flip to True *without* any event firing.  The conservative
+        default assumes next cycle; designs whose dispatch admission only
+        changes through events (issue, writeback, promotion — all of
+        which already wake the processor) override with NEVER."""
+        return now + 1
+
     # ------------------------------------------------------------ hooks --
     def check(self, now: int) -> None:
         """Validate internal invariants; raise InvariantViolation on a bug.

@@ -26,6 +26,7 @@ from typing import Deque, Dict, List, Optional
 from repro.common.params import IQParams
 from repro.common.stats import StatGroup
 from repro.core.iq_base import IQEntry, InstructionQueue, Operand
+from repro.core.segmented.links import NEVER
 from repro.isa.instruction import DynInst
 
 #: Predicted load latency (EA calculation + L1 hit), as for the chains.
@@ -172,6 +173,50 @@ class PreschedulingIQ(InstructionQueue):
             heapq.heappush(self._pending,
                            (max(entry.ready_cycle, now + 1), entry.seq,
                             entry))
+
+    # ------------------------------------------------------ event-driven --
+    def next_event_cycle(self, now: int) -> int:
+        if self._ready:
+            return now
+        wake = NEVER
+        if self._pending:
+            when = self._pending[0][0]
+            if when <= now:
+                return now
+            wake = when
+        if self._rows[0]:
+            if self._buffer_count < self.buffer_capacity:
+                return now      # the head line drains this cycle
+            # else: array stall, replayed by skip_cycles; the buffer only
+            # drains on issue, which is covered by _pending / events.
+        elif self._array_count:
+            # Empty head rows rotate away one per cycle until the first
+            # non-empty line reaches the head.
+            for distance in range(1, self.num_lines):
+                if self._rows[distance]:
+                    if now + distance < wake:
+                        wake = now + distance
+                    break
+        return wake
+
+    def skip_cycles(self, now: int, count: int) -> None:
+        self.now = now + count - 1
+        if self._rows[0]:
+            self.stat_array_stalls.inc(count)
+        else:
+            # Every skipped head row is empty (next_event_cycle stops the
+            # window before a populated line reaches the head), so the
+            # per-cycle popleft/append collapses to one rotation.
+            self._rows.rotate(-count)
+            self._base_cycle += count
+        self.stat_occupancy.sample_n(self.occupancy, count)
+        self.stat_buffer_occupancy.sample_n(self._buffer_count, count)
+
+    def blocked_dispatch_wake(self, now: int) -> int:
+        # A row rotation appends a fresh empty line, which can admit the
+        # refused instruction next cycle; with the head line populated no
+        # rotation happens and admission can only change through events.
+        return NEVER if self._rows[0] else now + 1
 
     # ------------------------------------------------------------ issue --
     def select_issue(self, now: int, acquire_fu) -> List[IQEntry]:

@@ -35,7 +35,21 @@ class Chain:
 
     __slots__ = ("chain_id", "head", "head_segment", "head_latency",
                  "issued_cycle", "suspended_since", "suspended_accum",
-                 "freed", "members", "cluster")
+                 "freed", "members", "cluster", "mode", "base", "on_event")
+
+    #: ``mode``/``base`` cache the member-delay algebra so followers can
+    #: evaluate their delay in one arithmetic step instead of re-deriving
+    #: the chain state on every examination (the incremental-wakeup hot
+    #: path).  They change only inside the four event methods below:
+    #:
+    #: * ``MODE_QUEUED``    — delay = base + dh       (base = 2*head_segment)
+    #: * ``MODE_TICKING``   — delay = max(0, base + dh - now)
+    #:                        (base = issued_cycle + suspended_accum)
+    #: * ``MODE_SUSPENDED`` — delay = max(0, dh - base)
+    #:                        (base = frozen self-timed elapsed cycles)
+    MODE_QUEUED = 0
+    MODE_TICKING = 1
+    MODE_SUSPENDED = 2
 
     def __init__(self, chain_id: int, head: DynInst, head_segment: int,
                  head_latency: int = 0) -> None:
@@ -53,9 +67,15 @@ class Chain:
         # "chains seem to form a natural unit for assignment to
         # function-unit clusters").  Inherited from the head.
         self.cluster = head.cluster
-        # Callbacks invoked on every chain status change so member entries
-        # can reschedule their promotion eligibility.
-        self.members: List[Callable[[], None]] = []
+        self.mode = Chain.MODE_QUEUED
+        self.base = 2 * head_segment
+        # Subscribers notified on every chain status change so member
+        # entries can reschedule their promotion eligibility.  With an
+        # ``on_event`` dispatcher installed (the IQ hot path) members are
+        # opaque payloads passed to it; otherwise they are plain zero-arg
+        # callbacks.  Either returns True to stay subscribed.
+        self.on_event: Optional[Callable] = None
+        self.members: List = []
 
     # ------------------------------------------------------------ state --
     @property
@@ -77,9 +97,14 @@ class Chain:
 
     def member_delay(self, dh: int, now: int) -> int:
         """Current delay value of a member ``dh`` behind the head."""
-        if self.issued_cycle is None:
-            return 2 * self.head_segment + dh
-        return max(0, dh - self.self_elapsed(now))
+        mode = self.mode
+        if mode == 0:                       # queued
+            return self.base + dh
+        if mode == 1:                       # self-timed countdown
+            delay = self.base + dh - now
+        else:                               # suspended (frozen)
+            delay = dh - self.base
+        return delay if delay > 0 else 0
 
     def delay_is_static(self) -> bool:
         """True when member delays do not change with time (head queued or
@@ -89,12 +114,16 @@ class Chain:
     # ----------------------------------------------------------- events --
     def on_head_promoted(self, new_segment: int) -> None:
         self.head_segment = new_segment
+        if self.issued_cycle is None:
+            self.base = 2 * new_segment
         self._notify()
 
     def on_head_issued(self, now: int) -> None:
         if self.issued_cycle is None:
             self.issued_cycle = now
             self.head_segment = 0
+            self.mode = Chain.MODE_TICKING
+            self.base = now + self.suspended_accum
             self._notify()
 
     def suspend(self, now: int) -> None:
@@ -102,6 +131,8 @@ class Chain:
         if self.issued_cycle is None or self.suspended_since is not None:
             return
         self.suspended_since = now
+        self.mode = Chain.MODE_SUSPENDED
+        self.base = now - self.issued_cycle - self.suspended_accum
         self._notify()
 
     def resume(self, now: int) -> None:
@@ -123,19 +154,29 @@ class Chain:
         shortfall = self.head_latency - self.self_elapsed(now)
         if shortfall > 0:
             self.suspended_accum -= shortfall
+        self.mode = Chain.MODE_TICKING
+        self.base = self.issued_cycle + self.suspended_accum
         self._notify()
 
     def _notify(self) -> None:
-        members, self.members = self.members, []
-        kept = []
-        for callback in members:
-            if callback():
-                kept.append(callback)
-        # Callbacks return True to stay subscribed.
-        self.members = kept + self.members
+        members = self.members
+        if not members:
+            return
+        self.members = []
+        on_event = self.on_event
+        if on_event is not None:
+            kept = [member for member in members if on_event(member)]
+        else:
+            kept = [callback for callback in members if callback()]
+        # Subscribers return True to stay subscribed.
+        if self.members:
+            kept += self.members       # re-subscriptions during notify
+        self.members = kept
 
-    def subscribe(self, callback: Callable[[], bool]) -> None:
-        self.members.append(callback)
+    def subscribe(self, member) -> None:
+        """Add a subscriber: an ``on_event`` payload (usually an IQ entry)
+        when a dispatcher is installed, else a zero-arg callback."""
+        self.members.append(member)
 
     def __repr__(self) -> str:
         state = ("suspended" if self.suspended
@@ -160,6 +201,8 @@ class ChainManager:
         self.peak_in_use = 0
         #: Observability sink (installed via SegmentedIQ.attach_tracer).
         self.tracer = None
+        #: Dispatcher copied onto every allocated chain (see Chain.on_event).
+        self.on_member_event: Optional[Callable] = None
 
     @property
     def active_count(self) -> int:
@@ -180,6 +223,7 @@ class ChainManager:
             chain_id = self._next_id
             self._next_id += 1
         chain = Chain(chain_id, head, head_segment, head_latency)
+        chain.on_event = self.on_member_event
         self._active[chain_id] = chain
         self.stat_allocated.inc()
         if len(self._active) > self.peak_in_use:
@@ -212,6 +256,12 @@ class ChainManager:
     def sample(self) -> None:
         """Record current usage (called once per cycle)."""
         self.stat_in_use.sample(len(self._active))
+
+    def sample_n(self, cycles: int) -> None:
+        """Record current usage for ``cycles`` consecutive quiescent
+        cycles at once (the skip-ahead path's batched equivalent of
+        calling :meth:`sample` each cycle)."""
+        self.stat_in_use.sample_n(len(self._active), cycles)
 
     def check(self, now: int, num_segments: Optional[int] = None) -> None:
         """Invariants: the wire pool is bounded and every active chain is

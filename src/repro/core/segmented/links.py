@@ -37,13 +37,18 @@ class ChainLink:
     def eligible_at(self, threshold: int, now: int) -> int:
         """First cycle this link's delay drops below ``threshold``, given
         current knowledge; NEVER if it needs a chain event first."""
-        current = self.delay(now)
-        if current < threshold:
-            return now
-        if self.chain.delay_is_static():
-            return NEVER
-        # Self-timed: delay falls by one per cycle.
-        return now + (current - (threshold - 1))
+        chain = self.chain
+        mode = chain.mode
+        if mode == 1:
+            # Self-timed: delay = max(0, base + dh - now) falls by one per
+            # cycle, so it first drops below the threshold at the cycle
+            # where base + dh - when == threshold - 1.
+            when = chain.base + self.dh - threshold + 1
+            return when if when > now else now
+        # Queued or suspended: the delay is static until a chain event.
+        current = (chain.base + self.dh if mode == 0
+                   else self.dh - chain.base)
+        return now if current < threshold else NEVER
 
     def __repr__(self) -> str:
         return f"ChainLink(chain={self.chain.chain_id}, dh={self.dh})"
@@ -61,10 +66,10 @@ class CountdownLink:
         return max(0, self.ready_at - now)
 
     def eligible_at(self, threshold: int, now: int) -> int:
-        current = self.delay(now)
-        if current < threshold:
-            return now
-        return now + (current - (threshold - 1))
+        # delay = max(0, ready_at - now) counts down one per cycle, so the
+        # eligibility cycle is a constant independent of ``now``.
+        when = self.ready_at - threshold + 1
+        return when if when > now else now
 
     def __repr__(self) -> str:
         return f"CountdownLink(ready_at={self.ready_at})"

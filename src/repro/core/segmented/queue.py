@@ -21,7 +21,7 @@ from repro.core.iq_base import IQEntry, InstructionQueue, Operand
 from repro.core.predictors import HitMissPredictor, LeftRightPredictor
 from repro.obs.events import TraceEvent
 from repro.core.segmented.chains import Chain, ChainManager
-from repro.core.segmented.links import (ChainLink, CountdownLink,
+from repro.core.segmented.links import (NEVER, ChainLink, CountdownLink,
                                         combined_delay)
 from repro.core.segmented.register_info import RegisterInfoTable
 from repro.core.segmented.segment import Segment, SegmentState
@@ -63,6 +63,7 @@ class SegmentedIQ(InstructionQueue):
         self.segments = [Segment(j, params.segment_size, step * j)
                          for j in range(self.num_segments)]
         self.chains = ChainManager(params.max_chains, stats)
+        self.chains.on_member_event = self._on_chain_event
         self.rit = RegisterInfoTable()
         self.hmp = (HitMissPredictor(stats,
                                      counter_bits=params.hmp_counter_bits,
@@ -170,10 +171,12 @@ class SegmentedIQ(InstructionQueue):
 
         iq_regs = inst.srcs[:1] if inst.is_mem else inst.srcs
         links = []
+        reg_base = inst.thread * 64      # _reg_key, inlined
+        link_for = self.rit.link_for
         for reg in iq_regs:
             if reg == 0:
                 continue
-            link = self.rit.link_for(self._reg_key(inst, reg), now)
+            link = link_for(reg_base + reg, now)
             if link is not None:
                 links.append(link)
 
@@ -181,8 +184,8 @@ class SegmentedIQ(InstructionQueue):
         lrp_consulted = False
         two_distinct_chains = (
             len(links) == 2
-            and isinstance(links[0], ChainLink)
-            and isinstance(links[1], ChainLink)
+            and type(links[0]) is ChainLink
+            and type(links[1]) is ChainLink
             and links[0].chain is not links[1].chain)
         if two_distinct_chains:
             self.stat_two_chain.inc()
@@ -281,18 +284,59 @@ class SegmentedIQ(InstructionQueue):
         return entry
 
     def _subscribe_to_chains(self, entry: IQEntry) -> None:
-        for link in entry.chain_state.links:
-            if isinstance(link, ChainLink):
-                link.chain.subscribe(
-                    lambda entry=entry: self._on_chain_event(entry))
+        for chain, _dh in entry.chain_state.chain_pairs:
+            chain.members.append(entry)
 
     def _on_chain_event(self, entry: IQEntry) -> bool:
         """A chain this entry follows changed state; reschedule eligibility.
-        Returns False once the entry has issued (unsubscribe)."""
+        Returns False once the entry has issued (unsubscribe).
+
+        The body is Segment.schedule inlined (this is the hottest chain
+        notification path; see that method for the algebra).
+        """
         if entry.issued:
             return False
-        if entry.segment > 0:
-            self.segments[entry.segment].schedule(entry, self.now)
+        index = entry.segment
+        if index > 0:
+            segment = self.segments[index]
+            state = entry.chain_state
+            threshold = segment.promote_threshold
+            now = self.now
+            when = now
+            arrival = state.countdown_ready
+            if arrival >= 0:
+                w = arrival - threshold + 1
+                if w > when:
+                    when = w
+            for chain, dh in state.chain_pairs:
+                mode = chain.mode
+                if mode == 1:
+                    w = chain.base + dh - threshold + 1
+                    if w > when:
+                        when = w
+                elif (chain.base + dh if mode == 0
+                        else dh - chain.base) >= threshold:
+                    when = NEVER
+                    break
+            old = state.eligible_at
+            state.eligible_at = when
+            if when <= now:
+                if state.ready_seg != index:
+                    state.ready_seg = index
+                    heapq.heappush(segment._ready, (entry.seq, entry))
+            else:
+                if state.ready_seg == index:
+                    state.ready_seg = -1   # retreated (threshold refit)
+                if when < NEVER and when != old:
+                    # ``when == old`` needs no push: the entry has not
+                    # changed segment since eligible_at was last set here
+                    # (every segment move reschedules on arrival), so a
+                    # live (when, seq) record already sits in this heap
+                    # and still passes the eligible_at == when staleness
+                    # test.  Skipping the duplicate also avoids its later
+                    # discard pop.
+                    heapq.heappush(segment._heap,
+                                   (when, entry.seq, entry))
         return True
 
     @staticmethod
@@ -312,18 +356,20 @@ class SegmentedIQ(InstructionQueue):
         if chain is not None:
             self.rit.set_chained(dest_key, inst, chain, plan.head_latency)
             return
-        chain_links = [link for link in plan.links
-                       if isinstance(link, ChainLink)]
-        if chain_links:
-            # Follow the (single) producing chain; the consumer's value
-            # trails the head by the operand's latency plus this op.
-            link = max(chain_links, key=lambda l: l.dh)
-            self.rit.set_chained(dest_key, inst, link.chain,
-                                 link.dh + own_latency)
-            return
+        deepest = None
         ready = now + 1
         for link in plan.links:
-            ready = max(ready, link.ready_at)
+            if type(link) is ChainLink:
+                if deepest is None or link.dh > deepest.dh:
+                    deepest = link
+            elif link.ready_at > ready:
+                ready = link.ready_at
+        if deepest is not None:
+            # Follow the (single) producing chain; the consumer's value
+            # trails the head by the operand's latency plus this op.
+            self.rit.set_chained(dest_key, inst, deepest.chain,
+                                 deepest.dh + own_latency)
+            return
         self.rit.set_countdown(dest_key, inst, ready + own_latency)
 
     # ----------------------------------------------------------- wakeup --
@@ -336,16 +382,21 @@ class SegmentedIQ(InstructionQueue):
     def select_issue(self, now: int, acquire_fu) -> List[IQEntry]:
         self.now = now
         self._issued_this_cycle = False
-        while self._pending0 and self._pending0[0][0] <= now:
-            _, seq, entry = heapq.heappop(self._pending0)
+        pending0 = self._pending0
+        ready0 = self._ready0
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        while pending0 and pending0[0][0] <= now:
+            _, seq, entry = heappop(pending0)
             if entry.segment == 0 and not entry.issued:
-                heapq.heappush(self._ready0, (seq, entry))
-        self.stat_seg0_ready.sample(len(self._ready0))
+                heappush(ready0, (seq, entry))
+        self.stat_seg0_ready.sample(len(ready0))
 
         issued: List[IQEntry] = []
         blocked: List = []
-        while self._ready0 and len(issued) < self.issue_width:
-            seq, entry = heapq.heappop(self._ready0)
+        width = self.issue_width
+        while ready0 and len(issued) < width:
+            seq, entry = heappop(ready0)
             if entry.segment != 0 or entry.issued:
                 continue           # recycled by deadlock recovery
             if acquire_fu(entry.inst):
@@ -354,7 +405,7 @@ class SegmentedIQ(InstructionQueue):
             else:
                 blocked.append((seq, entry))
         for item in blocked:
-            heapq.heappush(self._ready0, item)
+            heappush(ready0, item)
         if issued:
             self._issued_this_cycle = True
         self.stat_issued.inc(len(issued))
@@ -384,32 +435,114 @@ class SegmentedIQ(InstructionQueue):
         free_prev = self._free_prev
         enable_pushdown = self.params.enable_pushdown
         pushdown_floor = 1.5 * width
+        tracer = self.tracer
+        pending0 = self._pending0
+        heappush = heapq.heappush
+        promotions = 0
         for k in range(1, self.num_segments):
             source = segments[k]
-            if not source.occupants:
+            source_occ = source.occupants
+            if not source_occ:
                 continue        # empty source: nothing to promote or push
             dest = segments[k - 1]
-            dest_free = dest.capacity - len(dest.occupants)
-            capacity = min(width, free_prev[k - 1], dest_free)
+            dest_occ = dest.occupants
+            capacity = min(width, free_prev[k - 1],
+                           dest.capacity - len(dest_occ))
             if capacity <= 0:
                 continue
-            eligible = source.pop_eligible(now)
-            promoted = eligible[:capacity]
-            if len(eligible) > capacity:
-                source.push_back(eligible[capacity:], now)
-            for entry in promoted:
-                self._promote(entry, source, dest, now)
+            heap = source._heap
+            if source._ready or (heap and heap[0][0] <= now):
+                promoted = source.pop_eligible(now, capacity)
+            else:
+                promoted = ()
+            # Inlined _promote fast path (the pushdown/recovery paths below
+            # keep using the method): membership move, reschedule in the
+            # destination, chain-head broadcast, segment-0 wakeup.
+            dk = k - 1
+            if promoted:
+                promotions += len(promoted)
+            if dk:
+                threshold = dest.promote_threshold
+                dest_ready = dest._ready
+                dest_heap = dest._heap
+                for entry in promoted:
+                    seq = entry.seq
+                    del source_occ[seq]
+                    entry.segment = dk
+                    dest_occ[seq] = entry
+                    state = entry.chain_state
+                    # Inlined dest.schedule.  pop_eligible just cleared
+                    # this entry's ready residency; a chain broadcast from
+                    # an earlier entry in this batch can only have re-set
+                    # it to the *source* segment, so neither clearing
+                    # branch of schedule() can fire for the destination.
+                    when = now
+                    arrival = state.countdown_ready
+                    if arrival >= 0:
+                        w = arrival - threshold + 1
+                        if w > when:
+                            when = w
+                    for chain, dh in state.chain_pairs:
+                        mode = chain.mode
+                        if mode == 1:
+                            w = chain.base + dh - threshold + 1
+                            if w > when:
+                                when = w
+                        elif (chain.base + dh if mode == 0
+                                else dh - chain.base) >= threshold:
+                            when = NEVER
+                            break
+                    state.eligible_at = when
+                    if when <= now:
+                        state.ready_seg = dk
+                        heappush(dest_ready, (seq, entry))
+                    elif when < NEVER:
+                        heappush(dest_heap, (when, seq, entry))
+                    if tracer is not None:
+                        tracer.emit(TraceEvent(
+                            cycle=now, kind="promote", seq=seq,
+                            pc=entry.inst.pc,
+                            op=entry.inst.static.opcode.value, seg=k,
+                            dst=dk, info=""))
+                    own = state.own_chain
+                    if own is not None and own.issued_cycle is None:
+                        own.on_head_promoted(dk)
+            else:
+                for entry in promoted:
+                    seq = entry.seq
+                    del source_occ[seq]
+                    entry.segment = 0
+                    dest_occ[seq] = entry
+                    state = entry.chain_state
+                    if tracer is not None:
+                        tracer.emit(TraceEvent(
+                            cycle=now, kind="promote", seq=seq,
+                            pc=entry.inst.pc,
+                            op=entry.inst.static.opcode.value, seg=k,
+                            dst=0, info=""))
+                    own = state.own_chain
+                    if own is not None and own.issued_cycle is None:
+                        own.on_head_promoted(0)
+                    if entry.all_sources_known:
+                        ready = entry.ready_cycle
+                        later = now + 1
+                        heappush(pending0,
+                                 (ready if ready > later else later, seq,
+                                  entry))
             # Pushdown (4.1): a nearly-full segment may push its oldest
             # ineligible instructions into an amply-free segment below.
             if (enable_pushdown
                     and len(promoted) < capacity
-                    and source.capacity - len(source.occupants) < width
+                    and source.capacity - len(source_occ) < width
                     and free_prev[k - 1] > pushdown_floor):
                 room = capacity - len(promoted)
                 for entry in source.oldest_ineligible(now, min(room, width)):
-                    if dest.capacity - len(dest.occupants) <= 0:
+                    if dest.capacity - len(dest_occ) <= 0:
                         break
                     self._promote(entry, source, dest, now, pushdown=True)
+        if promotions:
+            self._promoted_this_cycle = True
+            self.stat_promotions.inc(promotions)
 
         self._check_deadlock(now)
         for index, segment in enumerate(segments):
@@ -421,6 +554,110 @@ class SegmentedIQ(InstructionQueue):
         if (self.params.adaptive_thresholds and now
                 and now % self.params.threshold_update_interval == 0):
             self._refit_thresholds(now)
+
+    # ------------------------------------------------------ event-driven --
+    def next_event_cycle(self, now: int) -> int:
+        """Earliest cycle the queue can issue, promote, push down, resize,
+        or recover — or ``now`` when the current cycle is already active.
+
+        Mirrors exactly the conditions :meth:`select_issue` and
+        :meth:`cycle` act on; waking early is harmless (the probe re-runs)
+        but waking late would break bit-identity, so every branch here is
+        conservative.
+        """
+        # Segment 0 holds issue candidates (even stale heap records make
+        # the cycle active: select_issue samples iq.seg0_ready before
+        # filtering them out).
+        if self._ready0:
+            return now
+        wake = NEVER
+        if self._pending0:
+            when = self._pending0[0][0]
+            if when <= now:
+                return now
+            wake = when
+        params = self.params
+        if params.dynamic_resize:
+            interval = params.resize_interval
+            if now and now % interval == 0:
+                return now
+            boundary = (now // interval + 1) * interval
+            if boundary < wake:
+                wake = boundary
+        if params.adaptive_thresholds:
+            interval = params.threshold_update_interval
+            if now and now % interval == 0:
+                return now
+            boundary = (now // interval + 1) * interval
+            if boundary < wake:
+                wake = boundary
+        # Promotion / pushdown, segment by segment (the same gating as
+        # cycle(): nothing moves out of a segment whose budget is zero).
+        segments = self.segments
+        free_prev = self._free_prev
+        width = self.issue_width
+        enable_pushdown = params.enable_pushdown
+        pushdown_floor = 1.5 * width
+        for k in range(1, self.num_segments):
+            source = segments[k]
+            if not source.occupants:
+                continue
+            dest = segments[k - 1]
+            capacity = min(width, free_prev[k - 1],
+                           dest.capacity - len(dest.occupants))
+            if capacity <= 0:
+                continue
+            when = source.next_eligible_cycle(now)
+            if when <= now:
+                return now
+            if when < wake:
+                wake = when
+            if (enable_pushdown
+                    and source.capacity - len(source.occupants) < width
+                    and free_prev[k - 1] > pushdown_floor):
+                return now      # pushdown would promote this cycle
+        # Deadlock detection: in a quiescent cycle nothing issues or
+        # promotes, so the strict condition reduces to in_flight == 0 and
+        # the patience backstop to its deadline.
+        if self._occupancy:
+            if self.in_flight == 0:
+                return now
+            deadline = (max(self._last_issue_cycle, self.last_commit_cycle)
+                        + self.NO_ISSUE_PATIENCE + 1)
+            if deadline <= now:
+                return now
+            if deadline < wake:
+                wake = deadline
+        return wake
+
+    def skip_cycles(self, now: int, count: int) -> None:
+        """Replay the per-cycle bookkeeping of ``count`` quiescent cycles:
+        the stat samples select_issue/cycle would have taken, and the
+        clock (left on the *last* skipped cycle, exactly where a stepped
+        loop would leave it when the next active cycle begins)."""
+        self.now = now + count - 1
+        self.stat_seg0_ready.sample_n(0, count)
+        self.chains.sample_n(count)
+        self.stat_occupancy.sample_n(self._occupancy, count)
+        if self.params.dynamic_resize:
+            self.stat_powered.inc(self._highest_powered() * count)
+            self.stat_active_segments.sample_n(self.active_segments, count)
+
+    def skip_blocked_dispatch(self, count: int) -> None:
+        """Replay ``count`` refused can_dispatch probes (one per skipped
+        dispatch-blocked cycle beyond the probe's own call)."""
+        if self.blocked_on_chain:
+            self.chains.stat_alloc_failures.inc(count)
+        else:
+            self._full_refusals += count
+
+    def blocked_dispatch_wake(self, now: int) -> int:
+        # Admission depends on segment occupancies (change only via
+        # issue/promotion), chain wires (freed only via writeback/load
+        # events) and active_segments (changes only at resize boundaries,
+        # already capped by next_event_cycle) — all of which wake the
+        # processor on their own.
+        return NEVER
 
     def _refit_thresholds(self, now: int) -> None:
         """Adaptive thresholds (the section-4.1 alternative to pushdown):
@@ -560,10 +797,9 @@ class SegmentedIQ(InstructionQueue):
             source = self.segments[k]
             if not source.is_full:
                 continue
-            eligible = source.pop_eligible(now)
+            eligible = source.pop_eligible(now, 1)
             if eligible:
                 victim = eligible[0]
-                source.push_back(eligible[1:], now)
             else:
                 candidates = source.oldest_ineligible(now, 1)
                 if not candidates:

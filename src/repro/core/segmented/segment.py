@@ -12,14 +12,15 @@ import heapq
 from typing import Dict, List
 
 from repro.core.iq_base import IQEntry
-from repro.core.segmented.links import NEVER, combined_eligible_at
+from repro.core.segmented.links import NEVER, CountdownLink
 
 
 class SegmentState:
     """Per-entry segmented-IQ scheduling state (stored in entry.chain_state)."""
 
     __slots__ = ("links", "own_chain", "eligible_at", "lrp_choice",
-                 "lrp_consulted", "pushdown")
+                 "lrp_consulted", "pushdown", "countdown_ready",
+                 "chain_pairs", "ready_seg")
 
     def __init__(self, links, own_chain) -> None:
         self.links = links
@@ -28,13 +29,31 @@ class SegmentState:
         self.lrp_choice = -1
         self.lrp_consulted = False
         self.pushdown = False      # forced eligible by the pushdown rule
+        #: Index of the segment whose ready heap holds a live record for
+        #: this entry, or -1 (the residency marker of the two-stage
+        #: maturity/ready scheme — see Segment.pop_eligible).
+        self.ready_seg = -1
+        # Links never change after dispatch, so compile them once: the
+        # governing countdown arrival (or -1) plus (chain, dh) pairs.
+        # Segment.schedule then re-examines a dirty entry with plain
+        # arithmetic instead of walking link objects.
+        ready = -1
+        pairs = []
+        for link in links:
+            if type(link) is CountdownLink:
+                if link.ready_at > ready:
+                    ready = link.ready_at
+            else:
+                pairs.append((link.chain, link.dh))
+        self.countdown_ready = ready
+        self.chain_pairs = pairs
 
 
 class Segment:
     """A fixed-capacity slice of the IQ with its own select logic."""
 
     __slots__ = ("index", "capacity", "promote_threshold", "occupants",
-                 "_heap")
+                 "_heap", "_ready")
 
     def __init__(self, index: int, capacity: int,
                  promote_threshold: int) -> None:
@@ -44,7 +63,13 @@ class Segment:
         #: segment (it is the threshold of the destination segment).
         self.promote_threshold = promote_threshold
         self.occupants: Dict[int, IQEntry] = {}
-        self._heap: List = []      # (eligible_at, seq, entry)
+        #: Future maturities: (eligible_at, seq, entry), eligible_at > now.
+        self._heap: List = []
+        #: Matured promotion candidates keyed by age: (seq, entry).  This
+        #: heap persists across cycles — promotion pops only the entries
+        #: it actually takes, so a deep backlog is never re-examined or
+        #: re-sorted cycle after cycle.
+        self._ready: List = []
 
     # ------------------------------------------------------------ space --
     @property
@@ -75,40 +100,133 @@ class Segment:
 
     # ------------------------------------------------------ eligibility --
     def schedule(self, entry: IQEntry, now: int) -> None:
-        """(Re)compute when the entry can promote out of this segment."""
-        state = entry.chain_state
-        when = combined_eligible_at(state.links, self.promote_threshold, now)
-        state.eligible_at = when
-        if when < NEVER:
-            heapq.heappush(self._heap, (when, entry.seq, entry))
+        """(Re)compute when the entry can promote out of this segment.
 
-    def pop_eligible(self, now: int) -> List[IQEntry]:
-        """All entries currently eligible to promote, oldest first."""
+        Inlined equivalent of ``combined_eligible_at`` over the entry's
+        compiled links (the max over per-link eligibility, clipped below
+        at ``now``); this runs once per dirty entry per chain event, so
+        it is the single hottest function of the segmented model.
+        """
+        state = entry.chain_state
+        threshold = self.promote_threshold
+        when = now
+        arrival = state.countdown_ready
+        if arrival >= 0:
+            w = arrival - threshold + 1
+            if w > when:
+                when = w
+        for chain, dh in state.chain_pairs:
+            mode = chain.mode
+            if mode == 1:              # self-timed countdown
+                w = chain.base + dh - threshold + 1
+                if w > when:
+                    when = w
+            elif (chain.base + dh if mode == 0
+                    else dh - chain.base) >= threshold:
+                when = NEVER           # static until the next chain event
+                break
+        state.eligible_at = when
+        index = self.index
+        if when <= now:
+            # Already eligible: straight into the ready heap (once).
+            if state.ready_seg != index:
+                state.ready_seg = index
+                heapq.heappush(self._ready, (entry.seq, entry))
+        else:
+            if state.ready_seg == index:
+                state.ready_seg = -1       # retreated (threshold refit)
+            if when < NEVER:
+                heapq.heappush(self._heap, (when, entry.seq, entry))
+
+    def pop_eligible(self, now: int, limit: int) -> List[IQEntry]:
+        """Up to ``limit`` eligible entries, oldest (lowest seq) first.
+
+        Two stages: records whose eligibility cycle has arrived graduate
+        from the maturity heap into the per-segment ready heap, then the
+        ``limit`` oldest valid candidates are taken from it.  Candidates
+        beyond the limit simply *stay* in the ready heap for next cycle —
+        the promotion backlog is never re-scanned or re-sorted.
+        """
         heap = self._heap
-        if not heap or heap[0][0] > now:
-            return []          # fast path: nothing matures this cycle
-        eligible = []
+        ready = self._ready
         index = self.index
         heappop = heapq.heappop
-        while heap and heap[0][0] <= now:
-            when, seq, entry = heappop(heap)
+        if heap and heap[0][0] <= now:
+            if not ready:
+                # Fast path: nothing already waiting, so the matured batch
+                # alone decides this pop.  When it fits the budget a small
+                # sort replaces the whole ready-heap round trip; otherwise
+                # the batch becomes the new ready heap in one heapify.
+                batch = []
+                while heap and heap[0][0] <= now:
+                    when, seq, entry = heappop(heap)
+                    state = entry.chain_state
+                    if (entry.issued or entry.segment != index
+                            or state.eligible_at != when
+                            or state.ready_seg == index):
+                        continue   # stale or duplicate maturity record
+                    state.ready_seg = index
+                    batch.append((seq, entry))
+                if len(batch) <= limit:
+                    batch.sort()
+                    for _seq, entry in batch:
+                        entry.chain_state.ready_seg = -1
+                    return [entry for _seq, entry in batch]
+                ready[:] = batch
+                heapq.heapify(ready)
+            else:
+                heappush = heapq.heappush
+                while heap and heap[0][0] <= now:
+                    when, seq, entry = heappop(heap)
+                    state = entry.chain_state
+                    if (entry.issued or entry.segment != index
+                            or state.eligible_at != when):
+                        continue       # stale maturity record
+                    if state.ready_seg != index:
+                        state.ready_seg = index
+                        heappush(ready, (seq, entry))
+        if not ready:
+            return []
+        eligible = []
+        while ready and len(eligible) < limit:
+            seq, entry = heappop(ready)
+            state = entry.chain_state
+            if (state.ready_seg != index or entry.issued
+                    or entry.segment != index):
+                continue           # stale ready record
+            state.ready_seg = -1
+            eligible.append(entry)
+        return eligible
+
+    def next_eligible_cycle(self, now: int) -> int:
+        """Earliest cycle any occupant could promote out, or NEVER.
+
+        Discards stale records from the heap tops while looking — removing
+        a record that :meth:`pop_eligible` would have skipped anyway is
+        behavior-neutral at any point, so the processor's skip-ahead probe
+        can call this every candidate cycle.
+        """
+        heappop = heapq.heappop
+        index = self.index
+        ready = self._ready
+        while ready:
+            seq, entry = ready[0]
+            state = entry.chain_state
+            if (state.ready_seg != index or entry.issued
+                    or entry.segment != index):
+                heappop(ready)
+                continue
+            return now             # a matured candidate is waiting
+        heap = self._heap
+        while heap:
+            when, seq, entry = heap[0]
             state = entry.chain_state
             if (entry.issued or entry.segment != index
                     or state.eligible_at != when):
-                continue       # stale heap record
-            # Invalidate so duplicate heap records are skipped; promotion
-            # or push_back will set a fresh value.
-            state.eligible_at = NEVER
-            eligible.append(entry)
-        if len(eligible) > 1:
-            eligible.sort(key=lambda e: e.seq)
-        return eligible
-
-    def push_back(self, entries, now: int) -> None:
-        """Return unpromoted-but-eligible entries to the heap."""
-        for entry in entries:
-            entry.chain_state.eligible_at = now
-            heapq.heappush(self._heap, (now, entry.seq, entry))
+                heappop(heap)
+                continue
+            return when
+        return NEVER
 
     def check(self, now: int) -> None:
         """Invariants: capacity respected and membership self-consistent."""
@@ -134,10 +252,11 @@ class Segment:
     def oldest_ineligible(self, now: int, count: int) -> List[IQEntry]:
         """Up to ``count`` oldest occupants that are not currently eligible
         (candidates for the pushdown mechanism, paper section 4.1)."""
-        candidates = [entry for entry in self.occupants.values()
-                      if entry.chain_state.eligible_at > now]
-        candidates.sort(key=lambda e: e.seq)
-        return candidates[:count]
+        return heapq.nsmallest(
+            count,
+            (entry for entry in self.occupants.values()
+             if entry.chain_state.eligible_at > now),
+            key=lambda e: e.seq)
 
     def __repr__(self) -> str:
         return (f"Segment({self.index}, occ={self.occupancy}/"

@@ -111,15 +111,18 @@ class FrontEnd:
         fetched = 0
         branches = 0
         tracer = self.tracer
-        ready_at = now + self.params.dispatch_pipeline_depth
-        while fetched < self.params.fetch_width:
+        params = self.params
+        fetch_width = params.fetch_width
+        max_branches = params.max_branches_per_fetch
+        ready_at = now + params.dispatch_pipeline_depth
+        while fetched < fetch_width:
             inst = self._peek()
             if inst is None:
                 break
             if not self._line_available(inst.pc):
                 break
             if inst.is_control:
-                if branches >= self.params.max_branches_per_fetch:
+                if branches >= max_branches:
                     break
                 branches += 1
             self._take()
@@ -139,6 +142,34 @@ class FrontEnd:
                 break
         if fetched:
             self.stat_fetch_cycles.inc()
+
+    # ------------------------------------------------------ event-driven --
+    def next_event_cycle(self, now: int) -> int:
+        """Earliest cycle fetch could act; NEVER when only an event (cache
+        fill, branch resolution, a dispatch draining the buffer) can
+        unblock it.  Mirrors the stall-check order of :meth:`cycle`."""
+        from repro.core.segmented.links import NEVER
+        if self._icache_stalled:
+            return NEVER        # the fill-completion event wakes us
+        if self._waiting_branch is not None:
+            return NEVER        # resolution arrives via an execute event
+        if now < self._resume_cycle:
+            return self._resume_cycle
+        if len(self._pipeline) >= self._buffer_cap:
+            return NEVER        # drains only through dispatch
+        if self._peek() is None:
+            return NEVER        # stream done
+        return now              # would fetch (or probe the I-cache)
+
+    def skip_cycles(self, now: int, count: int) -> None:
+        """Replay the stall counters :meth:`cycle` would have bumped over
+        ``count`` quiescent cycles (same branch order as cycle())."""
+        if self._icache_stalled:
+            self.stat_icache_stall_cycles.inc(count)
+        elif self._waiting_branch is not None or now < self._resume_cycle:
+            self.stat_branch_stall_cycles.inc(count)
+        elif len(self._pipeline) >= self._buffer_cap:
+            self.stat_buffer_full_cycles.inc(count)
 
     def _line_available(self, pc: int) -> bool:
         """Check the I-cache for the line holding ``pc``; start a fill and

@@ -43,7 +43,9 @@ from repro.harness.cache import ResultCache
 from repro.harness.energy import EnergyModel, energy_per_instruction
 from repro.harness.sweep import Sweep
 
-SCHEMA_VERSION = 3
+#: Schema 4 adds per-row ``skip_ratio``/``skip_windows`` (event-driven
+#: cycle skipping, docs/performance.md) to the serial section.
+SCHEMA_VERSION = 4
 
 #: Serial-throughput configurations: the paper's headline design points.
 SERIAL_CONFIGS: List[Tuple[str, object]] = [
@@ -96,6 +98,7 @@ def measure_serial(workloads: Sequence[str], serial_configs,
                              max_instructions=max_instructions)
             seconds = time.perf_counter() - start
             breakdown = model.estimate_run(result, params)
+            skipped = result.stats.get("skip.cycles_skipped", 0)
             out[f"{workload}/{label}"] = {
                 "cycles": result.cycles,
                 "instructions": result.instructions,
@@ -103,6 +106,9 @@ def measure_serial(workloads: Sequence[str], serial_configs,
                 "kcycles_per_sec": round(result.cycles / seconds / 1e3, 2),
                 "kinsts_per_sec": round(
                     result.instructions / seconds / 1e3, 2),
+                "skip_ratio": round(skipped / result.cycles, 4)
+                if result.cycles else 0.0,
+                "skip_windows": int(result.stats.get("skip.windows", 0)),
                 "energy": {key: round(value, 1)
                            for key, value in breakdown.items()},
                 "energy_per_instruction": round(
@@ -248,25 +254,67 @@ def measure_metrics(workload: str, max_instructions: int,
     }
 
 
+#: Sections a BENCH_*.json must carry for ``--compare`` to diff it.
+_COMPARE_SECTIONS = ("schema", "serial")
+
+
 def compare_with(previous_path: str,
                  serial: Dict[str, Dict[str, float]]) -> Dict[str, Dict]:
-    """Per-config throughput and EPI changes vs an older BENCH_*.json."""
+    """Per-config throughput and EPI changes vs an older BENCH_*.json.
+
+    Older-schema artifacts degrade gracefully: anything missing from the
+    old file is reported under ``missing_sections`` instead of raising,
+    and only the rows/fields both artifacts share are diffed.
+    """
     with open(previous_path) as handle:
         previous = json.load(handle)
-    speedups: Dict[str, float] = {}
-    epi_ratios: Dict[str, float] = {}
+    missing = [section for section in _COMPARE_SECTIONS
+               if section not in previous]
+    out: Dict[str, Dict] = {
+        "previous_schema": previous.get("schema"),
+        "kcycles_speedup": {}, "epi_ratio": {}}
+    if missing:
+        out["missing_sections"] = missing
+    if "serial" in missing:
+        return out
     for key, row in serial.items():
-        old = previous.get("serial", {}).get(key)
+        old = previous["serial"].get(key)
         if not old:
             continue
         if old.get("kcycles_per_sec"):
-            speedups[key] = round(
+            out["kcycles_speedup"][key] = round(
                 row["kcycles_per_sec"] / old["kcycles_per_sec"], 3)
         if old.get("energy_per_instruction"):
-            epi_ratios[key] = round(
+            out["epi_ratio"][key] = round(
                 row["energy_per_instruction"]
                 / old["energy_per_instruction"], 4)
-    return {"kcycles_speedup": speedups, "epi_ratio": epi_ratios}
+    return out
+
+
+def profile_serial_cell(workload: str = "gcc",
+                        config: str = "seg-512-128ch",
+                        max_instructions: int = 20_000) -> str:
+    """cProfile one serial cell; return the top-20 cumulative report."""
+    import cProfile
+    import io
+    import pstats
+
+    factory = dict(SERIAL_CONFIGS).get(config)
+    if factory is None:
+        known = ", ".join(label for label, _ in SERIAL_CONFIGS)
+        raise ValueError(f"unknown serial config {config!r}; known: {known}")
+    params = factory()
+    profiler = cProfile.Profile()
+    profiler.enable()
+    api.run(params, workload, config_label=config,
+            max_instructions=max_instructions)
+    profiler.disable()
+    buffer = io.StringIO()
+    buffer.write(f"profile: {workload}/{config} "
+                 f"({max_instructions} instructions)\n")
+    stats = pstats.Stats(profiler, stream=buffer)
+    stats.sort_stats("cumulative").print_stats(20)
+    return buffer.getvalue()
 
 
 def run_bench(*, jobs: Optional[int] = None, quick: bool = False,
@@ -326,6 +374,7 @@ def run_bench(*, jobs: Optional[int] = None, quick: bool = False,
 
     stamp = datetime.date.today().strftime("%Y%m%d")
     path = Path(out_dir) / f"BENCH_{stamp}.json"
+    path.parent.mkdir(parents=True, exist_ok=True)
     path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
     return path, data
 
@@ -339,6 +388,13 @@ def render_summary(data: dict) -> str:
         f"  serial throughput (geomean): "
         f"{data['serial_geomean']['kcycles_per_sec']} kcycles/s, "
         f"{data['serial_geomean']['kinsts_per_sec']} kinsts/s",
+    ]
+    ratios = [row["skip_ratio"] for row in data["serial"].values()
+              if "skip_ratio" in row]
+    if ratios:
+        lines.append(f"  skip-ahead: {100 * sum(ratios) / len(ratios):.1f}% "
+                     f"of cycles fast-forwarded (mean over serial cells)")
+    lines += [
         f"  sweep {sweep['cells']} cells: "
         f"serial {sweep['serial_seconds']}s, "
         f"jobs={sweep['jobs']} {sweep['parallel_seconds']}s "
@@ -364,12 +420,19 @@ def render_summary(data: dict) -> str:
             f"tracing overhead {100 * metrics['tracing_overhead']:+.1f}% "
             f"({metrics['events_emitted']} events)")
     if "compare" in data:
-        speedups = data["compare"]["kcycles_speedup"]
+        compare = data["compare"]
+        missing = compare.get("missing_sections")
+        if missing:
+            lines.append(
+                f"  vs {compare['previous']}: no diff — artifact "
+                f"(schema {compare.get('previous_schema')}) is missing "
+                f"section(s): {', '.join(missing)}")
+        speedups = compare["kcycles_speedup"]
         if speedups:
             mean = _geomean(list(speedups.values()))
-            lines.append(f"  vs {data['compare']['previous']}: "
+            lines.append(f"  vs {compare['previous']}: "
                          f"{mean:.2f}x kcycles/s (geomean)")
-        epi = data["compare"].get("epi_ratio", {})
+        epi = compare.get("epi_ratio", {})
         if epi:
             mean = _geomean(list(epi.values()))
             lines.append(f"  energy/instruction vs previous: "

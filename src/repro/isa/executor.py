@@ -136,15 +136,20 @@ def _step(state: MachineState, inst: Instruction) -> DynInst:
     dyn = DynInst(seq=state.instruction_count, pc=state.pc, static=inst)
     next_pc = state.pc + 1
 
-    if opcode in _INT_BINOPS:
+    # Operation tables are keyed by opcode *value* (a plain string with a
+    # cached hash): Enum.__hash__ is a Python-level call and this lookup
+    # runs once per simulated instruction.
+    opv = opcode.value
+    fn = _INT_BINOPS_V.get(opv)
+    if fn is not None:
         a, b = regs[inst.srcs[0]], regs[inst.srcs[1]]
-        state.write_reg(inst.dest, _INT_BINOPS[opcode](int(a), int(b)))
-    elif opcode in _INT_IMMOPS:
+        state.write_reg(inst.dest, fn(int(a), int(b)))
+    elif (fn := _INT_IMMOPS_V.get(opv)) is not None:
         a = regs[inst.srcs[0]]
-        state.write_reg(inst.dest, _INT_IMMOPS[opcode](int(a), inst.imm))
-    elif opcode in _FP_BINOPS:
+        state.write_reg(inst.dest, fn(int(a), inst.imm))
+    elif (fn := _FP_BINOPS_V.get(opv)) is not None:
         a, b = regs[inst.srcs[0]], regs[inst.srcs[1]]
-        state.write_reg(inst.dest, _FP_BINOPS[opcode](float(a), float(b)))
+        state.write_reg(inst.dest, fn(float(a), float(b)))
     elif opcode is Opcode.FNEG:
         state.write_reg(inst.dest, -float(regs[inst.srcs[0]]))
     elif opcode is Opcode.FSQRT:
@@ -217,6 +222,11 @@ _FP_BINOPS = {
     Opcode.FMUL: lambda a, b: a * b,
     Opcode.FDIV: lambda a, b: _fp_div(a, b),
 }
+
+#: Value-keyed mirrors used by the _step hot path (see the note there).
+_INT_BINOPS_V = {op.value: fn for op, fn in _INT_BINOPS.items()}
+_INT_IMMOPS_V = {op.value: fn for op, fn in _INT_IMMOPS.items()}
+_FP_BINOPS_V = {op.value: fn for op, fn in _FP_BINOPS.items()}
 
 
 def _int_div(a: int, b: int) -> int:

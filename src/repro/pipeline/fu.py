@@ -71,6 +71,21 @@ class FUPool:
         self._stat_issued[fu_class].inc()
         return True
 
+    def next_event_cycle(self, now: int) -> int:
+        """Earliest future cycle a currently-busy unit frees up (NEVER if
+        every unit is already free).
+
+        Informational: the skip-ahead probe treats any cycle with ready
+        instructions as active (FU-blocked retries count structural
+        stalls per cycle), so unit availability never gates a skip on its
+        own — but every timed component answers the same question.
+        """
+        earliest = 1 << 60
+        for units in self._units.values():
+            if units and now < units[0] < earliest:
+                earliest = units[0]
+        return earliest
+
     def try_issue(self, inst: DynInst, now: int) -> bool:
         """Claim the unit an IQ issue of ``inst`` needs.
 

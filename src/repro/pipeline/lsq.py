@@ -266,6 +266,17 @@ class LoadStoreQueue:
         waiting, entry.waiting_loads = entry.waiting_loads, []
         self._candidates.extend(waiting)
 
+    # ------------------------------------------------------ event-driven --
+    def has_candidates(self) -> bool:
+        """True when :meth:`cycle` would attempt load issue this cycle
+        (used by the processor's skip-ahead probe; every other LSQ
+        transition is event-driven and wakes the processor by itself)."""
+        return bool(self._candidates)
+
+    def skip_cycles(self, now: int, count: int) -> None:
+        """Replay the per-cycle occupancy sample over a quiescent stretch."""
+        self.stat_occupancy.sample_n(len(self._order), count)
+
     # -------------------------------------------------------- load issue --
     def cycle(self, now: int) -> None:
         """Attempt to issue every candidate load."""

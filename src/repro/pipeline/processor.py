@@ -17,6 +17,7 @@ from repro.common.events import EventQueue
 from repro.common.params import ProcessorParams
 from repro.common.stats import StatGroup
 from repro.core.iq_base import InstructionQueue, Operand
+from repro.core.segmented.links import NEVER
 from repro.frontend.fetch import FrontEnd
 from repro.isa.instruction import DynInst
 from repro.isa.opcodes import FUClass, OpClass
@@ -140,6 +141,20 @@ class Processor:
             "clusters.cross_forwards",
             "operands forwarded across clusters (pay the bypass penalty)")
 
+        # Event-driven cycle skipping (docs/performance.md).  Enabled only
+        # inside run() so direct step() callers keep 1-call-per-cycle
+        # semantics, and only without the invariant checker (its value is
+        # per-cycle coverage, which skipping would silently thin out).
+        self._event_driven = params.event_driven
+        self._skip_enabled = False
+        self._cycle_limit = 1 << 62
+        self._skip_stall = ""
+        self.stat_skip_cycles = self.stats.counter(
+            "skip.cycles_skipped",
+            "quiescent cycles fast-forwarded without stepping")
+        self.stat_skip_windows = self.stats.counter(
+            "skip.windows", "contiguous quiescent stretches skipped")
+
     # ------------------------------------------------------------ warmup --
     def warm_code(self, program) -> None:
         """Pre-install the program's code footprint in L1I and L2.
@@ -208,33 +223,49 @@ class Processor:
         """
         limit = max_cycles if max_cycles is not None else 1 << 62
         commit_limit = max_committed if max_committed is not None else 1 << 62
-        if progress is None:
-            while (not self.done and self.cycle < limit
-                   and self.committed < commit_limit):
-                self.step()
-        else:
-            start = last = time.monotonic()
-            last_cycle = self.cycle
-            next_check = self.cycle + _PROGRESS_STRIDE
-            while (not self.done and self.cycle < limit
-                   and self.committed < commit_limit):
-                self.step()
-                if self.cycle >= next_check:
-                    next_check = self.cycle + _PROGRESS_STRIDE
-                    now = time.monotonic()
-                    if now - last >= progress_interval:
-                        rate = (self.cycle - last_cycle) / (now - last) / 1e3
-                        progress(ProgressTick(
-                            cycle=self.cycle, committed=self.committed,
-                            elapsed_seconds=now - start,
-                            kcycles_per_sec=rate))
-                        last, last_cycle = now, self.cycle
+        self._cycle_limit = limit
+        self._skip_enabled = (self._event_driven
+                              and self.invariant_checker is None)
+        try:
+            if progress is None:
+                while (not self.done and self.cycle < limit
+                       and self.committed < commit_limit):
+                    self.step()
+            else:
+                start = last = time.monotonic()
+                last_cycle = self.cycle
+                next_check = self.cycle + _PROGRESS_STRIDE
+                while (not self.done and self.cycle < limit
+                       and self.committed < commit_limit):
+                    self.step()
+                    if self.cycle >= next_check:
+                        next_check = self.cycle + _PROGRESS_STRIDE
+                        now = time.monotonic()
+                        if now - last >= progress_interval:
+                            rate = (self.cycle - last_cycle) / (now - last) / 1e3
+                            progress(ProgressTick(
+                                cycle=self.cycle, committed=self.committed,
+                                elapsed_seconds=now - start,
+                                kcycles_per_sec=rate))
+                            last, last_cycle = now, self.cycle
+        finally:
+            self._skip_enabled = False
+            self._cycle_limit = 1 << 62
         self.stat_committed.value = self.committed
         return self.stats
 
     def step(self) -> None:
-        """Advance one cycle."""
+        """Advance one cycle (or skip a quiescent stretch, then advance
+        the first *active* cycle — see docs/performance.md)."""
         now = self.cycle
+        if self._skip_enabled:
+            wake = self._next_active_cycle(now)
+            if wake > now:
+                self._apply_skip(now, wake - now)
+                self.cycle = wake
+                if wake >= self._cycle_limit:
+                    return      # budget exhausted mid-stretch
+                now = wake
         self.events.advance_to(now)
         self._commit(now)
         self.lsq.cycle(now)
@@ -265,6 +296,123 @@ class Processor:
     @property
     def ipc(self) -> float:
         return self.committed / self.cycle if self.cycle else 0.0
+
+    # ------------------------------------------------------ event-driven --
+    def _next_active_cycle(self, now: int) -> int:
+        """First cycle >= ``now`` on which any stage could act.
+
+        Returns ``now`` itself when the current cycle is (or merely might
+        be) active; waking early is always safe — the probe just re-runs —
+        so every check only has to be conservative in that direction.  The
+        dispatch probe runs last because ``can_dispatch`` has side effects
+        (stall counters) and must be called exactly once per blocked cycle.
+        """
+        self._skip_stall = ""
+        ev = self.events.next_event_cycle()
+        if 0 <= ev <= now:
+            return now          # completions / fills land this cycle
+        wake = ev if ev > now else NEVER
+
+        head = self.rob.head()
+        if head is not None and head.completed_cycle >= 0:
+            return now          # commit retires at least one entry
+
+        if self.lsq.has_candidates():
+            return now          # a memory access may go to the cache
+
+        iq = self.iq
+        iq.in_flight = len(self.events)
+        iq.last_commit_cycle = self._last_commit_cycle
+        iq_wake = iq.next_event_cycle(now)
+        if iq_wake <= now:
+            return now
+        if iq_wake < wake:
+            wake = iq_wake
+
+        metrics = self.metrics
+        if metrics is not None:
+            if now >= metrics.next_cycle:
+                return now
+            if metrics.next_cycle < wake:
+                wake = metrics.next_cycle
+
+        # The watchdog must still fire at the same cycle it would have
+        # fired under plain stepping: never skip past its deadline.
+        deadline = self._last_commit_cycle + self._watchdog + 1
+        if deadline <= now:
+            return now
+        if deadline < wake:
+            wake = deadline
+
+        fe = self.frontend
+        fe_wake = fe.next_event_cycle(now)
+        if fe_wake <= now:
+            return now
+        if fe_wake < wake:
+            wake = fe_wake
+
+        # Dispatch: probe once, remember why it is blocked so the stall
+        # counters can be replayed for the whole stretch.
+        if now < self.lsq.violation_flush_until:
+            if self.lsq.violation_flush_until < wake:
+                wake = self.lsq.violation_flush_until
+        else:
+            inst = fe.peek_dispatchable(now)
+            if inst is None:
+                if fe._pipeline and fe._pipeline[0][0] < wake:
+                    wake = fe._pipeline[0][0]
+            elif not self.rob.has_space():
+                self._skip_stall = "rob"
+            elif inst.static.info.op_class in (OpClass.HALT, OpClass.NOP,
+                                               OpClass.JUMP):
+                return now      # would dispatch (bypasses the IQ)
+            elif inst.is_mem and not self.lsq.has_space():
+                self._skip_stall = "lsq"
+            else:
+                prev_iq_now = getattr(iq, "now", None)
+                if prev_iq_now is not None:
+                    iq.now = now
+                admitted = iq.can_dispatch(inst)
+                if prev_iq_now is not None:
+                    iq.now = prev_iq_now
+                if admitted:
+                    return now
+                if getattr(iq, "blocked_on_chain", False):
+                    self._skip_stall = "chain"
+                else:
+                    self._skip_stall = "iq"
+                bd_wake = iq.blocked_dispatch_wake(now)
+                if bd_wake < wake:
+                    wake = bd_wake
+
+        if self._cycle_limit < wake:
+            wake = self._cycle_limit
+        return wake
+
+    def _apply_skip(self, now: int, count: int) -> None:
+        """Replay the per-cycle accounting of ``count`` quiescent cycles
+        [now, now+count) in O(1)."""
+        self.stat_cycles.inc(count)
+        self.stat_skip_cycles.inc(count)
+        self.stat_skip_windows.inc()
+        iq = self.iq
+        iq.skip_cycles(now, count)
+        self.lsq.skip_cycles(now, count)
+        self.frontend.skip_cycles(now, count)
+        self.rob.stat_occupancy.sample_n(len(self.rob), count)
+        stall = self._skip_stall
+        if stall == "rob":
+            self.rob.stat_full_stalls.inc(count)
+            self.stat_dispatch_stall_rob.inc(count)
+        elif stall == "lsq":
+            self.stat_dispatch_stall_lsq.inc(count)
+        elif stall == "iq":
+            self.stat_dispatch_stall_iq.inc(count)
+            # The probe's can_dispatch call already covered cycle `now`.
+            iq.skip_blocked_dispatch(count - 1)
+        elif stall == "chain":
+            self.stat_dispatch_stall_chain.inc(count)
+            iq.skip_blocked_dispatch(count - 1)
 
     # ------------------------------------------------------------ commit --
     def _commit(self, now: int) -> None:
@@ -450,7 +598,7 @@ class Processor:
         if producer is None:
             return Operand(reg=reg, ready_cycle=0)
         penalty = 0
-        if (consumer is not None and self._clustered
+        if (self._clustered and consumer is not None
                 and producer.cluster != consumer.cluster
                 and producer.completed_cycle < 0):
             penalty = self.params.cluster_bypass_penalty

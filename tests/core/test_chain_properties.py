@@ -150,7 +150,7 @@ class TestSegmentHeapProperties:
             segment.insert(entry, now=0)
             entries[seq] = (entry, ready_at)
         probe = 20
-        eligible = segment.pop_eligible(probe)
+        eligible = segment.pop_eligible(probe, len(entries))
         eligible_seqs = {entry.seq for entry in eligible}
         for seq, (entry, ready_at) in entries.items():
             # Eligible iff delay(probe) < threshold, i.e. countdown has
@@ -165,20 +165,23 @@ class TestSegmentHeapProperties:
         segment = Segment(index=1, capacity=32, promote_threshold=100)
         for seq in seqs:
             segment.insert(self.make_entry(seq, 0), now=0)
-        eligible = segment.pop_eligible(5)
+        eligible = segment.pop_eligible(5, len(seqs))
         assert [entry.seq for entry in eligible] == sorted(seqs)
 
     @settings(max_examples=50, deadline=None)
     @given(st.lists(st.integers(min_value=0, max_value=60), min_size=2,
                     max_size=20, unique=True))
-    def test_push_back_then_pop_returns_everything(self, seqs):
+    def test_unpromoted_candidates_persist_across_pops(self, seqs):
+        # The ready heap is maintained across cycles: a pop bounded by the
+        # promotion budget leaves the rest in place, still oldest-first.
         segment = Segment(index=1, capacity=32, promote_threshold=100)
         for seq in seqs:
             segment.insert(self.make_entry(seq, 0), now=0)
-        eligible = segment.pop_eligible(5)
-        segment.push_back(eligible, now=5)
-        again = segment.pop_eligible(5)
-        assert {entry.seq for entry in again} == set(seqs)
+        budget = len(seqs) // 2
+        first = segment.pop_eligible(5, budget)
+        again = segment.pop_eligible(5, len(seqs))
+        assert [e.seq for e in first] == sorted(seqs)[:budget]
+        assert [e.seq for e in again] == sorted(seqs)[budget:]
 
     def test_duplicate_heap_records_do_not_duplicate_promotion(self):
         segment = Segment(index=1, capacity=32, promote_threshold=100)
@@ -186,5 +189,6 @@ class TestSegmentHeapProperties:
         segment.insert(entry, now=0)
         segment.schedule(entry, now=0)     # duplicate heap push
         segment.schedule(entry, now=0)
-        eligible = segment.pop_eligible(1)
+        eligible = segment.pop_eligible(1, 5)
         assert eligible.count(entry) == 1
+        assert segment.pop_eligible(1, 5) == []

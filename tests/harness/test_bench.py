@@ -19,7 +19,7 @@ class TestBench:
         for key in ("schema", "date", "machine", "serial",
                     "serial_geomean", "sweep", "sampling", "metrics"):
             assert key in on_disk
-        assert on_disk["schema"] == 3
+        assert on_disk["schema"] == 4
         assert on_disk["machine"]["cpu_count"] >= 1
         for row in on_disk["serial"].values():
             assert row["kcycles_per_sec"] > 0
@@ -27,6 +27,9 @@ class TestBench:
             assert row["energy_per_instruction"] > 0
             assert isinstance(row["energy"], dict) and row["energy"]
             assert all(value >= 0 for value in row["energy"].values())
+            # Schema 4: event-driven skip-ahead coverage per cell.
+            assert 0.0 <= row["skip_ratio"] <= 1.0
+            assert row["skip_windows"] >= 0
         sweep = on_disk["sweep"]
         assert sweep["cells"] == len(sweep["workloads"]) * \
             len(sweep["configs"])
@@ -56,7 +59,9 @@ class TestBench:
     def test_compare_reports_speedups_and_epi(self, tmp_path):
         path, data = _tiny_bench(tmp_path)
         diff = compare_with(str(path), data["serial"])
-        assert set(diff) == {"kcycles_speedup", "epi_ratio"}
+        assert set(diff) == {"previous_schema", "kcycles_speedup",
+                             "epi_ratio"}
+        assert diff["previous_schema"] == 4
         assert set(diff["kcycles_speedup"]) == set(data["serial"])
         assert set(diff["epi_ratio"]) == set(data["serial"])
         for value in diff["kcycles_speedup"].values():

@@ -1,0 +1,95 @@
+"""Event-driven cycle skipping must be invisible in the results.
+
+``Processor.run`` fast-forwards the clock across provably quiescent
+stretches (docs/performance.md).  These tests pin the contract: with
+``event_driven`` on or off, every statistic except the ``skip.*``
+bookkeeping counters — cycle counts, stall attributions, occupancy
+distributions — and every emitted trace event must be bit-identical.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import api
+from repro.common import ProcessorParams, ideal_iq_params
+from repro.harness import configs
+from repro.isa import ProgramBuilder, R, execute
+from repro.obs import RingBufferTracer, dump_jsonl
+from repro.pipeline import Processor
+from repro.workloads import WORKLOADS
+
+MODELS = {
+    "ideal": lambda: configs.ideal(128),
+    "prescheduled": lambda: configs.prescheduled(24),
+    "segmented": lambda: configs.segmented(256, 64, "comb"),
+}
+
+
+def _without_skip_counters(stats):
+    """The skip.* counters describe the mechanism itself and are the one
+    permitted difference between modes."""
+    return {key: value for key, value in stats.items()
+            if not key.startswith("skip.")}
+
+
+def _run(factory, workload, event_driven):
+    params = factory().replace(event_driven=event_driven)
+    tracer = RingBufferTracer()
+    result = api.run(params, workload, max_instructions=1200, trace=tracer)
+    return result, dump_jsonl(tracer.events)
+
+
+@pytest.mark.parametrize("model", sorted(MODELS))
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_skip_on_off_equivalence(workload, model):
+    on, trace_on = _run(MODELS[model], workload, True)
+    off, trace_off = _run(MODELS[model], workload, False)
+    assert on.cycles == off.cycles
+    assert on.instructions == off.instructions
+    assert (_without_skip_counters(on.stats)
+            == _without_skip_counters(off.stats))
+    assert trace_on == trace_off
+    # The plain loop must not report any skipping.
+    assert off.stats.get("skip.cycles_skipped", 0) == 0
+
+
+def test_skip_actually_fires_somewhere():
+    # Not every cell is obliged to skip, but gcc under the segmented IQ
+    # has long miss shadows; if nothing skips there, the feature is off.
+    result, _ = _run(MODELS["segmented"], "gcc", True)
+    assert result.stats.get("skip.cycles_skipped", 0) > 0
+    assert result.stats.get("skip.windows", 0) > 0
+
+
+def _miss_shadow_program():
+    """One cold load feeding a short chain: almost the whole run is the
+    memory round trip."""
+    builder = ProgramBuilder("miss_shadow")
+    # Load far past the lines warm_code() installs so the access misses
+    # both L1D and L2 and pays the full main-memory latency.
+    data = builder.alloc("data", 1024, init=[7] * 1024)
+    builder.li(R(1), 4096)
+    builder.ld(R(2), R(1), base=data)
+    builder.addi(R(3), R(2), 1)
+    builder.halt()
+    return builder.build()
+
+
+def test_miss_shadow_crossed_in_constant_steps():
+    """A ~1200-cycle memory stall must cost O(events) steps, not O(cycles):
+    nearly every cycle of the shadow is skipped in a handful of windows."""
+    program = _miss_shadow_program()
+    params = ProcessorParams().replace(iq=ideal_iq_params(64))
+    params = params.replace(memory=dataclasses.replace(
+        params.memory, main_memory_latency=1200))
+    processor = Processor(params, execute(program))
+    processor.warm_code(program)
+    processor.run(max_cycles=100_000)
+    assert processor.done
+    total = processor.stats.get("cycles")
+    skipped = processor.stats.get("skip.cycles_skipped")
+    assert total > 1200          # the shadow dominates the run
+    assert skipped >= 1000       # ... and was fast-forwarded, not stepped
+    assert total - skipped < 120  # active cycles: dispatch burst + wakeup
+    assert processor.stats.get("skip.windows") < 40
