@@ -11,6 +11,8 @@ Commands:
   ``trace_event`` JSON, or JSONL (docs/observability.md)
 * ``segments`` — segment-occupancy heatmap from the metrics sampler
 * ``validate`` — differential-oracle fuzzing campaign (docs/validation.md)
+* ``surrogate`` — analytical-IPC surrogate validation report: predicted
+  vs simulated IPC over the bench grid (docs/models.md)
 * ``bench``   — simulator throughput + sweep scaling (docs/performance.md)
 
 Every simulation command accepts the same common flags — ``--jobs N``
@@ -28,10 +30,13 @@ import dataclasses
 import json
 import sys
 
+from repro.core.registry import registered_models
 from repro.harness import ascii_series_plot, configs
 from repro.workloads import WORKLOADS
 
-IQ_KINDS = ["ideal", "segmented", "prescheduled", "distance", "fifo"]
+#: Every registered IQ design (repro.core.registry); a newly registered
+#: model becomes a ``--iq`` choice automatically.
+IQ_KINDS = list(registered_models())
 
 
 def _common_parent() -> argparse.ArgumentParser:
@@ -88,8 +93,15 @@ def _params_from_args(args) -> "ProcessorParams":
         params = configs.distance(max(1, (args.size - 32) // 12))
     elif args.iq == "fifo":
         params = configs.fifo(args.size, depth=args.segment_size)
+    elif args.iq == "delay_tracking":
+        params = configs.delay_tracking(args.size)
     else:
-        raise SystemExit(f"unknown IQ kind {args.iq!r}")
+        # A registered kind without a CLI mapping: build it from its
+        # registry validation config, resized to --size.
+        from repro.core.registry import get_model
+        params = get_model(args.iq).validation_config()
+        params = params.replace(
+            iq=dataclasses.replace(params.iq, size=args.size))
     if getattr(args, "no_skip", False):
         params = params.replace(event_driven=False)
     return params
@@ -376,6 +388,30 @@ def cmd_validate(args) -> int:
     return 0
 
 
+def cmd_surrogate(args) -> int:
+    """Score the analytical surrogate against full-detail simulation."""
+    from repro.harness.surrogate import (default_grid, render_report,
+                                         validation_report)
+    if args.workloads:
+        workloads = args.workloads.split(",")
+    elif args.quick:
+        workloads = ["gcc", "swim"]
+    else:
+        workloads = sorted(WORKLOADS)
+    budget = args.instructions
+    if budget is None:
+        budget = 8_000 if args.quick else 20_000
+    report = validation_report(
+        workloads, default_grid(), max_instructions=budget,
+        jobs=_jobs(args), cache=_make_cache(args),
+        progress=(lambda line: print(f"  {line}...", file=sys.stderr))
+        if args.progress else None)
+    print(render_report(report))
+    if args.json:
+        _write_json(args.json, report)
+    return 0 if report["within_bound"] else 1
+
+
 def cmd_bench(args) -> int:
     from repro.harness.bench import (profile_serial_cell, render_summary,
                                      run_bench)
@@ -512,7 +548,7 @@ def main(argv=None) -> int:
                                  help="number of random programs to fuzz")
     validate_parser.add_argument("--models", default="",
                                  help="comma-separated model subset "
-                                      "(default: all five)")
+                                      "(default: every registered model)")
     validate_parser.add_argument("--length", type=int, default=40,
                                  help="loop-body units per program")
     validate_parser.add_argument("--iterations", type=int, default=3,
@@ -529,11 +565,26 @@ def main(argv=None) -> int:
     validate_parser.add_argument("--verbose", action="store_true",
                                  help="print each check as it runs")
 
+    surrogate_parser = sub.add_parser(
+        "surrogate",
+        help="validate the analytical IPC surrogate against simulation",
+        parents=[common])
+    surrogate_parser.add_argument("--workloads", default="",
+                                  help="comma-separated workload subset "
+                                       "(default: all; --quick: gcc,swim)")
+    surrogate_parser.add_argument("--instructions", type=int, default=None,
+                                  help="per-cell instruction budget "
+                                       "(default: 20000; --quick: 8000)")
+    surrogate_parser.add_argument("--quick", action="store_true",
+                                  help="small grid / budgets "
+                                       "(CI smoke mode)")
+
     args = parser.parse_args(argv)
     handler = {"list": cmd_list, "run": cmd_run, "sample": cmd_sample,
                "sweep": cmd_sweep, "disasm": cmd_disasm, "trace": cmd_trace,
                "segments": cmd_segments, "reproduce": cmd_reproduce,
                "validate": cmd_validate, "bench": cmd_bench,
+               "surrogate": cmd_surrogate,
                }[args.command]
     return handler(args)
 

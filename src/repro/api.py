@@ -170,3 +170,25 @@ def run(params: ProcessorParams, workload, *,
     if key is not None:
         cache.put(key, result)
     return result
+
+
+def predict(params: ProcessorParams, workload, *,
+            scale: int = 1,
+            max_instructions: Optional[int] = None,
+            surrogate=None):
+    """Predict IPC analytically instead of simulating (the surrogate).
+
+    Returns a :class:`~repro.harness.surrogate.SurrogatePrediction` from
+    the Carroll-Lin-style queuing model over a one-pass functional
+    profile — no cycle-accurate simulation.  Pass a calibrated
+    :class:`~repro.harness.surrogate.Surrogate` as ``surrogate`` to
+    reuse its profile cache and per-(workload, kind) anchors; the same
+    instance is the one :meth:`repro.harness.sweep.Sweep.run` and the
+    experiments use for grid pruning (``surrogate=True`` there).
+    """
+    from repro.harness.surrogate import Surrogate
+    spec = resolve_workload(workload)
+    params.validate()
+    if surrogate is None:
+        surrogate = Surrogate(scale=scale, max_instructions=max_instructions)
+    return surrogate.predict(spec.name, params)

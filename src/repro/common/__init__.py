@@ -6,8 +6,8 @@ from repro.common.errors import (ConfigurationError, DeadlockError,
 from repro.common.events import EventQueue
 from repro.common.params import (BranchPredictorParams, CacheParams, IQParams,
                                  MemoryParams, ProcessorParams,
-                                 ideal_iq_params, prescheduled_iq_params,
-                                 segmented_iq_params)
+                                 delay_tracking_iq_params, ideal_iq_params,
+                                 prescheduled_iq_params, segmented_iq_params)
 from repro.common.stats import Counter, Distribution, StatGroup, ratio
 
 __all__ = [
@@ -15,6 +15,7 @@ __all__ = [
     "DeadlockError", "Distribution", "EventQueue", "ExecutionError",
     "IQParams", "InvariantViolation", "MemoryParams", "ProcessorParams",
     "ProgramError",
-    "ReproError", "SimulationError", "StatGroup", "ideal_iq_params",
-    "prescheduled_iq_params", "ratio", "segmented_iq_params",
+    "ReproError", "SimulationError", "StatGroup", "delay_tracking_iq_params",
+    "ideal_iq_params", "prescheduled_iq_params", "ratio",
+    "segmented_iq_params",
 ]

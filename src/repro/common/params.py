@@ -14,6 +14,19 @@ from typing import Optional
 
 from repro.common.errors import ConfigurationError
 
+#: IQ kinds accepted by ``IQParams.validate``.  The built-in designs are
+#: listed here; :func:`repro.core.registry.register_model` appends to this
+#: list when an out-of-tree design registers itself, so new models need no
+#: edits to this module.
+KNOWN_IQ_KINDS = ["ideal", "segmented", "prescheduled", "distance", "fifo",
+                  "delay_tracking"]
+
+
+def register_iq_kind(kind: str) -> None:
+    """Make ``kind`` a valid ``IQParams.kind`` value (idempotent)."""
+    if kind not in KNOWN_IQ_KINDS:
+        KNOWN_IQ_KINDS.append(kind)
+
 
 @dataclass(frozen=True)
 class BranchPredictorParams:
@@ -102,6 +115,8 @@ class IQParams:
     * ``"distance"``     — Canal & González distance scheme (buffer before
       the scheduling array; related work).
     * ``"fifo"``         — Palacharla et al. dependence FIFOs (related work).
+    * ``"delay_tracking"`` — Diavastos & Carlson real-time load-delay
+      tracking scheduler (see docs/models.md).
     """
 
     kind: str = "segmented"
@@ -134,14 +149,16 @@ class IQParams:
     # Prescheduler knobs (Michaud & Seznec, as configured in section 6.3).
     presched_issue_buffer: int = 32
     presched_line_width: int = 12
+    # Delay-tracking knob (Diavastos & Carlson): assumed load latency for
+    # the expected-availability table (EA calculation + L1 hit).
+    dtrack_predicted_load_latency: int = 4
 
     @property
     def num_segments(self) -> int:
         return max(1, self.size // self.segment_size)
 
     def validate(self) -> None:
-        if self.kind not in ("ideal", "segmented", "prescheduled",
-                             "distance", "fifo"):
+        if self.kind not in KNOWN_IQ_KINDS:
             raise ConfigurationError(f"unknown IQ kind {self.kind!r}")
         if self.size <= 0:
             raise ConfigurationError("IQ size must be positive")
@@ -166,6 +183,10 @@ class IQParams:
                 if not 1 <= self.min_active_segments <= self.num_segments:
                     raise ConfigurationError(
                         "min_active_segments out of range")
+        if self.kind == "delay_tracking":
+            if self.dtrack_predicted_load_latency < 1:
+                raise ConfigurationError(
+                    "dtrack_predicted_load_latency must be >= 1")
         if self.kind in ("prescheduled", "distance"):
             if self.presched_issue_buffer <= 0 or self.presched_line_width <= 0:
                 raise ConfigurationError("prescheduler sizes must be positive")
@@ -295,6 +316,13 @@ def segmented_iq_params(size: int = 512, segment_size: int = 32,
                     max_chains=max_chains, use_hit_miss_predictor=hmp,
                     use_left_right_predictor=lrp, enable_pushdown=pushdown,
                     enable_bypass=bypass)
+
+
+def delay_tracking_iq_params(size: int, *,
+                             predicted_load_latency: int = 4) -> IQParams:
+    """Convenience: a Diavastos-Carlson delay-tracking IQ of ``size``."""
+    return IQParams(kind="delay_tracking", size=size,
+                    dtrack_predicted_load_latency=predicted_load_latency)
 
 
 def prescheduled_iq_params(lines: int, *, issue_buffer: int = 32,

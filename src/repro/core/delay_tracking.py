@@ -1,0 +1,355 @@
+"""Load-delay-tracking instruction queue (Diavastos & Carlson).
+
+A modern descendant of the paper's dependence-chain idea (arXiv
+2109.03112): instead of waking instructions up by broadcasting result
+tags every cycle, the scheduler *predicts* at dispatch when each
+instruction's operands will be ready and places it in a delay queue
+keyed by that cycle.  No wakeup CAM is needed; the queue releases
+instructions when their predicted operand-ready cycle arrives.
+
+The prediction is a per-register expected-availability table (like the
+Michaud–Seznec prescheduler's), with loads assumed to hit in the L1.
+What distinguishes the design is that load delays are tracked *in real
+time* and mispredictions are recovered dynamically rather than absorbed
+by a large issue buffer:
+
+* when a load reports an L1 **miss**, instructions waiting on it are
+  pulled off the delay queue and *parked* on that load — their expected
+  delay is now unknown/long, so re-examining them every cycle would be
+  wasted work;
+* when the load's data **returns**, parked dependents are re-queued at
+  the (now exact) ready cycle;
+* an instruction released by the delay queue is issued only after its
+  operands are verified actually ready; on a misprediction it is
+  re-queued at the exact ready cycle if that is known, parked on the
+  offending missed load if not, or suspended until a wakeup from its
+  producer pins the ready cycle down.
+
+The verification step means the model never issues a non-ready
+instruction, so it satisfies the same oracle-agreement and invariant
+contracts as every other design (see docs/models.md and
+``tests/core/test_iq_conformance.py``).  All state changes happen inside
+active cycles (dispatch, token release, load notifications, producer
+wakeups), so the event-driven hook contract holds from day one:
+``next_event_cycle`` is the earliest live delay-queue token, parked and
+suspended entries wake through events the processor already tracks.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List
+
+from repro.common.params import IQParams
+from repro.common.stats import StatGroup
+from repro.core.iq_base import IQEntry, InstructionQueue, Operand
+from repro.core.segmented.links import NEVER
+from repro.isa.instruction import DynInst
+
+
+class _DelayState:
+    """Per-entry scheduling token (lives in ``entry.chain_state``).
+
+    ``scheduled`` is the cycle of the entry's live delay-queue token, or
+    -1 when the entry holds no token (it is in the ready heap, parked on
+    a missed load, or suspended awaiting a producer wakeup).  Tokens in
+    the heap whose cycle no longer matches ``scheduled`` are stale and
+    discarded lazily.  ``parked_on`` is the seq of the missed load the
+    entry waits on, or -1.
+    """
+
+    __slots__ = ("scheduled", "parked_on")
+
+    def __init__(self) -> None:
+        self.scheduled = -1
+        self.parked_on = -1
+
+
+class DelayTrackingIQ(InstructionQueue):
+    """Delay queue + readiness verification, no wakeup broadcast."""
+
+    def __init__(self, params: IQParams, issue_width: int,
+                 stats: StatGroup) -> None:
+        super().__init__(params.size)
+        params.validate()
+        self.params = params
+        self.issue_width = issue_width
+        self.predicted_load_latency = params.dtrack_predicted_load_latency
+        #: Buffered (un-issued) entries by seq.
+        self._entries: Dict[int, IQEntry] = {}
+        #: The delay queue: heap of (release_cycle, seq, entry) tokens.
+        self._delay_queue: List = []
+        #: Verified-ready entries awaiting bandwidth, oldest first.
+        self._ready: List = []
+        #: Predicted availability cycle per architected register.
+        self._predicted_ready: Dict[int, int] = {}
+        #: load seq -> entries parked on that outstanding miss.
+        self._parked: Dict[int, List[IQEntry]] = {}
+        #: Loads that reported a miss and have not returned data yet.
+        self._missed_loads: Dict[int, DynInst] = {}
+        #: entry seqs waiting on each in-flight load (for re-parking when
+        #: the load turns out to miss).
+        self._load_waiters: Dict[int, List[IQEntry]] = {}
+        self.now = 0
+
+        self.stat_dispatched = stats.counter("iq.dispatched")
+        self.stat_issued = stats.counter("iq.issued")
+        self.stat_occupancy = stats.distribution(
+            "iq.occupancy", "buffered instructions per issue attempt")
+        self.stat_ready = stats.distribution(
+            "iq.ready", "verified-ready instructions per issue attempt")
+        self.stat_pred_hits = stats.counter(
+            "dtrack.pred_hits",
+            "delay-queue releases whose operands were ready as predicted")
+        self.stat_mispredicts = stats.counter(
+            "dtrack.mispredicts",
+            "delay-queue releases that failed readiness verification")
+        self.stat_load_parks = stats.counter(
+            "dtrack.load_parks",
+            "entries parked on an outstanding missed load")
+        self.stat_load_wakeups = stats.counter(
+            "dtrack.load_wakeups",
+            "parked entries re-queued by a load data return")
+        self.stat_reschedules = stats.counter(
+            "dtrack.reschedules",
+            "tokens moved later by an exact wakeup before release")
+        self.stat_suspends = stats.counter(
+            "dtrack.suspends",
+            "released entries suspended until a producer wakeup")
+
+    # ------------------------------------------------------------ space --
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    def can_dispatch(self, inst: DynInst) -> bool:
+        return len(self._entries) < self.size
+
+    def iter_entries(self):
+        return iter(self._entries.values())
+
+    # --------------------------------------------------------- planning --
+    @staticmethod
+    def _reg_key(inst: DynInst, reg: int) -> int:
+        return inst.thread * 64 + reg
+
+    def _own_latency(self, inst: DynInst) -> int:
+        if inst.is_load:
+            return self.predicted_load_latency
+        return inst.static.info.latency
+
+    def _predicted_issue(self, entry: IQEntry, now: int) -> int:
+        """Expected cycle every operand is available: exact ready cycles
+        where known, the availability table's expectation otherwise."""
+        predicted = now + 1
+        inst = entry.inst
+        for operand in entry.operands:
+            if operand.ready_cycle is not None:
+                if operand.ready_cycle > predicted:
+                    predicted = operand.ready_cycle
+            else:
+                hint = self._predicted_ready.get(
+                    self._reg_key(inst, operand.reg))
+                if hint is not None and hint > predicted:
+                    predicted = hint
+        return predicted
+
+    # --------------------------------------------------------- dispatch --
+    def dispatch(self, inst: DynInst, operands: List[Operand],
+                 now: int) -> IQEntry:
+        self.now = now
+        entry = IQEntry(inst, operands)
+        entry.queue_cycle = now
+        entry.chain_state = _DelayState()
+        self._entries[entry.seq] = entry
+        self.stat_dispatched.inc()
+
+        predicted = self._predicted_issue(entry, now)
+        if inst.dest is not None and inst.dest != 0:
+            self._predicted_ready[self._reg_key(inst, inst.dest)] = (
+                predicted + self._own_latency(inst))
+
+        parked = False
+        for operand in entry.operands:
+            producer = operand.producer
+            if operand.ready_cycle is not None or producer is None:
+                continue
+            if producer.seq in self._missed_loads:
+                # The producing load already reported a miss: the delay
+                # is unknown/long, wait for the data-return event.
+                self._park(entry, producer.seq)
+                parked = True
+                break
+            if producer.is_load and producer.value_ready_cycle is None:
+                self._load_waiters.setdefault(producer.seq, []).append(entry)
+        if not parked:
+            self._schedule(entry, max(predicted, now + 1))
+        self.register_operand_wakeups(entry)
+        return entry
+
+    # -------------------------------------------------- delay machinery --
+    def _schedule(self, entry: IQEntry, cycle: int) -> None:
+        state = entry.chain_state
+        if state.scheduled == cycle:
+            return              # a live token for this cycle already exists
+        state.scheduled = cycle
+        state.parked_on = -1
+        heapq.heappush(self._delay_queue, (cycle, entry.seq, entry))
+
+    def _park(self, entry: IQEntry, load_seq: int) -> None:
+        state = entry.chain_state
+        state.scheduled = -1
+        state.parked_on = load_seq
+        self._parked.setdefault(load_seq, []).append(entry)
+        self.stat_load_parks.inc()
+
+    def _recover(self, entry: IQEntry, now: int) -> None:
+        """The delay queue released the entry but an operand is not
+        actually ready: the tracked delay was wrong."""
+        self.stat_mispredicts.inc()
+        if entry.all_sources_known:
+            # Every ready time is exact now; re-queue at the real cycle.
+            self._schedule(entry, entry.ready_cycle)
+            return
+        for operand in entry.operands:
+            producer = operand.producer
+            if (operand.ready_cycle is None and producer is not None
+                    and producer.seq in self._missed_loads):
+                self._park(entry, producer.seq)
+                return
+        # An operand's producer has not even issued yet: suspend; the
+        # producer's wakeup (on_entry_ready_known) re-queues the entry at
+        # the exact ready cycle.
+        self.stat_suspends.inc()
+
+    # ----------------------------------------------------------- wakeup --
+    def on_entry_ready_known(self, entry: IQEntry) -> None:
+        state = entry.chain_state
+        if entry.issued or state.parked_on >= 0:
+            return
+        if state.scheduled < 0:
+            # Suspended after a misprediction: the exact cycle is known.
+            self._schedule(entry, entry.ready_cycle)
+        elif entry.ready_cycle > state.scheduled:
+            # Real-time update: the actual delay is longer than the token
+            # predicts; move the token so the release does not misfire.
+            self.stat_reschedules.inc()
+            self._schedule(entry, entry.ready_cycle)
+
+    # ------------------------------------------------- load delay events --
+    def notify_load_miss(self, inst: DynInst, now: int) -> None:
+        if inst.value_ready_cycle is not None:
+            return              # data return already published
+        self._missed_loads[inst.seq] = inst
+        waiters = self._load_waiters.pop(inst.seq, None)
+        if not waiters:
+            return
+        for entry in waiters:
+            state = entry.chain_state
+            if entry.issued or state.parked_on >= 0:
+                continue
+            if state.scheduled < 0 and entry.all_sources_known:
+                continue        # already verified ready (other source path)
+            state.scheduled = -1        # invalidate any live token
+            self._park(entry, inst.seq)
+
+    def notify_load_complete(self, inst: DynInst, now: int) -> None:
+        self._missed_loads.pop(inst.seq, None)
+        self._load_waiters.pop(inst.seq, None)
+        waiters = self._parked.pop(inst.seq, None)
+        if not waiters:
+            return
+        for entry in waiters:
+            state = entry.chain_state
+            if entry.issued or state.parked_on != inst.seq:
+                continue
+            state.parked_on = -1
+            wake = entry.ready_cycle if entry.all_sources_known else now
+            self._schedule(entry, max(wake, now))
+            self.stat_load_wakeups.inc()
+
+    # ------------------------------------------------------ event-driven --
+    def cycle(self, now: int) -> None:
+        self.now = now
+
+    def next_event_cycle(self, now: int) -> int:
+        if self._ready:
+            return now
+        queue = self._delay_queue
+        while queue:
+            cycle, _, entry = queue[0]
+            state = entry.chain_state
+            if (entry.issued or state.scheduled != cycle
+                    or state.parked_on >= 0):
+                heapq.heappop(queue)    # stale token: discard
+                continue
+            return now if cycle <= now else cycle
+        return NEVER    # parked/suspended entries wake through events
+
+    def skip_cycles(self, now: int, count: int) -> None:
+        self.now = now + count - 1
+        self.stat_occupancy.sample_n(len(self._entries), count)
+        self.stat_ready.sample_n(0, count)
+
+    def blocked_dispatch_wake(self, now: int) -> int:
+        return NEVER    # occupancy only drops on issue, which is an event
+
+    # ------------------------------------------------------------ issue --
+    def select_issue(self, now: int, acquire_fu) -> List[IQEntry]:
+        self.now = now
+        queue = self._delay_queue
+        while queue and queue[0][0] <= now:
+            cycle, seq, entry = heapq.heappop(queue)
+            state = entry.chain_state
+            if (entry.issued or state.scheduled != cycle
+                    or state.parked_on >= 0):
+                continue        # stale token
+            state.scheduled = -1
+            if entry.all_sources_known and entry.ready_cycle <= now:
+                self.stat_pred_hits.inc()
+                heapq.heappush(self._ready, (seq, entry))
+            else:
+                self._recover(entry, now)
+
+        self.stat_occupancy.sample(len(self._entries))
+        self.stat_ready.sample(len(self._ready))
+
+        issued: List[IQEntry] = []
+        blocked: List = []
+        while self._ready and len(issued) < self.issue_width:
+            seq, entry = heapq.heappop(self._ready)
+            if acquire_fu(entry.inst):
+                entry.issued = True
+                issued.append(entry)
+                del self._entries[entry.seq]
+            else:
+                blocked.append((seq, entry))
+        for item in blocked:
+            heapq.heappush(self._ready, item)
+        self.stat_issued.inc(len(issued))
+        return issued
+
+    # ------------------------------------------------------- invariants --
+    def check(self, now: int) -> None:
+        super().check(now)
+        from repro.common.errors import InvariantViolation
+        ready_seqs = {seq for seq, _ in self._ready}
+        for entry in self._entries.values():
+            state = entry.chain_state
+            if entry.issued:
+                raise InvariantViolation(
+                    f"issued entry #{entry.seq} still buffered at {now}")
+            if state.parked_on >= 0:
+                if state.parked_on not in self._missed_loads:
+                    raise InvariantViolation(
+                        f"entry #{entry.seq} parked on load "
+                        f"#{state.parked_on}, which is not outstanding")
+                if entry not in self._parked.get(state.parked_on, ()):
+                    raise InvariantViolation(
+                        f"entry #{entry.seq} lost from park list of load "
+                        f"#{state.parked_on}")
+            elif (state.scheduled < 0 and entry.all_sources_known
+                    and entry.seq not in ready_seqs):
+                raise InvariantViolation(
+                    f"entry #{entry.seq} is ready but holds no delay-queue "
+                    f"token and is not issue-ready at cycle {now}")

@@ -1,0 +1,180 @@
+"""Registry of instruction-queue models.
+
+Every IQ design the simulator knows is described by one :class:`IQModel`
+record: how to build it from :class:`~repro.common.params.IQParams`, and
+which small/medium configurations the validation campaign and the
+cross-model conformance suite should run it under.  The registry is the
+single source of truth consumed by
+
+* :func:`repro.pipeline.processor.build_iq` — instantiation,
+* :func:`repro.validation.campaign.validation_models` — oracle fuzzing,
+* ``tests/core/test_iq_conformance.py`` — the conformance suite, which
+  parametrizes over :func:`registered_models` so a newly registered
+  design is picked up (and held to the oracle-agreement and
+  event-driven bit-identity contracts) automatically,
+* the CLI's ``--iq`` choices.
+
+Registering a model (see docs/models.md) is one call::
+
+    from repro.core.registry import IQModel, register_model
+
+    register_model(IQModel(
+        kind="my_design",
+        description="one-line summary",
+        build=lambda iq, width, stats: MyDesignIQ(iq, width, stats),
+        validation_config=lambda: my_small_config(),
+        conformance_config=lambda: my_workload_scale_config(),
+    ))
+
+The ``kind`` string is appended to the set accepted by
+``IQParams.validate`` as part of registration, so out-of-tree designs
+need no edits to :mod:`repro.common.params`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from repro.common.errors import ConfigurationError
+from repro.common.params import register_iq_kind
+
+
+def _configs():
+    # Imported lazily: repro.harness pulls in the runner/reporting stack,
+    # which this core module must not load at import time.
+    from repro.harness import configs
+    return configs
+
+
+@dataclass(frozen=True)
+class IQModel:
+    """One registered instruction-queue design."""
+
+    #: ``IQParams.kind`` value selecting this design.
+    kind: str
+    #: One-line human description (shown by ``python -m repro list``-style
+    #: help and docs/models.md).
+    description: str
+    #: ``build(iq_params, issue_width, stats) -> InstructionQueue``.
+    build: Callable
+    #: Small, edge-case-heavy configuration for the differential-oracle
+    #: fuzzing campaign (tiny structures hit full-queue / recovery paths
+    #: after tens of instructions).
+    validation_config: Callable
+    #: Workload-scale configuration for the conformance suite's
+    #: event-driven bit-identity runs over the eight benchmarks.
+    conformance_config: Callable
+
+
+_REGISTRY: Dict[str, IQModel] = {}
+
+
+def register_model(model: IQModel) -> IQModel:
+    """Add a design to the registry (and to ``IQParams``' known kinds)."""
+    if model.kind in _REGISTRY:
+        raise ConfigurationError(
+            f"IQ model kind {model.kind!r} is already registered")
+    register_iq_kind(model.kind)
+    _REGISTRY[model.kind] = model
+    return model
+
+
+def registered_models() -> Dict[str, IQModel]:
+    """All registered designs, in registration order."""
+    return dict(_REGISTRY)
+
+
+def get_model(kind: str) -> IQModel:
+    try:
+        return _REGISTRY[kind]
+    except KeyError:
+        known = ", ".join(_REGISTRY)
+        raise ConfigurationError(
+            f"unknown IQ kind {kind!r}; registered kinds: {known}") from None
+
+
+# --------------------------------------------------------------------------
+# Built-in designs.  Builders import their module lazily so loading the
+# registry does not load every design.
+# --------------------------------------------------------------------------
+
+def _build_ideal(iq_params, issue_width, stats):
+    from repro.core.conventional import ConventionalIQ
+    return ConventionalIQ(iq_params.size, issue_width, stats)
+
+
+def _build_segmented(iq_params, issue_width, stats):
+    from repro.core.segmented import SegmentedIQ
+    return SegmentedIQ(iq_params, issue_width, stats)
+
+
+def _build_prescheduled(iq_params, issue_width, stats):
+    from repro.core.prescheduler import PreschedulingIQ
+    return PreschedulingIQ(iq_params, issue_width, stats)
+
+
+def _build_distance(iq_params, issue_width, stats):
+    from repro.core.distance import DistanceIQ
+    return DistanceIQ(iq_params, issue_width, stats)
+
+
+def _build_fifo(iq_params, issue_width, stats):
+    from repro.core.fifo_iq import DependenceFIFOQueue
+    return DependenceFIFOQueue(iq_params, issue_width, stats)
+
+
+def _build_delay_tracking(iq_params, issue_width, stats):
+    from repro.core.delay_tracking import DelayTrackingIQ
+    return DelayTrackingIQ(iq_params, issue_width, stats)
+
+
+register_model(IQModel(
+    kind="ideal",
+    description="monolithic single-cycle conventional IQ (upper bound)",
+    build=_build_ideal,
+    validation_config=lambda: _configs().ideal(64),
+    conformance_config=lambda: _configs().ideal(128),
+))
+
+register_model(IQModel(
+    kind="segmented",
+    description="the paper's segmented dependence-chain IQ",
+    build=_build_segmented,
+    validation_config=lambda: _configs().segmented(
+        64, 16, "comb", segment_size=16),
+    conformance_config=lambda: _configs().segmented(256, 64, "comb"),
+))
+
+register_model(IQModel(
+    kind="prescheduled",
+    description="Michaud-Seznec prescheduling array + issue buffer",
+    build=_build_prescheduled,
+    validation_config=lambda: _configs().prescheduled(4),
+    conformance_config=lambda: _configs().prescheduled(24),
+))
+
+register_model(IQModel(
+    kind="distance",
+    description="Canal-Gonzalez distance scheme (related work)",
+    build=_build_distance,
+    validation_config=lambda: _configs().distance(4),
+    conformance_config=lambda: _configs().distance(24),
+))
+
+register_model(IQModel(
+    kind="fifo",
+    description="Palacharla dependence FIFOs (related work)",
+    build=_build_fifo,
+    validation_config=lambda: _configs().fifo(64, depth=8),
+    conformance_config=lambda: _configs().fifo(64),
+))
+
+register_model(IQModel(
+    kind="delay_tracking",
+    description="real-time load-delay-tracking scheduler "
+                "(Diavastos-Carlson)",
+    build=_build_delay_tracking,
+    validation_config=lambda: _configs().delay_tracking(64),
+    conformance_config=lambda: _configs().delay_tracking(128),
+))

@@ -43,9 +43,13 @@ from repro.harness.cache import ResultCache
 from repro.harness.energy import EnergyModel, energy_per_instruction
 from repro.harness.sweep import Sweep
 
-#: Schema 4 adds per-row ``skip_ratio``/``skip_windows`` (event-driven
-#: cycle skipping, docs/performance.md) to the serial section.
-SCHEMA_VERSION = 4
+#: Schema 5 annotates every serial row key with its IQ model kind
+#: (``"swim/seg-512-128ch [segmented]"``), adds a per-row ``model``
+#: field and a sweep-section ``models`` map so multi-model grids are
+#: unambiguous, and embeds the analytical-surrogate validation section
+#: (predicted vs simulated IPC; docs/models.md).  Schema 4 added
+#: per-row ``skip_ratio``/``skip_windows`` (docs/performance.md).
+SCHEMA_VERSION = 5
 
 #: Serial-throughput configurations: the paper's headline design points.
 SERIAL_CONFIGS: List[Tuple[str, object]] = [
@@ -53,9 +57,10 @@ SERIAL_CONFIGS: List[Tuple[str, object]] = [
     ("seg-128-64ch", lambda: configs.segmented(128, 64, "comb")),
     ("ideal-128", lambda: configs.ideal(128)),
     ("presched-24", lambda: configs.prescheduled(24)),
+    ("dtrack-128", lambda: configs.delay_tracking(128)),
 ]
 
-#: Sweep grid: 4 workloads x 6 configurations (Fig. 2/3 shaped).
+#: Sweep grid: 4 workloads x 7 configurations (Fig. 2/3 shaped).
 SWEEP_WORKLOADS = ["swim", "twolf", "gcc", "mgrid"]
 SWEEP_CONFIGS: List[Tuple[str, object]] = [
     ("ideal-64", lambda: configs.ideal(64)),
@@ -64,6 +69,7 @@ SWEEP_CONFIGS: List[Tuple[str, object]] = [
     ("seg-256", lambda: configs.segmented(256, 128, "comb")),
     ("seg-512", lambda: configs.segmented(512, 128, "comb")),
     ("fifo-64", lambda: configs.fifo(64)),
+    ("dtrack-128", lambda: configs.delay_tracking(128)),
 ]
 
 QUICK_SERIAL = SERIAL_CONFIGS[:2]
@@ -99,7 +105,8 @@ def measure_serial(workloads: Sequence[str], serial_configs,
             seconds = time.perf_counter() - start
             breakdown = model.estimate_run(result, params)
             skipped = result.stats.get("skip.cycles_skipped", 0)
-            out[f"{workload}/{label}"] = {
+            out[f"{workload}/{label} [{params.iq.kind}]"] = {
+                "model": params.iq.kind,
                 "cycles": result.cycles,
                 "instructions": result.instructions,
                 "seconds": round(seconds, 4),
@@ -157,6 +164,8 @@ def measure_sweep(workloads, sweep_configs, max_instructions: int,
     return {
         "workloads": list(workloads),
         "configs": [label for label, _ in sweep_configs],
+        "models": {label: factory().iq.kind
+                   for label, factory in sweep_configs},
         "cells": cells,
         "max_instructions": max_instructions,
         "jobs": jobs,
@@ -258,13 +267,21 @@ def measure_metrics(workload: str, max_instructions: int,
 _COMPARE_SECTIONS = ("schema", "serial")
 
 
+def _bare_key(key: str) -> str:
+    """Serial row key without the schema-5 ``" [model]"`` annotation."""
+    return key.split(" [", 1)[0]
+
+
 def compare_with(previous_path: str,
                  serial: Dict[str, Dict[str, float]]) -> Dict[str, Dict]:
     """Per-config throughput and EPI changes vs an older BENCH_*.json.
 
     Older-schema artifacts degrade gracefully: anything missing from the
     old file is reported under ``missing_sections`` instead of raising,
-    and only the rows/fields both artifacts share are diffed.
+    and only the rows/fields both artifacts share are diffed.  Diff keys
+    keep the current artifact's model annotation
+    (``"swim/seg-512-128ch [segmented]"``); pre-schema-5 artifacts are
+    matched by the bare ``workload/config`` key.
     """
     with open(previous_path) as handle:
         previous = json.load(handle)
@@ -277,8 +294,10 @@ def compare_with(previous_path: str,
         out["missing_sections"] = missing
     if "serial" in missing:
         return out
+    old_rows = {_bare_key(key): row
+                for key, row in previous["serial"].items()}
     for key, row in serial.items():
-        old = previous["serial"].get(key)
+        old = old_rows.get(_bare_key(key))
         if not old:
             continue
         if old.get("kcycles_per_sec"):
@@ -289,6 +308,29 @@ def compare_with(previous_path: str,
                 row["energy_per_instruction"]
                 / old["energy_per_instruction"], 4)
     return out
+
+
+def measure_surrogate(workloads: Sequence[str], max_instructions: int,
+                      jobs: int, *, quick: bool = False,
+                      progress=None) -> Dict[str, object]:
+    """Score the analytical surrogate against simulation on the grid.
+
+    Embeds the full :func:`repro.harness.surrogate.validation_report`
+    (per-cell predicted vs simulated IPC and the error-bound verdict) so
+    the surrogate's accuracy contract is tracked PR over PR; CI asserts
+    ``within_bound`` on the quick artifact.
+    """
+    from repro.harness.surrogate import default_grid, validation_report
+    grid = default_grid()
+    if quick:
+        grid = grid[:4]
+    if progress is not None:
+        progress(f"surrogate: {len(workloads) * len(grid)} cells validation")
+    start = time.perf_counter()
+    report = validation_report(list(workloads), grid,
+                               max_instructions=max_instructions, jobs=jobs)
+    report["seconds"] = round(time.perf_counter() - start, 3)
+    return report
 
 
 def profile_serial_cell(workload: str = "gcc",
@@ -346,6 +388,8 @@ def run_bench(*, jobs: Optional[int] = None, quick: bool = False,
     sampling = measure_sampling(quick=quick, progress=progress)
     metrics = measure_metrics(serial_workloads[0], budget,
                               progress=progress)
+    surrogate = measure_surrogate(serial_workloads, budget, jobs,
+                                  quick=quick, progress=progress)
 
     data = {
         "schema": SCHEMA_VERSION,
@@ -367,6 +411,7 @@ def run_bench(*, jobs: Optional[int] = None, quick: bool = False,
         "sweep": sweep,
         "sampling": sampling,
         "metrics": metrics,
+        "surrogate": surrogate,
     }
     if compare:
         diff = compare_with(compare, serial)
@@ -410,6 +455,14 @@ def render_summary(data: dict) -> str:
             f"{sampling['full_seconds']}s "
             f"({sampling['wall_speedup']}x wall, "
             f"{sampling['detail_cycle_ratio']}x fewer detailed cycles)")
+    surrogate = data.get("surrogate")
+    if surrogate:
+        verdict = "PASS" if surrogate.get("within_bound") else "FAIL"
+        lines.append(
+            f"  surrogate: mean |error| "
+            f"{100 * surrogate['mean_abs_rel_error']:.1f}% over "
+            f"{surrogate['scored_cells']} cells "
+            f"(bound {100 * surrogate['error_bound']:.0f}%) {verdict}")
     metrics = data.get("metrics")
     if metrics:
         means = metrics.get("series_means", {})

@@ -14,7 +14,8 @@ from __future__ import annotations
 
 from typing import Optional
 
-from repro.common.params import (IQParams, ProcessorParams, ideal_iq_params,
+from repro.common.params import (IQParams, ProcessorParams,
+                                 delay_tracking_iq_params, ideal_iq_params,
                                  prescheduled_iq_params, segmented_iq_params)
 
 #: Figure 2 variant names, in the paper's bar order.
@@ -50,6 +51,14 @@ def distance(lines: int, *, issue_buffer: int = 32,
                     size=issue_buffer + lines * line_width,
                     presched_issue_buffer=issue_buffer,
                     presched_line_width=line_width))
+
+
+def delay_tracking(size: int, *,
+                   predicted_load_latency: int = 4) -> ProcessorParams:
+    """Diavastos-Carlson load-delay-tracking IQ of ``size`` entries."""
+    return ProcessorParams().replace(
+        iq=delay_tracking_iq_params(
+            size, predicted_load_latency=predicted_load_latency))
 
 
 def fifo(size: int, depth: int = 32) -> ProcessorParams:

@@ -44,7 +44,7 @@ class ExperimentRunner:
                  progress: Optional[Callable[[str], None]] = None, *,
                  jobs: int = 1, cache=None,
                  sampling=None, sampling_scale: int = 1,
-                 metrics=None) -> None:
+                 metrics=None, surrogate: bool = False) -> None:
         unknown = set(workloads) - set(WORKLOADS)
         if unknown:
             raise KeyError(f"unknown workloads: {sorted(unknown)}")
@@ -62,6 +62,11 @@ class ExperimentRunner:
         #: applied to every full-detail cell; every RunResult then
         #: carries its windowed time series (and skips the cache).
         self.metrics = metrics
+        #: With ``surrogate`` the prefetch fan-out runs the analytical
+        #: surrogate as a pruning pre-pass (repro.harness.surrogate):
+        #: cells far from the per-workload Pareto front are filled with
+        #: predicted results marked ``stats["surrogate.predicted"]``.
+        self.surrogate = surrogate
         self._cache: Dict[Tuple[str, str], RunResult] = {}
         self._recording: Optional[List[Tuple[str, str, Callable]]] = None
 
@@ -142,6 +147,19 @@ class ExperimentRunner:
             cells = ParallelExecutor(self.jobs).map(
                 run_sampled_cell, sampled,
                 labels=[f"{s.workload}/{s.config_label}" for s in sampled])
+        elif self.surrogate:
+            from repro.harness.surrogate import prune_and_run
+            grid = [(workload, config_key, factory())
+                    for workload, config_key, factory in unique]
+            budgets = {workload: self._budget(workload)
+                       for workload, _key, _factory in unique}
+            outcome = prune_and_run(grid, budgets=budgets, jobs=self.jobs,
+                                    cache=self.cache,
+                                    progress=self.progress)
+            for workload, config_key, _factory in unique:
+                self._cache[(workload, config_key)] = \
+                    outcome.results[(workload, config_key)]
+            return
         else:
             specs = [RunSpec(workload, factory(), config_label=config_key,
                              max_instructions=self._budget(workload),
@@ -181,7 +199,7 @@ class Experiment:
             progress: Optional[Callable[[str], None]] = None, *,
             jobs: int = 1, cache=None,
             sampling=None, sampling_scale: int = 1,
-            metrics=None) -> Tuple[str, dict]:
+            metrics=None, surrogate: bool = False) -> Tuple[str, dict]:
         """Returns (rendered report, raw data dict).
 
         ``jobs`` > 1 runs the experiment's grid on a process pool;
@@ -191,14 +209,17 @@ class Experiment:
         :mod:`repro.sampling`) — faster, with a small statistical error
         the sampled stats quantify.  ``metrics`` attaches a
         :class:`~repro.obs.MetricsConfig` to every full-detail cell.
+        ``surrogate`` prunes the grid with the analytical surrogate
+        (:mod:`repro.harness.surrogate`): non-competitive cells carry
+        predicted results marked ``stats["surrogate.predicted"]``.
         """
         runner = ExperimentRunner(workloads or sorted(WORKLOADS),
                                   budget_factor, progress,
                                   jobs=jobs, cache=cache,
                                   sampling=sampling,
                                   sampling_scale=sampling_scale,
-                                  metrics=metrics)
-        if jobs > 1 or sampling is not None:
+                                  metrics=metrics, surrogate=surrogate)
+        if jobs > 1 or sampling is not None or surrogate:
             runner.prefetch(self.build)
         return self.build(runner)
 

@@ -30,12 +30,28 @@ from repro.workloads import WORKLOADS
 
 @dataclass
 class SweepGrid:
-    """Results of a sweep: results[workload][config_label]."""
+    """Results of a sweep: results[workload][config_label].
+
+    ``models`` maps each config label to its IQ model kind; rendered and
+    CSV headers carry the kind (``"seg-128 [segmented]"``) so grids that
+    mix several IQ designs stay unambiguous.  ``surrogate_cells`` lists
+    the (workload, label) cells whose results came from the analytical
+    surrogate rather than simulation (see
+    :mod:`repro.harness.surrogate`); they are rendered with a ``~``
+    prefix.
+    """
 
     workloads: List[str]
     config_labels: List[str]
     results: Dict[str, Dict[str, RunResult]]
     metric: str = "ipc"
+    models: Dict[str, str] = field(default_factory=dict)
+    surrogate_cells: set = field(default_factory=set)
+
+    def column_key(self, label: str) -> str:
+        """The config label, annotated with its IQ model kind."""
+        kind = self.models.get(label)
+        return f"{label} [{kind}]" if kind else label
 
     def value(self, workload: str, label: str) -> float:
         result = self.results[workload][label]
@@ -51,17 +67,27 @@ class SweepGrid:
                 f"unknown metric {self.metric!r}; available metrics: "
                 f"{', '.join(available)}") from None
 
+    def _cell(self, workload: str, label: str):
+        value = round(self.value(workload, label), 3)
+        if (workload, label) in self.surrogate_cells:
+            return f"~{value}"
+        return value
+
     def render(self, metric: Optional[str] = None) -> str:
         metric = metric or self.metric
         saved, self.metric = self.metric, metric
         try:
-            rows = [[workload] + [round(self.value(workload, label), 3)
+            rows = [[workload] + [self._cell(workload, label)
                                   for label in self.config_labels]
                     for workload in self.workloads]
         finally:
             self.metric = saved
-        return format_table(["benchmark"] + list(self.config_labels), rows,
-                            title=f"sweep: {metric}")
+        headers = ["benchmark"] + [self.column_key(label)
+                                   for label in self.config_labels]
+        title = f"sweep: {metric}"
+        if self.surrogate_cells:
+            title += "  (~ = surrogate prediction, not simulated)"
+        return format_table(headers, rows, title=title)
 
     def write_csv(self, path: str, metric: Optional[str] = None) -> None:
         metric = metric or self.metric
@@ -69,7 +95,9 @@ class SweepGrid:
         try:
             with open(path, "w", newline="") as handle:
                 writer = csv.writer(handle)
-                writer.writerow(["benchmark"] + list(self.config_labels))
+                writer.writerow(["benchmark"]
+                                + [self.column_key(label)
+                                   for label in self.config_labels])
                 for workload in self.workloads:
                     writer.writerow(
                         [workload] + [self.value(workload, label)
@@ -105,7 +133,7 @@ class Sweep:
 
     def run(self, metric: str = "ipc", *, jobs: int = 1,
             cache=None, sampling=None, sampling_scale: int = 1,
-            metrics=None) -> SweepGrid:
+            metrics=None, surrogate: bool = False) -> SweepGrid:
         """Run every (workload, config) cell and collect the grid.
 
         ``jobs`` > 1 fans the cells out over a process pool (cells are
@@ -128,6 +156,14 @@ class Sweep:
         interval int) applied to every full-detail cell: each
         ``RunResult.metrics`` then carries the windowed time series.
         Metered cells always simulate (the cache is not consulted).
+
+        ``surrogate=True`` runs the analytical surrogate as a pruning
+        pre-pass (see :mod:`repro.harness.surrogate`): one anchor cell
+        per (workload, IQ kind) is simulated, cells outside the error
+        band of the per-workload Pareto front are filled with predicted
+        results (``stats["surrogate.predicted"]``, listed in
+        ``SweepGrid.surrogate_cells``), and only the competitive
+        remainder is simulated in full detail.
         """
         if not self._configs:
             raise ValueError("no configurations added")
@@ -136,6 +172,28 @@ class Sweep:
             raise ConfigurationError(
                 "metrics= requires full-detail cells; drop sampling= or "
                 "collect metrics from a separate full run")
+        models = {label: params.iq.kind for label, params in self._configs}
+        if surrogate:
+            if sampling is not None or metrics is not None:
+                from repro.common.errors import ConfigurationError
+                raise ConfigurationError(
+                    "surrogate pruning requires plain full-detail cells; "
+                    "drop sampling=/metrics= or run without surrogate=")
+            from repro.harness.surrogate import prune_and_run
+            cells = [(workload, label, params)
+                     for workload in self.workloads
+                     for label, params in self._configs]
+            outcome = prune_and_run(cells,
+                                    max_instructions=self.max_instructions,
+                                    jobs=jobs, cache=cache,
+                                    progress=self.progress)
+            results = {workload: {} for workload in self.workloads}
+            for (workload, label), result in outcome.results.items():
+                results[workload][label] = result
+            return SweepGrid(self.workloads,
+                             [label for label, _ in self._configs],
+                             results, metric, models=models,
+                             surrogate_cells=set(outcome.pruned))
         from repro.harness.parallel import ParallelExecutor, raise_on_errors
         if sampling is not None:
             from repro.sampling.sampler import (SampledRunSpec,
@@ -176,4 +234,4 @@ class Sweep:
             results[spec.workload][spec.config_label] = cell
         return SweepGrid(self.workloads,
                          [label for label, _ in self._configs],
-                         results, metric)
+                         results, metric, models=models)

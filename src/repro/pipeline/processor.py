@@ -29,26 +29,19 @@ from repro.pipeline.rob import ReorderBuffer
 
 
 def build_iq(params: ProcessorParams, stats: StatGroup) -> InstructionQueue:
-    """Instantiate the IQ design selected by ``params.iq.kind``."""
-    # Imports are per-branch to avoid circular imports at package load time.
+    """Instantiate the IQ design selected by ``params.iq.kind``.
+
+    Designs live in the model registry (:mod:`repro.core.registry`);
+    registering a new design there makes it constructible here, runnable
+    from the CLI, and subject to the validation campaign and the
+    cross-model conformance suite with no further wiring.
+    """
+    # Imported here (not at module load) to keep core model modules lazy.
+    from repro.core.registry import get_model
     iq_params = params.iq
     iq_params.validate()
-    if iq_params.kind == "ideal":
-        from repro.core.conventional import ConventionalIQ
-        return ConventionalIQ(iq_params.size, params.issue_width, stats)
-    if iq_params.kind == "segmented":
-        from repro.core.segmented import SegmentedIQ
-        return SegmentedIQ(iq_params, params.issue_width, stats)
-    if iq_params.kind == "prescheduled":
-        from repro.core.prescheduler import PreschedulingIQ
-        return PreschedulingIQ(iq_params, params.issue_width, stats)
-    if iq_params.kind == "distance":
-        from repro.core.distance import DistanceIQ
-        return DistanceIQ(iq_params, params.issue_width, stats)
-    if iq_params.kind == "fifo":
-        from repro.core.fifo_iq import DependenceFIFOQueue
-        return DependenceFIFOQueue(iq_params, params.issue_width, stats)
-    raise ConfigurationError(f"unknown IQ kind {iq_params.kind!r}")
+    return get_model(iq_params.kind).build(iq_params, params.issue_width,
+                                           stats)
 
 
 @dataclass(frozen=True)

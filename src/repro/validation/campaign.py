@@ -13,7 +13,6 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.params import ProcessorParams
-from repro.harness import configs
 from repro.isa.program import Program
 from repro.validation.generator import FuzzProfile, build_fuzz_program
 from repro.validation.oracle import (Divergence, OracleResult,
@@ -22,14 +21,15 @@ from repro.validation.shrink import active_length, shrink_program
 
 
 def validation_models() -> Dict[str, ProcessorParams]:
-    """The five IQ designs, sized small enough to stress edge cases."""
-    return {
-        "ideal": configs.ideal(64),
-        "segmented": configs.segmented(64, 16, "comb", segment_size=16),
-        "prescheduled": configs.prescheduled(4),
-        "distance": configs.distance(4),
-        "fifo": configs.fifo(64, depth=8),
-    }
+    """Every registered IQ design, sized small enough to stress edge cases.
+
+    Built from the model registry (:mod:`repro.core.registry`), so a
+    newly registered design joins the fuzzing campaign automatically via
+    its ``validation_config``.
+    """
+    from repro.core.registry import registered_models
+    return {kind: model.validation_config()
+            for kind, model in registered_models().items()}
 
 
 @dataclass

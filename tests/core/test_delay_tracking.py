@@ -1,0 +1,53 @@
+"""Unit tests for the load-delay-tracking IQ (`repro.core.delay_tracking`).
+
+The cross-model contracts (oracle agreement, event-driven bit-identity,
+skip hooks) are enforced by the conformance suite; these tests pin what
+is *specific* to the design — the recovery machinery visible through its
+``dtrack.*`` statistics, and the headline claim that real-time delay
+tracking schedules near the single-cycle ideal IQ at equal size.
+"""
+
+from repro import api
+from repro.harness import configs
+
+
+def _run(params, workload, n=2_000):
+    return api.run(params, workload, max_instructions=n)
+
+
+def test_recovery_machinery_fires_on_missy_workloads():
+    # gcc has a meaningful L1-miss rate, so dispatch-time predictions
+    # (loads assumed to hit) must misfire and recover.
+    result = _run(configs.delay_tracking(128), "gcc")
+    stats = result.stats
+    assert stats["dtrack.pred_hits"] > 0
+    assert stats["dtrack.mispredicts"] > 0
+    # Every park is matched by a wakeup when the load's data returns:
+    # nothing stays parked forever on a run that drains.
+    assert stats["dtrack.load_parks"] > 0
+    assert stats["dtrack.load_wakeups"] == stats["dtrack.load_parks"]
+    # Recovery always lands somewhere: re-queued at an exact cycle,
+    # parked on the missed load, or suspended awaiting a producer.
+    assert (stats["dtrack.reschedules"] + stats["dtrack.load_parks"]
+            + stats["dtrack.suspends"]) >= stats["dtrack.mispredicts"]
+
+
+def test_tracks_the_ideal_iq_at_equal_size():
+    # The design's claim (and this reproduction's measured result): with
+    # real-time miss recovery, the delay queue loses essentially nothing
+    # to the monolithic single-cycle IQ at the same capacity.
+    for workload in ("gcc", "twolf"):
+        dtrack = _run(configs.delay_tracking(128), workload)
+        ideal = _run(configs.ideal(128), workload)
+        assert dtrack.ipc >= 0.97 * ideal.ipc, (
+            f"{workload}: dtrack {dtrack.ipc:.4f} vs ideal {ideal.ipc:.4f}")
+        # ... and it never *beats* the ideal schedule either.
+        assert dtrack.ipc <= ideal.ipc + 1e-9
+
+
+def test_distinct_stats_namespace():
+    result = _run(configs.delay_tracking(64), "swim", n=1_000)
+    assert any(key.startswith("dtrack.") for key in result.stats)
+    # No CAM-style wakeup machinery: the generic IQ counters still exist
+    # (dispatch/issue accounting lives in the shared base class).
+    assert result.stats["iq.dispatched"] > 0

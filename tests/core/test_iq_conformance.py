@@ -1,0 +1,94 @@
+"""Cross-model conformance suite.
+
+Every IQ design registered in :mod:`repro.core.registry` is held to the
+same two contracts, with no per-design test code:
+
+* **Oracle agreement** — under its small, edge-case-heavy
+  ``validation_config`` the design must commit exactly the architectural
+  instruction stream on seeded fuzz programs (the same differential
+  check ``python -m repro validate`` runs at scale), with the pipeline
+  invariant checker enabled.
+
+* **Event-driven bit-identity** — under its workload-scale
+  ``conformance_config`` a run with event-driven cycle skipping must be
+  indistinguishable from the plain cycle loop: identical cycle counts,
+  identical statistics apart from the ``skip.*`` bookkeeping counters,
+  and identical JSONL trace streams, across all eight benchmarks.
+
+Because the suite parametrizes over :func:`registered_models`, a newly
+registered design (see docs/models.md) is picked up — and held to both
+contracts — automatically.
+"""
+
+import pytest
+
+from repro import api
+from repro.core.registry import registered_models
+from repro.obs import RingBufferTracer, dump_jsonl
+from repro.validation.generator import FuzzProfile, build_fuzz_program
+from repro.validation.oracle import differential_check
+from repro.workloads import WORKLOADS
+
+MODELS = registered_models()
+
+# Eight seeds is enough to hit full-queue and recovery paths under the
+# deliberately tiny validation configs; the nightly campaign runs many
+# more (python -m repro validate).
+ORACLE_SEEDS = range(8)
+
+ORACLE_PROFILE = FuzzProfile(length=30, loop_iterations=3)
+
+
+class TestRegistry:
+    def test_expected_designs_are_registered(self):
+        # The six in-tree designs, in registration order.  Extending this
+        # list is the only edit this suite needs for a new design.
+        assert list(MODELS) == ["ideal", "segmented", "prescheduled",
+                                "distance", "fifo", "delay_tracking"]
+
+    def test_configs_validate_and_match_their_kind(self):
+        for kind, model in MODELS.items():
+            assert model.description
+            for factory in (model.validation_config,
+                            model.conformance_config):
+                params = factory()
+                params.validate()
+                assert params.iq.kind == kind, (kind, factory)
+
+
+@pytest.mark.parametrize("kind", sorted(MODELS))
+def test_oracle_agreement(kind):
+    params = MODELS[kind].validation_config().replace(check_invariants=True)
+    for seed in ORACLE_SEEDS:
+        program = build_fuzz_program(ORACLE_PROFILE.with_seed(seed))
+        result = differential_check(program, params, model=kind)
+        assert result.ok, f"seed {seed}: {result}"
+
+
+def _without_skip_counters(stats):
+    """The skip.* counters describe the skipping mechanism itself and are
+    the one permitted difference between modes."""
+    return {key: value for key, value in stats.items()
+            if not key.startswith("skip.")}
+
+
+def _run(kind, workload, event_driven):
+    params = MODELS[kind].conformance_config().replace(
+        event_driven=event_driven, check_invariants=True)
+    tracer = RingBufferTracer()
+    result = api.run(params, workload, max_instructions=1200, trace=tracer)
+    return result, dump_jsonl(tracer.events)
+
+
+@pytest.mark.parametrize("kind", sorted(MODELS))
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_event_driven_bit_identity(workload, kind):
+    on, trace_on = _run(kind, workload, True)
+    off, trace_off = _run(kind, workload, False)
+    assert on.cycles == off.cycles
+    assert on.instructions == off.instructions
+    assert (_without_skip_counters(on.stats)
+            == _without_skip_counters(off.stats))
+    assert trace_on == trace_off
+    # The plain loop must not report any skipping.
+    assert off.stats.get("skip.cycles_skipped", 0) == 0

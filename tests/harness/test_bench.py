@@ -17,11 +17,14 @@ class TestBench:
         assert path.name.startswith("BENCH_")
         on_disk = json.loads(path.read_text())
         for key in ("schema", "date", "machine", "serial",
-                    "serial_geomean", "sweep", "sampling", "metrics"):
+                    "serial_geomean", "sweep", "sampling", "metrics",
+                    "surrogate"):
             assert key in on_disk
-        assert on_disk["schema"] == 4
+        assert on_disk["schema"] == 5
         assert on_disk["machine"]["cpu_count"] >= 1
-        for row in on_disk["serial"].values():
+        for key, row in on_disk["serial"].items():
+            # Schema 5: every serial key is annotated with its IQ model.
+            assert key.endswith(f" [{row['model']}]")
             assert row["kcycles_per_sec"] > 0
             assert row["seconds"] > 0
             assert row["energy_per_instruction"] > 0
@@ -48,6 +51,15 @@ class TestBench:
         assert "ipc" in metrics["series_means"]
         assert metrics["plain_seconds"] > 0
         assert metrics["traced_seconds"] > 0
+        # Schema 5: predicted-vs-simulated surrogate section.
+        surrogate = on_disk["surrogate"]
+        assert surrogate["seconds"] > 0
+        assert surrogate["error_bound"] > 0
+        assert surrogate["scored_cells"] > 0
+        assert "mean_abs_rel_error" in surrogate
+        assert "within_bound" in surrogate
+        sweep_models = on_disk["sweep"]["models"]
+        assert sweep_models and all(kind for kind in sweep_models.values())
 
     def test_render_summary(self, tmp_path):
         _, data = _tiny_bench(tmp_path)
@@ -61,10 +73,34 @@ class TestBench:
         diff = compare_with(str(path), data["serial"])
         assert set(diff) == {"previous_schema", "kcycles_speedup",
                              "epi_ratio"}
-        assert diff["previous_schema"] == 4
+        assert diff["previous_schema"] == 5
         assert set(diff["kcycles_speedup"]) == set(data["serial"])
         assert set(diff["epi_ratio"]) == set(data["serial"])
         for value in diff["kcycles_speedup"].values():
             assert value == 1.0     # compared against itself
+        for value in diff["epi_ratio"].values():
+            assert value == 1.0
+
+    def test_compare_matches_pre_schema5_artifacts(self, tmp_path):
+        """Pre-schema-5 serial keys carry no ``" [model]"`` annotation;
+        compare_with must still match them to today's annotated keys."""
+        path, data = _tiny_bench(tmp_path)
+        old_serial = {}
+        for key, row in data["serial"].items():
+            bare = key.split(" [", 1)[0]
+            old_row = {field: value for field, value in row.items()
+                       if field != "model"}
+            old_row["kcycles_per_sec"] = row["kcycles_per_sec"] / 2.0
+            old_serial[bare] = old_row
+        old_artifact = {"schema": 3, "serial": old_serial}
+        old_path = tmp_path / "BENCH_old.json"
+        old_path.write_text(json.dumps(old_artifact))
+        diff = compare_with(str(old_path), data["serial"])
+        assert diff["previous_schema"] == 3
+        # Every current cell found its pre-schema-5 counterpart, and the
+        # diff keys keep the current (annotated) spelling.
+        assert set(diff["kcycles_speedup"]) == set(data["serial"])
+        for value in diff["kcycles_speedup"].values():
+            assert value == 2.0
         for value in diff["epi_ratio"].values():
             assert value == 1.0

@@ -152,11 +152,29 @@ class TestCLI:
         artifacts = list(tmp_path.glob("BENCH_*.json"))
         assert len(artifacts) == 1
         data = json.loads(artifacts[0].read_text())
-        assert data["schema"] == 4
+        assert data["schema"] == 5
         assert data["sweep"]["cache_hits"] == data["sweep"]["cells"]
         assert data["sampling"]["detail_cycle_ratio"] > 1
+        assert data["surrogate"]["scored_cells"] > 0
         out = capsys.readouterr().out
         assert "serial throughput" in out
+
+    def test_surrogate_report(self, capsys, tmp_path):
+        out_path = tmp_path / "surrogate.json"
+        assert main(["surrogate", "--workloads", "twolf",
+                     "--instructions", "1500", "--jobs", "2",
+                     "--json", str(out_path)]) == 0
+        data = json.loads(out_path.read_text())
+        assert data["within_bound"]
+        assert data["scored_cells"] > 0
+        assert data["mean_abs_rel_error"] <= data["error_bound"]
+        for row in data["cells"]:
+            assert {"workload", "config", "model", "anchor",
+                    "simulated_ipc", "predicted_ipc",
+                    "rel_error"} <= set(row)
+        out = capsys.readouterr().out
+        assert "predicted vs simulated IPC" in out
+        assert "PASS" in out
 
     def test_sample_writes_ci_artifact(self, capsys, tmp_path):
         """The CI smoke contract: 4 windows on a tiny workload, JSON

@@ -73,9 +73,20 @@ class TestSweep:
         small_grid.write_csv(str(path))
         with open(path) as handle:
             rows = list(csv.reader(handle))
-        assert rows[0] == ["benchmark", "ideal-32", "seg-128"]
+        # Headers carry the IQ model kind so mixed-design grids stay
+        # unambiguous.
+        assert rows[0] == ["benchmark", "ideal-32 [ideal]",
+                           "seg-128 [segmented]"]
         assert rows[1][0] == "twolf"
         assert float(rows[1][1]) > 0
+
+    def test_grid_reports_models(self, small_grid):
+        assert small_grid.models == {"ideal-32": "ideal",
+                                     "seg-128": "segmented"}
+        assert small_grid.column_key("ideal-32") == "ideal-32 [ideal]"
+        rendered = small_grid.render()
+        assert "ideal-32 [ideal]" in rendered
+        assert "seg-128 [segmented]" in rendered
 
     def test_best_config(self, small_grid):
         best = small_grid.best_config("twolf")

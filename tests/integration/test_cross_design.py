@@ -108,12 +108,16 @@ class TestArchitecturalEquivalence:
     def test_ideal_is_never_slower_than_restricted_designs(self, ops,
                                                            iterations):
         # Same-size single-cycle ideal is an upper bound on the segmented
-        # design (modulo the one extra dispatch stage, hence the slack).
+        # design, modulo the one extra dispatch stage and greedy-issue
+        # anomalies: oldest-ready-first is not an optimal schedule when
+        # non-pipelined units (div) are contended, so either design can
+        # come out a few cycles ahead on div-heavy kernels.  Allow 2
+        # cycles of pipeline slack plus 2% for scheduling anomalies.
         program = build_random_kernel(ops, iterations)
         ideal = run_design(program, lambda: configs.ideal(128))
         seg = run_design(program, lambda: configs.segmented(128, None,
                                                             "comb"))
-        assert seg.cycle >= ideal.cycle - 2
+        assert seg.cycle >= ideal.cycle - 2 - ideal.cycle // 50
 
     def test_commit_order_is_program_order(self):
         program = build_random_kernel(
