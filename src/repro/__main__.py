@@ -28,6 +28,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 
 from repro.core.registry import registered_models
@@ -53,6 +54,12 @@ def _common_parent() -> argparse.ArgumentParser:
                        help="print a heartbeat to stderr every N seconds")
     group.add_argument("--json", default="", metavar="PATH",
                        help="also write machine-readable data to this file")
+    group.add_argument("--kernels", default="", metavar="BACKEND",
+                       choices=["", "auto", "py", "compiled"],
+                       help="segmented-IQ kernel backend: 'py' forces the "
+                            "pure-Python engine, 'compiled' requires the C "
+                            "extension, 'auto' (default) prefers compiled "
+                            "when built (see docs/performance.md)")
     return parent
 
 
@@ -580,6 +587,15 @@ def main(argv=None) -> int:
                                        "(CI smoke mode)")
 
     args = parser.parse_args(argv)
+    if getattr(args, "kernels", ""):
+        # Exported (not just set_backend) so process-pool workers inherit
+        # the choice.  The compiled stat/event primitives are selected at
+        # interpreter start from REPRO_KERNELS, so --kernels py switches
+        # the IQ engine here but not primitives already imported; use the
+        # environment variable for a fully pure-Python process.
+        os.environ["REPRO_KERNELS"] = args.kernels
+        from repro.core.segmented.kernels import set_backend
+        set_backend(args.kernels)
     handler = {"list": cmd_list, "run": cmd_run, "sample": cmd_sample,
                "sweep": cmd_sweep, "disasm": cmd_disasm, "trace": cmd_trace,
                "segments": cmd_segments, "reproduce": cmd_reproduce,

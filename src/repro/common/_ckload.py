@@ -1,0 +1,51 @@
+"""Direct loader for the optional compiled kernel extension.
+
+``repro.common.stats`` and ``repro.common.events`` want the compiled
+``Counter``/``Distribution``/``EventQueue`` types, but they cannot import
+``repro.core.segmented._ckernels`` by name: the ``repro.core.segmented``
+package ``__init__`` pulls in ``queue``, which imports ``stats`` — a cycle.
+Instead this module loads the shared object straight from its file path and
+registers it in ``sys.modules`` under its canonical name, so a later normal
+import (from ``kernels.py``) reuses the same module object.
+
+Returns ``None`` quietly whenever the extension is unavailable or the user
+forced the pure-Python backend with ``REPRO_KERNELS=py``.  Because the swap
+happens at module import time, ``REPRO_KERNELS`` governs the stats/event
+primitives for the whole process; ``repro.core.segmented.set_backend`` only
+switches the IQ kernel engine.
+"""
+
+from __future__ import annotations
+
+import importlib.machinery
+import importlib.util
+import os
+import sys
+
+_MODULE_NAME = "repro.core.segmented._ckernels"
+
+
+def compiled_kernels():
+    """Return the compiled ``_ckernels`` module, or ``None``."""
+    if os.environ.get("REPRO_KERNELS", "auto").strip().lower() == "py":
+        return None
+    module = sys.modules.get(_MODULE_NAME)
+    if module is not None:
+        return module
+    base = os.path.join(os.path.dirname(os.path.dirname(
+        os.path.abspath(__file__))), "core", "segmented")
+    for suffix in importlib.machinery.EXTENSION_SUFFIXES:
+        path = os.path.join(base, "_ckernels" + suffix)
+        if not os.path.exists(path):
+            continue
+        try:
+            spec = importlib.util.spec_from_file_location(_MODULE_NAME, path)
+            if spec is None or spec.loader is None:
+                return None
+            module = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(module)
+        except Exception:
+            return None
+        sys.modules[_MODULE_NAME] = module
+        return module
+    return None

@@ -56,3 +56,18 @@ class EventQueue:
     def next_event_cycle(self) -> int:
         """Cycle of the earliest pending event, or -1 if none."""
         return self._heap[0][0] if self._heap else -1
+
+
+# The pure-Python queue stays importable as _PyEventQueue; when the compiled
+# kernel extension is present (and REPRO_KERNELS != "py" at import time) the
+# public name rebinds to its C implementation — same heap order, same
+# reentrancy semantics, same error messages.
+_PyEventQueue = EventQueue
+
+from repro.common._ckload import compiled_kernels as _compiled_kernels
+
+_ck = _compiled_kernels()
+if _ck is not None:
+    # getattr: extensions built before these types existed stay loadable.
+    EventQueue = getattr(_ck, "EventQueue", EventQueue)
+del _ck, _compiled_kernels

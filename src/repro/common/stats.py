@@ -210,3 +210,21 @@ class StatGroup:
 def ratio(numerator: float, denominator: float) -> float:
     """Safe division: returns 0.0 when the denominator is zero."""
     return numerator / denominator if denominator else 0.0
+
+
+# The pure-Python classes stay importable under Py* names; when the compiled
+# kernel extension is present (and REPRO_KERNELS != "py" at import time) the
+# public names rebind to its bit-identical C implementations.  StatGroup
+# resolves Counter/Distribution through module globals, so it picks up the
+# swap automatically.
+PyCounter = Counter
+PyDistribution = Distribution
+
+from repro.common._ckload import compiled_kernels as _compiled_kernels
+
+_ck = _compiled_kernels()
+if _ck is not None:
+    # getattr: extensions built before these types existed stay loadable.
+    Counter = getattr(_ck, "Counter", Counter)
+    Distribution = getattr(_ck, "Distribution", Distribution)
+del _ck, _compiled_kernels

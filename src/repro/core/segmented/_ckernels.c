@@ -1,0 +1,2074 @@
+/* Compiled kernel backend for the segmented IQ (see kernels.py).
+ *
+ * This is a line-for-line transliteration of kernels.PyKernelEngine into
+ * a CPython extension type: the same struct-of-arrays columns, the same
+ * packed-integer heaps (the heap routines replicate CPython's heapq
+ * sift functions exactly, so even the internal heap layouts match the
+ * pure-Python backend), the same eager object mirrors.  Any semantic
+ * change must be made in kernels.py first and transliterated here; the
+ * conformance suite (tests/core/test_kernels.py) asserts bit-identity
+ * between the two backends.
+ *
+ * Build: python -m repro.core.segmented.build
+ */
+
+#define PY_SSIZE_T_CLEAN
+#include <Python.h>
+#include <structmember.h>
+#include <stddef.h>
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+#define KNEVER (1LL << 60)
+#define SLOT_BITS 20
+#define SLOT_MASK ((1LL << SLOT_BITS) - 1)
+
+static PyObject *str_segment;       /* "segment" */
+static PyObject *str_head_segment;  /* "head_segment" */
+static PyObject *str_base;          /* "base" */
+
+/* ------------------------------------------------------------------ */
+/* Growable int64 vector                                              */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    int64_t *data;
+    Py_ssize_t len;
+    Py_ssize_t cap;
+} i64vec;
+
+static int
+iv_init(i64vec *v, Py_ssize_t cap)
+{
+    v->len = 0;
+    v->cap = cap;
+    v->data = (int64_t *)PyMem_Malloc(sizeof(int64_t) * (size_t)cap);
+    return v->data == NULL ? -1 : 0;
+}
+
+static void
+iv_free(i64vec *v)
+{
+    PyMem_Free(v->data);
+    v->data = NULL;
+    v->len = v->cap = 0;
+}
+
+static int
+iv_grow(i64vec *v, Py_ssize_t need)
+{
+    Py_ssize_t cap = v->cap ? v->cap : 4;
+    while (cap < need)
+        cap *= 2;
+    int64_t *data = (int64_t *)PyMem_Realloc(
+        v->data, sizeof(int64_t) * (size_t)cap);
+    if (data == NULL)
+        return -1;
+    v->data = data;
+    v->cap = cap;
+    return 0;
+}
+
+static inline int
+iv_push(i64vec *v, int64_t x)
+{
+    if (v->len >= v->cap && iv_grow(v, v->len + 1) < 0)
+        return -1;
+    v->data[v->len++] = x;
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* heapq transliteration (identical layouts to the Python backend)    */
+/* ------------------------------------------------------------------ */
+
+static void
+hq_siftdown(int64_t *heap, Py_ssize_t startpos, Py_ssize_t pos)
+{
+    int64_t newitem = heap[pos];
+    while (pos > startpos) {
+        Py_ssize_t parentpos = (pos - 1) >> 1;
+        int64_t parent = heap[parentpos];
+        if (newitem < parent) {
+            heap[pos] = parent;
+            pos = parentpos;
+            continue;
+        }
+        break;
+    }
+    heap[pos] = newitem;
+}
+
+static void
+hq_siftup(int64_t *heap, Py_ssize_t pos, Py_ssize_t endpos)
+{
+    Py_ssize_t startpos = pos;
+    int64_t newitem = heap[pos];
+    Py_ssize_t childpos = 2 * pos + 1;
+    while (childpos < endpos) {
+        Py_ssize_t rightpos = childpos + 1;
+        if (rightpos < endpos && !(heap[childpos] < heap[rightpos]))
+            childpos = rightpos;
+        heap[pos] = heap[childpos];
+        pos = childpos;
+        childpos = 2 * pos + 1;
+    }
+    heap[pos] = newitem;
+    hq_siftdown(heap, startpos, pos);
+}
+
+static inline int
+hq_push(i64vec *v, int64_t item)
+{
+    if (iv_push(v, item) < 0)
+        return -1;
+    hq_siftdown(v->data, 0, v->len - 1);
+    return 0;
+}
+
+static inline int64_t
+hq_pop(i64vec *v)
+{
+    int64_t lastelt = v->data[--v->len];
+    if (v->len) {
+        int64_t returnitem = v->data[0];
+        v->data[0] = lastelt;
+        hq_siftup(v->data, 0, v->len);
+        return returnitem;
+    }
+    return lastelt;
+}
+
+static void
+hq_heapify(i64vec *v)
+{
+    Py_ssize_t n = v->len;
+    for (Py_ssize_t i = n / 2 - 1; i >= 0; i--)
+        hq_siftup(v->data, i, n);
+}
+
+static int
+i64_cmp(const void *a, const void *b)
+{
+    int64_t x = *(const int64_t *)a, y = *(const int64_t *)b;
+    return (x > y) - (x < y);
+}
+
+/* ------------------------------------------------------------------ */
+/* Engine                                                             */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    Py_ssize_t num_segments;
+    int64_t cap;
+    int64_t now;
+    int collect;
+    PyObject *events;           /* list of (obj, src, dst, pushdown) */
+    /* entry columns (slot-indexed) */
+    Py_ssize_t e_len, e_cap;
+    PyObject **e_obj;
+    int64_t *e_seq, *e_seg, *e_elig, *e_rseg, *e_cd;
+    int64_t *e_c0, *e_dh0, *e_c1, *e_dh1, *e_own, *e_crit0, *e_crit1;
+    int64_t *m_prev, *m_next;   /* per-segment membership links */
+    i64vec free_slots;
+    /* per-segment state */
+    int64_t *occ, *thr, *free_prev, *seg_head, *seg_tail;
+    i64vec *heaps;              /* maturity heaps of (when<<20)|slot */
+    i64vec *readys;             /* ready heaps of (seq<<20)|slot */
+    /* chain columns (cslot-indexed, never recycled) */
+    Py_ssize_t c_len, c_cap;
+    PyObject **c_obj;
+    int64_t *c_mode, *c_base, *c_hseg;
+    i64vec *c_members;          /* packed (seq<<20)|slot member keys */
+    /* scratch buffers (reused across calls) */
+    i64vec scratch, scratch2;
+} Engine;
+
+static int
+engine_grow_entries(Engine *self, Py_ssize_t need)
+{
+    Py_ssize_t cap = self->e_cap ? self->e_cap : 64;
+    while (cap < need)
+        cap *= 2;
+#define GROW_COL(field, type)                                           \
+    do {                                                                \
+        type *p = (type *)PyMem_Realloc(self->field,                    \
+                                        sizeof(type) * (size_t)cap);    \
+        if (p == NULL)                                                  \
+            return -1;                                                  \
+        self->field = p;                                                \
+    } while (0)
+    GROW_COL(e_obj, PyObject *);
+    GROW_COL(e_seq, int64_t);
+    GROW_COL(e_seg, int64_t);
+    GROW_COL(e_elig, int64_t);
+    GROW_COL(e_rseg, int64_t);
+    GROW_COL(e_cd, int64_t);
+    GROW_COL(e_c0, int64_t);
+    GROW_COL(e_dh0, int64_t);
+    GROW_COL(e_c1, int64_t);
+    GROW_COL(e_dh1, int64_t);
+    GROW_COL(e_own, int64_t);
+    GROW_COL(e_crit0, int64_t);
+    GROW_COL(e_crit1, int64_t);
+    GROW_COL(m_prev, int64_t);
+    GROW_COL(m_next, int64_t);
+    self->e_cap = cap;
+    return 0;
+}
+
+static int
+engine_grow_chains(Engine *self, Py_ssize_t need)
+{
+    Py_ssize_t cap = self->c_cap ? self->c_cap : 64;
+    while (cap < need)
+        cap *= 2;
+    GROW_COL(c_obj, PyObject *);
+    GROW_COL(c_mode, int64_t);
+    GROW_COL(c_base, int64_t);
+    GROW_COL(c_hseg, int64_t);
+    {
+        i64vec *p = (i64vec *)PyMem_Realloc(
+            self->c_members, sizeof(i64vec) * (size_t)cap);
+        if (p == NULL)
+            return -1;
+        self->c_members = p;
+    }
+    self->c_cap = cap;
+    return 0;
+}
+#undef GROW_COL
+
+/* -------------------------------------------------- membership list -- */
+
+static inline void
+members_append(Engine *self, int64_t seg, int64_t slot)
+{
+    int64_t tail = self->seg_tail[seg];
+    if (tail < 0)
+        self->seg_head[seg] = slot;
+    else
+        self->m_next[tail] = slot;
+    self->m_prev[slot] = tail;
+    self->m_next[slot] = -1;
+    self->seg_tail[seg] = slot;
+}
+
+static inline void
+members_remove(Engine *self, int64_t seg, int64_t slot)
+{
+    int64_t prev = self->m_prev[slot], next = self->m_next[slot];
+    if (prev < 0)
+        self->seg_head[seg] = next;
+    else
+        self->m_next[prev] = next;
+    if (next < 0)
+        self->seg_tail[seg] = prev;
+    else
+        self->m_prev[next] = prev;
+}
+
+/* -------------------------------------------------- object mirrors --- */
+
+static inline int
+mirror_set(PyObject *obj, PyObject *name, int64_t value)
+{
+    PyObject *num = PyLong_FromLongLong((long long)value);
+    if (num == NULL)
+        return -1;
+    int rc = PyObject_SetAttr(obj, name, num);
+    Py_DECREF(num);
+    return rc;
+}
+
+/* -------------------------------------------------- eligibility ------ */
+
+static inline int64_t
+eligible_when(Engine *self, int64_t slot, int64_t threshold, int64_t now)
+{
+    int64_t dh0 = self->e_dh0[slot];
+    int64_t dh1 = self->e_dh1[slot];
+    self->e_crit0[slot] = threshold - dh0;
+    self->e_crit1[slot] = threshold - dh1;
+    int64_t when = now;
+    int64_t cd = self->e_cd[slot];
+    if (cd >= 0) {
+        int64_t w = cd - threshold + 1;
+        if (w > when)
+            when = w;
+    }
+    int64_t c0 = self->e_c0[slot];
+    if (c0 >= 0) {
+        int64_t mode = self->c_mode[c0];
+        int64_t base = self->c_base[c0];
+        if (mode == 1) {
+            int64_t w = base + dh0 - threshold + 1;
+            if (w > when)
+                when = w;
+        }
+        else if ((mode == 0 ? base + dh0 : dh0 - base) >= threshold)
+            return KNEVER;
+    }
+    int64_t c1 = self->e_c1[slot];
+    if (c1 >= 0) {
+        int64_t mode = self->c_mode[c1];
+        int64_t base = self->c_base[c1];
+        if (mode == 1) {
+            int64_t w = base + dh1 - threshold + 1;
+            if (w > when)
+                when = w;
+        }
+        else if ((mode == 0 ? base + dh1 : dh1 - base) >= threshold)
+            return KNEVER;
+    }
+    return when;
+}
+
+static int
+schedule_slot(Engine *self, int64_t slot, int64_t seg, int64_t now)
+{
+    int64_t when = eligible_when(self, slot, self->thr[seg], now);
+    self->e_elig[slot] = when;
+    if (when <= now) {
+        if (self->e_rseg[slot] != seg) {
+            self->e_rseg[slot] = seg;
+            if (hq_push(&self->readys[seg],
+                        (self->e_seq[slot] << SLOT_BITS) | slot) < 0)
+                return -1;
+        }
+    }
+    else {
+        if (self->e_rseg[slot] == seg)
+            self->e_rseg[slot] = -1;
+        if (when < KNEVER &&
+            hq_push(&self->heaps[seg], (when << SLOT_BITS) | slot) < 0)
+            return -1;
+    }
+    return 0;
+}
+
+static int
+notify_chain(Engine *self, int64_t cslot)
+{
+    i64vec *members = &self->c_members[cslot];
+    Py_ssize_t n = members->len;
+    if (!n)
+        return 0;
+    int64_t *keys = members->data;
+    int64_t *e_seq = self->e_seq;
+    int64_t *e_seg = self->e_seg;
+    int64_t *e_elig = self->e_elig;
+    int64_t *e_rseg = self->e_rseg;
+    int64_t *e_c0 = self->e_c0;
+    int64_t *e_c1 = self->e_c1;
+    int64_t *e_crit0 = self->e_crit0;
+    int64_t *e_crit1 = self->e_crit1;
+    int64_t mode = self->c_mode[cslot];
+    int64_t base = self->c_base[cslot];
+    int64_t now = self->now;
+    int64_t *thr = self->thr;
+    Py_ssize_t kept = 0;
+    for (Py_ssize_t i = 0; i < n; i++) {
+        int64_t key = keys[i];
+        int64_t slot = key & SLOT_MASK;
+        if (e_seq[slot] != key >> SLOT_BITS)
+            continue;           /* issued or recycled: unsubscribe */
+        keys[kept++] = key;
+        int64_t seg = e_seg[slot];
+        if (seg == 0)
+            continue;           /* issues on operand readiness now */
+        if (e_elig[slot] == KNEVER && mode == 0) {
+            /* Critical-base filter: see kernels.py. */
+            if ((e_c0[slot] == cslot && base >= e_crit0[slot])
+                || (e_c1[slot] == cslot && base >= e_crit1[slot]))
+                continue;
+        }
+        int64_t when = eligible_when(self, slot, thr[seg], now);
+        int64_t old = e_elig[slot];
+        e_elig[slot] = when;
+        if (when <= now) {
+            if (e_rseg[slot] != seg) {
+                e_rseg[slot] = seg;
+                if (hq_push(&self->readys[seg],
+                            (e_seq[slot] << SLOT_BITS) | slot) < 0)
+                    return -1;
+            }
+        }
+        else {
+            if (e_rseg[slot] == seg)
+                e_rseg[slot] = -1;
+            if (when < KNEVER && when != old &&
+                hq_push(&self->heaps[seg], (when << SLOT_BITS) | slot) < 0)
+                return -1;
+        }
+    }
+    members->len = kept;
+    return 0;
+}
+
+/* Raw pop_eligible into out (slots, oldest first). */
+static int
+pop_eligible_raw(Engine *self, int64_t seg, int64_t now, int64_t limit,
+                 i64vec *out)
+{
+    out->len = 0;
+    i64vec *heap = &self->heaps[seg];
+    i64vec *ready = &self->readys[seg];
+    int64_t *e_seq = self->e_seq;
+    int64_t *e_seg = self->e_seg;
+    int64_t *e_rseg = self->e_rseg;
+    int64_t *e_elig = self->e_elig;
+    int64_t bound = (now + 1) << SLOT_BITS;
+    if (heap->len && heap->data[0] < bound) {
+        if (!ready->len) {
+            /* Fast path: the matured batch alone decides this pop. */
+            i64vec *batch = &self->scratch2;
+            batch->len = 0;
+            while (heap->len && heap->data[0] < bound) {
+                int64_t key = hq_pop(heap);
+                int64_t slot = key & SLOT_MASK;
+                if (e_seq[slot] < 0 || e_seg[slot] != seg
+                    || e_elig[slot] != key >> SLOT_BITS
+                    || e_rseg[slot] == seg)
+                    continue;   /* stale or duplicate maturity record */
+                e_rseg[slot] = seg;
+                if (iv_push(batch, (e_seq[slot] << SLOT_BITS) | slot) < 0)
+                    return -1;
+            }
+            if (batch->len <= limit) {
+                qsort(batch->data, (size_t)batch->len, sizeof(int64_t),
+                      i64_cmp);
+                for (Py_ssize_t i = 0; i < batch->len; i++) {
+                    int64_t slot = batch->data[i] & SLOT_MASK;
+                    e_rseg[slot] = -1;
+                    if (iv_push(out, slot) < 0)
+                        return -1;
+                }
+                return 0;
+            }
+            if (ready->cap < batch->len && iv_grow(ready, batch->len) < 0)
+                return -1;
+            memcpy(ready->data, batch->data,
+                   sizeof(int64_t) * (size_t)batch->len);
+            ready->len = batch->len;
+            hq_heapify(ready);
+        }
+        else {
+            while (heap->len && heap->data[0] < bound) {
+                int64_t key = hq_pop(heap);
+                int64_t slot = key & SLOT_MASK;
+                if (e_seq[slot] < 0 || e_seg[slot] != seg
+                    || e_elig[slot] != key >> SLOT_BITS)
+                    continue;   /* stale maturity record */
+                if (e_rseg[slot] != seg) {
+                    e_rseg[slot] = seg;
+                    if (hq_push(ready,
+                                (e_seq[slot] << SLOT_BITS) | slot) < 0)
+                        return -1;
+                }
+            }
+        }
+    }
+    if (!ready->len)
+        return 0;
+    while (ready->len && out->len < limit) {
+        int64_t key = hq_pop(ready);
+        int64_t slot = key & SLOT_MASK;
+        if (e_rseg[slot] != seg || e_seq[slot] != key >> SLOT_BITS
+            || e_seg[slot] != seg)
+            continue;           /* stale ready record */
+        e_rseg[slot] = -1;
+        if (iv_push(out, slot) < 0)
+            return -1;
+    }
+    return 0;
+}
+
+static int64_t
+next_eligible_cycle_raw(Engine *self, int64_t seg, int64_t now)
+{
+    i64vec *ready = &self->readys[seg];
+    int64_t *e_seq = self->e_seq;
+    int64_t *e_seg = self->e_seg;
+    while (ready->len) {
+        int64_t key = ready->data[0];
+        int64_t slot = key & SLOT_MASK;
+        if (self->e_rseg[slot] != seg || e_seq[slot] != key >> SLOT_BITS
+            || e_seg[slot] != seg) {
+            hq_pop(ready);
+            continue;
+        }
+        return now;             /* a matured candidate is waiting */
+    }
+    i64vec *heap = &self->heaps[seg];
+    while (heap->len) {
+        int64_t key = heap->data[0];
+        int64_t slot = key & SLOT_MASK;
+        if (e_seq[slot] < 0 || e_seg[slot] != seg
+            || self->e_elig[slot] != key >> SLOT_BITS) {
+            hq_pop(heap);
+            continue;
+        }
+        return key >> SLOT_BITS;
+    }
+    return KNEVER;
+}
+
+/* Oldest ineligible occupants as packed (seq<<20)|slot, sorted. */
+static int
+oldest_ineligible_raw(Engine *self, int64_t seg, int64_t now,
+                      int64_t count, i64vec *out)
+{
+    out->len = 0;
+    int64_t *e_seq = self->e_seq;
+    int64_t *e_elig = self->e_elig;
+    for (int64_t slot = self->seg_head[seg]; slot >= 0;
+         slot = self->m_next[slot]) {
+        if (e_elig[slot] > now &&
+            iv_push(out, (e_seq[slot] << SLOT_BITS) | slot) < 0)
+            return -1;
+    }
+    qsort(out->data, (size_t)out->len, sizeof(int64_t), i64_cmp);
+    if (out->len > count)
+        out->len = count;
+    for (Py_ssize_t i = 0; i < out->len; i++)
+        out->data[i] &= SLOT_MASK;
+    return 0;
+}
+
+/* The in-engine queued-own-chain head promotion (mirrors + notify). */
+static int
+own_chain_promoted(Engine *self, int64_t own, int64_t dk)
+{
+    self->c_hseg[own] = dk;
+    self->c_base[own] = 2 * dk;
+    PyObject *chain = self->c_obj[own];
+    if (mirror_set(chain, str_head_segment, dk) < 0
+        || mirror_set(chain, str_base, 2 * dk) < 0)
+        return -1;
+    return notify_chain(self, own);
+}
+
+/* ------------------------------------------------------------------ */
+/* Methods                                                            */
+/* ------------------------------------------------------------------ */
+
+static int
+Engine_init(Engine *self, PyObject *args, PyObject *kwds)
+{
+    Py_ssize_t num_segments;
+    long long capacity;
+    PyObject *thresholds;
+    static char *kwlist[] = {"num_segments", "capacity", "thresholds",
+                             NULL};
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "nLO", kwlist,
+                                     &num_segments, &capacity,
+                                     &thresholds))
+        return -1;
+    PyObject *thr_seq = PySequence_Fast(thresholds,
+                                        "thresholds must be a sequence");
+    if (thr_seq == NULL)
+        return -1;
+    if (PySequence_Fast_GET_SIZE(thr_seq) != num_segments) {
+        Py_DECREF(thr_seq);
+        PyErr_SetString(PyExc_ValueError,
+                        "thresholds length != num_segments");
+        return -1;
+    }
+    self->num_segments = num_segments;
+    self->cap = (int64_t)capacity;
+    self->now = 0;
+    self->collect = 0;
+    Py_CLEAR(self->events);
+    self->events = PyList_New(0);
+    if (self->events == NULL) {
+        Py_DECREF(thr_seq);
+        return -1;
+    }
+    size_t nbytes = sizeof(int64_t) * (size_t)num_segments;
+    self->occ = (int64_t *)PyMem_Malloc(nbytes);
+    self->thr = (int64_t *)PyMem_Malloc(nbytes);
+    self->free_prev = (int64_t *)PyMem_Malloc(nbytes);
+    self->seg_head = (int64_t *)PyMem_Malloc(nbytes);
+    self->seg_tail = (int64_t *)PyMem_Malloc(nbytes);
+    self->heaps = (i64vec *)PyMem_Calloc((size_t)num_segments,
+                                         sizeof(i64vec));
+    self->readys = (i64vec *)PyMem_Calloc((size_t)num_segments,
+                                          sizeof(i64vec));
+    if (!self->occ || !self->thr || !self->free_prev || !self->seg_head
+        || !self->seg_tail || !self->heaps || !self->readys) {
+        Py_DECREF(thr_seq);
+        PyErr_NoMemory();
+        return -1;
+    }
+    for (Py_ssize_t i = 0; i < num_segments; i++) {
+        self->occ[i] = 0;
+        self->free_prev[i] = (int64_t)capacity;
+        self->seg_head[i] = self->seg_tail[i] = -1;
+        PyObject *item = PySequence_Fast_GET_ITEM(thr_seq, i);
+        long long t = PyLong_AsLongLong(item);
+        if (t == -1 && PyErr_Occurred()) {
+            Py_DECREF(thr_seq);
+            return -1;
+        }
+        self->thr[i] = (int64_t)t;
+        if (iv_init(&self->heaps[i], 16) < 0
+            || iv_init(&self->readys[i], 16) < 0) {
+            Py_DECREF(thr_seq);
+            PyErr_NoMemory();
+            return -1;
+        }
+    }
+    Py_DECREF(thr_seq);
+    if (iv_init(&self->free_slots, 64) < 0 || iv_init(&self->scratch, 64) < 0
+        || iv_init(&self->scratch2, 64) < 0) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    self->e_len = self->e_cap = 0;
+    self->c_len = self->c_cap = 0;
+    return 0;
+}
+
+static int
+Engine_traverse(Engine *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->events);
+    for (Py_ssize_t i = 0; i < self->e_len; i++)
+        Py_VISIT(self->e_obj[i]);
+    for (Py_ssize_t i = 0; i < self->c_len; i++)
+        Py_VISIT(self->c_obj[i]);
+    return 0;
+}
+
+static int
+Engine_clear(Engine *self)
+{
+    Py_CLEAR(self->events);
+    for (Py_ssize_t i = 0; i < self->e_len; i++)
+        Py_CLEAR(self->e_obj[i]);
+    for (Py_ssize_t i = 0; i < self->c_len; i++)
+        Py_CLEAR(self->c_obj[i]);
+    return 0;
+}
+
+static void
+Engine_dealloc(Engine *self)
+{
+    PyObject_GC_UnTrack(self);
+    Engine_clear(self);
+    PyMem_Free(self->e_obj);
+    PyMem_Free(self->e_seq); PyMem_Free(self->e_seg);
+    PyMem_Free(self->e_elig); PyMem_Free(self->e_rseg);
+    PyMem_Free(self->e_cd);
+    PyMem_Free(self->e_c0); PyMem_Free(self->e_dh0);
+    PyMem_Free(self->e_c1); PyMem_Free(self->e_dh1);
+    PyMem_Free(self->e_own);
+    PyMem_Free(self->e_crit0); PyMem_Free(self->e_crit1);
+    PyMem_Free(self->m_prev); PyMem_Free(self->m_next);
+    iv_free(&self->free_slots);
+    iv_free(&self->scratch);
+    iv_free(&self->scratch2);
+    PyMem_Free(self->occ); PyMem_Free(self->thr);
+    PyMem_Free(self->free_prev);
+    PyMem_Free(self->seg_head); PyMem_Free(self->seg_tail);
+    if (self->heaps != NULL)
+        for (Py_ssize_t i = 0; i < self->num_segments; i++)
+            iv_free(&self->heaps[i]);
+    if (self->readys != NULL)
+        for (Py_ssize_t i = 0; i < self->num_segments; i++)
+            iv_free(&self->readys[i]);
+    PyMem_Free(self->heaps); PyMem_Free(self->readys);
+    PyMem_Free(self->c_obj);
+    PyMem_Free(self->c_mode); PyMem_Free(self->c_base);
+    PyMem_Free(self->c_hseg);
+    if (self->c_members != NULL)
+        for (Py_ssize_t i = 0; i < self->c_len; i++)
+            iv_free(&self->c_members[i]);
+    PyMem_Free(self->c_members);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+/* ------------------------------------------------------------ clock -- */
+
+static PyObject *
+Engine_set_now(Engine *self, PyObject *arg)
+{
+    long long now = PyLong_AsLongLong(arg);
+    if (now == -1 && PyErr_Occurred())
+        return NULL;
+    self->now = (int64_t)now;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Engine_set_collect(Engine *self, PyObject *arg)
+{
+    int flag = PyObject_IsTrue(arg);
+    if (flag < 0)
+        return NULL;
+    self->collect = flag;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Engine_drain_events(Engine *self, PyObject *Py_UNUSED(ignored))
+{
+    PyObject *events = self->events;
+    self->events = PyList_New(0);
+    if (self->events == NULL) {
+        self->events = events;
+        return NULL;
+    }
+    return events;
+}
+
+/* ------------------------------------------------------- thresholds -- */
+
+static PyObject *
+Engine_set_threshold(Engine *self, PyObject *args)
+{
+    Py_ssize_t index;
+    long long threshold;
+    if (!PyArg_ParseTuple(args, "nL", &index, &threshold))
+        return NULL;
+    self->thr[index] = (int64_t)threshold;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Engine_threshold(Engine *self, PyObject *arg)
+{
+    Py_ssize_t index = PyNumber_AsSsize_t(arg, PyExc_IndexError);
+    if (index == -1 && PyErr_Occurred())
+        return NULL;
+    return PyLong_FromLongLong((long long)self->thr[index]);
+}
+
+/* ------------------------------------------------------------ chains -- */
+
+static PyObject *
+Engine_alloc_chain(Engine *self, PyObject *args)
+{
+    PyObject *obj;
+    long long mode, base, head_segment;
+    if (!PyArg_ParseTuple(args, "OLLL", &obj, &mode, &base, &head_segment))
+        return NULL;
+    Py_ssize_t cslot = self->c_len;
+    if (cslot >= self->c_cap && engine_grow_chains(self, cslot + 1) < 0)
+        return PyErr_NoMemory();
+    Py_INCREF(obj);
+    self->c_obj[cslot] = obj;
+    self->c_mode[cslot] = (int64_t)mode;
+    self->c_base[cslot] = (int64_t)base;
+    self->c_hseg[cslot] = (int64_t)head_segment;
+    if (iv_init(&self->c_members[cslot], 4) < 0)
+        return PyErr_NoMemory();
+    self->c_len = cslot + 1;
+    return PyLong_FromSsize_t(cslot);
+}
+
+static PyObject *
+Engine_chain_set(Engine *self, PyObject *args)
+{
+    Py_ssize_t cslot;
+    long long mode, base, head_segment;
+    if (!PyArg_ParseTuple(args, "nLLL", &cslot, &mode, &base,
+                          &head_segment))
+        return NULL;
+    self->c_mode[cslot] = (int64_t)mode;
+    self->c_base[cslot] = (int64_t)base;
+    self->c_hseg[cslot] = (int64_t)head_segment;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Engine_chain_info(Engine *self, PyObject *arg)
+{
+    Py_ssize_t cslot = PyNumber_AsSsize_t(arg, PyExc_IndexError);
+    if (cslot == -1 && PyErr_Occurred())
+        return NULL;
+    return Py_BuildValue("(LLL)", (long long)self->c_mode[cslot],
+                         (long long)self->c_base[cslot],
+                         (long long)self->c_hseg[cslot]);
+}
+
+/* ----------------------------------------------------------- entries -- */
+
+static PyObject *
+Engine_insert_entry(Engine *self, PyObject *args)
+{
+    PyObject *obj;
+    long long seq, seg, cd, c0, dh0, c1, dh1, own, now;
+    if (!PyArg_ParseTuple(args, "OLLLLLLLLL", &obj, &seq, &seg, &cd,
+                          &c0, &dh0, &c1, &dh1, &own, &now))
+        return NULL;
+    int64_t slot;
+    if (self->free_slots.len)
+        slot = self->free_slots.data[--self->free_slots.len];
+    else {
+        slot = (int64_t)self->e_len;
+        if (self->e_len >= self->e_cap
+            && engine_grow_entries(self, self->e_len + 1) < 0)
+            return PyErr_NoMemory();
+        self->e_obj[slot] = NULL;
+        self->e_len++;
+    }
+    Py_INCREF(obj);
+    Py_XSETREF(self->e_obj[slot], obj);
+    self->e_seq[slot] = (int64_t)seq;
+    self->e_seg[slot] = (int64_t)seg;
+    self->e_elig[slot] = KNEVER;
+    self->e_rseg[slot] = -1;
+    self->e_cd[slot] = (int64_t)cd;
+    self->e_c0[slot] = (int64_t)c0;
+    self->e_dh0[slot] = (int64_t)dh0;
+    self->e_c1[slot] = (int64_t)c1;
+    self->e_dh1[slot] = (int64_t)dh1;
+    self->e_own[slot] = (int64_t)own;
+    self->e_crit0[slot] = 0;
+    self->e_crit1[slot] = 0;
+    if (mirror_set(obj, str_segment, (int64_t)seg) < 0)
+        return NULL;
+    int64_t key = ((int64_t)seq << SLOT_BITS) | slot;
+    if (c0 >= 0 && iv_push(&self->c_members[c0], key) < 0)
+        return PyErr_NoMemory();
+    if (c1 >= 0 && iv_push(&self->c_members[c1], key) < 0)
+        return PyErr_NoMemory();
+    members_append(self, (int64_t)seg, slot);
+    self->occ[seg]++;
+    if (seg > 0 && schedule_slot(self, slot, (int64_t)seg,
+                                 (int64_t)now) < 0)
+        return NULL;
+    return PyLong_FromLongLong((long long)slot);
+}
+
+static PyObject *
+Engine_free_entry(Engine *self, PyObject *arg)
+{
+    long long slot = PyLong_AsLongLong(arg);
+    if (slot == -1 && PyErr_Occurred())
+        return NULL;
+    int64_t seg = self->e_seg[slot];
+    members_remove(self, seg, (int64_t)slot);
+    self->occ[seg]--;
+    self->e_seq[slot] = -1;
+    Py_CLEAR(self->e_obj[slot]);
+    if (iv_push(&self->free_slots, (int64_t)slot) < 0)
+        return PyErr_NoMemory();
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Engine_detach(Engine *self, PyObject *arg)
+{
+    long long slot = PyLong_AsLongLong(arg);
+    if (slot == -1 && PyErr_Occurred())
+        return NULL;
+    int64_t seg = self->e_seg[slot];
+    members_remove(self, seg, (int64_t)slot);
+    self->occ[seg]--;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Engine_attach(Engine *self, PyObject *args)
+{
+    long long slot, seg, now;
+    if (!PyArg_ParseTuple(args, "LLL", &slot, &seg, &now))
+        return NULL;
+    self->e_seg[slot] = (int64_t)seg;
+    if (mirror_set(self->e_obj[slot], str_segment, (int64_t)seg) < 0)
+        return NULL;
+    members_append(self, (int64_t)seg, (int64_t)slot);
+    self->occ[seg]++;
+    if (seg > 0 && schedule_slot(self, (int64_t)slot, (int64_t)seg,
+                                 (int64_t)now) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Engine_entry_obj(Engine *self, PyObject *arg)
+{
+    long long slot = PyLong_AsLongLong(arg);
+    if (slot == -1 && PyErr_Occurred())
+        return NULL;
+    PyObject *obj = self->e_obj[slot];
+    if (obj == NULL)
+        Py_RETURN_NONE;
+    Py_INCREF(obj);
+    return obj;
+}
+
+static PyObject *
+Engine_slot_seq(Engine *self, PyObject *arg)
+{
+    long long slot = PyLong_AsLongLong(arg);
+    if (slot == -1 && PyErr_Occurred())
+        return NULL;
+    return PyLong_FromLongLong((long long)self->e_seq[slot]);
+}
+
+/* ------------------------------------------------------- scheduling -- */
+
+static PyObject *
+Engine_notify(Engine *self, PyObject *arg)
+{
+    long long cslot = PyLong_AsLongLong(arg);
+    if (cslot == -1 && PyErr_Occurred())
+        return NULL;
+    if (notify_chain(self, (int64_t)cslot) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Engine_pop_eligible(Engine *self, PyObject *args)
+{
+    long long seg, now, limit;
+    if (!PyArg_ParseTuple(args, "LLL", &seg, &now, &limit))
+        return NULL;
+    if (pop_eligible_raw(self, (int64_t)seg, (int64_t)now,
+                         (int64_t)limit, &self->scratch) < 0)
+        return PyErr_NoMemory();
+    PyObject *out = PyList_New(self->scratch.len);
+    if (out == NULL)
+        return NULL;
+    for (Py_ssize_t i = 0; i < self->scratch.len; i++) {
+        PyObject *num = PyLong_FromLongLong(
+            (long long)self->scratch.data[i]);
+        if (num == NULL) {
+            Py_DECREF(out);
+            return NULL;
+        }
+        PyList_SET_ITEM(out, i, num);
+    }
+    return out;
+}
+
+static PyObject *
+Engine_oldest_ineligible(Engine *self, PyObject *args)
+{
+    long long seg, now, count;
+    if (!PyArg_ParseTuple(args, "LLL", &seg, &now, &count))
+        return NULL;
+    if (oldest_ineligible_raw(self, (int64_t)seg, (int64_t)now,
+                              (int64_t)count, &self->scratch) < 0)
+        return PyErr_NoMemory();
+    PyObject *out = PyList_New(self->scratch.len);
+    if (out == NULL)
+        return NULL;
+    for (Py_ssize_t i = 0; i < self->scratch.len; i++) {
+        PyObject *num = PyLong_FromLongLong(
+            (long long)self->scratch.data[i]);
+        if (num == NULL) {
+            Py_DECREF(out);
+            return NULL;
+        }
+        PyList_SET_ITEM(out, i, num);
+    }
+    return out;
+}
+
+/* --------------------------------------------------------- promotion -- */
+
+static PyObject *
+Engine_promote_all(Engine *self, PyObject *args)
+{
+    long long now_ll, width_ll;
+    int enable_pushdown;
+    if (!PyArg_ParseTuple(args, "LLp", &now_ll, &width_ll,
+                          &enable_pushdown))
+        return NULL;
+    int64_t now = (int64_t)now_ll, width = (int64_t)width_ll;
+    int64_t cap = self->cap;
+    int64_t *occ = self->occ;
+    int64_t *free_prev = self->free_prev;
+    int64_t *thr = self->thr;
+    int64_t *e_seg = self->e_seg;
+    int64_t *e_seq = self->e_seq;
+    int64_t *e_elig = self->e_elig;
+    int64_t *e_rseg = self->e_rseg;
+    int64_t *e_own = self->e_own;
+    int64_t *c_mode = self->c_mode;
+    int collect = self->collect;
+    int64_t promotions = 0;
+    int64_t pushdowns = 0;
+    PyObject *seg0 = PyList_New(0);
+    if (seg0 == NULL)
+        return NULL;
+    for (Py_ssize_t k = 1; k < self->num_segments; k++) {
+        if (!occ[k])
+            continue;       /* empty source: nothing to promote or push */
+        Py_ssize_t dk = k - 1;
+        int64_t capacity = width;
+        if (free_prev[dk] < capacity)
+            capacity = free_prev[dk];
+        if (cap - occ[dk] < capacity)
+            capacity = cap - occ[dk];
+        if (capacity <= 0)
+            continue;
+        i64vec *heap = &self->heaps[k];
+        Py_ssize_t promoted_cnt = 0;
+        if (self->readys[k].len
+            || (heap->len && heap->data[0] >> SLOT_BITS <= now)) {
+            if (pop_eligible_raw(self, (int64_t)k, now, capacity,
+                                 &self->scratch) < 0)
+                goto fail;
+            promoted_cnt = self->scratch.len;
+        }
+        if (promoted_cnt) {
+            promotions += promoted_cnt;
+            if (dk) {
+                int64_t threshold = thr[dk];
+                for (Py_ssize_t i = 0; i < promoted_cnt; i++) {
+                    int64_t slot = self->scratch.data[i];
+                    members_remove(self, (int64_t)k, slot);
+                    e_seg[slot] = (int64_t)dk;
+                    members_append(self, (int64_t)dk, slot);
+                    PyObject *obj = self->e_obj[slot];
+                    if (mirror_set(obj, str_segment, (int64_t)dk) < 0)
+                        goto fail;
+                    /* Inlined destination schedule (see kernels.py for
+                     * why the ready residency is set unconditionally). */
+                    int64_t when = eligible_when(self, slot, threshold,
+                                                 now);
+                    e_elig[slot] = when;
+                    if (when <= now) {
+                        e_rseg[slot] = (int64_t)dk;
+                        if (hq_push(&self->readys[dk],
+                                    (e_seq[slot] << SLOT_BITS) | slot) < 0)
+                            goto fail;
+                    }
+                    else if (when < KNEVER) {
+                        if (hq_push(&self->heaps[dk],
+                                    (when << SLOT_BITS) | slot) < 0)
+                            goto fail;
+                    }
+                    if (collect) {
+                        PyObject *ev = Py_BuildValue("(Onni)", obj,
+                                                     (Py_ssize_t)k, dk, 0);
+                        if (ev == NULL
+                            || PyList_Append(self->events, ev) < 0) {
+                            Py_XDECREF(ev);
+                            goto fail;
+                        }
+                        Py_DECREF(ev);
+                    }
+                    int64_t own = e_own[slot];
+                    if (own >= 0 && c_mode[own] == 0
+                        && own_chain_promoted(self, own, (int64_t)dk) < 0)
+                        goto fail;
+                }
+            }
+            else {
+                for (Py_ssize_t i = 0; i < promoted_cnt; i++) {
+                    int64_t slot = self->scratch.data[i];
+                    members_remove(self, (int64_t)k, slot);
+                    e_seg[slot] = 0;
+                    members_append(self, 0, slot);
+                    PyObject *obj = self->e_obj[slot];
+                    if (mirror_set(obj, str_segment, 0) < 0)
+                        goto fail;
+                    if (collect) {
+                        PyObject *ev = Py_BuildValue("(Onii)", obj,
+                                                     (Py_ssize_t)k, 0, 0);
+                        if (ev == NULL
+                            || PyList_Append(self->events, ev) < 0) {
+                            Py_XDECREF(ev);
+                            goto fail;
+                        }
+                        Py_DECREF(ev);
+                    }
+                    int64_t own = e_own[slot];
+                    if (own >= 0 && c_mode[own] == 0
+                        && own_chain_promoted(self, own, 0) < 0)
+                        goto fail;
+                    if (PyList_Append(seg0, obj) < 0)
+                        goto fail;
+                }
+            }
+            occ[k] -= promoted_cnt;
+            occ[dk] += promoted_cnt;
+        }
+        /* Pushdown (4.1); 2*free > 3*width is free > 1.5*width. */
+        if (enable_pushdown
+            && promoted_cnt < capacity
+            && cap - occ[k] < width
+            && 2 * free_prev[dk] > 3 * width) {
+            int64_t room = capacity - promoted_cnt;
+            if (room > width)
+                room = width;
+            if (oldest_ineligible_raw(self, (int64_t)k, now, room,
+                                      &self->scratch) < 0)
+                goto fail;
+            for (Py_ssize_t i = 0; i < self->scratch.len; i++) {
+                if (cap - occ[dk] <= 0)
+                    break;
+                int64_t slot = self->scratch.data[i];
+                members_remove(self, (int64_t)k, slot);
+                occ[k]--;
+                e_seg[slot] = (int64_t)dk;
+                members_append(self, (int64_t)dk, slot);
+                occ[dk]++;
+                PyObject *obj = self->e_obj[slot];
+                if (mirror_set(obj, str_segment, (int64_t)dk) < 0)
+                    goto fail;
+                pushdowns++;
+                if (dk && schedule_slot(self, slot, (int64_t)dk, now) < 0)
+                    goto fail;
+                if (collect) {
+                    PyObject *ev = Py_BuildValue("(Onni)", obj,
+                                                 (Py_ssize_t)k, dk, 1);
+                    if (ev == NULL
+                        || PyList_Append(self->events, ev) < 0) {
+                        Py_XDECREF(ev);
+                        goto fail;
+                    }
+                    Py_DECREF(ev);
+                }
+                int64_t own = e_own[slot];
+                if (own >= 0 && c_mode[own] == 0
+                    && own_chain_promoted(self, own, (int64_t)dk) < 0)
+                    goto fail;
+                if (dk == 0 && PyList_Append(seg0, obj) < 0)
+                    goto fail;
+            }
+        }
+    }
+    {
+        PyObject *result = PyTuple_New(3);
+        PyObject *p = PyLong_FromLongLong((long long)promotions);
+        PyObject *q = PyLong_FromLongLong((long long)pushdowns);
+        if (result == NULL || p == NULL || q == NULL) {
+            Py_XDECREF(result);
+            Py_XDECREF(p);
+            Py_XDECREF(q);
+            goto fail;
+        }
+        PyTuple_SET_ITEM(result, 0, p);
+        PyTuple_SET_ITEM(result, 1, q);
+        PyTuple_SET_ITEM(result, 2, seg0);
+        return result;
+    }
+fail:
+    Py_DECREF(seg0);
+    return NULL;
+}
+
+static PyObject *
+Engine_next_promote_cycle(Engine *self, PyObject *args)
+{
+    long long now_ll, width_ll;
+    int enable_pushdown;
+    if (!PyArg_ParseTuple(args, "LLp", &now_ll, &width_ll,
+                          &enable_pushdown))
+        return NULL;
+    int64_t now = (int64_t)now_ll, width = (int64_t)width_ll;
+    int64_t cap = self->cap;
+    int64_t *occ = self->occ;
+    int64_t *free_prev = self->free_prev;
+    int64_t wake = KNEVER;
+    for (Py_ssize_t k = 1; k < self->num_segments; k++) {
+        if (!occ[k])
+            continue;
+        Py_ssize_t dk = k - 1;
+        int64_t capacity = width;
+        if (free_prev[dk] < capacity)
+            capacity = free_prev[dk];
+        if (cap - occ[dk] < capacity)
+            capacity = cap - occ[dk];
+        if (capacity <= 0)
+            continue;
+        int64_t when = next_eligible_cycle_raw(self, (int64_t)k, now);
+        if (when <= now)
+            return PyLong_FromLongLong((long long)now);
+        if (when < wake)
+            wake = when;
+        if (enable_pushdown
+            && cap - occ[k] < width
+            && 2 * free_prev[dk] > 3 * width)
+            return PyLong_FromLongLong((long long)now);
+    }
+    return PyLong_FromLongLong((long long)wake);
+}
+
+/* ---------------------------------------------------------- dispatch -- */
+
+static PyObject *
+Engine_dispatch_target(Engine *self, PyObject *args)
+{
+    Py_ssize_t active_count;
+    int enable_bypass;
+    if (!PyArg_ParseTuple(args, "np", &active_count, &enable_bypass))
+        return NULL;
+    int64_t *occ = self->occ;
+    int64_t cap = self->cap;
+    if (!enable_bypass) {
+        Py_ssize_t top = active_count - 1;
+        if (occ[top] >= cap)
+            return PyLong_FromLong(-1);
+        return PyLong_FromSsize_t(top);
+    }
+    Py_ssize_t highest = -1;
+    for (Py_ssize_t index = active_count - 1; index >= 0; index--) {
+        if (occ[index]) {
+            highest = index;
+            break;
+        }
+    }
+    if (highest < 0)
+        return PyLong_FromLong(0);
+    if (occ[highest] < cap)
+        return PyLong_FromSsize_t(highest);
+    if (highest + 1 < active_count)
+        return PyLong_FromSsize_t(highest + 1);
+    return PyLong_FromLong(-1);
+}
+
+/* ------------------------------------------------------------- misc -- */
+
+static PyObject *
+Engine_refresh_free_prev(Engine *self, PyObject *Py_UNUSED(ignored))
+{
+    int64_t cap = self->cap;
+    for (Py_ssize_t i = 0; i < self->num_segments; i++)
+        self->free_prev[i] = cap - self->occ[i];
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Engine_reschedule_all(Engine *self, PyObject *arg)
+{
+    long long now = PyLong_AsLongLong(arg);
+    if (now == -1 && PyErr_Occurred())
+        return NULL;
+    for (Py_ssize_t seg = 1; seg < self->num_segments; seg++) {
+        for (int64_t slot = self->seg_head[seg]; slot >= 0;
+             slot = self->m_next[slot]) {
+            if (schedule_slot(self, slot, (int64_t)seg,
+                              (int64_t)now) < 0)
+                return NULL;
+        }
+    }
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Engine_seg_occ(Engine *self, PyObject *arg)
+{
+    Py_ssize_t seg = PyNumber_AsSsize_t(arg, PyExc_IndexError);
+    if (seg == -1 && PyErr_Occurred())
+        return NULL;
+    return PyLong_FromLongLong((long long)self->occ[seg]);
+}
+
+static PyObject *
+Engine_occupancies(Engine *self, PyObject *Py_UNUSED(ignored))
+{
+    PyObject *out = PyList_New(self->num_segments);
+    if (out == NULL)
+        return NULL;
+    for (Py_ssize_t i = 0; i < self->num_segments; i++) {
+        PyObject *num = PyLong_FromLongLong((long long)self->occ[i]);
+        if (num == NULL) {
+            Py_DECREF(out);
+            return NULL;
+        }
+        PyList_SET_ITEM(out, i, num);
+    }
+    return out;
+}
+
+static PyObject *
+Engine_slots_of(Engine *self, PyObject *arg)
+{
+    Py_ssize_t seg = PyNumber_AsSsize_t(arg, PyExc_IndexError);
+    if (seg == -1 && PyErr_Occurred())
+        return NULL;
+    PyObject *out = PyList_New(0);
+    if (out == NULL)
+        return NULL;
+    for (int64_t slot = self->seg_head[seg]; slot >= 0;
+         slot = self->m_next[slot]) {
+        PyObject *num = PyLong_FromLongLong((long long)slot);
+        if (num == NULL || PyList_Append(out, num) < 0) {
+            Py_XDECREF(num);
+            Py_DECREF(out);
+            return NULL;
+        }
+        Py_DECREF(num);
+    }
+    return out;
+}
+
+static PyObject *
+Engine_entries_of(Engine *self, PyObject *arg)
+{
+    Py_ssize_t seg = PyNumber_AsSsize_t(arg, PyExc_IndexError);
+    if (seg == -1 && PyErr_Occurred())
+        return NULL;
+    PyObject *out = PyList_New(0);
+    if (out == NULL)
+        return NULL;
+    for (int64_t slot = self->seg_head[seg]; slot >= 0;
+         slot = self->m_next[slot]) {
+        if (PyList_Append(out, self->e_obj[slot]) < 0) {
+            Py_DECREF(out);
+            return NULL;
+        }
+    }
+    return out;
+}
+
+static PyObject *
+Engine_min_seq_slot(Engine *self, PyObject *arg)
+{
+    Py_ssize_t seg = PyNumber_AsSsize_t(arg, PyExc_IndexError);
+    if (seg == -1 && PyErr_Occurred())
+        return NULL;
+    int64_t best = -1, best_seq = -1;
+    for (int64_t slot = self->seg_head[seg]; slot >= 0;
+         slot = self->m_next[slot]) {
+        if (best < 0 || self->e_seq[slot] < best_seq) {
+            best_seq = self->e_seq[slot];
+            best = slot;
+        }
+    }
+    return PyLong_FromLongLong((long long)best);
+}
+
+static PyObject *
+Engine_max_seq_slot(Engine *self, PyObject *arg)
+{
+    Py_ssize_t seg = PyNumber_AsSsize_t(arg, PyExc_IndexError);
+    if (seg == -1 && PyErr_Occurred())
+        return NULL;
+    int64_t best = -1, best_seq = -1;
+    for (int64_t slot = self->seg_head[seg]; slot >= 0;
+         slot = self->m_next[slot]) {
+        if (best < 0 || self->e_seq[slot] > best_seq) {
+            best_seq = self->e_seq[slot];
+            best = slot;
+        }
+    }
+    return PyLong_FromLongLong((long long)best);
+}
+
+/* ------------------------------------------------------------------ */
+
+static PyMethodDef Engine_methods[] = {
+    {"set_now", (PyCFunction)Engine_set_now, METH_O, NULL},
+    {"set_collect", (PyCFunction)Engine_set_collect, METH_O, NULL},
+    {"drain_events", (PyCFunction)Engine_drain_events, METH_NOARGS, NULL},
+    {"set_threshold", (PyCFunction)Engine_set_threshold, METH_VARARGS,
+     NULL},
+    {"threshold", (PyCFunction)Engine_threshold, METH_O, NULL},
+    {"alloc_chain", (PyCFunction)Engine_alloc_chain, METH_VARARGS, NULL},
+    {"chain_set", (PyCFunction)Engine_chain_set, METH_VARARGS, NULL},
+    {"chain_info", (PyCFunction)Engine_chain_info, METH_O, NULL},
+    {"insert_entry", (PyCFunction)Engine_insert_entry, METH_VARARGS,
+     NULL},
+    {"free_entry", (PyCFunction)Engine_free_entry, METH_O, NULL},
+    {"detach", (PyCFunction)Engine_detach, METH_O, NULL},
+    {"attach", (PyCFunction)Engine_attach, METH_VARARGS, NULL},
+    {"entry_obj", (PyCFunction)Engine_entry_obj, METH_O, NULL},
+    {"slot_seq", (PyCFunction)Engine_slot_seq, METH_O, NULL},
+    {"notify", (PyCFunction)Engine_notify, METH_O, NULL},
+    {"pop_eligible", (PyCFunction)Engine_pop_eligible, METH_VARARGS,
+     NULL},
+    {"oldest_ineligible", (PyCFunction)Engine_oldest_ineligible,
+     METH_VARARGS, NULL},
+    {"promote_all", (PyCFunction)Engine_promote_all, METH_VARARGS, NULL},
+    {"next_promote_cycle", (PyCFunction)Engine_next_promote_cycle,
+     METH_VARARGS, NULL},
+    {"dispatch_target", (PyCFunction)Engine_dispatch_target,
+     METH_VARARGS, NULL},
+    {"refresh_free_prev", (PyCFunction)Engine_refresh_free_prev,
+     METH_NOARGS, NULL},
+    {"reschedule_all", (PyCFunction)Engine_reschedule_all, METH_O, NULL},
+    {"seg_occ", (PyCFunction)Engine_seg_occ, METH_O, NULL},
+    {"occupancies", (PyCFunction)Engine_occupancies, METH_NOARGS, NULL},
+    {"slots_of", (PyCFunction)Engine_slots_of, METH_O, NULL},
+    {"entries_of", (PyCFunction)Engine_entries_of, METH_O, NULL},
+    {"min_seq_slot", (PyCFunction)Engine_min_seq_slot, METH_O, NULL},
+    {"max_seq_slot", (PyCFunction)Engine_max_seq_slot, METH_O, NULL},
+    {NULL, NULL, 0, NULL}
+};
+
+static PyTypeObject EngineType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.core.segmented._ckernels.Engine",
+    .tp_basicsize = sizeof(Engine),
+    .tp_itemsize = 0,
+    .tp_dealloc = (destructor)Engine_dealloc,
+    .tp_flags = (Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE
+                 | Py_TPFLAGS_HAVE_GC),
+    .tp_doc = "Compiled struct-of-arrays kernel engine (see kernels.py)",
+    .tp_traverse = (traverseproc)Engine_traverse,
+    .tp_clear = (inquiry)Engine_clear,
+    .tp_methods = Engine_methods,
+    .tp_init = (initproc)Engine_init,
+    .tp_new = PyType_GenericNew,
+};
+
+/* ------------------------------------------------------------------ */
+/* Compiled stat primitives (repro.common.stats transliteration)      */
+/*                                                                    */
+/* Counter and Distribution are the two per-event stat objects the    */
+/* whole machine calls into on its hot paths (hundreds of thousands   */
+/* of inc()/sample() calls per run).  Same attribute surface and      */
+/* arithmetic as the pure-Python classes: long-long counts, double    */
+/* totals (identical IEEE rounding for the integer-valued samples     */
+/* the simulator records), int 0 min/max on empty distributions.      */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *name;
+    PyObject *desc;
+    long long value;
+} CounterObj;
+
+static int
+Counter_init(CounterObj *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"name", "desc", NULL};
+    PyObject *name, *desc = NULL;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O|O", kwlist,
+                                     &name, &desc))
+        return -1;
+    if (desc == NULL) {
+        desc = PyUnicode_FromString("");
+        if (desc == NULL)
+            return -1;
+    }
+    else {
+        Py_INCREF(desc);
+    }
+    Py_INCREF(name);
+    Py_XSETREF(self->name, name);
+    Py_XSETREF(self->desc, desc);
+    self->value = 0;
+    return 0;
+}
+
+static void
+Counter_dealloc(CounterObj *self)
+{
+    Py_XDECREF(self->name);
+    Py_XDECREF(self->desc);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyObject *
+Counter_inc(CounterObj *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    long long amount = 1;
+    if (nargs > 1) {
+        PyErr_SetString(PyExc_TypeError,
+                        "inc() takes at most 1 argument");
+        return NULL;
+    }
+    if (nargs == 1) {
+        amount = PyLong_AsLongLong(args[0]);
+        if (amount == -1 && PyErr_Occurred())
+            return NULL;
+    }
+    self->value += amount;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Counter_reset(CounterObj *self, PyObject *Py_UNUSED(ignored))
+{
+    self->value = 0;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Counter_repr(CounterObj *self)
+{
+    return PyUnicode_FromFormat("Counter(%U=%lld)",
+                                self->name ? self->name : Py_None,
+                                self->value);
+}
+
+static PyMethodDef Counter_methods[] = {
+    {"inc", (PyCFunction)Counter_inc, METH_FASTCALL, NULL},
+    {"reset", (PyCFunction)Counter_reset, METH_NOARGS, NULL},
+    {NULL, NULL, 0, NULL}
+};
+
+static PyMemberDef Counter_members[] = {
+    {"name", T_OBJECT, offsetof(CounterObj, name), 0, NULL},
+    {"desc", T_OBJECT, offsetof(CounterObj, desc), 0, NULL},
+    {"value", T_LONGLONG, offsetof(CounterObj, value), 0, NULL},
+    {NULL, 0, 0, 0, NULL}
+};
+
+static PyTypeObject CounterType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.core.segmented._ckernels.Counter",
+    .tp_basicsize = sizeof(CounterObj),
+    .tp_itemsize = 0,
+    .tp_dealloc = (destructor)Counter_dealloc,
+    .tp_repr = (reprfunc)Counter_repr,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE,
+    .tp_doc = "A monotonically increasing event count (compiled).",
+    .tp_methods = Counter_methods,
+    .tp_members = Counter_members,
+    .tp_init = (initproc)Counter_init,
+    .tp_new = PyType_GenericNew,
+};
+
+typedef struct {
+    PyObject_HEAD
+    PyObject *name;
+    PyObject *desc;
+    long long count;
+    double total;
+    double minimum;     /* exposed as _minimum, like the Python slots */
+    double maximum;     /* exposed as _maximum */
+} DistObj;
+
+static void
+Dist_do_reset(DistObj *self)
+{
+    self->count = 0;
+    self->total = 0.0;
+    self->minimum = Py_HUGE_VAL;
+    self->maximum = -Py_HUGE_VAL;
+}
+
+static int
+Dist_init(DistObj *self, PyObject *args, PyObject *kwds)
+{
+    static char *kwlist[] = {"name", "desc", NULL};
+    PyObject *name, *desc = NULL;
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "O|O", kwlist,
+                                     &name, &desc))
+        return -1;
+    if (desc == NULL) {
+        desc = PyUnicode_FromString("");
+        if (desc == NULL)
+            return -1;
+    }
+    else {
+        Py_INCREF(desc);
+    }
+    Py_INCREF(name);
+    Py_XSETREF(self->name, name);
+    Py_XSETREF(self->desc, desc);
+    Dist_do_reset(self);
+    return 0;
+}
+
+static void
+Dist_dealloc(DistObj *self)
+{
+    Py_XDECREF(self->name);
+    Py_XDECREF(self->desc);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyObject *
+Dist_reset(DistObj *self, PyObject *Py_UNUSED(ignored))
+{
+    Dist_do_reset(self);
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Dist_sample(DistObj *self, PyObject *arg)
+{
+    double value = PyFloat_AsDouble(arg);
+    if (value == -1.0 && PyErr_Occurred())
+        return NULL;
+    self->count += 1;
+    self->total += value;
+    if (value < self->minimum)
+        self->minimum = value;
+    if (value > self->maximum)
+        self->maximum = value;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Dist_sample_n(DistObj *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "sample_n() takes exactly 2 arguments");
+        return NULL;
+    }
+    double value = PyFloat_AsDouble(args[0]);
+    if (value == -1.0 && PyErr_Occurred())
+        return NULL;
+    long long repeats = PyLong_AsLongLong(args[1]);
+    if (repeats == -1 && PyErr_Occurred())
+        return NULL;
+    if (repeats <= 0)
+        Py_RETURN_NONE;
+    self->count += repeats;
+    self->total += value * (double)repeats;
+    if (value < self->minimum)
+        self->minimum = value;
+    if (value > self->maximum)
+        self->maximum = value;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Dist_get_minimum(DistObj *self, void *Py_UNUSED(closure))
+{
+    if (self->count)
+        return PyFloat_FromDouble(self->minimum);
+    return PyLong_FromLong(0);
+}
+
+static PyObject *
+Dist_get_maximum(DistObj *self, void *Py_UNUSED(closure))
+{
+    if (self->count)
+        return PyFloat_FromDouble(self->maximum);
+    return PyLong_FromLong(0);
+}
+
+static PyObject *
+Dist_get_mean(DistObj *self, void *Py_UNUSED(closure))
+{
+    return PyFloat_FromDouble(
+        self->count ? self->total / (double)self->count : 0.0);
+}
+
+static PyObject *
+Dist_get_peak(DistObj *self, void *Py_UNUSED(closure))
+{
+    return PyFloat_FromDouble(self->count ? self->maximum : 0.0);
+}
+
+static PyObject *
+Dist_repr(DistObj *self)
+{
+    char meanbuf[64];
+    PyOS_snprintf(meanbuf, sizeof(meanbuf), "%.3f",
+                  self->count ? self->total / (double)self->count : 0.0);
+    PyObject *maxobj = Dist_get_maximum(self, NULL);
+    if (maxobj == NULL)
+        return NULL;
+    PyObject *result = PyUnicode_FromFormat(
+        "Distribution(%U: n=%lld, mean=%s, max=%S)",
+        self->name ? self->name : Py_None, self->count, meanbuf, maxobj);
+    Py_DECREF(maxobj);
+    return result;
+}
+
+static PyMethodDef Dist_methods[] = {
+    {"sample", (PyCFunction)Dist_sample, METH_O, NULL},
+    {"sample_n", (PyCFunction)Dist_sample_n, METH_FASTCALL, NULL},
+    {"reset", (PyCFunction)Dist_reset, METH_NOARGS, NULL},
+    {NULL, NULL, 0, NULL}
+};
+
+static PyMemberDef Dist_members[] = {
+    {"name", T_OBJECT, offsetof(DistObj, name), 0, NULL},
+    {"desc", T_OBJECT, offsetof(DistObj, desc), 0, NULL},
+    {"count", T_LONGLONG, offsetof(DistObj, count), 0, NULL},
+    {"total", T_DOUBLE, offsetof(DistObj, total), 0, NULL},
+    {"_minimum", T_DOUBLE, offsetof(DistObj, minimum), 0, NULL},
+    {"_maximum", T_DOUBLE, offsetof(DistObj, maximum), 0, NULL},
+    {NULL, 0, 0, 0, NULL}
+};
+
+static PyGetSetDef Dist_getset[] = {
+    {"minimum", (getter)Dist_get_minimum, NULL, NULL, NULL},
+    {"maximum", (getter)Dist_get_maximum, NULL, NULL, NULL},
+    {"mean", (getter)Dist_get_mean, NULL, NULL, NULL},
+    {"peak", (getter)Dist_get_peak, NULL, NULL, NULL},
+    {NULL, NULL, NULL, NULL, NULL}
+};
+
+static PyTypeObject DistType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.core.segmented._ckernels.Distribution",
+    .tp_basicsize = sizeof(DistObj),
+    .tp_itemsize = 0,
+    .tp_dealloc = (destructor)Dist_dealloc,
+    .tp_repr = (reprfunc)Dist_repr,
+    .tp_flags = Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE,
+    .tp_doc = "Running count/sum/min/max of samples (compiled).",
+    .tp_methods = Dist_methods,
+    .tp_members = Dist_members,
+    .tp_getset = Dist_getset,
+    .tp_init = (initproc)Dist_init,
+    .tp_new = PyType_GenericNew,
+};
+
+/* ------------------------------------------------------------------ */
+/* Compiled event queue (repro.common.events transliteration)         */
+/*                                                                    */
+/* The same (cycle, sequence, callback) min-heap semantics as the     */
+/* Python EventQueue — insertion-order-stable for same-cycle events,  */
+/* reentrant (callbacks may schedule follow-ups, including for the    */
+/* cycle being drained) — over three parallel arrays instead of a     */
+/* list of tuples.                                                    */
+/* ------------------------------------------------------------------ */
+
+static PyObject *
+sim_error(void)
+{
+    /* repro.common.errors.SimulationError, resolved lazily (the module
+     * is fully imported by the time any queue misuse can happen). */
+    static PyObject *exc = NULL;
+    if (exc == NULL) {
+        PyObject *mod = PyImport_ImportModule("repro.common.errors");
+        if (mod == NULL)
+            return NULL;
+        exc = PyObject_GetAttrString(mod, "SimulationError");
+        Py_DECREF(mod);
+    }
+    return exc;
+}
+
+typedef struct {
+    PyObject_HEAD
+    int64_t *when;
+    int64_t *seq;
+    PyObject **cb;
+    Py_ssize_t len;
+    Py_ssize_t cap;
+    int64_t counter;
+    long long now;
+} EQObj;
+
+static int
+EQ_init(EQObj *self, PyObject *args, PyObject *kwds)
+{
+    if ((args && PyTuple_GET_SIZE(args)) || (kwds && PyDict_GET_SIZE(kwds))) {
+        PyErr_SetString(PyExc_TypeError, "EventQueue() takes no arguments");
+        return -1;
+    }
+    self->len = 0;
+    self->counter = 0;
+    self->now = 0;
+    return 0;
+}
+
+static int
+eq_grow(EQObj *q, Py_ssize_t need)
+{
+    Py_ssize_t cap = q->cap ? q->cap : 16;
+    while (cap < need)
+        cap *= 2;
+    int64_t *when = (int64_t *)PyMem_Realloc(
+        q->when, sizeof(int64_t) * (size_t)cap);
+    if (when == NULL)
+        return -1;
+    q->when = when;
+    int64_t *seq = (int64_t *)PyMem_Realloc(
+        q->seq, sizeof(int64_t) * (size_t)cap);
+    if (seq == NULL)
+        return -1;
+    q->seq = seq;
+    PyObject **cb = (PyObject **)PyMem_Realloc(
+        q->cb, sizeof(PyObject *) * (size_t)cap);
+    if (cb == NULL)
+        return -1;
+    q->cb = cb;
+    q->cap = cap;
+    return 0;
+}
+
+/* heapq sift functions over the (when, seq) pair key; callbacks ride
+ * along.  Same record movement as heapq on (cycle, seq, cb) tuples. */
+static void
+eq_siftdown(EQObj *q, Py_ssize_t startpos, Py_ssize_t pos)
+{
+    int64_t nw = q->when[pos], ns = q->seq[pos];
+    PyObject *ncb = q->cb[pos];
+    while (pos > startpos) {
+        Py_ssize_t parent = (pos - 1) >> 1;
+        int64_t pw = q->when[parent], ps = q->seq[parent];
+        if (nw < pw || (nw == pw && ns < ps)) {
+            q->when[pos] = pw;
+            q->seq[pos] = ps;
+            q->cb[pos] = q->cb[parent];
+            pos = parent;
+            continue;
+        }
+        break;
+    }
+    q->when[pos] = nw;
+    q->seq[pos] = ns;
+    q->cb[pos] = ncb;
+}
+
+static void
+eq_siftup(EQObj *q, Py_ssize_t pos)
+{
+    Py_ssize_t endpos = q->len;
+    Py_ssize_t startpos = pos;
+    int64_t nw = q->when[pos], ns = q->seq[pos];
+    PyObject *ncb = q->cb[pos];
+    Py_ssize_t childpos = 2 * pos + 1;
+    while (childpos < endpos) {
+        Py_ssize_t rightpos = childpos + 1;
+        if (rightpos < endpos
+                && !(q->when[childpos] < q->when[rightpos]
+                     || (q->when[childpos] == q->when[rightpos]
+                         && q->seq[childpos] < q->seq[rightpos])))
+            childpos = rightpos;
+        q->when[pos] = q->when[childpos];
+        q->seq[pos] = q->seq[childpos];
+        q->cb[pos] = q->cb[childpos];
+        pos = childpos;
+        childpos = 2 * pos + 1;
+    }
+    q->when[pos] = nw;
+    q->seq[pos] = ns;
+    q->cb[pos] = ncb;
+    eq_siftdown(q, startpos, pos);
+}
+
+static int
+eq_push(EQObj *q, int64_t when, PyObject *callback)
+{
+    if (q->len >= q->cap && eq_grow(q, q->len + 1) < 0)
+        return -1;
+    q->when[q->len] = when;
+    q->seq[q->len] = q->counter++;
+    Py_INCREF(callback);
+    q->cb[q->len] = callback;
+    q->len++;
+    eq_siftdown(q, 0, q->len - 1);
+    return 0;
+}
+
+static void
+EQ_dealloc(EQObj *self)
+{
+    PyObject_GC_UnTrack(self);
+    for (Py_ssize_t i = 0; i < self->len; i++)
+        Py_XDECREF(self->cb[i]);
+    PyMem_Free(self->when);
+    PyMem_Free(self->seq);
+    PyMem_Free(self->cb);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static int
+EQ_traverse(EQObj *self, visitproc visit, void *arg)
+{
+    for (Py_ssize_t i = 0; i < self->len; i++)
+        Py_VISIT(self->cb[i]);
+    return 0;
+}
+
+static int
+EQ_clear(EQObj *self)
+{
+    Py_ssize_t len = self->len;
+    self->len = 0;
+    for (Py_ssize_t i = 0; i < len; i++)
+        Py_CLEAR(self->cb[i]);
+    return 0;
+}
+
+static Py_ssize_t
+EQ_length(EQObj *self)
+{
+    return self->len;
+}
+
+static PyObject *
+EQ_schedule(EQObj *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "schedule() takes exactly 2 arguments");
+        return NULL;
+    }
+    long long delay = PyLong_AsLongLong(args[0]);
+    if (delay == -1 && PyErr_Occurred())
+        return NULL;
+    if (delay < 0) {
+        PyObject *exc = sim_error();
+        if (exc != NULL)
+            PyErr_Format(
+                exc, "cannot schedule event in the past (delay=%lld)",
+                delay);
+        return NULL;
+    }
+    if (eq_push(self, self->now + delay, args[1]) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+EQ_schedule_at(EQObj *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    if (nargs != 2) {
+        PyErr_SetString(PyExc_TypeError,
+                        "schedule_at() takes exactly 2 arguments");
+        return NULL;
+    }
+    long long cycle = PyLong_AsLongLong(args[0]);
+    if (cycle == -1 && PyErr_Occurred())
+        return NULL;
+    if (cycle < self->now) {
+        PyObject *exc = sim_error();
+        if (exc != NULL)
+            PyErr_Format(
+                exc, "cannot schedule event at cycle %lld (now=%lld)",
+                cycle, self->now);
+        return NULL;
+    }
+    if (eq_push(self, cycle, args[1]) < 0)
+        return NULL;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+EQ_advance_to(EQObj *self, PyObject *arg)
+{
+    long long cycle = PyLong_AsLongLong(arg);
+    if (cycle == -1 && PyErr_Occurred())
+        return NULL;
+    if (cycle < self->now) {
+        PyObject *exc = sim_error();
+        if (exc != NULL)
+            PyErr_Format(exc, "time cannot go backwards (%lld < %lld)",
+                         cycle, self->now);
+        return NULL;
+    }
+    while (self->len && self->when[0] <= cycle) {
+        int64_t when = self->when[0];
+        PyObject *callback = self->cb[0];
+        self->len--;
+        if (self->len) {
+            self->when[0] = self->when[self->len];
+            self->seq[0] = self->seq[self->len];
+            self->cb[0] = self->cb[self->len];
+            eq_siftup(self, 0);
+        }
+        self->now = when;
+        PyObject *result = PyObject_CallNoArgs(callback);
+        Py_DECREF(callback);
+        if (result == NULL)
+            return NULL;
+        Py_DECREF(result);
+    }
+    self->now = cycle;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+EQ_next_event_cycle(EQObj *self, PyObject *Py_UNUSED(ignored))
+{
+    return PyLong_FromLongLong(self->len ? self->when[0] : -1);
+}
+
+static PyMethodDef EQ_methods[] = {
+    {"schedule", (PyCFunction)EQ_schedule, METH_FASTCALL, NULL},
+    {"schedule_at", (PyCFunction)EQ_schedule_at, METH_FASTCALL, NULL},
+    {"advance_to", (PyCFunction)EQ_advance_to, METH_O, NULL},
+    {"next_event_cycle", (PyCFunction)EQ_next_event_cycle, METH_NOARGS,
+     NULL},
+    {NULL, NULL, 0, NULL}
+};
+
+static PyMemberDef EQ_members[] = {
+    {"now", T_LONGLONG, offsetof(EQObj, now), 0, NULL},
+    {NULL, 0, 0, 0, NULL}
+};
+
+static PySequenceMethods EQ_as_sequence = {
+    .sq_length = (lenfunc)EQ_length,
+};
+
+static PyTypeObject EQType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.core.segmented._ckernels.EventQueue",
+    .tp_basicsize = sizeof(EQObj),
+    .tp_itemsize = 0,
+    .tp_dealloc = (destructor)EQ_dealloc,
+    .tp_as_sequence = &EQ_as_sequence,
+    .tp_flags = (Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE
+                 | Py_TPFLAGS_HAVE_GC),
+    .tp_doc = "Min-heap of (cycle, sequence, callback) (compiled).",
+    .tp_traverse = (traverseproc)EQ_traverse,
+    .tp_clear = (inquiry)EQ_clear,
+    .tp_methods = EQ_methods,
+    .tp_members = EQ_members,
+    .tp_init = (initproc)EQ_init,
+    .tp_new = PyType_GenericNew,
+};
+
+static struct PyModuleDef ckernels_module = {
+    PyModuleDef_HEAD_INIT,
+    .m_name = "repro.core.segmented._ckernels",
+    .m_doc = "Compiled kernel backend for the segmented IQ.",
+    .m_size = -1,
+};
+
+PyMODINIT_FUNC
+PyInit__ckernels(void)
+{
+    str_segment = PyUnicode_InternFromString("segment");
+    str_head_segment = PyUnicode_InternFromString("head_segment");
+    str_base = PyUnicode_InternFromString("base");
+    if (!str_segment || !str_head_segment || !str_base)
+        return NULL;
+    if (PyType_Ready(&EngineType) < 0)
+        return NULL;
+    /* The backend tag kernels.backend() reports for engines built here. */
+    PyObject *kind = PyUnicode_InternFromString("compiled");
+    if (kind == NULL)
+        return NULL;
+    if (PyDict_SetItemString(EngineType.tp_dict, "kind", kind) < 0) {
+        Py_DECREF(kind);
+        return NULL;
+    }
+    Py_DECREF(kind);
+    PyObject *module = PyModule_Create(&ckernels_module);
+    if (module == NULL)
+        return NULL;
+    Py_INCREF(&EngineType);
+    if (PyModule_AddObject(module, "Engine",
+                           (PyObject *)&EngineType) < 0) {
+        Py_DECREF(&EngineType);
+        Py_DECREF(module);
+        return NULL;
+    }
+    if (PyType_Ready(&CounterType) < 0 || PyType_Ready(&DistType) < 0
+            || PyType_Ready(&EQType) < 0) {
+        Py_DECREF(module);
+        return NULL;
+    }
+    Py_INCREF(&CounterType);
+    if (PyModule_AddObject(module, "Counter",
+                           (PyObject *)&CounterType) < 0) {
+        Py_DECREF(&CounterType);
+        Py_DECREF(module);
+        return NULL;
+    }
+    Py_INCREF(&DistType);
+    if (PyModule_AddObject(module, "Distribution",
+                           (PyObject *)&DistType) < 0) {
+        Py_DECREF(&DistType);
+        Py_DECREF(module);
+        return NULL;
+    }
+    Py_INCREF(&EQType);
+    if (PyModule_AddObject(module, "EventQueue",
+                           (PyObject *)&EQType) < 0) {
+        Py_DECREF(&EQType);
+        Py_DECREF(module);
+        return NULL;
+    }
+    return module;
+}

@@ -35,7 +35,8 @@ class Chain:
 
     __slots__ = ("chain_id", "head", "head_segment", "head_latency",
                  "issued_cycle", "suspended_since", "suspended_accum",
-                 "freed", "members", "cluster", "mode", "base", "on_event")
+                 "freed", "members", "cluster", "mode", "base", "on_event",
+                 "engine", "cslot")
 
     #: ``mode``/``base`` cache the member-delay algebra so followers can
     #: evaluate their delay in one arithmetic step instead of re-deriving
@@ -76,6 +77,12 @@ class Chain:
         # callbacks.  Either returns True to stay subscribed.
         self.on_event: Optional[Callable] = None
         self.members: List = []
+        # Kernel-engine registration (see repro.core.segmented.kernels):
+        # when set, _notify publishes (mode, base, head_segment) into the
+        # engine's chain columns and fans the wakeup out over its packed
+        # member list instead of Python subscriber objects.
+        self.engine = None
+        self.cslot = -1
 
     # ------------------------------------------------------------ state --
     @property
@@ -159,6 +166,11 @@ class Chain:
         self._notify()
 
     def _notify(self) -> None:
+        engine = self.engine
+        if engine is not None:
+            engine.chain_set(self.cslot, self.mode, self.base,
+                             self.head_segment)
+            engine.notify(self.cslot)
         members = self.members
         if not members:
             return

@@ -7,6 +7,13 @@ as their delay drops below each segment threshold, and issue out of segment
 0 — which schedules on *actual* operand readiness, exactly like a small
 conventional IQ.  Enhancements: pushdown (4.1), hit/miss and left/right
 predictors (4.3-4.4), and deadlock detection/recovery (4.5).
+
+The active-cycle state (segment membership, eligibility, the promotion
+heaps, chain delay constants) lives in a struct-of-arrays kernel engine
+(:mod:`repro.core.segmented.kernels`, optionally compiled); this class
+keeps the policy — dispatch planning, predictors, issue scheduling,
+deadlock recovery, resizing — and the object mirrors the rest of the
+system reads (``entry.segment``, chain broadcast state).
 """
 
 from __future__ import annotations
@@ -21,10 +28,11 @@ from repro.core.iq_base import IQEntry, InstructionQueue, Operand
 from repro.core.predictors import HitMissPredictor, LeftRightPredictor
 from repro.obs.events import TraceEvent
 from repro.core.segmented.chains import Chain, ChainManager
+from repro.core.segmented.kernels import make_engine
 from repro.core.segmented.links import (NEVER, ChainLink, CountdownLink,
                                         combined_delay)
 from repro.core.segmented.register_info import RegisterInfoTable
-from repro.core.segmented.segment import Segment, SegmentState
+from repro.core.segmented.segment import SegmentState
 
 #: Predicted latency of a load from IQ issue: 1-cycle EA calculation plus
 #: the L1 data-cache hit latency (3 cycles in Table 1).
@@ -46,6 +54,45 @@ class DispatchPlan:
         self.head_latency = head_latency
 
 
+class SegmentView:
+    """Public per-segment surface (``iq.segments[k]``) over engine state."""
+
+    __slots__ = ("index", "capacity", "_engine")
+
+    def __init__(self, index: int, capacity: int, engine) -> None:
+        self.index = index
+        self.capacity = capacity
+        self._engine = engine
+
+    @property
+    def occupancy(self) -> int:
+        return self._engine.seg_occ(self.index)
+
+    @property
+    def free(self) -> int:
+        return self.capacity - self._engine.seg_occ(self.index)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._engine.seg_occ(self.index)
+
+    @property
+    def is_full(self) -> bool:
+        return self._engine.seg_occ(self.index) >= self.capacity
+
+    @property
+    def promote_threshold(self) -> int:
+        return self._engine.threshold(self.index)
+
+    @promote_threshold.setter
+    def promote_threshold(self, value: int) -> None:
+        self._engine.set_threshold(self.index, value)
+
+    def __repr__(self) -> str:
+        return (f"Segment({self.index}, occ={self.occupancy}/"
+                f"{self.capacity})")
+
+
 class SegmentedIQ(InstructionQueue):
     """Segmented IQ with chain-based promotion."""
 
@@ -60,10 +107,13 @@ class SegmentedIQ(InstructionQueue):
         self.num_segments = params.num_segments
         # Segment j admits instructions with delay < step*(j+1); promotion
         # out of segment k therefore requires delay < step*k.
-        self.segments = [Segment(j, params.segment_size, step * j)
+        self._engine = make_engine(
+            self.num_segments, params.segment_size,
+            [step * j for j in range(self.num_segments)])
+        self.kernel_backend = self._engine.kind
+        self.segments = [SegmentView(j, params.segment_size, self._engine)
                          for j in range(self.num_segments)]
         self.chains = ChainManager(params.max_chains, stats)
-        self.chains.on_member_event = self._on_chain_event
         self.rit = RegisterInfoTable()
         self.hmp = (HitMissPredictor(stats,
                                      counter_bits=params.hmp_counter_bits,
@@ -76,13 +126,20 @@ class SegmentedIQ(InstructionQueue):
         self.in_flight = 0          # set by the processor each cycle
         self.blocked_on_chain = False
         self._occupancy = 0
+        # Hot-loop copies of per-dispatch constants (attribute chains
+        # through `params` are visible at 20k dispatches per run).
+        self._segment_size = params.segment_size
+        self._enable_bypass = params.enable_bypass
+        self._enable_pushdown = params.enable_pushdown
+        self._dynamic_resize = params.dynamic_resize
+        self._resize_interval = params.resize_interval
+        self._adaptive_thresholds = params.adaptive_thresholds
+        self._threshold_update_interval = params.threshold_update_interval
         self._head_chains: Dict[int, Chain] = {}   # head seq -> chain
         self._plan_cache: Dict[int, DispatchPlan] = {}
         # Segment-0 issue scheduling on actual readiness.
         self._pending0: List = []   # heap (ready_cycle, seq, entry)
         self._ready0: List = []     # heap (seq, entry)
-        # Destination free-slot counts as of the end of the previous cycle.
-        self._free_prev = [params.segment_size] * self.num_segments
         self._issued_this_cycle = False
         self._promoted_this_cycle = False
         self._last_issue_cycle = 0
@@ -90,9 +147,9 @@ class SegmentedIQ(InstructionQueue):
         # bottom `active_segments`; gated segments drain naturally.
         self.active_segments = self.num_segments
         self._full_refusals = 0
-        # (occupancy, segment) decided by the last successful can_dispatch,
-        # so the dispatch that follows skips a second target search.
-        self._target_cache: Optional[Tuple[int, Segment]] = None
+        # (occupancy, segment index) decided by the last successful
+        # can_dispatch, so the dispatch that follows skips a second search.
+        self._target_cache: Optional[Tuple[int, int]] = None
 
         self.stat_dispatched = stats.counter("iq.dispatched")
         self.stat_issued = stats.counter("iq.issued")
@@ -124,41 +181,11 @@ class SegmentedIQ(InstructionQueue):
     def attach_tracer(self, tracer) -> None:
         super().attach_tracer(tracer)
         self.chains.tracer = tracer
+        self._engine.set_collect(tracer is not None)
 
     @property
     def occupancy(self) -> int:
         return self._occupancy
-
-    def _dispatch_target(self) -> Optional[Segment]:
-        """Pick the dispatch segment (with empty-segment bypass, 4.2).
-
-        Dispatch inserts into the highest non-empty segment (the bypass
-        wires skip the leading run of empty segments); if that segment is
-        full, the empty segment just above it is used.  Without bypass,
-        dispatch always targets the top segment.
-        """
-        segments = self.segments
-        active_count = self.active_segments
-        if not self.params.enable_bypass:
-            top = segments[active_count - 1]
-            if top.is_full:
-                self._full_refusals += 1
-                return None
-            return top
-        highest = None
-        for index in range(active_count - 1, -1, -1):
-            segment = segments[index]
-            if segment.occupants:
-                highest = segment
-                break
-        if highest is None:
-            return segments[0]
-        if len(highest.occupants) < highest.capacity:
-            return highest
-        if highest.index + 1 < active_count:
-            return segments[highest.index + 1]
-        self._full_refusals += 1
-        return None
 
     # --------------------------------------------------------- planning --
     def _plan(self, inst, now: int) -> DispatchPlan:
@@ -172,13 +199,33 @@ class SegmentedIQ(InstructionQueue):
         iq_regs = inst.srcs[:1] if inst.is_mem else inst.srcs
         links = []
         reg_base = inst.thread * 64      # _reg_key, inlined
-        link_for = self.rit.link_for
+        # RegisterInfoTable.link_for, inlined (two dispatch-planning calls
+        # per instruction make the method dispatch + re-entry visible).
+        rit_entries = self.rit._entries
         for reg in iq_regs:
             if reg == 0:
                 continue
-            link = link_for(reg_base + reg, now)
-            if link is not None:
-                links.append(link)
+            rentry = rit_entries.get(reg_base + reg)
+            if rentry is None:
+                continue
+            ready = rentry.producer.value_ready_cycle
+            if ready is not None:
+                # Exact knowledge: the producer already issued/completed.
+                if ready > now:
+                    links.append(CountdownLink(ready))
+                continue
+            rchain = rentry.chain
+            if rchain is not None:
+                if not rchain.freed:
+                    links.append(ChainLink(rchain, rentry.dh))
+                else:
+                    # Chain wire freed: value trails the written-back head
+                    # by at most dh self-timed cycles.
+                    links.append(CountdownLink(
+                        now + rchain.member_delay(rentry.dh, now)))
+                continue
+            if rentry.expected_ready > now:
+                links.append(CountdownLink(rentry.expected_ready))
 
         lrp_choice = -1
         lrp_consulted = False
@@ -227,8 +274,10 @@ class SegmentedIQ(InstructionQueue):
     def can_dispatch(self, inst) -> bool:
         self.blocked_on_chain = False
         self._target_cache = None
-        target = self._dispatch_target()
-        if target is None:
+        target = self._engine.dispatch_target(self.active_segments,
+                                              self._enable_bypass)
+        if target < 0:
+            self._full_refusals += 1
             return False
         plan = self._plan(inst, self.now)
         if plan.needs_chain and not self.chains.has_free():
@@ -244,25 +293,31 @@ class SegmentedIQ(InstructionQueue):
         if plan is None:
             plan = self._plan(inst, now)
             del self._plan_cache[inst.seq]
+        engine = self._engine
         # Reuse the target can_dispatch just computed; occupancy is the
         # cheap staleness guard (inserts and removals both change it).
         cached, self._target_cache = self._target_cache, None
         if (cached is not None and cached[0] == self._occupancy
-                and len(cached[1].occupants) < cached[1].capacity):
+                and engine.seg_occ(cached[1]) < self._segment_size):
             target = cached[1]
         else:
-            target = self._dispatch_target()
-        if target is None:
+            target = engine.dispatch_target(self.active_segments,
+                                            self._enable_bypass)
+            if target < 0:
+                self._full_refusals += 1
+        if target < 0:
             raise SimulationError("dispatch into a full segmented IQ")
-        if target.index < self.num_segments - 1:
+        if target < self.num_segments - 1:
             self.stat_bypass.inc()
 
         chain = None
         if plan.needs_chain:
-            chain = self.chains.allocate(inst, target.index,
+            chain = self.chains.allocate(inst, target,
                                          plan.head_latency, now=now)
             if chain is None:
                 raise SimulationError("dispatch without a free chain wire")
+            chain.engine = engine
+            chain.cslot = engine.alloc_chain(chain, 0, 2 * target, target)
             self._head_chains[inst.seq] = chain
             self.stat_chain_heads.inc()
 
@@ -273,71 +328,26 @@ class SegmentedIQ(InstructionQueue):
         state.lrp_consulted = plan.lrp_consulted
         entry.chain_state = state
         self.register_operand_wakeups(entry)
-        self._subscribe_to_chains(entry)
-        target.insert(entry, now)
+        pairs = state.chain_pairs
+        c0 = c1 = -1
+        dh0 = dh1 = 0
+        if pairs:
+            c0 = pairs[0][0].cslot
+            dh0 = pairs[0][1]
+            if len(pairs) > 1:
+                c1 = pairs[1][0].cslot
+                dh1 = pairs[1][1]
+        own = chain.cslot if chain is not None else -1
+        state.slot = engine.insert_entry(entry, inst.seq, target,
+                                         state.countdown_ready,
+                                         c0, dh0, c1, dh1, own, now)
         self._occupancy += 1
         self.stat_dispatched.inc()
-        if target.index == 0 and entry.all_sources_known:
+        if target == 0 and entry.all_sources_known:
             heapq.heappush(self._pending0,
                            (max(entry.ready_cycle, now + 1), entry.seq, entry))
         self._update_rit(inst, plan, chain, now)
         return entry
-
-    def _subscribe_to_chains(self, entry: IQEntry) -> None:
-        for chain, _dh in entry.chain_state.chain_pairs:
-            chain.members.append(entry)
-
-    def _on_chain_event(self, entry: IQEntry) -> bool:
-        """A chain this entry follows changed state; reschedule eligibility.
-        Returns False once the entry has issued (unsubscribe).
-
-        The body is Segment.schedule inlined (this is the hottest chain
-        notification path; see that method for the algebra).
-        """
-        if entry.issued:
-            return False
-        index = entry.segment
-        if index > 0:
-            segment = self.segments[index]
-            state = entry.chain_state
-            threshold = segment.promote_threshold
-            now = self.now
-            when = now
-            arrival = state.countdown_ready
-            if arrival >= 0:
-                w = arrival - threshold + 1
-                if w > when:
-                    when = w
-            for chain, dh in state.chain_pairs:
-                mode = chain.mode
-                if mode == 1:
-                    w = chain.base + dh - threshold + 1
-                    if w > when:
-                        when = w
-                elif (chain.base + dh if mode == 0
-                        else dh - chain.base) >= threshold:
-                    when = NEVER
-                    break
-            old = state.eligible_at
-            state.eligible_at = when
-            if when <= now:
-                if state.ready_seg != index:
-                    state.ready_seg = index
-                    heapq.heappush(segment._ready, (entry.seq, entry))
-            else:
-                if state.ready_seg == index:
-                    state.ready_seg = -1   # retreated (threshold refit)
-                if when < NEVER and when != old:
-                    # ``when == old`` needs no push: the entry has not
-                    # changed segment since eligible_at was last set here
-                    # (every segment move reschedules on arrival), so a
-                    # live (when, seq) record already sits in this heap
-                    # and still passes the eligible_at == when staleness
-                    # test.  Skipping the duplicate also avoids its later
-                    # discard pop.
-                    heapq.heappush(segment._heap,
-                                   (when, entry.seq, entry))
-        return True
 
     @staticmethod
     def _reg_key(inst, reg: int) -> int:
@@ -350,7 +360,7 @@ class SegmentedIQ(InstructionQueue):
         dest = inst.dest
         if dest is None or dest == 0:
             return
-        dest_key = self._reg_key(inst, dest)
+        dest_key = inst.thread * 64 + dest     # _reg_key, inlined
         own_latency = (PREDICTED_LOAD_LATENCY if inst.is_load
                        else inst.static.info.latency)
         if chain is not None:
@@ -381,6 +391,7 @@ class SegmentedIQ(InstructionQueue):
     # ------------------------------------------------------------ issue --
     def select_issue(self, now: int, acquire_fu) -> List[IQEntry]:
         self.now = now
+        self._engine.set_now(now)
         self._issued_this_cycle = False
         pending0 = self._pending0
         ready0 = self._ready0
@@ -408,14 +419,14 @@ class SegmentedIQ(InstructionQueue):
             heappush(ready0, item)
         if issued:
             self._issued_this_cycle = True
-        self.stat_issued.inc(len(issued))
+            self.stat_issued.inc(len(issued))
         return issued
 
     def _do_issue(self, entry: IQEntry, now: int) -> None:
         entry.issued = True
-        self.segments[0].remove(entry)
-        self._occupancy -= 1
         state = entry.chain_state
+        self._engine.free_entry(state.slot)
+        self._occupancy -= 1
         if state.own_chain is not None:
             state.own_chain.on_head_issued(now)
         if state.lrp_consulted and self.lrp is not None:
@@ -429,130 +440,41 @@ class SegmentedIQ(InstructionQueue):
     # -------------------------------------------------------- promotion --
     def cycle(self, now: int) -> None:
         self.now = now
-        self._promoted_this_cycle = False
-        width = self.issue_width
-        segments = self.segments
-        free_prev = self._free_prev
-        enable_pushdown = self.params.enable_pushdown
-        pushdown_floor = 1.5 * width
+        engine = self._engine
+        engine.set_now(now)
+        promotions, pushdowns, seg0_entries = engine.promote_all(
+            now, self.issue_width, self._enable_pushdown)
+        self._promoted_this_cycle = bool(promotions or pushdowns)
+        if promotions or pushdowns:
+            self.stat_promotions.inc(promotions + pushdowns)
+        if pushdowns:
+            self.stat_pushdowns.inc(pushdowns)
+        if seg0_entries:
+            pending0 = self._pending0
+            heappush = heapq.heappush
+            later = now + 1
+            for entry in seg0_entries:
+                if entry.all_sources_known:
+                    ready = entry.ready_cycle
+                    heappush(pending0,
+                             (ready if ready > later else later, entry.seq,
+                              entry))
         tracer = self.tracer
-        pending0 = self._pending0
-        heappush = heapq.heappush
-        promotions = 0
-        for k in range(1, self.num_segments):
-            source = segments[k]
-            source_occ = source.occupants
-            if not source_occ:
-                continue        # empty source: nothing to promote or push
-            dest = segments[k - 1]
-            dest_occ = dest.occupants
-            capacity = min(width, free_prev[k - 1],
-                           dest.capacity - len(dest_occ))
-            if capacity <= 0:
-                continue
-            heap = source._heap
-            if source._ready or (heap and heap[0][0] <= now):
-                promoted = source.pop_eligible(now, capacity)
-            else:
-                promoted = ()
-            # Inlined _promote fast path (the pushdown/recovery paths below
-            # keep using the method): membership move, reschedule in the
-            # destination, chain-head broadcast, segment-0 wakeup.
-            dk = k - 1
-            if promoted:
-                promotions += len(promoted)
-            if dk:
-                threshold = dest.promote_threshold
-                dest_ready = dest._ready
-                dest_heap = dest._heap
-                for entry in promoted:
-                    seq = entry.seq
-                    del source_occ[seq]
-                    entry.segment = dk
-                    dest_occ[seq] = entry
-                    state = entry.chain_state
-                    # Inlined dest.schedule.  pop_eligible just cleared
-                    # this entry's ready residency; a chain broadcast from
-                    # an earlier entry in this batch can only have re-set
-                    # it to the *source* segment, so neither clearing
-                    # branch of schedule() can fire for the destination.
-                    when = now
-                    arrival = state.countdown_ready
-                    if arrival >= 0:
-                        w = arrival - threshold + 1
-                        if w > when:
-                            when = w
-                    for chain, dh in state.chain_pairs:
-                        mode = chain.mode
-                        if mode == 1:
-                            w = chain.base + dh - threshold + 1
-                            if w > when:
-                                when = w
-                        elif (chain.base + dh if mode == 0
-                                else dh - chain.base) >= threshold:
-                            when = NEVER
-                            break
-                    state.eligible_at = when
-                    if when <= now:
-                        state.ready_seg = dk
-                        heappush(dest_ready, (seq, entry))
-                    elif when < NEVER:
-                        heappush(dest_heap, (when, seq, entry))
-                    if tracer is not None:
-                        tracer.emit(TraceEvent(
-                            cycle=now, kind="promote", seq=seq,
-                            pc=entry.inst.pc,
-                            op=entry.inst.static.opcode.value, seg=k,
-                            dst=dk, info=""))
-                    own = state.own_chain
-                    if own is not None and own.issued_cycle is None:
-                        own.on_head_promoted(dk)
-            else:
-                for entry in promoted:
-                    seq = entry.seq
-                    del source_occ[seq]
-                    entry.segment = 0
-                    dest_occ[seq] = entry
-                    state = entry.chain_state
-                    if tracer is not None:
-                        tracer.emit(TraceEvent(
-                            cycle=now, kind="promote", seq=seq,
-                            pc=entry.inst.pc,
-                            op=entry.inst.static.opcode.value, seg=k,
-                            dst=0, info=""))
-                    own = state.own_chain
-                    if own is not None and own.issued_cycle is None:
-                        own.on_head_promoted(0)
-                    if entry.all_sources_known:
-                        ready = entry.ready_cycle
-                        later = now + 1
-                        heappush(pending0,
-                                 (ready if ready > later else later, seq,
-                                  entry))
-            # Pushdown (4.1): a nearly-full segment may push its oldest
-            # ineligible instructions into an amply-free segment below.
-            if (enable_pushdown
-                    and len(promoted) < capacity
-                    and source.capacity - len(source_occ) < width
-                    and free_prev[k - 1] > pushdown_floor):
-                room = capacity - len(promoted)
-                for entry in source.oldest_ineligible(now, min(room, width)):
-                    if dest.capacity - len(dest_occ) <= 0:
-                        break
-                    self._promote(entry, source, dest, now, pushdown=True)
-        if promotions:
-            self._promoted_this_cycle = True
-            self.stat_promotions.inc(promotions)
+        if tracer is not None:
+            for entry, src, dst, pushdown in engine.drain_events():
+                tracer.emit(TraceEvent(
+                    cycle=now, kind="promote", seq=entry.seq,
+                    pc=entry.inst.pc, op=entry.inst.static.opcode.value,
+                    seg=src, dst=dst, info="pushdown" if pushdown else ""))
 
         self._check_deadlock(now)
-        for index, segment in enumerate(segments):
-            free_prev[index] = segment.capacity - len(segment.occupants)
+        engine.refresh_free_prev()
         self.chains.sample()
         self.stat_occupancy.sample(self._occupancy)
-        if self.params.dynamic_resize:
+        if self._dynamic_resize:
             self._resize_controller(now)
-        if (self.params.adaptive_thresholds and now
-                and now % self.params.threshold_update_interval == 0):
+        if (self._adaptive_thresholds and now
+                and now % self._threshold_update_interval == 0):
             self._refit_thresholds(now)
 
     # ------------------------------------------------------ event-driven --
@@ -576,16 +498,15 @@ class SegmentedIQ(InstructionQueue):
             if when <= now:
                 return now
             wake = when
-        params = self.params
-        if params.dynamic_resize:
-            interval = params.resize_interval
+        if self._dynamic_resize:
+            interval = self._resize_interval
             if now and now % interval == 0:
                 return now
             boundary = (now // interval + 1) * interval
             if boundary < wake:
                 wake = boundary
-        if params.adaptive_thresholds:
-            interval = params.threshold_update_interval
+        if self._adaptive_thresholds:
+            interval = self._threshold_update_interval
             if now and now % interval == 0:
                 return now
             boundary = (now // interval + 1) * interval
@@ -593,29 +514,12 @@ class SegmentedIQ(InstructionQueue):
                 wake = boundary
         # Promotion / pushdown, segment by segment (the same gating as
         # cycle(): nothing moves out of a segment whose budget is zero).
-        segments = self.segments
-        free_prev = self._free_prev
-        width = self.issue_width
-        enable_pushdown = params.enable_pushdown
-        pushdown_floor = 1.5 * width
-        for k in range(1, self.num_segments):
-            source = segments[k]
-            if not source.occupants:
-                continue
-            dest = segments[k - 1]
-            capacity = min(width, free_prev[k - 1],
-                           dest.capacity - len(dest.occupants))
-            if capacity <= 0:
-                continue
-            when = source.next_eligible_cycle(now)
-            if when <= now:
-                return now
-            if when < wake:
-                wake = when
-            if (enable_pushdown
-                    and source.capacity - len(source.occupants) < width
-                    and free_prev[k - 1] > pushdown_floor):
-                return now      # pushdown would promote this cycle
+        when = self._engine.next_promote_cycle(now, self.issue_width,
+                                               self._enable_pushdown)
+        if when <= now:
+            return now
+        if when < wake:
+            wake = when
         # Deadlock detection: in a quiescent cycle nothing issues or
         # promotes, so the strict condition reduces to in_flight == 0 and
         # the patience backstop to its deadline.
@@ -636,6 +540,7 @@ class SegmentedIQ(InstructionQueue):
         clock (left on the *last* skipped cycle, exactly where a stepped
         loop would leave it when the next active cycle begins)."""
         self.now = now + count - 1
+        self._engine.set_now(now + count - 1)
         self.stat_seg0_ready.sample_n(0, count)
         self.chains.sample_n(count)
         self.stat_occupancy.sample_n(self._occupancy, count)
@@ -665,12 +570,11 @@ class SegmentedIQ(InstructionQueue):
         current delay distribution, so occupancy spreads evenly however
         skewed the delays are.  Segment 0 keeps the fixed threshold of 2
         (the back-to-back issue requirement)."""
-        delays = sorted(
-            combined_delay(entry.chain_state.links, now)
-            for segment in self.segments
-            for entry in segment.occupants.values())
+        delays = sorted(combined_delay(entry.chain_state.links, now)
+                        for entry in self.iter_entries())
         if len(delays) < self.num_segments:
             return
+        engine = self._engine
         step = self.params.threshold_step
         # threshold(j) is the admission bound of segment j; segment k's
         # promote gate (k -> k-1) is threshold(k-1).  Segment 0's bound
@@ -684,21 +588,20 @@ class SegmentedIQ(InstructionQueue):
             thresholds.append(threshold)
             previous = threshold
         for k in range(1, self.num_segments):
-            self.segments[k].promote_threshold = thresholds[k - 1]
+            engine.set_threshold(k, thresholds[k - 1])
         self.stat_threshold_refits.inc()
         # Eligibility caches depend on thresholds: recompute everything.
-        for segment in self.segments[1:]:
-            for entry in list(segment.occupants.values()):
-                segment.schedule(entry, now)
+        engine.reschedule_all(now)
 
     # ---------------------------------------------------------- resizing --
     def _highest_powered(self) -> int:
         """Index just past the last segment that must stay clocked: the
         active region plus any gated segments still draining."""
         powered = self.active_segments
+        engine = self._engine
         for index in range(self.num_segments - 1, self.active_segments - 1,
                            -1):
-            if not self.segments[index].is_empty:
+            if engine.seg_occ(index):
                 powered = index + 1
                 break
         return powered
@@ -726,27 +629,6 @@ class SegmentedIQ(InstructionQueue):
                 self.active_segments -= 1
                 self.stat_resize_shrink.inc()
         self._full_refusals = 0
-
-    def _promote(self, entry: IQEntry, source: Segment, dest: Segment,
-                 now: int, pushdown: bool = False) -> None:
-        source.remove(entry)
-        dest.insert(entry, now)
-        self._promoted_this_cycle = True
-        self.stat_promotions.inc()
-        if pushdown:
-            self.stat_pushdowns.inc()
-        if self.tracer is not None:
-            self.tracer.emit(TraceEvent(
-                cycle=now, kind="promote", seq=entry.seq, pc=entry.inst.pc,
-                op=entry.inst.static.opcode.value, seg=source.index,
-                dst=dest.index, info="pushdown" if pushdown else ""))
-        state = entry.chain_state
-        if state.own_chain is not None and not state.own_chain.issued:
-            state.own_chain.on_head_promoted(dest.index)
-        if dest.index == 0 and entry.all_sources_known:
-            heapq.heappush(self._pending0,
-                           (max(entry.ready_cycle, now + 1), entry.seq,
-                            entry))
 
     # ---------------------------------------------------------- deadlock --
     #: Cycles without any issue *or commit* before recovery fires even
@@ -784,55 +666,53 @@ class SegmentedIQ(InstructionQueue):
         simultaneously (a circular shift when everything is full), so each
         segment is guaranteed a free entry next cycle."""
         self.stat_deadlocks.inc()
-        moves = []       # (entry, destination segment)
-        seg0 = self.segments[0]
-        top = self.segments[self._highest_powered() - 1]
-        if seg0.is_full and top is not seg0:
+        engine = self._engine
+        capacity = self.params.segment_size
+        moves = []       # (slot, destination segment index)
+        top_index = self._highest_powered() - 1
+        if engine.seg_occ(0) >= capacity and top_index != 0:
             # Segment 0 full of non-ready instructions: recycle the
             # youngest back to the top (highest powered) segment.
-            youngest = max(seg0.occupants.values(), key=lambda e: e.seq)
-            moves.append((youngest, top))
+            moves.append((engine.max_seq_slot(0), top_index))
             self.stat_recycles.inc()
         for k in range(1, self.num_segments):
-            source = self.segments[k]
-            if not source.is_full:
+            if engine.seg_occ(k) < capacity:
                 continue
-            eligible = source.pop_eligible(now, 1)
+            eligible = engine.pop_eligible(k, now, 1)
             if eligible:
                 victim = eligible[0]
             else:
-                candidates = source.oldest_ineligible(now, 1)
-                if not candidates:
-                    candidates = sorted(source.occupants.values(),
-                                        key=lambda e: e.seq)[:1]
-                victim = candidates[0]
-            moves.append((victim, self.segments[k - 1]))
+                candidates = engine.oldest_ineligible(k, now, 1)
+                victim = candidates[0] if candidates \
+                    else engine.min_seq_slot(k)
+            moves.append((victim, k - 1))
         if self.tracer is not None:
             self.tracer.emit(TraceEvent(
                 cycle=now, kind="deadlock_recovery",
                 info=f"moves={len(moves)}"))
         # Remove everything first, then insert: the simultaneous shift
         # works even when every segment is full.
-        for entry, dest in moves:
-            self.segments[entry.segment].remove(entry)
-        for entry, dest in moves:
-            self._place_recovered(entry, dest, now)
+        for slot, _dest in moves:
+            engine.detach(slot)
+        for slot, dest in moves:
+            self._place_recovered(slot, dest, now)
         if moves:
             self._promoted_this_cycle = True
             self._last_issue_cycle = now     # restart the patience clock
 
-    def _place_recovered(self, entry: IQEntry, dest: Segment,
-                         now: int) -> None:
-        dest.insert(entry, now)
+    def _place_recovered(self, slot: int, dest: int, now: int) -> None:
+        engine = self._engine
+        entry = engine.entry_obj(slot)
+        engine.attach(slot, dest, now)
         if self.tracer is not None:
             self.tracer.emit(TraceEvent(
                 cycle=now, kind="promote", seq=entry.seq, pc=entry.inst.pc,
-                op=entry.inst.static.opcode.value, dst=dest.index,
+                op=entry.inst.static.opcode.value, dst=dest,
                 info="recovery"))
         state = entry.chain_state
         if state.own_chain is not None and not state.own_chain.issued:
-            state.own_chain.on_head_promoted(dest.index)
-        if dest.index == 0 and entry.all_sources_known:
+            state.own_chain.on_head_promoted(dest)
+        if dest == 0 and entry.all_sources_known:
             heapq.heappush(self._pending0,
                            (max(entry.ready_cycle, now + 1), entry.seq,
                             entry))
@@ -867,13 +747,15 @@ class SegmentedIQ(InstructionQueue):
     # -------------------------------------------------------- invariants --
     def iter_entries(self):
         """All buffered (un-issued) entries, segment by segment."""
-        for segment in self.segments:
-            yield from segment.occupants.values()
+        engine = self._engine
+        for seg in range(self.num_segments):
+            yield from engine.entries_of(seg)
 
     def check(self, now: int) -> None:
         """Segmented-IQ invariants (see docs/validation.md):
 
-        * per-segment capacity and membership consistency;
+        * per-segment capacity and membership consistency (including the
+          ``entry.segment`` mirrors the engine maintains);
         * the occupancy counter equals the sum of segment occupancies;
         * admission thresholds grow monotonically with segment index;
         * chain-wire pool bounded, every active chain consistent;
@@ -885,22 +767,44 @@ class SegmentedIQ(InstructionQueue):
         """
         from repro.common.errors import InvariantViolation
         super().check(now)
+        engine = self._engine
+        capacity = self.params.segment_size
         total = 0
-        for segment in self.segments:
-            segment.check(now)
-            total += segment.occupancy
+        for k in range(self.num_segments):
+            occ = engine.seg_occ(k)
+            if occ > capacity:
+                raise InvariantViolation(
+                    f"segment {k} holds {occ} > "
+                    f"capacity {capacity} at cycle {now}")
+            total += occ
+            for slot in engine.slots_of(k):
+                entry = engine.entry_obj(slot)
+                seq = engine.slot_seq(slot)
+                if entry.seq != seq:
+                    raise InvariantViolation(
+                        f"segment {k} keys entry #{entry.seq} "
+                        f"under seq {seq}")
+                if entry.segment != k:
+                    raise InvariantViolation(
+                        f"entry #{entry.seq} thinks it is in segment "
+                        f"{entry.segment} but occupies segment {k}")
+                if entry.issued:
+                    raise InvariantViolation(
+                        f"issued entry #{entry.seq} still occupies "
+                        f"segment {k} at cycle {now}")
         if total != self._occupancy:
             raise InvariantViolation(
                 f"IQ occupancy counter {self._occupancy} != "
                 f"{total} buffered entries at cycle {now}")
         previous = -1
-        for segment in self.segments[1:]:
-            if segment.promote_threshold < previous:
+        for k in range(1, self.num_segments):
+            threshold = engine.threshold(k)
+            if threshold < previous:
                 raise InvariantViolation(
-                    f"segment {segment.index} promote threshold "
-                    f"{segment.promote_threshold} below segment "
-                    f"{segment.index - 1}'s {previous}")
-            previous = segment.promote_threshold
+                    f"segment {k} promote threshold "
+                    f"{threshold} below segment "
+                    f"{k - 1}'s {previous}")
+            previous = threshold
         self.chains.check(now, self.num_segments)
         for entry in self.iter_entries():
             own = entry.chain_state.own_chain
@@ -924,4 +828,4 @@ class SegmentedIQ(InstructionQueue):
         return combined_delay(entry.chain_state.links, self.now)
 
     def segment_occupancies(self) -> List[int]:
-        return [segment.occupancy for segment in self.segments]
+        return self._engine.occupancies()

@@ -20,7 +20,7 @@ class SegmentState:
 
     __slots__ = ("links", "own_chain", "eligible_at", "lrp_choice",
                  "lrp_consulted", "pushdown", "countdown_ready",
-                 "chain_pairs", "ready_seg")
+                 "chain_pairs", "ready_seg", "slot")
 
     def __init__(self, links, own_chain) -> None:
         self.links = links
@@ -33,6 +33,9 @@ class SegmentState:
         #: this entry, or -1 (the residency marker of the two-stage
         #: maturity/ready scheme — see Segment.pop_eligible).
         self.ready_seg = -1
+        #: Kernel-engine slot index of this entry while it is buffered
+        #: (see repro.core.segmented.kernels; -1 outside the engine).
+        self.slot = -1
         # Links never change after dispatch, so compile them once: the
         # governing countdown arrival (or -1) plus (chain, dh) pairs.
         # Segment.schedule then re-examines a dirty entry with plain

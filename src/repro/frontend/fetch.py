@@ -108,6 +108,8 @@ class FrontEnd:
             self.stat_buffer_full_cycles.inc()
             return
 
+        # Inlined _peek/_take: the peeked instruction lives in a local for
+        # the duration of the loop and is written back on every exit path.
         fetched = 0
         branches = 0
         tracer = self.tracer
@@ -115,32 +117,44 @@ class FrontEnd:
         fetch_width = params.fetch_width
         max_branches = params.max_branches_per_fetch
         ready_at = now + params.dispatch_pipeline_depth
+        stream = self._stream
+        append = self._pipeline.append
+        line_available = self._line_available
+        inst = self._peeked
         while fetched < fetch_width:
-            inst = self._peek()
             if inst is None:
-                break
-            if not self._line_available(inst.pc):
+                if self._stream_done:
+                    break
+                try:
+                    inst = next(stream)
+                except StopIteration:
+                    self._stream_done = True
+                    break
+            if not line_available(inst.pc):
                 break
             if inst.is_control:
                 if branches >= max_branches:
                     break
                 branches += 1
-            self._take()
+                self._predict(inst)    # no-op for non-control instructions
             inst.fetched_cycle = now
             if tracer is not None:
                 tracer.emit(TraceEvent(cycle=now, kind="fetch",
                                        seq=inst.seq, pc=inst.pc,
                                        op=inst.static.opcode.value))
-            self._predict(inst)
-            self._pipeline.append((ready_at, inst))
+            append((ready_at, inst))
             fetched += 1
-            self.stat_fetched.inc()
             if inst.mispredicted:
                 self._waiting_branch = inst
+                inst = None
                 break
             if inst.static.is_halt:
+                inst = None
                 break
+            inst = None
+        self._peeked = inst
         if fetched:
+            self.stat_fetched.inc(fetched)
             self.stat_fetch_cycles.inc()
 
     # ------------------------------------------------------ event-driven --

@@ -132,13 +132,17 @@ class DynInst:
         for waiter in waiters:
             waiter(cycle)
 
-    # Hot predicates mirrored from the static instruction as plain
-    # attributes (see Instruction.__post_init__ for why).
+    # Hot predicates and operand fields mirrored from the static
+    # instruction as plain attributes (see Instruction.__post_init__ for
+    # why; ``dest``/``srcs`` are consulted several times per instruction
+    # by rename, dispatch planning and the RIT update).
     is_load: bool = field(init=False, repr=False)
     is_store: bool = field(init=False, repr=False)
     is_mem: bool = field(init=False, repr=False)
     is_branch: bool = field(init=False, repr=False)
     is_control: bool = field(init=False, repr=False)
+    dest: Optional[int] = field(init=False, repr=False)
+    srcs: Tuple[int, ...] = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
         static = self.static
@@ -147,18 +151,12 @@ class DynInst:
         self.is_mem = static.is_mem
         self.is_branch = static.is_branch
         self.is_control = static.is_control
+        self.dest = static.dest
+        self.srcs = static.srcs
 
     @property
     def opcode(self) -> Opcode:
         return self.static.opcode
-
-    @property
-    def dest(self) -> Optional[int]:
-        return self.static.dest
-
-    @property
-    def srcs(self) -> Tuple[int, ...]:
-        return self.static.srcs
 
     def __repr__(self) -> str:
         return f"DynInst(#{self.seq} pc={self.pc} {self.static})"

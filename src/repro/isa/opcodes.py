@@ -20,6 +20,11 @@ from typing import Dict
 class FUClass(enum.Enum):
     """Function unit classes (paper Table 1: 8 units of each)."""
 
+    # Members are singletons and compare by identity, so the identity hash
+    # is equivalent to Enum's default (Python-level) name hash — and it
+    # keeps the FU pool's per-issue dict lookups out of the interpreter.
+    __hash__ = object.__hash__
+
     INT_ALU = "int_alu"
     INT_MUL = "int_mul"
     FP_ADD = "fp_add"
@@ -30,6 +35,8 @@ class FUClass(enum.Enum):
 
 class OpClass(enum.Enum):
     """Broad behavioural categories used by the timing model."""
+
+    __hash__ = object.__hash__       # identity hash (see FUClass)
 
     INT_ARITH = enum.auto()
     FP_ARITH = enum.auto()
@@ -54,6 +61,8 @@ class OpInfo:
 
 class Opcode(enum.Enum):
     """Every instruction the ISA supports."""
+
+    __hash__ = object.__hash__       # identity hash (see FUClass)
 
     # Integer arithmetic (latency 1).
     ADD = "add"

@@ -91,16 +91,25 @@ class FUPool:
 
         Non-pipelined operations occupy their unit for the full latency;
         pipelined ones free it next cycle.  HALT/NOP consume nothing.
+        (Inlined equivalent of ``accept(issue_class(inst), ...)`` — this
+        runs once per issued instruction.)
         """
         info = inst.static.info
-        if info.fu_class is FUClass.NONE:
+        fu_class = info.fu_class
+        if fu_class is FUClass.NONE:
             return True
-        fu_class = self.issue_class(inst)
         if inst.is_mem:
-            occupancy = 1                      # EA calc is a pipelined add
+            fu_class = FUClass.INT_ALU         # EA calc is a pipelined add
+            occupancy = 1
         else:
             occupancy = 1 if info.pipelined else info.latency
-        return self.accept(fu_class, now, occupancy, inst.cluster)
+        units = self._units.get((fu_class, inst.cluster))
+        if not units or units[0] > now:
+            self._stat_structural.inc()
+            return False
+        heapq.heapreplace(units, now + occupancy)
+        self._stat_issued[fu_class].inc()
+        return True
 
     def try_cache_port(self, now: int) -> bool:
         """Claim a data-cache read/write port for one cycle (LSQ side).

@@ -59,6 +59,55 @@ class ProgressTick:
 _PROGRESS_STRIDE = 4096
 
 
+class _SkipReplay:
+    """Fused per-cycle stat replay for quiescent stretches.
+
+    One object per processor captures every stat the stepped loop would
+    have touched over a quiescent cycle (core counters, ROB occupancy,
+    the dispatch-stall attribution) so a skip window is replayed with a
+    single call instead of a scatter of per-component lookups.  The
+    design-specific hooks (``iq.skip_cycles`` and friends) stay dynamic
+    attribute calls: tests and tools wrap them per instance.
+    """
+
+    __slots__ = ("_proc", "_stat_cycles", "_stat_skipped", "_stat_windows",
+                 "_stall_rob", "_stall_lsq", "_stall_iq", "_stall_chain")
+
+    def __init__(self, proc) -> None:
+        self._proc = proc
+        self._stat_cycles = proc.stat_cycles
+        self._stat_skipped = proc.stat_skip_cycles
+        self._stat_windows = proc.stat_skip_windows
+        self._stall_rob = proc.stat_dispatch_stall_rob
+        self._stall_lsq = proc.stat_dispatch_stall_lsq
+        self._stall_iq = proc.stat_dispatch_stall_iq
+        self._stall_chain = proc.stat_dispatch_stall_chain
+
+    def replay(self, now: int, count: int, stall: str) -> None:
+        self._stat_cycles.inc(count)
+        self._stat_skipped.inc(count)
+        self._stat_windows.inc()
+        proc = self._proc
+        iq = proc.iq
+        iq.skip_cycles(now, count)
+        proc.lsq.skip_cycles(now, count)
+        proc.frontend.skip_cycles(now, count)
+        rob = proc.rob      # dynamic: the ROB is swappable post-init
+        rob.stat_occupancy.sample_n(len(rob), count)
+        if stall == "rob":
+            rob.stat_full_stalls.inc(count)
+            self._stall_rob.inc(count)
+        elif stall == "lsq":
+            self._stall_lsq.inc(count)
+        elif stall == "iq":
+            self._stall_iq.inc(count)
+            # The probe's can_dispatch call already covered cycle `now`.
+            iq.skip_blocked_dispatch(count - 1)
+        elif stall == "chain":
+            self._stall_chain.inc(count)
+            iq.skip_blocked_dispatch(count - 1)
+
+
 class Processor:
     """Dynamically scheduled superscalar core running a dynamic stream."""
 
@@ -147,6 +196,7 @@ class Processor:
             "quiescent cycles fast-forwarded without stepping")
         self.stat_skip_windows = self.stats.counter(
             "skip.windows", "contiguous quiescent stretches skipped")
+        self._skip_replay = _SkipReplay(self)
 
     # ------------------------------------------------------------ warmup --
     def warm_code(self, program) -> None:
@@ -253,12 +303,22 @@ class Processor:
         now = self.cycle
         if self._skip_enabled:
             wake = self._next_active_cycle(now)
-            if wake > now:
+            while wake > now:
                 self._apply_skip(now, wake - now)
                 self.cycle = wake
                 if wake >= self._cycle_limit:
                     return      # budget exhausted mid-stretch
                 now = wake
+                # Coalesce adjacent windows: a long miss shadow steps
+                # through several memory-hierarchy events (L1 -> L2 ->
+                # memory), each of which wakes the core without enabling
+                # any pipeline stage.  Fire the due events; if the
+                # machine is still quiescent, keep skipping instead of
+                # paying for a full per-stage step per event.
+                if self.events.next_event_cycle() != now:
+                    break       # woken for a stage, not an event
+                self.events.advance_to(now)
+                wake = self._next_active_cycle(now)
         self.events.advance_to(now)
         self._commit(now)
         self.lsq.cycle(now)
@@ -384,44 +444,25 @@ class Processor:
 
     def _apply_skip(self, now: int, count: int) -> None:
         """Replay the per-cycle accounting of ``count`` quiescent cycles
-        [now, now+count) in O(1)."""
-        self.stat_cycles.inc(count)
-        self.stat_skip_cycles.inc(count)
-        self.stat_skip_windows.inc()
-        iq = self.iq
-        iq.skip_cycles(now, count)
-        self.lsq.skip_cycles(now, count)
-        self.frontend.skip_cycles(now, count)
-        self.rob.stat_occupancy.sample_n(len(self.rob), count)
-        stall = self._skip_stall
-        if stall == "rob":
-            self.rob.stat_full_stalls.inc(count)
-            self.stat_dispatch_stall_rob.inc(count)
-        elif stall == "lsq":
-            self.stat_dispatch_stall_lsq.inc(count)
-        elif stall == "iq":
-            self.stat_dispatch_stall_iq.inc(count)
-            # The probe's can_dispatch call already covered cycle `now`.
-            iq.skip_blocked_dispatch(count - 1)
-        elif stall == "chain":
-            self.stat_dispatch_stall_chain.inc(count)
-            iq.skip_blocked_dispatch(count - 1)
+        [now, now+count) in O(1) (fused into one replay object)."""
+        self._skip_replay.replay(now, count, self._skip_stall)
 
     # ------------------------------------------------------------ commit --
     def _commit(self, now: int) -> None:
-        rob = self.rob
+        rob_entries = self.rob._entries
+        if not rob_entries:
+            return
         lsq = self.lsq
         listeners = self.commit_listeners
         tracer = self.tracer
         committed = 0
-        while committed < self._commit_width:
-            inst = rob.head()
-            if inst is None:
-                break
+        width = self._commit_width
+        while committed < width and rob_entries:
+            inst = rob_entries[0]
             completed = inst.completed_cycle
             if completed < 0 or completed > now:
                 break
-            rob.commit_head()
+            rob_entries.popleft()
             inst.committed_cycle = now
             if inst.is_mem:
                 lsq.commit(inst, now)
@@ -440,34 +481,44 @@ class Processor:
 
     # ------------------------------------------------------------- issue --
     def _issue(self, now: int) -> None:
+        try_issue = self.fu_pool.try_issue
+
         def acquire_fu(inst: DynInst) -> bool:
-            return self.fu_pool.try_issue(inst, now)
+            return try_issue(inst, now)
 
-        for entry in self.iq.select_issue(now, acquire_fu):
-            if self.invariant_checker is not None:
-                self.invariant_checker.check_issue(entry, now)
-            self._start_execution(entry.inst, now)
-
-    def _start_execution(self, inst: DynInst, now: int) -> None:
-        inst.issued_cycle = now
-        tracer = self.tracer
-        if tracer is not None:
-            tracer.emit(TraceEvent(cycle=now, kind="issue", seq=inst.seq,
-                                   pc=inst.pc,
-                                   op=inst.static.opcode.value))
-        if self._clustered:
-            self._cluster_load[inst.cluster] -= 1
-        if inst.is_mem:
-            # The IQ issued the effective-address calculation (1-cycle add);
-            # the LSQ takes over once the address is available.
-            ea_cycle = now + 1
-            self.events.schedule_at(
-                ea_cycle, lambda: self.lsq.address_ready(inst, ea_cycle))
+        issued = self.iq.select_issue(now, acquire_fu)
+        if not issued:
             return
-        latency = inst.static.info.latency
-        done = now + latency
-        inst.set_value_ready(done)
-        self.events.schedule_at(done, lambda: self._complete(inst, done))
+        checker = self.invariant_checker
+        tracer = self.tracer
+        clustered = self._clustered
+        events = self.events
+        lsq = self.lsq
+        # Inlined _start_execution (one call per issued instruction).
+        for entry in issued:
+            if checker is not None:
+                checker.check_issue(entry, now)
+            inst = entry.inst
+            inst.issued_cycle = now
+            if tracer is not None:
+                tracer.emit(TraceEvent(cycle=now, kind="issue",
+                                       seq=inst.seq, pc=inst.pc,
+                                       op=inst.static.opcode.value))
+            if clustered:
+                self._cluster_load[inst.cluster] -= 1
+            if inst.is_mem:
+                # The IQ issued the effective-address calculation (1-cycle
+                # add); the LSQ takes over once the address is available.
+                ea_cycle = now + 1
+                events.schedule_at(
+                    ea_cycle,
+                    lambda inst=inst, ea_cycle=ea_cycle:
+                        lsq.address_ready(inst, ea_cycle))
+                continue
+            done = now + inst.static.info.latency
+            inst.set_value_ready(done)
+            events.schedule_at(
+                done, lambda inst=inst, done=done: self._complete(inst, done))
 
     def _complete(self, inst: DynInst, cycle: int) -> None:
         inst.completed_cycle = cycle
@@ -489,69 +540,122 @@ class Processor:
 
     # ---------------------------------------------------------- dispatch --
     def _dispatch(self, now: int) -> None:
-        if now < self.lsq.violation_flush_until:
+        """Dispatch up to ``dispatch_width`` decoded instructions.
+
+        One flat loop (rename and per-instruction admission checks
+        inlined): this runs for every instruction the machine executes,
+        so each helper call and repeated attribute chain costs real
+        simulator throughput.
+        """
+        lsq = self.lsq
+        if now < lsq.violation_flush_until:
             return      # squash penalty after a memory-order violation
-        for _ in range(self._dispatch_width):
-            inst = self.frontend.peek_dispatchable(now)
-            if inst is None:
-                return
-            if not self._try_dispatch(inst, now):
-                return
-            self.frontend.pop_dispatchable(now)
-            self.stat_dispatched.inc()
+        pipeline = self.frontend._pipeline
+        if not pipeline or pipeline[0][0] > now:
+            return
+        rob = self.rob
+        rob_entries = rob._entries
+        rob_size = rob.size
+        # Admission is inlined only for the stock ROB; a subclass (e.g.
+        # the negative-testing BrokenROB) keeps its dispatch override.
+        plain_rob = type(rob) is ReorderBuffer
+        iq = self.iq
+        tracer = self.tracer
+        clustered = self._clustered
+        last_writer = self._last_writer
+        dispatched = 0
+        width = self._dispatch_width
+        while dispatched < width and pipeline and pipeline[0][0] <= now:
+            inst = pipeline[0][1]
+            if len(rob_entries) >= rob_size:
+                rob.stat_full_stalls.inc()
+                self.stat_dispatch_stall_rob.inc()
+                break
+            op_class = inst.static.info.op_class
 
-    def _try_dispatch(self, inst: DynInst, now: int) -> bool:
-        if not self.rob.has_space():
-            self.rob.stat_full_stalls.inc()
-            self.stat_dispatch_stall_rob.inc()
-            return False
-        op_class = inst.static.info.op_class
+            if op_class in (OpClass.HALT, OpClass.NOP, OpClass.JUMP):
+                # No register work: completes at dispatch.  A mispredicted
+                # jump (BTB miss) was already charged by stalling fetch
+                # until the decode stage could compute the target; release
+                # fetch now.
+                if plain_rob:
+                    inst.rob_index = len(rob_entries)
+                    rob_entries.append(inst)
+                else:
+                    rob.dispatch(inst)
+                inst.dispatched_cycle = now
+                inst.completed_cycle = now
+                if tracer is not None:
+                    tracer.emit(TraceEvent(
+                        cycle=now, kind="dispatch", seq=inst.seq, pc=inst.pc,
+                        op=inst.static.opcode.value, info="bypass_iq"))
+                if inst.mispredicted and op_class is OpClass.JUMP:
+                    self.frontend.branch_resolved(inst, now)
+                pipeline.popleft()
+                dispatched += 1
+                continue
 
-        if op_class in (OpClass.HALT, OpClass.NOP, OpClass.JUMP):
-            # No register work: completes at dispatch.  A mispredicted jump
-            # (BTB miss) was already charged by stalling fetch until the
-            # decode stage could compute the target; release fetch now.
-            self.rob.dispatch(inst)
-            inst.dispatched_cycle = now
-            inst.completed_cycle = now
-            if self.tracer is not None:
-                self.tracer.emit(TraceEvent(
-                    cycle=now, kind="dispatch", seq=inst.seq, pc=inst.pc,
-                    op=inst.static.opcode.value, info="bypass_iq"))
-            if inst.mispredicted and op_class is OpClass.JUMP:
-                self.frontend.branch_resolved(inst, now)
-            return True
+            is_mem = inst.is_mem
+            if is_mem and not lsq.has_space():
+                self.stat_dispatch_stall_lsq.inc()
+                break
+            if not iq.can_dispatch(inst):
+                if iq.blocked_on_chain:
+                    self.stat_dispatch_stall_chain.inc()
+                else:
+                    self.stat_dispatch_stall_iq.inc()
+                break
 
-        if inst.is_mem and not self.lsq.has_space():
-            self.stat_dispatch_stall_lsq.inc()
-            return False
-        if not self.iq.can_dispatch(inst):
-            if getattr(self.iq, "blocked_on_chain", False):
-                self.stat_dispatch_stall_chain.inc()
+            if clustered:
+                inst.cluster = self._steer_cluster(inst, now)
+                self._cluster_load[inst.cluster] += 1
+            # Rename (inlined _operand_for over the IQ-relevant sources).
+            srcs = inst.srcs
+            operands = []
+            for reg in (srcs[:1] if is_mem else srcs):
+                if reg == 0:
+                    operands.append(Operand(reg=reg, ready_cycle=0))
+                    continue
+                producer = last_writer.get(reg)
+                if producer is None:
+                    operands.append(Operand(reg=reg, ready_cycle=0))
+                    continue
+                penalty = 0
+                if (clustered and producer.cluster != inst.cluster
+                        and producer.completed_cycle < 0):
+                    penalty = self.params.cluster_bypass_penalty
+                    self.stat_cross_cluster.inc()
+                ready = producer.value_ready_cycle
+                if ready is not None:
+                    ready += penalty
+                    penalty = 0     # folded in; no late wakeup will come
+                operands.append(Operand(reg=reg, producer=producer,
+                                        ready_cycle=ready, penalty=penalty))
+            if plain_rob:
+                inst.rob_index = len(rob_entries)
+                rob_entries.append(inst)
             else:
-                self.stat_dispatch_stall_iq.inc()
-            return False
-
-        if self._clustered:
-            inst.cluster = self._steer_cluster(inst, now)
-            self._cluster_load[inst.cluster] += 1
-        operands = self._rename(inst, now)
-        self.rob.dispatch(inst)
-        inst.dispatched_cycle = now
-        if inst.is_mem:
-            data_ready, data_producer = self._store_data_operand(inst)
-            self.lsq.dispatch(inst, data_ready, data_producer)
-        entry = self.iq.dispatch(inst, operands, now)
-        if self.tracer is not None:
-            own_chain = getattr(entry.chain_state, "own_chain", None)
-            self.tracer.emit(TraceEvent(
-                cycle=now, kind="dispatch", seq=inst.seq, pc=inst.pc,
-                op=inst.static.opcode.value, seg=entry.segment,
-                dst=inst.dest if inst.dest is not None else -1,
-                chain=own_chain.chain_id if own_chain is not None else -1))
-        if inst.dest is not None and inst.dest != 0:
-            self._last_writer[inst.dest] = inst
-        return True
+                rob.dispatch(inst)
+            inst.dispatched_cycle = now
+            if is_mem:
+                data_ready, data_producer = self._store_data_operand(inst)
+                lsq.dispatch(inst, data_ready, data_producer)
+            entry = iq.dispatch(inst, operands, now)
+            if tracer is not None:
+                own_chain = getattr(entry.chain_state, "own_chain", None)
+                tracer.emit(TraceEvent(
+                    cycle=now, kind="dispatch", seq=inst.seq, pc=inst.pc,
+                    op=inst.static.opcode.value, seg=entry.segment,
+                    dst=inst.dest if inst.dest is not None else -1,
+                    chain=own_chain.chain_id
+                    if own_chain is not None else -1))
+            dest = inst.dest
+            if dest is not None and dest != 0:
+                last_writer[dest] = inst
+            pipeline.popleft()
+            dispatched += 1
+        if dispatched:
+            self.stat_dispatched.inc(dispatched)
 
     def _steer_cluster(self, inst: DynInst, now: int) -> int:
         """Pick an execution cluster (section-7 horizontal clustering)."""
@@ -567,21 +671,6 @@ class Processor:
                     return producer.cluster
         return min(range(self.params.clusters),
                    key=lambda c: self._cluster_load[c])
-
-    def _rename(self, inst: DynInst, now: int) -> List[Operand]:
-        """Resolve IQ-relevant source operands to producers/ready-times.
-
-        For memory ops only the address register goes through the IQ; the
-        store-data register is tracked by the LSQ.
-        """
-        if inst.is_mem:
-            regs = inst.srcs[:1]
-        else:
-            regs = inst.srcs
-        operands = []
-        for reg in regs:
-            operands.append(self._operand_for(reg, consumer=inst))
-        return operands
 
     def _operand_for(self, reg: int,
                      consumer: Optional[DynInst] = None) -> Operand:

@@ -1,0 +1,118 @@
+"""Py-vs-compiled kernel backend parity suite.
+
+The segmented IQ's active-cycle state lives in a struct-of-arrays kernel
+engine with two interchangeable implementations: the pure-Python
+reference (:class:`repro.core.segmented.kernels.PyKernelEngine`) and the
+optional C extension (``repro.core.segmented._ckernels``, built with
+``python -m repro.core.segmented.build``).  The backends must be
+**bit-identical**: same cycle counts, same statistics, same JSONL trace
+streams, on every registered model and every benchmark workload.
+
+When the extension is not built (or ``REPRO_KERNELS=py`` disabled it for
+the process) the compiled-side tests skip gracefully — the pure-Python
+fallback is the only backend and there is nothing to compare.
+"""
+
+import pytest
+
+from repro import api
+from repro.core.registry import registered_models
+from repro.core.segmented import kernels
+from repro.obs import RingBufferTracer, dump_jsonl
+from repro.workloads import WORKLOADS
+
+MODELS = registered_models()
+
+
+def _compiled_available() -> bool:
+    try:
+        kernels.set_backend("compiled")
+        kernels.backend()
+        return True
+    except RuntimeError:
+        return False
+    finally:
+        kernels.set_backend(None)
+
+
+COMPILED = _compiled_available()
+
+requires_compiled = pytest.mark.skipif(
+    not COMPILED,
+    reason="compiled kernel backend not built "
+           "(python -m repro.core.segmented.build)")
+
+
+def _run(kind, workload, backend):
+    """One conformance-config run under a forced kernel backend."""
+    kernels.set_backend(backend)
+    try:
+        params = MODELS[kind].conformance_config()
+        tracer = RingBufferTracer()
+        result = api.run(params, workload, max_instructions=1200,
+                         trace=tracer)
+    finally:
+        kernels.set_backend(None)
+    return result, dump_jsonl(tracer.events)
+
+
+class TestBackendSelection:
+    def test_py_backend_always_available(self):
+        kernels.set_backend("py")
+        try:
+            assert kernels.backend() == "py"
+            engine = kernels.make_engine(4, 8, [0, 4, 8, 12])
+            assert engine.kind == "py"
+        finally:
+            kernels.set_backend(None)
+
+    @requires_compiled
+    def test_compiled_backend_reports_kind(self):
+        kernels.set_backend("compiled")
+        try:
+            assert kernels.backend() == "compiled"
+            engine = kernels.make_engine(4, 8, [0, 4, 8, 12])
+            assert engine.kind == "compiled"
+        finally:
+            kernels.set_backend(None)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            kernels.set_backend("fortran")
+
+    def test_segmented_iq_reports_its_backend(self):
+        from repro.harness import configs
+        from repro.pipeline import Processor
+        kernels.set_backend("py")
+        try:
+            processor = Processor(configs.segmented(128, 64, "comb"),
+                                  iter(()))
+            assert processor.iq.kernel_backend == "py"
+        finally:
+            kernels.set_backend(None)
+
+
+@requires_compiled
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_segmented_backend_parity(workload):
+    """The tentpole contract: engine backends are indistinguishable on
+    the segmented design across all eight benchmarks."""
+    py_result, py_trace = _run("segmented", workload, "py")
+    c_result, c_trace = _run("segmented", workload, "compiled")
+    assert c_result.cycles == py_result.cycles
+    assert c_result.instructions == py_result.instructions
+    assert c_result.stats == py_result.stats
+    assert c_trace == py_trace
+
+
+@requires_compiled
+@pytest.mark.parametrize("kind", sorted(MODELS))
+def test_all_models_backend_parity(kind):
+    """Every registered model runs bit-identically under both backends
+    (non-segmented models exercise the shared compiled stat/event
+    primitives rather than the IQ engine)."""
+    py_result, py_trace = _run(kind, "gcc", "py")
+    c_result, c_trace = _run(kind, "gcc", "compiled")
+    assert c_result.cycles == py_result.cycles
+    assert c_result.stats == py_result.stats
+    assert c_trace == py_trace

@@ -20,11 +20,15 @@ class TestBench:
                     "serial_geomean", "sweep", "sampling", "metrics",
                     "surrogate"):
             assert key in on_disk
-        assert on_disk["schema"] == 5
+        assert on_disk["schema"] == 6
         assert on_disk["machine"]["cpu_count"] >= 1
+        # Host-speed calibration reference (fixed pure-Python spin).
+        assert on_disk["machine"]["calibration_seconds"] > 0
         for key, row in on_disk["serial"].items():
             # Schema 5: every serial key is annotated with its IQ model.
             assert key.endswith(f" [{row['model']}]")
+            # Schema 6: the kernel backend that produced the row.
+            assert row["kernels"] in ("py", "compiled")
             assert row["kcycles_per_sec"] > 0
             assert row["seconds"] > 0
             assert row["energy_per_instruction"] > 0
@@ -72,14 +76,45 @@ class TestBench:
         path, data = _tiny_bench(tmp_path)
         diff = compare_with(str(path), data["serial"])
         assert set(diff) == {"previous_schema", "kcycles_speedup",
-                             "epi_ratio"}
-        assert diff["previous_schema"] == 5
+                             "epi_ratio", "kernels_mismatch"}
+        assert diff["previous_schema"] == 6
+        assert diff["kernels_mismatch"] == {}   # same backend both sides
         assert set(diff["kcycles_speedup"]) == set(data["serial"])
         assert set(diff["epi_ratio"]) == set(data["serial"])
         for value in diff["kcycles_speedup"].values():
             assert value == 1.0     # compared against itself
         for value in diff["epi_ratio"].values():
             assert value == 1.0
+
+    def test_compare_flags_kernel_backend_mismatch(self, tmp_path):
+        path, data = _tiny_bench(tmp_path)
+        old = json.loads(path.read_text())
+        for row in old["serial"].values():
+            row["kernels"] = ("py" if row["kernels"] == "compiled"
+                              else "compiled")
+        old_path = tmp_path / "BENCH_flipped.json"
+        old_path.write_text(json.dumps(old))
+        diff = compare_with(str(old_path), data["serial"])
+        assert set(diff["kernels_mismatch"]) == set(data["serial"])
+        text = render_summary({**data,
+                               "compare": {"previous": old_path.name,
+                                           **diff}})
+        assert "WARNING" in text and "kernel backends" in text
+
+    def test_compare_reports_host_speed_ratio(self, tmp_path):
+        path, data = _tiny_bench(tmp_path)
+        old_calibration = json.loads(
+            path.read_text())["machine"]["calibration_seconds"]
+        diff = compare_with(str(path), data["serial"],
+                            calibration=old_calibration / 2.0)
+        # The "new" host spins twice as fast -> ratio 2.0.
+        assert diff["host_speed_ratio"] == 2.0
+        text = render_summary({**data,
+                               "compare": {"previous": path.name, **diff}})
+        assert "host calibration" in text
+        # Without a calibration value the field stays absent.
+        assert "host_speed_ratio" not in compare_with(str(path),
+                                                      data["serial"])
 
     def test_compare_matches_pre_schema5_artifacts(self, tmp_path):
         """Pre-schema-5 serial keys carry no ``" [model]"`` annotation;
