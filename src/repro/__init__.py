@@ -18,13 +18,12 @@ Quickstart::
 :func:`repro.api.run` is the single run entry point; it also threads
 observability (``trace=``, ``metrics=`` — see :mod:`repro.obs`),
 sampled simulation (``sampling=``), and result caching (``cache=``).
-The older ``run_workload`` survives one release as a deprecated shim.
 """
 
 from repro.common import (IQParams, ProcessorParams, StatGroup,
                           ideal_iq_params, prescheduled_iq_params,
                           segmented_iq_params)
-from repro.harness import RunResult, configs, run_workload
+from repro.harness import RunResult, configs
 from repro import api, obs
 from repro.isa import (F, DynInst, Instruction, Opcode, Program,
                        ProgramBuilder, R, execute, run_functional)
@@ -39,6 +38,5 @@ __all__ = [
     "SMTProcessor",
     "ProgramBuilder", "R", "RunResult", "StatGroup", "WORKLOADS",
     "__version__", "api", "configs", "execute", "ideal_iq_params", "obs",
-    "prescheduled_iq_params", "run_functional", "run_workload",
-    "segmented_iq_params",
+    "prescheduled_iq_params", "run_functional", "segmented_iq_params",
 ]

@@ -18,8 +18,9 @@ features that used to require picking the right helper by hand:
   traced or metered runs always simulate, because their value *is*
   the instrumentation).
 
-The pre-existing entry points (``run_workload`` and friends) survive one
-release as deprecated shims that delegate here.
+This is the only simulation entry point — the deprecated ``run_workload``
+shim has been removed.  The job service (:mod:`repro.service`) builds on
+this function and returns bit-identical results.
 """
 
 from __future__ import annotations
@@ -66,7 +67,8 @@ def run(params: ProcessorParams, workload, *,
     config_label:
         Display label for the configuration (defaults to the IQ kind).
     scale / max_instructions / max_cycles / warm_code:
-        Simulation budget knobs, unchanged from the old ``run_workload``.
+        Simulation budget knobs (stream length multiplier, instruction
+        and cycle caps, warm-fetch of the kernel's code footprint).
     trace:
         ``None`` (off), a tracer object with an ``emit`` method, or a
         path string.  Sinks the API opens from a path are closed before

@@ -11,7 +11,7 @@ from repro.harness.trace import (render_pipeline_trace, segment_heatmap,
 from repro.harness.reporting import (ascii_series_plot, figure2_report,
                                      format_table, geometric_mean,
                                      relative_performance, table2_report)
-from repro.harness.runner import RunResult, resolve_workload, run_workload
+from repro.harness.runner import RunResult, resolve_workload
 from repro.harness.sweep import Sweep, SweepGrid
 
 __all__ = [
@@ -21,6 +21,6 @@ __all__ = [
     "figure2_report", "format_breakdown", "render_pipeline_trace",
     "segment_heatmap", "stage_latency_summary",
     "format_table", "geometric_mean", "relative_performance",
-    "resolve_workload", "run_workload", "Sweep", "SweepGrid",
+    "resolve_workload", "Sweep", "SweepGrid",
     "table2_report",
 ]

@@ -13,8 +13,14 @@ keys each :class:`~repro.harness.runner.RunResult` by a SHA-256 over
   any change to the simulator invalidates every cached result.
 
 Entries live as individual JSON files under ``$REPRO_CACHE_DIR`` (default
-``~/.cache/repro``).  A corrupt or unreadable entry is discarded and the
-cell is recomputed; the cache never makes a run fail.
+``~/.cache/repro``).  A corrupt or unreadable entry is *quarantined*
+(moved aside for postmortem, bounded in count) and the cell is
+recomputed; the cache never makes a run fail.
+
+Growth is bounded by a :class:`GCPolicy` — size, age, and entry-count
+limits applied oldest-first by :func:`prune_dir` / :meth:`ResultCache.gc`.
+The same policy object governs the job service's completed-result store
+(:mod:`repro.service`), so one knob bounds every on-disk result artifact.
 """
 
 from __future__ import annotations
@@ -24,6 +30,8 @@ import hashlib
 import json
 import os
 import tempfile
+import time
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional
 
@@ -88,24 +96,116 @@ def run_key(workload: str, params: ProcessorParams, *,
     return hashlib.sha256(payload.encode()).hexdigest()
 
 
+@dataclass(frozen=True)
+class GCPolicy:
+    """Bounds for an on-disk result store (``None`` = unbounded).
+
+    Applied oldest-first (by mtime): entries older than
+    ``max_age_seconds`` go first, then the oldest survivors until both
+    ``max_bytes`` and ``max_entries`` hold.  Shared by
+    :meth:`ResultCache.gc` and the job service's completed-result store.
+    """
+
+    max_bytes: Optional[int] = None
+    max_age_seconds: Optional[float] = None
+    max_entries: Optional[int] = None
+
+    @property
+    def bounded(self) -> bool:
+        return (self.max_bytes is not None
+                or self.max_age_seconds is not None
+                or self.max_entries is not None)
+
+
+@dataclass
+class GCStats:
+    """What one garbage-collection pass did."""
+
+    scanned: int = 0
+    removed: int = 0
+    bytes_freed: int = 0
+
+
+def prune_dir(directory: os.PathLike, policy: GCPolicy, *,
+              suffix: str = ".json",
+              now: Optional[float] = None) -> GCStats:
+    """Apply ``policy`` to every ``suffix`` file in ``directory``.
+
+    Deletion errors are ignored (another process may be pruning the same
+    store); the pass never raises.
+    """
+    stats = GCStats()
+    directory = Path(directory)
+    if not policy.bounded or not directory.is_dir():
+        return stats
+    entries = []
+    for path in directory.iterdir():
+        if not path.name.endswith(suffix):
+            continue
+        try:
+            info = path.stat()
+        except OSError:
+            continue
+        entries.append((info.st_mtime, info.st_size, path))
+    entries.sort()                                   # oldest first
+    stats.scanned = len(entries)
+    now = time.time() if now is None else now
+    total_bytes = sum(size for _mtime, size, _path in entries)
+    keep = []
+    for mtime, size, path in entries:
+        if (policy.max_age_seconds is not None
+                and now - mtime > policy.max_age_seconds):
+            stats.removed += 1
+            stats.bytes_freed += size
+            total_bytes -= size
+            try:
+                path.unlink()
+            except OSError:
+                pass
+        else:
+            keep.append((size, path))
+    over_count = (len(keep) - policy.max_entries
+                  if policy.max_entries is not None else 0)
+    for size, path in keep:
+        over_bytes = (policy.max_bytes is not None
+                      and total_bytes > policy.max_bytes)
+        if over_count <= 0 and not over_bytes:
+            break
+        stats.removed += 1
+        stats.bytes_freed += size
+        total_bytes -= size
+        over_count -= 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+    return stats
+
+
 class ResultCache:
     """Persistent (workload, params) -> RunResult store.
 
     ``token`` overrides the source-version token (tests use this to prove
     invalidation); ``enabled=False`` turns every operation into a no-op so
-    callers can thread one object through unconditionally.
+    callers can thread one object through unconditionally.  ``gc_policy``
+    (optional) bounds the store; :meth:`gc` applies it on demand.
     """
+
+    #: Quarantined corrupt entries kept for postmortem, oldest pruned.
+    MAX_QUARANTINE = 16
 
     def __init__(self, directory: Optional[os.PathLike] = None, *,
                  enabled: bool = True,
-                 token: Optional[str] = None) -> None:
+                 token: Optional[str] = None,
+                 gc_policy: Optional[GCPolicy] = None) -> None:
         self.directory = Path(directory) if directory is not None \
             else default_cache_dir()
         self.enabled = enabled
         self.token = token
+        self.gc_policy = gc_policy
         self.hits = 0
         self.misses = 0
-        self.evictions = 0     # corrupt entries discarded
+        self.evictions = 0     # corrupt entries quarantined
 
     # ------------------------------------------------------------- keys --
     def key_for(self, workload: str, params: ProcessorParams,
@@ -133,16 +233,40 @@ class ResultCache:
             self.misses += 1
             return None
         except (OSError, ValueError, KeyError, TypeError):
-            # Corrupt entry: drop it and treat as a miss.
+            # Corrupt entry: quarantine it for postmortem, treat as a miss.
             self.evictions += 1
             self.misses += 1
+            self._quarantine(path)
+            return None
+        self.hits += 1
+        return result
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside instead of failing or re-reading it."""
+        target_dir = self.directory / "quarantine"
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target_dir / path.name)
+        except OSError:
+            # Quarantine is best-effort; fall back to plain removal so the
+            # corrupt file cannot be served again.
             try:
                 path.unlink()
             except OSError:
                 pass
-            return None
-        self.hits += 1
-        return result
+            return
+        prune_dir(target_dir, GCPolicy(max_entries=self.MAX_QUARANTINE))
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.directory / "quarantine"
+
+    def gc(self, policy: Optional[GCPolicy] = None) -> GCStats:
+        """Prune the store to ``policy`` (default: the instance policy)."""
+        policy = policy if policy is not None else self.gc_policy
+        if policy is None or not self.enabled:
+            return GCStats()
+        return prune_dir(self.directory, policy)
 
     def put(self, key: str, result: RunResult) -> None:
         """Store a result (atomic write so readers never see a torn file)."""

@@ -19,6 +19,14 @@ process pool.  Design constraints, in order:
 The executor also threads every cell through an optional
 :class:`~repro.harness.cache.ResultCache`, so only cold cells reach the
 pool and repeated sweeps cost one disk read per cell.
+
+Besides the batch :meth:`ParallelExecutor.map`/:meth:`~ParallelExecutor.
+run_specs` interface, the executor offers *async-friendly* submission:
+:meth:`ParallelExecutor.submit` starts one task in its own worker process
+and returns a :class:`CellHandle` that an event loop (the job service) can
+poll without blocking, stream progress ticks from, and **cancel** — a
+handle owns its process, so cancellation is a hard terminate rather than
+a cooperative flag, which is what per-job timeouts and user aborts need.
 """
 
 from __future__ import annotations
@@ -53,6 +61,12 @@ class RunSpec:
     #: metered cell always simulates — the cache is never consulted,
     #: because the time series is part of the result.
     metrics: Optional[object] = None
+    #: Trace-artifact destination for the async :meth:`ParallelExecutor.
+    #: submit_spec` path (``.jsonl`` streams JSONL, else Chrome JSON).
+    #: Like ``metrics``, a traced cell always simulates.
+    trace_path: Optional[str] = None
+    #: Heartbeat cadence (seconds) on the submit_spec path.
+    progress_interval: float = 0.5
 
     def cache_kwargs(self) -> dict:
         return {"max_instructions": self.max_instructions,
@@ -106,6 +120,164 @@ def _guarded_call(payload: Tuple[Callable, object, str]):
         return CellError(label=label,
                          error=f"{type(exc).__name__}: {exc}",
                          details=traceback.format_exc())
+
+
+def _handle_worker(conn, func: Callable, item, label: str) -> None:
+    """Entry point of a :class:`CellHandle` worker process.
+
+    ``func(item, emit)`` runs with ``emit(dict)`` streaming progress
+    payloads back over the pipe; the final message is ``("done", value)``
+    or ``("error", CellError)``.
+    """
+    def emit(payload: dict) -> None:
+        try:
+            conn.send(("tick", payload))
+        except (OSError, ValueError):
+            pass                         # parent gone; keep computing
+
+    try:
+        conn.send(("done", func(item, emit)))
+    except Exception as exc:            # noqa: BLE001 — surfaced per-cell
+        try:
+            conn.send(("error", CellError(
+                label=label, error=f"{type(exc).__name__}: {exc}",
+                details=traceback.format_exc())))
+        except (OSError, ValueError):
+            pass
+    finally:
+        conn.close()
+
+
+def _run_spec_task(spec: RunSpec, emit: Callable[[dict], None]):
+    """Execute one RunSpec with heartbeat forwarding (submit_spec path).
+
+    ``spec.trace_path``, when set, lands the run's event stream in that
+    file (JSONL for ``.jsonl`` paths, Chrome trace JSON otherwise) — the
+    artifact side-channel the job service serves back to clients.
+    """
+    from repro import api
+
+    def tick(t) -> None:
+        emit({"cycle": t.cycle, "committed": t.committed,
+              "elapsed_seconds": round(t.elapsed_seconds, 3),
+              "kcycles_per_sec": round(t.kcycles_per_sec, 3)})
+
+    return api.run(spec.params, spec.workload,
+                   config_label=spec.config_label,
+                   scale=spec.scale,
+                   max_instructions=spec.max_instructions,
+                   max_cycles=spec.max_cycles,
+                   warm_code=spec.warm_code,
+                   metrics=spec.metrics,
+                   trace=spec.trace_path or None,
+                   progress=tick,
+                   progress_interval=spec.progress_interval)
+
+
+class CellHandle:
+    """One asynchronously submitted task: poll, stream ticks, cancel.
+
+    The task runs in a dedicated worker process whose lifetime the
+    handle owns.  ``poll()`` is non-blocking and drains the progress
+    pipe; ``cancel()`` terminates the worker outright (the result
+    becomes a ``CellError`` marked cancelled).  Designed to be driven
+    from an event loop — nothing here blocks beyond a bounded ``join``.
+    """
+
+    def __init__(self, label: str, process, conn) -> None:
+        self.label = label
+        self._process = process
+        self._conn = conn
+        self._result = None
+        self._finished = False
+        self.cancelled = False
+        #: Drained-but-unconsumed progress payloads (see :meth:`ticks`).
+        self._ticks: List[dict] = []
+
+    # ---------------------------------------------------------- polling --
+    def _drain(self) -> None:
+        if self._finished:
+            return
+        try:
+            while self._conn.poll():
+                kind, payload = self._conn.recv()
+                if kind == "tick":
+                    self._ticks.append(payload)
+                else:                    # "done" | "error"
+                    self._result = payload
+                    self._finish()
+                    return
+        except (EOFError, OSError):
+            # Pipe closed without a result: the worker died (or was
+            # cancelled); classify below.
+            if self._result is None and not self._process.is_alive():
+                self._result = CellError(
+                    label=self.label,
+                    error="cancelled" if self.cancelled
+                    else "worker process died without reporting a result")
+                self._finish()
+
+    def _finish(self) -> None:
+        self._finished = True
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+        self._process.join(timeout=5.0)
+
+    def poll(self) -> bool:
+        """Non-blocking: True once a result (or failure) is available."""
+        self._drain()
+        if self._finished:
+            return True
+        if not self._process.is_alive():
+            # Worker exited; one last drain catches a result racing the
+            # exit, otherwise record the death.
+            try:
+                if self._conn.poll():
+                    self._drain()
+            except (EOFError, OSError):
+                pass
+            if not self._finished:
+                self._result = CellError(
+                    label=self.label,
+                    error="cancelled" if self.cancelled
+                    else "worker process died without reporting a result")
+                self._finish()
+        return self._finished
+
+    def ticks(self) -> List[dict]:
+        """Progress payloads accumulated since the last call (drained)."""
+        self._drain()
+        out, self._ticks = self._ticks, []
+        return out
+
+    def result(self, timeout: Optional[float] = None):
+        """Block (up to ``timeout``) for the result; raises on timeout."""
+        if not self._finished:
+            self._process.join(timeout)
+            if not self.poll():
+                raise TimeoutError(f"{self.label}: still running")
+        return self._result
+
+    # ------------------------------------------------------ cancellation --
+    def cancel(self) -> bool:
+        """Terminate the worker; True if this call performed the kill."""
+        if self._finished:
+            return False
+        self.cancelled = True
+        self._process.terminate()
+        self._process.join(timeout=2.0)
+        if self._process.is_alive():     # stuck in uninterruptible state
+            self._process.kill()
+            self._process.join(timeout=2.0)
+        self._result = CellError(label=self.label, error="cancelled")
+        self._finish()
+        return True
+
+    def close(self) -> None:
+        if not self._finished:
+            self.cancel()
 
 
 class ParallelExecutor:
@@ -191,6 +363,35 @@ class ParallelExecutor:
             self.fell_back_to_serial = True
             return serial()
         return results
+
+    # ----------------------------------------------------- async submit --
+    def submit(self, func: Callable, item, *,
+               label: str = "task") -> CellHandle:
+        """Start ``func(item, emit)`` in its own worker process.
+
+        Returns a :class:`CellHandle` immediately; the caller polls or
+        cancels it.  ``func`` must be module-level (picklable) and takes
+        an ``emit(dict)`` second argument for progress streaming.  Unlike
+        :meth:`map`, each submission owns a dedicated process — that
+        costs a fork per task but makes cancellation a hard kill, the
+        contract the job service's timeouts and aborts need.  ``jobs``
+        is *not* enforced here; the scheduling layer bounds concurrency.
+        """
+        context = multiprocessing.get_context(self.start_method)
+        parent, child = context.Pipe(duplex=False)
+        process = context.Process(target=_handle_worker,
+                                  args=(child, func, item, label),
+                                  daemon=True)
+        process.start()
+        child.close()
+        return CellHandle(label, process, parent)
+
+    def submit_spec(self, spec: RunSpec) -> CellHandle:
+        """Async-submit one simulation cell (no cache consult here —
+        :meth:`run_specs` stays the cache-aware batch path; async callers
+        dedupe against the cache themselves before paying for a fork)."""
+        label = f"{spec.workload}/{spec.config_label or spec.params.iq.kind}"
+        return self.submit(_run_spec_task, spec, label=label)
 
     # ------------------------------------------------------------ specs --
     def run_specs(self, specs: Sequence[RunSpec]) -> List[CellResult]:

@@ -1,18 +1,18 @@
-"""Simulation runner: one (workload, configuration) -> one RunResult.
+"""Run-result record and workload resolution.
 
-.. deprecated::
-    :func:`run_workload` is superseded by :func:`repro.api.run`, the
-    single entry point that also threads tracing, metrics, sampling,
-    and result caching.  The shim here survives one release.
+All simulation goes through :func:`repro.api.run`, the single entry
+point that also threads tracing, metrics, sampling, and result caching;
+this module holds the :class:`RunResult` value it returns and the
+workload-name resolver the harness shares.  (The deprecated
+``run_workload`` shim that used to live here is gone — call
+``api.run(params, workload, ...)``.)
 """
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Union
 
-from repro.common.params import ProcessorParams
 from repro.workloads.kernels import WORKLOADS, WorkloadSpec
 
 
@@ -57,31 +57,3 @@ def resolve_workload(workload: Union[str, WorkloadSpec]) -> WorkloadSpec:
     except KeyError:
         known = ", ".join(sorted(WORKLOADS))
         raise KeyError(f"unknown workload {workload!r}; known: {known}")
-
-
-def run_workload(workload: Union[str, WorkloadSpec],
-                 params: ProcessorParams, *,
-                 config_label: str = "",
-                 scale: int = 1,
-                 max_instructions: Optional[int] = None,
-                 max_cycles: int = 5_000_000,
-                 warm_code: bool = True,
-                 progress=None,
-                 progress_interval: float = 5.0) -> RunResult:
-    """Simulate one benchmark analog under one configuration.
-
-    .. deprecated::
-        Use :func:`repro.api.run` — same semantics (``api.run(params,
-        workload, ...)``, note the argument order), plus ``trace=``,
-        ``metrics=``, ``sampling=``, and ``cache=``.
-    """
-    warnings.warn(
-        "run_workload is deprecated; use repro.api.run(params, workload, "
-        "...) instead (it adds trace/metrics/sampling/cache support)",
-        DeprecationWarning, stacklevel=2)
-    from repro import api
-    return api.run(params, workload,
-                   config_label=config_label, scale=scale,
-                   max_instructions=max_instructions, max_cycles=max_cycles,
-                   warm_code=warm_code, progress=progress,
-                   progress_interval=progress_interval)

@@ -458,9 +458,14 @@ def prune_and_run(cells: Sequence[Cell], *,
                   surrogate: Optional[Surrogate] = None) -> PruneOutcome:
     """Run a grid with the surrogate as a pruning pre-pass.
 
-    Phase 1 simulates one *anchor* per (workload, IQ kind) — the
-    smallest configuration of that kind — and calibrates the surrogate
-    on it.  Phase 2 predicts every remaining cell and keeps those whose
+    Phase 0 probes the result cache for every cell: hits become free
+    results *and* free calibration points (the smallest cached
+    configuration per (workload, IQ kind) anchors the surrogate), so a
+    warm cache — e.g. one shared with the job service — can anchor the
+    whole grid without simulating anything.  Phase 1 simulates one
+    *anchor* per still-uncalibrated (workload, IQ kind) — the smallest
+    configuration of that kind — and calibrates the surrogate on it.
+    Phase 2 predicts every remaining cell and keeps those whose
     optimistic IPC band reaches the pessimistic band of the per-workload
     best (i.e. cells within the error band of the Pareto front, plus
     anything too uncertain to rule out).  Phase 3 simulates the kept
@@ -474,12 +479,46 @@ def prune_and_run(cells: Sequence[Cell], *,
             return budgets.get(workload, max_instructions)
         return max_instructions
 
-    # Phase 1: anchors (smallest configuration of each kind, per workload).
-    anchor_for: Dict[Tuple[str, str], Tuple[str, str]] = {}
     by_cell: Dict[Tuple[str, str], ProcessorParams] = {}
     for workload, label, params in cells:
         by_cell[(workload, label)] = params
+
+    # Phase 0: harvest cached cells (results + calibration for free).
+    results: Dict[Tuple[str, str], RunResult] = {}
+    instructions_for: Dict[str, int] = {}
+    calibrated: set = set()
+    if cache is not None:
+        cached_by_kind: Dict[Tuple[str, str], Tuple[str, str]] = {}
+        for workload, label, params in cells:
+            hit = cache.get(cache.key_for(
+                workload, params, max_instructions=budget(workload)))
+            if hit is None:
+                continue
+            if hit.config != label and label:
+                hit = RunResult(
+                    workload=hit.workload, config=label, ipc=hit.ipc,
+                    cycles=hit.cycles, instructions=hit.instructions,
+                    stats=hit.stats)
+            cell = (workload, label)
+            results[cell] = hit
+            instructions_for.setdefault(workload, hit.instructions)
+            kind = (workload, params.iq.kind)
+            if (kind not in cached_by_kind or params.iq.size
+                    < by_cell[cached_by_kind[kind]].iq.size):
+                cached_by_kind[kind] = cell
+        for (workload, _iq_kind), (_, label) in cached_by_kind.items():
+            cell = (workload, label)
+            surrogate.calibrate(workload, by_cell[cell],
+                                results[cell].ipc)
+        calibrated = set(cached_by_kind)
+
+    # Phase 1: anchors (smallest configuration of each kind, per
+    # workload) for the kinds phase 0 left uncalibrated.
+    anchor_for: Dict[Tuple[str, str], Tuple[str, str]] = {}
+    for workload, label, params in cells:
         key = (workload, params.iq.kind)
+        if key in calibrated:
+            continue
         if (key not in anchor_for
                 or params.iq.size < by_cell[anchor_for[key]].iq.size):
             anchor_for[key] = (workload, label)
@@ -487,8 +526,6 @@ def prune_and_run(cells: Sequence[Cell], *,
     anchor_cells = [(w, l, by_cell[(w, l)]) for w, l in anchors]
     anchor_results = _run_cells(anchor_cells, budget, jobs=jobs,
                                 cache=cache, progress=progress)
-    results: Dict[Tuple[str, str], RunResult] = {}
-    instructions_for: Dict[str, int] = {}
     for (workload, label, params), result in zip(anchor_cells,
                                                  anchor_results):
         results[(workload, label)] = result

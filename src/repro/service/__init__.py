@@ -1,0 +1,39 @@
+"""Simulation-as-a-service: a job server over :func:`repro.api.run`.
+
+Long sweep campaigns outgrow one foreground process: several users (or
+CI lanes) want to share one warm result cache and one machine's worth
+of cores without re-running each other's cells or starving each other.
+This package turns the existing harness into a small multi-tenant job
+service (see docs/service.md):
+
+* :class:`SimulationService` — the synchronous core: admission control
+  with backpressure, content-hash dedupe against the
+  :class:`~repro.harness.cache.ResultCache` *and* against in-flight
+  twins, per-tenant weighted-fair scheduling, hard-kill cancellation
+  and timeouts, crash-safe journaling with restart resume, and GC.
+* :class:`ServiceServer` / :func:`run_server` — the asyncio HTTP shell
+  (``python -m repro serve``).
+* :class:`InProcessClient` / :class:`ServiceClient` — embedding and
+  network clients with the same surface
+  (``python -m repro submit/status/cancel/fetch``).
+
+Everything is stdlib-only and the results are bit-identical to calling
+:func:`repro.api.run` directly — the service adds scheduling, never
+physics.
+"""
+
+from repro.service.client import (Backpressure, InProcessClient,
+                                  ServiceClient, ServiceError)
+from repro.service.http import ServiceServer, run_server
+from repro.service.jobs import (JOB_KINDS, TERMINAL_STATES, Job,
+                                JobSpec, JobSpecError, normalize)
+from repro.service.journal import JobJournal
+from repro.service.scheduler import AdmissionError, FairScheduler
+from repro.service.service import ServiceConfig, SimulationService
+
+__all__ = [
+    "AdmissionError", "Backpressure", "FairScheduler", "InProcessClient",
+    "JOB_KINDS", "Job", "JobJournal", "JobSpec", "JobSpecError",
+    "ServiceClient", "ServiceConfig", "ServiceError", "ServiceServer",
+    "SimulationService", "TERMINAL_STATES", "normalize", "run_server",
+]

@@ -1,0 +1,210 @@
+"""Clients for the simulation job service.
+
+Two interchangeable clients behind one surface:
+
+* :class:`InProcessClient` — wraps a :class:`SimulationService` object
+  directly (no sockets).  Unit tests and embedders use this; it drives
+  ``service.step()`` itself while waiting, so nothing else has to.
+* :class:`ServiceClient` — stdlib ``http.client`` against a running
+  server.  The CLI ``submit/status/cancel/fetch`` subcommands and the
+  CI smoke test use this.
+
+Both expose: ``submit(body) -> job dict``, ``status(job_id)``,
+``result(job_id)``, ``cancel(job_id)``, ``events(job_id, since=0)``,
+``fetch_artifact(job_id) -> bytes``, ``metrics()``, and
+``wait(job_id, timeout=...) -> terminal job dict``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from typing import Dict, Iterator, Optional
+from urllib.parse import urlencode
+
+
+class ServiceError(RuntimeError):
+    """Any non-2xx service answer; carries the HTTP status."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        super().__init__(payload.get("error", f"HTTP {status}"))
+        self.status = status
+        self.payload = payload
+
+
+class Backpressure(ServiceError):
+    """HTTP 429 — the queue refused the submission; retry later."""
+
+
+def _raise_for(status: int, payload: dict) -> None:
+    if status == 429:
+        raise Backpressure(status, payload)
+    if status >= 400:
+        raise ServiceError(status, payload)
+
+
+class _ClientBase:
+    """Shared convenience methods over the raw request primitive."""
+
+    def _request(self, method: str, path: str,
+                 query: Optional[Dict[str, str]] = None,
+                 body: Optional[dict] = None):
+        raise NotImplementedError
+
+    def submit(self, body: dict, *, tenant: str = "default") -> dict:
+        status, payload = self._request("POST", "/jobs",
+                                        {"tenant": tenant}, body)
+        _raise_for(status, payload)
+        return payload
+
+    def status(self, job_id: str) -> dict:
+        status, payload = self._request("GET", f"/jobs/{job_id}")
+        _raise_for(status, payload)
+        return payload
+
+    def result(self, job_id: str) -> dict:
+        status, payload = self._request("GET", f"/jobs/{job_id}/result")
+        _raise_for(status, payload)
+        return payload
+
+    def cancel(self, job_id: str) -> dict:
+        status, payload = self._request("POST", f"/jobs/{job_id}/cancel")
+        _raise_for(status, payload)
+        return payload
+
+    def events(self, job_id: str, *, since: int = 0) -> dict:
+        status, payload = self._request(
+            "GET", f"/jobs/{job_id}/events", {"since": str(since)})
+        _raise_for(status, payload)
+        return payload
+
+    def jobs(self, *, tenant: Optional[str] = None) -> list:
+        query = {"for_tenant": tenant} if tenant else None
+        status, payload = self._request("GET", "/jobs", query)
+        _raise_for(status, payload)
+        return payload["jobs"]
+
+    def metrics(self) -> dict:
+        status, payload = self._request("GET", "/metrics")
+        _raise_for(status, payload)
+        return payload
+
+    def healthz(self) -> dict:
+        status, payload = self._request("GET", "/healthz")
+        _raise_for(status, payload)
+        return payload
+
+    # --------------------------------------------------------- composite --
+    def wait(self, job_id: str, *, timeout: float = 300.0,
+             poll_interval: float = 0.1) -> dict:
+        """Block until ``job_id`` is terminal; returns the final record."""
+        deadline = time.time() + timeout
+        while True:
+            record = self.status(job_id)
+            if record["state"] in ("done", "failed", "cancelled"):
+                return record
+            if time.time() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']} "
+                    f"after {timeout:.0f}s")
+            self._idle(poll_interval)
+
+    def watch(self, job_id: str, *, timeout: float = 300.0,
+              poll_interval: float = 0.2) -> Iterator[dict]:
+        """Yield events (heartbeats + state changes) until terminal."""
+        deadline = time.time() + timeout
+        since = 0
+        while True:
+            answer = self.events(job_id, since=since)
+            for event in answer["events"]:
+                since = event["seq"]
+                yield event
+            if answer["state"] in ("done", "failed", "cancelled"):
+                return
+            if time.time() > deadline:
+                raise TimeoutError(f"job {job_id} outlived the watch")
+            self._idle(poll_interval)
+
+    def _idle(self, seconds: float) -> None:
+        time.sleep(seconds)
+
+
+class InProcessClient(_ClientBase):
+    """Drive a :class:`SimulationService` with no network at all."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+
+    def _request(self, method, path, query=None, body=None):
+        status, payload = self.service.handle(method, path,
+                                              dict(query or {}), body)
+        if not isinstance(payload, (dict, list)):
+            # Artifact path: materialize like the HTTP layer would.
+            return status, {"artifact_bytes": payload.read_bytes().hex()}
+        return status, payload
+
+    def fetch_artifact(self, job_id: str) -> bytes:
+        status, payload = self._request("GET", f"/jobs/{job_id}/artifact")
+        _raise_for(status, payload if isinstance(payload, dict) else {})
+        return bytes.fromhex(payload["artifact_bytes"])
+
+    def _idle(self, seconds: float) -> None:
+        # Waiting *is* driving: the in-process service has no stepper
+        # task, so the client advances it instead of sleeping.
+        self.service.step()
+        time.sleep(min(seconds, 0.02))
+
+
+class ServiceClient(_ClientBase):
+    """Talk to a served instance over HTTP (stdlib ``http.client``)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8421,
+                 *, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(self, method, path, query=None, body=None):
+        conn = http.client.HTTPConnection(self.host, self.port,
+                                          timeout=self.timeout)
+        try:
+            target = path
+            if query:
+                target = f"{path}?{urlencode(query)}"
+            headers = {}
+            data = None
+            if body is not None:
+                data = json.dumps(body).encode()
+                headers["Content-Type"] = "application/json"
+            conn.request(method, target, body=data, headers=headers)
+            answer = conn.getresponse()
+            raw = answer.read()
+            if answer.getheader("Content-Type") == "application/octet-stream":
+                return answer.status, raw
+            try:
+                payload = json.loads(raw.decode() or "{}")
+            except json.JSONDecodeError:
+                payload = {"error": raw.decode(errors="replace")}
+            return answer.status, payload
+        finally:
+            conn.close()
+
+    def fetch_artifact(self, job_id: str) -> bytes:
+        status, payload = self._request("GET", f"/jobs/{job_id}/artifact")
+        if isinstance(payload, bytes):
+            return payload
+        _raise_for(status, payload)
+        raise ServiceError(status, {"error": "expected an artifact body"})
+
+    def wait_until_up(self, *, timeout: float = 10.0) -> dict:
+        """Poll /healthz until the server answers (startup race helper)."""
+        deadline = time.time() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except (ConnectionError, OSError, ServiceError):
+                if time.time() > deadline:
+                    raise TimeoutError(
+                        f"server at {self.host}:{self.port} never came up")
+                time.sleep(0.1)

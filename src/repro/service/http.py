@@ -1,0 +1,255 @@
+"""Minimal asyncio HTTP/1.1 shell around :class:`SimulationService`.
+
+Deliberately tiny and dependency-free: ``asyncio.start_server`` plus a
+hand-rolled request parser covering exactly what the service needs —
+JSON bodies with ``Content-Length``, query strings, chunked responses
+for the event stream, and file responses for trace artifacts.  All
+service logic stays in the synchronous core; this layer only parses,
+dispatches to :meth:`SimulationService.handle`, and serializes.
+
+A background *stepper* task drives :meth:`SimulationService.step` on a
+fixed cadence, so the event loop stays responsive while simulations run
+in their worker processes.
+
+Routes (see docs/service.md)::
+
+    POST /jobs                  submit (JSON body; ?tenant=)
+    GET  /jobs                  list
+    GET  /jobs/<id>             status
+    GET  /jobs/<id>/result      result (409 until done)
+    GET  /jobs/<id>/events      events since ?since= (?stream=1 chunks
+                                heartbeats until the job is terminal)
+    POST /jobs/<id>/cancel      cancel
+    GET  /jobs/<id>/artifact    trace artifact download
+    GET  /metrics               service counters
+    GET  /healthz               liveness
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+from pathlib import Path
+from typing import Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from repro.service.service import SimulationService
+
+MAX_BODY = 4 * 1024 * 1024
+_REASONS = {200: "OK", 201: "Created", 400: "Bad Request",
+            404: "Not Found", 408: "Request Timeout",
+            409: "Conflict", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error"}
+
+
+#: Listening sockets every forked child must close immediately: a
+#: simulation worker forked while the server is bound would otherwise
+#: inherit the listener, and after a ``kill -9`` the orphaned worker
+#: keeps the port bound, blocking the restarted server.
+_INHERITED_SOCKETS: list = []
+_AT_FORK_REGISTERED = False
+
+
+def _close_inherited_sockets() -> None:
+    for sock in _INHERITED_SOCKETS:
+        # asyncio hands out TransportSocket wrappers without close();
+        # shut the inherited descriptor down directly.
+        try:
+            fd = sock.fileno()
+            if fd >= 0:
+                os.close(fd)
+        except OSError:
+            pass
+
+
+def _guard_sockets(sockets) -> None:
+    global _AT_FORK_REGISTERED
+    _INHERITED_SOCKETS.extend(sockets)
+    if not _AT_FORK_REGISTERED and hasattr(os, "register_at_fork"):
+        os.register_at_fork(after_in_child=_close_inherited_sockets)
+        _AT_FORK_REGISTERED = True
+
+
+def _response(status: int, payload: object,
+              *, extra_headers: str = "") -> bytes:
+    body = json.dumps(payload).encode()
+    reason = _REASONS.get(status, "OK")
+    head = (f"HTTP/1.1 {status} {reason}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            f"{extra_headers}"
+            "Connection: close\r\n\r\n")
+    return head.encode() + body
+
+
+async def _read_request(reader: asyncio.StreamReader
+                        ) -> Optional[Tuple[str, str, dict, Optional[dict]]]:
+    """Parse one request; None on EOF/garbage, raises ValueError on an
+    oversized or malformed body (the caller answers 4xx)."""
+    try:
+        request_line = await reader.readline()
+    except (ConnectionError, asyncio.LimitOverrunError):
+        return None
+    if not request_line:
+        return None
+    try:
+        method, target, _version = request_line.decode().split(None, 2)
+    except ValueError:
+        return None
+    headers = {}
+    while True:
+        line = await reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        name, _sep, value = line.decode(errors="replace").partition(":")
+        headers[name.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", 0) or 0)
+    if length > MAX_BODY:
+        raise ValueError("body too large")
+    body = None
+    if length:
+        raw = await reader.readexactly(length)
+        body = json.loads(raw.decode())
+        if not isinstance(body, dict):
+            raise ValueError("body must be a JSON object")
+    parsed = urlsplit(target)
+    query = dict(parse_qsl(parsed.query))
+    return method.upper(), parsed.path, query, body
+
+
+class ServiceServer:
+    """Owns the listening socket and the stepper task."""
+
+    def __init__(self, service: SimulationService, *,
+                 host: str = "127.0.0.1", port: int = 0,
+                 step_interval: float = 0.05) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self.step_interval = step_interval
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._stepper: Optional[asyncio.Task] = None
+
+    # --------------------------------------------------------- lifecycle --
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        _guard_sockets(self._server.sockets)
+        self._stepper = asyncio.ensure_future(self._step_forever())
+
+    async def _step_forever(self) -> None:
+        while True:
+            self.service.step()
+            await asyncio.sleep(self.step_interval)
+
+    async def stop(self) -> None:
+        if self._stepper is not None:
+            self._stepper.cancel()
+            try:
+                await self._stepper
+            except asyncio.CancelledError:
+                pass
+        if self._server is not None:
+            for sock in self._server.sockets:
+                if sock in _INHERITED_SOCKETS:
+                    _INHERITED_SOCKETS.remove(sock)
+            self._server.close()
+            await self._server.wait_closed()
+        self.service.close()
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        async with self._server:
+            await self._server.serve_forever()
+
+    # --------------------------------------------------------- connection --
+    async def _serve_connection(self, reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        try:
+            try:
+                request = await _read_request(reader)
+            except (ValueError, json.JSONDecodeError,
+                    asyncio.IncompleteReadError) as exc:
+                writer.write(_response(400, {"error": str(exc)}))
+                return
+            if request is None:
+                return
+            method, path, query, body = request
+            if (method == "GET" and path.rstrip("/").endswith("/events")
+                    and query.get("stream")):
+                await self._stream_events(writer, path, query)
+                return
+            status, payload = self.service.handle(method, path, query, body)
+            if isinstance(payload, Path):
+                await self._send_file(writer, payload)
+            else:
+                writer.write(_response(status, payload))
+        except (ConnectionError, BrokenPipeError):
+            pass
+        except Exception as exc:      # noqa: BLE001 — never kill the server
+            try:
+                writer.write(_response(500, {"error": repr(exc)}))
+            except (ConnectionError, BrokenPipeError):
+                pass
+        finally:
+            try:
+                await writer.drain()
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError, OSError):
+                pass
+
+    async def _send_file(self, writer: asyncio.StreamWriter,
+                         path: Path) -> None:
+        data = path.read_bytes()
+        head = ("HTTP/1.1 200 OK\r\n"
+                "Content-Type: application/octet-stream\r\n"
+                f"Content-Disposition: attachment; "
+                f"filename=\"{path.name}\"\r\n"
+                f"Content-Length: {len(data)}\r\n"
+                "Connection: close\r\n\r\n")
+        writer.write(head.encode() + data)
+
+    async def _stream_events(self, writer: asyncio.StreamWriter,
+                             path: str, query: dict) -> None:
+        """Chunked JSONL heartbeat stream until the job is terminal."""
+        job_id = [part for part in path.split("/") if part][1]
+        job = self.service.jobs.get(job_id)
+        if job is None:
+            writer.write(_response(404, {"error": f"no such job {job_id!r}"}))
+            return
+        writer.write(b"HTTP/1.1 200 OK\r\n"
+                     b"Content-Type: application/jsonl\r\n"
+                     b"Transfer-Encoding: chunked\r\n"
+                     b"Connection: close\r\n\r\n")
+        since = int(query.get("since", 0))
+        while True:
+            events = job.events_since(since)
+            for event in events:
+                since = event["seq"]
+                chunk = (json.dumps(event, sort_keys=True) + "\n").encode()
+                writer.write(f"{len(chunk):x}\r\n".encode()
+                             + chunk + b"\r\n")
+            await writer.drain()
+            if job.terminal:
+                break
+            await asyncio.sleep(self.step_interval)
+        writer.write(b"0\r\n\r\n")
+
+
+async def run_server(service: SimulationService, *, host: str = "127.0.0.1",
+                     port: int = 0, ready=None) -> None:
+    """Start and serve until cancelled; ``ready(server)`` is called once
+    the socket is bound (the CLI prints the port there)."""
+    server = ServiceServer(service, host=host, port=port)
+    await server.start()
+    if ready is not None:
+        ready(server)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()

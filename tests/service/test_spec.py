@@ -1,0 +1,115 @@
+"""Job-spec normalization, validation, and content keys."""
+
+import pytest
+
+from repro.harness import configs
+from repro.harness.cache import ResultCache
+from repro.service.jobs import JobSpecError, build_params, normalize
+
+RUN = {"kind": "run", "workload": "twolf", "max_instructions": 2000,
+       "config": {"iq": "ideal", "size": 32}}
+
+
+class TestValidation:
+    def test_rejects_unknown_kind(self):
+        with pytest.raises(JobSpecError, match="unknown job kind"):
+            normalize({"kind": "frobnicate", "workload": "twolf"})
+
+    def test_rejects_unknown_workload(self):
+        with pytest.raises(JobSpecError, match="unknown workload"):
+            normalize({"kind": "run", "workload": "nope"})
+
+    def test_rejects_unknown_config_keys(self):
+        with pytest.raises(JobSpecError, match="unknown config keys"):
+            normalize(dict(RUN, config={"iq": "ideal", "sizzle": 1}))
+
+    def test_rejects_unknown_iq_kind(self):
+        with pytest.raises(JobSpecError, match="unknown iq kind"):
+            normalize(dict(RUN, config={"iq": "quantum"}))
+
+    def test_rejects_bad_trace_format(self):
+        with pytest.raises(JobSpecError, match="trace format"):
+            normalize(dict(RUN, trace="perfetto-but-wrong"))
+
+    def test_rejects_bad_scale_and_budget(self):
+        with pytest.raises(JobSpecError, match="scale"):
+            normalize(dict(RUN, scale=0))
+        with pytest.raises(JobSpecError, match="max_instructions"):
+            normalize(dict(RUN, max_instructions=0))
+
+    def test_rejects_unknown_sampling_keys(self):
+        with pytest.raises(JobSpecError, match="sampling keys"):
+            normalize({"kind": "sample", "workload": "twolf",
+                       "sampling": {"windows": 4, "chutney": 1}})
+
+    def test_sweep_needs_labelled_configs(self):
+        with pytest.raises(JobSpecError, match="configs"):
+            normalize({"kind": "sweep", "workloads": ["twolf"]})
+        with pytest.raises(JobSpecError, match="label"):
+            normalize({"kind": "sweep", "workloads": ["twolf"],
+                       "configs": [{"iq": "ideal"}]})
+        with pytest.raises(JobSpecError, match="duplicate"):
+            normalize({"kind": "sweep", "workloads": ["twolf"],
+                       "configs": [{"label": "a", "iq": "ideal"},
+                                   {"label": "a", "iq": "ideal"}]})
+
+    def test_body_must_be_object(self):
+        with pytest.raises(JobSpecError, match="JSON object"):
+            normalize(["not", "a", "dict"])
+
+
+class TestKeys:
+    def test_run_key_is_the_cache_key(self, tmp_path):
+        """A plain run job's content key IS the ResultCache key, so
+        service-level dedupe and cache lookups are one hash."""
+        spec = normalize(RUN)
+        cache = ResultCache(tmp_path)
+        assert spec.key == cache.key_for(
+            "twolf", configs.ideal(32), max_instructions=2000)
+        assert spec.cacheable
+
+    def test_key_is_canonical_over_spelling(self):
+        a = normalize(dict(RUN))
+        b = normalize({"workload": "twolf", "kind": "run",
+                       "config": {"size": 32, "iq": "ideal"},
+                       "max_instructions": 2000})
+        assert a.key == b.key
+
+    def test_key_differs_when_physics_differ(self):
+        base = normalize(RUN)
+        assert normalize(dict(RUN, max_instructions=2001)).key != base.key
+        assert normalize(
+            dict(RUN, config={"iq": "ideal", "size": 64})).key != base.key
+        assert normalize(dict(RUN, kind="surrogate")).key != base.key
+
+    def test_traced_jobs_are_not_cacheable(self):
+        spec = normalize(dict(RUN, trace="jsonl"))
+        assert not spec.cacheable
+        assert spec.key != normalize(RUN).key
+
+    def test_sweep_expands_cells(self):
+        spec = normalize({
+            "kind": "sweep", "workloads": ["twolf", "swim"],
+            "configs": [{"label": "a", "iq": "ideal", "size": 32},
+                        {"label": "b", "iq": "ideal", "size": 64}],
+            "max_instructions": 1000})
+        assert len(spec.cells) == 4
+        assert spec.cost == pytest.approx(4000.0)
+
+
+class TestBuildParams:
+    def test_mirrors_the_cli_surface(self):
+        params = build_params({"iq": "segmented", "size": 256,
+                               "chains": 64, "variant": "comb",
+                               "segment_size": 32})
+        assert params.iq.kind == "segmented"
+        assert params.iq.size == 256
+        assert params.iq.max_chains == 64
+
+    def test_unlimited_chains(self):
+        params = build_params({"iq": "segmented", "chains": "unlimited"})
+        assert params.iq.max_chains is None
+
+    def test_event_driven_opt_out(self):
+        assert build_params({}).event_driven
+        assert not build_params({"event_driven": False}).event_driven
