@@ -59,6 +59,7 @@ class JobJournal:
             "payload": job.payload, "cost": job.cost,
             "timeout": job.timeout, "parent": job.parent,
             "shared_with": job.shared_with, "dedupe": job.dedupe,
+            "artifact": job.artifact,
             "submitted_at": job.submitted_at,
         })
 
@@ -135,10 +136,9 @@ class JobJournal:
                 record = {key: folded.get(key) for key in
                           ("kind", "key", "tenant", "payload", "cost",
                            "timeout", "parent", "shared_with", "dedupe",
-                           "submitted_at")}
+                           "artifact", "submitted_at")}
                 line = {"job": job_id, "state": state, "record": record}
-                for extra in ("error", "result_key", "artifact",
-                              "started_at"):
+                for extra in ("error", "result_key", "started_at"):
                     if folded.get(extra) is not None:
                         line[extra] = folded[extra]
                 fh.write(json.dumps(line, sort_keys=True,

@@ -42,7 +42,7 @@ class FairScheduler:
         self.max_tenant_depth = max_tenant_depth
         self.max_cost = max_cost
         self.weights = dict(weights or {})
-        self._heap: List[Tuple[float, int, str]] = []
+        self._heap: List[Tuple[float, int, str, float]] = []
         self._tick = itertools.count()      # FIFO among equal tags
         self._queued: Dict[str, str] = {}   # job_id -> tenant
         self._cancelled: set = set()
@@ -62,17 +62,24 @@ class FairScheduler:
         return float(self.weights.get(tenant, 1.0))
 
     # ----------------------------------------------------------- enqueue --
-    def admit(self, tenant: str, cost: float) -> None:
-        """Raise :class:`AdmissionError` if a submission must bounce."""
-        if len(self._queued) >= self.max_depth:
+    def admit(self, tenant: str, cost: float, *, count: int = 1) -> None:
+        """Raise :class:`AdmissionError` if a submission must bounce.
+
+        ``count`` admits a batch atomically (a sweep expansion): either
+        every one of the ``count`` pushes fits the depth bounds now, or
+        nothing is admitted.  ``cost`` is the batch total.
+        """
+        if len(self._queued) + count > self.max_depth:
             raise AdmissionError(
-                f"queue full ({self.max_depth} jobs pending)",
+                f"queue cannot take {count} more job(s) "
+                f"({len(self._queued)} pending, bound {self.max_depth})",
                 "rejected_queue_depth")
         if (self.max_tenant_depth is not None
-                and self.depth(tenant) >= self.max_tenant_depth):
+                and self.depth(tenant) + count > self.max_tenant_depth):
             raise AdmissionError(
-                f"tenant {tenant!r} already has "
-                f"{self.max_tenant_depth} jobs pending",
+                f"tenant {tenant!r} has {self.depth(tenant)} jobs pending; "
+                f"{count} more would exceed the bound "
+                f"{self.max_tenant_depth}",
                 "rejected_tenant_depth")
         if self.max_cost is not None and cost > self.max_cost:
             raise AdmissionError(
@@ -82,9 +89,11 @@ class FairScheduler:
     def push(self, job_id: str, tenant: str, cost: float) -> None:
         """Queue ``job_id``; call :meth:`admit` first for backpressure."""
         start = max(self._vtime, self._last_finish.get(tenant, 0.0))
-        finish = start + max(cost, 1.0) / self.weight(tenant)
+        charge = max(cost, 1.0) / self.weight(tenant)
+        finish = start + charge
         self._last_finish[tenant] = finish
-        heapq.heappush(self._heap, (finish, next(self._tick), job_id))
+        heapq.heappush(self._heap,
+                       (finish, next(self._tick), job_id, charge))
         self._queued[job_id] = tenant
         self._cancelled.discard(job_id)
 
@@ -96,17 +105,15 @@ class FairScheduler:
         amortizes the cleanup).
         """
         while self._heap:
-            finish, _tick, job_id = heapq.heappop(self._heap)
+            finish, _tick, job_id, charge = heapq.heappop(self._heap)
             if job_id in self._cancelled:
                 self._cancelled.discard(job_id)
                 continue
-            tenant = self._queued.pop(job_id, None)
-            if tenant is None:
+            if self._queued.pop(job_id, None) is None:
                 continue
             # Advance virtual time to the dispatched start tag so idle
             # tenants re-enter at "now", not at zero.
-            self._vtime = max(self._vtime,
-                              finish - 1.0 / self.weight(tenant))
+            self._vtime = max(self._vtime, finish - charge)
             return job_id
         return None
 

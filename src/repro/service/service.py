@@ -202,21 +202,29 @@ class SimulationService:
         """Admit one submission; raises :class:`JobSpecError` (HTTP 400)
         or :class:`AdmissionError` (HTTP 429)."""
         spec = normalize(body)
-        timeout = min(float(body.get("timeout",
-                                     self.config.default_timeout)),
-                      self.config.default_timeout)
+        try:
+            timeout = min(float(body.get("timeout",
+                                         self.config.default_timeout)),
+                          self.config.default_timeout)
+        except (TypeError, ValueError):
+            raise JobSpecError(
+                f"timeout must be a number, got "
+                f"{body.get('timeout')!r}") from None
         if spec.kind == "sweep":
             return self._submit_sweep(spec, tenant, timeout)
         return self._submit_one(spec, tenant, timeout)
 
     def _submit_one(self, spec: JobSpec, tenant: str, timeout: float,
                     *, parent: Optional[str] = None,
-                    config_label: str = "") -> Job:
+                    config_label: str = "",
+                    pre_admitted: bool = False) -> Job:
         cached = self.cache.get(spec.key) if spec.cacheable else None
         inflight = None if cached else self._inflight.get(spec.key)
-        if cached is None and inflight is None:
+        if cached is None and inflight is None and not pre_admitted:
             # Only jobs that will actually occupy the queue face
-            # admission; dedupe hits are free by design.
+            # admission; dedupe hits are free by design.  Sweep children
+            # are admitted as one batch in _submit_sweep so a sweep is
+            # all-or-nothing: it never 429s mid-expansion.
             self.scheduler.admit(tenant, spec.cost)
 
         job = Job(id=self._new_id(), kind=spec.kind, key=spec.key,
@@ -254,7 +262,11 @@ class SimulationService:
 
     def _submit_sweep(self, spec: JobSpec, tenant: str,
                       timeout: float) -> Job:
-        # Whole-sweep admission: the expansion must fit the queue.
+        # Whole-sweep admission: the expansion is atomic.  Every cell
+        # that will occupy a queue slot is admitted here as one batch
+        # (dedupe hits are free, duplicate keys within the sweep share
+        # one slot); children then skip per-cell admit, so a sweep
+        # either 429s before any state is journaled or expands fully.
         new_cells = []
         for workload, label, config in spec.cells:
             cell_body = {"kind": "run", "workload": workload,
@@ -262,15 +274,18 @@ class SimulationService:
                          "max_instructions":
                              spec.payload["max_instructions"]}
             new_cells.append((label, normalize(cell_body)))
-        pending_cost = sum(cell.cost for _label, cell in new_cells
-                           if not (cell.cacheable
-                                   and self.cache.get(cell.key))
-                           and cell.key not in self._inflight)
+        pending: Dict[str, float] = {}
+        for _label, cell in new_cells:
+            if (cell.cacheable and self.cache.get(cell.key)) \
+                    or cell.key in self._inflight:
+                continue
+            pending[cell.key] = cell.cost
         if len(new_cells) > self.scheduler.max_depth:
             raise AdmissionError(
                 f"sweep expands to {len(new_cells)} cells; queue bound is "
                 f"{self.scheduler.max_depth}", "rejected_queue_depth")
-        self.scheduler.admit(tenant, pending_cost)
+        self.scheduler.admit(tenant, sum(pending.values()),
+                             count=len(pending))
 
         parent = Job(id=self._new_id(), kind="sweep", key=spec.key,
                      tenant=tenant, payload=dict(spec.payload),
@@ -281,7 +296,8 @@ class SimulationService:
         self.journal.submitted(parent)
         for label, cell in new_cells:
             child = self._submit_one(cell, tenant, timeout,
-                                     parent=parent.id, config_label=label)
+                                     parent=parent.id, config_label=label,
+                                     pre_admitted=True)
             parent.children.append(child.id)
         parent.add_event("expanded", cells=len(parent.children))
         self._maybe_finish_sweep(parent)

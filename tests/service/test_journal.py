@@ -45,6 +45,20 @@ class TestReplay:
         folded = JobJournal.replay(path)
         assert folded["j-000001"]["state"] == "running"
 
+    def test_artifact_is_in_the_submission_record(self, tmp_path):
+        """A traced job's artifact is journaled at submission, not only
+        at the terminal transition — a job pending at a crash must not
+        resume with its artifact forgotten."""
+        path = tmp_path / "journal.jsonl"
+        journal = JobJournal(path)
+        journal.submitted(_job("j-000001", artifact="j-000001.jsonl"))
+        folded = JobJournal.replay(path)
+        assert folded["j-000001"]["artifact"] == "j-000001.jsonl"
+        journal.compact()
+        journal.close()
+        compacted = JobJournal.replay(path)
+        assert compacted["j-000001"]["artifact"] == "j-000001.jsonl"
+
     def test_error_and_artifact_fold_in(self, tmp_path):
         path = tmp_path / "journal.jsonl"
         journal = JobJournal(path)

@@ -108,6 +108,24 @@ class TestResume:
         finally:
             svc2.close()
 
+    def test_traced_job_keeps_its_artifact_across_restart(self, tmp_path):
+        """A trace request pending at the crash still writes its trace
+        after resume: the artifact name rides the submission record."""
+        svc1 = SimulationService(_config(tmp_path))
+        job = svc1.submit(dict(CELL, trace="jsonl"))
+        assert job.artifact
+        svc1.journal.close()           # crash before it ever ran
+
+        svc2 = SimulationService(_config(tmp_path))
+        try:
+            assert svc2.jobs[job.id].artifact == job.artifact
+            _drive(svc2)
+            assert svc2.status(job.id)["state"] == "done"
+            trace = svc2.artifacts_dir / job.artifact
+            assert trace.exists() and trace.stat().st_size > 0
+        finally:
+            svc2.close()
+
     def test_running_job_is_reexecuted(self, tmp_path):
         svc1 = SimulationService(_config(tmp_path, jobs=1))
         job = svc1.submit(dict(CELL, max_instructions=100_000, scale=20))

@@ -47,6 +47,20 @@ class TestFairness:
         # Bob's cheap jobs finish (virtually) before Alice's huge one.
         assert order[-1] == "big" or order[0] != "big"
 
+    def test_vtime_advances_to_the_start_tag(self):
+        """Dispatch advances virtual time to the popped job's *start*
+        tag, not its finish tag — a newly active tenant must not be
+        tagged a full job-cost (1e5..1e7 here) behind the queue."""
+        queue = FairScheduler()
+        queue.push("big", "alice", 1_000_000.0)
+        assert queue.pop() == "big"
+        assert queue._vtime == 0.0
+        # Bob arrives now: his first job competes at "now", well ahead
+        # of Alice's next enormous finish tag.
+        queue.push("a1", "alice", 1_000_000.0)
+        queue.push("b0", "bob", 100.0)
+        assert queue.pop() == "b0"
+
     def test_idle_tenant_does_not_bank_credit(self):
         queue = FairScheduler()
         for index in range(8):
@@ -78,6 +92,22 @@ class TestAdmission:
             queue.admit("alice", 1.0)
         assert exc.value.reason == "rejected_tenant_depth"
         queue.admit("bob", 1.0)        # other tenants unaffected
+
+    def test_batch_admission_is_all_or_nothing(self):
+        queue = FairScheduler(max_depth=4)
+        queue.push("j0", "alice", 1.0)
+        with pytest.raises(AdmissionError) as exc:
+            queue.admit("alice", 4.0, count=4)     # 1 + 4 > 4
+        assert exc.value.reason == "rejected_queue_depth"
+        queue.admit("alice", 3.0, count=3)         # 1 + 3 == 4 fits
+
+    def test_batch_admission_respects_tenant_bound(self):
+        queue = FairScheduler(max_depth=100, max_tenant_depth=2)
+        queue.push("j0", "alice", 1.0)
+        with pytest.raises(AdmissionError) as exc:
+            queue.admit("alice", 2.0, count=2)
+        assert exc.value.reason == "rejected_tenant_depth"
+        queue.admit("bob", 2.0, count=2)
 
     def test_cost_bound(self):
         queue = FairScheduler(max_cost=1000.0)

@@ -9,7 +9,7 @@ from repro import api
 from repro.harness import configs
 from repro.harness.cache import GCPolicy
 from repro.service import (Backpressure, InProcessClient, ServiceConfig,
-                           SimulationService)
+                           ServiceError, SimulationService)
 
 CELL = {"workload": "twolf", "max_instructions": 2000,
         "config": {"iq": "ideal", "size": 32}}
@@ -161,6 +161,65 @@ class TestAdmission:
             client.submit(dict(CELL, max_instructions=2003), tenant="bob")
         finally:
             svc.close()
+
+    def test_sweep_admission_is_atomic(self, tmp_path):
+        """A sweep that cannot fully fit the tenant bound is rejected
+        whole: no parent, no children, nothing journaled or queued."""
+        svc = SimulationService(ServiceConfig(
+            store_dir=tmp_path / "svc", jobs=1, max_depth=50,
+            max_tenant_depth=2, journal_fsync=False))
+        client = InProcessClient(svc)
+        try:
+            with pytest.raises(Backpressure) as exc:
+                client.submit({
+                    "kind": "sweep", "workloads": ["twolf"],
+                    "configs": [
+                        {"label": "a", "iq": "ideal", "size": 32},
+                        {"label": "b", "iq": "ideal", "size": 64},
+                        {"label": "c", "iq": "ideal", "size": 128}],
+                    "max_instructions": 30000})
+            assert exc.value.status == 429
+            assert not svc.jobs
+            assert len(svc.scheduler) == 0
+            assert svc.journal.path.read_text() == ""
+            # A sweep that fits the bound still expands fully.
+            sweep = client.submit({
+                "kind": "sweep", "workloads": ["twolf"],
+                "configs": [{"label": "a", "iq": "ideal", "size": 32},
+                            {"label": "b", "iq": "ideal", "size": 64}],
+                "max_instructions": 30000})
+            assert len(sweep["children"]) == 2
+        finally:
+            svc.close()
+
+    def test_sweep_rejected_on_partially_full_queue(self, tmp_path):
+        """Queue-depth backpressure also fires before expansion: a
+        sweep whose cells would overflow the remaining queue space is
+        bounced without journaling the parent or any child."""
+        svc = SimulationService(ServiceConfig(
+            store_dir=tmp_path / "svc", jobs=1, max_depth=3,
+            journal_fsync=False))
+        client = InProcessClient(svc)
+        try:
+            occupant = client.submit(dict(CELL, max_instructions=2001))
+            with pytest.raises(Backpressure):
+                client.submit({
+                    "kind": "sweep", "workloads": ["twolf"],
+                    "configs": [
+                        {"label": "a", "iq": "ideal", "size": 32},
+                        {"label": "b", "iq": "ideal", "size": 64},
+                        {"label": "c", "iq": "ideal", "size": 128}],
+                    "max_instructions": 30000})
+            assert set(svc.jobs) == {occupant["id"]}
+            assert len(svc.scheduler) == 1
+        finally:
+            svc.close()
+
+    def test_malformed_timeout_is_a_400(self, service, client):
+        with pytest.raises(ServiceError) as exc:
+            client.submit(dict(CELL, timeout="fast"))
+        assert exc.value.status == 400
+        assert "timeout" in str(exc.value)
 
 
 class TestCancellation:
