@@ -23,10 +23,9 @@ from pathlib import Path
 
 import pytest
 
+from repro.fabric import ExecutionConfig, Executor, RunSpec, raise_on_errors
 from repro.harness import configs
 from repro.harness.cache import ResultCache
-from repro.harness.parallel import (ParallelExecutor, RunSpec,
-                                    raise_on_errors)
 from repro.workloads import WORKLOADS
 
 OUT_DIR = Path(__file__).parent / "out"
@@ -47,11 +46,12 @@ BUDGET_FACTOR = 0.4 if FAST else 1.0
 class RunCache:
     """Memoizes (workload, config-key) -> RunResult for the session.
 
-    Backed by the shared executor stack: cold cells run through a
-    :class:`ParallelExecutor` (``REPRO_BENCH_JOBS`` workers) and land in
-    the on-disk :class:`ResultCache`, so Table 2 and Figure 2 — which
-    share configurations — pay for each simulation once per source
-    version, not once per session.
+    Backed by the shared executor stack: cold cells run through the
+    fabric's :class:`Executor` (``REPRO_BENCH_JOBS`` workers on the
+    ``local-process`` backend) and land in the on-disk
+    :class:`ResultCache`, so Table 2 and Figure 2 — which share
+    configurations — pay for each simulation once per source version,
+    not once per session.
     """
 
     def __init__(self) -> None:
@@ -60,7 +60,7 @@ class RunCache:
         disk = ResultCache(
             enabled=os.environ.get("REPRO_BENCH_CACHE", "1") not in
             ("0", "no"))
-        self._executor = ParallelExecutor(jobs, cache=disk)
+        self._executor = Executor(ExecutionConfig(jobs=jobs, cache=disk))
 
     def get(self, workload: str, config_key: str, params_factory):
         key = (workload, config_key)

@@ -20,12 +20,14 @@ Commands:
   stream their progress, cancel them, download results and trace
   artifacts
 
-Every simulation command accepts the same common flags — ``--jobs N``
-(process-pool fan-out where the command has independent cells),
-``--no-cache`` (skip the on-disk result/checkpoint cache), ``--progress
-SECONDS`` (heartbeat on stderr), and ``--json PATH`` (machine-readable
-artifact alongside the rendered report) — via shared argparse parent
-parsers, and routes simulations through :func:`repro.api.run`.
+Every simulation command accepts the same common flags — ``--backend
+SPEC`` (execution backend: ``local-process``, ``local-shm``,
+``ssh:hosta,hostb``; see docs/fabric.md), ``--jobs N`` (worker fan-out
+where the command has independent cells), ``--no-cache`` (skip the
+on-disk result/checkpoint cache), ``--progress SECONDS`` (heartbeat on
+stderr), and ``--json PATH`` (machine-readable artifact alongside the
+rendered report) — via shared argparse parent parsers, and routes
+simulations through :func:`repro.api.run`.
 """
 
 from __future__ import annotations
@@ -49,8 +51,12 @@ def _common_parent() -> argparse.ArgumentParser:
     """Flags every simulation command accepts uniformly."""
     parent = argparse.ArgumentParser(add_help=False)
     group = parent.add_argument_group("common options")
+    group.add_argument("--backend", default="local-process", metavar="SPEC",
+                       help="execution backend for independent cells: "
+                            "local-process (default), local-shm, or "
+                            "ssh:host1,host2 (see docs/fabric.md)")
     group.add_argument("--jobs", type=int, default=None, metavar="N",
-                       help="process-pool workers for independent cells "
+                       help="concurrent workers for independent cells "
                             "(default: serial; bench defaults to all cores)")
     group.add_argument("--no-cache", action="store_true",
                        help="skip the on-disk result/checkpoint cache")
@@ -131,6 +137,14 @@ def _jobs(args, default: int = 1) -> int:
     return default if args.jobs is None else args.jobs
 
 
+def _execution(args, default_jobs: int = 1, journal=None):
+    """An :class:`ExecutionConfig` from the shared CLI flags."""
+    from repro.fabric import ExecutionConfig
+    return ExecutionConfig(backend=getattr(args, "backend", "local-process"),
+                           jobs=_jobs(args, default_jobs),
+                           cache=_make_cache(args), journal=journal)
+
+
 def _write_json(path: str, data) -> None:
     with open(path, "w") as handle:
         json.dump(data, handle, indent=2, sort_keys=True, default=str)
@@ -160,10 +174,11 @@ def cmd_run(args) -> int:
     params = _params_from_args(args)
     if args.check_invariants:
         params = params.replace(check_invariants=True)
+    from repro.fabric import ExecutionConfig
     result = api.run(params, args.workload,
                      config_label=args.iq,
                      max_instructions=args.instructions,
-                     cache=_make_cache(args),
+                     execution=ExecutionConfig(cache=_make_cache(args)),
                      progress=_heartbeat if args.progress else None,
                      progress_interval=args.progress or 5.0)
     print(result)
@@ -249,8 +264,7 @@ def cmd_sample(args) -> int:
 
 
 def cmd_sweep(args) -> int:
-    from repro.harness.parallel import (ParallelExecutor, RunSpec,
-                                        raise_on_errors)
+    from repro.fabric import Executor, RunSpec, raise_on_errors
 
     sizes = [int(s) for s in args.sizes.split(",")]
     factories = [
@@ -263,7 +277,7 @@ def cmd_sweep(args) -> int:
                      config_label=f"{label}@{size}",
                      max_instructions=args.instructions)
              for label, factory in factories for size in sizes]
-    executor = ParallelExecutor(_jobs(args), cache=_make_cache(args))
+    executor = Executor(_execution(args, journal=args.journal or None))
     cells = executor.run_specs(specs)
     raise_on_errors(cells, "sweep")
     series = {label: {} for label, _ in factories}
@@ -358,7 +372,7 @@ def cmd_reproduce(args) -> int:
     workloads = (args.workloads.split(",") if args.workloads else None)
     report, data = experiment.run(
         workloads=workloads, budget_factor=args.budget,
-        jobs=_jobs(args), cache=_make_cache(args),
+        execution=_execution(args),
         progress=lambda label: print(f"  running {label}...",
                                      file=sys.stderr))
     print(report)
@@ -415,7 +429,7 @@ def cmd_surrogate(args) -> int:
         budget = 8_000 if args.quick else 20_000
     report = validation_report(
         workloads, default_grid(), max_instructions=budget,
-        jobs=_jobs(args), cache=_make_cache(args),
+        execution=_execution(args),
         progress=(lambda line: print(f"  {line}...", file=sys.stderr))
         if args.progress else None)
     print(render_report(report))
@@ -441,6 +455,7 @@ def cmd_bench(args) -> int:
         workloads=args.workloads.split(",") if args.workloads else None,
         max_instructions=args.instructions,
         out_dir=args.out, compare=args.compare or None,
+        backend=args.backend,
         progress=lambda line: print(f"  {line}...", file=sys.stderr))
     print(render_summary(data))
     print(f"\nartifact written to {path}", file=sys.stderr)
@@ -462,6 +477,7 @@ def cmd_serve(args) -> int:
             weights[tenant.strip()] = float(weight or 1.0)
     config = ServiceConfig(
         store_dir=args.store, jobs=_jobs(args, default=2),
+        backend=args.backend,
         max_depth=args.max_depth, max_tenant_depth=args.max_tenant_depth,
         default_timeout=args.timeout, weights=weights,
         journal_fsync=not args.no_fsync,
@@ -620,6 +636,11 @@ def main(argv=None) -> int:
     sweep_parser.add_argument("workload", choices=sorted(WORKLOADS))
     sweep_parser.add_argument("--sizes", default="32,64,128,256,512")
     sweep_parser.add_argument("--instructions", type=int, default=None)
+    sweep_parser.add_argument("--journal", default="", metavar="PATH",
+                              help="record cell states in a JSONL journal "
+                                   "so a killed sweep resumes without "
+                                   "re-running finished cells (needs the "
+                                   "cache; see docs/fabric.md)")
 
     disasm_parser = sub.add_parser("disasm", help="print kernel assembly")
     disasm_parser.add_argument("workload", choices=sorted(WORKLOADS))

@@ -29,6 +29,7 @@ from typing import Optional, Union
 
 from repro.common.errors import ConfigurationError
 from repro.common.params import ProcessorParams
+from repro.fabric.base import UNSET, merge_legacy_kwargs
 from repro.harness.runner import RunResult, resolve_workload
 from repro.isa.executor import execute
 from repro.pipeline.processor import Processor
@@ -52,8 +53,9 @@ def run(params: ProcessorParams, workload, *,
         trace=None,
         metrics=None,
         sampling=None,
-        jobs: Optional[int] = None,
-        cache=None,
+        execution=None,
+        jobs=UNSET,
+        cache=UNSET,
         progress=None,
         progress_interval: float = 5.0) -> RunResult:
     """Simulate ``workload`` under ``params`` and return a RunResult.
@@ -80,11 +82,16 @@ def run(params: ProcessorParams, workload, *,
     sampling:
         A :class:`~repro.sampling.SamplingConfig` switches to sampled
         simulation (mutually exclusive with ``trace``/``metrics``).
-    jobs:
-        Worker count for the sampling path's window fan-out; a plain
-        run is a single cell and ignores it.
-    cache:
-        A :class:`~repro.harness.cache.ResultCache` consulted for plain
+    execution:
+        An optional :class:`~repro.fabric.ExecutionConfig` carrying the
+        worker count (for the sampling path's window fan-out) and the
+        result cache — the same object :meth:`Sweep.run` and
+        :meth:`Experiment.run` accept.
+    jobs / cache:
+        Deprecated spelling of ``execution=`` (one release of grace).
+        ``jobs`` is the sampling fan-out worker count (a plain run is a
+        single cell and ignores it); ``cache`` is a
+        :class:`~repro.harness.cache.ResultCache` consulted for plain
         runs (no trace, no metrics) and populated on miss.  On the
         sampling path, a ``CheckpointStore`` is forwarded to the
         sampler; other cache objects are ignored there.
@@ -93,6 +100,10 @@ def run(params: ProcessorParams, workload, *,
         :class:`~repro.pipeline.processor.ProgressTick` records roughly
         every ``progress_interval`` wall-clock seconds.
     """
+    execution = merge_legacy_kwargs(execution, where="repro.api.run",
+                                    jobs=jobs, cache=cache)
+    jobs = execution.jobs
+    cache = execution.cache
     if sampling is not None:
         if trace is not None or metrics is not None:
             raise ConfigurationError(

@@ -1,0 +1,125 @@
+"""Sweep journal: an append-only record of per-cell execution state.
+
+A journaled sweep is a fold over JSONL events, one per state change::
+
+    {"key": "<run_key>", "state": "pending",  "label": "dot/paper-32"}
+    {"key": "<run_key>", "state": "running"}
+    {"key": "<run_key>", "state": "done"}
+
+States: ``pending`` (admitted), ``running`` (submitted to a backend),
+``cached`` (satisfied from the ResultCache without executing),
+``done`` (executed and stored), ``failed`` (executed, raised).
+
+Cells are keyed by their cache ``run_key`` — the same identity the
+:class:`~repro.harness.cache.ResultCache` uses — so a journal is only
+meaningful alongside a cache: a *resumed* sweep treats journaled
+``done``/``cached`` cells as "done-in-cache" and re-executes none of
+them (the result comes from the cache; if the entry was evicted the
+cell simply runs again).  ``failed`` and ``running`` cells re-run —
+``running`` means the previous process died mid-cell.
+
+Same discipline as the service's job journal (PR 8): every append is
+fsync'd before the state is acted on, replay tolerates a torn final
+line (a crash mid-append), and compaction rewrites atomically via
+``os.replace``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional
+
+#: Terminal-success states: the cell's result is in the cache.
+DONE_STATES = ("done", "cached")
+
+_STATES = ("pending", "running", "cached", "done", "failed")
+
+
+class SweepJournal:
+    """Append-only per-cell state journal for resumable sweeps."""
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path)
+        #: Latest state per key, as replayed at open + appended since.
+        self.states: Dict[str, str] = {}
+        #: Label per key (from the first "pending" record), for reports.
+        self.labels: Dict[str, str] = {}
+        #: A crash mid-append leaves a torn line with no newline; the
+        #: next append must start a fresh line or it glues onto it.
+        self._heal_tail = False
+        if self.path.exists():
+            self._replay()
+
+    # ------------------------------------------------------------ replay --
+    def _replay(self) -> None:
+        try:
+            raw = self.path.read_text()
+        except OSError:
+            return
+        self._heal_tail = bool(raw) and not raw.endswith("\n")
+        for line in raw.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+                key, state = record["key"], record["state"]
+            except (ValueError, KeyError, TypeError):
+                continue                 # torn tail or foreign line
+            if state not in _STATES:
+                continue
+            self.states[key] = state
+            label = record.get("label")
+            if label:
+                self.labels.setdefault(key, label)
+
+    # ------------------------------------------------------------ append --
+    def record(self, key: str, state: str,
+               label: Optional[str] = None) -> None:
+        """Append one state change (fsync'd before returning)."""
+        if state not in _STATES:
+            raise ValueError(f"unknown journal state {state!r}")
+        entry: Dict[str, str] = {"key": key, "state": state}
+        if label:
+            entry["label"] = label
+            self.labels.setdefault(key, label)
+        self.states[key] = state
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with open(self.path, "a") as handle:
+            if self._heal_tail:
+                handle.write("\n")
+                self._heal_tail = False
+            handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    # ----------------------------------------------------------- queries --
+    def done(self, key: str) -> bool:
+        """True when the journal says this cell's result is in the cache."""
+        return self.states.get(key) in DONE_STATES
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for state in self.states.values():
+            out[state] = out.get(state, 0) + 1
+        return out
+
+    # ----------------------------------------------------------- compact --
+    def compact(self) -> None:
+        """Rewrite as one line per key (latest state), atomically."""
+        tmp = self.path.with_suffix(self.path.suffix + ".tmp")
+        with open(tmp, "w") as handle:
+            for key, state in self.states.items():
+                entry = {"key": key, "state": state}
+                label = self.labels.get(key)
+                if label:
+                    entry["label"] = label
+                handle.write(json.dumps(entry, sort_keys=True) + "\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+
+    def __repr__(self) -> str:
+        return f"SweepJournal({self.path}, {self.counts()})"

@@ -1,0 +1,333 @@
+"""The ``local-shm`` backend: fork-server workers + shared-memory results.
+
+The pool backend pays per-cell serialization twice — the spec pickled
+in, the whole ``RunResult`` (a stats dict of a few hundred entries)
+pickled back out through a feeder-thread/queue stack.  This backend
+keeps a set of long-lived *forked* workers, each with an anonymous
+``mmap`` shared with the parent, and ships results as **compact stat
+snapshots**: the worker packs ``ipc/cycles/instructions`` plus the stat
+values as a raw float64 array straight into shared memory, and sends
+only a tiny control tuple over the pipe.  Stat *keys* are interned: a
+key table is transmitted once per distinct key set (a sweep has one per
+IQ kind, not one per cell), then referenced by id.
+
+Bit-identity: the worker runs the same ``_execute_spec`` as every other
+backend; integer-valued stats are flagged in a mask and restored to
+``int`` on the parent side, so the reconstructed ``RunResult`` equals
+the serial one field-for-field.  Cells a snapshot cannot carry
+(``metrics`` time series, oversized stat sets) fall back to pickling
+that one result over the pipe.
+
+Requires the ``fork`` start method (the mmap is inherited, never
+pickled); constructing the backend elsewhere raises
+:class:`~repro.common.errors.ConfigurationError`.
+"""
+
+from __future__ import annotations
+
+import mmap
+import multiprocessing
+import struct
+import traceback
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.errors import ConfigurationError
+from repro.fabric.base import ExecutionBackend, register_backend
+from repro.fabric.cells import (CellError, RunSpec, _execute_spec,
+                                default_jobs)
+from repro.fabric.local import submit_detached
+from repro.harness.runner import RunResult
+
+#: Snapshot header: ipc (f64), cycles, instructions, value count.
+_HEADER = struct.Struct("<dqqq")
+
+#: Default per-worker shared buffer; a stats dict would need ~32k
+#: entries to overflow it, at which point the pipe fallback kicks in.
+DEFAULT_BUFFER_BYTES = 256 * 1024
+
+
+def _snapshot_pack(buf: mmap.mmap, result: RunResult,
+                   keys: Tuple[str, ...]) -> Optional[bytes]:
+    """Pack ``result`` into ``buf``; returns the int-mask, or None when
+    the snapshot does not fit (caller falls back to the pipe)."""
+    values = [result.stats[key] for key in keys]
+    need = _HEADER.size + 8 * len(values)
+    if need > len(buf):
+        return None
+    mask = bytearray((len(values) + 7) // 8)
+    floats: List[float] = []
+    for index, value in enumerate(values):
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            return None                  # exotic stat value: pipe fallback
+        if isinstance(value, int):
+            if abs(value) > 2 ** 53:     # not exactly representable
+                return None
+            mask[index // 8] |= 1 << (index % 8)
+        floats.append(float(value))
+    _HEADER.pack_into(buf, 0, result.ipc, result.cycles,
+                      result.instructions, len(floats))
+    if floats:
+        struct.pack_into(f"<{len(floats)}d", buf, _HEADER.size, *floats)
+    return bytes(mask)
+
+
+def _snapshot_unpack(buf: mmap.mmap, keys: Tuple[str, ...], mask: bytes,
+                     workload: str, config: str) -> RunResult:
+    ipc, cycles, instructions, count = _HEADER.unpack_from(buf, 0)
+    values = (struct.unpack_from(f"<{count}d", buf, _HEADER.size)
+              if count else ())
+    stats = {}
+    for index, (key, value) in enumerate(zip(keys, values)):
+        if mask[index // 8] & (1 << (index % 8)):
+            value = int(value)
+        stats[key] = value
+    return RunResult(workload=workload, config=config, ipc=ipc,
+                     cycles=cycles, instructions=instructions, stats=stats)
+
+
+def _shm_worker_main(conn, buf: mmap.mmap) -> None:
+    """Forked worker loop: run cells, snapshot results into ``buf``."""
+    tables: Dict[Tuple[str, ...], int] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message[0] == "exit":
+            break
+        _op, task_id, spec = message
+        try:
+            result = _execute_spec(spec)
+        except Exception as exc:        # noqa: BLE001 — surfaced per-cell
+            conn.send(("error", task_id, CellError(
+                label=spec.label, error=f"{type(exc).__name__}: {exc}",
+                details=traceback.format_exc())))
+            continue
+        if result.metrics is not None:
+            conn.send(("blob", task_id, result))
+            continue
+        keys = tuple(sorted(result.stats))
+        mask = _snapshot_pack(buf, result, keys)
+        if mask is None:
+            conn.send(("blob", task_id, result))
+            continue
+        table_id = tables.get(keys)
+        if table_id is None:
+            table_id = len(tables)
+            tables[keys] = table_id
+            conn.send(("table", table_id, keys))
+        conn.send(("done", task_id, result.workload, result.config,
+                   table_id, mask))
+    try:
+        conn.close()
+    except OSError:
+        pass
+
+
+class _ShmWorker:
+    """One forked worker: pipe for control, mmap for result payloads."""
+
+    def __init__(self, context, buffer_bytes: int) -> None:
+        self.buf = mmap.mmap(-1, buffer_bytes)
+        self.conn, child = context.Pipe()
+        self.process = context.Process(target=_shm_worker_main,
+                                       args=(child, self.buf), daemon=True)
+        self.process.start()
+        child.close()
+        self.tables: Dict[int, Tuple[str, ...]] = {}
+        self.handle: Optional["ShmHandle"] = None   # in-flight cell
+        self.dead = False
+
+    def kill(self) -> None:
+        self.dead = True
+        try:
+            self.process.terminate()
+            self.process.join(timeout=2.0)
+            if self.process.is_alive():
+                self.process.kill()
+                self.process.join(timeout=2.0)
+        finally:
+            try:
+                self.conn.close()
+            except OSError:
+                pass
+            try:
+                self.buf.close()
+            except (BufferError, ValueError):
+                pass
+
+    def shutdown(self) -> None:
+        if self.dead:
+            return
+        try:
+            self.conn.send(("exit",))
+        except (OSError, ValueError):
+            pass
+        self.process.join(timeout=2.0)
+        self.kill()
+
+
+class ShmHandle:
+    """Handle for one cell in flight on a fork-server worker."""
+
+    def __init__(self, worker: _ShmWorker, task_id: int,
+                 label: str) -> None:
+        self.label = label
+        self.cancelled = False
+        self._worker = worker
+        self._task_id = task_id
+        self._result = None
+        self._finished = False
+
+    def _drain(self) -> None:
+        if self._finished:
+            return
+        worker = self._worker
+        try:
+            while worker.conn.poll():
+                message = worker.conn.recv()
+                kind = message[0]
+                if kind == "table":
+                    worker.tables[message[1]] = message[2]
+                elif kind == "done":
+                    _, _tid, workload, config, table_id, mask = message
+                    self._settle(_snapshot_unpack(
+                        worker.buf, worker.tables[table_id], mask,
+                        workload, config))
+                    return
+                elif kind in ("blob", "error"):
+                    self._settle(message[2])
+                    return
+        except (EOFError, OSError):
+            if not worker.process.is_alive():
+                worker.dead = True
+                self._settle(CellError(
+                    label=self.label,
+                    error="cancelled" if self.cancelled
+                    else "worker process died without reporting a result"))
+
+    def _settle(self, value) -> None:
+        self._result = value
+        self._finished = True
+        if self._worker.handle is self:
+            self._worker.handle = None
+
+    def poll(self) -> bool:
+        self._drain()
+        if self._finished:
+            return True
+        if not self._worker.process.is_alive():
+            self._drain()                # catch a result racing the exit
+            if not self._finished:
+                self._worker.dead = True
+                self._settle(CellError(
+                    label=self.label,
+                    error="cancelled" if self.cancelled
+                    else "worker process died without reporting a result"))
+        return self._finished
+
+    def ticks(self) -> List[dict]:
+        return []
+
+    def result(self, timeout: Optional[float] = None):
+        import time
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not self.poll():
+            if deadline is not None and time.monotonic() > deadline:
+                raise TimeoutError(f"{self.label}: still running")
+            # Block on the control pipe rather than sleep-polling: a
+            # worker death closes the pipe, so this wakes for both.
+            wait = 0.05 if deadline is None else max(
+                0.0, min(0.05, deadline - time.monotonic()))
+            try:
+                self._worker.conn.poll(wait)
+            except (EOFError, OSError):
+                pass
+        return self._result
+
+    def cancel(self) -> bool:
+        if self._finished:
+            return False
+        self.cancelled = True
+        self._worker.kill()
+        self._settle(CellError(label=self.label, error="cancelled"))
+        return True
+
+    def close(self) -> None:
+        if not self._finished:
+            self.cancel()
+
+
+class LocalShmBackend(ExecutionBackend):
+    """Fork-server + shared-memory backend for low-overhead grids."""
+
+    name = "local-shm"
+
+    def __init__(self, *, jobs: Optional[int] = None,
+                 buffer_bytes: int = DEFAULT_BUFFER_BYTES) -> None:
+        if "fork" not in multiprocessing.get_all_start_methods():
+            raise ConfigurationError(
+                "the local-shm backend needs the 'fork' start method "
+                "(anonymous shared mmaps are inherited, not pickled); "
+                "use local-process on this platform")
+        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
+        self.buffer_bytes = buffer_bytes
+        self._context = multiprocessing.get_context("fork")
+        self._workers: List[_ShmWorker] = []
+        self._next_task = 0
+        self.fell_back_to_serial = False
+
+    # --------------------------------------------------------- protocol --
+    def capacity(self) -> int:
+        return self.jobs
+
+    def submit(self, spec: RunSpec):
+        worker = self._idle_worker()
+        self._next_task += 1
+        handle = ShmHandle(worker, self._next_task, spec.label)
+        worker.handle = handle
+        try:
+            worker.conn.send(("run", self._next_task, spec))
+        except (OSError, ValueError):
+            worker.dead = True
+            handle._settle(CellError(
+                label=spec.label,
+                error="worker process died without reporting a result"))
+        return handle
+
+    def submit_task(self, func: Callable, item, *, label: str = "task"):
+        # Generic tasks keep the dedicated-process contract (hard-kill
+        # cancel); the snapshot path is for RunSpec cells only.
+        return submit_detached(func, item, label=label)
+
+    def tick(self) -> None:
+        self._reap_dead()
+
+    def merge_cache(self, cache) -> int:
+        return 0                         # workers share the local cache
+
+    def close(self) -> None:
+        for worker in self._workers:
+            worker.shutdown()
+        self._workers = []
+
+    # --------------------------------------------------------- internals --
+    def _reap_dead(self) -> None:
+        self._workers = [worker for worker in self._workers
+                         if not worker.dead]
+
+    def _idle_worker(self) -> _ShmWorker:
+        self._reap_dead()
+        for worker in self._workers:
+            if worker.handle is None:
+                return worker
+        if len(self._workers) >= self.jobs:
+            raise RuntimeError(
+                f"local-shm backend over capacity ({self.jobs} workers, "
+                f"all busy); respect capacity() when submitting")
+        worker = _ShmWorker(self._context, self.buffer_bytes)
+        self._workers.append(worker)
+        return worker
+
+
+register_backend("local-shm", LocalShmBackend)

@@ -1,10 +1,11 @@
 """Experiment harness: configurations, the runner, and report rendering."""
 
+from repro.fabric import CellError, RunSpec
 from repro.harness import configs
 from repro.harness.cache import ResultCache
 from repro.harness.energy import (EnergyModel, energy_per_instruction,
                                   format_breakdown)
-from repro.harness.parallel import CellError, ParallelExecutor, RunSpec
+from repro.harness.parallel import ParallelExecutor  # deprecated shim
 from repro.harness.experiments import EXPERIMENTS, Experiment
 from repro.harness.trace import (render_pipeline_trace, segment_heatmap,
                                  stage_latency_summary)

@@ -45,8 +45,13 @@ from repro.harness.cache import ResultCache
 from repro.harness.energy import EnergyModel, energy_per_instruction
 from repro.harness.sweep import Sweep
 
-#: Schema 6 adds a per-row ``kernels`` field (the segmented-IQ kernel
-#: backend active for the run: ``"py"`` or ``"compiled"``; see
+#: Schema 7 records the execution backend the sweep section ran on
+#: (``sweep.backend``; see docs/fabric.md) and adds the ``fabric``
+#: section — the same tiny-budget grid executed on each local backend so
+#: per-cell dispatch overhead is tracked PR over PR.  ``--compare``
+#: against pre-schema-7 artifacts degrades via ``missing_sections`` as
+#: before.  Schema 6 adds a per-row ``kernels`` field (the segmented-IQ
+#: kernel backend active for the run: ``"py"`` or ``"compiled"``; see
 #: docs/performance.md) and ``--compare`` warns on backend-mismatched
 #: rows instead of silently diffing them.  Schema 5 annotates every
 #: serial row key with its IQ model kind
@@ -55,7 +60,7 @@ from repro.harness.sweep import Sweep
 #: unambiguous, and embeds the analytical-surrogate validation section
 #: (predicted vs simulated IPC; docs/models.md).  Schema 4 added
 #: per-row ``skip_ratio``/``skip_windows`` (docs/performance.md).
-SCHEMA_VERSION = 6
+SCHEMA_VERSION = 7
 
 #: Serial-throughput configurations: the paper's headline design points.
 SERIAL_CONFIGS: List[Tuple[str, object]] = [
@@ -149,8 +154,7 @@ def measure_serial(workloads: Sequence[str], serial_configs,
                 # say nothing about simulator speed.
                 start = time.process_time()
                 result = api.run(params, workload, config_label=label,
-                                 max_instructions=max_instructions,
-                                 cache=False)
+                                 max_instructions=max_instructions)
                 elapsed = time.process_time() - start
                 if seconds is None or elapsed < seconds:
                     seconds = elapsed
@@ -186,8 +190,10 @@ def _build_sweep(workloads, sweep_configs, max_instructions) -> Sweep:
 
 
 def measure_sweep(workloads, sweep_configs, max_instructions: int,
-                  jobs: int, progress=None) -> Dict[str, object]:
+                  jobs: int, backend: str = "local-process",
+                  progress=None) -> Dict[str, object]:
     """Wall-clock the grid cold-serial, cold-parallel, and cache-warm."""
+    from repro.fabric import ExecutionConfig
     cells = len(workloads) * len(sweep_configs)
 
     if progress is not None:
@@ -199,17 +205,18 @@ def measure_sweep(workloads, sweep_configs, max_instructions: int,
     with tempfile.TemporaryDirectory(prefix="repro-bench-cache-") as tmp:
         cache = ResultCache(tmp)
         if progress is not None:
-            progress(f"sweep: {cells} cells jobs={jobs} (cold)")
+            progress(f"sweep: {cells} cells jobs={jobs} ({backend}, cold)")
         start = time.perf_counter()
         _build_sweep(workloads, sweep_configs, max_instructions).run(
-            jobs=jobs, cache=cache)
+            execution=ExecutionConfig(backend=backend, jobs=jobs,
+                                      cache=cache))
         parallel_seconds = time.perf_counter() - start
 
         if progress is not None:
             progress(f"sweep: {cells} cells cached re-run")
         start = time.perf_counter()
         _build_sweep(workloads, sweep_configs, max_instructions).run(
-            jobs=1, cache=cache)
+            execution=ExecutionConfig(jobs=1, cache=cache))
         cached_seconds = time.perf_counter() - start
         cache_hits = cache.hits
 
@@ -221,6 +228,7 @@ def measure_sweep(workloads, sweep_configs, max_instructions: int,
         "cells": cells,
         "max_instructions": max_instructions,
         "jobs": jobs,
+        "backend": backend,
         "serial_seconds": round(serial_seconds, 3),
         "parallel_seconds": round(parallel_seconds, 3),
         "parallel_speedup": round(serial_seconds / parallel_seconds, 3)
@@ -230,6 +238,90 @@ def measure_sweep(workloads, sweep_configs, max_instructions: int,
             cached_seconds / serial_seconds, 4) if serial_seconds else 0.0,
         "cache_hits": cache_hits,
     }
+
+
+#: Grid for the fabric-overhead comparison: 4 workloads x 4 configs =
+#: 16 cells, run with a tiny instruction budget so per-cell dispatch
+#: overhead (pool/pickle vs fork-server/shared-memory) is a visible
+#: fraction of the cell time.
+FABRIC_CELL_BUDGET = 200
+
+#: Timed passes over the fabric grid (after one untimed warm pass).
+FABRIC_REPEATS = 3
+
+
+def measure_fabric(jobs: int, progress=None) -> Dict[str, object]:
+    """Per-cell dispatch/transport overhead of each local backend.
+
+    The same 16-cell grid, submitted one cell at a time to *warmed*
+    workers — a full untimed pass first, then :data:`FABRIC_REPEATS`
+    timed passes, per-cell medians across passes.  Serial submission
+    pins the compute identical on every backend and removes scheduler
+    jitter; warm workers exclude one-time pool startup; the per-cell
+    median discards transient outliers.  What remains per cell is
+    the backend's dispatch and result transport (``local-process``
+    pickles the whole ``RunResult`` back, ``local-shm`` ships a
+    shared-memory stat snapshot) — the overhead ``local-shm`` exists
+    to lower.  A backend unavailable on the host (``local-shm`` needs
+    fork) is recorded as skipped rather than failing the bench.
+    """
+    import statistics
+
+    from repro.common.errors import ConfigurationError
+    from repro.fabric import RunSpec, create_backend, raise_on_errors
+    fabric_configs = SWEEP_CONFIGS[:4]
+    specs = [RunSpec(workload, factory(), config_label=label,
+                     max_instructions=FABRIC_CELL_BUDGET)
+             for workload in SWEEP_WORKLOADS
+             for label, factory in fabric_configs]
+    out: Dict[str, object] = {
+        "workloads": list(SWEEP_WORKLOADS),
+        "configs": [label for label, _ in fabric_configs],
+        "cells": len(specs),
+        "max_instructions": FABRIC_CELL_BUDGET,
+        "repeats": FABRIC_REPEATS,
+        "backends": {},
+    }
+    baseline = None
+    for backend in ("local-process", "local-shm"):
+        if progress is not None:
+            progress(f"fabric: {len(specs)} cells on {backend} "
+                     f"(x{FABRIC_REPEATS} after warm-up)")
+        try:
+            # jobs=2 keeps local-process on its real pool (jobs=1 is
+            # the in-process shortcut); submission stays serial.
+            back = create_backend(backend, jobs=2)
+        except ConfigurationError as exc:
+            out["backends"][backend] = {"skipped": str(exc)}
+            continue
+        try:
+            cell_seconds = [[] for _ in specs]
+            for rep in range(FABRIC_REPEATS + 1):
+                results = []
+                for index, spec in enumerate(specs):
+                    start = time.perf_counter()
+                    handle = back.submit(spec)
+                    results.append(handle.result(timeout=300))
+                    handle.close()
+                    if rep:              # pass 0 warms the workers
+                        cell_seconds[index].append(
+                            time.perf_counter() - start)
+                raise_on_errors(results, f"fabric bench ({backend})")
+        finally:
+            back.close()
+        wall = sum(statistics.median(times) for times in cell_seconds)
+        row = {
+            "wall_seconds": round(wall, 3),
+            "seconds_per_cell": round(wall / len(specs), 4),
+        }
+        if baseline is None:
+            baseline = wall
+        elif wall:
+            row["speedup_vs_local_process"] = round(baseline / wall, 3)
+            row["per_cell_overhead_delta"] = round(
+                (baseline - wall) / len(specs), 4)
+        out["backends"][backend] = row
+    return out
 
 
 def measure_sampling(workload: str = "twolf", *,
@@ -429,6 +521,7 @@ def run_bench(*, jobs: Optional[int] = None, quick: bool = False,
               max_instructions: Optional[int] = None,
               out_dir: str = ".",
               compare: Optional[str] = None,
+              backend: str = "local-process",
               progress=None) -> Tuple[Path, dict]:
     """Run the full benchmark and write ``BENCH_<date>.json``.
 
@@ -436,7 +529,7 @@ def run_bench(*, jobs: Optional[int] = None, quick: bool = False,
     instruction budgets for CI smoke runs; ``workloads`` /
     ``max_instructions`` override the defaults for targeted runs.
     """
-    from repro.harness.parallel import default_jobs
+    from repro.fabric import default_jobs
     jobs = default_jobs() if jobs is None else max(1, jobs)
     serial_configs = QUICK_SERIAL if quick else SERIAL_CONFIGS
     sweep_configs = QUICK_SWEEP_CONFIGS if quick else SWEEP_CONFIGS
@@ -449,7 +542,8 @@ def run_bench(*, jobs: Optional[int] = None, quick: bool = False,
     serial = measure_serial(serial_workloads, serial_configs, budget,
                             progress=progress)
     sweep = measure_sweep(sweep_workloads, sweep_configs, budget, jobs,
-                          progress=progress)
+                          backend=backend, progress=progress)
+    fabric = measure_fabric(jobs, progress=progress)
     sampling = measure_sampling(quick=quick, progress=progress)
     metrics = measure_metrics(serial_workloads[0], budget,
                               progress=progress)
@@ -476,6 +570,7 @@ def run_bench(*, jobs: Optional[int] = None, quick: bool = False,
                 [row["kinsts_per_sec"] for row in serial.values()]), 2),
         },
         "sweep": sweep,
+        "fabric": fabric,
         "sampling": sampling,
         "metrics": metrics,
         "surrogate": surrogate,
@@ -508,13 +603,27 @@ def render_summary(data: dict) -> str:
         lines.append(f"  skip-ahead: {100 * sum(ratios) / len(ratios):.1f}% "
                      f"of cycles fast-forwarded (mean over serial cells)")
     lines += [
-        f"  sweep {sweep['cells']} cells: "
+        f"  sweep {sweep['cells']} cells "
+        f"[{sweep.get('backend', 'local-process')}]: "
         f"serial {sweep['serial_seconds']}s, "
         f"jobs={sweep['jobs']} {sweep['parallel_seconds']}s "
         f"({sweep['parallel_speedup']}x), "
         f"cached {sweep['cached_seconds']}s "
         f"({100 * sweep['cached_fraction_of_cold']:.1f}% of cold)",
     ]
+    fabric = data.get("fabric")
+    if fabric:
+        parts = []
+        for name, row in fabric["backends"].items():
+            if "skipped" in row:
+                parts.append(f"{name} skipped")
+            else:
+                extra = (f", {row['speedup_vs_local_process']}x"
+                         if "speedup_vs_local_process" in row else "")
+                parts.append(f"{name} {row['seconds_per_cell']}s/cell"
+                             f"{extra}")
+        lines.append(f"  fabric {fabric['cells']} tiny cells "
+                     f"(serial submits, warm workers): " + ", ".join(parts))
     sampling = data.get("sampling")
     if sampling:
         lines.append(

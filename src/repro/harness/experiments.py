@@ -42,6 +42,7 @@ class ExperimentRunner:
     def __init__(self, workloads: Sequence[str],
                  budget_factor: float = 1.0,
                  progress: Optional[Callable[[str], None]] = None, *,
+                 execution=None,
                  jobs: int = 1, cache=None,
                  sampling=None, sampling_scale: int = 1,
                  metrics=None, surrogate: bool = False) -> None:
@@ -51,8 +52,16 @@ class ExperimentRunner:
         self.workloads = list(workloads)
         self.budget_factor = budget_factor
         self.progress = progress
-        self.jobs = jobs
-        self.cache = cache
+        if execution is None:
+            from repro.fabric import ExecutionConfig
+            execution = ExecutionConfig(jobs=jobs, cache=cache)
+        #: The fabric placement for this experiment's cells (backend,
+        #: worker count, cache); ``jobs``/``cache`` mirror it for
+        #: callers that still read the old attributes.
+        self.execution = execution
+        self.jobs = execution.resolve_jobs(jobs)
+        self.cache = execution.cache if execution.cache is not None \
+            else cache
         #: Optional SamplingConfig: estimate every cell by interval
         #: sampling (at ``sampling_scale``x the workload size) instead of
         #: simulating it in full detail.
@@ -95,19 +104,22 @@ class ExperimentRunner:
                              ipc=0.0, cycles=0, instructions=0)
         if self.progress is not None:
             self.progress(f"{workload}/{config_key}")
-        from repro.harness.parallel import (ParallelExecutor, RunSpec,
-                                            raise_on_errors)
+        from repro.fabric import (ExecutionConfig, Executor, RunSpec,
+                                  raise_on_errors)
+        executor = Executor(ExecutionConfig(backend=self.execution.backend,
+                                            jobs=1, cache=self.cache,
+                                            options=self.execution.options))
         if self.sampling is not None:
             from repro.sampling.sampler import run_sampled_cell
             spec = self._sampled_spec(workload, config_key, params_factory())
-            cells = ParallelExecutor(1).map(
+            cells = executor.map(
                 run_sampled_cell, [spec], labels=[f"{workload}/{config_key}"])
         else:
             spec = RunSpec(workload, params_factory(),
                            config_label=config_key,
                            max_instructions=self._budget(workload),
                            metrics=self.metrics)
-            cells = ParallelExecutor(1, cache=self.cache).run_specs([spec])
+            cells = executor.run_specs([spec])
         raise_on_errors(cells, "experiment")
         self._cache[key] = cells[0]
         return cells[0]
@@ -135,8 +147,11 @@ class ExperimentRunner:
             if (workload, config_key) not in seen:
                 seen.add((workload, config_key))
                 unique.append((workload, config_key, factory))
-        from repro.harness.parallel import (ParallelExecutor, RunSpec,
-                                            raise_on_errors)
+        import dataclasses as _dataclasses
+
+        from repro.fabric import Executor, RunSpec, raise_on_errors
+        executor = Executor(_dataclasses.replace(
+            self.execution, jobs=self.jobs, cache=self.cache))
         if self.progress is not None:
             for workload, config_key, _ in unique:
                 self.progress(f"{workload}/{config_key}")
@@ -144,7 +159,7 @@ class ExperimentRunner:
             from repro.sampling.sampler import run_sampled_cell
             sampled = [self._sampled_spec(workload, config_key, factory())
                        for workload, config_key, factory in unique]
-            cells = ParallelExecutor(self.jobs).map(
+            cells = executor.map(
                 run_sampled_cell, sampled,
                 labels=[f"{s.workload}/{s.config_label}" for s in sampled])
         elif self.surrogate:
@@ -153,8 +168,8 @@ class ExperimentRunner:
                     for workload, config_key, factory in unique]
             budgets = {workload: self._budget(workload)
                        for workload, _key, _factory in unique}
-            outcome = prune_and_run(grid, budgets=budgets, jobs=self.jobs,
-                                    cache=self.cache,
+            outcome = prune_and_run(grid, budgets=budgets,
+                                    execution=executor.execution,
                                     progress=self.progress)
             for workload, config_key, _factory in unique:
                 self._cache[(workload, config_key)] = \
@@ -165,8 +180,7 @@ class ExperimentRunner:
                              max_instructions=self._budget(workload),
                              metrics=self.metrics)
                      for workload, config_key, factory in unique]
-            cells = ParallelExecutor(self.jobs,
-                                     cache=self.cache).run_specs(specs)
+            cells = executor.run_specs(specs)
         raise_on_errors(cells, "experiment")
         for (workload, config_key, _), cell in zip(unique, cells):
             self._cache[(workload, config_key)] = cell
@@ -197,12 +211,16 @@ class Experiment:
     def run(self, workloads: Optional[Sequence[str]] = None,
             budget_factor: float = 1.0,
             progress: Optional[Callable[[str], None]] = None, *,
-            jobs: int = 1, cache=None,
+            execution=None, jobs=None, cache=None,
             sampling=None, sampling_scale: int = 1,
             metrics=None, surrogate: bool = False) -> Tuple[str, dict]:
         """Returns (rendered report, raw data dict).
 
-        ``jobs`` > 1 runs the experiment's grid on a process pool;
+        ``execution`` is an optional
+        :class:`~repro.fabric.ExecutionConfig` choosing the execution
+        backend, worker count, and result cache for the experiment's
+        grid.  ``jobs=``/``cache=`` are the deprecated spelling (one
+        release of grace): ``jobs`` > 1 fans the grid out in parallel,
         ``cache`` reuses results across invocations (see
         :mod:`repro.harness.cache`).  ``sampling`` estimates every cell
         by interval sampling instead of full-detail simulation (see
@@ -213,13 +231,18 @@ class Experiment:
         (:mod:`repro.harness.surrogate`): non-competitive cells carry
         predicted results marked ``stats["surrogate.predicted"]``.
         """
+        from repro.fabric.base import UNSET, merge_legacy_kwargs
+        execution = merge_legacy_kwargs(
+            execution, where="Experiment.run",
+            jobs=UNSET if jobs is None else jobs,
+            cache=UNSET if cache is None else cache)
         runner = ExperimentRunner(workloads or sorted(WORKLOADS),
                                   budget_factor, progress,
-                                  jobs=jobs, cache=cache,
+                                  execution=execution,
                                   sampling=sampling,
                                   sampling_scale=sampling_scale,
                                   metrics=metrics, surrogate=surrogate)
-        if jobs > 1 or sampling is not None or surrogate:
+        if runner.jobs > 1 or sampling is not None or surrogate:
             runner.prefetch(self.build)
         return self.build(runner)
 

@@ -1,440 +1,63 @@
-"""Process-pool execution of independent simulation cells.
+"""Deprecated shim over :mod:`repro.fabric` (the execution layer's old home).
 
-Every figure in the reproduction is a grid of *independent* simulations
-(workload x configuration), so the run stack fans grids out over a
-process pool.  Design constraints, in order:
+Everything that lived here — ``RunSpec``, ``CellError``, ``CellHandle``,
+the pool machinery — moved to :mod:`repro.fabric` when execution became
+a pluggable backend choice.  The names re-export unchanged, and
+:class:`ParallelExecutor` keeps its old constructor signature as a thin
+wrapper over the ``local-process`` backend, warning once per
+construction.  New code should use::
 
-* **Determinism** — results come back in spec order regardless of worker
-  completion order, and a worker computes exactly what the serial path
-  would (workers share no state; every cell rebuilds its program from the
-  workload registry).
-* **Spawn safety** — the worker entry points are module-level functions
-  with picklable payloads, so the pool works under the ``spawn`` start
-  method (macOS/Windows default) as well as ``fork``.
-* **Graceful degradation** — ``jobs=1``, a payload that fails to pickle,
-  or a pool that cannot start all fall back to in-process serial
-  execution; a worker that raises (or dies) surfaces as a per-cell
-  :class:`CellError`, never a hung sweep.
+    from repro.fabric import Executor, ExecutionConfig
+    Executor(ExecutionConfig(backend="local-process", jobs=4, cache=cache))
 
-The executor also threads every cell through an optional
-:class:`~repro.harness.cache.ResultCache`, so only cold cells reach the
-pool and repeated sweeps cost one disk read per cell.
-
-Besides the batch :meth:`ParallelExecutor.map`/:meth:`~ParallelExecutor.
-run_specs` interface, the executor offers *async-friendly* submission:
-:meth:`ParallelExecutor.submit` starts one task in its own worker process
-and returns a :class:`CellHandle` that an event loop (the job service) can
-poll without blocking, stream progress ticks from, and **cancel** — a
-handle owns its process, so cancellation is a hard terminate rather than
-a cooperative flag, which is what per-job timeouts and user aborts need.
+This module is scheduled for removal one release after the fabric
+landed; see ``docs/fabric.md`` for the migration table.
 """
 
 from __future__ import annotations
 
-import multiprocessing
-import os
-import pickle
-import traceback
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+import warnings
+from typing import Callable, Optional
 
-from repro.common.params import ProcessorParams
-from repro.harness.cache import ResultCache
-from repro.harness.runner import RunResult
+# Re-exported for compatibility: the entire old public surface.
+from repro.fabric.base import ExecutionConfig
+from repro.fabric.cells import (CellError, CellResult, RunSpec,  # noqa: F401
+                                _execute_spec, _guarded_call,
+                                _handle_worker, _run_spec_task,
+                                default_jobs, raise_on_errors, relabel)
+from repro.fabric.executor import Executor
+from repro.fabric.handles import CellHandle, CompletedHandle  # noqa: F401
 
-
-@dataclass(frozen=True)
-class RunSpec:
-    """One simulation cell: everything a worker needs to reproduce it."""
-
-    workload: str
-    params: ProcessorParams
-    config_label: str = ""
-    seed: int = 0                     # reserved for seeded workloads
-    max_instructions: Optional[int] = None
-    scale: int = 1
-    max_cycles: int = 5_000_000
-    warm_code: bool = True
-    #: Optional :class:`repro.obs.MetricsConfig` (or interval int); a
-    #: metered cell always simulates — the cache is never consulted,
-    #: because the time series is part of the result.
-    metrics: Optional[object] = None
-    #: Trace-artifact destination for the async :meth:`ParallelExecutor.
-    #: submit_spec` path (``.jsonl`` streams JSONL, else Chrome JSON).
-    #: Like ``metrics``, a traced cell always simulates.
-    trace_path: Optional[str] = None
-    #: Heartbeat cadence (seconds) on the submit_spec path.
-    progress_interval: float = 0.5
-
-    def cache_kwargs(self) -> dict:
-        return {"max_instructions": self.max_instructions,
-                "scale": self.scale, "max_cycles": self.max_cycles,
-                "warm_code": self.warm_code}
+__all__ = [
+    "CellError", "CellHandle", "CellResult", "ParallelExecutor",
+    "RunSpec", "default_jobs", "raise_on_errors", "relabel",
+]
 
 
-@dataclass
-class CellError:
-    """A cell whose worker raised; carries enough context to report it."""
+class ParallelExecutor(Executor):
+    """The old executor front door, now a ``local-process`` fabric shim.
 
-    label: str
-    error: str
-    details: str = field(default="", repr=False)
-
-    def __str__(self) -> str:
-        return f"{self.label}: {self.error}"
-
-
-CellResult = Union[RunResult, CellError]
-
-
-def default_jobs() -> int:
-    """Worker count when the caller does not specify one."""
-    env = os.environ.get("REPRO_JOBS", "")
-    if env:
-        return max(1, int(env))
-    return os.cpu_count() or 1
-
-
-# ------------------------------------------------------- worker functions --
-def _execute_spec(spec: RunSpec) -> RunResult:
-    # Imported lazily: this runs inside spawn-started workers, where the
-    # cheapest import footprint wins.
-    from repro import api
-    return api.run(spec.params, spec.workload,
-                   config_label=spec.config_label,
-                   scale=spec.scale,
-                   max_instructions=spec.max_instructions,
-                   max_cycles=spec.max_cycles,
-                   warm_code=spec.warm_code,
-                   metrics=spec.metrics)
-
-
-def _guarded_call(payload: Tuple[Callable, object, str]):
-    """Run one task, converting any exception into a CellError record."""
-    func, item, label = payload
-    try:
-        return func(item)
-    except Exception as exc:            # noqa: BLE001 — surfaced per-cell
-        return CellError(label=label,
-                         error=f"{type(exc).__name__}: {exc}",
-                         details=traceback.format_exc())
-
-
-def _handle_worker(conn, func: Callable, item, label: str) -> None:
-    """Entry point of a :class:`CellHandle` worker process.
-
-    ``func(item, emit)`` runs with ``emit(dict)`` streaming progress
-    payloads back over the pipe; the final message is ``("done", value)``
-    or ``("error", CellError)``.
-    """
-    def emit(payload: dict) -> None:
-        try:
-            conn.send(("tick", payload))
-        except (OSError, ValueError):
-            pass                         # parent gone; keep computing
-
-    try:
-        conn.send(("done", func(item, emit)))
-    except Exception as exc:            # noqa: BLE001 — surfaced per-cell
-        try:
-            conn.send(("error", CellError(
-                label=label, error=f"{type(exc).__name__}: {exc}",
-                details=traceback.format_exc())))
-        except (OSError, ValueError):
-            pass
-    finally:
-        conn.close()
-
-
-def _run_spec_task(spec: RunSpec, emit: Callable[[dict], None]):
-    """Execute one RunSpec with heartbeat forwarding (submit_spec path).
-
-    ``spec.trace_path``, when set, lands the run's event stream in that
-    file (JSONL for ``.jsonl`` paths, Chrome trace JSON otherwise) — the
-    artifact side-channel the job service serves back to clients.
-    """
-    from repro import api
-
-    def tick(t) -> None:
-        emit({"cycle": t.cycle, "committed": t.committed,
-              "elapsed_seconds": round(t.elapsed_seconds, 3),
-              "kcycles_per_sec": round(t.kcycles_per_sec, 3)})
-
-    return api.run(spec.params, spec.workload,
-                   config_label=spec.config_label,
-                   scale=spec.scale,
-                   max_instructions=spec.max_instructions,
-                   max_cycles=spec.max_cycles,
-                   warm_code=spec.warm_code,
-                   metrics=spec.metrics,
-                   trace=spec.trace_path or None,
-                   progress=tick,
-                   progress_interval=spec.progress_interval)
-
-
-class CellHandle:
-    """One asynchronously submitted task: poll, stream ticks, cancel.
-
-    The task runs in a dedicated worker process whose lifetime the
-    handle owns.  ``poll()`` is non-blocking and drains the progress
-    pipe; ``cancel()`` terminates the worker outright (the result
-    becomes a ``CellError`` marked cancelled).  Designed to be driven
-    from an event loop — nothing here blocks beyond a bounded ``join``.
-    """
-
-    def __init__(self, label: str, process, conn) -> None:
-        self.label = label
-        self._process = process
-        self._conn = conn
-        self._result = None
-        self._finished = False
-        self.cancelled = False
-        #: Drained-but-unconsumed progress payloads (see :meth:`ticks`).
-        self._ticks: List[dict] = []
-
-    # ---------------------------------------------------------- polling --
-    def _drain(self) -> None:
-        if self._finished:
-            return
-        try:
-            while self._conn.poll():
-                kind, payload = self._conn.recv()
-                if kind == "tick":
-                    self._ticks.append(payload)
-                else:                    # "done" | "error"
-                    self._result = payload
-                    self._finish()
-                    return
-        except (EOFError, OSError):
-            # Pipe closed without a result: the worker died (or was
-            # cancelled); classify below.
-            if self._result is None and not self._process.is_alive():
-                self._result = CellError(
-                    label=self.label,
-                    error="cancelled" if self.cancelled
-                    else "worker process died without reporting a result")
-                self._finish()
-
-    def _finish(self) -> None:
-        self._finished = True
-        try:
-            self._conn.close()
-        except OSError:
-            pass
-        self._process.join(timeout=5.0)
-
-    def poll(self) -> bool:
-        """Non-blocking: True once a result (or failure) is available."""
-        self._drain()
-        if self._finished:
-            return True
-        if not self._process.is_alive():
-            # Worker exited; one last drain catches a result racing the
-            # exit, otherwise record the death.
-            try:
-                if self._conn.poll():
-                    self._drain()
-            except (EOFError, OSError):
-                pass
-            if not self._finished:
-                self._result = CellError(
-                    label=self.label,
-                    error="cancelled" if self.cancelled
-                    else "worker process died without reporting a result")
-                self._finish()
-        return self._finished
-
-    def ticks(self) -> List[dict]:
-        """Progress payloads accumulated since the last call (drained)."""
-        self._drain()
-        out, self._ticks = self._ticks, []
-        return out
-
-    def result(self, timeout: Optional[float] = None):
-        """Block (up to ``timeout``) for the result; raises on timeout."""
-        if not self._finished:
-            self._process.join(timeout)
-            if not self.poll():
-                raise TimeoutError(f"{self.label}: still running")
-        return self._result
-
-    # ------------------------------------------------------ cancellation --
-    def cancel(self) -> bool:
-        """Terminate the worker; True if this call performed the kill."""
-        if self._finished:
-            return False
-        self.cancelled = True
-        self._process.terminate()
-        self._process.join(timeout=2.0)
-        if self._process.is_alive():     # stuck in uninterruptible state
-            self._process.kill()
-            self._process.join(timeout=2.0)
-        self._result = CellError(label=self.label, error="cancelled")
-        self._finish()
-        return True
-
-    def close(self) -> None:
-        if not self._finished:
-            self.cancel()
-
-
-class ParallelExecutor:
-    """Fans independent tasks out over a process pool.
-
-    ``jobs`` is the worker count (``None`` = ``REPRO_JOBS`` or the CPU
-    count; ``1`` = serial, in-process).  ``cache`` is an optional
-    :class:`ResultCache` consulted before and populated after every
-    :meth:`run_specs` cell.  ``start_method`` picks the multiprocessing
-    start method (``None`` = platform default).
+    Same constructor, same ``map``/``run_specs``/``submit``/
+    ``submit_spec`` behaviour (they are the fabric driver's methods),
+    same degradation ladder.  Deprecated: construct
+    :class:`repro.fabric.Executor` with an
+    :class:`~repro.fabric.ExecutionConfig` instead.
     """
 
     def __init__(self, jobs: Optional[int] = None, *,
-                 cache: Optional[ResultCache] = None,
+                 cache=None,
                  start_method: Optional[str] = None,
                  progress: Optional[Callable[[int, int], None]] = None
                  ) -> None:
-        self.jobs = default_jobs() if jobs is None else max(1, int(jobs))
-        self.cache = cache
-        self.start_method = start_method
-        #: Optional ``progress(done, total)`` heartbeat, invoked as each
-        #: cell's result lands (serial and pooled paths alike).
-        self.progress = progress
-        #: True when the last map degraded to serial (pickling/pool
-        #: failure); exposed so tests and the bench can report it.
-        self.fell_back_to_serial = False
-
-    # ------------------------------------------------------------- map --
-    def map(self, func: Callable, items: Sequence,
-            labels: Optional[Sequence[str]] = None) -> List:
-        """Apply ``func`` to every item, preserving input order.
-
-        ``func`` must be a module-level (picklable) callable.  Each output
-        is either the task's return value or a :class:`CellError`.
-        """
-        self.fell_back_to_serial = False
-        if labels is None:
-            labels = [f"task[{index}]" for index in range(len(items))]
-        payloads = [(func, item, label)
-                    for item, label in zip(items, labels)]
-
-        def serial() -> List:
-            results = []
-            for payload in payloads:
-                results.append(_guarded_call(payload))
-                if self.progress is not None:
-                    self.progress(len(results), len(payloads))
-            return results
-
-        if self.jobs <= 1 or len(payloads) <= 1:
-            return serial()
-        try:
-            pickle.dumps(payloads)
-        except Exception:
-            self.fell_back_to_serial = True
-            return serial()
-        workers = min(self.jobs, len(payloads))
-        context = (multiprocessing.get_context(self.start_method)
-                   if self.start_method else None)
-        results: List = [None] * len(payloads)
-        try:
-            with ProcessPoolExecutor(max_workers=workers,
-                                     mp_context=context) as pool:
-                futures = [pool.submit(_guarded_call, payload)
-                           for payload in payloads]
-                for index, future in enumerate(futures):
-                    try:
-                        results[index] = future.result()
-                    except BrokenProcessPool:
-                        results[index] = CellError(
-                            label=labels[index],
-                            error="worker process died "
-                                  "(BrokenProcessPool)")
-                    except Exception as exc:   # noqa: BLE001
-                        results[index] = CellError(
-                            label=labels[index],
-                            error=f"{type(exc).__name__}: {exc}")
-                    if self.progress is not None:
-                        self.progress(index + 1, len(payloads))
-        except (OSError, BrokenProcessPool):
-            # Pool could not start at all (fd limits, sandboxing):
-            # degrade to serial rather than fail the sweep.
-            self.fell_back_to_serial = True
-            return serial()
-        return results
-
-    # ----------------------------------------------------- async submit --
-    def submit(self, func: Callable, item, *,
-               label: str = "task") -> CellHandle:
-        """Start ``func(item, emit)`` in its own worker process.
-
-        Returns a :class:`CellHandle` immediately; the caller polls or
-        cancels it.  ``func`` must be module-level (picklable) and takes
-        an ``emit(dict)`` second argument for progress streaming.  Unlike
-        :meth:`map`, each submission owns a dedicated process — that
-        costs a fork per task but makes cancellation a hard kill, the
-        contract the job service's timeouts and aborts need.  ``jobs``
-        is *not* enforced here; the scheduling layer bounds concurrency.
-        """
-        context = multiprocessing.get_context(self.start_method)
-        parent, child = context.Pipe(duplex=False)
-        process = context.Process(target=_handle_worker,
-                                  args=(child, func, item, label),
-                                  daemon=True)
-        process.start()
-        child.close()
-        return CellHandle(label, process, parent)
-
-    def submit_spec(self, spec: RunSpec) -> CellHandle:
-        """Async-submit one simulation cell (no cache consult here —
-        :meth:`run_specs` stays the cache-aware batch path; async callers
-        dedupe against the cache themselves before paying for a fork)."""
-        label = f"{spec.workload}/{spec.config_label or spec.params.iq.kind}"
-        return self.submit(_run_spec_task, spec, label=label)
-
-    # ------------------------------------------------------------ specs --
-    def run_specs(self, specs: Sequence[RunSpec]) -> List[CellResult]:
-        """Run simulation cells, cache-aware, in deterministic order."""
-        results: List[Optional[CellResult]] = [None] * len(specs)
-        cold: List[Tuple[int, RunSpec, Optional[str]]] = []
-        for index, spec in enumerate(specs):
-            key = None
-            if self.cache is not None and spec.metrics is None:
-                key = self.cache.key_for(spec.workload, spec.params,
-                                         **spec.cache_kwargs())
-                hit = self.cache.get(key)
-                if hit is not None:
-                    # Same simulation under a different display label still
-                    # hits; restore the label the caller asked for.
-                    if hit.config != spec.config_label and spec.config_label:
-                        hit = RunResult(
-                            workload=hit.workload, config=spec.config_label,
-                            ipc=hit.ipc, cycles=hit.cycles,
-                            instructions=hit.instructions, stats=hit.stats)
-                    results[index] = hit
-                    continue
-            cold.append((index, spec, key))
-        if cold:
-            outputs = self.map(_execute_spec,
-                               [spec for _, spec, _ in cold],
-                               labels=[f"{spec.workload}/{spec.config_label}"
-                                       for _, spec, _ in cold])
-            for (index, _spec, key), output in zip(cold, outputs):
-                results[index] = output
-                if (self.cache is not None and key is not None
-                        and isinstance(output, RunResult)):
-                    self.cache.put(key, output)
-        return results     # type: ignore[return-value]
-
-
-def raise_on_errors(results: Sequence[CellResult], what: str) -> None:
-    """Raise a RuntimeError summarizing any failed cells."""
-    errors = [r for r in results if isinstance(r, CellError)]
-    if not errors:
-        return
-    summary = "; ".join(str(e) for e in errors[:3])
-    if len(errors) > 3:
-        summary += f"; ... ({len(errors) - 3} more)"
-    raise RuntimeError(f"{len(errors)} of {len(results)} {what} cells "
-                       f"failed: {summary}")
+        warnings.warn(
+            "repro.harness.parallel.ParallelExecutor is deprecated; use "
+            "repro.fabric.Executor with an ExecutionConfig "
+            "(see docs/fabric.md)",
+            DeprecationWarning, stacklevel=2)
+        options = {}
+        if start_method is not None:
+            options["start_method"] = start_method
+        super().__init__(ExecutionConfig(backend="local-process",
+                                         jobs=jobs, cache=cache,
+                                         progress=progress,
+                                         options=options))

@@ -436,23 +436,62 @@ def surrogate_result(workload: str, label: str,
 
 
 def _run_cells(cells: Sequence[Cell], budget: Callable[[str], Optional[int]],
-               *, jobs: int, cache, progress) -> List[RunResult]:
-    from repro.harness.parallel import (ParallelExecutor, RunSpec,
-                                        raise_on_errors)
+               *, execution, progress) -> List[RunResult]:
+    from repro.fabric import Executor, RunSpec, raise_on_errors
     specs = [RunSpec(workload, params, config_label=label,
                      max_instructions=budget(workload))
              for workload, label, params in cells]
     if progress is not None:
         for spec in specs:
             progress(f"{spec.workload}/{spec.config_label}")
-    results = ParallelExecutor(jobs, cache=cache).run_specs(specs)
+    results = Executor(execution).run_specs(specs)
     raise_on_errors(results, "surrogate pruning")
     return results
+
+
+def pareto_band_split(cells: Sequence[Cell],
+                      results: Dict[Tuple[str, str], RunResult],
+                      predictions: Dict[Tuple[str, str],
+                                        SurrogatePrediction]
+                      ) -> Tuple[List[Cell],
+                                 Dict[Tuple[str, str],
+                                      SurrogatePrediction]]:
+    """The phase-2 planning rule, standalone: which predicted cells stay
+    competitive with the per-workload Pareto front?
+
+    Each workload's bar is the most pessimistic-best IPC among its known
+    results and predicted lows; a predicted cell survives when its
+    optimistic band reaches that bar (too-uncertain cells survive by
+    construction).  Returns ``(keep, pruned)`` — cells to simulate, and
+    the predictions standing in for the rest.  The job service uses this
+    directly to decide which sweep children to submit.
+    """
+    by_cell = {(workload, label): params
+               for workload, label, params in cells}
+    per_workload: Dict[str, List[Tuple[str, str]]] = {}
+    for workload, label, _params in cells:
+        per_workload.setdefault(workload, []).append((workload, label))
+    keep: List[Cell] = []
+    pruned: Dict[Tuple[str, str], SurrogatePrediction] = {}
+    for workload, workload_cells in per_workload.items():
+        best_low = max(
+            (results[cell].ipc if cell in results
+             else predictions[cell].low)
+            for cell in workload_cells)
+        for cell in workload_cells:
+            if cell in results:
+                continue
+            if predictions[cell].high >= best_low:
+                keep.append((cell[0], cell[1], by_cell[cell]))
+            else:
+                pruned[cell] = predictions[cell]
+    return keep, pruned
 
 
 def prune_and_run(cells: Sequence[Cell], *,
                   max_instructions: Optional[int] = None,
                   budgets: Optional[Dict[str, int]] = None,
+                  execution=None,
                   jobs: int = 1, cache=None,
                   progress: Optional[Callable[[str], None]] = None,
                   surrogate: Optional[Surrogate] = None) -> PruneOutcome:
@@ -471,6 +510,10 @@ def prune_and_run(cells: Sequence[Cell], *,
     anything too uncertain to rule out).  Phase 3 simulates the kept
     cells; pruned cells are filled with :func:`surrogate_result`.
     """
+    if execution is None:
+        from repro.fabric import ExecutionConfig
+        execution = ExecutionConfig(jobs=jobs, cache=cache)
+    cache = execution.cache
     if surrogate is None:
         surrogate = Surrogate(max_instructions=max_instructions)
 
@@ -524,8 +567,8 @@ def prune_and_run(cells: Sequence[Cell], *,
             anchor_for[key] = (workload, label)
     anchors = sorted(set(anchor_for.values()))
     anchor_cells = [(w, l, by_cell[(w, l)]) for w, l in anchors]
-    anchor_results = _run_cells(anchor_cells, budget, jobs=jobs,
-                                cache=cache, progress=progress)
+    anchor_results = _run_cells(anchor_cells, budget, execution=execution,
+                                progress=progress)
     for (workload, label, params), result in zip(anchor_cells,
                                                  anchor_results):
         results[(workload, label)] = result
@@ -534,30 +577,15 @@ def prune_and_run(cells: Sequence[Cell], *,
 
     # Phase 2: predict the rest; keep near-Pareto / uncertain cells.
     predictions: Dict[Tuple[str, str], SurrogatePrediction] = {}
-    per_workload: Dict[str, List[Tuple[str, str]]] = {}
     for workload, label, params in cells:
         cell = (workload, label)
-        per_workload.setdefault(workload, []).append(cell)
         if cell not in results:
             predictions[cell] = surrogate.predict(workload, params)
-    keep: List[Cell] = []
-    pruned: Dict[Tuple[str, str], SurrogatePrediction] = {}
-    for workload, workload_cells in per_workload.items():
-        best_low = max(
-            (results[cell].ipc if cell in results
-             else predictions[cell].low)
-            for cell in workload_cells)
-        for cell in workload_cells:
-            if cell in results:
-                continue
-            if predictions[cell].high >= best_low:
-                keep.append((cell[0], cell[1], by_cell[cell]))
-            else:
-                pruned[cell] = predictions[cell]
+    keep, pruned = pareto_band_split(cells, results, predictions)
 
     # Phase 3: simulate the keepers, fill the pruned cells analytically.
     for (workload, label, _), result in zip(
-            keep, _run_cells(keep, budget, jobs=jobs, cache=cache,
+            keep, _run_cells(keep, budget, execution=execution,
                              progress=progress)):
         results[(workload, label)] = result
     for (workload, label), prediction in pruned.items():
@@ -588,6 +616,7 @@ def default_grid() -> List[Tuple[str, ProcessorParams]]:
 def validation_report(workloads: Sequence[str],
                       grid_configs: Sequence[Tuple[str, ProcessorParams]], *,
                       max_instructions: Optional[int] = None,
+                      execution=None,
                       jobs: int = 1, cache=None,
                       progress: Optional[Callable[[str], None]] = None
                       ) -> dict:
@@ -602,8 +631,11 @@ def validation_report(workloads: Sequence[str],
     cells: List[Cell] = [(workload, label, params)
                          for workload in workloads
                          for label, params in grid_configs]
+    if execution is None:
+        from repro.fabric import ExecutionConfig
+        execution = ExecutionConfig(jobs=jobs, cache=cache)
     simulated = _run_cells(cells, lambda _w: max_instructions,
-                           jobs=jobs, cache=cache, progress=progress)
+                           execution=execution, progress=progress)
     surrogate = Surrogate(max_instructions=max_instructions)
     anchor_for: Dict[Tuple[str, str], Tuple[str, str, float]] = {}
     for (workload, label, params), result in zip(cells, simulated):

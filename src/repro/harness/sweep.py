@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.common.params import ProcessorParams
+from repro.fabric.base import UNSET, merge_legacy_kwargs
 from repro.harness.reporting import format_table
 from repro.harness.runner import RunResult
 from repro.workloads import WORKLOADS
@@ -131,14 +132,22 @@ class Sweep:
         self._configs.append((label, params))
         return self
 
-    def run(self, metric: str = "ipc", *, jobs: int = 1,
-            cache=None, sampling=None, sampling_scale: int = 1,
+    def run(self, metric: str = "ipc", *, execution=None,
+            jobs=UNSET, cache=UNSET, sampling=None, sampling_scale: int = 1,
             metrics=None, surrogate: bool = False) -> SweepGrid:
         """Run every (workload, config) cell and collect the grid.
 
-        ``jobs`` > 1 fans the cells out over a process pool (cells are
-        independent; results are deterministic and ordered either way).
-        ``cache`` is an optional
+        ``execution`` is an optional
+        :class:`~repro.fabric.ExecutionConfig` selecting the execution
+        backend (``local-process``, ``local-shm``, ``ssh:host,...``),
+        worker count, result cache, and (optionally) a resumable sweep
+        journal.  The default runs serially on ``local-process``.
+
+        ``jobs=``/``cache=`` are the deprecated spelling of the same
+        thing (one release of grace, mirroring the ``run_workload``
+        path): ``jobs`` > 1 fans the cells out over the backend (cells
+        are independent; results are deterministic and ordered either
+        way), ``cache`` is an optional
         :class:`~repro.harness.cache.ResultCache`; cached cells skip
         simulation entirely.
 
@@ -167,6 +176,8 @@ class Sweep:
         """
         if not self._configs:
             raise ValueError("no configurations added")
+        execution = merge_legacy_kwargs(execution, where="Sweep.run",
+                                        jobs=jobs, cache=cache)
         if metrics is not None and sampling is not None:
             from repro.common.errors import ConfigurationError
             raise ConfigurationError(
@@ -185,7 +196,7 @@ class Sweep:
                      for label, params in self._configs]
             outcome = prune_and_run(cells,
                                     max_instructions=self.max_instructions,
-                                    jobs=jobs, cache=cache,
+                                    execution=execution,
                                     progress=self.progress)
             results = {workload: {} for workload in self.workloads}
             for (workload, label), result in outcome.results.items():
@@ -194,7 +205,11 @@ class Sweep:
                              [label for label, _ in self._configs],
                              results, metric, models=models,
                              surrogate_cells=set(outcome.pruned))
-        from repro.harness.parallel import ParallelExecutor, raise_on_errors
+        import dataclasses as _dataclasses
+
+        from repro.fabric import Executor, raise_on_errors
+        executor = Executor(_dataclasses.replace(
+            execution, jobs=execution.resolve_jobs(1)))
         if sampling is not None:
             from repro.sampling.sampler import (SampledRunSpec,
                                                 run_sampled_cell)
@@ -208,7 +223,6 @@ class Sweep:
                 for spec in sampled_specs:
                     self.progress(
                         f"{spec.workload}/{spec.config_label} (sampled)")
-            executor = ParallelExecutor(jobs)
             cells = executor.map(
                 run_sampled_cell, sampled_specs,
                 labels=[f"{s.workload}/{s.config_label}"
@@ -216,7 +230,7 @@ class Sweep:
             raise_on_errors(cells, "sampled sweep")
             specs = sampled_specs
         else:
-            from repro.harness.parallel import RunSpec
+            from repro.fabric import RunSpec
             specs = [RunSpec(workload, params, config_label=label,
                              max_instructions=self.max_instructions,
                              metrics=metrics)
@@ -225,7 +239,6 @@ class Sweep:
             if self.progress is not None:
                 for spec in specs:
                     self.progress(f"{spec.workload}/{spec.config_label}")
-            executor = ParallelExecutor(jobs, cache=cache)
             cells = executor.run_specs(specs)
             raise_on_errors(cells, "sweep")
         results: Dict[str, Dict[str, RunResult]] = {

@@ -21,9 +21,8 @@ stream:
    window-to-window CPI variance (see :func:`stitch_windows`).
 
 Windows are independent :class:`WindowSpec` cells and fan out over the
-existing :class:`~repro.harness.parallel.ParallelExecutor` — one long
-workload parallelizes *within* itself, which full-detail runs never
-could.
+execution fabric's :class:`~repro.fabric.Executor` — one long workload
+parallelizes *within* itself, which full-detail runs never could.
 """
 
 from __future__ import annotations
@@ -38,7 +37,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 from repro.common.errors import ConfigurationError
 from repro.common.params import ProcessorParams
 from repro.common.stats import StatGroup
-from repro.harness.parallel import ParallelExecutor, raise_on_errors
+from repro.fabric import ExecutionConfig, Executor, raise_on_errors
 from repro.harness.runner import RunResult, resolve_workload
 from repro.isa.executor import MachineState, execute_from, run_functional
 from repro.pipeline.processor import Processor
@@ -662,7 +661,7 @@ def sample_workload(workload: Union[str, WorkloadSpec],
         for index, checkpoint in enumerate(checkpoints)]
     if progress is not None:
         progress(f"{len(window_specs)} detailed windows (jobs={jobs})")
-    executor = ParallelExecutor(jobs)
+    executor = Executor(ExecutionConfig(jobs=jobs))
     outputs = executor.map(run_window, window_specs,
                            labels=[f"{spec.name}/{label}#w{w.index}"
                                    for w in window_specs])

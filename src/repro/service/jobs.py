@@ -7,7 +7,9 @@ A *job* is one unit of work a tenant submits to the service:
 * ``surrogate`` — one analytical IPC prediction (:func:`repro.api.predict`);
 * ``sweep``     — a (workload x config) grid, expanded at submission into
   child ``run`` jobs so cell-level dedupe and journal resume apply per
-  cell (the parent aggregates).
+  cell (the parent aggregates).  With ``"surrogate": true`` the service
+  additionally prunes cells the calibrated analytical model rules out,
+  reporting them as instant-done ``surrogate_result`` children.
 
 Every job normalizes to a canonical payload dict and hashes to a
 **content key**.  For plain ``run`` jobs the key *is* the
@@ -239,6 +241,10 @@ def normalize(body: dict) -> JobSpec:
             "max_instructions": (int(body["max_instructions"])
                                  if body.get("max_instructions") is not None
                                  else None),
+            # Opt-in Pareto-band surrogate pruning: cells the analytical
+            # model can rule out are answered as instant-done
+            # "surrogate_result" children instead of executing.
+            "surrogate": bool(body.get("surrogate", False)),
         }
         cost = 0.0
         for workload, _label, _config in cells:
@@ -358,8 +364,9 @@ def result_to_dict(result) -> dict:
 
 # ---------------------------------------------------------- worker entry --
 def execute_job(payload: dict, emit) -> dict:
-    """Run one job inside a :class:`~repro.harness.parallel.CellHandle`
-    worker process; ``emit`` streams heartbeat dicts to the service.
+    """Run one job inside a fabric worker (a dedicated process for the
+    local backends, a remote channel for ``ssh``); ``emit`` streams
+    heartbeat dicts back to the service.
 
     Module-level and dict-in/dict-out so it pickles under any start
     method.  Sweep parents never reach here — they expand to ``run``

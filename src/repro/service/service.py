@@ -17,7 +17,7 @@ Life of a job::
        ├─ admission (depth/cost) ──────► AdmissionError  (HTTP 429)
        │
        └─ journal "pending", queue (SFQ)
-              step(): pop → re-check cache → fork worker (CellHandle)
+              step(): pop → re-check cache → place on the fabric backend
               step(): drain heartbeats → events ring
               step(): done/failed/timeout → journal terminal, store
                       result by key, fan out to attached jobs
@@ -38,8 +38,8 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
+from repro.fabric import CellError, create_backend
 from repro.harness.cache import GCPolicy, ResultCache, prune_dir
-from repro.harness.parallel import CellError, CellHandle, ParallelExecutor
 from repro.harness.runner import RunResult
 from repro.obs.service_metrics import ServiceMetrics
 from repro.service.jobs import (CANCELLED, DONE, FAILED, PENDING, RUNNING,
@@ -47,6 +47,7 @@ from repro.service.jobs import (CANCELLED, DONE, FAILED, PENDING, RUNNING,
                                 execute_job, normalize)
 from repro.service.journal import JobJournal
 from repro.service.scheduler import AdmissionError, FairScheduler
+from repro.workloads import WORKLOADS
 
 
 @dataclass
@@ -57,6 +58,11 @@ class ServiceConfig:
     store_dir: Path
     #: Concurrent simulation workers (execution slots).
     jobs: int = 2
+    #: Execution-backend spec placing jobs (see :mod:`repro.fabric`):
+    #: ``"local-process"``, ``"local-shm"``, ``"ssh:hosta,hostb"``.
+    backend: str = "local-process"
+    #: Backend-specific knobs forwarded to the factory.
+    backend_options: Dict[str, object] = field(default_factory=dict)
     #: Admission bounds (queue-wide, per-tenant, per-job cost).
     max_depth: int = 64
     max_tenant_depth: Optional[int] = 32
@@ -96,16 +102,20 @@ class SimulationService:
         self.cache = ResultCache(root / "cache", gc_policy=config.gc_policy)
         self.journal = JobJournal(root / "journal.jsonl",
                                   fsync=config.journal_fsync)
-        self.executor = ParallelExecutor(jobs=config.jobs, cache=None)
+        self.fabric = create_backend(config.backend, jobs=config.jobs,
+                                     **config.backend_options)
         self.scheduler = FairScheduler(
             max_depth=config.max_depth,
             max_tenant_depth=config.max_tenant_depth,
             max_cost=config.max_cost, weights=config.weights)
         self.metrics = ServiceMetrics()
         self.jobs: Dict[str, Job] = {}
-        self.running: Dict[str, CellHandle] = {}
+        #: job id -> fabric handle of its in-flight execution.
+        self.running: Dict[str, object] = {}
         #: key -> job id owning the (single) in-flight/pending execution.
         self._inflight: Dict[str, str] = {}
+        #: Sweep parents mid-expansion (children list still growing).
+        self._expanding: set = set()
         self._steps = 0
         self._next_id = 1
         self._resume()
@@ -175,6 +185,11 @@ class SimulationService:
             self.metrics.tenant_submitted(job.tenant)
             if job.kind == "sweep":
                 continue                 # children carry the work
+            if job.kind == "surrogate_result":
+                # A crash between sweep expansion and the instant finish
+                # lost the prediction; promote to a real execution (a
+                # simulated result strictly refines a predicted one).
+                job.kind = "run"
             primary_id = self._inflight.get(job.key)
             if primary_id is not None:
                 primary = self.jobs[primary_id]
@@ -274,8 +289,15 @@ class SimulationService:
                          "max_instructions":
                              spec.payload["max_instructions"]}
             new_cells.append((label, normalize(cell_body)))
+        pruned: Dict[Tuple[str, str], object] = {}
+        fill_instructions: Dict[str, int] = {}
+        if spec.payload.get("surrogate"):
+            pruned, fill_instructions = self._plan_sweep_pruning(
+                spec, new_cells)
         pending: Dict[str, float] = {}
-        for _label, cell in new_cells:
+        for label, cell in new_cells:
+            if (cell.payload["workload"], label) in pruned:
+                continue                 # answered analytically: no slot
             if (cell.cacheable and self.cache.get(cell.key)) \
                     or cell.key in self._inflight:
                 continue
@@ -294,14 +316,97 @@ class SimulationService:
         self.metrics.incr("submitted")
         self.metrics.tenant_submitted(tenant)
         self.journal.submitted(parent)
-        for label, cell in new_cells:
-            child = self._submit_one(cell, tenant, timeout,
-                                     parent=parent.id, config_label=label,
-                                     pre_admitted=True)
-            parent.children.append(child.id)
-        parent.add_event("expanded", cells=len(parent.children))
+        self._expanding.add(parent.id)
+        try:
+            for label, cell in new_cells:
+                workload = cell.payload["workload"]
+                if (workload, label) in pruned:
+                    child = self._surrogate_child(
+                        cell, tenant, timeout, parent=parent.id,
+                        config_label=label,
+                        prediction=pruned[(workload, label)],
+                        instructions=fill_instructions.get(workload, 0))
+                else:
+                    child = self._submit_one(cell, tenant, timeout,
+                                             parent=parent.id,
+                                             config_label=label,
+                                             pre_admitted=True)
+                parent.children.append(child.id)
+        finally:
+            self._expanding.discard(parent.id)
+        parent.add_event("expanded", cells=len(parent.children),
+                         pruned=len(pruned))
         self._maybe_finish_sweep(parent)
         return parent
+
+    def _plan_sweep_pruning(self, spec: JobSpec, new_cells: list
+                            ) -> Tuple[dict, Dict[str, int]]:
+        """Decide which sweep cells the surrogate answers analytically.
+
+        The planning phases of :func:`repro.harness.surrogate
+        .prune_and_run`, minus anchor simulation (submission must not
+        block on sims): cached results calibrate the surrogate and form
+        the known Pareto front, then :func:`pareto_band_split` keeps
+        every cell whose optimistic band still reaches it.  A cold
+        cache calibrates nothing, uncertainty stays wide, and no cell
+        is pruned — the sweep degrades to a plain submission.
+        """
+        from repro.harness.surrogate import Surrogate, pareto_band_split
+        budget = spec.payload.get("max_instructions")
+        surrogate = Surrogate(max_instructions=budget)
+        cells = []
+        by_cell = {}
+        results = {}
+        cached_by_kind: Dict[Tuple[str, str], Tuple[str, str]] = {}
+        fill_instructions: Dict[str, int] = {}
+        for label, cell in new_cells:
+            workload = cell.payload["workload"]
+            params = cell.params()
+            cells.append((workload, label, params))
+            by_cell[(workload, label)] = params
+            hit = self.cache.get(cell.key) if cell.cacheable else None
+            if hit is None:
+                continue
+            results[(workload, label)] = hit
+            fill_instructions.setdefault(workload, hit.instructions)
+            kind = (workload, params.iq.kind)
+            if (kind not in cached_by_kind or params.iq.size
+                    < by_cell[cached_by_kind[kind]].iq.size):
+                cached_by_kind[kind] = (workload, label)
+        for (workload, _iq_kind), cell_id in cached_by_kind.items():
+            surrogate.calibrate(workload, by_cell[cell_id],
+                                results[cell_id].ipc)
+        predictions = {}
+        for workload, label, params in cells:
+            if (workload, label) not in results:
+                predictions[(workload, label)] = surrogate.predict(
+                    workload, params)
+        _keep, pruned = pareto_band_split(cells, results, predictions)
+        for workload, _label in pruned:
+            if workload not in fill_instructions:
+                fill_instructions[workload] = int(
+                    budget or WORKLOADS[workload].default_instructions)
+        return pruned, fill_instructions
+
+    def _surrogate_child(self, cell: JobSpec, tenant: str, timeout: float,
+                         *, parent: str, config_label: str,
+                         prediction, instructions: int) -> Job:
+        """An instant-done sweep child answered by the surrogate."""
+        from repro.harness.surrogate import surrogate_result
+        job = Job(id=self._new_id(), kind="surrogate_result", key=cell.key,
+                  tenant=tenant, payload=dict(cell.payload), cost=0.0,
+                  timeout=timeout, parent=parent)
+        job.payload["config_label"] = config_label
+        job.dedupe = "surrogate"
+        self.jobs[job.id] = job
+        self.metrics.incr("submitted")
+        self.metrics.incr("dedupe_surrogate")
+        self.metrics.tenant_submitted(tenant)
+        self.journal.submitted(job)
+        filled = surrogate_result(cell.payload["workload"], config_label,
+                                  prediction, instructions)
+        self._finish(job, self._payload_from_cache(filled))
+        return job
 
     @staticmethod
     def _payload_from_cache(result: RunResult) -> dict:
@@ -397,7 +502,7 @@ class SimulationService:
 
     def _fill_slots(self) -> int:
         launched = 0
-        while len(self.running) < self.config.jobs:
+        while len(self.running) < self.fabric.capacity():
             job_id = self.scheduler.pop()
             if job_id is None:
                 break
@@ -426,7 +531,7 @@ class SimulationService:
             self.metrics.incr("executions")
             self.metrics.observe_wait(job.tenant,
                                       job.started_at - job.submitted_at)
-            self.running[job.id] = self.executor.submit(
+            self.running[job.id] = self.fabric.submit_task(
                 execute_job, payload, label=label)
             job.add_event("started")
             launched += 1
@@ -532,6 +637,8 @@ class SimulationService:
     def _maybe_finish_sweep(self, parent: Job) -> None:
         if parent.terminal or parent.kind != "sweep":
             return
+        if parent.id in self._expanding:
+            return     # children list still growing; checked after expand
         children = [self.jobs[cid] for cid in parent.children
                     if cid in self.jobs]
         if not children or not all(child.terminal for child in children):
@@ -601,6 +708,7 @@ class SimulationService:
         for handle in self.running.values():
             handle.close()
         self.running.clear()
+        self.fabric.close()
         self.journal.close()
 
     # ------------------------------------------------------------- routes --

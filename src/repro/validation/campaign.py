@@ -160,8 +160,8 @@ def run_campaign(
             payloads.append((program_seed, base, name, params, shrink))
             labels.append(f"[{index + 1}/{num_programs}] "
                           f"seed={program_seed}/{name}")
-    from repro.harness.parallel import CellError, ParallelExecutor
-    executor = ParallelExecutor(jobs)
+    from repro.fabric import CellError, ExecutionConfig, Executor
+    executor = Executor(ExecutionConfig(jobs=jobs))
     cells = executor.map(_campaign_cell, payloads, labels=labels)
     for payload, label, cell in zip(payloads, labels, cells):
         program_seed, _, name, _, _ = payload

@@ -1,0 +1,150 @@
+"""ExecutionConfig, the backend registry, and the one-release
+deprecation shims over the old ``jobs=``/``cache=`` kwarg sprawl."""
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro import api
+from repro.common.errors import ConfigurationError
+from repro.fabric import (ExecutionBackend, ExecutionConfig,
+                          LocalProcessBackend, backend_names,
+                          create_backend, merge_legacy_kwargs,
+                          parse_backend_spec)
+from repro.harness import configs
+from repro.harness.cache import ResultCache
+from repro.harness.runner import RunResult
+from repro.harness.sweep import Sweep
+
+
+class TestBackendSpec:
+    def test_builtins_are_registered(self):
+        assert {"local-process", "local-shm", "ssh"} <= set(backend_names())
+
+    def test_parse_plain_and_ssh_specs(self):
+        assert parse_backend_spec("local-shm") == ("local-shm", {})
+        assert parse_backend_spec("ssh:hosta,hostb") == \
+            ("ssh", {"hosts": ["hosta", "hostb"]})
+        assert parse_backend_spec("ssh: a , b ") == \
+            ("ssh", {"hosts": ["a", "b"]})
+
+    def test_non_ssh_argument_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="takes no ':'"):
+            parse_backend_spec("local-shm:8")
+
+    def test_unknown_backend_lists_registered(self):
+        with pytest.raises(ConfigurationError, match="local-process"):
+            create_backend("teleport")
+
+    def test_create_backend_honours_jobs(self):
+        backend = create_backend("local-process", jobs=3)
+        try:
+            assert isinstance(backend, LocalProcessBackend)
+            assert backend.capacity() == 3
+        finally:
+            backend.close()
+
+
+class TestExecutionConfig:
+    def test_resolve_jobs_defaults(self):
+        assert ExecutionConfig().resolve_jobs() == 1
+        assert ExecutionConfig().resolve_jobs(default=4) == 4
+        assert ExecutionConfig(jobs=2).resolve_jobs(default=4) == 2
+        assert ExecutionConfig(jobs=0).resolve_jobs() == 1
+
+    def test_make_backend_passes_instances_through(self):
+        class Stub(ExecutionBackend):
+            def close(self):
+                pass
+
+        stub = Stub()
+        assert ExecutionConfig(backend=stub).make_backend() is stub
+
+    def test_make_backend_from_spec_string(self):
+        backend = ExecutionConfig(backend="local-process",
+                                  jobs=2).make_backend()
+        try:
+            assert backend.capacity() == 2
+        finally:
+            backend.close()
+
+
+class TestLegacyKwargs:
+    def test_merge_warns_and_folds(self):
+        cache = ResultCache(enabled=False)
+        with pytest.warns(DeprecationWarning, match="docs/fabric.md"):
+            execution = merge_legacy_kwargs(None, where="somewhere",
+                                            jobs=4, cache=cache)
+        assert execution.jobs == 4
+        assert execution.cache is cache
+
+    def test_explicit_execution_wins_over_legacy(self):
+        explicit = ExecutionConfig(jobs=8)
+        with pytest.warns(DeprecationWarning):
+            merged = merge_legacy_kwargs(explicit, where="somewhere",
+                                         jobs=2)
+        assert merged is explicit
+        assert merged.jobs == 8
+
+    def test_no_legacy_kwargs_no_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            execution = merge_legacy_kwargs(None, where="somewhere")
+        assert execution.jobs is None
+
+    def test_parallel_executor_shim_warns(self):
+        with pytest.warns(DeprecationWarning, match="repro.fabric"):
+            from repro.harness.parallel import ParallelExecutor
+            executor = ParallelExecutor(2)
+        assert executor.map(_double, [1, 2, 3]) == [2, 4, 6]
+
+    def test_sweep_run_jobs_kwarg_warns(self, tmp_path):
+        sweep = Sweep(workloads=["twolf"], max_instructions=800)
+        sweep.add_config("ideal-32", configs.ideal(32))
+        with pytest.warns(DeprecationWarning, match="Sweep.run"):
+            grid = sweep.run(jobs=1,
+                             cache=ResultCache(tmp_path / "cache"))
+        assert grid.results["twolf"]["ideal-32"].ipc > 0
+
+    def test_api_run_cache_kwarg_warns(self, tmp_path):
+        with pytest.warns(DeprecationWarning, match="api.run"):
+            result = api.run(configs.ideal(32), "twolf",
+                             max_instructions=600,
+                             cache=ResultCache(tmp_path / "cache"))
+        assert result.ipc > 0
+
+    def test_api_run_execution_config(self, tmp_path):
+        cache = ResultCache(tmp_path / "cache")
+        first = api.run(configs.ideal(32), "twolf", max_instructions=600,
+                        execution=ExecutionConfig(cache=cache))
+        second = api.run(configs.ideal(32), "twolf", max_instructions=600,
+                         execution=ExecutionConfig(cache=cache))
+        assert cache.hits == 1
+        assert dataclasses.asdict(first) == dataclasses.asdict(second)
+
+
+def _double(x):
+    return x * 2
+
+
+def _result(workload="twolf", config="ideal-32", ipc=1.25):
+    return RunResult(workload=workload, config=config, ipc=ipc,
+                     cycles=800, instructions=1000,
+                     stats={"iq.occupancy": 11.5, "commit.total": 1000})
+
+
+class TestCacheMerge:
+    def test_merge_adopts_new_entries_once(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        result = _result()
+        assert cache.merge([("k1", result)]) == 1
+        assert cache.merge([("k1", result), ("k2", _result(ipc=2.0))]) == 1
+        hit = cache.get("k1")
+        assert hit is not None and hit.ipc == result.ipc
+        assert hit.stats == result.stats
+
+    def test_merge_on_disabled_cache_is_a_noop(self, tmp_path):
+        cache = ResultCache(tmp_path, enabled=False)
+        assert cache.merge([("k1", _result())]) == 0
+        assert cache.get("k1") is None

@@ -1,0 +1,144 @@
+"""Journal resume: a SIGKILL'd sweep restarts with zero re-execution.
+
+The acceptance path for the fabric redesign: run a journaled sweep in a
+child process, SIGKILL it after some cells complete, then resume the
+same sweep in-process and prove that no journaled-done cell executes
+again (a put-recording cache observes every execution) while the grid
+still completes.
+"""
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.fabric import (ExecutionConfig, Executor, RunSpec, SweepJournal,
+                          raise_on_errors)
+from repro.fabric.journal import DONE_STATES
+from repro.harness import configs
+from repro.harness.cache import ResultCache
+from repro.harness.runner import RunResult
+
+#: (size, max_instructions) per cell. The early cells are small so the
+#: driver completes a couple quickly; the late ones are big enough that
+#: the kill always lands with work outstanding.
+CELLS = [(16, 1200), (24, 1200), (32, 1200),
+         (48, 25_000), (64, 25_000), (96, 25_000)]
+
+DRIVER = """
+import sys
+from repro.fabric import ExecutionConfig, Executor, RunSpec
+from repro.harness import configs
+from repro.harness.cache import ResultCache
+
+cache_dir, journal = sys.argv[1], sys.argv[2]
+cells = [(16, 1200), (24, 1200), (32, 1200),
+         (48, 25000), (64, 25000), (96, 25000)]
+specs = [RunSpec("twolf", configs.ideal(size), config_label=f"ideal-{size}",
+                 max_instructions=budget)
+         for size, budget in cells]
+executor = Executor(ExecutionConfig(jobs=1, cache=ResultCache(cache_dir),
+                                    journal=journal))
+executor.run_specs(specs)
+print("COMPLETE", flush=True)
+"""
+
+
+def _specs():
+    return [RunSpec("twolf", configs.ideal(size),
+                    config_label=f"ideal-{size}", max_instructions=budget)
+            for size, budget in CELLS]
+
+
+class RecordingCache(ResultCache):
+    """A ResultCache that remembers every key it stored — i.e. every
+    cell that actually executed (hits never call put)."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.put_keys = []
+
+    def put(self, key, result):
+        self.put_keys.append(key)
+        super().put(key, result)
+
+
+def _repro_env():
+    env = os.environ.copy()
+    import repro
+    package_root = str(Path(repro.__file__).parent.parent)
+    current = env.get("PYTHONPATH", "")
+    env["PYTHONPATH"] = (package_root + os.pathsep + current
+                         if current else package_root)
+    return env
+
+
+def test_sigkill_mid_sweep_resumes_without_reexecution(tmp_path):
+    cache_dir = tmp_path / "cache"
+    journal_path = tmp_path / "sweep.jsonl"
+    stderr_path = tmp_path / "driver.err"
+
+    with open(stderr_path, "w") as stderr:
+        driver = subprocess.Popen(
+            [sys.executable, "-c", DRIVER, str(cache_dir),
+             str(journal_path)],
+            env=_repro_env(), stdout=subprocess.DEVNULL, stderr=stderr)
+        try:
+            deadline = time.time() + 240
+            while True:
+                if driver.poll() is not None:
+                    pytest.fail(
+                        "driver exited before it could be killed "
+                        f"(rc={driver.returncode}): "
+                        f"{stderr_path.read_text()[-2000:]}")
+                text = (journal_path.read_text()
+                        if journal_path.exists() else "")
+                if text.count('"state": "done"') >= 2:
+                    break
+                assert time.time() < deadline, \
+                    "driver never finished its first two cells"
+                time.sleep(0.05)
+            driver.kill()                       # SIGKILL, no cleanup
+        finally:
+            if driver.poll() is None:
+                driver.kill()
+            driver.wait(timeout=30)
+
+    before = SweepJournal(journal_path)
+    done_before = {key for key, state in before.states.items()
+                   if state in DONE_STATES}
+    assert len(done_before) >= 2
+    # With jobs=1 exactly one cell can be mid-flight when the kill lands.
+    interrupted = [key for key, state in before.states.items()
+                   if state == "running"]
+    assert len(interrupted) <= 1
+
+    # Resume: same specs, same cache, same journal, this process.
+    cache = RecordingCache(cache_dir)
+    executor = Executor(ExecutionConfig(jobs=1, cache=cache,
+                                        journal=journal_path))
+    results = executor.run_specs(_specs())
+    raise_on_errors(results, "resumed sweep")
+    assert all(isinstance(result, RunResult) for result in results)
+    assert len(results) == len(CELLS)
+
+    # Zero done-in-cache cells re-executed...
+    assert not set(cache.put_keys) & done_before
+    # ...and only the leftover cells did (including any interrupted one).
+    assert len(cache.put_keys) == len(CELLS) - len(done_before)
+    assert cache.hits >= len(done_before)
+
+    after = SweepJournal(journal_path)
+    assert len(after.states) == len(CELLS)
+    assert all(state in DONE_STATES for state in after.states.values())
+
+
+def test_journal_requires_a_cache(tmp_path):
+    from repro.common.errors import ConfigurationError
+    executor = Executor(ExecutionConfig(jobs=1,
+                                        journal=tmp_path / "j.jsonl"))
+    with pytest.raises(ConfigurationError, match="needs a ResultCache"):
+        executor.run_specs(_specs()[:1])
