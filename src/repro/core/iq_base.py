@@ -219,11 +219,10 @@ class InstructionQueue(abc.ABC):
 
     def _subscribe(self, entry: IQEntry, index: int,
                    producer: DynInst) -> None:
-        def wakeup(cycle: int, entry=entry, index=index) -> None:
-            if entry.source_known(index, cycle):
-                self.on_entry_ready_known(entry)
-
-        producer.waiters.append(wakeup)
+        # Registered as a (queue, entry, index) triple rather than a
+        # closure: DynInst.set_value_ready dispatches triples inline,
+        # keeping the per-operand subscription allocation-free.
+        producer.waiters.append((self, entry, index))
 
     def on_entry_ready_known(self, entry: IQEntry) -> None:
         """Called when all of an entry's operand ready-times become known.

@@ -52,7 +52,8 @@ class HitMissPredictor:
     def predict_hit(self, pc: int, seq: int) -> bool:
         """Predict whether the load at ``pc`` will hit in the L1."""
         self.stat_predictions.inc()
-        predicted = self._counters.get(self._index(pc), 0) > self.confidence
+        predicted = (self._counters.get(pc % self.table_size, 0)
+                     > self.confidence)
         if predicted:
             self.stat_predicted_hits.inc()
         self._outstanding[seq] = predicted
@@ -61,7 +62,7 @@ class HitMissPredictor:
     def train(self, pc: int, seq: int, level: str) -> None:
         """Train on the load's actual outcome when it completes."""
         hit = level in HIT_LEVELS
-        index = self._index(pc)
+        index = pc % self.table_size
         if hit:
             count = self._counters.get(index, 0)
             if count < self.max_count:
@@ -116,14 +117,14 @@ class LeftRightPredictor:
     def predict_later(self, pc: int) -> int:
         """Return LEFT or RIGHT: the operand predicted to arrive later."""
         self.stat_predictions.inc()
-        counter = self._counters.get(self._index(pc), 2)
+        counter = self._counters.get(pc % self.table_size, 2)
         return self.LEFT if counter >= 2 else self.RIGHT
 
     def train(self, pc: int, left_ready: int, right_ready: int,
               predicted: int) -> None:
         """Train with the observed operand arrival cycles."""
         later = self.LEFT if left_ready >= right_ready else self.RIGHT
-        index = self._index(pc)
+        index = pc % self.table_size
         counter = self._counters.get(index, 2)
         if later == self.LEFT:
             self._counters[index] = min(3, counter + 1)

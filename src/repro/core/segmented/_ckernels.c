@@ -27,6 +27,55 @@
 static PyObject *str_segment;       /* "segment" */
 static PyObject *str_head_segment;  /* "head_segment" */
 static PyObject *str_base;          /* "base" */
+static PyObject *str_inst;          /* "inst" */
+static PyObject *str_static;        /* "static" */
+static PyObject *str_opcode;        /* "opcode" */
+static PyObject *str_cluster;       /* "cluster" */
+static PyObject *str_inc;           /* "inc" */
+/* Attribute names used by the fused dispatch-admission path (admit). */
+static PyObject *str_seq;           /* "seq" */
+static PyObject *str_operands;      /* "operands" */
+static PyObject *str_issued;        /* "issued" */
+static PyObject *str_chain_state;   /* "chain_state" */
+static PyObject *str_queue_cycle;   /* "queue_cycle" */
+static PyObject *str_unknown_count; /* "unknown_count" */
+static PyObject *str_ready_cycle;   /* "ready_cycle" */
+static PyObject *str_links_priv;    /* "_links" */
+static PyObject *str_own_chain;     /* "own_chain" */
+static PyObject *str_eligible_at;   /* "eligible_at" */
+static PyObject *str_lrp_choice;    /* "lrp_choice" */
+static PyObject *str_lrp_consulted; /* "lrp_consulted" */
+static PyObject *str_pushdown;      /* "pushdown" */
+static PyObject *str_ready_seg;     /* "ready_seg" */
+static PyObject *str_slot;          /* "slot" */
+static PyObject *str_countdown_ready; /* "countdown_ready" */
+static PyObject *str_chain_pairs;   /* "chain_pairs" */
+static PyObject *str_cslot;         /* "cslot" */
+static PyObject *str_producer;      /* "producer" */
+static PyObject *str_waiters;       /* "waiters" */
+static PyObject *str_dest;          /* "dest" */
+static PyObject *str_thread;        /* "thread" */
+static PyObject *str_is_load;       /* "is_load" */
+static PyObject *str_latency;       /* "latency" */
+static PyObject *str_head_latency;  /* "head_latency" */
+static PyObject *str_chain;         /* "chain" */
+static PyObject *str_dh;            /* "dh" */
+static PyObject *str_expected_ready; /* "expected_ready" */
+static PyObject *str_occupancy_priv; /* "_occupancy" */
+static PyObject *str_reg;           /* "reg" */
+static PyObject *str_penalty;       /* "penalty" */
+static PyObject *str_value_ready_cycle; /* "value_ready_cycle" */
+static PyObject *str_srcs;          /* "srcs" */
+static PyObject *str_is_mem;        /* "is_mem" */
+static PyObject *str_freed;         /* "freed" */
+static PyObject *str_member_delay;  /* "member_delay" */
+static PyObject *never_obj;         /* PyLong(1 << 60), the NEVER sentinel */
+static PyObject *zero_obj;          /* PyLong(0) */
+
+/* Fused FU acquisition for Engine.issue_select (defined with the
+ * Pipeline engine below; falls back to the Python callable). */
+static int issue_try_acquire(PyObject *fu, PyObject *acquire,
+                             PyObject *entry, int64_t now);
 
 /* ------------------------------------------------------------------ */
 /* Growable int64 vector                                              */
@@ -182,8 +231,16 @@ typedef struct {
     PyObject **c_obj;
     int64_t *c_mode, *c_base, *c_hseg;
     i64vec *c_members;          /* packed (seq<<20)|slot member keys */
+    /* segment-0 issue heaps: pending (when<<20)|slot maturities and
+     * ready (seq<<20)|slot candidates (see kernels.py issue_select) */
+    i64vec p0heap, r0heap;
     /* scratch buffers (reused across calls) */
     i64vec scratch, scratch2;
+    /* dispatch-admission bindings (bind_admit): the Python classes the
+     * fused admit path instantiates, the dispatched-counter, and the
+     * predicted load latency constant.  NULL until bound. */
+    PyObject *adm_ss_cls, *adm_rit_cls, *adm_iqe_cls, *adm_stat;
+    int64_t adm_pred_load_lat;
 } Engine;
 
 static int
@@ -623,7 +680,9 @@ Engine_init(Engine *self, PyObject *args, PyObject *kwds)
     }
     Py_DECREF(thr_seq);
     if (iv_init(&self->free_slots, 64) < 0 || iv_init(&self->scratch, 64) < 0
-        || iv_init(&self->scratch2, 64) < 0) {
+        || iv_init(&self->scratch2, 64) < 0
+        || iv_init(&self->p0heap, 64) < 0
+        || iv_init(&self->r0heap, 64) < 0) {
         PyErr_NoMemory();
         return -1;
     }
@@ -640,6 +699,10 @@ Engine_traverse(Engine *self, visitproc visit, void *arg)
         Py_VISIT(self->e_obj[i]);
     for (Py_ssize_t i = 0; i < self->c_len; i++)
         Py_VISIT(self->c_obj[i]);
+    Py_VISIT(self->adm_ss_cls);
+    Py_VISIT(self->adm_rit_cls);
+    Py_VISIT(self->adm_iqe_cls);
+    Py_VISIT(self->adm_stat);
     return 0;
 }
 
@@ -651,6 +714,10 @@ Engine_clear(Engine *self)
         Py_CLEAR(self->e_obj[i]);
     for (Py_ssize_t i = 0; i < self->c_len; i++)
         Py_CLEAR(self->c_obj[i]);
+    Py_CLEAR(self->adm_ss_cls);
+    Py_CLEAR(self->adm_rit_cls);
+    Py_CLEAR(self->adm_iqe_cls);
+    Py_CLEAR(self->adm_stat);
     return 0;
 }
 
@@ -671,6 +738,8 @@ Engine_dealloc(Engine *self)
     iv_free(&self->free_slots);
     iv_free(&self->scratch);
     iv_free(&self->scratch2);
+    iv_free(&self->p0heap);
+    iv_free(&self->r0heap);
     PyMem_Free(self->occ); PyMem_Free(self->thr);
     PyMem_Free(self->free_prev);
     PyMem_Free(self->seg_head); PyMem_Free(self->seg_tail);
@@ -797,6 +866,57 @@ Engine_chain_info(Engine *self, PyObject *arg)
 
 /* ----------------------------------------------------------- entries -- */
 
+static int64_t
+insert_entry_raw(Engine *self, PyObject *obj, int64_t seq, int64_t seg,
+                 int64_t cd, int64_t c0, int64_t dh0, int64_t c1,
+                 int64_t dh1, int64_t own, int64_t now)
+{
+    /* Returns the slot index, or -1 with an exception set. */
+    int64_t slot;
+    if (self->free_slots.len)
+        slot = self->free_slots.data[--self->free_slots.len];
+    else {
+        slot = (int64_t)self->e_len;
+        if (self->e_len >= self->e_cap
+            && engine_grow_entries(self, self->e_len + 1) < 0) {
+            PyErr_NoMemory();
+            return -1;
+        }
+        self->e_obj[slot] = NULL;
+        self->e_len++;
+    }
+    Py_INCREF(obj);
+    Py_XSETREF(self->e_obj[slot], obj);
+    self->e_seq[slot] = seq;
+    self->e_seg[slot] = seg;
+    self->e_elig[slot] = KNEVER;
+    self->e_rseg[slot] = -1;
+    self->e_cd[slot] = cd;
+    self->e_c0[slot] = c0;
+    self->e_dh0[slot] = dh0;
+    self->e_c1[slot] = c1;
+    self->e_dh1[slot] = dh1;
+    self->e_own[slot] = own;
+    self->e_crit0[slot] = 0;
+    self->e_crit1[slot] = 0;
+    if (mirror_set(obj, str_segment, seg) < 0)
+        return -1;
+    int64_t key = (seq << SLOT_BITS) | slot;
+    if (c0 >= 0 && iv_push(&self->c_members[c0], key) < 0) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    if (c1 >= 0 && iv_push(&self->c_members[c1], key) < 0) {
+        PyErr_NoMemory();
+        return -1;
+    }
+    members_append(self, seg, slot);
+    self->occ[seg]++;
+    if (seg > 0 && schedule_slot(self, slot, seg, now) < 0)
+        return -1;
+    return slot;
+}
+
 static PyObject *
 Engine_insert_entry(Engine *self, PyObject *args)
 {
@@ -805,44 +925,567 @@ Engine_insert_entry(Engine *self, PyObject *args)
     if (!PyArg_ParseTuple(args, "OLLLLLLLLL", &obj, &seq, &seg, &cd,
                           &c0, &dh0, &c1, &dh1, &own, &now))
         return NULL;
-    int64_t slot;
-    if (self->free_slots.len)
-        slot = self->free_slots.data[--self->free_slots.len];
-    else {
-        slot = (int64_t)self->e_len;
-        if (self->e_len >= self->e_cap
-            && engine_grow_entries(self, self->e_len + 1) < 0)
-            return PyErr_NoMemory();
-        self->e_obj[slot] = NULL;
-        self->e_len++;
-    }
-    Py_INCREF(obj);
-    Py_XSETREF(self->e_obj[slot], obj);
-    self->e_seq[slot] = (int64_t)seq;
-    self->e_seg[slot] = (int64_t)seg;
-    self->e_elig[slot] = KNEVER;
-    self->e_rseg[slot] = -1;
-    self->e_cd[slot] = (int64_t)cd;
-    self->e_c0[slot] = (int64_t)c0;
-    self->e_dh0[slot] = (int64_t)dh0;
-    self->e_c1[slot] = (int64_t)c1;
-    self->e_dh1[slot] = (int64_t)dh1;
-    self->e_own[slot] = (int64_t)own;
-    self->e_crit0[slot] = 0;
-    self->e_crit1[slot] = 0;
-    if (mirror_set(obj, str_segment, (int64_t)seg) < 0)
-        return NULL;
-    int64_t key = ((int64_t)seq << SLOT_BITS) | slot;
-    if (c0 >= 0 && iv_push(&self->c_members[c0], key) < 0)
-        return PyErr_NoMemory();
-    if (c1 >= 0 && iv_push(&self->c_members[c1], key) < 0)
-        return PyErr_NoMemory();
-    members_append(self, (int64_t)seg, slot);
-    self->occ[seg]++;
-    if (seg > 0 && schedule_slot(self, slot, (int64_t)seg,
-                                 (int64_t)now) < 0)
+    int64_t slot = insert_entry_raw(self, obj, (int64_t)seq, (int64_t)seg,
+                                    (int64_t)cd, (int64_t)c0, (int64_t)dh0,
+                                    (int64_t)c1, (int64_t)dh1, (int64_t)own,
+                                    (int64_t)now);
+    if (slot < 0)
         return NULL;
     return PyLong_FromLongLong((long long)slot);
+}
+
+/* ------------------------------------------------- fused admission ---- */
+
+static inline int counter_inc1(PyObject *counter);
+
+static inline PyObject *
+plain_new(PyObject *cls)
+{
+    /* Allocate an instance without running __init__ (the C twin of
+     * ``object.__new__(cls)``): PyType_GenericAlloc zeroes the slot
+     * storage and GC-tracks the instance when the type requires it. */
+    PyTypeObject *tp = (PyTypeObject *)cls;
+    return tp->tp_alloc(tp, 0);
+}
+
+static inline int
+attr_i64(PyObject *obj, PyObject *name, int64_t *out)
+{
+    PyObject *v = PyObject_GetAttr(obj, name);
+    if (v == NULL)
+        return -1;
+    long long r = PyLong_AsLongLong(v);
+    Py_DECREF(v);
+    if (r == -1 && PyErr_Occurred())
+        return -1;
+    *out = (int64_t)r;
+    return 0;
+}
+
+static PyObject *
+Engine_bind_admit(Engine *self, PyObject *args)
+{
+    PyObject *ss_cls, *rit_cls, *iqe_cls, *stat;
+    long long pred_load_lat;
+    if (!PyArg_ParseTuple(args, "OOOOL", &ss_cls, &rit_cls, &iqe_cls,
+                          &stat, &pred_load_lat))
+        return NULL;
+    Py_INCREF(ss_cls);
+    Py_XSETREF(self->adm_ss_cls, ss_cls);
+    Py_INCREF(rit_cls);
+    Py_XSETREF(self->adm_rit_cls, rit_cls);
+    Py_INCREF(iqe_cls);
+    Py_XSETREF(self->adm_iqe_cls, iqe_cls);
+    Py_INCREF(stat);
+    Py_XSETREF(self->adm_stat, stat);
+    self->adm_pred_load_lat = (int64_t)pred_load_lat;
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Engine_admit(Engine *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    /* admit(queue, rit_entries, inst, operands, plan, chain, target, now)
+     *
+     * The C twin of the inlined admission body in
+     * SegmentedIQ.dispatch: IQEntry + SegmentState construction,
+     * operand-wakeup subscription, columnar insert, occupancy/stat
+     * bookkeeping, the segment-0 ready push, and the RIT update —
+     * one call per dispatched instruction, no Python frames. */
+    PyObject *entry = NULL, *state = NULL, *rentry = NULL;
+    PyObject *tmp = NULL;
+    if (nargs != 8) {
+        PyErr_SetString(PyExc_TypeError, "admit expects 8 arguments");
+        return NULL;
+    }
+    PyObject *queue = args[0], *rit_entries = args[1], *inst = args[2];
+    PyObject *operands = args[3], *plan = args[4], *chain = args[5];
+    int64_t target = (int64_t)PyLong_AsLongLong(args[6]);
+    if (target == -1 && PyErr_Occurred())
+        return NULL;
+    int64_t now = (int64_t)PyLong_AsLongLong(args[7]);
+    if (now == -1 && PyErr_Occurred())
+        return NULL;
+
+    PyObject *seq_obj = PyObject_GetAttr(inst, str_seq);
+    if (seq_obj == NULL)
+        return NULL;
+    int64_t seq = (int64_t)PyLong_AsLongLong(seq_obj);
+    if (seq == -1 && PyErr_Occurred()) {
+        Py_DECREF(seq_obj);
+        return NULL;
+    }
+
+    entry = plain_new(self->adm_iqe_cls);
+    if (entry == NULL) {
+        Py_DECREF(seq_obj);
+        return NULL;
+    }
+    if (PyObject_SetAttr(entry, str_inst, inst) < 0
+        || PyObject_SetAttr(entry, str_seq, seq_obj) < 0) {
+        Py_DECREF(seq_obj);
+        goto fail;
+    }
+    Py_DECREF(seq_obj);
+    if (PyObject_SetAttr(entry, str_operands, operands) < 0
+        || PyObject_SetAttr(entry, str_issued, Py_False) < 0
+        || mirror_set(entry, str_queue_cycle, now) < 0)
+        goto fail;
+
+    /* One pass over the operands: count unknown sources and take the
+     * max known ready cycle (the exact IQEntry.__init__ fold). */
+    if (!PyList_CheckExact(operands)) {
+        PyErr_SetString(PyExc_TypeError, "admit: operands must be a list");
+        goto fail;
+    }
+    Py_ssize_t n_ops = PyList_GET_SIZE(operands);
+    int64_t unknown = 0, ready = 0;
+    for (Py_ssize_t i = 0; i < n_ops; i++) {
+        PyObject *rc = PyObject_GetAttr(PyList_GET_ITEM(operands, i),
+                                        str_ready_cycle);
+        if (rc == NULL)
+            goto fail;
+        if (rc == Py_None)
+            unknown++;
+        else {
+            long long v = PyLong_AsLongLong(rc);
+            if (v == -1 && PyErr_Occurred()) {
+                Py_DECREF(rc);
+                goto fail;
+            }
+            if ((int64_t)v > ready)
+                ready = (int64_t)v;
+        }
+        Py_DECREF(rc);
+    }
+    if (mirror_set(entry, str_unknown_count, unknown) < 0
+        || mirror_set(entry, str_ready_cycle, ready) < 0)
+        goto fail;
+
+    PyObject *cd_obj = PyObject_GetAttr(plan, str_countdown_ready);
+    if (cd_obj == NULL)
+        goto fail;
+    int64_t countdown = (int64_t)PyLong_AsLongLong(cd_obj);
+    if (countdown == -1 && PyErr_Occurred()) {
+        Py_DECREF(cd_obj);
+        goto fail;
+    }
+    PyObject *pairs = PyObject_GetAttr(plan, str_chain_pairs);
+    if (pairs == NULL) {
+        Py_DECREF(cd_obj);
+        goto fail;
+    }
+
+    /* SegmentState, slot-for-slot (SegmentState.from_packed twin). */
+    state = plain_new(self->adm_ss_cls);
+    if (state == NULL)
+        goto fail_cd;
+    PyObject *lrp_choice = PyObject_GetAttr(plan, str_lrp_choice);
+    if (lrp_choice == NULL)
+        goto fail_cd;
+    int rc_set = PyObject_SetAttr(state, str_lrp_choice, lrp_choice);
+    Py_DECREF(lrp_choice);
+    if (rc_set < 0)
+        goto fail_cd;
+    PyObject *lrp_consulted = PyObject_GetAttr(plan, str_lrp_consulted);
+    if (lrp_consulted == NULL)
+        goto fail_cd;
+    rc_set = PyObject_SetAttr(state, str_lrp_consulted, lrp_consulted);
+    Py_DECREF(lrp_consulted);
+    if (rc_set < 0)
+        goto fail_cd;
+    if (PyObject_SetAttr(state, str_links_priv, Py_None) < 0
+        || PyObject_SetAttr(state, str_own_chain, chain) < 0
+        || PyObject_SetAttr(state, str_eligible_at, never_obj) < 0
+        || PyObject_SetAttr(state, str_pushdown, Py_False) < 0
+        || mirror_set(state, str_ready_seg, -1) < 0
+        || PyObject_SetAttr(state, str_countdown_ready, cd_obj) < 0
+        || PyObject_SetAttr(state, str_chain_pairs, pairs) < 0
+        || PyObject_SetAttr(entry, str_chain_state, state) < 0)
+        goto fail_cd;
+    Py_DECREF(cd_obj);
+    /* state now owns a reference to pairs; drop ours and keep reading
+     * it borrowed (state outlives every use below). */
+    Py_DECREF(pairs);
+
+    /* Wakeup subscription triples for unknown operands. */
+    if (unknown) {
+        for (Py_ssize_t i = 0; i < n_ops; i++) {
+            PyObject *operand = PyList_GET_ITEM(operands, i);
+            PyObject *rc = PyObject_GetAttr(operand, str_ready_cycle);
+            if (rc == NULL)
+                goto fail;
+            int is_unknown = (rc == Py_None);
+            Py_DECREF(rc);
+            if (!is_unknown)
+                continue;
+            PyObject *producer = PyObject_GetAttr(operand, str_producer);
+            if (producer == NULL)
+                goto fail;
+            PyObject *waiters = PyObject_GetAttr(producer, str_waiters);
+            Py_DECREF(producer);
+            if (waiters == NULL)
+                goto fail;
+            PyObject *idx = PyLong_FromSsize_t(i);
+            if (idx == NULL) {
+                Py_DECREF(waiters);
+                goto fail;
+            }
+            PyObject *triple = PyTuple_Pack(3, queue, entry, idx);
+            Py_DECREF(idx);
+            if (triple == NULL) {
+                Py_DECREF(waiters);
+                goto fail;
+            }
+            int rc_app = PyList_Append(waiters, triple);
+            Py_DECREF(triple);
+            Py_DECREF(waiters);
+            if (rc_app < 0)
+                goto fail;
+        }
+    }
+
+    /* Unpack up to two (chain, depth) pairs into packed-link columns. */
+    int64_t c0 = -1, c1 = -1, dh0 = 0, dh1 = 0;
+    Py_ssize_t n_pairs = PySequence_Size(pairs);
+    if (n_pairs < 0)
+        goto fail;
+    for (Py_ssize_t i = 0; i < n_pairs && i < 2; i++) {
+        PyObject *pair = PySequence_GetItem(pairs, i);
+        if (pair == NULL)
+            goto fail;
+        PyObject *pchain = PySequence_GetItem(pair, 0);
+        if (pchain == NULL) {
+            Py_DECREF(pair);
+            goto fail;
+        }
+        int64_t cs, dh;
+        if (attr_i64(pchain, str_cslot, &cs) < 0) {
+            Py_DECREF(pchain);
+            Py_DECREF(pair);
+            goto fail;
+        }
+        Py_DECREF(pchain);
+        PyObject *dh_obj = PySequence_GetItem(pair, 1);
+        Py_DECREF(pair);
+        if (dh_obj == NULL)
+            goto fail;
+        dh = (int64_t)PyLong_AsLongLong(dh_obj);
+        Py_DECREF(dh_obj);
+        if (dh == -1 && PyErr_Occurred())
+            goto fail;
+        if (i == 0) { c0 = cs; dh0 = dh; } else { c1 = cs; dh1 = dh; }
+    }
+    int64_t own = -1;
+    if (chain != Py_None && attr_i64(chain, str_cslot, &own) < 0)
+        goto fail;
+
+    int64_t slot = insert_entry_raw(self, entry, seq, target, countdown,
+                                    c0, dh0, c1, dh1, own, now);
+    if (slot < 0)
+        goto fail;
+    if (mirror_set(state, str_slot, slot) < 0)
+        goto fail;
+
+    /* queue._occupancy += 1; stat_dispatched.inc() */
+    {
+        int64_t occ;
+        if (attr_i64(queue, str_occupancy_priv, &occ) < 0
+            || mirror_set(queue, str_occupancy_priv, occ + 1) < 0)
+            goto fail;
+    }
+    if (counter_inc1(self->adm_stat) < 0)
+        goto fail;
+    if (target == 0 && !unknown) {
+        int64_t when = ready > now + 1 ? ready : now + 1;
+        if (hq_push(&self->p0heap, (when << SLOT_BITS) | slot) < 0) {
+            PyErr_NoMemory();
+            goto fail;
+        }
+    }
+
+    /* RIT update (the _update_rit twin). */
+    PyObject *dest_obj = PyObject_GetAttr(inst, str_dest);
+    if (dest_obj == NULL)
+        goto fail;
+    int64_t dest = 0;
+    if (dest_obj != Py_None) {
+        dest = (int64_t)PyLong_AsLongLong(dest_obj);
+        if (dest == -1 && PyErr_Occurred()) {
+            Py_DECREF(dest_obj);
+            goto fail;
+        }
+    }
+    Py_DECREF(dest_obj);
+    if (dest == 0) {
+        Py_DECREF(state);
+        return entry;
+    }
+    PyObject *is_load = PyObject_GetAttr(inst, str_is_load);
+    if (is_load == NULL)
+        goto fail;
+    int truth = PyObject_IsTrue(is_load);
+    Py_DECREF(is_load);
+    if (truth < 0)
+        goto fail;
+    int64_t own_latency;
+    if (truth)
+        own_latency = self->adm_pred_load_lat;
+    else if (attr_i64(inst, str_latency, &own_latency) < 0)
+        goto fail;
+
+    rentry = plain_new(self->adm_rit_cls);
+    if (rentry == NULL)
+        goto fail;
+    if (PyObject_SetAttr(rentry, str_producer, inst) < 0)
+        goto fail;
+    if (chain != Py_None) {
+        PyObject *hl = PyObject_GetAttr(plan, str_head_latency);
+        if (hl == NULL)
+            goto fail;
+        rc_set = PyObject_SetAttr(rentry, str_dh, hl);
+        Py_DECREF(hl);
+        if (rc_set < 0
+            || PyObject_SetAttr(rentry, str_chain, chain) < 0
+            || mirror_set(rentry, str_expected_ready, 0) < 0)
+            goto fail;
+    } else {
+        /* Deepest producing pair by strict depth (first wins ties). */
+        PyObject *deep_chain = NULL;
+        int64_t deep_dh = 0;
+        for (Py_ssize_t i = 0; i < n_pairs; i++) {
+            PyObject *pair = PySequence_GetItem(pairs, i);
+            if (pair == NULL) {
+                Py_XDECREF(deep_chain);
+                goto fail;
+            }
+            PyObject *dh_obj = PySequence_GetItem(pair, 1);
+            if (dh_obj == NULL) {
+                Py_DECREF(pair);
+                Py_XDECREF(deep_chain);
+                goto fail;
+            }
+            int64_t dh = (int64_t)PyLong_AsLongLong(dh_obj);
+            Py_DECREF(dh_obj);
+            if (dh == -1 && PyErr_Occurred()) {
+                Py_DECREF(pair);
+                Py_XDECREF(deep_chain);
+                goto fail;
+            }
+            if (deep_chain == NULL || dh > deep_dh) {
+                PyObject *pchain = PySequence_GetItem(pair, 0);
+                if (pchain == NULL) {
+                    Py_DECREF(pair);
+                    Py_XDECREF(deep_chain);
+                    goto fail;
+                }
+                Py_XSETREF(deep_chain, pchain);
+                deep_dh = dh;
+            }
+            Py_DECREF(pair);
+        }
+        if (deep_chain != NULL) {
+            rc_set = PyObject_SetAttr(rentry, str_chain, deep_chain);
+            Py_DECREF(deep_chain);
+            if (rc_set < 0
+                || mirror_set(rentry, str_dh, deep_dh + own_latency) < 0
+                || mirror_set(rentry, str_expected_ready, 0) < 0)
+                goto fail;
+        } else {
+            int64_t expected = now + 1;
+            if (countdown > expected)
+                expected = countdown;
+            if (PyObject_SetAttr(rentry, str_chain, Py_None) < 0
+                || mirror_set(rentry, str_dh, 0) < 0
+                || mirror_set(rentry, str_expected_ready,
+                              expected + own_latency) < 0)
+                goto fail;
+        }
+    }
+    int64_t thread;
+    if (attr_i64(inst, str_thread, &thread) < 0)
+        goto fail;
+    tmp = PyLong_FromLongLong((long long)(thread * 64 + dest));
+    if (tmp == NULL)
+        goto fail;
+    if (PyDict_SetItem(rit_entries, tmp, rentry) < 0)
+        goto fail;
+    Py_DECREF(tmp);
+    Py_DECREF(rentry);
+    Py_DECREF(state);
+    return entry;
+
+fail_cd:
+    Py_XDECREF(cd_obj);
+    Py_XDECREF(pairs);
+fail:
+    Py_XDECREF(tmp);
+    Py_XDECREF(rentry);
+    Py_XDECREF(state);
+    Py_XDECREF(entry);
+    return NULL;
+}
+
+static PyObject *
+Engine_plan_links(Engine *self, PyObject *const *args, Py_ssize_t nargs)
+{
+    /* plan_links(rit_entries, inst, now) -> list of packed links
+     *
+     * The RIT-scan loop of SegmentedIQ._plan, fused: for each
+     * IQ-relevant source, classify the producer as exactly-known
+     * (countdown int), live chain ((chain, dh) pair), freed chain
+     * (member_delay countdown), or expected-ready countdown — same
+     * order, same objects as the Python loop. */
+    if (nargs != 3) {
+        PyErr_SetString(PyExc_TypeError, "plan_links expects 3 arguments");
+        return NULL;
+    }
+    PyObject *rit_entries = args[0], *inst = args[1], *now_obj = args[2];
+    int64_t now = (int64_t)PyLong_AsLongLong(now_obj);
+    if (now == -1 && PyErr_Occurred())
+        return NULL;
+    PyObject *links = NULL, *srcs = NULL;
+
+    srcs = PyObject_GetAttr(inst, str_srcs);
+    if (srcs == NULL)
+        goto fail;
+    if (!PyTuple_CheckExact(srcs)) {
+        PyErr_SetString(PyExc_TypeError, "plan_links: srcs must be a tuple");
+        goto fail;
+    }
+    PyObject *is_mem_obj = PyObject_GetAttr(inst, str_is_mem);
+    if (is_mem_obj == NULL)
+        goto fail;
+    int is_mem = PyObject_IsTrue(is_mem_obj);
+    Py_DECREF(is_mem_obj);
+    if (is_mem < 0)
+        goto fail;
+    int64_t thread;
+    if (attr_i64(inst, str_thread, &thread) < 0)
+        goto fail;
+    int64_t reg_base = thread * 64;
+    Py_ssize_t n = PyTuple_GET_SIZE(srcs);
+    if (is_mem && n > 1)
+        n = 1;
+    links = PyList_New(0);
+    if (links == NULL)
+        goto fail;
+
+    for (Py_ssize_t i = 0; i < n; i++) {
+        long regv = PyLong_AsLong(PyTuple_GET_ITEM(srcs, i));
+        if (regv == -1 && PyErr_Occurred())
+            goto fail;
+        if (regv == 0)
+            continue;
+        PyObject *key = PyLong_FromLongLong(reg_base + regv);
+        if (key == NULL)
+            goto fail;
+        PyObject *rentry = PyDict_GetItemWithError(rit_entries, key);
+        Py_DECREF(key);
+        if (rentry == NULL) {
+            if (PyErr_Occurred())
+                goto fail;
+            continue;
+        }
+        PyObject *producer = PyObject_GetAttr(rentry, str_producer);
+        if (producer == NULL)
+            goto fail;
+        PyObject *ready = PyObject_GetAttr(producer, str_value_ready_cycle);
+        Py_DECREF(producer);
+        if (ready == NULL)
+            goto fail;
+        if (ready != Py_None) {
+            /* Exact knowledge: the producer already issued/completed. */
+            int64_t readyv = (int64_t)PyLong_AsLongLong(ready);
+            if (readyv == -1 && PyErr_Occurred()) {
+                Py_DECREF(ready);
+                goto fail;
+            }
+            int rc = 0;
+            if (readyv > now)
+                rc = PyList_Append(links, ready);
+            Py_DECREF(ready);
+            if (rc < 0)
+                goto fail;
+            continue;
+        }
+        Py_DECREF(ready);
+        PyObject *rchain = PyObject_GetAttr(rentry, str_chain);
+        if (rchain == NULL)
+            goto fail;
+        if (rchain != Py_None) {
+            PyObject *freed = PyObject_GetAttr(rchain, str_freed);
+            if (freed == NULL) {
+                Py_DECREF(rchain);
+                goto fail;
+            }
+            int is_freed = PyObject_IsTrue(freed);
+            Py_DECREF(freed);
+            if (is_freed < 0) {
+                Py_DECREF(rchain);
+                goto fail;
+            }
+            PyObject *dh = PyObject_GetAttr(rentry, str_dh);
+            if (dh == NULL) {
+                Py_DECREF(rchain);
+                goto fail;
+            }
+            if (!is_freed) {
+                PyObject *pair = PyTuple_New(2);
+                if (pair == NULL) {
+                    Py_DECREF(dh);
+                    Py_DECREF(rchain);
+                    goto fail;
+                }
+                PyTuple_SET_ITEM(pair, 0, rchain);   /* steals refs */
+                PyTuple_SET_ITEM(pair, 1, dh);
+                int rc = PyList_Append(links, pair);
+                Py_DECREF(pair);
+                if (rc < 0)
+                    goto fail;
+            } else {
+                /* Chain wire freed: value trails the written-back head
+                 * by at most dh self-timed cycles. */
+                PyObject *md = PyObject_CallMethodObjArgs(
+                    rchain, str_member_delay, dh, now_obj, NULL);
+                Py_DECREF(dh);
+                Py_DECREF(rchain);
+                if (md == NULL)
+                    goto fail;
+                int64_t mdv = (int64_t)PyLong_AsLongLong(md);
+                Py_DECREF(md);
+                if (mdv == -1 && PyErr_Occurred())
+                    goto fail;
+                PyObject *val = PyLong_FromLongLong(now + mdv);
+                if (val == NULL)
+                    goto fail;
+                int rc = PyList_Append(links, val);
+                Py_DECREF(val);
+                if (rc < 0)
+                    goto fail;
+            }
+            continue;
+        }
+        Py_DECREF(rchain);
+        int64_t expected;
+        if (attr_i64(rentry, str_expected_ready, &expected) < 0)
+            goto fail;
+        if (expected > now) {
+            PyObject *val = PyLong_FromLongLong(expected);
+            if (val == NULL)
+                goto fail;
+            int rc = PyList_Append(links, val);
+            Py_DECREF(val);
+            if (rc < 0)
+                goto fail;
+        }
+    }
+    Py_DECREF(srcs);
+    return links;
+fail:
+    Py_XDECREF(srcs);
+    Py_XDECREF(links);
+    return NULL;
 }
 
 static PyObject *
@@ -910,6 +1553,111 @@ Engine_slot_seq(Engine *self, PyObject *arg)
     if (slot == -1 && PyErr_Occurred())
         return NULL;
     return PyLong_FromLongLong((long long)self->e_seq[slot]);
+}
+
+/* ---------------------------------------------------- segment-0 issue -- */
+
+static PyObject *
+Engine_p0_push(Engine *self, PyObject *args)
+{
+    long long slot, when;
+    if (!PyArg_ParseTuple(args, "LL", &slot, &when))
+        return NULL;
+    if (hq_push(&self->p0heap, ((int64_t)when << SLOT_BITS) | slot) < 0)
+        return PyErr_NoMemory();
+    Py_RETURN_NONE;
+}
+
+static PyObject *
+Engine_p0_next(Engine *self, PyObject *arg)
+{
+    long long now = PyLong_AsLongLong(arg);
+    if (now == -1 && PyErr_Occurred())
+        return NULL;
+    if (self->r0heap.len)
+        return PyLong_FromLongLong(now);
+    if (self->p0heap.len)
+        return PyLong_FromLongLong(
+            (long long)(self->p0heap.data[0] >> SLOT_BITS));
+    return PyLong_FromLongLong((long long)KNEVER);
+}
+
+static PyObject *
+Engine_issue_select(Engine *self, PyObject *args)
+{
+    long long now_ll, width_ll;
+    PyObject *fu, *acquire;
+    if (!PyArg_ParseTuple(args, "LLOO", &now_ll, &width_ll, &fu,
+                          &acquire))
+        return NULL;
+    int64_t now = (int64_t)now_ll;
+    Py_ssize_t width = (Py_ssize_t)width_ll;
+    i64vec *p0 = &self->p0heap;
+    i64vec *r0 = &self->r0heap;
+    int64_t *e_seq = self->e_seq;
+    int64_t *e_seg = self->e_seg;
+    int64_t bound = (now + 1) << SLOT_BITS;
+    while (p0->len && p0->data[0] < bound) {
+        int64_t slot = hq_pop(p0) & SLOT_MASK;
+        if (e_seg[slot] == 0 && e_seq[slot] >= 0
+            && hq_push(r0, (e_seq[slot] << SLOT_BITS) | slot) < 0)
+            return PyErr_NoMemory();
+    }
+    Py_ssize_t count = r0->len;
+    PyObject *issued = PyList_New(0);
+    if (issued == NULL)
+        return NULL;
+    i64vec *blocked = &self->scratch;
+    blocked->len = 0;
+    while (r0->len && PyList_GET_SIZE(issued) < width) {
+        int64_t key = hq_pop(r0);
+        int64_t slot = key & SLOT_MASK;
+        if (e_seq[slot] != key >> SLOT_BITS || e_seg[slot] != 0)
+            continue;           /* issued already or recycled */
+        PyObject *entry = self->e_obj[slot];
+        int ok = issue_try_acquire(fu, acquire, entry, now);
+        if (ok < 0)
+            goto fail;
+        if (ok) {
+            if (PyList_Append(issued, entry) < 0)
+                goto fail;
+            /* free_entry, inlined */
+            members_remove(self, 0, slot);
+            self->occ[0]--;
+            e_seq[slot] = -1;
+            Py_CLEAR(self->e_obj[slot]);
+            if (iv_push(&self->free_slots, slot) < 0) {
+                PyErr_NoMemory();
+                goto fail;
+            }
+        }
+        else if (iv_push(blocked, key) < 0) {
+            PyErr_NoMemory();
+            goto fail;
+        }
+    }
+    for (Py_ssize_t i = 0; i < blocked->len; i++) {
+        if (hq_push(r0, blocked->data[i]) < 0) {
+            PyErr_NoMemory();
+            goto fail;
+        }
+    }
+    {
+        PyObject *cnt = PyLong_FromSsize_t(count);
+        if (cnt == NULL)
+            goto fail;
+        PyObject *result = PyTuple_New(2);
+        if (result == NULL) {
+            Py_DECREF(cnt);
+            goto fail;
+        }
+        PyTuple_SET_ITEM(result, 0, cnt);
+        PyTuple_SET_ITEM(result, 1, issued);
+        return result;
+    }
+fail:
+    Py_DECREF(issued);
+    return NULL;
 }
 
 /* ------------------------------------------------------- scheduling -- */
@@ -1372,11 +2120,18 @@ static PyMethodDef Engine_methods[] = {
     {"chain_info", (PyCFunction)Engine_chain_info, METH_O, NULL},
     {"insert_entry", (PyCFunction)Engine_insert_entry, METH_VARARGS,
      NULL},
+    {"bind_admit", (PyCFunction)Engine_bind_admit, METH_VARARGS, NULL},
+    {"admit", (PyCFunction)Engine_admit, METH_FASTCALL, NULL},
+    {"plan_links", (PyCFunction)Engine_plan_links, METH_FASTCALL, NULL},
     {"free_entry", (PyCFunction)Engine_free_entry, METH_O, NULL},
     {"detach", (PyCFunction)Engine_detach, METH_O, NULL},
     {"attach", (PyCFunction)Engine_attach, METH_VARARGS, NULL},
     {"entry_obj", (PyCFunction)Engine_entry_obj, METH_O, NULL},
     {"slot_seq", (PyCFunction)Engine_slot_seq, METH_O, NULL},
+    {"p0_push", (PyCFunction)Engine_p0_push, METH_VARARGS, NULL},
+    {"p0_next", (PyCFunction)Engine_p0_next, METH_O, NULL},
+    {"issue_select", (PyCFunction)Engine_issue_select, METH_VARARGS,
+     NULL},
     {"notify", (PyCFunction)Engine_notify, METH_O, NULL},
     {"pop_eligible", (PyCFunction)Engine_pop_eligible, METH_VARARGS,
      NULL},
@@ -1522,6 +2277,335 @@ static PyTypeObject CounterType = {
     .tp_methods = Counter_methods,
     .tp_members = Counter_members,
     .tp_init = (initproc)Counter_init,
+    .tp_new = PyType_GenericNew,
+};
+
+/* ------------------------------------------------------------------ */
+/* Pipeline engine (repro.pipeline.kernels transliteration)           */
+/*                                                                    */
+/* Per-(FU class, cluster) next-free heaps with the same heapreplace  */
+/* discipline as PyPipelineEngine, plus the fused FU acquisition the  */
+/* Engine's issue_select exploits: opcode -> (class, occupancy) keys  */
+/* come from a dict shared with FUPool (lazily filled by the Python   */
+/* side), and stat counters from this module increment their struct   */
+/* field directly instead of bouncing through inc().                  */
+/* ------------------------------------------------------------------ */
+
+typedef struct {
+    PyObject_HEAD
+    Py_ssize_t n_classes;
+    Py_ssize_t clusters;
+    Py_ssize_t mem_port;
+    i64vec *heaps;              /* n_classes * clusters unit heaps */
+    PyObject **issued;          /* one counter per class */
+    PyObject *structural;
+    PyObject *issue_keys;       /* opcode -> (class index, occupancy) */
+} PipelineObj;
+
+static PyTypeObject PipelineType;
+
+static inline int
+counter_inc1(PyObject *counter)
+{
+    if (Py_TYPE(counter) == &CounterType) {
+        ((CounterObj *)counter)->value += 1;
+        return 0;
+    }
+    PyObject *result = PyObject_CallMethodNoArgs(counter, str_inc);
+    if (result == NULL)
+        return -1;
+    Py_DECREF(result);
+    return 0;
+}
+
+static int
+pipeline_accept_raw(PipelineObj *self, Py_ssize_t ci, Py_ssize_t cluster,
+                    int64_t occupancy, int64_t now)
+{
+    /* 1 claimed, 0 busy (structural stall counted), -1 error. */
+    i64vec *units = &self->heaps[ci * self->clusters + cluster];
+    if (!units->len || units->data[0] > now)
+        return counter_inc1(self->structural) < 0 ? -1 : 0;
+    units->data[0] = now + occupancy;       /* heapreplace */
+    hq_siftup(units->data, 0, units->len);
+    return counter_inc1(self->issued[ci]) < 0 ? -1 : 1;
+}
+
+static int
+issue_try_acquire(PyObject *fu, PyObject *acquire, PyObject *entry,
+                  int64_t now)
+{
+    /* acquire(entry.inst), short-circuited through the pipeline engine
+     * when the caller offered one and the opcode's key is known. */
+    PyObject *inst = PyObject_GetAttr(entry, str_inst);
+    if (inst == NULL)
+        return -1;
+    if (fu != NULL && Py_TYPE(fu) == &PipelineType) {
+        PipelineObj *pl = (PipelineObj *)fu;
+        PyObject *st = PyObject_GetAttr(inst, str_static);
+        if (st == NULL) {
+            Py_DECREF(inst);
+            return -1;
+        }
+        PyObject *opcode = PyObject_GetAttr(st, str_opcode);
+        Py_DECREF(st);
+        if (opcode == NULL) {
+            Py_DECREF(inst);
+            return -1;
+        }
+        PyObject *key = PyDict_GetItemWithError(pl->issue_keys, opcode);
+        Py_DECREF(opcode);
+        if (key != NULL) {
+            long long ci = PyLong_AsLongLong(PyTuple_GET_ITEM(key, 0));
+            long long occ = PyLong_AsLongLong(PyTuple_GET_ITEM(key, 1));
+            if ((ci == -1 || occ == -1) && PyErr_Occurred()) {
+                Py_DECREF(inst);
+                return -1;
+            }
+            if (occ < 0) {
+                Py_DECREF(inst);
+                return 1;       /* class NONE consumes nothing */
+            }
+            PyObject *cl = PyObject_GetAttr(inst, str_cluster);
+            if (cl == NULL) {
+                Py_DECREF(inst);
+                return -1;
+            }
+            long long cluster = PyLong_AsLongLong(cl);
+            Py_DECREF(cl);
+            if (cluster == -1 && PyErr_Occurred()) {
+                Py_DECREF(inst);
+                return -1;
+            }
+            Py_DECREF(inst);
+            return pipeline_accept_raw(pl, (Py_ssize_t)ci,
+                                       (Py_ssize_t)cluster,
+                                       (int64_t)occ, now);
+        }
+        if (PyErr_Occurred()) {
+            Py_DECREF(inst);
+            return -1;
+        }
+        /* Unseen opcode: the Python path resolves and caches the key. */
+    }
+    PyObject *result = PyObject_CallOneArg(acquire, inst);
+    Py_DECREF(inst);
+    if (result == NULL)
+        return -1;
+    int ok = PyObject_IsTrue(result);
+    Py_DECREF(result);
+    return ok;
+}
+
+static int
+Pipeline_init(PipelineObj *self, PyObject *args, PyObject *kwds)
+{
+    Py_ssize_t n_classes, clusters, mem_port;
+    PyObject *counts, *issued, *structural, *issue_keys;
+    static char *kwlist[] = {"n_classes", "clusters", "counts",
+                             "mem_port_index", "issued_counters",
+                             "structural_counter", "issue_keys", NULL};
+    if (!PyArg_ParseTupleAndKeywords(args, kwds, "nnOnOOO", kwlist,
+                                     &n_classes, &clusters, &counts,
+                                     &mem_port, &issued, &structural,
+                                     &issue_keys))
+        return -1;
+    if (!PyDict_Check(issue_keys)) {
+        PyErr_SetString(PyExc_TypeError, "issue_keys must be a dict");
+        return -1;
+    }
+    PyObject *counts_fast = PySequence_Fast(counts,
+                                            "counts must be a sequence");
+    if (counts_fast == NULL)
+        return -1;
+    PyObject *issued_fast = PySequence_Fast(issued,
+                                            "counters must be a sequence");
+    if (issued_fast == NULL) {
+        Py_DECREF(counts_fast);
+        return -1;
+    }
+    if (PySequence_Fast_GET_SIZE(counts_fast) != n_classes
+        || PySequence_Fast_GET_SIZE(issued_fast) != n_classes) {
+        Py_DECREF(counts_fast);
+        Py_DECREF(issued_fast);
+        PyErr_SetString(PyExc_ValueError,
+                        "counts/counters length != n_classes");
+        return -1;
+    }
+    self->n_classes = n_classes;
+    self->clusters = clusters;
+    self->mem_port = mem_port;
+    self->heaps = (i64vec *)PyMem_Calloc(
+        (size_t)(n_classes * clusters), sizeof(i64vec));
+    self->issued = (PyObject **)PyMem_Calloc((size_t)n_classes,
+                                             sizeof(PyObject *));
+    if (self->heaps == NULL || self->issued == NULL) {
+        Py_DECREF(counts_fast);
+        Py_DECREF(issued_fast);
+        PyErr_NoMemory();
+        return -1;
+    }
+    for (Py_ssize_t ci = 0; ci < n_classes; ci++) {
+        long long total = PyLong_AsLongLong(
+            PySequence_Fast_GET_ITEM(counts_fast, ci));
+        if (total == -1 && PyErr_Occurred()) {
+            Py_DECREF(counts_fast);
+            Py_DECREF(issued_fast);
+            return -1;
+        }
+        Py_ssize_t per = (Py_ssize_t)(total / clusters);
+        for (Py_ssize_t cluster = 0; cluster < clusters; cluster++) {
+            i64vec *units = &self->heaps[ci * clusters + cluster];
+            if (iv_init(units, per > 0 ? per : 1) < 0) {
+                Py_DECREF(counts_fast);
+                Py_DECREF(issued_fast);
+                PyErr_NoMemory();
+                return -1;
+            }
+            memset(units->data, 0, sizeof(int64_t) * (size_t)per);
+            units->len = per;
+        }
+        PyObject *counter = PySequence_Fast_GET_ITEM(issued_fast, ci);
+        Py_INCREF(counter);
+        self->issued[ci] = counter;
+    }
+    Py_DECREF(counts_fast);
+    Py_DECREF(issued_fast);
+    Py_INCREF(structural);
+    Py_XSETREF(self->structural, structural);
+    Py_INCREF(issue_keys);
+    Py_XSETREF(self->issue_keys, issue_keys);
+    return 0;
+}
+
+static int
+Pipeline_traverse(PipelineObj *self, visitproc visit, void *arg)
+{
+    Py_VISIT(self->structural);
+    Py_VISIT(self->issue_keys);
+    if (self->issued != NULL)
+        for (Py_ssize_t i = 0; i < self->n_classes; i++)
+            Py_VISIT(self->issued[i]);
+    return 0;
+}
+
+static int
+Pipeline_clear(PipelineObj *self)
+{
+    Py_CLEAR(self->structural);
+    Py_CLEAR(self->issue_keys);
+    if (self->issued != NULL)
+        for (Py_ssize_t i = 0; i < self->n_classes; i++)
+            Py_CLEAR(self->issued[i]);
+    return 0;
+}
+
+static void
+Pipeline_dealloc(PipelineObj *self)
+{
+    PyObject_GC_UnTrack(self);
+    Pipeline_clear(self);
+    if (self->heaps != NULL)
+        for (Py_ssize_t i = 0; i < self->n_classes * self->clusters; i++)
+            iv_free(&self->heaps[i]);
+    PyMem_Free(self->heaps);
+    PyMem_Free(self->issued);
+    Py_TYPE(self)->tp_free((PyObject *)self);
+}
+
+static PyObject *
+Pipeline_fu_accept(PipelineObj *self, PyObject *args)
+{
+    long long ci, cluster, occupancy, now;
+    if (!PyArg_ParseTuple(args, "LLLL", &ci, &cluster, &occupancy, &now))
+        return NULL;
+    int rc = pipeline_accept_raw(self, (Py_ssize_t)ci,
+                                 (Py_ssize_t)cluster,
+                                 (int64_t)occupancy, (int64_t)now);
+    if (rc < 0)
+        return NULL;
+    return PyBool_FromLong(rc);
+}
+
+static PyObject *
+Pipeline_fu_can_accept(PipelineObj *self, PyObject *args)
+{
+    long long ci, cluster, now;
+    if (!PyArg_ParseTuple(args, "LLL", &ci, &cluster, &now))
+        return NULL;
+    i64vec *units = &self->heaps[ci * self->clusters + cluster];
+    return PyBool_FromLong(units->len && units->data[0] <= now);
+}
+
+static PyObject *
+Pipeline_fu_cache_port(PipelineObj *self, PyObject *arg)
+{
+    long long now = PyLong_AsLongLong(arg);
+    if (now == -1 && PyErr_Occurred())
+        return NULL;
+    Py_ssize_t base = self->mem_port * self->clusters;
+    for (Py_ssize_t cluster = 0; cluster < self->clusters; cluster++) {
+        i64vec *units = &self->heaps[base + cluster];
+        if (!units->len || units->data[0] > now) {
+            if (counter_inc1(self->structural) < 0)
+                return NULL;
+            continue;
+        }
+        units->data[0] = now + 1;           /* heapreplace */
+        hq_siftup(units->data, 0, units->len);
+        if (counter_inc1(self->issued[self->mem_port]) < 0)
+            return NULL;
+        Py_RETURN_TRUE;
+    }
+    Py_RETURN_FALSE;
+}
+
+static PyObject *
+Pipeline_fu_next_event(PipelineObj *self, PyObject *arg)
+{
+    long long now = PyLong_AsLongLong(arg);
+    if (now == -1 && PyErr_Occurred())
+        return NULL;
+    int64_t earliest = KNEVER;
+    Py_ssize_t total = self->n_classes * self->clusters;
+    for (Py_ssize_t i = 0; i < total; i++) {
+        i64vec *units = &self->heaps[i];
+        if (units->len && now < units->data[0]
+            && units->data[0] < earliest)
+            earliest = units->data[0];
+    }
+    return PyLong_FromLongLong((long long)earliest);
+}
+
+static PyMethodDef Pipeline_methods[] = {
+    {"fu_accept", (PyCFunction)Pipeline_fu_accept, METH_VARARGS, NULL},
+    {"fu_can_accept", (PyCFunction)Pipeline_fu_can_accept, METH_VARARGS,
+     NULL},
+    {"fu_cache_port", (PyCFunction)Pipeline_fu_cache_port, METH_O, NULL},
+    {"fu_next_event", (PyCFunction)Pipeline_fu_next_event, METH_O, NULL},
+    {NULL, NULL, 0, NULL}
+};
+
+static PyMemberDef Pipeline_members[] = {
+    {"issue_keys", T_OBJECT, offsetof(PipelineObj, issue_keys), READONLY,
+     NULL},
+    {NULL, 0, 0, 0, NULL}
+};
+
+static PyTypeObject PipelineType = {
+    PyVarObject_HEAD_INIT(NULL, 0)
+    .tp_name = "repro.core.segmented._ckernels.Pipeline",
+    .tp_basicsize = sizeof(PipelineObj),
+    .tp_itemsize = 0,
+    .tp_dealloc = (destructor)Pipeline_dealloc,
+    .tp_flags = (Py_TPFLAGS_DEFAULT | Py_TPFLAGS_BASETYPE
+                 | Py_TPFLAGS_HAVE_GC),
+    .tp_doc = "Compiled pipeline kernel engine (see pipeline/kernels.py)",
+    .tp_traverse = (traverseproc)Pipeline_traverse,
+    .tp_clear = (inquiry)Pipeline_clear,
+    .tp_methods = Pipeline_methods,
+    .tp_members = Pipeline_members,
+    .tp_init = (initproc)Pipeline_init,
     .tp_new = PyType_GenericNew,
 };
 
@@ -2008,11 +3092,90 @@ static PyTypeObject EQType = {
     .tp_new = PyType_GenericNew,
 };
 
+/* ----------------------------------------------- pipeline rename ------ */
+
+static PyObject *
+ck_rename_operands(PyObject *Py_UNUSED(mod), PyObject *const *args,
+                   Py_ssize_t nargs)
+{
+    /* rename_operands(operand_cls, last_writer, srcs, limit) -> list
+     *
+     * The unclustered rename loop of Processor._dispatch, fused: one
+     * Operand per IQ-relevant source (``limit`` of them; -1 = all),
+     * producer looked up in ``last_writer`` and its value_ready_cycle
+     * copied through.  The clustered path (bypass penalties, steering
+     * stats) stays in Python. */
+    if (nargs != 4) {
+        PyErr_SetString(PyExc_TypeError,
+                        "rename_operands expects 4 arguments");
+        return NULL;
+    }
+    PyObject *cls = args[0], *last_writer = args[1], *srcs = args[2];
+    Py_ssize_t limit = PyNumber_AsSsize_t(args[3], PyExc_OverflowError);
+    if (limit == -1 && PyErr_Occurred())
+        return NULL;
+    if (!PyTuple_CheckExact(srcs) || !PyDict_CheckExact(last_writer)) {
+        PyErr_SetString(PyExc_TypeError,
+                        "rename_operands: srcs tuple / dict expected");
+        return NULL;
+    }
+    Py_ssize_t n = PyTuple_GET_SIZE(srcs);
+    if (limit >= 0 && limit < n)
+        n = limit;
+    PyObject *out = PyList_New(n);
+    if (out == NULL)
+        return NULL;
+    PyTypeObject *tp = (PyTypeObject *)cls;
+    for (Py_ssize_t i = 0; i < n; i++) {
+        PyObject *reg = PyTuple_GET_ITEM(srcs, i);
+        PyObject *producer = NULL;
+        /* r0 is hardwired: never renamed. */
+        if (PyLong_AsLong(reg) != 0) {
+            producer = PyDict_GetItemWithError(last_writer, reg);
+            if (producer == NULL && PyErr_Occurred())
+                goto fail;
+        }
+        PyObject *op = tp->tp_alloc(tp, 0);
+        if (op == NULL)
+            goto fail;
+        PyList_SET_ITEM(out, i, op);    /* list owns op from here */
+        if (PyObject_SetAttr(op, str_reg, reg) < 0
+            || PyObject_SetAttr(op, str_penalty, zero_obj) < 0)
+            goto fail;
+        if (producer == NULL) {
+            if (PyObject_SetAttr(op, str_producer, Py_None) < 0
+                || PyObject_SetAttr(op, str_ready_cycle, zero_obj) < 0)
+                goto fail;
+        } else {
+            PyObject *ready = PyObject_GetAttr(producer,
+                                               str_value_ready_cycle);
+            if (ready == NULL)
+                goto fail;
+            int rc = (PyObject_SetAttr(op, str_producer, producer) < 0
+                      || PyObject_SetAttr(op, str_ready_cycle, ready) < 0);
+            Py_DECREF(ready);
+            if (rc)
+                goto fail;
+        }
+    }
+    return out;
+fail:
+    Py_DECREF(out);
+    return NULL;
+}
+
+static PyMethodDef ckernels_functions[] = {
+    {"rename_operands", (PyCFunction)ck_rename_operands, METH_FASTCALL,
+     NULL},
+    {NULL, NULL, 0, NULL},
+};
+
 static struct PyModuleDef ckernels_module = {
     PyModuleDef_HEAD_INIT,
     .m_name = "repro.core.segmented._ckernels",
     .m_doc = "Compiled kernel backend for the segmented IQ.",
     .m_size = -1,
+    .m_methods = ckernels_functions,
 };
 
 PyMODINIT_FUNC
@@ -2021,7 +3184,64 @@ PyInit__ckernels(void)
     str_segment = PyUnicode_InternFromString("segment");
     str_head_segment = PyUnicode_InternFromString("head_segment");
     str_base = PyUnicode_InternFromString("base");
-    if (!str_segment || !str_head_segment || !str_base)
+    str_inst = PyUnicode_InternFromString("inst");
+    str_static = PyUnicode_InternFromString("static");
+    str_opcode = PyUnicode_InternFromString("opcode");
+    str_cluster = PyUnicode_InternFromString("cluster");
+    str_inc = PyUnicode_InternFromString("inc");
+    if (!str_segment || !str_head_segment || !str_base || !str_inst
+        || !str_static || !str_opcode || !str_cluster || !str_inc)
+        return NULL;
+    str_seq = PyUnicode_InternFromString("seq");
+    str_operands = PyUnicode_InternFromString("operands");
+    str_issued = PyUnicode_InternFromString("issued");
+    str_chain_state = PyUnicode_InternFromString("chain_state");
+    str_queue_cycle = PyUnicode_InternFromString("queue_cycle");
+    str_unknown_count = PyUnicode_InternFromString("unknown_count");
+    str_ready_cycle = PyUnicode_InternFromString("ready_cycle");
+    str_links_priv = PyUnicode_InternFromString("_links");
+    str_own_chain = PyUnicode_InternFromString("own_chain");
+    str_eligible_at = PyUnicode_InternFromString("eligible_at");
+    str_lrp_choice = PyUnicode_InternFromString("lrp_choice");
+    str_lrp_consulted = PyUnicode_InternFromString("lrp_consulted");
+    str_pushdown = PyUnicode_InternFromString("pushdown");
+    str_ready_seg = PyUnicode_InternFromString("ready_seg");
+    str_slot = PyUnicode_InternFromString("slot");
+    str_countdown_ready = PyUnicode_InternFromString("countdown_ready");
+    str_chain_pairs = PyUnicode_InternFromString("chain_pairs");
+    str_cslot = PyUnicode_InternFromString("cslot");
+    str_producer = PyUnicode_InternFromString("producer");
+    str_waiters = PyUnicode_InternFromString("waiters");
+    str_dest = PyUnicode_InternFromString("dest");
+    str_thread = PyUnicode_InternFromString("thread");
+    str_is_load = PyUnicode_InternFromString("is_load");
+    str_latency = PyUnicode_InternFromString("latency");
+    str_head_latency = PyUnicode_InternFromString("head_latency");
+    str_chain = PyUnicode_InternFromString("chain");
+    str_dh = PyUnicode_InternFromString("dh");
+    str_expected_ready = PyUnicode_InternFromString("expected_ready");
+    str_occupancy_priv = PyUnicode_InternFromString("_occupancy");
+    str_reg = PyUnicode_InternFromString("reg");
+    str_penalty = PyUnicode_InternFromString("penalty");
+    str_value_ready_cycle = PyUnicode_InternFromString("value_ready_cycle");
+    str_srcs = PyUnicode_InternFromString("srcs");
+    str_is_mem = PyUnicode_InternFromString("is_mem");
+    str_freed = PyUnicode_InternFromString("freed");
+    str_member_delay = PyUnicode_InternFromString("member_delay");
+    never_obj = PyLong_FromLongLong(1LL << 60);
+    zero_obj = PyLong_FromLong(0);
+    if (!str_seq || !str_operands || !str_issued || !str_chain_state
+        || !str_queue_cycle || !str_unknown_count || !str_ready_cycle
+        || !str_links_priv || !str_own_chain || !str_eligible_at
+        || !str_lrp_choice || !str_lrp_consulted || !str_pushdown
+        || !str_ready_seg || !str_slot || !str_countdown_ready
+        || !str_chain_pairs || !str_cslot || !str_producer
+        || !str_waiters || !str_dest || !str_thread || !str_is_load
+        || !str_latency || !str_head_latency || !str_chain || !str_dh
+        || !str_expected_ready || !str_occupancy_priv || !str_reg
+        || !str_penalty || !str_value_ready_cycle || !str_srcs
+        || !str_is_mem || !str_freed || !str_member_delay || !never_obj
+        || !zero_obj)
         return NULL;
     if (PyType_Ready(&EngineType) < 0)
         return NULL;
@@ -2067,6 +3287,21 @@ PyInit__ckernels(void)
     if (PyModule_AddObject(module, "EventQueue",
                            (PyObject *)&EQType) < 0) {
         Py_DECREF(&EQType);
+        Py_DECREF(module);
+        return NULL;
+    }
+    if (PyType_Ready(&PipelineType) < 0) {
+        Py_DECREF(module);
+        return NULL;
+    }
+    if (PyDict_SetItemString(PipelineType.tp_dict, "kind", kind) < 0) {
+        Py_DECREF(module);
+        return NULL;
+    }
+    Py_INCREF(&PipelineType);
+    if (PyModule_AddObject(module, "Pipeline",
+                           (PyObject *)&PipelineType) < 0) {
+        Py_DECREF(&PipelineType);
         Py_DECREF(module);
         return NULL;
     }

@@ -85,6 +85,7 @@ class PyKernelEngine:
         "e_c0", "e_dh0", "e_c1", "e_dh1", "e_own", "e_crit0", "e_crit1",
         "free_slots", "occ", "heaps", "readys", "members", "free_prev",
         "c_obj", "c_mode", "c_base", "c_hseg", "c_members",
+        "p0heap", "r0heap",
     )
 
     def __init__(self, num_segments: int, capacity: int,
@@ -124,6 +125,12 @@ class PyKernelEngine:
         self.c_base: List[int] = []
         self.c_hseg: List[int] = []
         self.c_members: List[List[int]] = []
+        # Segment-0 issue scheduling on actual readiness: pending records
+        # ``(ready_cycle << SLOT_BITS) | slot`` mature into the ready heap
+        # of ``(seq << SLOT_BITS) | slot`` keys (the packed twin of the
+        # old (ready, seq, entry) / (seq, entry) tuple heaps).
+        self.p0heap: List[int] = []
+        self.r0heap: List[int] = []
 
     # ------------------------------------------------------------ clock --
     def set_now(self, now: int) -> None:
@@ -238,6 +245,67 @@ class PyKernelEngine:
 
     def slot_seq(self, slot: int) -> int:
         return self.e_seq[slot]
+
+    # ---------------------------------------------------- segment-0 issue --
+    def p0_push(self, slot: int, when: int) -> None:
+        """Record that the entry in ``slot`` (fully known, in segment 0)
+        becomes an issue candidate at cycle ``when``."""
+        heappush(self.p0heap, (when << SLOT_BITS) | slot)
+
+    def p0_next(self, now: int) -> int:
+        """Earliest cycle the segment-0 issue path could act: ``now``
+        while ready candidates (even stale records) are queued, else the
+        next pending maturity, else NEVER."""
+        if self.r0heap:
+            return now
+        if self.p0heap:
+            return self.p0heap[0] >> SLOT_BITS
+        return NEVER
+
+    def issue_select(self, now: int, width: int, fu, acquire):
+        """The fused segment-0 issue loop.
+
+        Matured pending records graduate into the ready heap (drop the
+        record when the occupant left segment 0 — recycled by deadlock
+        recovery — or issued; no record outlives its entry otherwise,
+        because every record's ready cycle is at or before the entry's
+        issue cycle).  Then the ``width`` oldest candidates that the FU
+        pool accepts issue, and blocked candidates re-queue.  Returns
+        ``(ready_count, issued_entries)`` — the count feeds the
+        ``iq.seg0_ready`` sample *before* staleness filtering at pop
+        time, exactly like the tuple-heap code it replaces.
+
+        ``fu`` is the pipeline kernel engine when the caller can offer a
+        fused FU check (the compiled twin exploits it); this reference
+        implementation always goes through ``acquire(inst)``.
+        """
+        p0 = self.p0heap
+        r0 = self.r0heap
+        e_seq = self.e_seq
+        e_seg = self.e_seg
+        bound = (now + 1) << SLOT_BITS
+        while p0 and p0[0] < bound:
+            slot = heappop(p0) & SLOT_MASK
+            if e_seg[slot] == 0 and e_seq[slot] >= 0:
+                heappush(r0, (e_seq[slot] << SLOT_BITS) | slot)
+        count = len(r0)
+        issued: List = []
+        blocked: List[int] = []
+        e_obj = self.e_obj
+        while r0 and len(issued) < width:
+            key = heappop(r0)
+            slot = key & SLOT_MASK
+            if e_seq[slot] != key >> SLOT_BITS or e_seg[slot] != 0:
+                continue               # issued already or recycled
+            entry = e_obj[slot]
+            if acquire(entry.inst):
+                self.free_entry(slot)
+                issued.append(entry)
+            else:
+                blocked.append(key)
+        for key in blocked:
+            heappush(r0, key)
+        return count, issued
 
     # ------------------------------------------------------- eligibility --
     def _eligible_when(self, slot: int, threshold: int, now: int) -> int:

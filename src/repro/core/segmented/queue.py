@@ -31,8 +31,13 @@ from repro.core.segmented.chains import Chain, ChainManager
 from repro.core.segmented.kernels import make_engine
 from repro.core.segmented.links import (NEVER, ChainLink, CountdownLink,
                                         combined_delay)
-from repro.core.segmented.register_info import RegisterInfoTable
+from repro.core.segmented.register_info import RegisterInfoTable, RITEntry
 from repro.core.segmented.segment import SegmentState
+
+#: object.__new__, hoisted: the dispatch path builds its IQEntry /
+#: SegmentState / RITEntry with direct slot stores instead of running
+#: the constructor frames (exact inlining; one allocation per object).
+_new = object.__new__
 
 #: Predicted latency of a load from IQ issue: 1-cycle EA calculation plus
 #: the L1 data-cache hit latency (3 cycles in Table 1).
@@ -40,14 +45,21 @@ PREDICTED_LOAD_LATENCY = 4
 
 
 class DispatchPlan:
-    """Chain assignment decided for one instruction at dispatch."""
+    """Chain assignment decided for one instruction at dispatch.
 
-    __slots__ = ("links", "needs_chain", "lrp_choice", "lrp_consulted",
-                 "head_latency")
+    Links are kept packed — ``countdown_ready`` is the governing (max)
+    known-arrival cycle or -1, ``chain_pairs`` the ``(chain, dh)`` pairs
+    in operand order — so the per-dispatch path allocates no link
+    objects (``SegmentState.links`` rebuilds them on demand for the
+    diagnostic readers)."""
 
-    def __init__(self, links, needs_chain, lrp_choice, lrp_consulted,
-                 head_latency) -> None:
-        self.links = links
+    __slots__ = ("countdown_ready", "chain_pairs", "needs_chain",
+                 "lrp_choice", "lrp_consulted", "head_latency")
+
+    def __init__(self, countdown_ready, chain_pairs, needs_chain,
+                 lrp_choice, lrp_consulted, head_latency) -> None:
+        self.countdown_ready = countdown_ready
+        self.chain_pairs = chain_pairs
         self.needs_chain = needs_chain
         self.lrp_choice = lrp_choice
         self.lrp_consulted = lrp_consulted
@@ -137,9 +149,6 @@ class SegmentedIQ(InstructionQueue):
         self._threshold_update_interval = params.threshold_update_interval
         self._head_chains: Dict[int, Chain] = {}   # head seq -> chain
         self._plan_cache: Dict[int, DispatchPlan] = {}
-        # Segment-0 issue scheduling on actual readiness.
-        self._pending0: List = []   # heap (ready_cycle, seq, entry)
-        self._ready0: List = []     # heap (seq, entry)
         self._issued_this_cycle = False
         self._promoted_this_cycle = False
         self._last_issue_cycle = 0
@@ -177,6 +186,19 @@ class SegmentedIQ(InstructionQueue):
         self.stat_seg0_ready = stats.distribution(
             "iq.seg0_ready", "issue-ready instructions in segment 0")
 
+        # Fused C admission: when the compiled engine offers bind_admit,
+        # hand it the classes the dispatch path instantiates plus the
+        # dispatched counter; dispatch then funnels the whole admission
+        # body through one engine.admit call.  The inlined Python body
+        # below stays as the pure-Python twin.
+        self._c_admit = False
+        if getattr(self._engine, "kind", "py") == "compiled":
+            bind = getattr(self._engine, "bind_admit", None)
+            if bind is not None:
+                bind(SegmentState, RITEntry, IQEntry,
+                     self.stat_dispatched, PREDICTED_LOAD_LATENCY)
+                self._c_admit = True
+
     # ------------------------------------------------------------ space --
     def attach_tracer(self, tracer) -> None:
         super().attach_tracer(tracer)
@@ -196,67 +218,92 @@ class SegmentedIQ(InstructionQueue):
         if cached is not None:
             return cached
 
-        iq_regs = inst.srcs[:1] if inst.is_mem else inst.srcs
-        links = []
-        reg_base = inst.thread * 64      # _reg_key, inlined
-        # RegisterInfoTable.link_for, inlined (two dispatch-planning calls
-        # per instruction make the method dispatch + re-entry visible).
-        rit_entries = self.rit._entries
-        for reg in iq_regs:
-            if reg == 0:
-                continue
-            rentry = rit_entries.get(reg_base + reg)
-            if rentry is None:
-                continue
-            ready = rentry.producer.value_ready_cycle
-            if ready is not None:
-                # Exact knowledge: the producer already issued/completed.
-                if ready > now:
-                    links.append(CountdownLink(ready))
-                continue
-            rchain = rentry.chain
-            if rchain is not None:
-                if not rchain.freed:
-                    links.append(ChainLink(rchain, rentry.dh))
-                else:
-                    # Chain wire freed: value trails the written-back head
-                    # by at most dh self-timed cycles.
-                    links.append(CountdownLink(
-                        now + rchain.member_delay(rentry.dh, now)))
-                continue
-            if rentry.expected_ready > now:
-                links.append(CountdownLink(rentry.expected_ready))
+        if self._c_admit:
+            # The fused RIT scan (bit-identical to the loop below).
+            links = self._engine.plan_links(self.rit._entries, inst, now)
+        else:
+            iq_regs = inst.srcs[:1] if inst.is_mem else inst.srcs
+            # Packed links: a chain link is a (chain, dh) pair, a
+            # countdown link its bare ready cycle (int) — no link
+            # objects here.
+            links = []
+            reg_base = inst.thread * 64      # _reg_key, inlined
+            # RegisterInfoTable.link_for, inlined (two dispatch-planning
+            # calls per instruction make the method dispatch + re-entry
+            # visible).
+            rit_entries = self.rit._entries
+            for reg in iq_regs:
+                if reg == 0:
+                    continue
+                rentry = rit_entries.get(reg_base + reg)
+                if rentry is None:
+                    continue
+                ready = rentry.producer.value_ready_cycle
+                if ready is not None:
+                    # Exact knowledge: the producer already issued or
+                    # completed.
+                    if ready > now:
+                        links.append(ready)
+                    continue
+                rchain = rentry.chain
+                if rchain is not None:
+                    if not rchain.freed:
+                        links.append((rchain, rentry.dh))
+                    else:
+                        # Chain wire freed: value trails the written-back
+                        # head by at most dh self-timed cycles.
+                        links.append(
+                            now + rchain.member_delay(rentry.dh, now))
+                    continue
+                if rentry.expected_ready > now:
+                    links.append(rentry.expected_ready)
 
+        lrp = self.lrp
         lrp_choice = -1
         lrp_consulted = False
         two_distinct_chains = (
             len(links) == 2
-            and type(links[0]) is ChainLink
-            and type(links[1]) is ChainLink
-            and links[0].chain is not links[1].chain)
+            and type(links[0]) is tuple
+            and type(links[1]) is tuple
+            and links[0][0] is not links[1][0])
         if two_distinct_chains:
             self.stat_two_chain.inc()
 
-        if self.lrp is not None and len(links) == 2:
-            lrp_choice = self.lrp.predict_later(inst.pc)
+        if lrp is not None and len(links) == 2:
+            lrp_choice = lrp.predict_later(inst.pc)
             lrp_consulted = True
             links = [links[lrp_choice]]
 
         needs_chain = False
         head_latency = 0
         if inst.is_load:
-            predicted_hit = (self.hmp is not None
-                             and self.hmp.predict_hit(inst.pc, inst.seq))
+            hmp = self.hmp
+            predicted_hit = (hmp is not None
+                             and hmp.predict_hit(inst.pc, inst.seq))
             if not predicted_hit:
                 needs_chain = True
                 head_latency = PREDICTED_LOAD_LATENCY
-        elif two_distinct_chains and self.lrp is None:
+        elif two_distinct_chains and lrp is None:
             # Base design: two-chain instructions become chain heads (3.4).
             needs_chain = True
-            head_latency = inst.static.info.latency
+            head_latency = inst.latency
 
-        plan = DispatchPlan(links, needs_chain, lrp_choice, lrp_consulted,
-                            head_latency)
+        countdown = -1
+        pairs = []
+        for link in links:
+            if type(link) is tuple:
+                pairs.append(link)
+            elif link > countdown:
+                countdown = link
+
+        # DispatchPlan with direct slot stores (no constructor frame).
+        plan = _new(DispatchPlan)
+        plan.countdown_ready = countdown
+        plan.chain_pairs = pairs
+        plan.needs_chain = needs_chain
+        plan.lrp_choice = lrp_choice
+        plan.lrp_consulted = lrp_consulted
+        plan.head_latency = head_latency
         self._plan_cache[inst.seq] = plan
         return plan
 
@@ -264,12 +311,14 @@ class SegmentedIQ(InstructionQueue):
         """Cluster of the chain this instruction will follow, if any
         (section-7 clustering: members execute beside their chain head)."""
         plan = self._plan(inst, now)
-        chain_links = [link for link in plan.links
-                       if isinstance(link, ChainLink)]
-        if not chain_links:
+        pairs = plan.chain_pairs
+        if not pairs:
             return None
-        governing = max(chain_links, key=lambda l: l.dh)
-        return governing.chain.cluster
+        governing = pairs[0]
+        for pair in pairs[1:]:
+            if pair[1] > governing[1]:
+                governing = pair
+        return governing[0].cluster
 
     def can_dispatch(self, inst) -> bool:
         self.blocked_on_chain = False
@@ -321,14 +370,54 @@ class SegmentedIQ(InstructionQueue):
             self._head_chains[inst.seq] = chain
             self.stat_chain_heads.inc()
 
-        entry = IQEntry(inst, operands)
+        if self._c_admit:
+            # The compiled engine runs the entire admission body —
+            # operation-for-operation identical to the Python block
+            # below — in one C call.
+            return engine.admit(self, self.rit._entries, inst, operands,
+                                plan, chain, target, now)
+
+        # IQEntry / SegmentState construction with direct slot stores
+        # (exact inlining of IQEntry.__init__, SegmentState.from_packed
+        # and register_operand_wakeups: one pass over the operands, no
+        # constructor frames — this path runs once per simulated
+        # instruction).
+        entry = _new(IQEntry)
+        entry.inst = inst
+        entry.seq = inst.seq
+        entry.operands = operands
+        entry.issued = False
+        entry.segment = -1
         entry.queue_cycle = now
-        state = SegmentState(plan.links, chain)
+        unknown = 0
+        ready = 0
+        for operand in operands:
+            rc = operand.ready_cycle
+            if rc is None:
+                unknown += 1
+            elif rc > ready:
+                ready = rc
+        entry.unknown_count = unknown
+        entry.ready_cycle = ready
+        countdown = plan.countdown_ready
+        pairs = plan.chain_pairs
+        state = _new(SegmentState)
+        state._links = None
+        state.own_chain = chain
+        state.eligible_at = NEVER
         state.lrp_choice = plan.lrp_choice
         state.lrp_consulted = plan.lrp_consulted
+        state.pushdown = False
+        state.ready_seg = -1
+        state.countdown_ready = countdown
+        state.chain_pairs = pairs
         entry.chain_state = state
-        self.register_operand_wakeups(entry)
-        pairs = state.chain_pairs
+        if unknown:
+            # One subscription triple per unknown operand (see
+            # InstructionQueue._subscribe).
+            for index, operand in enumerate(operands):
+                if operand.ready_cycle is None:
+                    operand.producer.waiters.append((self, entry, index))
         c0 = c1 = -1
         dh0 = dh1 = 0
         if pairs:
@@ -339,14 +428,44 @@ class SegmentedIQ(InstructionQueue):
                 dh1 = pairs[1][1]
         own = chain.cslot if chain is not None else -1
         state.slot = engine.insert_entry(entry, inst.seq, target,
-                                         state.countdown_ready,
-                                         c0, dh0, c1, dh1, own, now)
+                                         countdown, c0, dh0, c1, dh1,
+                                         own, now)
         self._occupancy += 1
         self.stat_dispatched.inc()
-        if target == 0 and entry.all_sources_known:
-            heapq.heappush(self._pending0,
-                           (max(entry.ready_cycle, now + 1), entry.seq, entry))
-        self._update_rit(inst, plan, chain, now)
+        if target == 0 and not unknown:
+            engine.p0_push(state.slot, max(ready, now + 1))
+        # _update_rit, inlined (RITEntry stored with direct slot writes).
+        dest = inst.dest
+        if dest is None or dest == 0:
+            return entry
+        own_latency = (PREDICTED_LOAD_LATENCY if inst.is_load
+                       else inst.latency)
+        rentry = _new(RITEntry)
+        rentry.producer = inst
+        if chain is not None:
+            rentry.chain = chain
+            rentry.dh = plan.head_latency
+            rentry.expected_ready = 0
+        else:
+            deepest = None
+            for pair in pairs:
+                if deepest is None or pair[1] > deepest[1]:
+                    deepest = pair
+            if deepest is not None:
+                # Follow the (single) producing chain; the consumer's
+                # value trails the head by the operand's latency plus
+                # this op.
+                rentry.chain = deepest[0]
+                rentry.dh = deepest[1] + own_latency
+                rentry.expected_ready = 0
+            else:
+                rentry.chain = None
+                rentry.dh = 0
+                expected = now + 1
+                if countdown > expected:
+                    expected = countdown
+                rentry.expected_ready = expected + own_latency
+        self.rit._entries[inst.thread * 64 + dest] = rentry
         return entry
 
     @staticmethod
@@ -355,87 +474,47 @@ class SegmentedIQ(InstructionQueue):
         SMT threads never alias each other's registers."""
         return inst.thread * 64 + reg
 
-    def _update_rit(self, inst, plan: DispatchPlan, chain: Optional[Chain],
-                    now: int) -> None:
-        dest = inst.dest
-        if dest is None or dest == 0:
-            return
-        dest_key = inst.thread * 64 + dest     # _reg_key, inlined
-        own_latency = (PREDICTED_LOAD_LATENCY if inst.is_load
-                       else inst.static.info.latency)
-        if chain is not None:
-            self.rit.set_chained(dest_key, inst, chain, plan.head_latency)
-            return
-        deepest = None
-        ready = now + 1
-        for link in plan.links:
-            if type(link) is ChainLink:
-                if deepest is None or link.dh > deepest.dh:
-                    deepest = link
-            elif link.ready_at > ready:
-                ready = link.ready_at
-        if deepest is not None:
-            # Follow the (single) producing chain; the consumer's value
-            # trails the head by the operand's latency plus this op.
-            self.rit.set_chained(dest_key, inst, deepest.chain,
-                                 deepest.dh + own_latency)
-            return
-        self.rit.set_countdown(dest_key, inst, ready + own_latency)
-
     # ----------------------------------------------------------- wakeup --
     def on_entry_ready_known(self, entry: IQEntry) -> None:
         if entry.segment == 0 and not entry.issued:
-            heapq.heappush(self._pending0,
-                           (entry.ready_cycle, entry.seq, entry))
+            self._engine.p0_push(entry.chain_state.slot, entry.ready_cycle)
 
     # ------------------------------------------------------------ issue --
     def select_issue(self, now: int, acquire_fu) -> List[IQEntry]:
         self.now = now
-        self._engine.set_now(now)
+        engine = self._engine
+        engine.set_now(now)
         self._issued_this_cycle = False
-        pending0 = self._pending0
-        ready0 = self._ready0
-        heappop = heapq.heappop
-        heappush = heapq.heappush
-        while pending0 and pending0[0][0] <= now:
-            _, seq, entry = heappop(pending0)
-            if entry.segment == 0 and not entry.issued:
-                heappush(ready0, (seq, entry))
-        self.stat_seg0_ready.sample(len(ready0))
-
-        issued: List[IQEntry] = []
-        blocked: List = []
-        width = self.issue_width
-        while ready0 and len(issued) < width:
-            seq, entry = heappop(ready0)
-            if entry.segment != 0 or entry.issued:
-                continue           # recycled by deadlock recovery
-            if acquire_fu(entry.inst):
-                self._do_issue(entry, now)
-                issued.append(entry)
-            else:
-                blocked.append((seq, entry))
-        for item in blocked:
-            heappush(ready0, item)
+        # A caller that exposes its FU kernel engine (the processor's
+        # FUAcquire) lets the compiled engine fuse the FU check into its
+        # issue loop; any plain callable takes the generic path.  Both
+        # are bit-identical — the fused check claims the same unit with
+        # the same stat increments the callable would have.
+        fu_engine = getattr(acquire_fu, "fu_engine", None)
+        count, issued = engine.issue_select(now, self.issue_width,
+                                            fu_engine, acquire_fu)
+        self.stat_seg0_ready.sample(count)
         if issued:
             self._issued_this_cycle = True
             self.stat_issued.inc(len(issued))
+            lrp = self.lrp
+            for entry in issued:
+                # The engine freed the slot; finish the object-side issue
+                # bookkeeping (the old _do_issue minus the engine call).
+                entry.issued = True
+                self._occupancy -= 1
+                state = entry.chain_state
+                own = state.own_chain
+                if own is not None:
+                    own.on_head_issued(now)
+                if state.lrp_consulted and lrp is not None:
+                    ops = entry.operands
+                    if len(ops) == 2:
+                        lrp.train(entry.inst.pc,
+                                  ops[0].ready_cycle or 0,
+                                  ops[1].ready_cycle or 0,
+                                  state.lrp_choice)
         return issued
-
-    def _do_issue(self, entry: IQEntry, now: int) -> None:
-        entry.issued = True
-        state = entry.chain_state
-        self._engine.free_entry(state.slot)
-        self._occupancy -= 1
-        if state.own_chain is not None:
-            state.own_chain.on_head_issued(now)
-        if state.lrp_consulted and self.lrp is not None:
-            ops = entry.operands
-            if len(ops) == 2:
-                self.lrp.train(entry.inst.pc,
-                               ops[0].ready_cycle or 0,
-                               ops[1].ready_cycle or 0,
-                               state.lrp_choice)
 
     # -------------------------------------------------------- promotion --
     def cycle(self, now: int) -> None:
@@ -450,15 +529,13 @@ class SegmentedIQ(InstructionQueue):
         if pushdowns:
             self.stat_pushdowns.inc(pushdowns)
         if seg0_entries:
-            pending0 = self._pending0
-            heappush = heapq.heappush
+            p0_push = engine.p0_push
             later = now + 1
             for entry in seg0_entries:
-                if entry.all_sources_known:
+                if not entry.unknown_count:
                     ready = entry.ready_cycle
-                    heappush(pending0,
-                             (ready if ready > later else later, entry.seq,
-                              entry))
+                    p0_push(entry.chain_state.slot,
+                            ready if ready > later else later)
         tracer = self.tracer
         if tracer is not None:
             for entry, src, dst, pushdown in engine.drain_events():
@@ -490,14 +567,9 @@ class SegmentedIQ(InstructionQueue):
         # Segment 0 holds issue candidates (even stale heap records make
         # the cycle active: select_issue samples iq.seg0_ready before
         # filtering them out).
-        if self._ready0:
+        wake = self._engine.p0_next(now)
+        if wake <= now:
             return now
-        wake = NEVER
-        if self._pending0:
-            when = self._pending0[0][0]
-            if when <= now:
-                return now
-            wake = when
         if self._dynamic_resize:
             interval = self._resize_interval
             if now and now % interval == 0:
@@ -713,9 +785,7 @@ class SegmentedIQ(InstructionQueue):
         if state.own_chain is not None and not state.own_chain.issued:
             state.own_chain.on_head_promoted(dest)
         if dest == 0 and entry.all_sources_known:
-            heapq.heappush(self._pending0,
-                           (max(entry.ready_cycle, now + 1), entry.seq,
-                            entry))
+            engine.p0_push(slot, max(entry.ready_cycle, now + 1))
 
     # ------------------------------------------------------------- hooks --
     def notify_load_miss(self, inst, now: int) -> None:

@@ -12,18 +12,18 @@ import heapq
 from typing import Dict, List
 
 from repro.core.iq_base import IQEntry
-from repro.core.segmented.links import NEVER, CountdownLink
+from repro.core.segmented.links import NEVER, ChainLink, CountdownLink
 
 
 class SegmentState:
     """Per-entry segmented-IQ scheduling state (stored in entry.chain_state)."""
 
-    __slots__ = ("links", "own_chain", "eligible_at", "lrp_choice",
+    __slots__ = ("_links", "own_chain", "eligible_at", "lrp_choice",
                  "lrp_consulted", "pushdown", "countdown_ready",
                  "chain_pairs", "ready_seg", "slot")
 
     def __init__(self, links, own_chain) -> None:
-        self.links = links
+        self._links = links
         self.own_chain = own_chain
         self.eligible_at = NEVER
         self.lrp_choice = -1
@@ -50,6 +50,41 @@ class SegmentState:
                 pairs.append((link.chain, link.dh))
         self.countdown_ready = ready
         self.chain_pairs = pairs
+
+    @classmethod
+    def from_packed(cls, countdown_ready: int, chain_pairs,
+                    own_chain) -> "SegmentState":
+        """Build from already-compiled link data (the dispatch planner
+        keeps links packed — a (chain, dh) pair or a bare ready cycle —
+        so the per-dispatch path allocates no link objects)."""
+        state = cls.__new__(cls)
+        state._links = None
+        state.own_chain = own_chain
+        state.eligible_at = NEVER
+        state.lrp_choice = -1
+        state.lrp_consulted = False
+        state.pushdown = False
+        state.ready_seg = -1
+        state.slot = -1
+        state.countdown_ready = countdown_ready
+        state.chain_pairs = chain_pairs
+        return state
+
+    @property
+    def links(self):
+        """Link objects for the diagnostic readers (invariant checks,
+        threshold refits, delay_of).  Rebuilt on demand from the packed
+        form; equivalent under every consumer because the entry delay is
+        the max over links and multiple countdowns collapse to the max."""
+        links = self._links
+        if links is None:
+            links = []
+            if self.countdown_ready >= 0:
+                links.append(CountdownLink(self.countdown_ready))
+            for chain, dh in self.chain_pairs:
+                links.append(ChainLink(chain, dh))
+            self._links = links
+        return links
 
 
 class Segment:

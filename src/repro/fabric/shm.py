@@ -11,6 +11,18 @@ only a tiny control tuple over the pipe.  Stat *keys* are interned: a
 key table is transmitted once per distinct key set (a sweep has one per
 IQ kind, not one per cell), then referenced by id.
 
+Cell pipelining: the shared buffer is **double-buffered** — two
+snapshot slots, used alternately — and each worker accepts up to
+:data:`PIPELINE_DEPTH` cells at a time.  The driver queues the next
+spec while the current cell is still computing, so a worker rolls
+straight into its next cell without waiting for the parent to drain
+the last snapshot; the parked result sits in the other slot until the
+parent unpacks it.  Two slots are exactly enough because admission is
+capped at two unsettled cells per worker and the parent consumes
+results in pipe (FIFO) order: before a worker can receive the cell
+that would produce snapshot ``k+2``, the parent has unpacked snapshot
+``k`` from the slot being reused.
+
 Bit-identity: the worker runs the same ``_execute_spec`` as every other
 backend; integer-valued stats are flagged in a mask and restored to
 ``int`` on the parent side, so the reconstructed ``RunResult`` equals
@@ -41,18 +53,24 @@ from repro.harness.runner import RunResult
 #: Snapshot header: ipc (f64), cycles, instructions, value count.
 _HEADER = struct.Struct("<dqqq")
 
-#: Default per-worker shared buffer; a stats dict would need ~32k
-#: entries to overflow it, at which point the pipe fallback kicks in.
+#: Per-slot shared buffer; a stats dict would need ~32k entries to
+#: overflow it, at which point the pipe fallback kicks in.
 DEFAULT_BUFFER_BYTES = 256 * 1024
 
+#: Snapshot slots per worker, and with them the per-worker admission
+#: cap: one cell computing plus one parked, undrained result.
+PIPELINE_DEPTH = 2
 
-def _snapshot_pack(buf: mmap.mmap, result: RunResult,
+
+def _snapshot_pack(buf: mmap.mmap, offset: int, limit: int,
+                   result: RunResult,
                    keys: Tuple[str, ...]) -> Optional[bytes]:
-    """Pack ``result`` into ``buf``; returns the int-mask, or None when
-    the snapshot does not fit (caller falls back to the pipe)."""
+    """Pack ``result`` into ``buf`` at ``offset``; returns the int-mask,
+    or None when the snapshot does not fit in ``limit`` bytes (caller
+    falls back to the pipe)."""
     values = [result.stats[key] for key in keys]
     need = _HEADER.size + 8 * len(values)
-    if need > len(buf):
+    if need > limit:
         return None
     mask = bytearray((len(values) + 7) // 8)
     floats: List[float] = []
@@ -64,17 +82,18 @@ def _snapshot_pack(buf: mmap.mmap, result: RunResult,
                 return None
             mask[index // 8] |= 1 << (index % 8)
         floats.append(float(value))
-    _HEADER.pack_into(buf, 0, result.ipc, result.cycles,
+    _HEADER.pack_into(buf, offset, result.ipc, result.cycles,
                       result.instructions, len(floats))
     if floats:
-        struct.pack_into(f"<{len(floats)}d", buf, _HEADER.size, *floats)
+        struct.pack_into(f"<{len(floats)}d", buf, offset + _HEADER.size,
+                         *floats)
     return bytes(mask)
 
 
-def _snapshot_unpack(buf: mmap.mmap, keys: Tuple[str, ...], mask: bytes,
-                     workload: str, config: str) -> RunResult:
-    ipc, cycles, instructions, count = _HEADER.unpack_from(buf, 0)
-    values = (struct.unpack_from(f"<{count}d", buf, _HEADER.size)
+def _snapshot_unpack(buf: mmap.mmap, offset: int, keys: Tuple[str, ...],
+                     mask: bytes, workload: str, config: str) -> RunResult:
+    ipc, cycles, instructions, count = _HEADER.unpack_from(buf, offset)
+    values = (struct.unpack_from(f"<{count}d", buf, offset + _HEADER.size)
               if count else ())
     stats = {}
     for index, (key, value) in enumerate(zip(keys, values)):
@@ -85,9 +104,17 @@ def _snapshot_unpack(buf: mmap.mmap, keys: Tuple[str, ...], mask: bytes,
                      cycles=cycles, instructions=instructions, stats=stats)
 
 
-def _shm_worker_main(conn, buf: mmap.mmap) -> None:
-    """Forked worker loop: run cells, snapshot results into ``buf``."""
+def _shm_worker_main(conn, buf: mmap.mmap, slot_bytes: int) -> None:
+    """Forked worker loop: run cells, snapshot results into ``buf``.
+
+    Snapshots alternate between the slots (``snapshots %
+    PIPELINE_DEPTH``); the parent's admission cap guarantees the slot
+    being reused was drained (see the module docstring).  Specs queue
+    in the pipe, so the next ``recv`` returns immediately when the
+    parent submitted ahead.
+    """
     tables: Dict[Tuple[str, ...], int] = {}
+    snapshots = 0
     while True:
         try:
             message = conn.recv()
@@ -107,17 +134,20 @@ def _shm_worker_main(conn, buf: mmap.mmap) -> None:
             conn.send(("blob", task_id, result))
             continue
         keys = tuple(sorted(result.stats))
-        mask = _snapshot_pack(buf, result, keys)
+        slot = snapshots % PIPELINE_DEPTH
+        mask = _snapshot_pack(buf, slot * slot_bytes, slot_bytes,
+                              result, keys)
         if mask is None:
             conn.send(("blob", task_id, result))
             continue
+        snapshots += 1
         table_id = tables.get(keys)
         if table_id is None:
             table_id = len(tables)
             tables[keys] = table_id
             conn.send(("table", table_id, keys))
         conn.send(("done", task_id, result.workload, result.config,
-                   table_id, mask))
+                   table_id, mask, slot))
     try:
         conn.close()
     except OSError:
@@ -128,15 +158,60 @@ class _ShmWorker:
     """One forked worker: pipe for control, mmap for result payloads."""
 
     def __init__(self, context, buffer_bytes: int) -> None:
-        self.buf = mmap.mmap(-1, buffer_bytes)
+        self.slot_bytes = buffer_bytes
+        self.buf = mmap.mmap(-1, PIPELINE_DEPTH * buffer_bytes)
         self.conn, child = context.Pipe()
-        self.process = context.Process(target=_shm_worker_main,
-                                       args=(child, self.buf), daemon=True)
+        self.process = context.Process(
+            target=_shm_worker_main, args=(child, self.buf, buffer_bytes),
+            daemon=True)
         self.process.start()
         child.close()
         self.tables: Dict[int, Tuple[str, ...]] = {}
-        self.handle: Optional["ShmHandle"] = None   # in-flight cell
+        #: Unsettled handles in submission order (== pipe FIFO order);
+        #: capped at PIPELINE_DEPTH by the backend's admission.
+        self.pending: List["ShmHandle"] = []
         self.dead = False
+
+    # ------------------------------------------------------ message pump --
+    def _route(self, message) -> None:
+        """Deliver one pipe message; results settle the oldest handle
+        (per-task messages arrive in submission order)."""
+        kind = message[0]
+        if kind == "table":
+            self.tables[message[1]] = message[2]
+            return
+        handle = self.pending[0]
+        if kind == "done":
+            _, _tid, workload, config, table_id, mask, slot = message
+            handle._settle(_snapshot_unpack(
+                self.buf, slot * self.slot_bytes, self.tables[table_id],
+                mask, workload, config))
+        elif kind in ("blob", "error"):
+            handle._settle(message[2])
+
+    def pump(self) -> None:
+        """Drain queued messages, settling handles oldest-first; on
+        worker death, fail whatever is still pending."""
+        if self.dead:
+            return
+        try:
+            while self.pending and self.conn.poll():
+                self._route(self.conn.recv())
+        except (EOFError, OSError):
+            pass
+        if not self.pending or self.process.is_alive():
+            return
+        try:                             # catch results racing the exit
+            while self.pending and self.conn.poll():
+                self._route(self.conn.recv())
+        except (EOFError, OSError):
+            pass
+        self.dead = True
+        for handle in list(self.pending):
+            handle._settle(CellError(
+                label=handle.label,
+                error="cancelled" if handle.cancelled
+                else "worker process died without reporting a result"))
 
     def kill(self) -> None:
         self.dead = True
@@ -179,51 +254,15 @@ class ShmHandle:
         self._result = None
         self._finished = False
 
-    def _drain(self) -> None:
-        if self._finished:
-            return
-        worker = self._worker
-        try:
-            while worker.conn.poll():
-                message = worker.conn.recv()
-                kind = message[0]
-                if kind == "table":
-                    worker.tables[message[1]] = message[2]
-                elif kind == "done":
-                    _, _tid, workload, config, table_id, mask = message
-                    self._settle(_snapshot_unpack(
-                        worker.buf, worker.tables[table_id], mask,
-                        workload, config))
-                    return
-                elif kind in ("blob", "error"):
-                    self._settle(message[2])
-                    return
-        except (EOFError, OSError):
-            if not worker.process.is_alive():
-                worker.dead = True
-                self._settle(CellError(
-                    label=self.label,
-                    error="cancelled" if self.cancelled
-                    else "worker process died without reporting a result"))
-
     def _settle(self, value) -> None:
         self._result = value
         self._finished = True
-        if self._worker.handle is self:
-            self._worker.handle = None
+        if self in self._worker.pending:
+            self._worker.pending.remove(self)
 
     def poll(self) -> bool:
-        self._drain()
-        if self._finished:
-            return True
-        if not self._worker.process.is_alive():
-            self._drain()                # catch a result racing the exit
-            if not self._finished:
-                self._worker.dead = True
-                self._settle(CellError(
-                    label=self.label,
-                    error="cancelled" if self.cancelled
-                    else "worker process died without reporting a result"))
+        if not self._finished:
+            self._worker.pump()
         return self._finished
 
     def ticks(self) -> List[dict]:
@@ -249,7 +288,16 @@ class ShmHandle:
         if self._finished:
             return False
         self.cancelled = True
-        self._worker.kill()
+        worker = self._worker
+        worker.kill()
+        # The hard kill takes any pipelined cell on the same worker
+        # with it; those handles settle as worker deaths, not cancels.
+        for other in list(worker.pending):
+            if other is not self:
+                other._settle(CellError(
+                    label=other.label,
+                    error="worker process died without reporting "
+                          "a result"))
         self._settle(CellError(label=self.label, error="cancelled"))
         return True
 
@@ -279,20 +327,25 @@ class LocalShmBackend(ExecutionBackend):
 
     # --------------------------------------------------------- protocol --
     def capacity(self) -> int:
-        return self.jobs
+        # PIPELINE_DEPTH cells per worker: the driver queues the next
+        # spec in the pipe while the current cell computes, so workers
+        # never idle waiting for the parent to drain a snapshot.
+        return self.jobs * PIPELINE_DEPTH
 
     def submit(self, spec: RunSpec):
-        worker = self._idle_worker()
+        worker = self._available_worker()
         self._next_task += 1
         handle = ShmHandle(worker, self._next_task, spec.label)
-        worker.handle = handle
+        worker.pending.append(handle)
         try:
             worker.conn.send(("run", self._next_task, spec))
         except (OSError, ValueError):
             worker.dead = True
-            handle._settle(CellError(
-                label=spec.label,
-                error="worker process died without reporting a result"))
+            for victim in list(worker.pending):
+                victim._settle(CellError(
+                    label=victim.label,
+                    error="worker process died without reporting "
+                          "a result"))
         return handle
 
     def submit_task(self, func: Callable, item, *, label: str = "task"):
@@ -301,6 +354,8 @@ class LocalShmBackend(ExecutionBackend):
         return submit_detached(func, item, label=label)
 
     def tick(self) -> None:
+        for worker in self._workers:
+            worker.pump()
         self._reap_dead()
 
     def merge_cache(self, cache) -> int:
@@ -316,18 +371,29 @@ class LocalShmBackend(ExecutionBackend):
         self._workers = [worker for worker in self._workers
                          if not worker.dead]
 
-    def _idle_worker(self) -> _ShmWorker:
+    def _available_worker(self) -> _ShmWorker:
         self._reap_dead()
+        # Prefer an idle worker, then a fresh one; only pipeline a
+        # second cell onto a busy worker once every worker has one.
+        backlog = None
         for worker in self._workers:
-            if worker.handle is None:
+            worker.pump()
+            if worker.dead:
+                continue
+            if not worker.pending:
                 return worker
-        if len(self._workers) >= self.jobs:
-            raise RuntimeError(
-                f"local-shm backend over capacity ({self.jobs} workers, "
-                f"all busy); respect capacity() when submitting")
-        worker = _ShmWorker(self._context, self.buffer_bytes)
-        self._workers.append(worker)
-        return worker
+            if backlog is None and len(worker.pending) < PIPELINE_DEPTH:
+                backlog = worker
+        if len(self._workers) < self.jobs:
+            worker = _ShmWorker(self._context, self.buffer_bytes)
+            self._workers.append(worker)
+            return worker
+        if backlog is not None:
+            return backlog
+        raise RuntimeError(
+            f"local-shm backend over capacity ({self.jobs} workers x "
+            f"{PIPELINE_DEPTH} cells, all busy); respect capacity() "
+            f"when submitting")
 
 
 register_backend("local-shm", LocalShmBackend)

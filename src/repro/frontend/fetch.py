@@ -120,6 +120,15 @@ class FrontEnd:
         stream = self._stream
         append = self._pipeline.append
         line_available = self._line_available
+        icache = self._icache
+        line_shift = icache.params.line_bytes.bit_length() - 1
+        code_base = self.code_base
+        # Same-line coalescing: once a line probed as a hit this cycle it
+        # stays resident and MRU for the rest of the loop (fetch is the
+        # only I-cache client mid-loop and a repeat touch is idempotent on
+        # LRU order), so further touches of it are pure counter traffic.
+        current_line = -1
+        coalesced = 0
         inst = self._peeked
         while fetched < fetch_width:
             if inst is None:
@@ -130,7 +139,12 @@ class FrontEnd:
                 except StopIteration:
                     self._stream_done = True
                     break
-            if not line_available(inst.pc):
+            line = (code_base + inst.pc * INST_BYTES) >> line_shift
+            if line == current_line:
+                coalesced += 1
+            elif line_available(inst.pc):
+                current_line = line
+            else:
                 break
             if inst.is_control:
                 if branches >= max_branches:
@@ -153,6 +167,9 @@ class FrontEnd:
                 break
             inst = None
         self._peeked = inst
+        if coalesced:
+            icache.stat_accesses.inc(coalesced)
+            icache.stat_hits.inc(coalesced)
         if fetched:
             self.stat_fetched.inc(fetched)
             self.stat_fetch_cycles.inc()

@@ -45,6 +45,12 @@ from repro.harness.cache import ResultCache
 from repro.harness.energy import EnergyModel, energy_per_instruction
 from repro.harness.sweep import Sweep
 
+#: Schema 8 adds the ``profile`` section: a per-stage inclusive-time
+#: breakdown (dispatch / fetch / issue / commit / IQ-engine) of one
+#: profiled serial cell, so the Amdahl split the pipeline-kernel work
+#: targets is tracked across artifacts, not just eyeballed from
+#: ``--profile`` output.  ``--compare`` against pre-schema-8 artifacts
+#: degrades via ``missing_sections`` as before.
 #: Schema 7 records the execution backend the sweep section ran on
 #: (``sweep.backend``; see docs/fabric.md) and adds the ``fabric``
 #: section — the same tiny-budget grid executed on each local backend so
@@ -60,7 +66,7 @@ from repro.harness.sweep import Sweep
 #: unambiguous, and embeds the analytical-surrogate validation section
 #: (predicted vs simulated IPC; docs/models.md).  Schema 4 added
 #: per-row ``skip_ratio``/``skip_windows`` (docs/performance.md).
-SCHEMA_VERSION = 7
+SCHEMA_VERSION = 8
 
 #: Serial-throughput configurations: the paper's headline design points.
 SERIAL_CONFIGS: List[Tuple[str, object]] = [
@@ -264,6 +270,13 @@ def measure_fabric(jobs: int, progress=None) -> Dict[str, object]:
     shared-memory stat snapshot) — the overhead ``local-shm`` exists
     to lower.  A backend unavailable on the host (``local-shm`` needs
     fork) is recorded as skipped rather than failing the bench.
+
+    A second, *pipelined* pass submits the same grid through a sliding
+    window of ``backend.capacity()`` in-flight cells (the executor's
+    discipline).  ``local-shm`` advertises two cells per worker and
+    parks finished snapshots in its double-buffered shared memory, so
+    the pipelined delta vs ``local-process`` is the dispatch overhead
+    the worker-side pipelining hides.
     """
     import statistics
 
@@ -307,21 +320,56 @@ def measure_fabric(jobs: int, progress=None) -> Dict[str, object]:
                         cell_seconds[index].append(
                             time.perf_counter() - start)
                 raise_on_errors(results, f"fabric bench ({backend})")
+            pipelined_walls = []
+            for _rep in range(FABRIC_REPEATS):
+                start = time.perf_counter()
+                results = _run_windowed(back, specs)
+                pipelined_walls.append(time.perf_counter() - start)
+                raise_on_errors(results,
+                                f"fabric bench ({backend}, pipelined)")
         finally:
             back.close()
         wall = sum(statistics.median(times) for times in cell_seconds)
+        pipelined = statistics.median(pipelined_walls)
         row = {
             "wall_seconds": round(wall, 3),
             "seconds_per_cell": round(wall / len(specs), 4),
+            "pipelined_wall_seconds": round(pipelined, 3),
+            "pipelined_seconds_per_cell": round(pipelined / len(specs), 4),
         }
         if baseline is None:
-            baseline = wall
-        elif wall:
-            row["speedup_vs_local_process"] = round(baseline / wall, 3)
-            row["per_cell_overhead_delta"] = round(
-                (baseline - wall) / len(specs), 4)
+            baseline = row
+        else:
+            if wall:
+                row["speedup_vs_local_process"] = round(
+                    baseline["wall_seconds"] / wall, 3)
+                row["per_cell_overhead_delta"] = round(
+                    (baseline["wall_seconds"] - wall) / len(specs), 4)
+            if pipelined:
+                row["pipelined_speedup_vs_local_process"] = round(
+                    baseline["pipelined_wall_seconds"] / pipelined, 3)
+                row["pipelined_per_cell_overhead_delta"] = round(
+                    (baseline["pipelined_wall_seconds"] - pipelined)
+                    / len(specs), 4)
         out["backends"][backend] = row
     return out
+
+
+def _run_windowed(back, specs) -> List[object]:
+    """Submit ``specs`` through a sliding window of ``back.capacity()``
+    in-flight cells, retiring oldest-first (the executor's submit
+    discipline, minus cache/journal)."""
+    results: List[object] = []
+    inflight: List[object] = []
+    index = 0
+    while index < len(specs) or inflight:
+        while index < len(specs) and len(inflight) < back.capacity():
+            inflight.append(back.submit(specs[index]))
+            index += 1
+        handle = inflight.pop(0)
+        results.append(handle.result(timeout=300))
+        handle.close()
+    return results
 
 
 def measure_sampling(workload: str = "twolf", *,
@@ -490,12 +538,29 @@ def measure_surrogate(workloads: Sequence[str], max_instructions: int,
     return report
 
 
-def profile_serial_cell(workload: str = "gcc",
-                        config: str = "seg-512-128ch",
-                        max_instructions: int = 20_000) -> str:
-    """cProfile one serial cell; return the top-20 cumulative report."""
+#: Pipeline-stage -> profiled call sites, matched as (path suffix,
+#: function name) against pstats entries.  Times are *inclusive*
+#: (cumulative): ``dispatch`` contains the IQ admission it calls into,
+#: and ``iq_engine`` counts the IQ entry points wherever they were
+#: entered from — the buckets answer "how much of the run passes
+#: through this stage", Amdahl's question, and deliberately overlap.
+_PROFILE_STAGES: Dict[str, Tuple[Tuple[str, str], ...]] = {
+    "dispatch": (("pipeline/processor.py", "_dispatch"),),
+    "fetch": (("frontend/fetch.py", "cycle"),),
+    "issue": (("pipeline/processor.py", "_issue"),),
+    "commit": (("pipeline/processor.py", "_commit"),),
+    "iq_engine": (("core/segmented/queue.py", "cycle"),
+                  ("core/segmented/queue.py", "select_issue"),
+                  ("core/segmented/queue.py", "dispatch"),
+                  ("core/segmented/queue.py", "can_dispatch"),
+                  ("core/segmented/queue.py", "next_event_cycle"),
+                  ("core/segmented/queue.py", "skip_cycles")),
+}
+
+
+def _profile_stats(workload: str, config: str, max_instructions: int):
+    """cProfile one serial cell; returns the raw ``pstats.Stats``."""
     import cProfile
-    import io
     import pstats
 
     factory = dict(SERIAL_CONFIGS).get(config)
@@ -508,10 +573,73 @@ def profile_serial_cell(workload: str = "gcc",
     api.run(params, workload, config_label=config,
             max_instructions=max_instructions)
     profiler.disable()
+    return pstats.Stats(profiler)
+
+
+def _stage_breakdown(stats) -> Tuple[Dict[str, Dict[str, float]], float]:
+    """Per-stage inclusive seconds/fractions from a ``pstats.Stats``."""
+    total = stats.total_tt
+    stages: Dict[str, Dict[str, float]] = {}
+    for stage, sites in _PROFILE_STAGES.items():
+        seconds = 0.0
+        for (path, _line, func), entry in stats.stats.items():
+            normalized = path.replace("\\", "/")
+            for suffix, name in sites:
+                if func == name and normalized.endswith(suffix):
+                    seconds += entry[3]          # ct: cumulative seconds
+                    break
+        stages[stage] = {
+            "seconds": round(seconds, 4),
+            "fraction": round(seconds / total, 4) if total else 0.0,
+        }
+    return stages, total
+
+
+def measure_profile(workload: str = "gcc",
+                    config: str = "seg-512-128ch",
+                    max_instructions: int = 20_000,
+                    progress=None) -> Dict[str, object]:
+    """Profile one serial cell and return the per-stage Amdahl split.
+
+    One cProfiled run of the dense segmented design point, reduced to
+    the five pipeline stages of :data:`_PROFILE_STAGES`.  Embedded in
+    the artifact (schema 8) so stage shares are diffable PR over PR;
+    profiler overhead inflates the absolute seconds, which is why the
+    *fractions* are the tracked quantity.
+    """
+    from repro.core.segmented.kernels import backend as kernel_backend
+    if progress is not None:
+        progress(f"profile {workload}/{config}")
+    stats = _profile_stats(workload, config, max_instructions)
+    stages, total = _stage_breakdown(stats)
+    return {
+        "workload": workload,
+        "config": config,
+        "max_instructions": max_instructions,
+        "kernels": kernel_backend(),
+        "total_seconds": round(total, 4),
+        "stages": stages,
+    }
+
+
+def profile_serial_cell(workload: str = "gcc",
+                        config: str = "seg-512-128ch",
+                        max_instructions: int = 20_000) -> str:
+    """cProfile one serial cell; return the stage split plus the
+    top-20 cumulative report."""
+    import io
+
+    stats = _profile_stats(workload, config, max_instructions)
+    stages, total = _stage_breakdown(stats)
     buffer = io.StringIO()
     buffer.write(f"profile: {workload}/{config} "
                  f"({max_instructions} instructions)\n")
-    stats = pstats.Stats(profiler, stream=buffer)
+    buffer.write(f"stage split (inclusive of {total:.3f}s total):\n")
+    for stage, row in sorted(stages.items(),
+                             key=lambda item: -item[1]["seconds"]):
+        buffer.write(f"  {stage:<10} {row['seconds']:8.4f}s "
+                     f"{100 * row['fraction']:5.1f}%\n")
+    stats.stream = buffer
     stats.sort_stats("cumulative").print_stats(20)
     return buffer.getvalue()
 
@@ -549,6 +677,8 @@ def run_bench(*, jobs: Optional[int] = None, quick: bool = False,
                               progress=progress)
     surrogate = measure_surrogate(serial_workloads, budget, jobs,
                                   quick=quick, progress=progress)
+    profile = measure_profile(serial_workloads[0],
+                              max_instructions=budget, progress=progress)
 
     machine = {
         "python": platform.python_version(),
@@ -574,6 +704,7 @@ def run_bench(*, jobs: Optional[int] = None, quick: bool = False,
         "sampling": sampling,
         "metrics": metrics,
         "surrogate": surrogate,
+        "profile": profile,
     }
     if compare:
         diff = compare_with(compare, serial,
@@ -620,8 +751,10 @@ def render_summary(data: dict) -> str:
             else:
                 extra = (f", {row['speedup_vs_local_process']}x"
                          if "speedup_vs_local_process" in row else "")
+                piped = (f" ({row['pipelined_seconds_per_cell']}s piped)"
+                         if "pipelined_seconds_per_cell" in row else "")
                 parts.append(f"{name} {row['seconds_per_cell']}s/cell"
-                             f"{extra}")
+                             f"{piped}{extra}")
         lines.append(f"  fabric {fabric['cells']} tiny cells "
                      f"(serial submits, warm workers): " + ", ".join(parts))
     sampling = data.get("sampling")
@@ -632,6 +765,16 @@ def render_summary(data: dict) -> str:
             f"{sampling['full_seconds']}s "
             f"({sampling['wall_speedup']}x wall, "
             f"{sampling['detail_cycle_ratio']}x fewer detailed cycles)")
+    profile = data.get("profile")
+    if profile:
+        split = ", ".join(
+            f"{stage} {100 * row['fraction']:.0f}%"
+            for stage, row in sorted(
+                profile["stages"].items(),
+                key=lambda item: -item[1]["fraction"]))
+        lines.append(
+            f"  profile {profile['workload']}/{profile['config']} "
+            f"[{profile.get('kernels', '?')}]: {split} (inclusive)")
     surrogate = data.get("surrogate")
     if surrogate:
         verdict = "PASS" if surrogate.get("within_bound") else "FAIL"

@@ -133,47 +133,66 @@ def _step(state: MachineState, inst: Instruction) -> DynInst:
     """Execute one instruction, mutate state, and return its DynInst."""
     opcode = inst.opcode
     regs = state.regs
-    dyn = DynInst(seq=state.instruction_count, pc=state.pc, static=inst)
+    srcs = inst.srcs
+    # write_reg, inlined: `if dest` skips both None and the hardwired r0.
+    dest = inst.dest
+    dyn = DynInst(state.instruction_count, state.pc, inst)
     next_pc = state.pc + 1
 
     # Operation tables are keyed by opcode *value* (a plain string with a
     # cached hash): Enum.__hash__ is a Python-level call and this lookup
-    # runs once per simulated instruction.
-    opv = opcode.value
+    # runs once per simulated instruction (``opv`` is the precomputed
+    # mirror on the static instruction — Enum.value is itself a
+    # descriptor call).
+    opv = inst.opv
     fn = _INT_BINOPS_V.get(opv)
     if fn is not None:
-        a, b = regs[inst.srcs[0]], regs[inst.srcs[1]]
-        state.write_reg(inst.dest, fn(int(a), int(b)))
+        value = fn(int(regs[srcs[0]]), int(regs[srcs[1]]))
+        if dest:
+            regs[dest] = value
     elif (fn := _INT_IMMOPS_V.get(opv)) is not None:
-        a = regs[inst.srcs[0]]
-        state.write_reg(inst.dest, fn(int(a), inst.imm))
+        value = fn(int(regs[srcs[0]]), inst.imm)
+        if dest:
+            regs[dest] = value
     elif (fn := _FP_BINOPS_V.get(opv)) is not None:
-        a, b = regs[inst.srcs[0]], regs[inst.srcs[1]]
-        state.write_reg(inst.dest, fn(float(a), float(b)))
+        value = fn(float(regs[srcs[0]]), float(regs[srcs[1]]))
+        if dest:
+            regs[dest] = value
     elif opcode is Opcode.FNEG:
-        state.write_reg(inst.dest, -float(regs[inst.srcs[0]]))
+        value = -float(regs[srcs[0]])
+        if dest:
+            regs[dest] = value
     elif opcode is Opcode.FSQRT:
-        value = float(regs[inst.srcs[0]])
+        value = float(regs[srcs[0]])
         if value < 0:
             raise ExecutionError(f"fsqrt of negative value {value} at pc {state.pc}")
-        state.write_reg(inst.dest, value ** 0.5)
+        if dest:
+            regs[dest] = value ** 0.5
     elif opcode is Opcode.CVTIF:
-        state.write_reg(inst.dest, float(regs[inst.srcs[0]]))
+        value = float(regs[srcs[0]])
+        if dest:
+            regs[dest] = value
     elif opcode is Opcode.CVTFI:
-        state.write_reg(inst.dest, int(regs[inst.srcs[0]]))
+        value = int(regs[srcs[0]])
+        if dest:
+            regs[dest] = value
     elif opcode is Opcode.FCMPLT:
-        a, b = regs[inst.srcs[0]], regs[inst.srcs[1]]
-        state.write_reg(inst.dest, 1 if float(a) < float(b) else 0)
+        value = 1 if float(regs[srcs[0]]) < float(regs[srcs[1]]) else 0
+        if dest:
+            regs[dest] = value
     elif opcode in (Opcode.LD, Opcode.FLD):
-        addr = int(regs[inst.srcs[0]]) + inst.imm
+        addr = int(regs[srcs[0]]) + inst.imm
         dyn.mem_addr = addr
-        state.write_reg(inst.dest, state.load(addr))
+        if dest:
+            regs[dest] = state.load(addr)
+        else:
+            state.load(addr)
     elif opcode in (Opcode.ST, Opcode.FST):
-        addr = int(regs[inst.srcs[0]]) + inst.imm
+        addr = int(regs[srcs[0]]) + inst.imm
         dyn.mem_addr = addr
-        state.store(addr, regs[inst.srcs[1]])
+        state.store(addr, regs[srcs[1]])
     elif inst.is_branch:
-        taken = _branch_taken(opcode, regs[inst.srcs[0]], regs[inst.srcs[1]])
+        taken = _branch_taken(opcode, regs[srcs[0]], regs[srcs[1]])
         dyn.taken = taken
         if taken:
             next_pc = inst.target          # validated by Program.validate

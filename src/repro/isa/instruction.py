@@ -36,6 +36,12 @@ class Instruction:
     # rather than properties.  (init=False fields on a frozen dataclass
     # are filled in __post_init__ via object.__setattr__.)
     info: OpInfo = field(init=False, repr=False, compare=False)
+    op_class: OpClass = field(init=False, repr=False, compare=False)
+    latency: int = field(init=False, repr=False, compare=False)
+    # The opcode's string value: Enum.value is a DynamicClassAttribute
+    # (a Python-level descriptor call), so the executor's per-instruction
+    # table lookups read this plain attribute instead.
+    opv: str = field(init=False, repr=False, compare=False)
     is_load: bool = field(init=False, repr=False, compare=False)
     is_store: bool = field(init=False, repr=False, compare=False)
     is_mem: bool = field(init=False, repr=False, compare=False)
@@ -47,6 +53,9 @@ class Instruction:
         info = op_info(self.opcode)
         op_class = info.op_class
         object.__setattr__(self, "info", info)
+        object.__setattr__(self, "op_class", op_class)
+        object.__setattr__(self, "latency", info.latency)
+        object.__setattr__(self, "opv", self.opcode.value)
         object.__setattr__(self, "is_load", op_class is OpClass.LOAD)
         object.__setattr__(self, "is_store", op_class is OpClass.STORE)
         object.__setattr__(self, "is_mem",
@@ -119,9 +128,10 @@ class DynInst:
     # consumers; None until known (fixed-latency ops learn it at issue,
     # loads at data return).
     value_ready_cycle: Optional[int] = None
-    # Callbacks invoked (with the ready cycle) when value_ready_cycle
-    # becomes known.  Consumers dispatched before the producer issues
-    # register here.
+    # Waiters notified when value_ready_cycle becomes known.  Consumers
+    # dispatched before the producer issues register here: either a
+    # callable invoked with the ready cycle, or a (queue, entry, index)
+    # operand-wakeup triple (see InstructionQueue._subscribe).
     waiters: list = field(default_factory=list)
 
     def set_value_ready(self, cycle: int) -> None:
@@ -130,7 +140,12 @@ class DynInst:
         self.value_ready_cycle = cycle
         waiters, self.waiters = self.waiters, []
         for waiter in waiters:
-            waiter(cycle)
+            if type(waiter) is tuple:
+                queue, entry, index = waiter
+                if entry.source_known(index, cycle):
+                    queue.on_entry_ready_known(entry)
+            else:
+                waiter(cycle)
 
     # Hot predicates and operand fields mirrored from the static
     # instruction as plain attributes (see Instruction.__post_init__ for
@@ -141,6 +156,8 @@ class DynInst:
     is_mem: bool = field(init=False, repr=False)
     is_branch: bool = field(init=False, repr=False)
     is_control: bool = field(init=False, repr=False)
+    op_class: OpClass = field(init=False, repr=False)
+    latency: int = field(init=False, repr=False)
     dest: Optional[int] = field(init=False, repr=False)
     srcs: Tuple[int, ...] = field(init=False, repr=False)
 
@@ -151,6 +168,8 @@ class DynInst:
         self.is_mem = static.is_mem
         self.is_branch = static.is_branch
         self.is_control = static.is_control
+        self.op_class = static.op_class
+        self.latency = static.latency
         self.dest = static.dest
         self.srcs = static.srcs
 

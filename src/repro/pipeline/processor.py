@@ -23,7 +23,8 @@ from repro.isa.instruction import DynInst
 from repro.isa.opcodes import FUClass, OpClass
 from repro.memory.hierarchy import MemoryHierarchy
 from repro.obs.events import TraceEvent
-from repro.pipeline.fu import FUPool
+from repro.pipeline.fu import FUAcquire, FUPool
+from repro.pipeline.kernels import rename_kernel
 from repro.pipeline.lsq import LoadStoreQueue
 from repro.pipeline.rob import ReorderBuffer
 
@@ -128,6 +129,10 @@ class Processor:
         self.frontend = FrontEnd(params, stream, self.memory.l1i,
                                  self.events, self.stats)
         self.fu_pool = FUPool(params.fu_counts, self.stats, params.clusters)
+        self._fu_acquire = FUAcquire(self.fu_pool)
+        # Fused C rename loop (pipeline kernel tier); clustered configs
+        # keep the Python loop for its bypass-penalty bookkeeping.
+        self._c_rename = None if self._clustered else rename_kernel()
         self.iq = build_iq(params, self.stats)
         self._cluster_load = [0] * params.clusters
         self.rob = ReorderBuffer(params.rob_size, self.stats)
@@ -411,15 +416,17 @@ class Processor:
                 wake = self.lsq.violation_flush_until
         else:
             inst = fe.peek_dispatchable(now)
+            rob = self.rob
+            lsq = self.lsq
             if inst is None:
                 if fe._pipeline and fe._pipeline[0][0] < wake:
                     wake = fe._pipeline[0][0]
-            elif not self.rob.has_space():
+            elif len(rob._entries) >= rob.size:     # has_space, inlined
                 self._skip_stall = "rob"
-            elif inst.static.info.op_class in (OpClass.HALT, OpClass.NOP,
-                                               OpClass.JUMP):
+            elif inst.op_class in (OpClass.HALT, OpClass.NOP,
+                                   OpClass.JUMP):
                 return now      # would dispatch (bypasses the IQ)
-            elif inst.is_mem and not self.lsq.has_space():
+            elif inst.is_mem and len(lsq._order) >= lsq.size:
                 self._skip_stall = "lsq"
             else:
                 prev_iq_now = getattr(iq, "now", None)
@@ -481,11 +488,8 @@ class Processor:
 
     # ------------------------------------------------------------- issue --
     def _issue(self, now: int) -> None:
-        try_issue = self.fu_pool.try_issue
-
-        def acquire_fu(inst: DynInst) -> bool:
-            return try_issue(inst, now)
-
+        acquire_fu = self._fu_acquire
+        acquire_fu.now = now
         issued = self.iq.select_issue(now, acquire_fu)
         if not issued:
             return
@@ -515,7 +519,7 @@ class Processor:
                     lambda inst=inst, ea_cycle=ea_cycle:
                         lsq.address_ready(inst, ea_cycle))
                 continue
-            done = now + inst.static.info.latency
+            done = now + inst.latency
             inst.set_value_ready(done)
             events.schedule_at(
                 done, lambda inst=inst, done=done: self._complete(inst, done))
@@ -562,6 +566,7 @@ class Processor:
         iq = self.iq
         tracer = self.tracer
         clustered = self._clustered
+        c_rename = self._c_rename
         last_writer = self._last_writer
         dispatched = 0
         width = self._dispatch_width
@@ -571,7 +576,7 @@ class Processor:
                 rob.stat_full_stalls.inc()
                 self.stat_dispatch_stall_rob.inc()
                 break
-            op_class = inst.static.info.op_class
+            op_class = inst.op_class
 
             if op_class in (OpClass.HALT, OpClass.NOP, OpClass.JUMP):
                 # No register work: completes at dispatch.  A mispredicted
@@ -596,7 +601,7 @@ class Processor:
                 continue
 
             is_mem = inst.is_mem
-            if is_mem and not lsq.has_space():
+            if is_mem and len(lsq._order) >= lsq.size:  # has_space, inlined
                 self.stat_dispatch_stall_lsq.inc()
                 break
             if not iq.can_dispatch(inst):
@@ -611,26 +616,26 @@ class Processor:
                 self._cluster_load[inst.cluster] += 1
             # Rename (inlined _operand_for over the IQ-relevant sources).
             srcs = inst.srcs
-            operands = []
-            for reg in (srcs[:1] if is_mem else srcs):
-                if reg == 0:
-                    operands.append(Operand(reg=reg, ready_cycle=0))
-                    continue
-                producer = last_writer.get(reg)
-                if producer is None:
-                    operands.append(Operand(reg=reg, ready_cycle=0))
-                    continue
-                penalty = 0
-                if (clustered and producer.cluster != inst.cluster
-                        and producer.completed_cycle < 0):
-                    penalty = self.params.cluster_bypass_penalty
-                    self.stat_cross_cluster.inc()
-                ready = producer.value_ready_cycle
-                if ready is not None:
-                    ready += penalty
-                    penalty = 0     # folded in; no late wakeup will come
-                operands.append(Operand(reg=reg, producer=producer,
-                                        ready_cycle=ready, penalty=penalty))
+            if c_rename is not None:
+                operands = c_rename(Operand, last_writer, srcs,
+                                    1 if is_mem else -1)
+            else:
+                operands = []
+                for reg in (srcs[:1] if is_mem else srcs):
+                    producer = last_writer.get(reg) if reg != 0 else None
+                    if producer is None:
+                        operands.append(Operand(reg, None, 0, 0))
+                        continue
+                    penalty = 0
+                    if (clustered and producer.cluster != inst.cluster
+                            and producer.completed_cycle < 0):
+                        penalty = self.params.cluster_bypass_penalty
+                        self.stat_cross_cluster.inc()
+                    ready = producer.value_ready_cycle
+                    if ready is not None:
+                        ready += penalty
+                        penalty = 0  # folded in; no late wakeup will come
+                    operands.append(Operand(reg, producer, ready, penalty))
             if plain_rob:
                 inst.rob_index = len(rob_entries)
                 rob_entries.append(inst)

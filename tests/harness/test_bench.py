@@ -18,9 +18,9 @@ class TestBench:
         on_disk = json.loads(path.read_text())
         for key in ("schema", "date", "machine", "serial",
                     "serial_geomean", "sweep", "fabric", "sampling",
-                    "metrics", "surrogate"):
+                    "metrics", "surrogate", "profile"):
             assert key in on_disk
-        assert on_disk["schema"] == 7
+        assert on_disk["schema"] == 8
         assert on_disk["machine"]["cpu_count"] >= 1
         # Host-speed calibration reference (fixed pure-Python spin).
         assert on_disk["machine"]["calibration_seconds"] > 0
@@ -72,6 +72,12 @@ class TestBench:
         assert "within_bound" in surrogate
         sweep_models = on_disk["sweep"]["models"]
         assert sweep_models and all(kind for kind in sweep_models.values())
+        # Schema 8: per-stage inclusive profile split of one dense cell.
+        profile = on_disk["profile"]
+        assert profile["total_seconds"] > 0
+        assert profile["kernels"] in ("py", "compiled")
+        for stage in ("dispatch", "fetch", "issue", "commit", "iq_engine"):
+            assert 0.0 <= profile["stages"][stage]["fraction"] <= 1.0
 
     def test_render_summary(self, tmp_path):
         _, data = _tiny_bench(tmp_path)
@@ -85,7 +91,7 @@ class TestBench:
         diff = compare_with(str(path), data["serial"])
         assert set(diff) == {"previous_schema", "kcycles_speedup",
                              "epi_ratio", "kernels_mismatch"}
-        assert diff["previous_schema"] == 7
+        assert diff["previous_schema"] == 8
         assert diff["kernels_mismatch"] == {}   # same backend both sides
         assert set(diff["kcycles_speedup"]) == set(data["serial"])
         assert set(diff["epi_ratio"]) == set(data["serial"])
